@@ -1,0 +1,181 @@
+// Ablation for Section 4.6: padding-prefix evasion and the two defenses
+// the paper proposes.
+//
+// Attack: a flow prepends "deceiving padding" whose nature differs from
+// its real content — here ciphertext-like padding in front of a *text*
+// flow, so a forensics deployment (Section 1.1) would skip the flow's
+// keyword scan.  (Text-vs-encrypted is the class pair that stays separable
+// at arbitrary offsets; binary-vs-encrypted is inherently ambiguous
+// mid-file, which is the paper's own 12-20% confusion band.)
+//
+// Defenses (paper Section 4.6):
+//   (1) skip a random number of the first bytes before buffering
+//       (EngineOptions::random_skip_max), and
+//   (2) periodically delete the flow's CDB record so it is reclassified on
+//       fresh mid-flow content (CdbOptions::reclassify_after_seconds).
+//
+// Expected shape: the attack collapses accuracy on padded flows; random
+// skip recovers much of it when the skip window exceeds typical padding;
+// periodic reclassification recovers the *final* label even when the first
+// classification was fooled.
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "util/random.h"
+
+namespace iustitia::bench {
+namespace {
+
+using datagen::FileClass;
+
+struct AdversarialFlow {
+  net::FlowKey key;
+  FileClass real_nature = FileClass::kText;
+  std::vector<net::Packet> packets;
+};
+
+// Builds flows whose first `padding` bytes are ciphertext-like while the
+// real content is text: the attack from Section 4.6.
+std::vector<AdversarialFlow> build_attack_flows(std::size_t count,
+                                                std::size_t padding,
+                                                util::Rng& rng) {
+  std::vector<AdversarialFlow> flows;
+  for (std::size_t i = 0; i < count; ++i) {
+    AdversarialFlow flow;
+    flow.key = {.src_ip = static_cast<std::uint32_t>(i + 1),
+                .dst_ip = 0x0A0A0A0A,
+                .src_port = static_cast<std::uint16_t>(20000 + i),
+                .dst_port = 8080,
+                .protocol = net::Protocol::kTcp};
+    flow.real_nature = FileClass::kText;
+
+    std::vector<std::uint8_t> content(padding);
+    rng.fill_bytes(content);  // encrypted-like padding
+    const datagen::FileSample real =
+        datagen::generate_file(flow.real_nature, 8192, rng);
+    content.insert(content.end(), real.bytes.begin(), real.bytes.end());
+
+    // Slice into packets, 512 B each, 20 ms apart.
+    double t = static_cast<double>(i) * 0.003;
+    for (std::size_t at = 0; at < content.size(); at += 512) {
+      net::Packet packet;
+      packet.key = flow.key;
+      packet.timestamp = t;
+      packet.flags.ack = true;
+      const std::size_t take = std::min<std::size_t>(512, content.size() - at);
+      packet.payload.assign(content.begin() + static_cast<std::ptrdiff_t>(at),
+                            content.begin() +
+                                static_cast<std::ptrdiff_t>(at + take));
+      flow.packets.push_back(std::move(packet));
+      t += 0.02;
+    }
+    flows.push_back(std::move(flow));
+  }
+  return flows;
+}
+
+// Runs the flows through an engine and returns the fraction whose FINAL
+// CDB label matches the real nature.
+double final_label_accuracy(core::Iustitia& engine,
+                            const std::vector<AdversarialFlow>& flows) {
+  // Interleave flows by time.
+  std::vector<const net::Packet*> all;
+  for (const auto& flow : flows) {
+    for (const auto& packet : flow.packets) all.push_back(&packet);
+  }
+  std::sort(all.begin(), all.end(),
+            [](const net::Packet* a, const net::Packet* b) {
+              return a->timestamp < b->timestamp;
+            });
+  std::size_t since_flush = 0;
+  for (const net::Packet* packet : all) {
+    engine.on_packet(*packet);
+    // Give the time-driven reclassification defense frequent purge
+    // opportunities (the default engine cadence is every 1024 packets,
+    // too coarse for sub-second reclassification windows).
+    if (++since_flush >= 64) {
+      engine.flush_idle(packet->timestamp);
+      since_flush = 0;
+    }
+  }
+  engine.flush_all();
+
+  std::size_t correct = 0;
+  for (const auto& flow : flows) {
+    const auto label = engine.label_of(flow.key);
+    // A record deleted for reclassification with no further packets keeps
+    // the last recorded classification in the delay log.
+    FileClass final_label = FileClass::kEncrypted;
+    if (label.has_value()) {
+      final_label = *label;
+    } else {
+      for (auto it = engine.delays().rbegin(); it != engine.delays().rend();
+           ++it) {
+        if (it->key == flow.key) {
+          final_label = it->label;
+          break;
+        }
+      }
+    }
+    correct += (final_label == flow.real_nature);
+  }
+  return static_cast<double>(correct) / static_cast<double>(flows.size());
+}
+
+core::FlowNatureModel model() {
+  // Both defenses classify windows at unpredictable offsets into the flow,
+  // so the model must be trained the same way: the H_b' random-offset
+  // method of Section 4.3 (a first-bytes-trained model would be out of
+  // distribution on mid-flow windows).
+  const auto corpus = standard_corpus(60);
+  core::TrainerOptions options;
+  options.backend = core::Backend::kCart;
+  options.widths = entropy::cart_preferred_widths();
+  options.method = core::TrainingMethod::kRandomOffset;
+  options.header_threshold = 2048;
+  options.buffer_size = 64;
+  return core::train_model(corpus, options);
+}
+
+int run() {
+  banner("Ablation (Section 4.6): padding evasion and defenses",
+         "random initial skip / periodic reclassification counter the "
+         "deceiving-padding attack");
+
+  const std::size_t flows_n = env_size("IUSTITIA_FILES_PER_CLASS", 60);
+  util::Rng rng(0xADA);
+
+  util::Table table({"padding (B)", "no defense", "random skip (<=2KB)",
+                     "reclassify (0.15s)"});
+  for (const std::size_t padding : {std::size_t{0}, std::size_t{256},
+                                    std::size_t{1024}}) {
+    const auto flows = build_attack_flows(flows_n, padding, rng);
+
+    core::EngineOptions plain;
+    plain.buffer_size = 64;
+    core::Iustitia engine_plain(model(), plain);
+
+    core::EngineOptions skip = plain;
+    skip.random_skip_max = 2048;
+    core::Iustitia engine_skip(model(), skip);
+
+    core::EngineOptions reclassify = plain;
+    reclassify.cdb.reclassify_after_seconds = 0.15;
+    reclassify.cdb.purge_trigger_flows = 10;
+    core::Iustitia engine_reclassify(model(), reclassify);
+
+    table.add_row({std::to_string(padding),
+                   util::fmt_percent(final_label_accuracy(engine_plain, flows)),
+                   util::fmt_percent(final_label_accuracy(engine_skip, flows)),
+                   util::fmt_percent(
+                       final_label_accuracy(engine_reclassify, flows))});
+  }
+  table.render(std::cout);
+  std::cout << "\nexpected shape: padding >= buffer size collapses the "
+               "no-defense column; both defenses recover most accuracy.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main() { return iustitia::bench::run(); }

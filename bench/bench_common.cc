@@ -1,0 +1,44 @@
+#include "bench/bench_common.h"
+
+namespace iustitia::bench {
+
+void print_class_breakdown(const ml::ConfusionMatrix& matrix,
+                           const std::string& model_name) {
+  util::Table table({"", "Accuracy", "-> text", "-> binary", "-> encrypted"});
+  table.add_row({model_name + " total", util::fmt_percent(matrix.accuracy()),
+                 "", "", ""});
+  static constexpr const char* kNames[3] = {"Text", "Binary", "Encrypted"};
+  for (int actual = 0; actual < 3; ++actual) {
+    std::vector<std::string> row;
+    row.push_back(std::string(kNames[actual]) + " file");
+    row.push_back(util::fmt_percent(matrix.class_accuracy(actual)));
+    for (int predicted = 0; predicted < 3; ++predicted) {
+      row.push_back(actual == predicted
+                        ? "-"
+                        : util::fmt_percent(
+                              matrix.misclassification_rate(actual, predicted)));
+    }
+    table.add_row(std::move(row));
+  }
+  table.render(std::cout);
+  std::cout << '\n';
+}
+
+ml::ConfusionMatrix run_cv(const ml::Dataset& data, std::size_t folds,
+                           const ml::ModelFactory& factory, std::uint64_t seed,
+                           bool print_folds, const std::string& label) {
+  util::Rng rng(seed);
+  const auto fold_matrices = ml::cross_validate(data, folds, factory, rng);
+  if (print_folds) {
+    util::Table table({"CV index", label + " accuracy"});
+    for (std::size_t f = 0; f < fold_matrices.size(); ++f) {
+      table.add_row({std::to_string(f + 1),
+                     util::fmt_percent(fold_matrices[f].accuracy())});
+    }
+    table.render(std::cout);
+    std::cout << '\n';
+  }
+  return ml::pool_folds(fold_matrices);
+}
+
+}  // namespace iustitia::bench

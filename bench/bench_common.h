@@ -1,0 +1,64 @@
+// Shared helpers for the benchmark harness.
+//
+// Every bench binary reproduces one table or figure of the paper and is
+// scaled down by default so the whole suite runs in minutes.  Environment
+// overrides let a user rerun at paper scale:
+//   IUSTITIA_FILES_PER_CLASS  corpus size per class (default varies)
+//   IUSTITIA_TRACE_PACKETS    synthetic trace packet budget
+//   IUSTITIA_CV_FOLDS         cross-validation folds (default 10)
+#ifndef IUSTITIA_BENCH_BENCH_COMMON_H_
+#define IUSTITIA_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "datagen/corpus.h"
+#include "ml/cross_validation.h"
+#include "util/table.h"
+
+namespace iustitia::bench {
+
+// Reads a positive integer from the environment, or returns fallback.
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  const long long parsed = std::atoll(value);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+// Standard evaluation corpus for the file-classification benches.
+inline std::vector<datagen::FileSample> standard_corpus(
+    std::size_t files_per_class, std::uint64_t seed = 0x1CED) {
+  datagen::CorpusOptions options;
+  options.files_per_class = files_per_class;
+  options.min_size = 2048;
+  options.max_size = 16384;
+  options.seed = seed;
+  return datagen::build_corpus(options);
+}
+
+// Pretty banner naming the paper artifact being reproduced.
+inline void banner(const std::string& artifact, const std::string& claim) {
+  std::cout << "=====================================================\n"
+            << "Reproduction of " << artifact << "\n"
+            << "Paper reference: " << claim << "\n"
+            << "=====================================================\n";
+}
+
+// Confusion-matrix row formatting used by the Table 1/2 style outputs.
+void print_class_breakdown(const ml::ConfusionMatrix& matrix,
+                           const std::string& model_name);
+
+// 10-fold CV of one backend over an entropy dataset; prints per-fold
+// accuracies (Fig. 2(b)/(c) series) when verbose.
+ml::ConfusionMatrix run_cv(const ml::Dataset& data, std::size_t folds,
+                           const ml::ModelFactory& factory,
+                           std::uint64_t seed, bool print_folds,
+                           const std::string& label);
+
+}  // namespace iustitia::bench
+
+#endif  // IUSTITIA_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,131 @@
+// Reproduces Figure 10: (a) the average number of packets c needed to fill
+// the classification buffer and (b) the total classifier delay tau over
+// time, for buffer sizes b in {32, 1024, 1500, 2000} (the latter two model
+// T + b' with the header threshold included, as in the paper).
+//
+// Paper shape: c ~= 1 for b=32 (one packet usually fills 32 bytes) and
+// 3-5 packets for the larger buffers; tau is dominated by the buffer fill
+// time tau_b — tens of ms for b=32 and around a second for large buffers —
+// while tau_hash and tau_CDBsearch are microseconds.
+#include "bench/bench_common.h"
+#include "core/engine.h"
+#include "net/trace_gen.h"
+#include "util/stats.h"
+
+namespace iustitia::bench {
+namespace {
+
+core::FlowNatureModel quick_model(std::size_t b) {
+  const auto corpus = standard_corpus(40);
+  core::TrainerOptions options;
+  options.backend = core::Backend::kCart;
+  options.widths = entropy::cart_preferred_widths();
+  options.method = core::TrainingMethod::kFirstBytes;
+  options.buffer_size = b;
+  return core::train_model(corpus, options);
+}
+
+int run() {
+  banner("Fig. 10: packets-to-fill c and total classifier delay tau",
+         "c ~1 for b=32, 3-5 for b>=1024; tau dominated by buffer fill");
+
+  const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 80000);
+  net::TraceOptions trace_options;
+  trace_options.target_packets = packets;
+  trace_options.duration_seconds = 16.0;
+  trace_options.seed = 0xF10;
+  const net::Trace trace = net::generate_trace(trace_options);
+
+  const std::size_t buffer_sizes[] = {32, 1024, 1500, 2000};
+  constexpr int kSamplePoints = 8;
+
+  // Per buffer size: bucketed means over time for c and tau.
+  util::Table c_table({"time (s)", "c (b=32)", "c (b=1024)", "c (b=1500)",
+                       "c (b=2000)"});
+  util::Table tau_table({"time (s)", "tau (b=32)", "tau (b=1024)",
+                         "tau (b=1500)", "tau (b=2000)"});
+
+  std::vector<std::vector<util::RunningStats>> c_stats(
+      std::size(buffer_sizes), std::vector<util::RunningStats>(kSamplePoints));
+  std::vector<std::vector<util::RunningStats>> tau_stats = c_stats;
+  util::RunningStats overall_c[4], overall_tau[4], micro_costs[4];
+
+  for (std::size_t bi = 0; bi < std::size(buffer_sizes); ++bi) {
+    core::EngineOptions options;
+    options.buffer_size = buffer_sizes[bi];
+    options.buffer_timeout_seconds = 8.0;
+    core::Iustitia engine(quick_model(buffer_sizes[bi]), options);
+    for (const net::Packet& p : trace.packets) engine.on_packet(p);
+    engine.flush_all();
+
+    for (const core::FlowDelayRecord& record : engine.delays()) {
+      int bucket = static_cast<int>(record.classified_at /
+                                    trace.duration_seconds * kSamplePoints);
+      bucket = std::clamp(bucket, 0, kSamplePoints - 1);
+      // Total delay tau = tau_hash + tau_CDBsearch + tau_b; the measured
+      // hash/CDB micros are negligible next to tau_b, as in the paper.
+      const double tau = record.tau_b + (record.hash_micros +
+                                         record.cdb_micros +
+                                         record.extract_micros) *
+                                            1e-6;
+      c_stats[bi][static_cast<std::size_t>(bucket)].add(
+          static_cast<double>(record.packets_to_fill));
+      tau_stats[bi][static_cast<std::size_t>(bucket)].add(tau);
+      overall_c[bi].add(static_cast<double>(record.packets_to_fill));
+      overall_tau[bi].add(tau);
+      micro_costs[bi].add(record.hash_micros + record.cdb_micros +
+                          record.extract_micros);
+    }
+  }
+
+  for (int bucket = 0; bucket < kSamplePoints; ++bucket) {
+    const double t =
+        (bucket + 0.5) * trace.duration_seconds / kSamplePoints;
+    std::vector<std::string> c_row{util::fmt(t, 1)};
+    std::vector<std::string> tau_row{util::fmt(t, 1)};
+    for (std::size_t bi = 0; bi < std::size(buffer_sizes); ++bi) {
+      c_row.push_back(util::fmt(c_stats[bi][static_cast<std::size_t>(bucket)]
+                                    .mean(),
+                                2));
+      tau_row.push_back(util::fmt_seconds(
+          tau_stats[bi][static_cast<std::size_t>(bucket)].mean()));
+    }
+    c_table.add_row(std::move(c_row));
+    tau_table.add_row(std::move(tau_row));
+  }
+
+  std::cout << "-- Fig. 10(a): average packets to fill the buffer --\n";
+  c_table.render(std::cout);
+  std::cout << "\n-- Fig. 10(b): average total classifier delay --\n";
+  tau_table.render(std::cout);
+
+  std::cout << "\noverall means:\n";
+  util::Table summary({"b", "mean c", "mean tau", "mean compute cost "
+                                                  "(hash+CDB+extract)"});
+  for (std::size_t bi = 0; bi < std::size(buffer_sizes); ++bi) {
+    summary.add_row({std::to_string(buffer_sizes[bi]),
+                     util::fmt(overall_c[bi].mean(), 2),
+                     util::fmt_seconds(overall_tau[bi].mean()),
+                     util::fmt(micro_costs[bi].mean(), 1) + " us"});
+  }
+  summary.render(std::cout);
+
+  std::cout << "\npaper:    c ~= 1 for b=32; 3-5 for larger buffers; tau "
+               "dominated by tau_b\n";
+  std::cout << "measured: c(32) = " << util::fmt(overall_c[0].mean(), 2)
+            << ", c(2000) = " << util::fmt(overall_c[3].mean(), 2)
+            << "; compute cost is microseconds while tau is "
+            << util::fmt_seconds(overall_tau[3].mean()) << '\n';
+  std::cout << "shape check: c(32) < 1.5 and c grows with b: "
+            << (overall_c[0].mean() < 1.5 &&
+                        overall_c[3].mean() > overall_c[0].mean()
+                    ? "YES"
+                    : "NO")
+            << '\n';
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main() { return iustitia::bench::run(); }

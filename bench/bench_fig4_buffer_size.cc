@@ -1,0 +1,104 @@
+// Reproduces Figure 4: classification accuracy as a function of the flow
+// buffer size b, under the two training regimes:
+//   (a) train on the entire file (H_F), classify on the first b bytes;
+//   (b) train on the first b bytes (H_b), classify on the first b bytes.
+//
+// Paper shape: regime (a) needs ~1 KB buffers to reach 86% with SVM, while
+// regime (b) reaches ~86% already at b = 32 for both backends — training
+// in the same small-prefix regime as inference is the paper's key trick
+// for tiny buffers.
+#include "bench/bench_common.h"
+
+namespace iustitia::bench {
+namespace {
+
+// Splits a corpus into train/test halves by index parity.
+void split_corpus(const std::vector<datagen::FileSample>& corpus,
+                  std::vector<datagen::FileSample>& train,
+                  std::vector<datagen::FileSample>& test) {
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    (i % 2 == 0 ? train : test).push_back(corpus[i]);
+  }
+}
+
+double evaluate(const std::vector<datagen::FileSample>& train,
+                const std::vector<datagen::FileSample>& test,
+                core::Backend backend, core::TrainingMethod train_method,
+                std::size_t b) {
+  core::TrainerOptions options;
+  options.backend = backend;
+  options.widths = backend == core::Backend::kCart
+                       ? entropy::cart_preferred_widths()
+                       : entropy::svm_preferred_widths();
+  options.method = train_method;
+  options.buffer_size = b;
+  options.svm.gamma = 50.0;
+  options.svm.c = 1000.0;
+  core::FlowNatureModel model = core::train_model(train, options);
+
+  std::size_t correct = 0;
+  for (const auto& file : test) {
+    const std::span<const std::uint8_t> prefix(
+        file.bytes.data(), std::min(b, file.bytes.size()));
+    correct += (model.classify(prefix).label == file.label);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+int run() {
+  banner("Fig. 4: accuracy vs buffer size b, two training regimes",
+         "H_b-trained models reach ~86% at b=32; H_F-trained need ~1KB");
+
+  const std::size_t files = env_size("IUSTITIA_FILES_PER_CLASS", 100);
+  const auto corpus = standard_corpus(files);
+  std::vector<datagen::FileSample> train, test;
+  split_corpus(corpus, train, test);
+
+  const std::size_t buffer_sizes[] = {8,   16,   32,   64,   128, 256,
+                                      512, 1024, 2048, 4096, 8192};
+
+  std::cout << "-- Fig. 4(a): train on entire file (H_F) --\n";
+  util::Table table_a({"b (bytes)", "CART accuracy", "SVM accuracy"});
+  for (const std::size_t b : buffer_sizes) {
+    table_a.add_row(
+        {std::to_string(b),
+         util::fmt_percent(evaluate(train, test, core::Backend::kCart,
+                                    core::TrainingMethod::kWholeFile, b)),
+         util::fmt_percent(evaluate(train, test, core::Backend::kSvm,
+                                    core::TrainingMethod::kWholeFile, b))});
+  }
+  table_a.render(std::cout);
+  std::cout << '\n';
+
+  std::cout << "-- Fig. 4(b): train on first b bytes (H_b) --\n";
+  util::Table table_b({"b (bytes)", "CART accuracy", "SVM accuracy"});
+  double svm_at_32 = 0.0, svm_whole_at_32 = 0.0;
+  for (const std::size_t b : buffer_sizes) {
+    const double cart = evaluate(train, test, core::Backend::kCart,
+                                 core::TrainingMethod::kFirstBytes, b);
+    const double svm = evaluate(train, test, core::Backend::kSvm,
+                                core::TrainingMethod::kFirstBytes, b);
+    if (b == 32) {
+      svm_at_32 = svm;
+      svm_whole_at_32 = evaluate(train, test, core::Backend::kSvm,
+                                 core::TrainingMethod::kWholeFile, b);
+    }
+    table_b.add_row({std::to_string(b), util::fmt_percent(cart),
+                     util::fmt_percent(svm)});
+  }
+  table_b.render(std::cout);
+
+  std::cout << "\npaper:    at b=32, H_b-trained SVM ~86% while H_F-trained "
+               "is far lower\n";
+  std::cout << "measured: at b=32, H_b-trained SVM "
+            << util::fmt_percent(svm_at_32) << " vs H_F-trained "
+            << util::fmt_percent(svm_whole_at_32) << "\n";
+  std::cout << "shape check: H_b >> H_F at small b: "
+            << (svm_at_32 > svm_whole_at_32 + 0.1 ? "YES" : "NO") << '\n';
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main() { return iustitia::bench::run(); }

@@ -1,0 +1,80 @@
+// Reproduces Figure 9: cumulative distributions of (a) packet payload size
+// and (b) packet inter-arrival time in the gateway trace.
+//
+// Paper shape: payload sizes are bimodal — more than 50% of data packets
+// under 140 bytes and ~20% at the 1480-byte MTU mode; inter-arrival times
+// concentrate well below half a second.
+#include "bench/bench_common.h"
+#include "net/flow_table.h"
+#include "net/trace_gen.h"
+#include "util/stats.h"
+
+namespace iustitia::bench {
+namespace {
+
+int run() {
+  banner("Fig. 9: payload-size and inter-arrival CDFs of the trace",
+         ">50% of payloads < 140B, ~20% at 1480B; inter-arrivals << 0.5s");
+
+  const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 100000);
+  net::TraceOptions options;
+  options.target_packets = packets;
+  options.seed = 0xF19;
+  const net::Trace trace = net::generate_trace(options);
+
+  // Payload sizes of data packets.
+  std::vector<double> payload_sizes;
+  for (const net::Packet& p : trace.packets) {
+    if (p.is_data()) {
+      payload_sizes.push_back(static_cast<double>(p.payload.size()));
+    }
+  }
+  const util::EmpiricalCdf payload_cdf(payload_sizes);
+
+  std::cout << "-- Fig. 9(a): payload size CDF (" << payload_sizes.size()
+            << " data packets) --\n";
+  util::Table size_table({"payload size (B)", "P(X <= x)", ""});
+  for (const double x : {20.0, 60.0, 140.0, 300.0, 600.0, 1000.0, 1400.0,
+                         1459.0, 1480.0}) {
+    const double p = payload_cdf.evaluate(x);
+    size_table.add_row({util::fmt(x, 0), util::fmt(p, 3), util::bar(p, 30)});
+  }
+  size_table.render(std::cout);
+
+  // Per-flow inter-arrival times (gaps between consecutive packets of the
+  // same flow, all packet kinds — the quantity lambda' tracks).
+  net::FlowTable table(0);
+  for (const net::Packet& p : trace.packets) table.add(p);
+  std::vector<double> gaps;
+  std::unordered_map<net::FlowKey, double, net::FlowKeyHash> last_seen;
+  for (const net::Packet& p : trace.packets) {
+    const auto it = last_seen.find(p.key);
+    if (it != last_seen.end()) gaps.push_back(p.timestamp - it->second);
+    last_seen[p.key] = p.timestamp;
+  }
+  const util::EmpiricalCdf gap_cdf(gaps);
+
+  std::cout << "\n-- Fig. 9(b): packet inter-arrival time CDF ("
+            << gaps.size() << " gaps) --\n";
+  util::Table gap_table({"inter-arrival (s)", "P(X <= x)", ""});
+  for (const double x : {0.001, 0.005, 0.01, 0.05, 0.1, 0.2, 0.5, 1.0}) {
+    const double p = gap_cdf.evaluate(x);
+    gap_table.add_row({util::fmt(x, 3), util::fmt(p, 3), util::bar(p, 30)});
+  }
+  gap_table.render(std::cout);
+
+  const double under_140 = payload_cdf.evaluate(140.0);
+  const double at_mtu = 1.0 - payload_cdf.evaluate(1459.0);
+  std::cout << "\npaper:    >50% of payloads <= 140B; ~20% at 1460-1480B; "
+               "most gaps < 0.5s\n";
+  std::cout << "measured: P(size<=140B) = " << util::fmt_percent(under_140)
+            << "; P(size>=1460B) = " << util::fmt_percent(at_mtu)
+            << "; P(gap<=0.5s) = "
+            << util::fmt_percent(gap_cdf.evaluate(0.5)) << '\n';
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main() { return iustitia::bench::run(); }

@@ -1,0 +1,85 @@
+// Forensics: the paper's law-enforcement use case (Section 1.1).
+// Identify text flows on the wire and run keyword searches only on them
+// (human communications), while logging binary flows for copyright
+// enforcement review — without deep-inspecting everything.
+//
+// Run:  ./forensics_scan
+#include <iostream>
+#include <string>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "dpi/aho_corasick.h"
+#include "net/flow_table.h"
+#include "net/trace_gen.h"
+#include "util/table.h"
+
+using namespace iustitia;
+
+int main() {
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 60;
+  corpus_options.seed = 31;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  core::TrainerOptions trainer;
+  trainer.backend = core::Backend::kCart;
+  trainer.widths = entropy::cart_preferred_widths();
+  trainer.method = core::TrainingMethod::kFirstBytes;
+  trainer.buffer_size = 64;
+  core::FlowNatureModel model = core::train_model(corpus, trainer);
+
+  net::TraceOptions trace_options;
+  trace_options.target_packets = 40000;
+  trace_options.seed = 32;
+  const net::Trace trace = net::generate_trace(trace_options);
+
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 64;
+  core::Iustitia engine(std::move(model), engine_options);
+  net::FlowTable flows(2048);  // retains flow prefixes for the evidence log
+  for (const net::Packet& packet : trace.packets) {
+    engine.on_packet(packet);
+    flows.add(packet);
+  }
+  engine.flush_all();
+
+  // Keyword sweep over *text* flows only, via the Aho-Corasick matcher
+  // (all keywords in one pass per flow).
+  const dpi::AhoCorasick keywords(
+      {"question", "network", "account", "schedule"});
+  std::size_t text_flows = 0, binary_flows = 0, hits = 0;
+  std::uint64_t scanned_bytes = 0, skipped_bytes = 0;
+  for (const auto& [key, record] : flows.flows()) {
+    const auto label = engine.label_of(key);
+    if (!label.has_value()) continue;
+    if (*label == datagen::FileClass::kText) {
+      ++text_flows;
+      scanned_bytes += record.prefix.size();
+      hits += keywords.contains_any(record.prefix);
+    } else {
+      skipped_bytes += record.prefix.size();
+      binary_flows += (*label == datagen::FileClass::kBinary);
+    }
+  }
+
+  util::Table table({"metric", "value"});
+  table.add_row({"flows classified",
+                 std::to_string(engine.stats().flows_classified)});
+  table.add_row({"text flows keyword-scanned", std::to_string(text_flows)});
+  table.add_row({"flows with keyword hits", std::to_string(hits)});
+  table.add_row({"binary flows logged for review",
+                 std::to_string(binary_flows)});
+  table.add_row({"bytes scanned",
+                 util::fmt_bytes(static_cast<double>(scanned_bytes))});
+  table.add_row({"bytes skipped (non-text)",
+                 util::fmt_bytes(static_cast<double>(skipped_bytes))});
+  table.render(std::cout);
+
+  std::cout << "\nkeyword search ran on "
+            << util::fmt_percent(
+                   static_cast<double>(scanned_bytes) /
+                   static_cast<double>(scanned_bytes + skipped_bytes))
+            << " of the retained bytes — the rest was excluded by nature "
+               "classification alone.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// IDS/IPS pre-filter: the paper's performance-improvement use case
+// (Section 1.1).  Instead of matching every signature on every flow, the
+// nature classifier routes binary flows to binary attack signatures and
+// text flows to text signatures, and encrypted flows past deep inspection
+// entirely — cutting signature-matching work substantially.
+//
+// The signature engine is a real Aho-Corasick matcher (src/dpi/), so the
+// "work saved" is measured wall-clock scan time, not a cost model.
+//
+// Run:  ./ids_prefilter
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "dpi/signature_set.h"
+#include "net/trace_gen.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace iustitia;
+
+int main() {
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 60;
+  corpus_options.seed = 21;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  core::TrainerOptions trainer;
+  trainer.backend = core::Backend::kSvm;
+  trainer.widths = entropy::svm_preferred_widths();
+  trainer.method = core::TrainingMethod::kFirstBytes;
+  trainer.buffer_size = 32;
+  trainer.svm.gamma = 50.0;
+  trainer.svm.c = 1000.0;
+  core::FlowNatureModel model = core::train_model(corpus, trainer);
+
+  net::TraceOptions trace_options;
+  trace_options.target_packets = 40000;
+  trace_options.seed = 22;
+  const net::Trace trace = net::generate_trace(trace_options);
+
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 32;
+  core::Iustitia engine(std::move(model), engine_options);
+
+  util::Rng rng(23);
+  const dpi::SignatureEngine ids = dpi::SignatureEngine::generate(
+      /*text_rules=*/1200, /*binary_rules=*/1800, rng);
+  std::cout << "signature engine: " << ids.text_rule_count()
+            << " text rules + " << ids.binary_rule_count()
+            << " binary rules ("
+            << ids.combined_matcher().state_count() << " combined states)\n";
+
+  // Pass 1 (baseline): every data packet through the combined rule set.
+  // Pass 2 (prefiltered): classify first, then route to the per-nature
+  // rule set; encrypted payloads skip DPI entirely.
+  std::uint64_t baseline_alerts = 0, routed_alerts = 0;
+  std::uint64_t bytes_per_class[3] = {};
+  double baseline_micros = 0.0, routed_micros = 0.0;
+  for (const net::Packet& packet : trace.packets) {
+    engine.on_packet(packet);
+    if (!packet.is_data()) continue;
+
+    util::Stopwatch baseline_timer;
+    baseline_alerts += ids.combined_matcher().contains_any(packet.payload);
+    baseline_micros += baseline_timer.elapsed_micros();
+
+    const auto label = engine.label_of(packet.key);
+    if (!label.has_value()) continue;  // still buffering: handled post hoc
+    bytes_per_class[static_cast<int>(*label)] += packet.payload.size();
+    util::Stopwatch routed_timer;
+    switch (*label) {
+      case datagen::FileClass::kText:
+        routed_alerts += ids.text_matcher().contains_any(packet.payload);
+        break;
+      case datagen::FileClass::kBinary:
+        routed_alerts += ids.binary_matcher().contains_any(packet.payload);
+        break;
+      case datagen::FileClass::kEncrypted:
+        break;  // ciphertext cannot match content signatures
+    }
+    routed_micros += routed_timer.elapsed_micros();
+  }
+  engine.flush_all();
+
+  util::Table table({"pipeline", "scan time", "alerts"});
+  table.add_row({"all rules on all packets",
+                 util::fmt_seconds(baseline_micros * 1e-6),
+                 std::to_string(baseline_alerts)});
+  table.add_row({"nature-routed rules",
+                 util::fmt_seconds(routed_micros * 1e-6),
+                 std::to_string(routed_alerts)});
+  table.render(std::cout);
+
+  std::cout << "\nclassified " << engine.stats().flows_classified
+            << " flows; inspected bytes: text "
+            << util::fmt_bytes(static_cast<double>(bytes_per_class[0]))
+            << ", binary "
+            << util::fmt_bytes(static_cast<double>(bytes_per_class[1]))
+            << ", encrypted (skipped DPI) "
+            << util::fmt_bytes(static_cast<double>(bytes_per_class[2]))
+            << '\n';
+  std::cout << "signature-matching time saved: "
+            << util::fmt_percent(1.0 - routed_micros / baseline_micros)
+            << '\n';
+  return 0;
+}

@@ -1,0 +1,115 @@
+// QoS scheduling: the paper's first motivation (Section 1.1).  "Among the
+// traffic to/from the bank network, the ISP may give higher priority to
+// the encrypted flows because they most likely carry banking
+// transactions."
+//
+// This example routes classified packets into per-nature output queues
+// (Fig. 1's LQ blocks) and drains them with a strict-priority scheduler at
+// a fixed line rate, comparing per-class queueing delay against a FIFO
+// baseline.
+//
+// Run:  ./qos_scheduler
+#include <iostream>
+
+#include "core/engine.h"
+#include "core/output_queues.h"
+#include "core/trainer.h"
+#include "net/trace_gen.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace iustitia;
+
+int main() {
+  // Train the classifier.
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 60;
+  corpus_options.seed = 81;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  core::TrainerOptions trainer;
+  trainer.backend = core::Backend::kCart;
+  trainer.widths = entropy::cart_preferred_widths();
+  trainer.method = core::TrainingMethod::kFirstBytes;
+  trainer.buffer_size = 32;
+  core::FlowNatureModel model = core::train_model(corpus, trainer);
+
+  net::TraceOptions trace_options;
+  trace_options.target_packets = 50000;
+  trace_options.seed = 82;
+  const net::Trace trace = net::generate_trace(trace_options);
+
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 32;
+  core::Iustitia engine(std::move(model), engine_options);
+
+  // The "bank" policy: encrypted > binary > text.
+  const datagen::FileClass priority[] = {datagen::FileClass::kEncrypted,
+                                         datagen::FileClass::kBinary,
+                                         datagen::FileClass::kText};
+  core::OutputQueues queues(/*capacity=*/512);
+
+  // Serve packets at a line rate below the offered rate so queues build up
+  // and the scheduling policy matters.
+  const double offered_rate = static_cast<double>(trace.packets.size()) /
+                              trace.duration_seconds;
+  const double service_rate = offered_rate * 0.9;
+  const double service_interval = 1.0 / service_rate;
+
+  util::RunningStats delay_priority[3], delay_fifo[3];
+  std::deque<core::QueuedPacket> fifo;
+  double next_service = 0.0;
+
+  for (const net::Packet& packet : trace.packets) {
+    engine.on_packet(packet);
+    // Drain both disciplines up to the current trace time BEFORE enqueuing
+    // this packet (a packet cannot be served before it arrives).
+    while (next_service <= packet.timestamp) {
+      const auto served = queues.dequeue_priority(priority);
+      const bool fifo_has = !fifo.empty();
+      if (!served.has_value() && !fifo_has) {
+        // Idle server: fast-forward, otherwise later packets would appear
+        // to be served before they arrived.
+        next_service = packet.timestamp;
+        break;
+      }
+      if (served.has_value()) {
+        delay_priority[static_cast<int>(served->label)].add(
+            next_service - served->packet.timestamp);
+      }
+      if (fifo_has) {
+        const core::QueuedPacket& head = fifo.front();
+        delay_fifo[static_cast<int>(head.label)].add(next_service -
+                                                     head.packet.timestamp);
+        fifo.pop_front();
+      }
+      next_service += service_interval;
+    }
+
+    const auto label = engine.label_of(packet.key);
+    if (packet.is_data() && label.has_value()) {
+      queues.enqueue(*label, packet);
+      if (fifo.size() < 3 * 512) {
+        fifo.push_back(core::QueuedPacket{packet, *label});
+      }
+    }
+  }
+  engine.flush_all();
+
+  util::Table table({"class", "FIFO mean delay", "priority mean delay",
+                     "served (priority)", "dropped (priority)"});
+  static constexpr const char* kNames[3] = {"text", "binary", "encrypted"};
+  for (int c = 2; c >= 0; --c) {
+    const auto label = static_cast<datagen::FileClass>(c);
+    table.add_row({kNames[c],
+                   util::fmt_seconds(delay_fifo[c].mean()),
+                   util::fmt_seconds(delay_priority[c].mean()),
+                   std::to_string(delay_priority[c].count()),
+                   std::to_string(queues.dropped(label))});
+  }
+  table.render(std::cout);
+
+  std::cout << "\nstrict priority (encrypted > binary > text) at 90% line "
+               "rate: encrypted traffic sees the lowest queueing delay, "
+               "paid for by the text queue — the paper's bank scenario.\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Quickstart: train a flow-nature model and classify a few byte streams.
+//
+// Demonstrates the minimal Iustitia workflow:
+//   1. build (or bring) a labeled corpus of text/binary/encrypted content,
+//   2. train a model on first-b-byte entropy vectors (the paper's H_b
+//      method, which makes 32-byte buffers work),
+//   3. classify raw byte windows and inspect the entropy features.
+//
+// Run:  ./quickstart
+#include <iostream>
+#include <string>
+
+#include "core/trainer.h"
+#include "datagen/corpus.h"
+#include "util/table.h"
+
+using namespace iustitia;
+
+int main() {
+  // 1. A small synthetic corpus (substitute your own labeled files here).
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 60;
+  corpus_options.seed = 42;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  std::cout << "corpus: " << corpus.size() << " files, 3 classes\n";
+
+  // 2. Train an SVM-RBF model on 32-byte prefixes with the paper's
+  //    preferred feature set {h1, h2, h3, h5}.
+  core::TrainerOptions options;
+  options.backend = core::Backend::kSvm;
+  options.widths = entropy::svm_preferred_widths();
+  options.method = core::TrainingMethod::kFirstBytes;
+  options.buffer_size = 32;
+  options.svm.gamma = 50.0;
+  options.svm.c = 1000.0;
+  core::FlowNatureModel model = core::train_model(corpus, options);
+  std::cout << "trained " << core::backend_name(model.backend())
+            << " model, " << model.model_space_bytes() << " bytes\n\n";
+
+  // 3. Classify three hand-made 32-byte windows.
+  util::Rng rng(7);
+  const std::string prose = "The gateway forwards packets to the";
+  std::vector<std::uint8_t> text_window(prose.begin(), prose.end());
+  text_window.resize(32);
+
+  const datagen::FileSample zip =
+      datagen::generate_file(datagen::FileClass::kBinary, 4096, rng);
+  std::vector<std::uint8_t> binary_window(zip.bytes.begin(),
+                                          zip.bytes.begin() + 32);
+
+  std::vector<std::uint8_t> encrypted_window(32);
+  rng.fill_bytes(encrypted_window);  // stand-in for ciphertext
+
+  util::Table table({"window", "h1", "h2", "h3", "h5", "predicted nature"});
+  const char* names[] = {"English prose", "ZIP-like binary",
+                         "random/ciphertext"};
+  const std::vector<std::uint8_t>* windows[] = {&text_window, &binary_window,
+                                                &encrypted_window};
+  for (int i = 0; i < 3; ++i) {
+    core::Classification result = model.classify(*windows[i]);
+    table.add_row({names[i], util::fmt(result.features[0], 3),
+                   util::fmt(result.features[1], 3),
+                   util::fmt(result.features[2], 3),
+                   util::fmt(result.features[3], 3),
+                   datagen::class_name(result.label)});
+  }
+  table.render(std::cout);
+  std::cout << "\nEach prediction cost ~hundreds of microseconds and ~200 "
+               "bytes of counter space at b=32 (paper Table 3).\n";
+  return 0;
+}

@@ -1,0 +1,126 @@
+#include "appproto/header_gen.h"
+
+#include "datagen/markov_text.h"
+
+namespace iustitia::appproto {
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+std::string host(util::Rng& rng) {
+  return datagen::random_word(rng, 3, 8) + "." +
+         datagen::random_word(rng, 4, 9) + ".example.com";
+}
+
+}  // namespace
+
+const char* protocol_name(AppProtocol p) noexcept {
+  switch (p) {
+    case AppProtocol::kNone:
+      return "none";
+    case AppProtocol::kHttp:
+      return "http";
+    case AppProtocol::kSmtp:
+      return "smtp";
+    case AppProtocol::kPop3:
+      return "pop3";
+    case AppProtocol::kImap:
+      return "imap";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> generate_http_response_header(
+    util::Rng& rng, std::size_t content_length) {
+  static constexpr const char* kTypes[] = {
+      "text/html", "image/jpeg", "application/octet-stream", "video/mpeg",
+      "application/zip"};
+  std::string h = "HTTP/1.1 200 OK\r\n";
+  h += "Date: Tue, 10 Mar 2009 1";
+  h += std::to_string(rng.uniform_int(0, 9));
+  h += ":24:5" + std::to_string(rng.uniform_int(0, 9)) + " GMT\r\n";
+  h += "Server: Apache/2.2." + std::to_string(rng.uniform_int(3, 11)) +
+       " (Unix)\r\n";
+  h += "Content-Type: ";
+  h += kTypes[rng.next_below(std::size(kTypes))];
+  h += "\r\n";
+  h += "Content-Length: " + std::to_string(content_length) + "\r\n";
+  if (rng.chance(0.5)) h += "Connection: keep-alive\r\n";
+  if (rng.chance(0.4)) {
+    h += "ETag: \"" + std::to_string(rng.next_u64() & 0xFFFFFFFF) + "\"\r\n";
+  }
+  h += "\r\n";
+  return to_bytes(h);
+}
+
+std::vector<std::uint8_t> generate_http_request_header(util::Rng& rng) {
+  std::string h = rng.chance(0.8) ? "GET /" : "POST /";
+  h += datagen::random_word(rng, 3, 8) + "/" +
+       datagen::random_word(rng, 3, 10);
+  h += rng.chance(0.5) ? ".html" : ".jpg";
+  h += " HTTP/1.1\r\n";
+  h += "Host: " + host(rng) + "\r\n";
+  h += "User-Agent: Mozilla/5.0 (X11; Linux x86_64)\r\n";
+  h += "Accept: */*\r\n";
+  if (rng.chance(0.5)) h += "Accept-Encoding: gzip, deflate\r\n";
+  h += "\r\n";
+  return to_bytes(h);
+}
+
+std::vector<std::uint8_t> generate_smtp_preamble(util::Rng& rng) {
+  std::string h = "220 " + host(rng) + " ESMTP Postfix\r\n";
+  h += "EHLO " + host(rng) + "\r\n";
+  h += "250-" + host(rng) + "\r\n250-PIPELINING\r\n250 8BITMIME\r\n";
+  h += "MAIL FROM:<" + datagen::random_word(rng, 3, 8) + "@" + host(rng) +
+       ">\r\n250 2.1.0 Ok\r\n";
+  h += "RCPT TO:<" + datagen::random_word(rng, 3, 8) + "@" + host(rng) +
+       ">\r\n250 2.1.5 Ok\r\n";
+  h += "DATA\r\n354 End data with <CR><LF>.<CR><LF>\r\n";
+  return to_bytes(h);
+}
+
+std::vector<std::uint8_t> generate_pop3_preamble(util::Rng& rng) {
+  std::string h = "+OK POP3 server ready <" +
+                  std::to_string(rng.next_u64() & 0xFFFFFF) + "@" + host(rng) +
+                  ">\r\n";
+  h += "USER " + datagen::random_word(rng, 3, 8) + "\r\n+OK\r\n";
+  h += "PASS ****\r\n+OK user logged in\r\n";
+  h += "RETR " + std::to_string(rng.uniform_int(1, 40)) + "\r\n+OK " +
+       std::to_string(rng.uniform_int(500, 90000)) + " octets\r\n";
+  return to_bytes(h);
+}
+
+std::vector<std::uint8_t> generate_imap_preamble(util::Rng& rng) {
+  std::string h = "* OK [CAPABILITY IMAP4rev1] " + host(rng) +
+                  " IMAP server ready\r\n";
+  h += "a1 LOGIN " + datagen::random_word(rng, 3, 8) + " ****\r\na1 OK\r\n";
+  h += "a2 SELECT INBOX\r\n* " + std::to_string(rng.uniform_int(1, 900)) +
+       " EXISTS\r\na2 OK [READ-WRITE]\r\n";
+  h += "a3 FETCH " + std::to_string(rng.uniform_int(1, 900)) +
+       " BODY[]\r\n";
+  return to_bytes(h);
+}
+
+std::vector<std::uint8_t> generate_header(AppProtocol protocol, util::Rng& rng,
+                                          std::size_t content_length) {
+  switch (protocol) {
+    case AppProtocol::kNone:
+      return {};
+    case AppProtocol::kHttp:
+      return rng.chance(0.7)
+                 ? generate_http_response_header(rng, content_length)
+                 : generate_http_request_header(rng);
+    case AppProtocol::kSmtp:
+      return generate_smtp_preamble(rng);
+    case AppProtocol::kPop3:
+      return generate_pop3_preamble(rng);
+    case AppProtocol::kImap:
+      return generate_imap_preamble(rng);
+  }
+  return {};
+}
+
+}  // namespace iustitia::appproto

@@ -1,0 +1,45 @@
+// Application-layer header generation (paper Section 4.3).
+//
+// Many flows open with a textual protocol preamble (an HTTP response before
+// a JPEG, an SMTP dialogue before a MIME part, ...), which would bias a
+// prefix-based classifier.  These generators synthesize realistic headers
+// for the four protocols the paper names (HTTP, SMTP, IMAP, POP) so the
+// stripper and the H_b' training method can be exercised end to end.
+#ifndef IUSTITIA_APPPROTO_HEADER_GEN_H_
+#define IUSTITIA_APPPROTO_HEADER_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::appproto {
+
+enum class AppProtocol { kNone, kHttp, kSmtp, kPop3, kImap };
+
+const char* protocol_name(AppProtocol p) noexcept;
+
+// HTTP/1.1 response header (status line + typical fields + CRLF CRLF).
+std::vector<std::uint8_t> generate_http_response_header(
+    util::Rng& rng, std::size_t content_length);
+
+// HTTP/1.1 request header (GET/POST + host + typical fields).
+std::vector<std::uint8_t> generate_http_request_header(util::Rng& rng);
+
+// SMTP server banner + a short command/response prefix.
+std::vector<std::uint8_t> generate_smtp_preamble(util::Rng& rng);
+
+// POP3 greeting + a short command prefix.
+std::vector<std::uint8_t> generate_pop3_preamble(util::Rng& rng);
+
+// IMAP greeting + a short command prefix.
+std::vector<std::uint8_t> generate_imap_preamble(util::Rng& rng);
+
+// Header for the given protocol (kNone yields an empty vector).
+std::vector<std::uint8_t> generate_header(AppProtocol protocol, util::Rng& rng,
+                                          std::size_t content_length = 0);
+
+}  // namespace iustitia::appproto
+
+#endif  // IUSTITIA_APPPROTO_HEADER_GEN_H_

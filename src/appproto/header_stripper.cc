@@ -1,0 +1,127 @@
+#include "appproto/header_stripper.h"
+
+#include <cctype>
+#include <string_view>
+
+namespace iustitia::appproto {
+
+namespace {
+
+std::string_view as_text(std::span<const std::uint8_t> bytes) noexcept {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool is_http_start(std::string_view t) noexcept {
+  return starts_with(t, "HTTP/1.") || starts_with(t, "GET ") ||
+         starts_with(t, "POST ") || starts_with(t, "HEAD ") ||
+         starts_with(t, "PUT ") || starts_with(t, "DELETE ") ||
+         starts_with(t, "OPTIONS ");
+}
+
+// One CRLF-terminated line starting at `at`; npos length when no CRLF yet.
+std::size_t line_length(std::string_view text, std::size_t at) noexcept {
+  const std::size_t end = text.find("\r\n", at);
+  return end == std::string_view::npos ? std::string_view::npos
+                                       : end + 2 - at;
+}
+
+bool is_smtp_line(std::string_view line) noexcept {
+  if (line.size() >= 4 && std::isdigit(static_cast<unsigned char>(line[0])) &&
+      std::isdigit(static_cast<unsigned char>(line[1])) &&
+      std::isdigit(static_cast<unsigned char>(line[2])) &&
+      (line[3] == ' ' || line[3] == '-')) {
+    return true;  // reply line, e.g. "250-..." / "354 ..."
+  }
+  return starts_with(line, "EHLO ") || starts_with(line, "HELO ") ||
+         starts_with(line, "MAIL FROM:") || starts_with(line, "RCPT TO:") ||
+         starts_with(line, "DATA");
+}
+
+bool is_pop3_line(std::string_view line) noexcept {
+  return starts_with(line, "+OK") || starts_with(line, "-ERR") ||
+         starts_with(line, "USER ") || starts_with(line, "PASS ") ||
+         starts_with(line, "RETR ") || starts_with(line, "LIST") ||
+         starts_with(line, "STAT") || starts_with(line, "DELE ") ||
+         starts_with(line, "QUIT");
+}
+
+bool is_imap_line(std::string_view line) noexcept {
+  if (starts_with(line, "* ")) return true;
+  // Tagged line: short alphanumeric tag followed by a space.
+  std::size_t i = 0;
+  while (i < line.size() && i < 8 &&
+         std::isalnum(static_cast<unsigned char>(line[i]))) {
+    ++i;
+  }
+  return i > 0 && i < line.size() && line[i] == ' ';
+}
+
+// Walks CRLF lines while `matches` accepts them; fills the detection.
+HeaderDetection scan_lines(std::string_view text, AppProtocol protocol,
+                           bool (*matches)(std::string_view)) noexcept {
+  HeaderDetection det;
+  det.protocol = protocol;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    const std::size_t len = line_length(text, at);
+    if (len == std::string_view::npos) {
+      // Final partial line: if it still looks like protocol chatter we
+      // cannot tell where the header ends yet.
+      if (matches(text.substr(at))) {
+        det.header_length = text.size();
+        det.header_complete = false;
+        return det;
+      }
+      break;
+    }
+    if (!matches(text.substr(at, len - 2))) break;
+    at += len;
+  }
+  det.header_length = at;
+  det.header_complete = true;
+  return det;
+}
+
+}  // namespace
+
+HeaderDetection detect_header(std::span<const std::uint8_t> prefix) noexcept {
+  HeaderDetection det;
+  const std::string_view text = as_text(prefix);
+  if (text.empty()) return det;
+
+  if (is_http_start(text)) {
+    det.protocol = AppProtocol::kHttp;
+    const std::size_t end = text.find("\r\n\r\n");
+    if (end == std::string_view::npos) {
+      det.header_length = text.size();
+      det.header_complete = false;
+    } else {
+      det.header_length = end + 4;
+      det.header_complete = true;
+    }
+    return det;
+  }
+  if (starts_with(text, "220 ") || starts_with(text, "220-")) {
+    return scan_lines(text, AppProtocol::kSmtp, &is_smtp_line);
+  }
+  if (starts_with(text, "+OK")) {
+    return scan_lines(text, AppProtocol::kPop3, &is_pop3_line);
+  }
+  if (starts_with(text, "* OK")) {
+    return scan_lines(text, AppProtocol::kImap, &is_imap_line);
+  }
+  return det;
+}
+
+std::span<const std::uint8_t> strip_header(
+    std::span<const std::uint8_t> prefix) noexcept {
+  const HeaderDetection det = detect_header(prefix);
+  return prefix.subspan(det.header_length);
+}
+
+}  // namespace iustitia::appproto

@@ -1,0 +1,38 @@
+// Signature-based application-layer header detection and stripping
+// (paper Section 4.3: "for headers of well-known application protocols,
+// such as HTTP, SMTP, IMAP, and POP, ... our classifier strips them off
+// using signature based header detection techniques").
+#ifndef IUSTITIA_APPPROTO_HEADER_STRIPPER_H_
+#define IUSTITIA_APPPROTO_HEADER_STRIPPER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "appproto/header_gen.h"
+
+namespace iustitia::appproto {
+
+// Detection result: which protocol the prefix matches and how many bytes
+// of it are protocol header.
+struct HeaderDetection {
+  AppProtocol protocol = AppProtocol::kNone;
+  std::size_t header_length = 0;  // bytes to strip (0 when kNone)
+  bool header_complete = false;   // false if the delimiter wasn't seen yet
+};
+
+// Inspects the flow prefix and locates a well-known application header.
+//
+// HTTP headers end at the first CRLF CRLF; the line-oriented mail protocols
+// (SMTP/POP3/IMAP) are stripped through the last *protocol* line in the
+// prefix — for SMTP that means everything through the DATA/354 exchange.
+// When the signature matches but the delimiter is not in `prefix` yet,
+// `header_complete` is false and `header_length` covers the whole prefix.
+HeaderDetection detect_header(std::span<const std::uint8_t> prefix) noexcept;
+
+// Convenience: payload view with a detected header removed.
+std::span<const std::uint8_t> strip_header(
+    std::span<const std::uint8_t> prefix) noexcept;
+
+}  // namespace iustitia::appproto
+
+#endif  // IUSTITIA_APPPROTO_HEADER_STRIPPER_H_

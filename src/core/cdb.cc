@@ -1,0 +1,80 @@
+#include "core/cdb.h"
+
+namespace iustitia::core {
+
+ClassificationDatabase::ClassificationDatabase(const CdbOptions& options)
+    : options_(options) {}
+
+std::optional<datagen::FileClass> ClassificationDatabase::lookup(
+    const net::FlowId& id, double now) {
+  ++stats_.lookups;
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  ++stats_.hits;
+  Record& record = it->second;
+  record.lambda = now - record.last_arrival;
+  record.has_lambda = true;
+  record.last_arrival = now;
+  return record.label;
+}
+
+std::optional<datagen::FileClass> ClassificationDatabase::peek(
+    const net::FlowId& id) const {
+  const auto it = records_.find(id);
+  if (it == records_.end()) return std::nullopt;
+  return it->second.label;
+}
+
+void ClassificationDatabase::insert(const net::FlowId& id,
+                                    datagen::FileClass label, double now) {
+  Record record;
+  record.label = label;
+  record.last_arrival = now;
+  record.created_at = now;
+  record.lambda = options_.default_lambda;
+  record.has_lambda = false;
+  records_[id] = record;
+  ++stats_.inserts;
+  ++inserts_since_purge_;
+}
+
+void ClassificationDatabase::remove_on_close(const net::FlowId& id) {
+  if (!options_.fin_rst_removal_enabled) return;
+  if (records_.erase(id) > 0) ++stats_.fin_rst_removals;
+}
+
+void ClassificationDatabase::maybe_purge(double now) {
+  if (!options_.inactivity_purge_enabled) return;
+  if (inserts_since_purge_ < options_.purge_trigger_flows) return;
+  purge(now);
+  inserts_since_purge_ = 0;
+}
+
+std::size_t ClassificationDatabase::purge(double now) {
+  if (!options_.inactivity_purge_enabled) return 0;
+  ++stats_.purge_runs;
+  std::size_t inactive = 0;
+  std::size_t stale = 0;
+  for (auto it = records_.begin(); it != records_.end();) {
+    const Record& record = it->second;
+    const double lambda =
+        record.has_lambda ? record.lambda : options_.default_lambda;
+    if (now - record.last_arrival >
+        options_.inactivity_coefficient * lambda) {
+      it = records_.erase(it);
+      ++inactive;
+    } else if (options_.reclassify_after_seconds > 0.0 &&
+               now - record.created_at > options_.reclassify_after_seconds) {
+      // Section 4.6: force periodic reclassification of long-lived flows.
+      it = records_.erase(it);
+      ++stale;
+    } else {
+      ++it;
+    }
+  }
+  stats_.inactivity_removals += inactive;
+  stats_.reclassification_removals += stale;
+  return inactive + stale;
+}
+
+}  // namespace iustitia::core

@@ -1,0 +1,82 @@
+// Classification Database (CDB), paper Fig. 1 and Section 4.5.
+//
+// Maps 160-bit flow IDs to nature labels.  Each record stores the label,
+// the last packet arrival time, and lambda' (the inter-arrival gap of the
+// flow's last two packets); the paper charges 194 bits per record (160-bit
+// SHA-1 + 32-bit lambda' + 2-bit label).  Records leave the table three
+// ways: explicit FIN/RST removal, the inactivity rule
+// t_now - t_last > n * lambda', and never (when purging is disabled, the
+// Fig. 8 baseline).
+#ifndef IUSTITIA_CORE_CDB_H_
+#define IUSTITIA_CORE_CDB_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "datagen/corpus.h"
+#include "net/flow.h"
+
+namespace iustitia::core {
+
+// Lifetime counters for the CDB experiments.
+struct CdbStats {
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t fin_rst_removals = 0;
+  std::uint64_t inactivity_removals = 0;
+  std::uint64_t reclassification_removals = 0;
+  std::uint64_t purge_runs = 0;
+};
+
+class ClassificationDatabase {
+ public:
+  explicit ClassificationDatabase(const CdbOptions& options = {});
+
+  // Looks up a flow; on a hit refreshes t_last and lambda'.
+  std::optional<datagen::FileClass> lookup(const net::FlowId& id, double now);
+
+  // Read-only lookup that does not touch timing state (for inspection).
+  std::optional<datagen::FileClass> peek(const net::FlowId& id) const;
+
+  // Inserts (or overwrites) a freshly classified flow.
+  void insert(const net::FlowId& id, datagen::FileClass label, double now);
+
+  // FIN/RST handler: removes the flow if present (no-op when disabled).
+  void remove_on_close(const net::FlowId& id);
+
+  // Called once per new flow insertion by the engine; runs the inactivity
+  // purge when the insert counter crosses the configured trigger.
+  void maybe_purge(double now);
+
+  // Unconditional inactivity purge; returns records removed.
+  std::size_t purge(double now);
+
+  std::size_t size() const noexcept { return records_.size(); }
+
+  // Memory footprint using the paper's 194-bit record accounting.
+  std::uint64_t memory_bits() const noexcept { return size() * 194; }
+
+  const CdbStats& stats() const noexcept { return stats_; }
+  const CdbOptions& options() const noexcept { return options_; }
+
+ private:
+  struct Record {
+    datagen::FileClass label = datagen::FileClass::kText;
+    double last_arrival = 0.0;
+    double created_at = 0.0;  // classification time (reclassification rule)
+    double lambda = 0.0;      // inter-arrival of the last two packets
+    bool has_lambda = false;
+  };
+
+  CdbOptions options_;
+  std::unordered_map<net::FlowId, Record> records_;
+  std::size_t inserts_since_purge_ = 0;
+  CdbStats stats_;
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_CDB_H_

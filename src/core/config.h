@@ -1,0 +1,53 @@
+// Configuration of the online Iustitia classifier (Fig. 1).
+#ifndef IUSTITIA_CORE_CONFIG_H_
+#define IUSTITIA_CORE_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "entropy/estimator.h"
+
+namespace iustitia::core {
+
+// Classification Database knobs (paper Section 4.5).
+struct CdbOptions {
+  // A flow is obsolete when t_now - t_last > n * lambda'.
+  double inactivity_coefficient = 4.0;  // the paper's optimal n
+  // lambda' for flows that have seen only one packet.
+  double default_lambda = 0.5;  // seconds
+  // Run the inactivity purge each time this many flows were inserted since
+  // the last purge (paper: 5,000).
+  std::size_t purge_trigger_flows = 5000;
+  // Disable to reproduce the "CDB size w/o purging" series of Fig. 8.
+  bool inactivity_purge_enabled = true;
+  // FIN/RST-driven removal (can be disabled for ablation).
+  bool fin_rst_removal_enabled = true;
+  // Section 4.6 defense: periodically delete the CDB record of a flow that
+  // has been classified for this long, forcing reclassification on fresh
+  // mid-flow content (counters padding-prefix evasion).  0 disables.
+  double reclassify_after_seconds = 0.0;
+};
+
+// Online engine knobs.
+struct EngineOptions {
+  // Payload bytes buffered per new flow before classification (b).
+  std::size_t buffer_size = 32;
+  // Maximum application-layer header bytes to skip (T).  0 disables
+  // skipping.  When stripping is enabled and a known header is detected,
+  // the detected length is skipped instead of T.
+  std::size_t header_threshold = 0;
+  bool strip_known_headers = true;
+  // Section 4.6 defense: additionally skip a per-flow random number of
+  // bytes in [0, random_skip_max] before buffering, so an attacker cannot
+  // know which window the classifier will see.  0 disables.
+  std::size_t random_skip_max = 0;
+  // Seed for the engine's per-flow randomness (random skip).
+  std::uint64_t seed = 0x1057;
+  // Classify on whatever is buffered once a flow has been quiet this long.
+  double buffer_timeout_seconds = 5.0;
+  CdbOptions cdb;
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_CONFIG_H_

@@ -1,0 +1,209 @@
+#include "core/engine.h"
+
+#include <algorithm>
+
+#include "appproto/header_stripper.h"
+#include "util/timer.h"
+
+namespace iustitia::core {
+
+namespace {
+
+// Bound on how long we wait for an incomplete-but-recognized application
+// header before giving up and classifying from the threshold.
+constexpr std::size_t kMaxHeaderWait = 8192;
+
+}  // namespace
+
+Iustitia::Iustitia(FlowNatureModel model, const EngineOptions& options)
+    : model_(std::move(model)),
+      options_(options),
+      cdb_(options.cdb),
+      rng_(options.seed) {}
+
+bool Iustitia::resolve_skip(PendingFlow& flow) {
+  if (flow.skip_resolved) return true;
+  // No payload yet (e.g. only a SYN seen): detection must wait, otherwise
+  // an empty prefix would resolve to "no known header" prematurely.
+  if (flow.raw.empty()) return false;
+  if (options_.strip_known_headers) {
+    const appproto::HeaderDetection det = appproto::detect_header(flow.raw);
+    if (det.protocol != appproto::AppProtocol::kNone) {
+      if (det.header_complete) {
+        flow.skip = det.header_length + flow.random_skip;
+        flow.skip_resolved = true;
+        return true;
+      }
+      // Recognized protocol but delimiter not seen yet: wait for more
+      // payload (bounded).
+      if (flow.raw.size() < kMaxHeaderWait) return false;
+      flow.skip = det.header_length + flow.random_skip;
+      flow.skip_resolved = true;
+      return true;
+    }
+  }
+  // Unknown header: skip the configured threshold T.
+  flow.skip = options_.header_threshold + flow.random_skip;
+  flow.skip_resolved = true;
+  return true;
+}
+
+bool Iustitia::buffer_full(const PendingFlow& flow) const noexcept {
+  return flow.skip_resolved &&
+         flow.raw.size() >= flow.skip + options_.buffer_size;
+}
+
+PacketAction Iustitia::on_packet(const net::Packet& packet) {
+  ++stats_.packets;
+  if (packet.is_data()) ++stats_.data_packets;
+  const double now = packet.timestamp;
+
+  // tau_hash: header hash calculation (Fig. 1, "Header Hash Calculator").
+  const util::Stopwatch hash_timer;
+  const net::FlowId id = net::flow_id(packet.key);
+  const double hash_micros = hash_timer.elapsed_micros();
+
+  // tau_CDBsearch.
+  const util::Stopwatch cdb_timer;
+  const std::optional<datagen::FileClass> known = cdb_.lookup(id, now);
+  const double cdb_micros = cdb_timer.elapsed_micros();
+
+  if (known.has_value()) {
+    ++stats_.queue_packets[static_cast<std::size_t>(*known)];
+    if (packet.flags.fin || packet.flags.rst) {
+      cdb_.remove_on_close(id);
+    }
+    return PacketAction::kForwarded;
+  }
+
+  // Unknown flow: buffer payload.
+  auto [it, inserted] = pending_.try_emplace(packet.key);
+  PendingFlow& flow = it->second;
+  if (inserted) {
+    flow.last_packet_at = now;
+    if (options_.random_skip_max > 0) {
+      flow.random_skip = static_cast<std::size_t>(
+          rng_.next_below(options_.random_skip_max + 1));
+    }
+  }
+  flow.hash_micros += hash_micros;
+  flow.cdb_micros += cdb_micros;
+  ++flow.measures;
+  flow.last_packet_at = now;
+
+  PacketAction action = PacketAction::kIgnored;
+  if (packet.is_data()) {
+    if (flow.data_packets == 0) flow.first_data_at = now;
+    ++flow.data_packets;
+    const std::size_t want = options_.header_threshold + flow.random_skip +
+                             options_.buffer_size + kMaxHeaderWait;
+    const std::size_t room =
+        flow.raw.size() < want ? want - flow.raw.size() : 0;
+    const std::size_t take = std::min(room, packet.payload.size());
+    flow.raw.insert(flow.raw.end(), packet.payload.begin(),
+                    packet.payload.begin() + static_cast<std::ptrdiff_t>(take));
+    action = PacketAction::kBuffered;
+  }
+
+  if (resolve_skip(flow) && buffer_full(flow)) {
+    classify_flow(packet.key, flow, now, /*timed_out=*/false);
+    pending_.erase(it);
+    action = PacketAction::kClassifiedNow;
+  } else if ((packet.flags.fin || packet.flags.rst) &&
+             flow.raw.size() > flow.skip) {
+    // Flow ended before the buffer filled: classify on what we have.
+    flow.skip_resolved = true;
+    classify_flow(packet.key, flow, now, /*timed_out=*/true);
+    pending_.erase(it);
+    action = PacketAction::kClassifiedNow;
+  }
+
+  if (++packets_since_flush_ >= 1024) {
+    packets_since_flush_ = 0;
+    flush_idle(now);
+  }
+  return action;
+}
+
+void Iustitia::classify_flow(const net::FlowKey& key, PendingFlow& flow,
+                             double now, bool timed_out) {
+  const std::size_t available =
+      flow.raw.size() > flow.skip ? flow.raw.size() - flow.skip : 0;
+  const std::size_t take = std::min(available, options_.buffer_size);
+  const std::span<const std::uint8_t> window(flow.raw.data() + flow.skip,
+                                             take);
+  Classification result = model_.classify(window);
+
+  cdb_.insert(net::flow_id(key), result.label, now);
+  cdb_.maybe_purge(now);
+
+  FlowDelayRecord record;
+  record.key = key;
+  record.label = result.label;
+  record.classified_at = now;
+  record.tau_b = flow.data_packets > 0 ? now - flow.first_data_at : 0.0;
+  record.packets_to_fill = flow.data_packets;
+  record.hash_micros = flow.hash_micros;
+  record.cdb_micros = flow.cdb_micros;
+  record.extract_micros = result.extract_micros;
+  record.buffered_bytes = take;
+  delays_.push_back(record);
+
+  ++stats_.flows_classified;
+  if (timed_out) ++stats_.flows_timed_out;
+  ++stats_.queue_packets[static_cast<std::size_t>(result.label)];
+}
+
+std::size_t Iustitia::flush_idle(double now) {
+  // The reclassification defense (Section 4.6) is time-driven, so it needs
+  // purge opportunities even when no new flows are being inserted.
+  if (options_.cdb.reclassify_after_seconds > 0.0) {
+    cdb_.purge(now);
+  }
+  std::size_t flushed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingFlow& flow = it->second;
+    if (now - flow.last_packet_at >= options_.buffer_timeout_seconds &&
+        flow.raw.size() > 0) {
+      flow.skip_resolved = true;
+      if (flow.skip > flow.raw.size()) flow.skip = 0;  // header never came
+      if (flow.raw.size() > flow.skip) {
+        classify_flow(it->first, flow, now, /*timed_out=*/true);
+        ++flushed;
+        it = pending_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+  return flushed;
+}
+
+std::size_t Iustitia::flush_all() {
+  std::size_t flushed = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingFlow& flow = it->second;
+    flow.skip_resolved = true;
+    if (flow.skip >= flow.raw.size()) flow.skip = 0;
+    if (flow.raw.size() > flow.skip) {
+      classify_flow(it->first, flow, flow.last_packet_at, /*timed_out=*/true);
+      ++flushed;
+      it = pending_.erase(it);
+    } else {
+      it = pending_.erase(it);  // never carried payload; drop silently
+    }
+  }
+  return flushed;
+}
+
+std::optional<datagen::FileClass> Iustitia::label_of(const net::FlowKey& key) {
+  return cdb_.peek(net::flow_id(key));
+}
+
+std::size_t Iustitia::pending_buffer_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& [key, flow] : pending_) total += flow.raw.capacity();
+  return total;
+}
+
+}  // namespace iustitia::core

@@ -1,0 +1,37 @@
+#include "core/feature_extractor.h"
+
+#include "util/timer.h"
+
+namespace iustitia::core {
+
+FeatureExtractor::FeatureExtractor(std::vector<int> widths)
+    : widths_(std::move(widths)), rng_(0) {}
+
+FeatureExtractor::FeatureExtractor(std::vector<int> widths,
+                                   const entropy::EstimatorParams& params,
+                                   std::uint64_t seed)
+    : widths_(std::move(widths)),
+      use_estimation_(true),
+      params_(params),
+      rng_(seed) {}
+
+ExtractionResult FeatureExtractor::extract(
+    std::span<const std::uint8_t> data) {
+  ExtractionResult result;
+  const util::Stopwatch timer;
+  if (use_estimation_) {
+    entropy::EntropyVectorResult vec =
+        entropy::estimate_entropy_vector(data, widths_, params_, rng_);
+    result.features = std::move(vec.h);
+    result.space_bytes = vec.space_bytes;
+  } else {
+    entropy::EntropyVectorResult vec =
+        entropy::compute_entropy_vector(data, widths_);
+    result.features = std::move(vec.h);
+    result.space_bytes = vec.space_bytes;
+  }
+  result.micros = timer.elapsed_micros();
+  return result;
+}
+
+}  // namespace iustitia::core

@@ -1,0 +1,49 @@
+// Entropy-feature extraction with cost accounting: the "Entropy Vector
+// Calculator/Estimator" block of Fig. 1.
+//
+// Wraps the exact (entropy/entropy_vector.h) and estimated
+// (entropy/estimator.h) paths behind one interface and reports the wall
+// time and counter space each extraction used — the quantities of Fig. 5
+// and Table 3.
+#ifndef IUSTITIA_CORE_FEATURE_EXTRACTOR_H_
+#define IUSTITIA_CORE_FEATURE_EXTRACTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "entropy/estimator.h"
+
+namespace iustitia::core {
+
+// One extraction with its measured costs.
+struct ExtractionResult {
+  std::vector<double> features;
+  double micros = 0.0;        // wall-clock extraction time
+  std::size_t space_bytes = 0;  // counter space used
+};
+
+class FeatureExtractor {
+ public:
+  // Exact extraction over the given gram widths.
+  explicit FeatureExtractor(std::vector<int> widths);
+
+  // Estimated extraction ((delta,epsilon)-approximation) for widths >= 2.
+  FeatureExtractor(std::vector<int> widths,
+                   const entropy::EstimatorParams& params, std::uint64_t seed);
+
+  ExtractionResult extract(std::span<const std::uint8_t> data);
+
+  bool uses_estimation() const noexcept { return use_estimation_; }
+  std::span<const int> widths() const noexcept { return widths_; }
+
+ private:
+  std::vector<int> widths_;
+  bool use_estimation_ = false;
+  entropy::EstimatorParams params_;
+  util::Rng rng_;
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_FEATURE_EXTRACTOR_H_

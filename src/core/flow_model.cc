@@ -1,0 +1,121 @@
+#include "core/flow_model.h"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "ml/serialize.h"
+
+namespace iustitia::core {
+
+const char* backend_name(Backend b) noexcept {
+  return b == Backend::kCart ? "CART" : "SVM-RBF";
+}
+
+FlowNatureModel::FlowNatureModel(Backend backend, std::vector<int> widths)
+    : backend_(backend), extractor_(std::move(widths)) {}
+
+FlowNatureModel::FlowNatureModel(Backend backend, std::vector<int> widths,
+                                 const entropy::EstimatorParams& params,
+                                 std::uint64_t seed)
+    : backend_(backend),
+      extractor_(std::move(widths), params, seed),
+      use_estimation_(true),
+      estimator_params_(params) {}
+
+Classification FlowNatureModel::classify(
+    std::span<const std::uint8_t> prefix) {
+  ExtractionResult extraction = extractor_.extract(prefix);
+  Classification out;
+  out.label = classify_features(extraction.features);
+  out.features = std::move(extraction.features);
+  out.extract_micros = extraction.micros;
+  out.space_bytes = extraction.space_bytes;
+  return out;
+}
+
+datagen::FileClass FlowNatureModel::classify_features(
+    std::span<const double> features) const {
+  int label = 0;
+  if (backend_ == Backend::kCart) {
+    label = tree_.predict(features);
+  } else {
+    label = svm_.predict(scaler_.transform(features));
+  }
+  return static_cast<datagen::FileClass>(label);
+}
+
+std::span<const int> FlowNatureModel::widths() const noexcept {
+  return extractor_.widths();
+}
+
+bool FlowNatureModel::uses_estimation() const noexcept {
+  return extractor_.uses_estimation();
+}
+
+std::size_t FlowNatureModel::model_space_bytes() const noexcept {
+  if (backend_ == Backend::kCart) {
+    return tree_.node_count() * sizeof(ml::DecisionTree::Node);
+  }
+  return svm_.space_bytes();
+}
+
+void FlowNatureModel::set_tree(ml::DecisionTree tree) {
+  tree_ = std::move(tree);
+}
+
+void FlowNatureModel::set_svm(ml::DagSvm svm, ml::MinMaxScaler scaler) {
+  svm_ = std::move(svm);
+  scaler_ = std::move(scaler);
+}
+
+void FlowNatureModel::save(std::ostream& os) const {
+  os << "flowmodel-v1 " << (backend_ == Backend::kCart ? "cart" : "svm")
+     << ' ' << widths().size();
+  for (const int w : widths()) os << ' ' << w;
+  os << ' ' << (use_estimation_ ? 1 : 0) << ' ' << estimator_params_.epsilon
+     << ' ' << estimator_params_.delta << ' ' << training_buffer_size_
+     << '\n';
+  if (backend_ == Backend::kCart) {
+    ml::save_tree(tree_, os);
+  } else {
+    ml::save_scaler(scaler_, os);
+    ml::save_dag_svm(svm_, os);
+  }
+}
+
+FlowNatureModel FlowNatureModel::load(std::istream& is) {
+  std::string magic, backend_token;
+  std::size_t width_count = 0;
+  if (!(is >> magic >> backend_token >> width_count) ||
+      magic != "flowmodel-v1") {
+    throw std::runtime_error("flow model parse error: header");
+  }
+  std::vector<int> widths(width_count);
+  for (int& w : widths) {
+    if (!(is >> w)) throw std::runtime_error("flow model parse error: widths");
+  }
+  int use_estimation = 0;
+  entropy::EstimatorParams params;
+  std::size_t buffer_size = 0;
+  if (!(is >> use_estimation >> params.epsilon >> params.delta >>
+        buffer_size)) {
+    throw std::runtime_error("flow model parse error: estimator");
+  }
+  const Backend backend =
+      backend_token == "cart" ? Backend::kCart : Backend::kSvm;
+  FlowNatureModel model =
+      use_estimation != 0
+          ? FlowNatureModel(backend, std::move(widths), params, /*seed=*/1)
+          : FlowNatureModel(backend, std::move(widths));
+  model.set_training_buffer_size(buffer_size);
+  if (backend == Backend::kCart) {
+    model.set_tree(ml::load_tree(is));
+  } else {
+    ml::MinMaxScaler scaler = ml::load_scaler(is);
+    model.set_svm(ml::load_dag_svm(is), std::move(scaler));
+  }
+  return model;
+}
+
+}  // namespace iustitia::core

@@ -1,0 +1,93 @@
+// Trained flow-nature model: entropy features + a classification backend.
+//
+// Bundles everything the online engine needs to turn a flow prefix into a
+// text/binary/encrypted label: the feature widths, exact-vs-estimated
+// extraction, the (optional) feature scaler, and either a CART tree or a
+// DAGSVM.  Produced offline by core/trainer.h; serializable.
+#ifndef IUSTITIA_CORE_FLOW_MODEL_H_
+#define IUSTITIA_CORE_FLOW_MODEL_H_
+
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "core/feature_extractor.h"
+#include "datagen/corpus.h"
+#include "ml/cart.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+
+namespace iustitia::core {
+
+enum class Backend { kCart, kSvm };
+
+const char* backend_name(Backend b) noexcept;
+
+// Classification outcome plus the extraction costs (for delay accounting).
+struct Classification {
+  datagen::FileClass label = datagen::FileClass::kText;
+  std::vector<double> features;
+  double extract_micros = 0.0;
+  std::size_t space_bytes = 0;
+};
+
+class FlowNatureModel {
+ public:
+  FlowNatureModel() = default;
+
+  // Exact-extraction model.
+  FlowNatureModel(Backend backend, std::vector<int> widths);
+
+  // Estimated-extraction model.
+  FlowNatureModel(Backend backend, std::vector<int> widths,
+                  const entropy::EstimatorParams& params, std::uint64_t seed);
+
+  // Classifies a flow prefix (extraction + backend inference).
+  Classification classify(std::span<const std::uint8_t> prefix);
+
+  // Classifies an already extracted feature vector.
+  datagen::FileClass classify_features(std::span<const double> features) const;
+
+  Backend backend() const noexcept { return backend_; }
+  std::span<const int> widths() const noexcept;
+  bool uses_estimation() const noexcept;
+
+  // Buffer size b the model was trained for (0 = whole-file training);
+  // inference windows should match it for best accuracy.
+  std::size_t training_buffer_size() const noexcept {
+    return training_buffer_size_;
+  }
+  void set_training_buffer_size(std::size_t b) noexcept {
+    training_buffer_size_ = b;
+  }
+
+  // Model size in bytes (tree nodes or support vectors): the "model" part
+  // of the paper's per-flow space discussion.
+  std::size_t model_space_bytes() const noexcept;
+
+  // Backend/scaler installation (used by the trainer).
+  void set_tree(ml::DecisionTree tree);
+  void set_svm(ml::DagSvm svm, ml::MinMaxScaler scaler);
+
+  const ml::DecisionTree& tree() const noexcept { return tree_; }
+  const ml::DagSvm& svm() const noexcept { return svm_; }
+
+  // Serialization of the whole bundle.
+  void save(std::ostream& os) const;
+  static FlowNatureModel load(std::istream& is);
+
+ private:
+  Backend backend_ = Backend::kCart;
+  FeatureExtractor extractor_{std::vector<int>{1}};
+  ml::DecisionTree tree_;
+  ml::DagSvm svm_;
+  ml::MinMaxScaler scaler_;
+  // Estimator config retained for serialization.
+  bool use_estimation_ = false;
+  entropy::EstimatorParams estimator_params_;
+  std::size_t training_buffer_size_ = 0;
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_FLOW_MODEL_H_

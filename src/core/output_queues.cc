@@ -1,0 +1,45 @@
+#include "core/output_queues.h"
+
+namespace iustitia::core {
+
+bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
+  const auto index = static_cast<std::size_t>(label);
+  if (capacity_ != 0 && queues_[index].size() >= capacity_) {
+    ++dropped_[index];
+    return false;
+  }
+  queues_[index].push_back(QueuedPacket{std::move(packet), label});
+  ++enqueued_[index];
+  return true;
+}
+
+std::optional<QueuedPacket> OutputQueues::dequeue(datagen::FileClass label) {
+  const auto index = static_cast<std::size_t>(label);
+  if (queues_[index].empty()) return std::nullopt;
+  QueuedPacket out = std::move(queues_[index].front());
+  queues_[index].pop_front();
+  return out;
+}
+
+std::optional<QueuedPacket> OutputQueues::dequeue_priority(
+    std::span<const datagen::FileClass> priority_order) {
+  for (const datagen::FileClass label : priority_order) {
+    auto packet = dequeue(label);
+    if (packet.has_value()) return packet;
+  }
+  return std::nullopt;
+}
+
+std::size_t OutputQueues::depth(datagen::FileClass label) const noexcept {
+  return queues_[static_cast<std::size_t>(label)].size();
+}
+
+std::uint64_t OutputQueues::enqueued(datagen::FileClass label) const noexcept {
+  return enqueued_[static_cast<std::size_t>(label)];
+}
+
+std::uint64_t OutputQueues::dropped(datagen::FileClass label) const noexcept {
+  return dropped_[static_cast<std::size_t>(label)];
+}
+
+}  // namespace iustitia::core

@@ -1,0 +1,59 @@
+// Per-nature output queues: the LQ blocks of Fig. 1.
+//
+// After classification, the flow splitter forwards each packet to the
+// queue of its class, where a downstream consumer (QoS scheduler, IDS
+// engine, logger) drains it.  Queues are bounded; a full queue drops, and
+// drop counters per class expose the back-pressure a prioritization
+// policy would act on.
+#ifndef IUSTITIA_CORE_OUTPUT_QUEUES_H_
+#define IUSTITIA_CORE_OUTPUT_QUEUES_H_
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "datagen/corpus.h"
+#include "net/packet.h"
+
+namespace iustitia::core {
+
+// A queued unit: the packet plus the label it was routed under.
+struct QueuedPacket {
+  net::Packet packet;
+  datagen::FileClass label = datagen::FileClass::kText;
+};
+
+class OutputQueues {
+ public:
+  // `capacity` bounds each class queue (packets); 0 means unbounded.
+  explicit OutputQueues(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Enqueues to the class queue; returns false (and counts a drop) when
+  // the queue is full.
+  bool enqueue(datagen::FileClass label, net::Packet packet);
+
+  // Pops the oldest packet of one class, if any.
+  std::optional<QueuedPacket> dequeue(datagen::FileClass label);
+
+  // Strict-priority dequeue across classes: highest-priority non-empty
+  // queue first, in the order given (e.g. encrypted > binary > text for
+  // the paper's bank scenario).
+  std::optional<QueuedPacket> dequeue_priority(
+      std::span<const datagen::FileClass> priority_order);
+
+  std::size_t depth(datagen::FileClass label) const noexcept;
+  std::uint64_t enqueued(datagen::FileClass label) const noexcept;
+  std::uint64_t dropped(datagen::FileClass label) const noexcept;
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::array<std::deque<QueuedPacket>, 3> queues_;
+  std::array<std::uint64_t, 3> enqueued_{};
+  std::array<std::uint64_t, 3> dropped_{};
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_OUTPUT_QUEUES_H_

@@ -1,0 +1,66 @@
+#include "core/sharded_engine.h"
+
+#include <stdexcept>
+
+namespace iustitia::core {
+
+ShardedIustitia::ShardedIustitia(
+    const std::function<FlowNatureModel()>& model_factory,
+    const EngineOptions& options, std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedIustitia: shards must be > 0");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    EngineOptions shard_options = options;
+    shard_options.seed = options.seed + i;  // independent random-skip streams
+    shards_.push_back(
+        std::make_unique<Iustitia>(model_factory(), shard_options));
+  }
+}
+
+std::size_t ShardedIustitia::shard_of(
+    const net::FlowKey& key) const noexcept {
+  return net::FlowKeyHash{}(key) % shards_.size();
+}
+
+PacketAction ShardedIustitia::on_packet(const net::Packet& packet) {
+  return shards_[shard_of(packet.key)]->on_packet(packet);
+}
+
+EngineStats ShardedIustitia::total_stats() const {
+  EngineStats total;
+  for (const auto& shard : shards_) {
+    const EngineStats& s = shard->stats();
+    total.packets += s.packets;
+    total.data_packets += s.data_packets;
+    total.flows_classified += s.flows_classified;
+    total.flows_timed_out += s.flows_timed_out;
+    for (std::size_t c = 0; c < total.queue_packets.size(); ++c) {
+      total.queue_packets[c] += s.queue_packets[c];
+    }
+  }
+  return total;
+}
+
+std::size_t ShardedIustitia::total_cdb_size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->cdb().size();
+  return total;
+}
+
+std::size_t ShardedIustitia::total_flows_classified() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->stats().flows_classified;
+  }
+  return total;
+}
+
+std::size_t ShardedIustitia::flush_all() {
+  std::size_t flushed = 0;
+  for (auto& shard : shards_) flushed += shard->flush_all();
+  return flushed;
+}
+
+}  // namespace iustitia::core

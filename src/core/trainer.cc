@@ -1,0 +1,92 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+namespace iustitia::core {
+
+const char* training_method_name(TrainingMethod m) noexcept {
+  switch (m) {
+    case TrainingMethod::kWholeFile:
+      return "H_F";
+    case TrainingMethod::kFirstBytes:
+      return "H_b";
+    case TrainingMethod::kRandomOffset:
+      return "H_b'";
+  }
+  return "?";
+}
+
+std::vector<double> training_features(std::span<const std::uint8_t> bytes,
+                                      const TrainerOptions& options,
+                                      util::Rng& rng) {
+  std::span<const std::uint8_t> window = bytes;
+  switch (options.method) {
+    case TrainingMethod::kWholeFile:
+      break;
+    case TrainingMethod::kFirstBytes:
+      window = bytes.subspan(0, std::min(options.buffer_size, bytes.size()));
+      break;
+    case TrainingMethod::kRandomOffset: {
+      const std::size_t max_offset =
+          std::min(options.header_threshold,
+                   bytes.size() > options.buffer_size
+                       ? bytes.size() - options.buffer_size
+                       : 0);
+      const std::size_t offset =
+          max_offset == 0
+              ? 0
+              : static_cast<std::size_t>(rng.next_below(max_offset + 1));
+      window = bytes.subspan(
+          offset, std::min(options.buffer_size, bytes.size() - offset));
+      break;
+    }
+  }
+  if (options.use_estimation) {
+    return entropy::estimate_entropy_vector(window, options.widths,
+                                            options.estimator, rng)
+        .h;
+  }
+  return entropy::entropy_vector(window, options.widths);
+}
+
+ml::Dataset build_entropy_dataset(
+    std::span<const datagen::FileSample> corpus,
+    const TrainerOptions& options) {
+  util::Rng rng(options.seed);
+  ml::Dataset data(datagen::kNumClasses);
+  for (const auto& file : corpus) {
+    data.add(training_features(file.bytes, options, rng),
+             static_cast<int>(file.label));
+  }
+  return data;
+}
+
+FlowNatureModel train_on_dataset(const ml::Dataset& train_data,
+                                 const TrainerOptions& options) {
+  FlowNatureModel model =
+      options.use_estimation
+          ? FlowNatureModel(options.backend, options.widths,
+                            options.estimator, options.seed ^ 0xE57)
+          : FlowNatureModel(options.backend, options.widths);
+  model.set_training_buffer_size(
+      options.method == TrainingMethod::kWholeFile ? 0 : options.buffer_size);
+  if (options.backend == Backend::kCart) {
+    ml::DecisionTree tree;
+    tree.train(train_data, options.cart);
+    model.set_tree(std::move(tree));
+  } else {
+    ml::MinMaxScaler scaler;
+    scaler.fit(train_data);
+    ml::DagSvm svm;
+    svm.train(scaler.transform(train_data), options.svm);
+    model.set_svm(std::move(svm), std::move(scaler));
+  }
+  return model;
+}
+
+FlowNatureModel train_model(std::span<const datagen::FileSample> corpus,
+                            const TrainerOptions& options) {
+  return train_on_dataset(build_entropy_dataset(corpus, options), options);
+}
+
+}  // namespace iustitia::core

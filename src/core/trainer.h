@@ -1,0 +1,61 @@
+// Offline training process (right half of Fig. 1).
+//
+// Builds entropy-vector datasets from a labeled file corpus under the
+// paper's three training methods (Section 4.3):
+//   - kWholeFile   (H_F):  entropy vector of the entire file,
+//   - kFirstBytes  (H_b):  entropy vector of the first b bytes,
+//   - kRandomOffset(H_b'): entropy vector of b consecutive bytes starting
+//     at a random offset in [0, T] — robust to unknown application headers.
+// and trains either backend on them.
+#ifndef IUSTITIA_CORE_TRAINER_H_
+#define IUSTITIA_CORE_TRAINER_H_
+
+#include <span>
+#include <vector>
+
+#include "core/flow_model.h"
+#include "datagen/corpus.h"
+#include "ml/dataset.h"
+
+namespace iustitia::core {
+
+enum class TrainingMethod { kWholeFile, kFirstBytes, kRandomOffset };
+
+const char* training_method_name(TrainingMethod m) noexcept;
+
+struct TrainerOptions {
+  Backend backend = Backend::kSvm;
+  std::vector<int> widths = entropy::svm_preferred_widths();
+  TrainingMethod method = TrainingMethod::kFirstBytes;
+  std::size_t buffer_size = 32;       // b (ignored for kWholeFile)
+  std::size_t header_threshold = 0;   // T (kRandomOffset only)
+  // Extraction mode used to BUILD the dataset; a model trained on
+  // estimated vectors should also classify with estimated vectors.
+  bool use_estimation = false;
+  entropy::EstimatorParams estimator;
+  // Backend hyper-parameters.
+  ml::CartParams cart;
+  ml::SvmParams svm{.gamma = 50.0, .c = 1000.0};
+  std::uint64_t seed = 7;
+};
+
+// Extracts one training sample's feature vector per `options` from `bytes`.
+std::vector<double> training_features(std::span<const std::uint8_t> bytes,
+                                      const TrainerOptions& options,
+                                      util::Rng& rng);
+
+// Builds the labeled entropy-vector dataset for a corpus.
+ml::Dataset build_entropy_dataset(
+    std::span<const datagen::FileSample> corpus, const TrainerOptions& options);
+
+// Trains a ready-to-use model on `train_data` (already extracted vectors).
+FlowNatureModel train_on_dataset(const ml::Dataset& train_data,
+                                 const TrainerOptions& options);
+
+// Convenience: dataset construction + training in one step.
+FlowNatureModel train_model(std::span<const datagen::FileSample> corpus,
+                            const TrainerOptions& options);
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_TRAINER_H_

@@ -1,0 +1,243 @@
+#include "datagen/binary_gen.h"
+
+#include <array>
+#include <string>
+
+#include "datagen/lz77.h"
+#include "datagen/markov_text.h"
+#include "datagen/text_gen.h"
+
+namespace iustitia::datagen {
+
+namespace {
+
+void append(std::vector<std::uint8_t>& out, std::initializer_list<int> bytes) {
+  for (const int b : bytes) out.push_back(static_cast<std::uint8_t>(b));
+}
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  append(out, {static_cast<int>(v & 0xFF), static_cast<int>((v >> 8) & 0xFF),
+               static_cast<int>((v >> 16) & 0xFF),
+               static_cast<int>((v >> 24) & 0xFF)});
+}
+
+// Machine-code-like byte stream: a small set of "hot opcodes" dominates,
+// interleaved with register/immediate bytes of wider spread — reproducing
+// the skewed-but-wide byte histogram of compiled code.
+void append_code(std::vector<std::uint8_t>& out, std::size_t n,
+                 util::Rng& rng) {
+  static constexpr std::uint8_t kHotOpcodes[] = {
+      0x55, 0x48, 0x89, 0x8B, 0xE8, 0xC3, 0x83, 0x85, 0xC0, 0x5D,
+      0x74, 0x75, 0x0F, 0x31, 0x01, 0x41, 0xFF, 0x8D, 0x63, 0xF4};
+  for (std::size_t i = 0; i < n; ++i) {
+    const double roll = rng.uniform();
+    if (roll < 0.55) {
+      out.push_back(kHotOpcodes[rng.next_below(std::size(kHotOpcodes))]);
+    } else if (roll < 0.75) {
+      // ModRM/SIB-like byte, moderately spread.
+      out.push_back(static_cast<std::uint8_t>(rng.next_below(64) * 4 +
+                                              rng.next_below(4)));
+    } else if (roll < 0.87) {
+      // Small immediate.
+      out.push_back(static_cast<std::uint8_t>(rng.next_below(32)));
+    } else {
+      // Address byte: anything.
+      out.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+    }
+  }
+}
+
+// Data-segment-like bytes: zero runs, repeated words, small constants.
+void append_data_segment(std::vector<std::uint8_t>& out, std::size_t n,
+                         util::Rng& rng) {
+  while (n > 0) {
+    const double roll = rng.uniform();
+    if (roll < 0.4) {
+      const std::size_t run =
+          std::min<std::size_t>(n, static_cast<std::size_t>(
+                                       rng.uniform_int(4, 32)));
+      out.insert(out.end(), run, 0x00);
+      n -= run;
+    } else if (roll < 0.7) {
+      // Repeated 4-byte pattern (vtable/offset tables).
+      std::uint32_t word = static_cast<std::uint32_t>(rng.next_below(1 << 16));
+      const std::size_t reps = std::min<std::size_t>(
+          n / 4, static_cast<std::size_t>(rng.uniform_int(2, 8)));
+      for (std::size_t r = 0; r < reps; ++r) {
+        append_u32(out, word);
+        word += static_cast<std::uint32_t>(rng.uniform_int(4, 64));
+      }
+      n -= reps * 4;
+      if (reps == 0) {
+        out.push_back(0);
+        --n;
+      }
+    } else {
+      out.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+      --n;
+    }
+  }
+}
+
+void append_string_table(std::vector<std::uint8_t>& out, std::size_t n,
+                         util::Rng& rng) {
+  std::size_t written = 0;
+  while (written < n) {
+    const std::string word = random_word(rng, 3, 12);
+    for (const char c : word) {
+      if (written >= n) break;
+      out.push_back(static_cast<std::uint8_t>(c));
+      ++written;
+    }
+    if (written < n) {
+      out.push_back(0x00);
+      ++written;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_executable(std::size_t size,
+                                              util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size + 64);
+  // ELF-like identification + header fields.
+  append(out, {0x7F, 'E', 'L', 'F', 2, 1, 1, 0});
+  out.insert(out.end(), 8, 0x00);
+  append_u32(out, 0x3E0002);               // type/machine
+  append_u32(out, 1);                      // version
+  append_u32(out, static_cast<std::uint32_t>(rng.next_below(1 << 24)));  // entry
+  append_u32(out, 64);                     // phoff
+  while (out.size() < 64) out.push_back(0);
+
+  const std::size_t body = size > out.size() ? size - out.size() : 0;
+  const std::size_t code = static_cast<std::size_t>(0.55 * static_cast<double>(body));
+  const std::size_t data = static_cast<std::size_t>(0.30 * static_cast<double>(body));
+  append_code(out, code, rng);
+  append_data_segment(out, data, rng);
+  if (out.size() < size) append_string_table(out, size - out.size(), rng);
+  out.resize(size);
+  return out;
+}
+
+std::vector<std::uint8_t> generate_image(std::size_t size, util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size + 16);
+  // SOI + APP0 "JFIF".
+  append(out, {0xFF, 0xD8, 0xFF, 0xE0, 0x00, 0x10, 'J', 'F', 'I', 'F', 0x00,
+               0x01, 0x02, 0x00, 0x00, 0x48, 0x00, 0x48, 0x00, 0x00});
+  // Two quantization tables: monotone-ish small values.
+  for (int t = 0; t < 2; ++t) {
+    append(out, {0xFF, 0xDB, 0x00, 0x43, t});
+    for (int i = 0; i < 64; ++i) {
+      out.push_back(static_cast<std::uint8_t>(2 + i / 4 +
+                                              rng.uniform_int(0, 3)));
+    }
+  }
+  // SOF/SOS stubs.
+  append(out, {0xFF, 0xC0, 0x00, 0x11, 0x08, 0x02, 0x00, 0x03, 0x00, 0x03,
+               0x01, 0x22, 0x00, 0x02, 0x11, 0x01, 0x03, 0x11, 0x01});
+  append(out, {0xFF, 0xDA, 0x00, 0x0C, 0x03, 0x01, 0x00, 0x02, 0x11, 0x03,
+               0x11, 0x00, 0x3F, 0x00});
+  // Entropy-coded scan: near-uniform bytes with JPEG's FF->FF00 stuffing and
+  // periodic restart markers.
+  std::size_t since_restart = 0;
+  int restart_index = 0;
+  while (out.size() + 2 < size) {
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    out.push_back(b);
+    if (b == 0xFF) out.push_back(0x00);
+    if (++since_restart >= 1024) {
+      append(out, {0xFF, 0xD0 + (restart_index & 7)});
+      ++restart_index;
+      since_restart = 0;
+    }
+  }
+  append(out, {0xFF, 0xD9});  // EOI
+  out.resize(size, 0x00);
+  return out;
+}
+
+std::vector<std::uint8_t> generate_media(std::size_t size, util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size + 64);
+  append(out, {'R', 'I', 'F', 'F'});
+  append_u32(out, static_cast<std::uint32_t>(size));
+  append(out, {'A', 'V', 'I', ' '});
+  std::uint32_t frame = 0;
+  while (out.size() < size) {
+    // Frame header: fourcc + counter + length.
+    append(out, {'0', '0', 'd', 'c'});
+    append_u32(out, frame++);
+    const std::size_t payload = static_cast<std::size_t>(
+        rng.uniform_int(256, 2048));
+    append_u32(out, static_cast<std::uint32_t>(payload));
+    // Compressed-looking payload: LZ77 over a noisy-but-structured frame.
+    std::vector<std::uint8_t> raw(payload * 2);
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      // Smooth "pixel" field: neighboring values correlate.
+      raw[i] = static_cast<std::uint8_t>(
+          (i > 0 ? raw[i - 1] : 128) + rng.uniform_int(-6, 6));
+    }
+    const std::vector<std::uint8_t> packed = lz77_compress(raw);
+    const std::size_t take = std::min(packed.size(), payload);
+    out.insert(out.end(), packed.begin(),
+               packed.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<std::uint8_t> generate_archive(std::size_t size, util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size + 64);
+  while (out.size() < size) {
+    // Member header (PK-like local file header).
+    append(out, {0x50, 0x4B, 0x03, 0x04, 0x14, 0x00, 0x00, 0x00, 0x08, 0x00});
+    const std::string name =
+        random_word(rng, 4, 10) + "/" + random_word(rng, 4, 10) + ".txt";
+    append_u32(out, static_cast<std::uint32_t>(rng.next_below(1u << 31)));
+    out.push_back(static_cast<std::uint8_t>(name.size()));
+    out.push_back(0);
+    out.insert(out.end(), name.begin(), name.end());
+    // Genuinely compressed member content.
+    const std::size_t member = static_cast<std::size_t>(
+        rng.uniform_int(2048, 8192));
+    const std::vector<std::uint8_t> plain =
+        rng.chance(0.5) ? generate_prose(member, rng)
+                        : generate_source_code(member, rng);
+    const std::vector<std::uint8_t> packed = lz77_compress(plain);
+    append_u32(out, static_cast<std::uint32_t>(packed.size()));
+    out.insert(out.end(), packed.begin(), packed.end());
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<std::uint8_t> generate_pdf(std::size_t size, util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(size + 64);
+  const std::string header = "%PDF-1.4\n%\xE2\xE3\xCF\xD3\n";
+  out.insert(out.end(), header.begin(), header.end());
+  int object = 1;
+  while (out.size() < size) {
+    const std::string dict_open =
+        std::to_string(object) + " 0 obj\n<< /Length " +
+        std::to_string(rng.uniform_int(512, 4096)) +
+        " /Filter /FlateDecode >>\nstream\n";
+    out.insert(out.end(), dict_open.begin(), dict_open.end());
+    const std::size_t member = static_cast<std::size_t>(
+        rng.uniform_int(1024, 6144));
+    const std::vector<std::uint8_t> plain = generate_prose(member, rng);
+    const std::vector<std::uint8_t> packed = lz77_compress(plain);
+    out.insert(out.end(), packed.begin(), packed.end());
+    const std::string dict_close = "\nendstream\nendobj\n";
+    out.insert(out.end(), dict_close.begin(), dict_close.end());
+    ++object;
+  }
+  out.resize(size);
+  return out;
+}
+
+}  // namespace iustitia::datagen

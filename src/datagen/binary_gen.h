@@ -1,0 +1,42 @@
+// Binary-class file generators (paper binary pool: executables, JPG, GIF,
+// AVI, MPG, PDF, ZIP).
+//
+// Each generator builds the same structural skeleton as its real-world
+// counterpart — magic numbers, section headers, tables, then payload — so
+// the byte statistics land in the paper's middle entropy band for honest
+// reasons: genuinely compressed payloads (via the LZ77 coder), code-like
+// opcode mixes, and structured tables, not bytes sampled to a target
+// entropy.
+#ifndef IUSTITIA_DATAGEN_BINARY_GEN_H_
+#define IUSTITIA_DATAGEN_BINARY_GEN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::datagen {
+
+// Executable image: header, machine-code-like section, data section with
+// zero runs and small constants, string table.
+std::vector<std::uint8_t> generate_executable(std::size_t size,
+                                              util::Rng& rng);
+
+// JPEG-like image: marker segments and quantization tables followed by a
+// near-uniform entropy-coded scan with byte stuffing.
+std::vector<std::uint8_t> generate_image(std::size_t size, util::Rng& rng);
+
+// MPEG/AVI-like media: periodic frame headers with counters, each followed
+// by a compressed payload.
+std::vector<std::uint8_t> generate_media(std::size_t size, util::Rng& rng);
+
+// ZIP-like archive: small member headers + genuinely LZ77-compressed text.
+std::vector<std::uint8_t> generate_archive(std::size_t size, util::Rng& rng);
+
+// PDF-like document: readable object skeleton with compressed stream
+// objects in between.
+std::vector<std::uint8_t> generate_pdf(std::size_t size, util::Rng& rng);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_BINARY_GEN_H_

@@ -1,0 +1,104 @@
+#include "datagen/chacha20.h"
+
+#include <cstring>
+
+namespace iustitia::datagen {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) noexcept {
+  a += b; d ^= a; d = rotl32(d, 16);
+  c += d; b ^= c; b = rotl32(b, 12);
+  a += b; d ^= a; d = rotl32(d, 8);
+  c += d; b ^= c; b = rotl32(b, 7);
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void init_state(std::uint32_t state[16], const ChaCha20::Key& key,
+                const ChaCha20::Nonce& nonce, std::uint32_t counter) noexcept {
+  // "expand 32-byte k"
+  state[0] = 0x61707865u;
+  state[1] = 0x3320646Eu;
+  state[2] = 0x79622D32u;
+  state[3] = 0x6B206574u;
+  for (int i = 0; i < 8; ++i) {
+    state[4 + i] = load_le32(key.data() + 4 * i);
+  }
+  state[12] = counter;
+  for (int i = 0; i < 3; ++i) {
+    state[13 + i] = load_le32(nonce.data() + 4 * i);
+  }
+}
+
+void run_block(const std::uint32_t input[16], std::uint8_t out[64]) noexcept {
+  std::uint32_t x[16];
+  std::memcpy(x, input, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    store_le32(out + 4 * i, x[i] + input[i]);
+  }
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const Key& key, const Nonce& nonce,
+                   std::uint32_t initial_counter) noexcept {
+  init_state(state_, key, nonce, initial_counter);
+}
+
+std::array<std::uint8_t, 64> ChaCha20::block(const Key& key,
+                                             const Nonce& nonce,
+                                             std::uint32_t counter) noexcept {
+  std::uint32_t state[16];
+  init_state(state, key, nonce, counter);
+  std::array<std::uint8_t, 64> out{};
+  run_block(state, out.data());
+  return out;
+}
+
+void ChaCha20::apply(std::span<std::uint8_t> data) noexcept {
+  for (std::uint8_t& byte : data) {
+    if (buffer_used_ == 64) {
+      run_block(state_, buffer_.data());
+      ++state_[12];  // block counter
+      buffer_used_ = 0;
+    }
+    byte ^= buffer_[buffer_used_++];
+  }
+}
+
+std::vector<std::uint8_t> ChaCha20::encrypt(
+    std::span<const std::uint8_t> plaintext) {
+  std::vector<std::uint8_t> out(plaintext.begin(), plaintext.end());
+  apply(out);
+  return out;
+}
+
+}  // namespace iustitia::datagen

@@ -1,0 +1,50 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// The paper's encrypted-file pool was generated with PGP/AES/DES.  We have
+// no proprietary corpus, so the synthetic corpus encrypts generated
+// plaintexts with a real stream cipher: the ciphertext byte distribution is
+// computationally indistinguishable from uniform, which is precisely the
+// property ("encrypted flows have the highest entropy") the classifier
+// keys on.  Verified against the RFC 8439 test vectors.
+//
+// This implementation exists to synthesize experimental data; do not use it
+// for protecting real secrets (no constant-time guarantees, no AEAD).
+#ifndef IUSTITIA_DATAGEN_CHACHA20_H_
+#define IUSTITIA_DATAGEN_CHACHA20_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iustitia::datagen {
+
+// 256-bit key, 96-bit nonce, 32-bit block counter (RFC 8439 layout).
+class ChaCha20 {
+ public:
+  using Key = std::array<std::uint8_t, 32>;
+  using Nonce = std::array<std::uint8_t, 12>;
+
+  ChaCha20(const Key& key, const Nonce& nonce,
+           std::uint32_t initial_counter = 0) noexcept;
+
+  // XORs the keystream into `data` in place (encrypt == decrypt).
+  void apply(std::span<std::uint8_t> data) noexcept;
+
+  // Convenience: returns ciphertext of `plaintext`.
+  std::vector<std::uint8_t> encrypt(std::span<const std::uint8_t> plaintext);
+
+  // Produces one 64-byte keystream block for the given counter (exposed for
+  // the RFC test vectors).
+  static std::array<std::uint8_t, 64> block(const Key& key, const Nonce& nonce,
+                                            std::uint32_t counter) noexcept;
+
+ private:
+  std::uint32_t state_[16];
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_used_ = 64;  // 64 = empty, refill on next byte
+};
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_CHACHA20_H_

@@ -1,0 +1,146 @@
+#include "datagen/corpus.h"
+
+#include <cmath>
+
+#include "datagen/binary_gen.h"
+#include "datagen/chacha20.h"
+#include "datagen/text_gen.h"
+
+namespace iustitia::datagen {
+
+const char* class_name(FileClass c) noexcept {
+  switch (c) {
+    case FileClass::kText:
+      return "text";
+    case FileClass::kBinary:
+      return "binary";
+    case FileClass::kEncrypted:
+      return "encrypted";
+  }
+  return "?";
+}
+
+namespace {
+
+FileSample generate_text_file(std::size_t size, util::Rng& rng) {
+  FileSample sample;
+  sample.label = FileClass::kText;
+  switch (rng.next_below(6)) {
+    case 0:
+      sample.kind = "prose";
+      sample.bytes = generate_prose(size, rng);
+      break;
+    case 1:
+      sample.kind = "html";
+      sample.bytes = generate_html(size, rng);
+      break;
+    case 2:
+      sample.kind = "log";
+      sample.bytes = generate_log(size, rng);
+      break;
+    case 3:
+      sample.kind = "csv";
+      sample.bytes = generate_csv(size, rng);
+      break;
+    case 4:
+      sample.kind = "source";
+      sample.bytes = generate_source_code(size, rng);
+      break;
+    default:
+      sample.kind = "email";
+      sample.bytes = generate_email(size, rng);
+      break;
+  }
+  return sample;
+}
+
+FileSample generate_binary_file(std::size_t size, util::Rng& rng) {
+  FileSample sample;
+  sample.label = FileClass::kBinary;
+  switch (rng.next_below(5)) {
+    case 0:
+      sample.kind = "exe";
+      sample.bytes = generate_executable(size, rng);
+      break;
+    case 1:
+      sample.kind = "jpeg";
+      sample.bytes = generate_image(size, rng);
+      break;
+    case 2:
+      sample.kind = "avi";
+      sample.bytes = generate_media(size, rng);
+      break;
+    case 3:
+      sample.kind = "zip";
+      sample.bytes = generate_archive(size, rng);
+      break;
+    default:
+      sample.kind = "pdf";
+      sample.bytes = generate_pdf(size, rng);
+      break;
+  }
+  return sample;
+}
+
+FileSample generate_encrypted_file(std::size_t size, util::Rng& rng) {
+  FileSample sample;
+  sample.label = FileClass::kEncrypted;
+  sample.kind = "chacha20";
+  // Encrypt a real generated plaintext (prose or binary) with a random key
+  // and nonce; the class signature comes from the cipher, not the source.
+  std::vector<std::uint8_t> plaintext = rng.chance(0.5)
+                                            ? generate_prose(size, rng)
+                                            : generate_executable(size, rng);
+  ChaCha20::Key key;
+  ChaCha20::Nonce nonce;
+  rng.fill_bytes(key);
+  rng.fill_bytes(nonce);
+  ChaCha20 cipher(key, nonce);
+  sample.bytes = cipher.encrypt(plaintext);
+  // A minority of real encrypted files (e.g. PGP) carry a short unencrypted
+  // header; model that too.
+  if (rng.chance(0.2)) {
+    static constexpr std::uint8_t kPgpLikeHeader[] = {0x85, 0x02, 0x0C, 0x03};
+    sample.bytes.insert(sample.bytes.begin(), std::begin(kPgpLikeHeader),
+                        std::end(kPgpLikeHeader));
+    sample.bytes.resize(size);
+    sample.kind = "pgp";
+  }
+  return sample;
+}
+
+}  // namespace
+
+FileSample generate_file(FileClass label, std::size_t size, util::Rng& rng) {
+  switch (label) {
+    case FileClass::kText:
+      return generate_text_file(size, rng);
+    case FileClass::kBinary:
+      return generate_binary_file(size, rng);
+    case FileClass::kEncrypted:
+      return generate_encrypted_file(size, rng);
+  }
+  return {};
+}
+
+std::vector<FileSample> build_corpus(const CorpusOptions& options) {
+  util::Rng rng(options.seed);
+  std::vector<FileSample> corpus;
+  corpus.reserve(options.files_per_class * kNumClasses);
+  const double log_min = std::log(static_cast<double>(options.min_size));
+  const double log_max = std::log(static_cast<double>(
+      options.max_size > options.min_size ? options.max_size
+                                          : options.min_size + 1));
+  for (const FileClass label :
+       {FileClass::kText, FileClass::kBinary, FileClass::kEncrypted}) {
+    for (std::size_t i = 0; i < options.files_per_class; ++i) {
+      const auto size = static_cast<std::size_t>(
+          std::exp(rng.uniform(log_min, log_max)));
+      corpus.push_back(generate_file(label, size, rng));
+    }
+  }
+  rng.shuffle(corpus);
+  return corpus;
+}
+
+}  // namespace iustitia::datagen

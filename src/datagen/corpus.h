@@ -1,0 +1,46 @@
+// Synthetic file corpus: the substitute for the paper's pool of 52k binary,
+// 25k text, and 14k encrypted files (see DESIGN.md Section 2).
+#ifndef IUSTITIA_DATAGEN_CORPUS_H_
+#define IUSTITIA_DATAGEN_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::datagen {
+
+// Flow/file nature classes, in the paper's order.
+enum class FileClass : int { kText = 0, kBinary = 1, kEncrypted = 2 };
+
+inline constexpr int kNumClasses = 3;
+
+// Human-readable class name ("text" / "binary" / "encrypted").
+const char* class_name(FileClass c) noexcept;
+
+// One synthesized file.
+struct FileSample {
+  std::vector<std::uint8_t> bytes;
+  FileClass label = FileClass::kText;
+  std::string kind;  // generator family, e.g. "html", "zip", "chacha20"
+};
+
+// Corpus shape knobs.
+struct CorpusOptions {
+  std::size_t files_per_class = 200;
+  std::size_t min_size = 2048;   // bytes
+  std::size_t max_size = 16384;  // bytes
+  std::uint64_t seed = 0xC0FFEE;
+};
+
+// Generates one file of the given class with the requested size.
+FileSample generate_file(FileClass label, std::size_t size, util::Rng& rng);
+
+// Builds a class-balanced corpus.  File sizes are log-uniform in
+// [min_size, max_size], mirroring the long-tailed sizes of real pools.
+std::vector<FileSample> build_corpus(const CorpusOptions& options);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_CORPUS_H_

@@ -1,0 +1,84 @@
+#include "datagen/corpus_io.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace iustitia::datagen {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> read_file(const fs::path& path,
+                                    std::size_t max_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("cannot open for reading: " + path.string());
+  }
+  std::vector<std::uint8_t> bytes;
+  in.seekg(0, std::ios::end);
+  auto size = static_cast<std::size_t>(in.tellg());
+  if (max_bytes != 0 && size > max_bytes) size = max_bytes;
+  in.seekg(0, std::ios::beg);
+  bytes.resize(size);
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(bytes.data()),
+               static_cast<std::streamsize>(size))) {
+    throw std::runtime_error("read failed: " + path.string());
+  }
+  return bytes;
+}
+
+void write_file(const fs::path& path, std::span<const std::uint8_t> bytes) {
+  if (path.has_parent_path()) {
+    fs::create_directories(path.parent_path());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("cannot open for writing: " + path.string());
+  }
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    throw std::runtime_error("write failed: " + path.string());
+  }
+}
+
+void save_corpus(const std::vector<FileSample>& corpus, const fs::path& root) {
+  std::size_t index = 0;
+  for (const FileSample& sample : corpus) {
+    const fs::path path = root / class_name(sample.label) /
+                          (std::to_string(index++) + "." +
+                           (sample.kind.empty() ? "bin" : sample.kind) +
+                           ".bin");
+    write_file(path, sample.bytes);
+  }
+}
+
+std::vector<FileSample> load_corpus(const fs::path& root,
+                                    std::size_t max_bytes) {
+  std::vector<FileSample> corpus;
+  const std::pair<const char*, FileClass> classes[] = {
+      {"text", FileClass::kText},
+      {"binary", FileClass::kBinary},
+      {"encrypted", FileClass::kEncrypted},
+  };
+  for (const auto& [name, label] : classes) {
+    const fs::path dir = root / name;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      FileSample sample;
+      sample.label = label;
+      sample.kind = entry.path().extension().string();
+      sample.bytes = read_file(entry.path(), max_bytes);
+      if (!sample.bytes.empty()) corpus.push_back(std::move(sample));
+    }
+  }
+  if (corpus.empty()) {
+    throw std::runtime_error(
+        "no labeled files under " + root.string() +
+        " (expected text/, binary/, encrypted/ subdirectories)");
+  }
+  return corpus;
+}
+
+}  // namespace iustitia::datagen

@@ -1,0 +1,39 @@
+// Corpus <-> filesystem: write a synthetic corpus out as real files and
+// load a labeled directory tree back in.
+//
+// Layout: <root>/text/*, <root>/binary/*, <root>/encrypted/* — one file
+// per sample, so users can drop in their own labeled pools (the paper's
+// setup: directories of documents, executables, and ciphertexts) and train
+// on them with the CLI.
+#ifndef IUSTITIA_DATAGEN_CORPUS_IO_H_
+#define IUSTITIA_DATAGEN_CORPUS_IO_H_
+
+#include <filesystem>
+#include <vector>
+
+#include "datagen/corpus.h"
+
+namespace iustitia::datagen {
+
+// Writes each sample under <root>/<class>/<index>.<kind>.bin, creating
+// directories as needed.  Throws std::runtime_error on I/O failure.
+void save_corpus(const std::vector<FileSample>& corpus,
+                 const std::filesystem::path& root);
+
+// Loads every regular file under <root>/{text,binary,encrypted}/.
+// Files above `max_bytes` are truncated on read (0 = unlimited).  Throws
+// std::runtime_error if no class directory yields any file.
+std::vector<FileSample> load_corpus(const std::filesystem::path& root,
+                                    std::size_t max_bytes = 0);
+
+// Reads one whole file (optionally truncated).  Throws on failure.
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path,
+                                    std::size_t max_bytes = 0);
+
+// Writes bytes to a file, creating parent directories.  Throws on failure.
+void write_file(const std::filesystem::path& path,
+                std::span<const std::uint8_t> bytes);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_CORPUS_IO_H_

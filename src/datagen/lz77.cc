@@ -1,0 +1,137 @@
+#include "datagen/lz77.h"
+
+#include <array>
+#include <cstring>
+#include <stdexcept>
+
+namespace iustitia::datagen {
+
+namespace {
+
+constexpr std::size_t kWindow = 65535;
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxMatch = 258;
+constexpr std::size_t kHashBits = 15;
+constexpr std::size_t kHashSize = 1u << kHashBits;
+
+inline std::uint32_t hash4(const std::uint8_t* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  out.reserve(input.size() / 2 + 16);
+
+  // Hash chains: head[h] = most recent position with hash h; prev[i % window]
+  // links to the previous position with the same hash.
+  std::vector<std::int64_t> head(kHashSize, -1);
+  std::vector<std::int64_t> prev(kWindow + 1, -1);
+
+  std::size_t pos = 0;
+  std::size_t flag_index = 0;
+  int flag_bit = 8;  // forces a new flag byte on first token
+
+  auto begin_token = [&](bool is_match) {
+    if (flag_bit == 8) {
+      flag_index = out.size();
+      out.push_back(0);
+      flag_bit = 0;
+    }
+    if (is_match) {
+      out[flag_index] = static_cast<std::uint8_t>(
+          out[flag_index] | (1u << flag_bit));
+    }
+    ++flag_bit;
+  };
+
+  auto insert_pos = [&](std::size_t p) {
+    if (p + 4 <= input.size()) {
+      const std::uint32_t h = hash4(input.data() + p);
+      prev[p % (kWindow + 1)] = head[h];
+      head[h] = static_cast<std::int64_t>(p);
+    }
+  };
+
+  while (pos < input.size()) {
+    std::size_t best_len = 0;
+    std::size_t best_offset = 0;
+    if (pos + kMinMatch <= input.size()) {
+      const std::uint32_t h = hash4(input.data() + pos);
+      std::int64_t cand = head[h];
+      int chain_budget = 32;  // bounded search keeps compression O(n)
+      while (cand >= 0 && chain_budget-- > 0) {
+        const auto cpos = static_cast<std::size_t>(cand);
+        if (pos - cpos > kWindow) break;
+        const std::size_t limit =
+            std::min(kMaxMatch, input.size() - pos);
+        std::size_t len = 0;
+        while (len < limit && input[cpos + len] == input[pos + len]) ++len;
+        if (len > best_len) {
+          best_len = len;
+          best_offset = pos - cpos;
+          if (len >= limit) break;
+        }
+        cand = prev[cpos % (kWindow + 1)];
+      }
+    }
+
+    if (best_len >= kMinMatch) {
+      begin_token(true);
+      out.push_back(static_cast<std::uint8_t>(best_offset & 0xFF));
+      out.push_back(static_cast<std::uint8_t>(best_offset >> 8));
+      out.push_back(static_cast<std::uint8_t>(best_len - kMinMatch));
+      for (std::size_t i = 0; i < best_len; ++i) insert_pos(pos + i);
+      pos += best_len;
+    } else {
+      begin_token(false);
+      out.push_back(input[pos]);
+      insert_pos(pos);
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> lz77_decompress(
+    std::span<const std::uint8_t> input) {
+  std::vector<std::uint8_t> out;
+  std::size_t pos = 0;
+  int flag_bit = 8;
+  std::uint8_t flags = 0;
+  while (pos < input.size()) {
+    if (flag_bit == 8) {
+      flags = input[pos++];
+      flag_bit = 0;
+      if (pos >= input.size()) break;  // trailing flag byte with no tokens
+    }
+    const bool is_match = (flags >> flag_bit) & 1u;
+    ++flag_bit;
+    if (is_match) {
+      if (pos + 3 > input.size()) {
+        throw std::runtime_error("lz77: truncated match token");
+      }
+      const std::size_t offset = static_cast<std::size_t>(input[pos]) |
+                                 (static_cast<std::size_t>(input[pos + 1]) << 8);
+      const std::size_t length = kMinMatch + input[pos + 2];
+      pos += 3;
+      if (offset == 0 || offset > out.size()) {
+        throw std::runtime_error("lz77: invalid match offset");
+      }
+      // Byte-by-byte copy: overlapping matches (offset < length) are legal
+      // and reproduce runs.
+      std::size_t src = out.size() - offset;
+      for (std::size_t i = 0; i < length; ++i) {
+        out.push_back(out[src + i]);
+      }
+    } else {
+      out.push_back(input[pos++]);
+    }
+  }
+  return out;
+}
+
+}  // namespace iustitia::datagen

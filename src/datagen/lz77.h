@@ -1,0 +1,31 @@
+// LZ77/LZSS compressor and decompressor.
+//
+// The paper's binary pool includes ZIP archives; real DEFLATE output sits in
+// the high-but-not-maximal entropy band with visible token structure.  This
+// module reproduces that band honestly: we compress generated content with
+// a real dictionary coder (greedy LZSS, 64 KiB window, byte-aligned token
+// stream) instead of sampling bytes to a target entropy.
+//
+// Token stream format (little-endian):
+//   flag byte F: each bit, LSB first, selects literal (0) or match (1)
+//   literal: 1 raw byte
+//   match:   2-byte offset (1..65535 back), 1-byte length (min 4 .. 258)
+// The format round-trips exactly (decompress(compress(x)) == x).
+#ifndef IUSTITIA_DATAGEN_LZ77_H_
+#define IUSTITIA_DATAGEN_LZ77_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace iustitia::datagen {
+
+// Compresses `input`; never fails (worst case expands by 1/8 + O(1)).
+std::vector<std::uint8_t> lz77_compress(std::span<const std::uint8_t> input);
+
+// Inverse of lz77_compress.  Throws std::runtime_error on corrupt input.
+std::vector<std::uint8_t> lz77_decompress(std::span<const std::uint8_t> input);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_LZ77_H_

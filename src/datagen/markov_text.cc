@@ -1,0 +1,150 @@
+#include "datagen/markov_text.h"
+
+#include <stdexcept>
+
+namespace iustitia::datagen {
+
+std::string_view seed_corpus() noexcept {
+  // Original prose written for this repository; chosen to cover ordinary
+  // English letter statistics plus the punctuation and digits that appear
+  // in documents, manuals, and logs.
+  static constexpr std::string_view kSeed =
+      "The measurement of network traffic begins with a simple question: "
+      "what kind of content is moving through the wire? An operator who can "
+      "answer that question quickly can schedule, protect, and account for "
+      "the traffic without ever reading a single payload byte in full. The "
+      "idea explored here is that the statistical texture of bytes carries "
+      "enough signal to answer the question on its own. Plain language is "
+      "repetitive; letters arrive in familiar clusters, spaces divide the "
+      "stream into short words, and a handful of symbols do most of the "
+      "work. Compiled programs and media files are denser, but they still "
+      "carry headers, tables, and long runs of structure that keep their "
+      "randomness well below the ceiling. Ciphertext, by design, shows no "
+      "texture at all. Every byte value appears about as often as every "
+      "other, and no window into the stream looks different from any other "
+      "window.\n\n"
+      "A practical system built on this observation has to work with small "
+      "samples. Waiting for a megabyte of payload defeats the purpose of "
+      "early classification, so the decision must rest on the first few "
+      "dozen bytes that cross the link. Fortunately the texture of a stream "
+      "is established early. The opening lines of a document look like the "
+      "rest of the document, the first block of an archive looks like the "
+      "later blocks, and the first block of ciphertext is as featureless as "
+      "the millionth. There are exceptions, of course. Many application "
+      "protocols begin with a short readable preamble before the payload "
+      "proper, and a classifier that ignores this will happily label a "
+      "compressed image as prose because it saw a polite greeting first. "
+      "Stripping recognizable preambles, or simply skipping a fixed number "
+      "of bytes, restores the signal.\n\n"
+      "Speed is the remaining constraint. A counter for every possible "
+      "pattern of several bytes would be enormous, yet the sample itself is "
+      "tiny, so nearly all of those counters would stay at zero. Sampling "
+      "the stream and estimating the statistic of interest trades a little "
+      "accuracy for a great deal of memory, and the trade can be tuned with "
+      "two dials: how wrong the estimate may be, and how often it may be "
+      "wrong at all. With sensible settings the whole decision fits in a "
+      "few hundred bytes of state per flow and a few hundred microseconds "
+      "of work, which is fast enough to keep pace with a busy gateway.\n\n"
+      "None of this requires knowing which application produced the "
+      "traffic. Port numbers lie, protocol fields can be forged, and new "
+      "applications appear every month, but arithmetic on byte frequencies "
+      "is indifferent to all of that. The label it produces is coarse, just "
+      "three words: text, binary, or encrypted. Coarse labels are still "
+      "useful. A logging system can keep readable traffic for search, a "
+      "security appliance can route binary streams to the scanners that "
+      "understand them, and a quality of service policy can give encrypted "
+      "transactions the priority their contents suggest they deserve. The "
+      "numbers 0, 1, 2, 3, 4, 5, 6, 7, 8, and 9 appear too, in tables and "
+      "in version strings such as 2.4.1 or 10.0.3, and so do parentheses "
+      "(like these), quotes \"like these\", and the occasional semicolon; "
+      "a faithful model of documents must include them all.\n";
+  return kSeed;
+}
+
+MarkovText::MarkovText(std::string_view corpus, int order) : order_(order) {
+  if (order < 1) throw std::invalid_argument("MarkovText: order must be >= 1");
+  if (corpus.size() < static_cast<std::size_t>(order) + 1) {
+    throw std::invalid_argument("MarkovText: corpus shorter than order + 1");
+  }
+  const auto k = static_cast<std::size_t>(order);
+  for (std::size_t i = 0; i + k < corpus.size(); ++i) {
+    const std::string context(corpus.substr(i, k));
+    const char next = corpus[i + k];
+    Transitions& t = transitions_[context];
+    bool found = false;
+    for (std::size_t j = 0; j < t.next_chars.size(); ++j) {
+      if (t.next_chars[j] == next) {
+        ++t.counts[j];
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      t.next_chars.push_back(next);
+      t.counts.push_back(1);
+    }
+  }
+  contexts_.reserve(transitions_.size());
+  for (const auto& [context, transitions] : transitions_) {
+    contexts_.push_back(context);
+  }
+}
+
+const MarkovText& MarkovText::english(int order) {
+  static const MarkovText order2(seed_corpus(), 2);
+  static const MarkovText order3(seed_corpus(), 3);
+  return order == 2 ? order2 : order3;
+}
+
+std::string MarkovText::generate(std::size_t length, util::Rng& rng) const {
+  std::string out;
+  out.reserve(length + static_cast<std::size_t>(order_));
+  std::string context =
+      contexts_[static_cast<std::size_t>(rng.next_below(contexts_.size()))];
+  out += context;
+  while (out.size() < length) {
+    const auto it = transitions_.find(context);
+    if (it == transitions_.end()) {
+      // Dead end (corpus suffix): restart from a random context.
+      context =
+          contexts_[static_cast<std::size_t>(rng.next_below(contexts_.size()))];
+      continue;
+    }
+    const Transitions& t = it->second;
+    std::uint64_t total = 0;
+    for (const std::uint32_t c : t.counts) total += c;
+    std::uint64_t target = rng.next_below(total);
+    char next = t.next_chars.back();
+    for (std::size_t j = 0; j < t.counts.size(); ++j) {
+      if (target < t.counts[j]) {
+        next = t.next_chars[j];
+        break;
+      }
+      target -= t.counts[j];
+    }
+    out.push_back(next);
+    context = out.substr(out.size() - static_cast<std::size_t>(order_));
+  }
+  out.resize(length);
+  return out;
+}
+
+std::string random_word(util::Rng& rng, std::size_t min_len,
+                        std::size_t max_len) {
+  static constexpr std::string_view kConsonants = "bcdfghjklmnprstvwz";
+  static constexpr std::string_view kVowels = "aeiou";
+  const auto len = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_len),
+                      static_cast<std::int64_t>(max_len)));
+  std::string out;
+  out.reserve(len);
+  bool vowel = rng.chance(0.4);
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::string_view pool = vowel ? kVowels : kConsonants;
+    out.push_back(pool[rng.next_below(pool.size())]);
+    vowel = !vowel;
+  }
+  return out;
+}
+
+}  // namespace iustitia::datagen

@@ -1,0 +1,58 @@
+// Character-level Markov model for natural-language-like text.
+//
+// The paper's text pool is real English documents; our substitute generates
+// text whose character n-gram statistics match English closely enough to
+// reproduce the "text flows have the lowest entropy" observation.  A small
+// embedded seed corpus (original prose written for this repository) trains
+// an order-k character chain; generation walks the chain, optionally
+// resetting at sentence boundaries for variety.
+#ifndef IUSTITIA_DATAGEN_MARKOV_TEXT_H_
+#define IUSTITIA_DATAGEN_MARKOV_TEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::datagen {
+
+// Embedded English seed corpus (~4 KB of original prose).
+std::string_view seed_corpus() noexcept;
+
+// Order-k character Markov chain.
+class MarkovText {
+ public:
+  // Trains on `corpus` with the given context order (2 or 3 recommended).
+  // Throws std::invalid_argument if the corpus is shorter than order + 1.
+  MarkovText(std::string_view corpus, int order);
+
+  // Convenience: model trained on the embedded seed corpus.
+  static const MarkovText& english(int order = 3);
+
+  // Generates `length` characters.
+  std::string generate(std::size_t length, util::Rng& rng) const;
+
+  int order() const noexcept { return order_; }
+  std::size_t context_count() const noexcept { return transitions_.size(); }
+
+ private:
+  struct Transitions {
+    std::string next_chars;          // one entry per observed successor
+    std::vector<std::uint32_t> counts;
+  };
+
+  int order_;
+  std::vector<std::string> contexts_;  // for seeding generation
+  std::unordered_map<std::string, Transitions> transitions_;
+};
+
+// Draws a plausible lowercase "word" (for identifiers, hostnames, fields).
+std::string random_word(util::Rng& rng, std::size_t min_len = 3,
+                        std::size_t max_len = 10);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_MARKOV_TEXT_H_

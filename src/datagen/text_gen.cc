@@ -1,0 +1,174 @@
+#include "datagen/text_gen.h"
+
+#include <cstdio>
+#include <string_view>
+
+#include "datagen/markov_text.h"
+
+namespace iustitia::datagen {
+
+namespace {
+
+std::vector<std::uint8_t> to_bytes(const std::string& s, std::size_t size) {
+  std::vector<std::uint8_t> out(s.begin(), s.end());
+  out.resize(size, ' ');
+  return out;
+}
+
+std::string prose(std::size_t size, util::Rng& rng) {
+  return MarkovText::english(3).generate(size, rng);
+}
+
+std::string timestamp(util::Rng& rng) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf),
+                "2009-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                static_cast<int>(rng.uniform_int(1, 12)),
+                static_cast<int>(rng.uniform_int(1, 28)),
+                static_cast<int>(rng.uniform_int(0, 23)),
+                static_cast<int>(rng.uniform_int(0, 59)),
+                static_cast<int>(rng.uniform_int(0, 59)),
+                static_cast<int>(rng.uniform_int(0, 999)));
+  return buf;
+}
+
+std::string ip_address(util::Rng& rng) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%d.%d.%d.%d",
+                static_cast<int>(rng.uniform_int(1, 254)),
+                static_cast<int>(rng.uniform_int(0, 255)),
+                static_cast<int>(rng.uniform_int(0, 255)),
+                static_cast<int>(rng.uniform_int(1, 254)));
+  return buf;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_prose(std::size_t size, util::Rng& rng) {
+  return to_bytes(prose(size, rng), size);
+}
+
+std::vector<std::uint8_t> generate_html(std::size_t size, util::Rng& rng) {
+  static constexpr std::string_view kTags[] = {"p", "div", "span", "h2", "li",
+                                               "em", "td", "a"};
+  std::string out =
+      "<!DOCTYPE html>\n<html>\n<head>\n<title>";
+  out += random_word(rng, 4, 9);
+  out +=
+      "</title>\n<meta charset=\"utf-8\">\n</head>\n<body>\n";
+  while (out.size() < size) {
+    const std::string_view tag = kTags[rng.next_below(std::size(kTags))];
+    out += "<";
+    out += tag;
+    if (rng.chance(0.3)) {
+      out += " class=\"" + random_word(rng, 3, 8) + "\"";
+    }
+    if (tag == "a") {
+      out += " href=\"/" + random_word(rng, 3, 8) + "/" +
+             random_word(rng, 3, 8) + ".html\"";
+    }
+    out += ">";
+    out += prose(static_cast<std::size_t>(rng.uniform_int(40, 220)), rng);
+    out += "</";
+    out += tag;
+    out += ">\n";
+  }
+  out += "</body>\n</html>\n";
+  return to_bytes(out, size);
+}
+
+std::vector<std::uint8_t> generate_log(std::size_t size, util::Rng& rng) {
+  static constexpr std::string_view kLevels[] = {"INFO", "WARN", "ERROR",
+                                                 "DEBUG"};
+  static constexpr std::string_view kVerbs[] = {"GET", "POST", "PUT",
+                                                "DELETE"};
+  static constexpr int kStatus[] = {200, 200, 200, 201, 204, 301, 304, 400,
+                                    403, 404, 500, 502};
+  std::string out;
+  while (out.size() < size) {
+    out += timestamp(rng);
+    out += ' ';
+    out += kLevels[rng.next_below(std::size(kLevels))];
+    out += ' ';
+    out += ip_address(rng);
+    out += " \"";
+    out += kVerbs[rng.next_below(std::size(kVerbs))];
+    out += " /" + random_word(rng, 3, 8) + "/" + random_word(rng, 3, 10);
+    if (rng.chance(0.4)) {
+      out += "?" + random_word(rng, 2, 5) + "=" +
+             std::to_string(rng.uniform_int(0, 9999));
+    }
+    out += " HTTP/1.1\" ";
+    out += std::to_string(kStatus[rng.next_below(std::size(kStatus))]);
+    out += ' ';
+    out += std::to_string(rng.uniform_int(64, 250000));
+    out += " \"";
+    out += random_word(rng, 4, 8) + "/" +
+           std::to_string(rng.uniform_int(1, 9)) + "." +
+           std::to_string(rng.uniform_int(0, 9));
+    out += "\"\n";
+  }
+  return to_bytes(out, size);
+}
+
+std::vector<std::uint8_t> generate_csv(std::size_t size, util::Rng& rng) {
+  std::string out = "id,name,host,bytes,duration,status,comment\n";
+  std::int64_t id = rng.uniform_int(1000, 5000);
+  while (out.size() < size) {
+    out += std::to_string(id++);
+    out += ',' + random_word(rng, 4, 10);
+    out += ',' + random_word(rng, 3, 7) + "." + random_word(rng, 2, 5) +
+           ".example.com";
+    out += ',' + std::to_string(rng.uniform_int(100, 10000000));
+    out += ',' + std::to_string(rng.uniform(0.0, 90.0)).substr(0, 6);
+    out += ',' + std::to_string(rng.uniform_int(0, 5));
+    out += ",\"" + prose(static_cast<std::size_t>(rng.uniform_int(10, 50)), rng) +
+           "\"\n";
+  }
+  return to_bytes(out, size);
+}
+
+std::vector<std::uint8_t> generate_source_code(std::size_t size,
+                                               util::Rng& rng) {
+  static constexpr std::string_view kTypes[] = {"int", "double", "size_t",
+                                                "bool", "char", "long"};
+  std::string out = "// generated module\n#include <stdlib.h>\n\n";
+  while (out.size() < size) {
+    const std::string fn = random_word(rng, 4, 10);
+    out += std::string(kTypes[rng.next_below(std::size(kTypes))]) + " " + fn +
+           "(";
+    const int args = static_cast<int>(rng.uniform_int(0, 3));
+    for (int a = 0; a < args; ++a) {
+      if (a > 0) out += ", ";
+      out += std::string(kTypes[rng.next_below(std::size(kTypes))]) + " " +
+             random_word(rng, 1, 5);
+    }
+    out += ") {\n";
+    const int lines = static_cast<int>(rng.uniform_int(2, 8));
+    for (int l = 0; l < lines; ++l) {
+      out += "    " + random_word(rng, 2, 8) + " = " +
+             random_word(rng, 2, 8) + " + " +
+             std::to_string(rng.uniform_int(0, 255)) + ";\n";
+    }
+    out += "    return " + std::to_string(rng.uniform_int(0, 99)) + ";\n}\n\n";
+  }
+  return to_bytes(out, size);
+}
+
+std::vector<std::uint8_t> generate_email(std::size_t size, util::Rng& rng) {
+  std::string out;
+  out += "From: " + random_word(rng, 3, 8) + "@" + random_word(rng, 4, 8) +
+         ".example.com\n";
+  out += "To: " + random_word(rng, 3, 8) + "@" + random_word(rng, 4, 8) +
+         ".example.org\n";
+  out += "Date: " + timestamp(rng) + "\n";
+  out += "Subject: " +
+         prose(static_cast<std::size_t>(rng.uniform_int(15, 60)), rng) + "\n";
+  out += "MIME-Version: 1.0\nContent-Type: text/plain; charset=us-ascii\n\n";
+  if (out.size() < size) {
+    out += prose(size - out.size(), rng);
+  }
+  return to_bytes(out, size);
+}
+
+}  // namespace iustitia::datagen

@@ -1,0 +1,35 @@
+// Text-class file generators (paper text pool: documents, manuals, txt,
+// log files, HTML).
+#ifndef IUSTITIA_DATAGEN_TEXT_GEN_H_
+#define IUSTITIA_DATAGEN_TEXT_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::datagen {
+
+// Plain prose via the Markov model.
+std::vector<std::uint8_t> generate_prose(std::size_t size, util::Rng& rng);
+
+// HTML page: tags, attributes, prose body, some entities.
+std::vector<std::uint8_t> generate_html(std::size_t size, util::Rng& rng);
+
+// Server-style log lines: timestamps, IPs, paths, status codes.
+std::vector<std::uint8_t> generate_log(std::size_t size, util::Rng& rng);
+
+// CSV table with a header row and mixed numeric/word columns.
+std::vector<std::uint8_t> generate_csv(std::size_t size, util::Rng& rng);
+
+// C-like source code: keywords, identifiers, punctuation, indentation.
+std::vector<std::uint8_t> generate_source_code(std::size_t size,
+                                               util::Rng& rng);
+
+// Email message with header block and prose body (chat/email traffic).
+std::vector<std::uint8_t> generate_email(std::size_t size, util::Rng& rng);
+
+}  // namespace iustitia::datagen
+
+#endif  // IUSTITIA_DATAGEN_TEXT_GEN_H_

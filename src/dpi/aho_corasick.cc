@@ -1,0 +1,110 @@
+#include "dpi/aho_corasick.h"
+
+#include <deque>
+#include <stdexcept>
+
+namespace iustitia::dpi {
+
+AhoCorasick::AhoCorasick(std::vector<std::string> patterns)
+    : patterns_(std::move(patterns)) {
+  for (const std::string& p : patterns_) {
+    if (p.empty()) {
+      throw std::invalid_argument("AhoCorasick: empty pattern");
+    }
+  }
+
+  // Trie construction.
+  nodes_.emplace_back();
+  for (auto& e : nodes_[0].next) e = -1;
+  for (std::size_t pi = 0; pi < patterns_.size(); ++pi) {
+    std::int32_t state = 0;
+    for (const char ch : patterns_[pi]) {
+      const auto byte = static_cast<std::uint8_t>(ch);
+      if (nodes_[static_cast<std::size_t>(state)].next[byte] < 0) {
+        nodes_[static_cast<std::size_t>(state)].next[byte] =
+            static_cast<std::int32_t>(nodes_.size());
+        nodes_.emplace_back();
+        for (auto& e : nodes_.back().next) e = -1;
+      }
+      state = nodes_[static_cast<std::size_t>(state)].next[byte];
+    }
+    nodes_[static_cast<std::size_t>(state)].outputs.push_back(
+        static_cast<std::uint32_t>(pi));
+  }
+
+  // BFS failure-link construction; rewrite missing edges so scanning never
+  // follows failure links at match time (a full goto function).
+  std::deque<std::int32_t> queue;
+  for (int b = 0; b < 256; ++b) {
+    std::int32_t& edge = nodes_[0].next[b];
+    if (edge < 0) {
+      edge = 0;
+    } else {
+      nodes_[static_cast<std::size_t>(edge)].fail = 0;
+      queue.push_back(edge);
+    }
+  }
+  while (!queue.empty()) {
+    const std::int32_t state = queue.front();
+    queue.pop_front();
+    Node& node = nodes_[static_cast<std::size_t>(state)];
+    // Flatten output links: a state also emits everything its failure
+    // state emits.
+    const Node& fail_node = nodes_[static_cast<std::size_t>(node.fail)];
+    node.outputs.insert(node.outputs.end(), fail_node.outputs.begin(),
+                        fail_node.outputs.end());
+    for (int b = 0; b < 256; ++b) {
+      std::int32_t& edge = node.next[b];
+      const std::int32_t via_fail =
+          nodes_[static_cast<std::size_t>(node.fail)].next[b];
+      if (edge < 0) {
+        edge = via_fail;
+      } else {
+        nodes_[static_cast<std::size_t>(edge)].fail = via_fail;
+        queue.push_back(edge);
+      }
+    }
+  }
+}
+
+void AhoCorasick::scan(
+    std::span<const std::uint8_t> text,
+    const std::function<bool(const Match&)>& on_match) const {
+  std::int32_t state = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    state = nodes_[static_cast<std::size_t>(state)].next[text[i]];
+    const Node& node = nodes_[static_cast<std::size_t>(state)];
+    for (const std::uint32_t pattern : node.outputs) {
+      if (!on_match(Match{pattern, i + 1})) return;
+    }
+  }
+}
+
+void AhoCorasick::scan(
+    std::string_view text,
+    const std::function<bool(const Match&)>& on_match) const {
+  scan(std::span<const std::uint8_t>(
+           reinterpret_cast<const std::uint8_t*>(text.data()), text.size()),
+       on_match);
+}
+
+std::vector<Match> AhoCorasick::find_all(
+    std::span<const std::uint8_t> text) const {
+  std::vector<Match> out;
+  scan(text, [&](const Match& m) {
+    out.push_back(m);
+    return true;
+  });
+  return out;
+}
+
+bool AhoCorasick::contains_any(std::span<const std::uint8_t> text) const {
+  bool found = false;
+  scan(text, [&](const Match&) {
+    found = true;
+    return false;  // stop at first hit
+  });
+  return found;
+}
+
+}  // namespace iustitia::dpi

@@ -1,0 +1,74 @@
+// Aho-Corasick multi-pattern matcher.
+//
+// Substrate for the paper's IDS/IPS motivation (Section 1.1): an
+// intrusion-detection system matches thousands of byte signatures against
+// payloads, and flow-nature classification lets it apply only the relevant
+// signature set per flow.  This is a standard goto/fail/output automaton
+// over the byte alphabet with O(text + matches) scan time, so the
+// "signature work saved" numbers in the examples come from a real matcher
+// rather than a cost model.
+#ifndef IUSTITIA_DPI_AHO_CORASICK_H_
+#define IUSTITIA_DPI_AHO_CORASICK_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iustitia::dpi {
+
+// One match occurrence.
+struct Match {
+  std::size_t pattern_index = 0;  // index into the builder's pattern list
+  std::size_t end_offset = 0;     // offset one past the last matched byte
+};
+
+// Immutable multi-pattern matcher.  Build once, scan many.
+class AhoCorasick {
+ public:
+  // Builds the automaton over `patterns`.  Empty patterns are rejected
+  // with std::invalid_argument.  Case-sensitive byte matching.
+  explicit AhoCorasick(std::vector<std::string> patterns);
+
+  std::size_t pattern_count() const noexcept { return patterns_.size(); }
+  const std::string& pattern(std::size_t index) const {
+    return patterns_[index];
+  }
+
+  // Number of automaton states (for memory/diagnostics).
+  std::size_t state_count() const noexcept { return nodes_.size(); }
+
+  // Scans `text`, invoking `on_match` for every occurrence of every
+  // pattern (including overlapping ones).  Returning false from the
+  // callback stops the scan early.
+  void scan(std::span<const std::uint8_t> text,
+            const std::function<bool(const Match&)>& on_match) const;
+  void scan(std::string_view text,
+            const std::function<bool(const Match&)>& on_match) const;
+
+  // Convenience: all matches in `text`.
+  std::vector<Match> find_all(std::span<const std::uint8_t> text) const;
+
+  // Convenience: true if any pattern occurs.
+  bool contains_any(std::span<const std::uint8_t> text) const;
+
+ private:
+  struct Node {
+    // Dense goto table over the byte alphabet (-1 = no edge before the
+    // failure rewrite; after build, every entry is a valid next state).
+    std::int32_t next[256];
+    std::int32_t fail = 0;
+    // Indices of patterns ending at this state (via output links, the
+    // list is already flattened during construction).
+    std::vector<std::uint32_t> outputs;
+  };
+
+  std::vector<std::string> patterns_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace iustitia::dpi
+
+#endif  // IUSTITIA_DPI_AHO_CORASICK_H_

@@ -1,0 +1,73 @@
+#include "dpi/signature_set.h"
+
+#include "datagen/markov_text.h"
+
+namespace iustitia::dpi {
+
+std::vector<std::string> generate_text_signatures(std::size_t count,
+                                                  util::Rng& rng) {
+  static constexpr const char* kShapes[] = {
+      "select %w from %w",   "<script>%w",       "../../%w/%w",
+      "%w=%w' or '1'='1",    "/cgi-bin/%w.%w",   "cmd.exe /c %w",
+      "union select %w",     "%w.php?%w=",       "etc/passwd",
+      "javascript:%w(",      "onerror=%w(",      "wget http://%w/%w",
+  };
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string shape = kShapes[rng.next_below(std::size(kShapes))];
+    std::string sig;
+    for (std::size_t at = 0; at < shape.size(); ++at) {
+      if (at + 1 < shape.size() && shape[at] == '%' && shape[at + 1] == 'w') {
+        sig += datagen::random_word(rng, 3, 8);
+        ++at;
+      } else {
+        sig.push_back(shape[at]);
+      }
+    }
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+std::vector<std::string> generate_binary_signatures(std::size_t count,
+                                                    util::Rng& rng) {
+  std::vector<std::string> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(4, 12));
+    std::string sig(len, '\0');
+    for (char& c : sig) {
+      // Opcode-ish bytes; avoid 0x00 runs that would match everything in
+      // zero-padded sections.
+      c = static_cast<char>(rng.uniform_int(1, 255));
+    }
+    out.push_back(std::move(sig));
+  }
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> concat(std::vector<std::string> a,
+                                const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+SignatureEngine::SignatureEngine(std::vector<std::string> text_rules,
+                                 std::vector<std::string> binary_rules)
+    : text_(text_rules),
+      binary_(binary_rules),
+      combined_(concat(std::move(text_rules), binary_rules)) {}
+
+SignatureEngine SignatureEngine::generate(std::size_t text_rules,
+                                          std::size_t binary_rules,
+                                          util::Rng& rng) {
+  return SignatureEngine(generate_text_signatures(text_rules, rng),
+                         generate_binary_signatures(binary_rules, rng));
+}
+
+}  // namespace iustitia::dpi

@@ -1,0 +1,59 @@
+// Synthetic IDS signature sets, grouped by the flow nature they apply to.
+//
+// The paper's IDS/IPS use case routes binary-related signatures to binary
+// flows and text-related signatures to text flows (Section 1.1).  These
+// generators produce realistic signature pools — text signatures are
+// keyword/URI-style strings, binary signatures are short opcode/shellcode
+// byte motifs — so the prefilter examples and benches measure real
+// Aho-Corasick work.
+#ifndef IUSTITIA_DPI_SIGNATURE_SET_H_
+#define IUSTITIA_DPI_SIGNATURE_SET_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dpi/aho_corasick.h"
+#include "util/random.h"
+
+namespace iustitia::dpi {
+
+// Generates `count` text-flow signatures (script/SQL/URI-ish strings).
+std::vector<std::string> generate_text_signatures(std::size_t count,
+                                                  util::Rng& rng);
+
+// Generates `count` binary-flow signatures (4-12 byte binary motifs).
+std::vector<std::string> generate_binary_signatures(std::size_t count,
+                                                    util::Rng& rng);
+
+// Signature engine with per-nature rule sets compiled to Aho-Corasick
+// automata.
+class SignatureEngine {
+ public:
+  SignatureEngine(std::vector<std::string> text_rules,
+                  std::vector<std::string> binary_rules);
+
+  // Convenience: generated rule sets of the given sizes.
+  static SignatureEngine generate(std::size_t text_rules,
+                                  std::size_t binary_rules, util::Rng& rng);
+
+  const AhoCorasick& text_matcher() const noexcept { return text_; }
+  const AhoCorasick& binary_matcher() const noexcept { return binary_; }
+  const AhoCorasick& combined_matcher() const noexcept { return combined_; }
+
+  std::size_t text_rule_count() const noexcept {
+    return text_.pattern_count();
+  }
+  std::size_t binary_rule_count() const noexcept {
+    return binary_.pattern_count();
+  }
+
+ private:
+  AhoCorasick text_;
+  AhoCorasick binary_;
+  AhoCorasick combined_;  // baseline: every rule on every flow
+};
+
+}  // namespace iustitia::dpi
+
+#endif  // IUSTITIA_DPI_SIGNATURE_SET_H_

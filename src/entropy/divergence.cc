@@ -1,0 +1,60 @@
+#include "entropy/divergence.h"
+
+#include <cmath>
+#include <limits>
+
+namespace iustitia::entropy {
+
+GramDistribution to_distribution(const GramCounter& counter) {
+  GramDistribution dist;
+  const double total = static_cast<double>(counter.total_grams());
+  if (total <= 0.0) return dist;
+  counter.for_each([&](GramKey key, std::uint64_t count) {
+    dist[key] = static_cast<double>(count) / total;
+  });
+  return dist;
+}
+
+GramDistribution gram_distribution(std::span<const std::uint8_t> data,
+                                   int width) {
+  GramCounter counter(width);
+  counter.add(data);
+  return to_distribution(counter);
+}
+
+double distribution_entropy_bits(const GramDistribution& p) {
+  double h = 0.0;
+  for (const auto& [key, prob] : p) {
+    if (prob > 0.0) h -= prob * std::log2(prob);
+  }
+  return h;
+}
+
+double kl_divergence(const GramDistribution& p, const GramDistribution& q) {
+  double d = 0.0;
+  for (const auto& [key, pi] : p) {
+    if (pi <= 0.0) continue;
+    const auto it = q.find(key);
+    const double qi = it == q.end() ? 0.0 : it->second;
+    if (qi <= 0.0) return std::numeric_limits<double>::infinity();
+    d += pi * std::log2(pi / qi);
+  }
+  return d;
+}
+
+double js_divergence(const GramDistribution& p, const GramDistribution& q) {
+  // Build M = (P + Q) / 2 over the union support.
+  GramDistribution m = p;
+  for (auto& [key, prob] : m) prob *= 0.5;
+  for (const auto& [key, prob] : q) m[key] += 0.5 * prob;
+
+  const double jsd = distribution_entropy_bits(m) -
+                     0.5 * distribution_entropy_bits(p) -
+                     0.5 * distribution_entropy_bits(q);
+  // Numeric guard: theory gives [0, 1].
+  if (jsd < 0.0) return 0.0;
+  if (jsd > 1.0) return 1.0;
+  return jsd;
+}
+
+}  // namespace iustitia::entropy

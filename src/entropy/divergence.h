@@ -1,0 +1,45 @@
+// Kullback-Leibler and Jensen-Shannon divergence over gram distributions
+// (paper Section 3.2, Formula (2)).
+//
+// The paper validates Hypothesis 2 ("the randomness of the beginning of a
+// file represents the randomness of the whole file") by measuring the JSD
+// between the gram distribution of the first b bytes and that of the whole
+// file.  JSD here uses log base 2, so it is bounded in [0, 1] and equals 0
+// iff the distributions are identical.
+#ifndef IUSTITIA_ENTROPY_DIVERGENCE_H_
+#define IUSTITIA_ENTROPY_DIVERGENCE_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+
+#include "entropy/gram_counter.h"
+
+namespace iustitia::entropy {
+
+// Sparse probability distribution over gram keys.
+using GramDistribution = std::unordered_map<GramKey, double, GramKeyHash>;
+
+// Normalizes a counter into a probability distribution (empty if no grams).
+GramDistribution to_distribution(const GramCounter& counter);
+
+// Distribution of the k-grams of `data`.
+GramDistribution gram_distribution(std::span<const std::uint8_t> data,
+                                   int width);
+
+// KL divergence KLD(P||Q) in bits.  Terms where p_i > 0 but q_i == 0 would
+// be infinite; this is never the case for the JSD internals (Q is a strict
+// mixture), and the plain KLD returns +infinity in that case.
+double kl_divergence(const GramDistribution& p, const GramDistribution& q);
+
+// Jensen-Shannon divergence in bits, computed stably as
+//   JSD(P||Q) = H(M) - (H(P)+H(Q))/2,   M = (P+Q)/2.
+// Bounded [0, 1]; symmetric; 0 iff P == Q.
+double js_divergence(const GramDistribution& p, const GramDistribution& q);
+
+// Shannon entropy of a distribution in bits.
+double distribution_entropy_bits(const GramDistribution& p);
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_DIVERGENCE_H_

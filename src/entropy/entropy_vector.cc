@@ -1,0 +1,87 @@
+#include "entropy/entropy_vector.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace iustitia::entropy {
+
+double normalized_entropy_from_sum(double sum_count_log_count,
+                                   std::uint64_t total_grams,
+                                   int width) noexcept {
+  if (total_grams <= 1) return 0.0;
+  const double m = static_cast<double>(total_grams);
+  // Entropy in nats: ln(m) - S/m, then normalize by ln(|f_k|) = 8k * ln 2.
+  const double nats = std::log(m) - sum_count_log_count / m;
+  const double norm = 8.0 * static_cast<double>(width) * std::numbers::ln2;
+  double h = nats / norm;
+  // Clamp tiny numeric drift; the estimated path can also overshoot.
+  if (h < 0.0) h = 0.0;
+  if (h > 1.0) h = 1.0;
+  return h;
+}
+
+double normalized_entropy(const GramCounter& counter) noexcept {
+  return normalized_entropy_from_sum(counter.sum_count_log_count(),
+                                     counter.total_grams(), counter.width());
+}
+
+std::vector<int> full_feature_widths() {
+  return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+}
+std::vector<int> cart_selected_widths() { return {1, 3, 4, 10}; }
+std::vector<int> cart_preferred_widths() { return {1, 3, 4, 5}; }
+std::vector<int> svm_selected_widths() { return {1, 2, 3, 9}; }
+std::vector<int> svm_preferred_widths() { return {1, 2, 3, 5}; }
+
+EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
+                                           std::span<const int> widths) {
+  EntropyVectorResult out;
+  out.h.reserve(widths.size());
+  for (const int w : widths) {
+    GramCounter counter(w);
+    counter.add(data);
+    out.h.push_back(normalized_entropy(counter));
+    out.space_bytes += counter.space_bytes();
+  }
+  return out;
+}
+
+std::vector<double> entropy_vector(std::span<const std::uint8_t> data,
+                                   std::span<const int> widths) {
+  return compute_entropy_vector(data, widths).h;
+}
+
+StreamingEntropyVector::StreamingEntropyVector(std::span<const int> widths)
+    : widths_(widths.begin(), widths.end()) {
+  counters_.reserve(widths_.size());
+  for (const int w : widths_) counters_.emplace_back(w);
+}
+
+void StreamingEntropyVector::add(std::span<const std::uint8_t> data) {
+  for (auto& counter : counters_) counter.add(data);
+}
+
+void StreamingEntropyVector::reset() noexcept {
+  for (auto& counter : counters_) counter.reset();
+}
+
+std::vector<double> StreamingEntropyVector::vector() const {
+  std::vector<double> out;
+  out.reserve(counters_.size());
+  for (const auto& counter : counters_) {
+    out.push_back(normalized_entropy(counter));
+  }
+  return out;
+}
+
+std::uint64_t StreamingEntropyVector::total_bytes() const noexcept {
+  return counters_.empty() ? 0 : counters_.front().total_bytes();
+}
+
+std::size_t StreamingEntropyVector::space_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& counter : counters_) total += counter.space_bytes();
+  return total;
+}
+
+}  // namespace iustitia::entropy

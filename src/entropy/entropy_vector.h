@@ -1,0 +1,81 @@
+// Normalized k-gram entropy and entropy vectors (paper Section 3.1).
+//
+// h_k of an m-byte sequence is the Shannon entropy of its m-k+1 overlapping
+// k-grams, normalized by taking the logarithm base |f_k| = 2^(8k), so that
+// h_k is always in [0, 1] "element per symbol".  Formula (1) of the paper:
+//
+//   h_k = log(m-k+1) - (1/(m-k+1)) * sum_i m_ik * log(m_ik)   [base |f_k|]
+//
+// The entropy vector H of a byte sequence is (h_{w1}, ..., h_{wn}) for a
+// chosen set of feature widths; the paper uses widths 1..10 and then selects
+// subsets (Section 4.1).
+#ifndef IUSTITIA_ENTROPY_ENTROPY_VECTOR_H_
+#define IUSTITIA_ENTROPY_ENTROPY_VECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "entropy/gram_counter.h"
+
+namespace iustitia::entropy {
+
+// Normalized entropy from a populated counter; 0 when fewer than one gram.
+double normalized_entropy(const GramCounter& counter) noexcept;
+
+// Normalized entropy computed directly from S_k = sum m_ik * ln(m_ik),
+// the gram total, and the width.  Shared by the exact and estimated paths.
+double normalized_entropy_from_sum(double sum_count_log_count,
+                                   std::uint64_t total_grams,
+                                   int width) noexcept;
+
+// Feature widths h_1..h_10 used for the full entropy vector of the paper.
+std::vector<int> full_feature_widths();
+
+// Feature sets chosen in Section 4.1 after feature selection.
+std::vector<int> cart_selected_widths();        // phi_CART  = {1, 3, 4, 10}
+std::vector<int> cart_preferred_widths();       // phi'_CART = {1, 3, 4, 5}
+std::vector<int> svm_selected_widths();         // phi_SVM   = {1, 2, 3, 9}
+std::vector<int> svm_preferred_widths();        // phi'_SVM  = {1, 2, 3, 5}
+
+// Result of one entropy-vector computation, with the space accounting used
+// by Fig. 5(b) and Table 3.
+struct EntropyVectorResult {
+  std::vector<double> h;          // one value per requested width, in order
+  std::size_t space_bytes = 0;    // sum of counter space across widths
+};
+
+// Computes h_w for each width in `widths` over `data` by exact counting.
+EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
+                                           std::span<const int> widths);
+
+// Convenience overload returning only the feature values.
+std::vector<double> entropy_vector(std::span<const std::uint8_t> data,
+                                   std::span<const int> widths);
+
+// Incremental multi-width entropy computation for streaming flows.
+//
+// Maintains one GramCounter per requested width; payload chunks are fed via
+// add() as packets arrive, and vector() snapshots the current features.
+class StreamingEntropyVector {
+ public:
+  explicit StreamingEntropyVector(std::span<const int> widths);
+
+  void add(std::span<const std::uint8_t> data);
+  void reset() noexcept;
+
+  // Current normalized-entropy features (one per width, in input order).
+  std::vector<double> vector() const;
+
+  std::uint64_t total_bytes() const noexcept;
+  std::size_t space_bytes() const noexcept;
+  std::span<const int> widths() const noexcept { return widths_; }
+
+ private:
+  std::vector<int> widths_;
+  std::vector<GramCounter> counters_;
+};
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_ENTROPY_VECTOR_H_

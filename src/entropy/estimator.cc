@@ -1,0 +1,169 @@
+#include "entropy/estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace iustitia::entropy {
+
+int estimator_group_count(double delta) noexcept {
+  if (delta >= 1.0) return 1;
+  if (delta <= 0.0) delta = 1e-6;
+  const double g = 2.0 * std::log2(1.0 / delta);
+  return std::max(1, static_cast<int>(std::ceil(g)));
+}
+
+int estimator_samples_per_group(int width, std::size_t buffer_size,
+                                double epsilon) noexcept {
+  if (buffer_size < 2) return 1;
+  if (epsilon <= 0.0) epsilon = 1e-3;
+  // log_{|f_k|}(b) = ln b / (8k * ln 2)
+  const double log_fk_b = std::log(static_cast<double>(buffer_size)) /
+                          (8.0 * static_cast<double>(width) * std::numbers::ln2);
+  const double z = 32.0 * log_fk_b / (epsilon * epsilon);
+  return std::max(1, static_cast<int>(std::ceil(z)));
+}
+
+double feature_set_coefficient(std::span<const int> widths) noexcept {
+  double sum = 0.0;
+  for (const int w : widths) {
+    if (w != 1) sum += 1.0 / static_cast<double>(w);
+  }
+  return 8.0 * sum;
+}
+
+double epsilon_lower_bound(double k_phi, std::size_t buffer_size, double alpha,
+                           double delta) noexcept {
+  if (alpha <= 0.0 || buffer_size < 2) return 0.0;
+  if (delta >= 1.0) return 0.0;
+  if (delta <= 0.0) delta = 1e-6;
+  const double value = k_phi * std::log2(static_cast<double>(buffer_size)) /
+                       alpha * std::log2(1.0 / delta);
+  return value <= 0.0 ? 0.0 : std::sqrt(value);
+}
+
+double estimate_sum_count_log_count(std::span<const std::uint8_t> data,
+                                    int width, int samples_per_group,
+                                    int groups, util::Rng& rng) {
+  const auto w = static_cast<std::size_t>(width);
+  if (data.size() < w) return 0.0;
+  const std::size_t gram_count = data.size() - w + 1;
+  const double m = static_cast<double>(gram_count);
+
+  std::vector<double> group_means;
+  group_means.reserve(static_cast<std::size_t>(groups));
+  for (int gi = 0; gi < groups; ++gi) {
+    double sum = 0.0;
+    for (int zi = 0; zi < samples_per_group; ++zi) {
+      const auto pos = static_cast<std::size_t>(rng.next_below(gram_count));
+      const GramKey element = pack_gram(data.data() + pos, width);
+      // Count occurrences of `element` from `pos` to the end of the buffer,
+      // as the paper's step 2 prescribes.  This linear scan is the reason
+      // estimation costs more time than exact counting at these buffer
+      // sizes (Table 3) while using far less space.
+      std::uint64_t c = 0;
+      for (std::size_t i = pos; i < gram_count; ++i) {
+        if (pack_gram(data.data() + i, width) == element) ++c;
+      }
+      // Unbiased estimator of S_k: m * (c ln c - (c-1) ln (c-1)).
+      const double cd = static_cast<double>(c);
+      double x = cd * std::log(cd);
+      if (c > 1) {
+        x -= (cd - 1.0) * std::log(cd - 1.0);
+      }
+      sum += m * x;
+    }
+    group_means.push_back(sum / static_cast<double>(samples_per_group));
+  }
+
+  std::sort(group_means.begin(), group_means.end());
+  const std::size_t n = group_means.size();
+  if (n % 2 == 1) return group_means[n / 2];
+  return 0.5 * (group_means[n / 2 - 1] + group_means[n / 2]);
+}
+
+EntropyVectorResult estimate_entropy_vector(std::span<const std::uint8_t> data,
+                                            std::span<const int> widths,
+                                            const EstimatorParams& params,
+                                            util::Rng& rng) {
+  EntropyVectorResult out;
+  out.h.reserve(widths.size());
+  const int groups = estimator_group_count(params.delta);
+  for (const int w : widths) {
+    if (w == 1) {
+      // |f_1| = 256 is not >> b: the sketch's precondition fails, so h_1 is
+      // always computed exactly (paper Section 4.4.1).
+      GramCounter counter(1);
+      counter.add(data);
+      out.h.push_back(normalized_entropy(counter));
+      out.space_bytes += 256 * sizeof(std::uint32_t);
+      continue;
+    }
+    const int z = estimator_samples_per_group(w, data.size(), params.epsilon);
+    const double s_hat =
+        estimate_sum_count_log_count(data, w, z, groups, rng);
+    const auto ws = static_cast<std::size_t>(w);
+    const std::uint64_t gram_count =
+        data.size() >= ws ? data.size() - ws + 1 : 0;
+    out.h.push_back(normalized_entropy_from_sum(s_hat, gram_count, w));
+    out.space_bytes += static_cast<std::size_t>(z) *
+                       static_cast<std::size_t>(groups) * sizeof(std::uint32_t);
+  }
+  return out;
+}
+
+std::optional<EstimatorParams> choose_estimator_params(
+    std::span<const int> widths, std::size_t buffer_size,
+    std::size_t max_counters, double max_epsilon) {
+  // Most-confident candidates first; 0.75 is the paper's SVM optimum.
+  static constexpr double kDeltas[] = {0.1, 0.25, 0.5, 0.75, 0.9};
+  const double k_phi = feature_set_coefficient(widths);
+  if (k_phi <= 0.0) {
+    // Only width 1 requested: no sketch counters needed at all.
+    return EstimatorParams{.epsilon = max_epsilon, .delta = 0.9};
+  }
+  for (const double delta : kDeltas) {
+    // Formula (4) lower bound, then a 2% margin over it to absorb the
+    // ceil() in the per-width counter counts.
+    const double floor = epsilon_lower_bound(
+        k_phi, buffer_size, static_cast<double>(max_counters), delta);
+    double epsilon = floor * 1.02;
+    if (epsilon > max_epsilon || epsilon <= 0.0) continue;
+    // ceil() rounding can still overshoot slightly; nudge epsilon up until
+    // the realized counter count fits.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const EstimatorParams params{.epsilon = epsilon, .delta = delta};
+      std::size_t counters = 0;
+      const int groups = estimator_group_count(delta);
+      for (const int w : widths) {
+        if (w == 1) continue;
+        counters += static_cast<std::size_t>(estimator_samples_per_group(
+                        w, buffer_size, epsilon)) *
+                    static_cast<std::size_t>(groups);
+      }
+      if (counters <= max_counters) return params;
+      epsilon *= 1.05;
+      if (epsilon > max_epsilon) break;
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t estimator_space_bytes(std::span<const int> widths,
+                                  std::size_t buffer_size,
+                                  const EstimatorParams& params) noexcept {
+  std::size_t total = 0;
+  const int groups = estimator_group_count(params.delta);
+  for (const int w : widths) {
+    if (w == 1) {
+      total += 256 * sizeof(std::uint32_t);
+      continue;
+    }
+    const int z = estimator_samples_per_group(w, buffer_size, params.epsilon);
+    total += static_cast<std::size_t>(z) * static_cast<std::size_t>(groups) *
+             sizeof(std::uint32_t);
+  }
+  return total;
+}
+
+}  // namespace iustitia::entropy

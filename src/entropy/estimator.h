@@ -1,0 +1,90 @@
+// Streaming (delta, epsilon)-approximation of entropy (paper Section 4.4).
+//
+// For widths k >= 2 (|f_k| >> b), Iustitia estimates
+//   S_k = sum_i m_ik * ln(m_ik)
+// with the algorithm of Lall et al. (SIGMETRICS 2006), built on the
+// Alon-Matias-Szegedy frequency-moment sampling:
+//   1. pick g*z random gram positions in the buffer,
+//   2. for each position, count the occurrences c of that gram from the
+//      position to the end of the buffer,
+//   3. form the unbiased estimator m' * (c*ln c - (c-1)*ln(c-1)),
+//   4. average within each of the g groups of z estimators,
+//   5. take the median of the g group means.
+// The estimate has relative error at most epsilon with probability at least
+// 1 - delta.  Width 1 always uses exact counting because |f_1| = 256 is not
+// >> b (the estimator's precondition fails), exactly as the paper states.
+//
+// Counter sizing (paper Formulas (3) and (4)):
+//   z_k = ceil(32 * log_{|f_k|}(b) / epsilon^2),   g = ceil(2 * log2(1/delta))
+//   K_phi = 8 * sum_{k in phi, k != 1} 1/k
+//   epsilon > sqrt(K_phi * log2(b) / alpha * log2(1/delta))
+#ifndef IUSTITIA_ENTROPY_ESTIMATOR_H_
+#define IUSTITIA_ENTROPY_ESTIMATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "entropy/entropy_vector.h"
+#include "util/random.h"
+
+namespace iustitia::entropy {
+
+// Accuracy knobs of the (delta, epsilon)-approximation.
+struct EstimatorParams {
+  double epsilon = 0.25;  // relative error bound, in (0, 1]
+  double delta = 0.75;    // failure probability bound, in (0, 1)
+};
+
+// Number of estimator groups g = ceil(2 * log2(1/delta)), at least 1.
+int estimator_group_count(double delta) noexcept;
+
+// Per-group sample count z_k = ceil(32 * log_{|f_k|}(b) / epsilon^2),
+// at least 1.  `buffer_size` is the byte buffer length b.
+int estimator_samples_per_group(int width, std::size_t buffer_size,
+                                double epsilon) noexcept;
+
+// Feature-set coefficient K_phi = 8 * sum_{k != 1} 1/k over `widths`.
+double feature_set_coefficient(std::span<const int> widths) noexcept;
+
+// Lower bound on epsilon so that estimation uses fewer counters than exact
+// counting with `alpha` counters (Formula (4)).
+double epsilon_lower_bound(double k_phi, std::size_t buffer_size,
+                           double alpha, double delta) noexcept;
+
+// Estimates S_k = sum m_ik ln m_ik of the k-grams of `data` using g groups
+// of z samples.  Deterministic given `rng` state.
+double estimate_sum_count_log_count(std::span<const std::uint8_t> data,
+                                    int width, int samples_per_group,
+                                    int groups, util::Rng& rng);
+
+// Estimates the entropy vector for `widths` over `data`.
+//
+// Width 1 is computed exactly (see above); every other width uses the
+// sketch.  space_bytes charges 4 bytes per sketch counter plus the exact
+// width-1 table, which is the accounting behind Table 3.
+EntropyVectorResult estimate_entropy_vector(std::span<const std::uint8_t> data,
+                                            std::span<const int> widths,
+                                            const EstimatorParams& params,
+                                            util::Rng& rng);
+
+// Space in bytes the estimator needs for the given configuration, without
+// running it (4 bytes per counter; exact 256-entry table for width 1).
+std::size_t estimator_space_bytes(std::span<const int> widths,
+                                  std::size_t buffer_size,
+                                  const EstimatorParams& params) noexcept;
+
+// Realizes Formula (4) as a configuration helper: picks (epsilon, delta)
+// so the estimator fits within `max_counters` sketch counters (exclusive
+// of the exact width-1 table) for the given feature set and buffer size.
+// Tries the candidate deltas from most to least confident and returns the
+// first that admits an epsilon <= `max_epsilon`; std::nullopt when even
+// the loosest delta cannot fit the budget.
+std::optional<EstimatorParams> choose_estimator_params(
+    std::span<const int> widths, std::size_t buffer_size,
+    std::size_t max_counters, double max_epsilon = 1.0);
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_ESTIMATOR_H_

@@ -1,0 +1,148 @@
+#include "entropy/gram_counter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace iustitia::entropy {
+
+GramKey pack_gram(const std::uint8_t* data, int width) noexcept {
+  GramKey key = 0;
+  for (int i = 0; i < width; ++i) {
+    key = (key << 8) | data[i];
+  }
+  return key;
+}
+
+GramCounter::GramCounter(int width) : width_(width) {
+  if (width < 1 || width > kMaxGramWidth) {
+    throw std::invalid_argument("GramCounter width must be in [1, 16]");
+  }
+  if (width_ == 1) {
+    byte_counts_.assign(256, 0);
+  }
+  tail_.reserve(static_cast<std::size_t>(width_ - 1));
+}
+
+void GramCounter::reset() noexcept {
+  total_grams_ = 0;
+  total_bytes_ = 0;
+  sum_count_log_count_ = 0.0;
+  tail_.clear();
+  if (width_ == 1) {
+    byte_counts_.assign(256, 0);
+  } else {
+    counts_.clear();
+  }
+}
+
+void GramCounter::bump_sum(std::uint64_t old_count) noexcept {
+  // S gains (c+1)ln(c+1) - c*ln(c) when a gram's count goes c -> c+1.
+  const double c = static_cast<double>(old_count);
+  const double c1 = c + 1.0;
+  sum_count_log_count_ += c1 * std::log(c1);
+  if (old_count > 0) sum_count_log_count_ -= c * std::log(c);
+}
+
+void GramCounter::add(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  if (width_ == 1) {
+    for (const std::uint8_t b : data) {
+      bump_sum(byte_counts_[b]);
+      ++byte_counts_[b];
+    }
+    total_grams_ += data.size();
+    return;
+  }
+
+  // Stitch the retained tail with the new data so grams crossing the call
+  // boundary are counted.  The stitched region is at most 2*(width-1) bytes.
+  const auto w = static_cast<std::size_t>(width_);
+  if (!tail_.empty()) {
+    std::vector<std::uint8_t> joint(tail_);
+    const std::size_t take = data.size() < w - 1 ? data.size() : w - 1;
+    joint.insert(joint.end(), data.begin(),
+                 data.begin() + static_cast<std::ptrdiff_t>(take));
+    if (joint.size() >= w) {
+      for (std::size_t i = 0; i + w <= joint.size(); ++i) {
+        std::uint64_t& count = counts_[pack_gram(joint.data() + i, width_)];
+        bump_sum(count);
+        ++count;
+        ++total_grams_;
+      }
+    }
+  }
+  // Grams fully inside `data`.
+  if (data.size() >= w) {
+    for (std::size_t i = 0; i + w <= data.size(); ++i) {
+      std::uint64_t& count = counts_[pack_gram(data.data() + i, width_)];
+      bump_sum(count);
+      ++count;
+      ++total_grams_;
+    }
+  }
+  // Update the tail: last (width-1) bytes of the logical stream.
+  if (data.size() >= w - 1) {
+    tail_.assign(data.end() - static_cast<std::ptrdiff_t>(w - 1), data.end());
+  } else {
+    tail_.insert(tail_.end(), data.begin(), data.end());
+    if (tail_.size() > w - 1) {
+      tail_.erase(tail_.begin(),
+                  tail_.begin() + static_cast<std::ptrdiff_t>(tail_.size() -
+                                                              (w - 1)));
+    }
+  }
+}
+
+std::size_t GramCounter::distinct() const {
+  if (width_ == 1) {
+    std::size_t n = 0;
+    for (const std::uint64_t c : byte_counts_) n += (c != 0);
+    return n;
+  }
+  return counts_.size();
+}
+
+std::uint64_t GramCounter::count(GramKey key) const {
+  if (width_ == 1) {
+    return byte_counts_[static_cast<std::size_t>(key & 0xFF)];
+  }
+  const auto it = counts_.find(key);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+double GramCounter::sum_count_log_count_recomputed() const {
+  double sum = 0.0;
+  if (width_ == 1) {
+    for (const std::uint64_t c : byte_counts_) {
+      if (c > 1) sum += static_cast<double>(c) * std::log(static_cast<double>(c));
+    }
+    return sum;
+  }
+  for (const auto& [key, c] : counts_) {
+    if (c > 1) sum += static_cast<double>(c) * std::log(static_cast<double>(c));
+  }
+  return sum;
+}
+
+void GramCounter::for_each(
+    const std::function<void(GramKey, std::uint64_t)>& fn) const {
+  if (width_ == 1) {
+    for (std::size_t b = 0; b < 256; ++b) {
+      if (byte_counts_[b] != 0) fn(static_cast<GramKey>(b), byte_counts_[b]);
+    }
+    return;
+  }
+  for (const auto& [key, c] : counts_) fn(key, c);
+}
+
+std::size_t GramCounter::space_bytes() const noexcept {
+  if (width_ == 1) {
+    // A production implementation would use one byte-indexed table of
+    // 32-bit counters; charge that, matching the paper's space accounting.
+    return 256 * sizeof(std::uint32_t);
+  }
+  // Hash-map entry: key (16B) + count (8B) + bucket overhead (~8B).
+  return counts_.size() * (sizeof(GramKey) + sizeof(std::uint64_t) + 8);
+}
+
+}  // namespace iustitia::entropy

@@ -1,0 +1,107 @@
+// Exact k-gram frequency counting over byte streams.
+//
+// The paper (Section 3.1) treats a file or flow prefix as a sequence of
+// overlapping k-byte elements drawn from the alphabet f_k of all 2^(8k)
+// possible k-byte strings.  GramCounter maintains the exact frequency table
+// m_ik for one width k; it accepts data incrementally so the online engine
+// can feed packet payloads as they arrive.
+//
+// Keys are the k bytes packed big-endian into a 128-bit integer, which is
+// exact for every width the paper uses (k <= 10 <= 16).
+#ifndef IUSTITIA_ENTROPY_GRAM_COUNTER_H_
+#define IUSTITIA_ENTROPY_GRAM_COUNTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace iustitia::entropy {
+
+// 128-bit gram key; exact for k-gram widths up to 16.
+using GramKey = unsigned __int128;
+
+// Hash functor for GramKey (mixes both halves).
+struct GramKeyHash {
+  std::size_t operator()(GramKey key) const noexcept {
+    const auto lo = static_cast<std::uint64_t>(key);
+    const auto hi = static_cast<std::uint64_t>(key >> 64);
+    return static_cast<std::size_t>(util::hash_combine(util::mix64(lo), hi));
+  }
+};
+
+// Maximum k-gram width supported (the paper uses 1..10).
+inline constexpr int kMaxGramWidth = 16;
+
+// Exact frequency counter for overlapping k-grams of a byte stream.
+//
+// Width-1 counting uses a flat 256-entry array; wider grams use a hash map,
+// which is compact in practice because a b-byte buffer contains at most
+// b-k+1 distinct grams (|f_k| >> b for k >= 2, as the paper notes).
+class GramCounter {
+ public:
+  // `width` must be in [1, kMaxGramWidth]; throws std::invalid_argument
+  // otherwise.
+  explicit GramCounter(int width);
+
+  // Appends `data` to the logical stream; grams spanning call boundaries are
+  // counted correctly via the retained (k-1)-byte tail.
+  void add(std::span<const std::uint8_t> data);
+
+  // Clears all counts and the carry-over tail.
+  void reset() noexcept;
+
+  int width() const noexcept { return width_; }
+
+  // Number of grams counted so far: max(0, bytes_seen - width + 1).
+  std::uint64_t total_grams() const noexcept { return total_grams_; }
+
+  // Total bytes fed in.
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  // Number of distinct grams observed.
+  std::size_t distinct() const;
+
+  // Frequency of one gram key.
+  std::uint64_t count(GramKey key) const;
+
+  // Sum over grams of m_ik * ln(m_ik)  (natural log; 0 when no grams).
+  // Maintained incrementally on add(), so this is O(1).
+  double sum_count_log_count() const noexcept { return sum_count_log_count_; }
+
+  // Recomputes the sum from the raw counts (O(distinct)); used by tests to
+  // validate the incremental bookkeeping.
+  double sum_count_log_count_recomputed() const;
+
+  // Visits every (key, count) pair.
+  void for_each(const std::function<void(GramKey, std::uint64_t)>& fn) const;
+
+  // Approximate resident size of the counter structures in bytes; this is
+  // the "space" series of Fig. 5(b) and Table 3.
+  std::size_t space_bytes() const noexcept;
+
+ private:
+  // Updates the incremental S on a count transition c -> c+1.
+  void bump_sum(std::uint64_t old_count) noexcept;
+
+  int width_;
+  std::uint64_t total_grams_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  double sum_count_log_count_ = 0.0;
+  // Last (width-1) bytes seen, to stitch grams across add() calls.
+  std::vector<std::uint8_t> tail_;
+  // width == 1 fast path.
+  std::vector<std::uint64_t> byte_counts_;
+  // width >= 2 path.
+  std::unordered_map<GramKey, std::uint64_t, GramKeyHash> counts_;
+};
+
+// Packs `width` bytes starting at `data` into a big-endian GramKey.
+GramKey pack_gram(const std::uint8_t* data, int width) noexcept;
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_GRAM_COUNTER_H_

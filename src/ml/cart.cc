@@ -1,0 +1,367 @@
+#include "ml/cart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace iustitia::ml {
+
+namespace {
+
+// Evaluates a classifier's plain accuracy on a dataset without materializing
+// a confusion matrix.
+double tree_accuracy(const DecisionTree& tree, const Dataset& data) {
+  if (data.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (const auto& s : data.samples()) {
+    if (tree.predict(s.features) == s.label) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+ConfusionMatrix Classifier::evaluate(const Dataset& data) const {
+  ConfusionMatrix matrix(std::max(num_classes(), 1));
+  for (const auto& s : data.samples()) {
+    matrix.add(s.label, predict(s.features));
+  }
+  return matrix;
+}
+
+double gini_impurity(std::span<const std::size_t> class_counts) noexcept {
+  std::size_t total = 0;
+  for (const std::size_t c : class_counts) total += c;
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const std::size_t c : class_counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+double entropy_impurity(std::span<const std::size_t> class_counts) noexcept {
+  std::size_t total = 0;
+  for (const std::size_t c : class_counts) total += c;
+  if (total == 0) return 0.0;
+  double h = 0.0;
+  for (const std::size_t c : class_counts) {
+    if (c == 0) continue;
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double impurity(std::span<const std::size_t> class_counts,
+                SplitCriterion criterion) noexcept {
+  return criterion == SplitCriterion::kGini
+             ? gini_impurity(class_counts)
+             : entropy_impurity(class_counts);
+}
+
+void DecisionTree::train(const Dataset& data, const CartParams& params) {
+  if (data.empty()) {
+    throw std::invalid_argument("DecisionTree::train: empty dataset");
+  }
+  nodes_.clear();
+  num_classes_ = data.num_classes();
+  feature_count_ = data.feature_count();
+  std::vector<std::size_t> rows(data.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  build_node(data, rows, 0, params);
+}
+
+int DecisionTree::build_node(const Dataset& data,
+                             std::vector<std::size_t>& rows, std::size_t depth,
+                             const CartParams& params) {
+  const auto k = static_cast<std::size_t>(num_classes_);
+  std::vector<std::size_t> counts(k, 0);
+  for (const std::size_t r : rows) {
+    ++counts[static_cast<std::size_t>(data[r].label)];
+  }
+
+  Node node;
+  node.samples = rows.size();
+  node.impurity = impurity(counts, params.criterion);
+  std::size_t best_count = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    if (counts[c] > best_count) {
+      best_count = counts[c];
+      node.label = static_cast<int>(c);
+    }
+  }
+  node.errors = rows.size() - best_count;
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.push_back(node);
+
+  const bool stop = depth >= params.max_depth ||
+                    rows.size() < params.min_samples_split ||
+                    node.impurity <= 0.0;
+  if (stop) return node_index;
+
+  // Exhaustive best-split search: for each feature, sort rows by value and
+  // scan candidate thresholds between distinct values.
+  int best_feature = -1;
+  double best_threshold = 0.0;
+  double best_gain = params.min_gini_gain;
+  const double parent_impurity = node.impurity;
+  const double n_total = static_cast<double>(rows.size());
+
+  std::vector<std::pair<double, int>> column(rows.size());
+  std::vector<std::size_t> left_counts(k);
+  for (std::size_t f = 0; f < data.feature_count(); ++f) {
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      column[i] = {data[rows[i]].features[f], data[rows[i]].label};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::vector<std::size_t> right_counts = counts;
+    for (std::size_t i = 0; i + 1 < column.size(); ++i) {
+      const auto label = static_cast<std::size_t>(column[i].second);
+      ++left_counts[label];
+      --right_counts[label];
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t n_left = i + 1;
+      const std::size_t n_right = column.size() - n_left;
+      if (n_left < params.min_samples_leaf ||
+          n_right < params.min_samples_leaf) {
+        continue;
+      }
+      const double gain =
+          parent_impurity -
+          (static_cast<double>(n_left) / n_total) *
+              impurity(left_counts, params.criterion) -
+          (static_cast<double>(n_right) / n_total) *
+              impurity(right_counts, params.criterion);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (column[i].first + column[i + 1].first);
+      }
+    }
+  }
+
+  if (best_feature < 0) return node_index;
+
+  std::vector<std::size_t> left_rows, right_rows;
+  left_rows.reserve(rows.size());
+  right_rows.reserve(rows.size());
+  for (const std::size_t r : rows) {
+    const double v = data[r].features[static_cast<std::size_t>(best_feature)];
+    (v <= best_threshold ? left_rows : right_rows).push_back(r);
+  }
+  if (left_rows.empty() || right_rows.empty()) return node_index;
+
+  rows.clear();
+  rows.shrink_to_fit();  // free before recursing
+
+  const int left = build_node(data, left_rows, depth + 1, params);
+  const int right = build_node(data, right_rows, depth + 1, params);
+  nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  if (nodes_.empty()) {
+    throw std::logic_error("DecisionTree::predict: untrained model");
+  }
+  std::size_t index = 0;
+  for (;;) {
+    const Node& node = nodes_[index];
+    if (node.feature < 0) return node.label;
+    const double v = features[static_cast<std::size_t>(node.feature)];
+    index = static_cast<std::size_t>(v <= node.threshold ? node.left
+                                                         : node.right);
+  }
+}
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  std::size_t leaves = 0;
+  for (const auto& node : nodes_) leaves += (node.feature < 0);
+  return leaves;
+}
+
+std::size_t DecisionTree::depth() const noexcept {
+  if (nodes_.empty()) return 0;
+  // Iterative depth computation over the flat representation.
+  std::vector<std::pair<std::size_t, std::size_t>> stack{{0, 1}};
+  std::size_t max_depth = 0;
+  while (!stack.empty()) {
+    const auto [index, d] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, d);
+    const Node& node = nodes_[index];
+    if (node.feature >= 0) {
+      stack.emplace_back(static_cast<std::size_t>(node.left), d + 1);
+      stack.emplace_back(static_cast<std::size_t>(node.right), d + 1);
+    }
+  }
+  return max_depth;
+}
+
+bool DecisionTree::prune_weakest_link() {
+  if (nodes_.empty() || nodes_[0].feature < 0) return false;
+
+  // For every internal node t: alpha = (R(t) - R(T_t)) / (leaves(T_t) - 1),
+  // where R is training misclassification count; collapse the minimizer.
+  struct SubtreeInfo {
+    std::size_t leaf_errors = 0;
+    std::size_t leaves = 0;
+  };
+  std::vector<SubtreeInfo> info(nodes_.size());
+
+  // Nodes were appended in preorder, so children always follow parents;
+  // a reverse sweep computes subtree aggregates bottom-up.
+  for (std::size_t i = nodes_.size(); i-- > 0;) {
+    const Node& node = nodes_[i];
+    if (node.feature < 0) {
+      info[i] = {node.errors, 1};
+    } else {
+      const auto l = static_cast<std::size_t>(node.left);
+      const auto r = static_cast<std::size_t>(node.right);
+      info[i] = {info[l].leaf_errors + info[r].leaf_errors,
+                 info[l].leaves + info[r].leaves};
+    }
+  }
+
+  double best_alpha = std::numeric_limits<double>::infinity();
+  std::size_t best_node = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].feature < 0) continue;
+    const double r_collapsed = static_cast<double>(nodes_[i].errors);
+    const double r_subtree = static_cast<double>(info[i].leaf_errors);
+    const double leaves = static_cast<double>(info[i].leaves);
+    const double alpha = (r_collapsed - r_subtree) / std::max(1.0, leaves - 1.0);
+    if (!found || alpha < best_alpha) {
+      best_alpha = alpha;
+      best_node = i;
+      found = true;
+    }
+  }
+  if (!found) return false;
+
+  // Collapse into a leaf, then compact away the now-unreachable subtree so
+  // node/leaf counts and later alpha computations stay exact.
+  nodes_[best_node].feature = -1;
+  nodes_[best_node].left = -1;
+  nodes_[best_node].right = -1;
+  compact();
+  return true;
+}
+
+void DecisionTree::compact() {
+  if (nodes_.empty()) return;
+  std::vector<Node> kept;
+  // Reserve up front: parent_slot pointers point into `kept`, which must
+  // therefore never reallocate during the rebuild (size only shrinks).
+  kept.reserve(nodes_.size());
+  // Preorder DFS rebuild, preserving the children-follow-parents layout
+  // that prune_weakest_link's reverse sweep depends on.
+  struct Frame {
+    std::size_t old_index;
+    int* parent_slot;  // where to write the new index, or nullptr for root
+  };
+  std::vector<Frame> stack{{0, nullptr}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const int new_index = static_cast<int>(kept.size());
+    if (frame.parent_slot != nullptr) *frame.parent_slot = new_index;
+    kept.push_back(nodes_[frame.old_index]);
+    Node& node = kept.back();
+    if (node.feature >= 0) {
+      // Right is pushed first so left is visited (and appended) first.
+      stack.push_back({static_cast<std::size_t>(node.right), &node.right});
+      stack.push_back({static_cast<std::size_t>(node.left), &node.left});
+    }
+  }
+  nodes_ = std::move(kept);
+}
+
+std::size_t DecisionTree::prune_to_accuracy(const Dataset& validation,
+                                            double max_drop) {
+  const double baseline = tree_accuracy(*this, validation);
+  std::size_t steps = 0;
+  for (;;) {
+    const DecisionTree backup = *this;
+    if (!prune_weakest_link()) break;
+    if (tree_accuracy(*this, validation) < baseline - max_drop) {
+      *this = backup;  // undo the step that crossed the threshold
+      break;
+    }
+    ++steps;
+  }
+  return steps;
+}
+
+std::vector<std::size_t> DecisionTree::features_used() const {
+  std::vector<bool> used(feature_count_, false);
+  // Walk only reachable nodes (pruned subtrees stay in the vector).
+  if (!nodes_.empty()) {
+    std::vector<std::size_t> stack{0};
+    while (!stack.empty()) {
+      const std::size_t i = stack.back();
+      stack.pop_back();
+      const Node& node = nodes_[i];
+      if (node.feature >= 0) {
+        used[static_cast<std::size_t>(node.feature)] = true;
+        stack.push_back(static_cast<std::size_t>(node.left));
+        stack.push_back(static_cast<std::size_t>(node.right));
+      }
+    }
+  }
+  std::vector<std::size_t> out;
+  for (std::size_t f = 0; f < used.size(); ++f) {
+    if (used[f]) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<double> DecisionTree::feature_importance() const {
+  std::vector<double> importance(feature_count_, 0.0);
+  if (nodes_.empty()) return importance;
+  const double n_root = static_cast<double>(nodes_[0].samples);
+  std::vector<std::size_t> stack{0};
+  while (!stack.empty()) {
+    const std::size_t i = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[i];
+    if (node.feature < 0) continue;
+    const auto l = static_cast<std::size_t>(node.left);
+    const auto r = static_cast<std::size_t>(node.right);
+    const double n = static_cast<double>(node.samples);
+    const double nl = static_cast<double>(nodes_[l].samples);
+    const double nr = static_cast<double>(nodes_[r].samples);
+    const double gain = node.impurity - (nl / n) * nodes_[l].impurity -
+                        (nr / n) * nodes_[r].impurity;
+    importance[static_cast<std::size_t>(node.feature)] +=
+        (n / n_root) * std::max(0.0, gain);
+    stack.push_back(l);
+    stack.push_back(r);
+  }
+  double total = 0.0;
+  for (const double v : importance) total += v;
+  if (total > 0.0) {
+    for (double& v : importance) v /= total;
+  }
+  return importance;
+}
+
+void DecisionTree::restore(std::vector<Node> nodes, int num_classes,
+                           std::size_t feature_count) {
+  nodes_ = std::move(nodes);
+  num_classes_ = num_classes;
+  feature_count_ = feature_count;
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,109 @@
+// CART decision tree (Breiman et al. 1984), one of the paper's two
+// classification backends.
+//
+// Standard binary tree grown by exhaustive Gini-impurity split search with
+// depth / leaf-size stopping rules, plus weakest-link (cost-complexity)
+// pruning.  Pruning doubles as the paper's CART feature-selection mechanism
+// (Section 4.1): trees are pruned until accuracy drops by a threshold, and
+// the features surviving in the pruned trees are voted on.
+#ifndef IUSTITIA_ML_CART_H_
+#define IUSTITIA_ML_CART_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace iustitia::ml {
+
+// Split-quality criterion: Gini impurity (Breiman's default) or Shannon
+// entropy (information gain).
+enum class SplitCriterion { kGini, kEntropy };
+
+// Growth-control parameters.
+struct CartParams {
+  SplitCriterion criterion = SplitCriterion::kGini;
+  std::size_t max_depth = 16;
+  std::size_t min_samples_leaf = 2;
+  std::size_t min_samples_split = 4;
+  double min_gini_gain = 1e-9;
+};
+
+// A trained CART model.
+class DecisionTree final : public Classifier {
+ public:
+  // Tree node; `feature < 0` marks a leaf.  Nodes are stored in a flat
+  // vector and referenced by index (root at 0).
+  struct Node {
+    int feature = -1;         // split feature, or -1 for leaf
+    double threshold = 0.0;   // go left when x[feature] <= threshold
+    int left = -1;
+    int right = -1;
+    int label = 0;            // majority class at this node
+    std::size_t samples = 0;  // training samples that reached this node
+    std::size_t errors = 0;   // training samples not of the majority class
+    double impurity = 0.0;    // Gini impurity at this node
+  };
+
+  DecisionTree() = default;
+
+  // Fits the tree to `data`.  Throws std::invalid_argument on an empty
+  // dataset.
+  void train(const Dataset& data, const CartParams& params = {});
+
+  int predict(std::span<const double> features) const override;
+  int num_classes() const override { return num_classes_; }
+
+  bool trained() const noexcept { return !nodes_.empty(); }
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t leaf_count() const noexcept;
+  std::size_t depth() const noexcept;
+  const std::vector<Node>& nodes() const noexcept { return nodes_; }
+
+  // Collapses the internal node with the smallest cost-complexity alpha
+  // into a leaf.  Returns false when the tree is a single leaf.
+  bool prune_weakest_link();
+
+  // Repeatedly prunes weakest links while accuracy on `validation` stays
+  // within `max_drop` of the unpruned tree's accuracy (the paper prunes to
+  // a 2% decrease).  Returns the number of pruning steps applied.
+  std::size_t prune_to_accuracy(const Dataset& validation, double max_drop);
+
+  // Distinct feature indices used by internal nodes.
+  std::vector<std::size_t> features_used() const;
+
+  // Total Gini-gain importance per feature, normalized to sum to 1.
+  std::vector<double> feature_importance() const;
+
+  // Serialization hooks (see ml/serialize.h).
+  void restore(std::vector<Node> nodes, int num_classes,
+               std::size_t feature_count);
+  std::size_t feature_count() const noexcept { return feature_count_; }
+
+ private:
+  int build_node(const Dataset& data, std::vector<std::size_t>& rows,
+                 std::size_t depth, const CartParams& params);
+
+  // Drops unreachable nodes after a collapse, preserving preorder layout.
+  void compact();
+
+  std::vector<Node> nodes_;
+  int num_classes_ = 0;
+  std::size_t feature_count_ = 0;
+};
+
+// Gini impurity of a class-count vector.
+double gini_impurity(std::span<const std::size_t> class_counts) noexcept;
+
+// Shannon entropy (bits) of a class-count vector.
+double entropy_impurity(std::span<const std::size_t> class_counts) noexcept;
+
+// Impurity under the chosen criterion.
+double impurity(std::span<const std::size_t> class_counts,
+                SplitCriterion criterion) noexcept;
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_CART_H_

@@ -1,0 +1,33 @@
+// Abstract multi-class classifier interface.
+//
+// Both backends of the paper — the CART decision tree and the DAGSVM — model
+// a function from a feature vector (an entropy vector) to a class label, so
+// the online engine and the evaluation drivers program against this
+// interface.
+#ifndef IUSTITIA_ML_CLASSIFIER_H_
+#define IUSTITIA_ML_CLASSIFIER_H_
+
+#include <span>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace iustitia::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Predicted label in [0, num_classes).
+  virtual int predict(std::span<const double> features) const = 0;
+
+  // Number of classes this model distinguishes.
+  virtual int num_classes() const = 0;
+
+  // Confusion matrix of this model over a labeled dataset.
+  ConfusionMatrix evaluate(const Dataset& data) const;
+};
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_CLASSIFIER_H_

@@ -1,0 +1,72 @@
+#include "ml/cross_validation.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "ml/scaler.h"
+
+namespace iustitia::ml {
+
+namespace {
+
+// DagSvm wrapper that scales inputs with a scaler fitted on training data.
+class ScaledSvmClassifier final : public Classifier {
+ public:
+  ScaledSvmClassifier(DagSvm model, MinMaxScaler scaler)
+      : model_(std::move(model)), scaler_(std::move(scaler)) {}
+
+  int predict(std::span<const double> features) const override {
+    return model_.predict(scaler_.transform(features));
+  }
+  int num_classes() const override { return model_.num_classes(); }
+
+ private:
+  DagSvm model_;
+  MinMaxScaler scaler_;
+};
+
+}  // namespace
+
+std::vector<ConfusionMatrix> cross_validate(const Dataset& data,
+                                            std::size_t folds,
+                                            const ModelFactory& factory,
+                                            util::Rng& rng) {
+  if (folds < 2) throw std::invalid_argument("cross_validate: folds < 2");
+  const auto fold_rows = stratified_folds(data, folds, rng);
+  std::vector<ConfusionMatrix> out;
+  out.reserve(folds);
+  for (std::size_t f = 0; f < folds; ++f) {
+    const Split split = stratified_fold_split(data, fold_rows, f);
+    const std::unique_ptr<Classifier> model = factory(split.train);
+    out.push_back(model->evaluate(split.test));
+  }
+  return out;
+}
+
+ConfusionMatrix pool_folds(const std::vector<ConfusionMatrix>& folds) {
+  if (folds.empty()) throw std::invalid_argument("pool_folds: empty input");
+  ConfusionMatrix pooled(folds.front().num_classes());
+  for (const auto& fold : folds) pooled.merge(fold);
+  return pooled;
+}
+
+ModelFactory make_cart_factory(const CartParams& params) {
+  return [params](const Dataset& train) -> std::unique_ptr<Classifier> {
+    auto tree = std::make_unique<DecisionTree>();
+    tree->train(train, params);
+    return tree;
+  };
+}
+
+ModelFactory make_svm_factory(const SvmParams& params) {
+  return [params](const Dataset& train) -> std::unique_ptr<Classifier> {
+    MinMaxScaler scaler;
+    scaler.fit(train);
+    DagSvm model;
+    model.train(scaler.transform(train), params);
+    return std::make_unique<ScaledSvmClassifier>(std::move(model),
+                                                 std::move(scaler));
+  };
+}
+
+}  // namespace iustitia::ml

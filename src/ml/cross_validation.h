@@ -1,0 +1,40 @@
+// k-fold cross-validation driver (the paper's "10 times cross-validation",
+// Section 3.2, Figures 2(b) and 2(c)).
+#ifndef IUSTITIA_ML_CROSS_VALIDATION_H_
+#define IUSTITIA_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/cart.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+#include "ml/svm.h"
+#include "util/random.h"
+
+namespace iustitia::ml {
+
+// Trains a model on each fold's train split and evaluates on its test
+// split.  The factory receives the train split and must return a trained
+// model usable through the Classifier interface.
+using ModelFactory =
+    std::function<std::unique_ptr<Classifier>(const Dataset& train)>;
+
+// Per-fold confusion matrices of a stratified k-fold run.
+std::vector<ConfusionMatrix> cross_validate(const Dataset& data,
+                                            std::size_t folds,
+                                            const ModelFactory& factory,
+                                            util::Rng& rng);
+
+// Aggregates per-fold matrices into one pooled matrix.
+ConfusionMatrix pool_folds(const std::vector<ConfusionMatrix>& folds);
+
+// Convenience factories for the two paper backends.  Both fit a min-max
+// scaler on the train split (identity for CART would be harmless; only the
+// SVM factory scales).
+ModelFactory make_cart_factory(const CartParams& params = {});
+ModelFactory make_svm_factory(const SvmParams& params);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_CROSS_VALIDATION_H_

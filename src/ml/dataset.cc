@@ -1,0 +1,145 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace iustitia::ml {
+
+void Dataset::add(std::vector<double> features, int label) {
+  if (label < 0 || (classes_preset_ && label >= num_classes_)) {
+    throw std::invalid_argument("Dataset::add: label out of range");
+  }
+  if (samples_.empty()) {
+    feature_count_ = features.size();
+  } else if (features.size() != feature_count_) {
+    throw std::invalid_argument("Dataset::add: feature dimension mismatch");
+  }
+  if (!classes_preset_ && label >= num_classes_) {
+    num_classes_ = label + 1;  // grow for datasets built without a preset
+  }
+  samples_.push_back(Sample{std::move(features), label});
+}
+
+std::vector<std::size_t> Dataset::class_counts() const {
+  std::vector<std::size_t> counts(static_cast<std::size_t>(num_classes_), 0);
+  for (const auto& s : samples_) {
+    if (static_cast<std::size_t>(s.label) >= counts.size()) {
+      counts.resize(static_cast<std::size_t>(s.label) + 1, 0);
+    }
+    ++counts[static_cast<std::size_t>(s.label)];
+  }
+  return counts;
+}
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out(num_classes_);
+  for (const std::size_t i : indices) {
+    out.add(samples_[i].features, samples_[i].label);
+  }
+  return out;
+}
+
+Dataset Dataset::project(std::span<const std::size_t> feature_indices) const {
+  Dataset out(num_classes_);
+  for (const auto& s : samples_) {
+    std::vector<double> projected;
+    projected.reserve(feature_indices.size());
+    for (const std::size_t f : feature_indices) {
+      projected.push_back(s.features.at(f));
+    }
+    out.add(std::move(projected), s.label);
+  }
+  return out;
+}
+
+Dataset Dataset::balanced_sample(std::size_t per_class, util::Rng& rng) const {
+  // Bucket indices by class, shuffle each bucket, keep the first per_class.
+  std::vector<std::vector<std::size_t>> buckets(
+      static_cast<std::size_t>(std::max(num_classes_, 1)));
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const auto label = static_cast<std::size_t>(samples_[i].label);
+    if (label >= buckets.size()) buckets.resize(label + 1);
+    buckets[label].push_back(i);
+  }
+  std::vector<std::size_t> keep;
+  for (auto& bucket : buckets) {
+    rng.shuffle(bucket);
+    const std::size_t take = std::min(per_class, bucket.size());
+    keep.insert(keep.end(), bucket.begin(),
+                bucket.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  rng.shuffle(keep);
+  return subset(keep);
+}
+
+void Dataset::shuffle(util::Rng& rng) { rng.shuffle(samples_); }
+
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t folds,
+                                                       util::Rng& rng) {
+  if (folds == 0) throw std::invalid_argument("stratified_folds: folds == 0");
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(std::max(data.num_classes(), 1)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto label = static_cast<std::size_t>(data[i].label);
+    if (label >= by_class.size()) by_class.resize(label + 1);
+    by_class[label].push_back(i);
+  }
+  std::vector<std::vector<std::size_t>> out(folds);
+  for (auto& rows : by_class) {
+    rng.shuffle(rows);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      out[i % folds].push_back(rows[i]);
+    }
+  }
+  for (auto& fold : out) rng.shuffle(fold);
+  return out;
+}
+
+Split stratified_fold_split(const Dataset& data,
+                            const std::vector<std::vector<std::size_t>>& folds,
+                            std::size_t fold_index) {
+  if (fold_index >= folds.size()) {
+    throw std::out_of_range("stratified_fold_split: fold_index");
+  }
+  std::vector<std::size_t> train_rows;
+  for (std::size_t f = 0; f < folds.size(); ++f) {
+    if (f == fold_index) continue;
+    train_rows.insert(train_rows.end(), folds[f].begin(), folds[f].end());
+  }
+  Split split;
+  split.train = data.subset(train_rows);
+  split.test = data.subset(folds[fold_index]);
+  return split;
+}
+
+Split stratified_holdout(const Dataset& data, double train_fraction,
+                         util::Rng& rng) {
+  train_fraction = std::clamp(train_fraction, 0.0, 1.0);
+  std::vector<std::vector<std::size_t>> by_class(
+      static_cast<std::size_t>(std::max(data.num_classes(), 1)));
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const auto label = static_cast<std::size_t>(data[i].label);
+    if (label >= by_class.size()) by_class.resize(label + 1);
+    by_class[label].push_back(i);
+  }
+  std::vector<std::size_t> train_rows, test_rows;
+  for (auto& rows : by_class) {
+    rng.shuffle(rows);
+    const auto cut = static_cast<std::size_t>(
+        train_fraction * static_cast<double>(rows.size()));
+    train_rows.insert(train_rows.end(), rows.begin(),
+                      rows.begin() + static_cast<std::ptrdiff_t>(cut));
+    test_rows.insert(test_rows.end(),
+                     rows.begin() + static_cast<std::ptrdiff_t>(cut),
+                     rows.end());
+  }
+  rng.shuffle(train_rows);
+  rng.shuffle(test_rows);
+  Split split;
+  split.train = data.subset(train_rows);
+  split.test = data.subset(test_rows);
+  return split;
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,92 @@
+// Labeled feature datasets and stratified resampling.
+//
+// Every classifier in this library consumes a Dataset: rows of double
+// features with an integer class label in [0, num_classes).  Splitting
+// helpers are stratified so that the equal-per-class draws of the paper's
+// 10-fold cross-validation (Section 3.2) are reproducible.
+#ifndef IUSTITIA_ML_DATASET_H_
+#define IUSTITIA_ML_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+
+// One labeled observation.
+struct Sample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+// A labeled dataset with a fixed feature dimensionality.
+class Dataset {
+ public:
+  Dataset() = default;
+
+  // `num_classes` fixes the label range; labels outside [0, num_classes)
+  // are rejected by add().
+  explicit Dataset(int num_classes)
+      : num_classes_(num_classes), classes_preset_(true) {}
+
+  // Adds one sample; the first add() fixes the feature dimension, later
+  // adds must match it.  Throws std::invalid_argument on mismatch.
+  void add(std::vector<double> features, int label);
+
+  std::size_t size() const noexcept { return samples_.size(); }
+  bool empty() const noexcept { return samples_.empty(); }
+  std::size_t feature_count() const noexcept { return feature_count_; }
+  int num_classes() const noexcept { return num_classes_; }
+
+  const Sample& operator[](std::size_t i) const noexcept { return samples_[i]; }
+  std::span<const Sample> samples() const noexcept { return samples_; }
+
+  // Number of samples carrying each label.
+  std::vector<std::size_t> class_counts() const;
+
+  // Dataset restricted to the given row indices.
+  Dataset subset(std::span<const std::size_t> indices) const;
+
+  // Dataset with features restricted to the given column indices, in order.
+  Dataset project(std::span<const std::size_t> feature_indices) const;
+
+  // Randomly keeps at most `per_class` samples of each class.
+  Dataset balanced_sample(std::size_t per_class, util::Rng& rng) const;
+
+  // Shuffles sample order in place.
+  void shuffle(util::Rng& rng);
+
+ private:
+  int num_classes_ = 0;
+  bool classes_preset_ = false;  // construction fixed the label range
+  std::size_t feature_count_ = 0;
+  std::vector<Sample> samples_;
+};
+
+// One train/test split.
+struct Split {
+  Dataset train;
+  Dataset test;
+};
+
+// Stratified k-fold assignment: returns, for each fold, the test-row
+// indices; each class's rows are spread evenly across folds.
+std::vector<std::vector<std::size_t>> stratified_folds(const Dataset& data,
+                                                       std::size_t folds,
+                                                       util::Rng& rng);
+
+// Materializes fold `fold_index` of a stratified k-fold split.
+Split stratified_fold_split(const Dataset& data,
+                            const std::vector<std::vector<std::size_t>>& folds,
+                            std::size_t fold_index);
+
+// Single stratified holdout split with the given train fraction.
+Split stratified_holdout(const Dataset& data, double train_fraction,
+                         util::Rng& rng);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_DATASET_H_

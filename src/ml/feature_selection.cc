@@ -1,0 +1,103 @@
+#include "ml/feature_selection.h"
+
+#include <algorithm>
+
+#include "ml/cross_validation.h"
+#include "ml/scaler.h"
+
+namespace iustitia::ml {
+
+namespace {
+
+// Picks the `target` highest-vote feature indices (ties broken by lower
+// index, which for entropy vectors prefers narrower gram widths — the same
+// preference the paper applies in Section 4.1).
+std::vector<std::size_t> top_votes(const std::vector<double>& votes,
+                                   std::size_t target) {
+  std::vector<std::size_t> order(votes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     if (votes[a] != votes[b]) return votes[a] > votes[b];
+                     return a < b;
+                   });
+  if (order.size() > target) order.resize(target);
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+}  // namespace
+
+FeatureSelectionResult cart_vote_selection(const Dataset& data,
+                                           std::size_t folds,
+                                           double max_accuracy_drop,
+                                           std::size_t target_features,
+                                           const CartParams& params,
+                                           util::Rng& rng) {
+  FeatureSelectionResult result;
+  result.votes.assign(data.feature_count(), 0.0);
+
+  const auto fold_rows = stratified_folds(data, folds, rng);
+  for (std::size_t f = 0; f < folds; ++f) {
+    const Split split = stratified_fold_split(data, fold_rows, f);
+    DecisionTree tree;
+    tree.train(split.train, params);
+    tree.prune_to_accuracy(split.test, max_accuracy_drop);
+    // Weight each surviving feature by its (pruned-tree) importance so that
+    // features closer to the root — "higher in the tree", as the paper puts
+    // it — carry more of the vote.
+    const std::vector<double> importance = tree.feature_importance();
+    for (const std::size_t used : tree.features_used()) {
+      result.votes[used] += 1.0 + importance[used];
+    }
+  }
+  result.selected = top_votes(result.votes, target_features);
+  return result;
+}
+
+FeatureSelectionResult sequential_forward_selection(
+    const Dataset& data, std::size_t folds, std::size_t target_features,
+    const SvmParams& params, double eval_train_fraction, util::Rng& rng) {
+  FeatureSelectionResult result;
+  result.votes.assign(data.feature_count(), 0.0);
+  const std::size_t total = data.feature_count();
+  const std::size_t want = std::min(target_features, total);
+
+  for (std::size_t f = 0; f < folds; ++f) {
+    util::Rng fold_rng = rng.fork();
+    std::vector<std::size_t> chosen;
+    std::vector<bool> in_set(total, false);
+    while (chosen.size() < want) {
+      std::size_t best_feature = total;
+      double best_accuracy = -1.0;
+      for (std::size_t candidate = 0; candidate < total; ++candidate) {
+        if (in_set[candidate]) continue;
+        std::vector<std::size_t> trial = chosen;
+        trial.push_back(candidate);
+        std::sort(trial.begin(), trial.end());
+        const Dataset projected = data.project(trial);
+        util::Rng eval_rng = fold_rng.fork();
+        const Split split =
+            stratified_holdout(projected, eval_train_fraction, eval_rng);
+        MinMaxScaler scaler;
+        scaler.fit(split.train);
+        DagSvm model;
+        model.train(scaler.transform(split.train), params);
+        const double accuracy =
+            model.evaluate(scaler.transform(split.test)).accuracy();
+        if (accuracy > best_accuracy) {
+          best_accuracy = accuracy;
+          best_feature = candidate;
+        }
+      }
+      if (best_feature == total) break;
+      chosen.push_back(best_feature);
+      in_set[best_feature] = true;
+    }
+    for (const std::size_t c : chosen) result.votes[c] += 1.0;
+  }
+  result.selected = top_votes(result.votes, want);
+  return result;
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,47 @@
+// Feature selection (paper Section 4.1).
+//
+// Two schemes, matching the paper:
+//  - CART voting: grow one tree per cross-validation fold, prune each until
+//    its validation accuracy drops by a threshold (the paper uses 2%), then
+//    vote on the features still used by the pruned trees.
+//  - Sequential Forward Search (SFS) for the SVM: start from the empty
+//    feature set, greedily add the feature that maximizes cross-validated
+//    accuracy, stop after n' features; run per fold and vote.
+#ifndef IUSTITIA_ML_FEATURE_SELECTION_H_
+#define IUSTITIA_ML_FEATURE_SELECTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/cart.h"
+#include "ml/dataset.h"
+#include "ml/svm.h"
+#include "util/random.h"
+
+namespace iustitia::ml {
+
+// Result of a feature-selection run.
+struct FeatureSelectionResult {
+  std::vector<std::size_t> selected;   // chosen feature indices, ascending
+  std::vector<double> votes;           // per-feature vote weight
+};
+
+// CART pruning-vote selection over `folds` stratified folds.  `max_accuracy_drop`
+// is the pruning budget (paper: 0.02); `target_features` caps the selection.
+FeatureSelectionResult cart_vote_selection(const Dataset& data,
+                                           std::size_t folds,
+                                           double max_accuracy_drop,
+                                           std::size_t target_features,
+                                           const CartParams& params,
+                                           util::Rng& rng);
+
+// SFS selection for the SVM: greedily grows the feature set to
+// `target_features`, evaluating each candidate with a stratified holdout of
+// `eval_train_fraction` per step; run over `folds` resamplings and voted.
+FeatureSelectionResult sequential_forward_selection(
+    const Dataset& data, std::size_t folds, std::size_t target_features,
+    const SvmParams& params, double eval_train_fraction, util::Rng& rng);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_FEATURE_SELECTION_H_

@@ -1,0 +1,73 @@
+#include "ml/metrics.h"
+
+#include <stdexcept>
+
+namespace iustitia::ml {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      cells_(static_cast<std::size_t>(num_classes) *
+                 static_cast<std::size_t>(num_classes),
+             0) {
+  if (num_classes <= 0) {
+    throw std::invalid_argument("ConfusionMatrix: num_classes must be > 0");
+  }
+}
+
+void ConfusionMatrix::add(int actual, int predicted) {
+  if (actual < 0 || actual >= num_classes_ || predicted < 0 ||
+      predicted >= num_classes_) {
+    throw std::out_of_range("ConfusionMatrix::add: label out of range");
+  }
+  ++cells_[static_cast<std::size_t>(actual) *
+               static_cast<std::size_t>(num_classes_) +
+           static_cast<std::size_t>(predicted)];
+  ++total_;
+}
+
+void ConfusionMatrix::merge(const ConfusionMatrix& other) {
+  if (other.num_classes_ != num_classes_) {
+    throw std::invalid_argument("ConfusionMatrix::merge: dimension mismatch");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  total_ += other.total_;
+}
+
+std::size_t ConfusionMatrix::count(int actual, int predicted) const {
+  return cells_[static_cast<std::size_t>(actual) *
+                    static_cast<std::size_t>(num_classes_) +
+                static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::class_accuracy(int actual) const {
+  std::size_t row_total = 0;
+  for (int p = 0; p < num_classes_; ++p) row_total += count(actual, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(actual, actual)) /
+         static_cast<double>(row_total);
+}
+
+double ConfusionMatrix::misclassification_rate(int actual,
+                                               int predicted) const {
+  std::size_t row_total = 0;
+  for (int p = 0; p < num_classes_; ++p) row_total += count(actual, p);
+  if (row_total == 0) return 0.0;
+  return static_cast<double>(count(actual, predicted)) /
+         static_cast<double>(row_total);
+}
+
+double mean_accuracy(const std::vector<ConfusionMatrix>& folds) {
+  if (folds.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& m : folds) sum += m.accuracy();
+  return sum / static_cast<double>(folds.size());
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,46 @@
+// Classification metrics: confusion matrices and the per-class accuracy /
+// misclassification breakdown the paper reports in Tables 1 and 2.
+#ifndef IUSTITIA_ML_METRICS_H_
+#define IUSTITIA_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace iustitia::ml {
+
+// Row = actual class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  void add(int actual, int predicted);
+
+  // Merges another matrix of the same dimension (for CV aggregation).
+  void merge(const ConfusionMatrix& other);
+
+  int num_classes() const noexcept { return num_classes_; }
+  std::size_t count(int actual, int predicted) const;
+  std::size_t total() const noexcept { return total_; }
+
+  // Overall fraction of correct predictions (0 when empty).
+  double accuracy() const noexcept;
+
+  // Recall of one class: correct predictions / actual occurrences.
+  double class_accuracy(int actual) const;
+
+  // Fraction of `actual`-class samples predicted as `predicted`
+  // (the off-diagonal "misclassification" cells of Table 1).
+  double misclassification_rate(int actual, int predicted) const;
+
+ private:
+  int num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> cells_;  // num_classes x num_classes, row-major
+};
+
+// Mean of per-fold accuracies.
+double mean_accuracy(const std::vector<ConfusionMatrix>& folds);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_METRICS_H_

@@ -1,0 +1,34 @@
+#include "ml/model_selection.h"
+
+#include <stdexcept>
+
+#include "ml/cross_validation.h"
+
+namespace iustitia::ml {
+
+GridSearchResult svm_grid_search(const Dataset& data,
+                                 std::span<const double> gammas,
+                                 std::span<const double> cs, std::size_t folds,
+                                 const SvmParams& base, util::Rng& rng) {
+  if (gammas.empty() || cs.empty()) {
+    throw std::invalid_argument("svm_grid_search: empty grid");
+  }
+  GridSearchResult result;
+  result.best.accuracy = -1.0;
+  for (const double gamma : gammas) {
+    for (const double c : cs) {
+      SvmParams params = base;
+      params.gamma = gamma;
+      params.c = c;
+      util::Rng cv_rng = rng.fork();
+      const auto folds_result =
+          cross_validate(data, folds, make_svm_factory(params), cv_rng);
+      GridPoint point{gamma, c, mean_accuracy(folds_result)};
+      result.evaluated.push_back(point);
+      if (point.accuracy > result.best.accuracy) result.best = point;
+    }
+  }
+  return result;
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,39 @@
+// Grid-search model selection for the SVM (gamma, C), as performed in the
+// paper ("after model selection, we achieved best ... by gamma=50 and
+// C=1000", Section 3.2; re-selection yields gamma=10 for estimated vectors,
+// Section 4.4.2).
+#ifndef IUSTITIA_ML_MODEL_SELECTION_H_
+#define IUSTITIA_ML_MODEL_SELECTION_H_
+
+#include <vector>
+
+#include "ml/dataset.h"
+#include "ml/svm.h"
+#include "util/random.h"
+
+namespace iustitia::ml {
+
+// One grid-search evaluation.
+struct GridPoint {
+  double gamma = 0.0;
+  double c = 0.0;
+  double accuracy = 0.0;
+};
+
+// Full grid-search trace plus the winning configuration.
+struct GridSearchResult {
+  std::vector<GridPoint> evaluated;
+  GridPoint best;
+};
+
+// Evaluates every (gamma, C) pair by stratified `folds`-fold CV and returns
+// the accuracy-maximizing pair.
+GridSearchResult svm_grid_search(const Dataset& data,
+                                 std::span<const double> gammas,
+                                 std::span<const double> cs,
+                                 std::size_t folds, const SvmParams& base,
+                                 util::Rng& rng);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_MODEL_SELECTION_H_

@@ -1,0 +1,56 @@
+#include "ml/scaler.h"
+
+#include <stdexcept>
+
+namespace iustitia::ml {
+
+void MinMaxScaler::fit(const Dataset& data) {
+  mins_.clear();
+  maxs_.clear();
+  if (data.empty()) return;
+  const std::size_t dims = data.feature_count();
+  mins_.assign(dims, 0.0);
+  maxs_.assign(dims, 0.0);
+  for (std::size_t f = 0; f < dims; ++f) {
+    mins_[f] = maxs_[f] = data[0].features[f];
+  }
+  for (std::size_t i = 1; i < data.size(); ++i) {
+    for (std::size_t f = 0; f < dims; ++f) {
+      const double v = data[i].features[f];
+      if (v < mins_[f]) mins_[f] = v;
+      if (v > maxs_[f]) maxs_[f] = v;
+    }
+  }
+}
+
+std::vector<double> MinMaxScaler::transform(
+    std::span<const double> features) const {
+  std::vector<double> out(features.begin(), features.end());
+  if (!fitted()) return out;
+  if (features.size() != mins_.size()) {
+    throw std::invalid_argument("MinMaxScaler: dimension mismatch");
+  }
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    const double range = maxs_[f] - mins_[f];
+    out[f] = range > 0.0 ? (out[f] - mins_[f]) / range : 0.0;
+  }
+  return out;
+}
+
+Dataset MinMaxScaler::transform(const Dataset& data) const {
+  Dataset out(data.num_classes());
+  for (const auto& s : data.samples()) {
+    out.add(transform(s.features), s.label);
+  }
+  return out;
+}
+
+void MinMaxScaler::restore(std::vector<double> mins, std::vector<double> maxs) {
+  if (mins.size() != maxs.size()) {
+    throw std::invalid_argument("MinMaxScaler::restore: size mismatch");
+  }
+  mins_ = std::move(mins);
+  maxs_ = std::move(maxs);
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,46 @@
+// Feature scaling.
+//
+// Entropy features are already in [0, 1] by construction, but the RBF SVM
+// is sensitive to per-feature spread, so the trainer fits a min-max scaler
+// on the training split and applies it to test/inference inputs.
+#ifndef IUSTITIA_ML_SCALER_H_
+#define IUSTITIA_ML_SCALER_H_
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace iustitia::ml {
+
+// Per-feature min-max scaler mapping training range to [0, 1].
+class MinMaxScaler {
+ public:
+  MinMaxScaler() = default;
+
+  // Learns per-feature min/max from `data`; constant features map to 0.
+  void fit(const Dataset& data);
+
+  // Whether fit() has been called on a non-empty dataset.
+  bool fitted() const noexcept { return !mins_.empty(); }
+
+  // Scales one feature vector (unfitted scaler = identity).
+  std::vector<double> transform(std::span<const double> features) const;
+
+  // Scales every sample of a dataset.
+  Dataset transform(const Dataset& data) const;
+
+  std::span<const double> mins() const noexcept { return mins_; }
+  std::span<const double> maxs() const noexcept { return maxs_; }
+
+  // Restores state from serialized bounds (sizes must match).
+  void restore(std::vector<double> mins, std::vector<double> maxs);
+
+ private:
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_SCALER_H_

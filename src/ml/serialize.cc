@@ -1,0 +1,172 @@
+#include "ml/serialize.h"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace iustitia::ml {
+
+namespace {
+
+void expect_token(std::istream& is, const std::string& expected) {
+  std::string token;
+  if (!(is >> token) || token != expected) {
+    throw std::runtime_error("model parse error: expected '" + expected +
+                             "', got '" + token + "'");
+  }
+}
+
+}  // namespace
+
+void save_tree(const DecisionTree& tree, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "cart-v1 " << tree.num_classes() << ' ' << tree.feature_count() << ' '
+     << tree.node_count() << '\n';
+  for (const auto& node : tree.nodes()) {
+    os << node.feature << ' ' << node.threshold << ' ' << node.left << ' '
+       << node.right << ' ' << node.label << ' ' << node.samples << ' '
+       << node.errors << ' ' << node.impurity << '\n';
+  }
+}
+
+DecisionTree load_tree(std::istream& is) {
+  expect_token(is, "cart-v1");
+  int num_classes = 0;
+  std::size_t feature_count = 0, node_count = 0;
+  if (!(is >> num_classes >> feature_count >> node_count)) {
+    throw std::runtime_error("model parse error: cart header");
+  }
+  std::vector<DecisionTree::Node> nodes(node_count);
+  for (auto& node : nodes) {
+    if (!(is >> node.feature >> node.threshold >> node.left >> node.right >>
+          node.label >> node.samples >> node.errors >> node.impurity)) {
+      throw std::runtime_error("model parse error: cart node");
+    }
+  }
+  DecisionTree tree;
+  tree.restore(std::move(nodes), num_classes, feature_count);
+  return tree;
+}
+
+namespace {
+
+const char* kernel_name(KernelType kernel) {
+  switch (kernel) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      return "rbf";
+    case KernelType::kPolynomial:
+      return "poly";
+  }
+  return "?";
+}
+
+void save_binary_svm(const BinarySvm& svm, std::ostream& os) {
+  const SvmParams& p = svm.params();
+  os << "svm " << kernel_name(p.kernel) << ' ' << p.gamma << ' ' << p.coef0
+     << ' ' << p.degree << ' ' << p.c << ' ' << svm.bias() << ' '
+     << svm.support_vector_count() << '\n';
+  const auto& svs = svm.support_vectors();
+  const auto& coefs = svm.coefficients();
+  for (std::size_t i = 0; i < svs.size(); ++i) {
+    os << coefs[i];
+    for (const double v : svs[i]) os << ' ' << v;
+    os << '\n';
+  }
+}
+
+BinarySvm load_binary_svm(std::istream& is, std::size_t feature_count) {
+  expect_token(is, "svm");
+  std::string kernel_token;
+  SvmParams params;
+  double bias = 0.0;
+  std::size_t sv_count = 0;
+  if (!(is >> kernel_token >> params.gamma >> params.coef0 >> params.degree >>
+        params.c >> bias >> sv_count)) {
+    throw std::runtime_error("model parse error: svm header");
+  }
+  params.kernel = kernel_token == "rbf"    ? KernelType::kRbf
+                  : kernel_token == "poly" ? KernelType::kPolynomial
+                                           : KernelType::kLinear;
+  std::vector<std::vector<double>> svs(sv_count);
+  std::vector<double> coefs(sv_count);
+  for (std::size_t i = 0; i < sv_count; ++i) {
+    if (!(is >> coefs[i])) {
+      throw std::runtime_error("model parse error: svm coefficient");
+    }
+    svs[i].resize(feature_count);
+    for (double& v : svs[i]) {
+      if (!(is >> v)) {
+        throw std::runtime_error("model parse error: support vector");
+      }
+    }
+  }
+  BinarySvm svm;
+  svm.restore(std::move(svs), std::move(coefs), bias, params);
+  return svm;
+}
+
+}  // namespace
+
+void save_dag_svm(const DagSvm& model, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  std::size_t feature_count = 0;
+  for (const auto& m : model.machines()) {
+    if (!m.support_vectors().empty()) {
+      feature_count = m.support_vectors().front().size();
+      break;
+    }
+  }
+  os << "dagsvm-v1 " << model.num_classes() << ' ' << feature_count << '\n';
+  for (const auto& m : model.machines()) save_binary_svm(m, os);
+}
+
+DagSvm load_dag_svm(std::istream& is) {
+  expect_token(is, "dagsvm-v1");
+  int num_classes = 0;
+  std::size_t feature_count = 0;
+  if (!(is >> num_classes >> feature_count)) {
+    throw std::runtime_error("model parse error: dagsvm header");
+  }
+  const std::size_t machine_count = static_cast<std::size_t>(num_classes) *
+                                    static_cast<std::size_t>(num_classes - 1) /
+                                    2;
+  std::vector<BinarySvm> machines;
+  machines.reserve(machine_count);
+  for (std::size_t i = 0; i < machine_count; ++i) {
+    machines.push_back(load_binary_svm(is, feature_count));
+  }
+  DagSvm model;
+  model.restore(num_classes, std::move(machines));
+  return model;
+}
+
+void save_scaler(const MinMaxScaler& scaler, std::ostream& os) {
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "scaler-v1 " << scaler.mins().size() << '\n';
+  for (const double v : scaler.mins()) os << v << ' ';
+  os << '\n';
+  for (const double v : scaler.maxs()) os << v << ' ';
+  os << '\n';
+}
+
+MinMaxScaler load_scaler(std::istream& is) {
+  expect_token(is, "scaler-v1");
+  std::size_t dims = 0;
+  if (!(is >> dims)) throw std::runtime_error("model parse error: scaler");
+  std::vector<double> mins(dims), maxs(dims);
+  for (double& v : mins) {
+    if (!(is >> v)) throw std::runtime_error("model parse error: scaler mins");
+  }
+  for (double& v : maxs) {
+    if (!(is >> v)) throw std::runtime_error("model parse error: scaler maxs");
+  }
+  MinMaxScaler scaler;
+  scaler.restore(std::move(mins), std::move(maxs));
+  return scaler;
+}
+
+}  // namespace iustitia::ml

@@ -1,0 +1,32 @@
+// Text serialization of trained models.
+//
+// The offline training process of Fig. 1 produces a "Decision Tree Model"
+// or "Support Vectors (SVs)" artifact consumed by the online classifier;
+// these helpers persist both in a line-oriented text format that is stable
+// across platforms and easy to diff.
+#ifndef IUSTITIA_ML_SERIALIZE_H_
+#define IUSTITIA_ML_SERIALIZE_H_
+
+#include <iosfwd>
+
+#include "ml/cart.h"
+#include "ml/scaler.h"
+#include "ml/svm.h"
+
+namespace iustitia::ml {
+
+// Decision tree <-> stream.  Throws std::runtime_error on malformed input.
+void save_tree(const DecisionTree& tree, std::ostream& os);
+DecisionTree load_tree(std::istream& is);
+
+// DAGSVM <-> stream.
+void save_dag_svm(const DagSvm& model, std::ostream& os);
+DagSvm load_dag_svm(std::istream& is);
+
+// Min-max scaler <-> stream.
+void save_scaler(const MinMaxScaler& scaler, std::ostream& os);
+MinMaxScaler load_scaler(std::istream& is);
+
+}  // namespace iustitia::ml
+
+#endif  // IUSTITIA_ML_SERIALIZE_H_

@@ -1,0 +1,432 @@
+#include "ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace iustitia::ml {
+
+double kernel_value(const SvmParams& params, std::span<const double> a,
+                    std::span<const double> b) noexcept {
+  double acc = 0.0;
+  switch (params.kernel) {
+    case KernelType::kLinear:
+      for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+      return acc;
+    case KernelType::kRbf:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        acc += d * d;
+      }
+      return std::exp(-params.gamma * acc);
+    case KernelType::kPolynomial:
+      for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+      return std::pow(params.gamma * acc + params.coef0, params.degree);
+  }
+  return 0.0;
+}
+
+double kernel_value(KernelType kernel, double gamma, std::span<const double> a,
+                    std::span<const double> b) noexcept {
+  SvmParams params;
+  params.kernel = kernel;
+  params.gamma = gamma;
+  return kernel_value(params, a, b);
+}
+
+namespace {
+
+// SMO working state (Platt 1998 with an error cache).  The full kernel
+// matrix is precomputed: training sets in this system are at most a few
+// thousand rows, so the cache is the fastest and simplest correct choice.
+class SmoSolver {
+ public:
+  SmoSolver(const std::vector<std::vector<double>>& x,
+            const std::vector<int>& y, const SvmParams& params)
+      : x_(x),
+        y_(y),
+        params_(params),
+        n_(x.size()),
+        alpha_(x.size(), 0.0),
+        error_(x.size(), 0.0),
+        rng_(params.seed) {
+    kernel_.resize(n_ * n_);
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t j = i; j < n_; ++j) {
+        const double k = kernel_value(params_, x_[i], x_[j]);
+        kernel_[i * n_ + j] = k;
+        kernel_[j * n_ + i] = k;
+      }
+    }
+    // f(x_i) = 0 initially, so E_i = -y_i.
+    for (std::size_t i = 0; i < n_; ++i) error_[i] = -static_cast<double>(y_[i]);
+  }
+
+  void solve() {
+    std::size_t iterations = 0;
+    bool examine_all = true;
+    std::size_t num_changed = 0;
+    while ((num_changed > 0 || examine_all) &&
+           iterations < params_.max_iterations) {
+      num_changed = 0;
+      if (examine_all) {
+        for (std::size_t i = 0; i < n_ && iterations < params_.max_iterations;
+             ++i) {
+          num_changed += examine(i);
+          ++iterations;
+        }
+      } else {
+        for (std::size_t i = 0; i < n_ && iterations < params_.max_iterations;
+             ++i) {
+          if (alpha_[i] > 0.0 && alpha_[i] < params_.c) {
+            num_changed += examine(i);
+            ++iterations;
+          }
+        }
+      }
+      if (examine_all) {
+        examine_all = false;
+      } else if (num_changed == 0) {
+        examine_all = true;
+      }
+    }
+  }
+
+  std::span<const double> alphas() const noexcept { return alpha_; }
+  double bias() const noexcept { return bias_; }
+
+ private:
+  double k(std::size_t i, std::size_t j) const noexcept {
+    return kernel_[i * n_ + j];
+  }
+
+  std::size_t examine(std::size_t i2) {
+    const double y2 = static_cast<double>(y_[i2]);
+    const double a2 = alpha_[i2];
+    const double e2 = error_[i2];
+    const double r2 = e2 * y2;
+    const bool violates = (r2 < -params_.tolerance && a2 < params_.c) ||
+                          (r2 > params_.tolerance && a2 > 0.0);
+    if (!violates) return 0;
+
+    // Heuristic 1: maximize |E1 - E2| among non-bound alphas.
+    std::size_t best = n_;
+    double best_gap = 0.0;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (alpha_[i] > 0.0 && alpha_[i] < params_.c) {
+        const double gap = std::fabs(error_[i] - e2);
+        if (gap > best_gap) {
+          best_gap = gap;
+          best = i;
+        }
+      }
+    }
+    if (best < n_ && take_step(best, i2)) return 1;
+
+    // Heuristic 2: all non-bound alphas, random start.
+    const std::size_t start =
+        static_cast<std::size_t>(rng_.next_below(std::max<std::uint64_t>(n_, 1)));
+    for (std::size_t offset = 0; offset < n_; ++offset) {
+      const std::size_t i = (start + offset) % n_;
+      if (alpha_[i] > 0.0 && alpha_[i] < params_.c) {
+        if (take_step(i, i2)) return 1;
+      }
+    }
+    // Heuristic 3: the whole training set, random start.
+    for (std::size_t offset = 0; offset < n_; ++offset) {
+      const std::size_t i = (start + offset) % n_;
+      if (take_step(i, i2)) return 1;
+    }
+    return 0;
+  }
+
+  bool take_step(std::size_t i1, std::size_t i2) {
+    if (i1 == i2) return false;
+    const double a1_old = alpha_[i1];
+    const double a2_old = alpha_[i2];
+    const double y1 = static_cast<double>(y_[i1]);
+    const double y2 = static_cast<double>(y_[i2]);
+    const double e1 = error_[i1];
+    const double e2 = error_[i2];
+    const double s = y1 * y2;
+
+    double lo, hi;
+    if (y1 != y2) {
+      lo = std::max(0.0, a2_old - a1_old);
+      hi = std::min(params_.c, params_.c + a2_old - a1_old);
+    } else {
+      lo = std::max(0.0, a1_old + a2_old - params_.c);
+      hi = std::min(params_.c, a1_old + a2_old);
+    }
+    if (lo >= hi) return false;
+
+    const double k11 = k(i1, i1);
+    const double k12 = k(i1, i2);
+    const double k22 = k(i2, i2);
+    const double eta = k11 + k22 - 2.0 * k12;
+
+    double a2_new;
+    if (eta > 0.0) {
+      a2_new = a2_old + y2 * (e1 - e2) / eta;
+      a2_new = std::clamp(a2_new, lo, hi);
+    } else {
+      // Degenerate kernel direction: evaluate the objective at both clip
+      // ends (Platt's procedure).
+      const double f1 = y1 * e1 - a1_old * k11 - s * a2_old * k12;
+      const double f2 = y2 * e2 - s * a1_old * k12 - a2_old * k22;
+      const double l1 = a1_old + s * (a2_old - lo);
+      const double h1 = a1_old + s * (a2_old - hi);
+      const double obj_lo = l1 * f1 + lo * f2 + 0.5 * l1 * l1 * k11 +
+                            0.5 * lo * lo * k22 + s * lo * l1 * k12;
+      const double obj_hi = h1 * f1 + hi * f2 + 0.5 * h1 * h1 * k11 +
+                            0.5 * hi * hi * k22 + s * hi * h1 * k12;
+      if (obj_lo < obj_hi - params_.eps) {
+        a2_new = lo;
+      } else if (obj_lo > obj_hi + params_.eps) {
+        a2_new = hi;
+      } else {
+        return false;
+      }
+    }
+
+    if (std::fabs(a2_new - a2_old) <
+        params_.eps * (a2_new + a2_old + params_.eps)) {
+      return false;
+    }
+    const double a1_new = a1_old + s * (a2_old - a2_new);
+
+    // Bias update (Platt's b1/b2 rule).
+    const double b_old = bias_;
+    const double b1 = e1 + y1 * (a1_new - a1_old) * k11 +
+                      y2 * (a2_new - a2_old) * k12 + b_old;
+    const double b2 = e2 + y1 * (a1_new - a1_old) * k12 +
+                      y2 * (a2_new - a2_old) * k22 + b_old;
+    if (a1_new > 0.0 && a1_new < params_.c) {
+      bias_ = b1;
+    } else if (a2_new > 0.0 && a2_new < params_.c) {
+      bias_ = b2;
+    } else {
+      bias_ = 0.5 * (b1 + b2);
+    }
+
+    alpha_[i1] = a1_new;
+    alpha_[i2] = a2_new;
+
+    // Error cache refresh: E_i += y1 dA1 K(1,i) + y2 dA2 K(2,i) - db.
+    const double d1 = y1 * (a1_new - a1_old);
+    const double d2 = y2 * (a2_new - a2_old);
+    const double db = bias_ - b_old;
+    for (std::size_t i = 0; i < n_; ++i) {
+      error_[i] += d1 * k(i1, i) + d2 * k(i2, i) - db;
+    }
+    error_[i1] = decision_raw(i1) - y1;
+    error_[i2] = decision_raw(i2) - y2;
+    return true;
+  }
+
+  double decision_raw(std::size_t row) const noexcept {
+    double acc = -bias_;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (alpha_[i] > 0.0) {
+        acc += alpha_[i] * static_cast<double>(y_[i]) * k(i, row);
+      }
+    }
+    return acc;
+  }
+
+  const std::vector<std::vector<double>>& x_;
+  const std::vector<int>& y_;
+  SvmParams params_;
+  std::size_t n_;
+  std::vector<double> kernel_;
+  std::vector<double> alpha_;
+  std::vector<double> error_;
+  double bias_ = 0.0;  // decision uses f(x) = sum - bias_ (Platt convention)
+  util::Rng rng_;
+};
+
+}  // namespace
+
+void BinarySvm::train(const std::vector<std::vector<double>>& x,
+                      const std::vector<int>& y, const SvmParams& params) {
+  if (x.empty() || x.size() != y.size()) {
+    throw std::invalid_argument("BinarySvm::train: bad input sizes");
+  }
+  for (const int label : y) {
+    if (label != 1 && label != -1) {
+      throw std::invalid_argument("BinarySvm::train: labels must be +1/-1");
+    }
+  }
+  params_ = params;
+
+  SmoSolver solver(x, y, params);
+  solver.solve();
+
+  support_vectors_.clear();
+  coefficients_.clear();
+  const auto alphas = solver.alphas();
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (alphas[i] > 0.0) {
+      support_vectors_.push_back(x[i]);
+      coefficients_.push_back(alphas[i] * static_cast<double>(y[i]));
+    }
+  }
+  bias_ = -solver.bias();  // store so decision() is sum + bias_
+}
+
+double BinarySvm::decision(std::span<const double> features) const {
+  double acc = bias_;
+  for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
+    acc += coefficients_[i] *
+           kernel_value(params_, support_vectors_[i], features);
+  }
+  return acc;
+}
+
+int BinarySvm::predict(std::span<const double> features) const {
+  return decision(features) >= 0.0 ? 1 : -1;
+}
+
+void BinarySvm::restore(std::vector<std::vector<double>> support_vectors,
+                        std::vector<double> coefficients, double bias,
+                        SvmParams params) {
+  if (support_vectors.size() != coefficients.size()) {
+    throw std::invalid_argument("BinarySvm::restore: size mismatch");
+  }
+  support_vectors_ = std::move(support_vectors);
+  coefficients_ = std::move(coefficients);
+  bias_ = bias;
+  params_ = params;
+}
+
+std::size_t BinarySvm::space_bytes() const noexcept {
+  std::size_t doubles = coefficients_.size() + 1;
+  for (const auto& sv : support_vectors_) doubles += sv.size();
+  return doubles * sizeof(double);
+}
+
+void DagSvm::train(const Dataset& data, const SvmParams& params) {
+  num_classes_ = data.num_classes();
+  if (num_classes_ < 2) {
+    throw std::invalid_argument("DagSvm::train: need at least 2 classes");
+  }
+  machines_.clear();
+  machines_.resize(static_cast<std::size_t>(num_classes_) *
+                   static_cast<std::size_t>(num_classes_ - 1) / 2);
+  for (int i = 0; i < num_classes_; ++i) {
+    for (int j = i + 1; j < num_classes_; ++j) {
+      std::vector<std::vector<double>> x;
+      std::vector<int> y;
+      for (const auto& s : data.samples()) {
+        if (s.label == i) {
+          x.push_back(s.features);
+          y.push_back(+1);
+        } else if (s.label == j) {
+          x.push_back(s.features);
+          y.push_back(-1);
+        }
+      }
+      if (x.empty()) {
+        throw std::invalid_argument(
+            "DagSvm::train: a class pair has no samples");
+      }
+      machines_[machine_index(i, j)].train(x, y, params);
+    }
+  }
+}
+
+std::size_t DagSvm::machine_index(int i, int j) const {
+  // Row-major upper triangle: index(i,j) for i<j.
+  const auto n = static_cast<std::size_t>(num_classes_);
+  const auto ii = static_cast<std::size_t>(i);
+  const auto jj = static_cast<std::size_t>(j);
+  return ii * n - ii * (ii + 1) / 2 + (jj - ii - 1);
+}
+
+const BinarySvm& DagSvm::machine(int i, int j) const {
+  if (i >= j) throw std::invalid_argument("DagSvm::machine: need i < j");
+  return machines_[machine_index(i, j)];
+}
+
+int DagSvm::predict(std::span<const double> features) const {
+  if (machines_.empty()) {
+    throw std::logic_error("DagSvm::predict: untrained model");
+  }
+  // Decision DAG: eliminate one class per pairwise evaluation.
+  int lo = 0;
+  int hi = num_classes_ - 1;
+  while (lo < hi) {
+    const BinarySvm& m = machines_[machine_index(lo, hi)];
+    if (m.decision(features) >= 0.0) {
+      --hi;  // class `lo` won; eliminate `hi`
+    } else {
+      ++lo;  // class `hi` won; eliminate `lo`
+    }
+  }
+  return lo;
+}
+
+std::size_t DagSvm::support_vector_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.support_vector_count();
+  return total;
+}
+
+std::size_t DagSvm::space_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& m : machines_) total += m.space_bytes();
+  return total;
+}
+
+void MaxWinsSvm::train(const Dataset& data, const SvmParams& params) {
+  DagSvm dag;
+  dag.train(data, params);
+  *this = from_dag(dag);
+}
+
+MaxWinsSvm MaxWinsSvm::from_dag(const DagSvm& dag) {
+  MaxWinsSvm out;
+  out.num_classes_ = dag.num_classes();
+  out.machines_ = dag.machines();
+  return out;
+}
+
+std::size_t MaxWinsSvm::machine_index(int i, int j) const {
+  const auto n = static_cast<std::size_t>(num_classes_);
+  const auto ii = static_cast<std::size_t>(i);
+  const auto jj = static_cast<std::size_t>(j);
+  return ii * n - ii * (ii + 1) / 2 + (jj - ii - 1);
+}
+
+int MaxWinsSvm::predict(std::span<const double> features) const {
+  if (machines_.empty()) {
+    throw std::logic_error("MaxWinsSvm::predict: untrained model");
+  }
+  std::vector<int> votes(static_cast<std::size_t>(num_classes_), 0);
+  for (int i = 0; i < num_classes_; ++i) {
+    for (int j = i + 1; j < num_classes_; ++j) {
+      const double d = machines_[machine_index(i, j)].decision(features);
+      ++votes[static_cast<std::size_t>(d >= 0.0 ? i : j)];
+    }
+  }
+  int best = 0;
+  for (int c = 1; c < num_classes_; ++c) {
+    if (votes[static_cast<std::size_t>(c)] >
+        votes[static_cast<std::size_t>(best)]) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+void DagSvm::restore(int num_classes, std::vector<BinarySvm> machines) {
+  const std::size_t expected = static_cast<std::size_t>(num_classes) *
+                               static_cast<std::size_t>(num_classes - 1) / 2;
+  if (machines.size() != expected) {
+    throw std::invalid_argument("DagSvm::restore: machine count mismatch");
+  }
+  num_classes_ = num_classes;
+  machines_ = std::move(machines);
+}
+
+}  // namespace iustitia::ml

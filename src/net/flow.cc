@@ -1,0 +1,41 @@
+#include "net/flow.h"
+
+#include "util/hash.h"
+
+namespace iustitia::net {
+
+std::array<std::uint8_t, 13> canonical_header_bytes(
+    const FlowKey& key) noexcept {
+  std::array<std::uint8_t, 13> out{};
+  auto put32 = [&](std::size_t at, std::uint32_t v) {
+    out[at] = static_cast<std::uint8_t>(v >> 24);
+    out[at + 1] = static_cast<std::uint8_t>(v >> 16);
+    out[at + 2] = static_cast<std::uint8_t>(v >> 8);
+    out[at + 3] = static_cast<std::uint8_t>(v);
+  };
+  put32(0, key.src_ip);
+  put32(4, key.dst_ip);
+  out[8] = static_cast<std::uint8_t>(key.src_port >> 8);
+  out[9] = static_cast<std::uint8_t>(key.src_port);
+  out[10] = static_cast<std::uint8_t>(key.dst_port >> 8);
+  out[11] = static_cast<std::uint8_t>(key.dst_port);
+  out[12] = static_cast<std::uint8_t>(key.protocol);
+  return out;
+}
+
+FlowId flow_id(const FlowKey& key) noexcept {
+  const auto bytes = canonical_header_bytes(key);
+  return util::sha1(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& key) const noexcept {
+  std::uint64_t h = util::mix64((static_cast<std::uint64_t>(key.src_ip) << 32) |
+                                key.dst_ip);
+  h = util::hash_combine(
+      h, (static_cast<std::uint64_t>(key.src_port) << 24) |
+             (static_cast<std::uint64_t>(key.dst_port) << 8) |
+             static_cast<std::uint64_t>(key.protocol));
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace iustitia::net

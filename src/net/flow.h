@@ -1,0 +1,31 @@
+// Flow identification: SHA-1 over the canonical packet header, as in the
+// paper's architecture (Fig. 1: "Header Hash Calculator (fid)"; Section 4.5
+// uses a 160-bit SHA-1 result per flow).
+#ifndef IUSTITIA_NET_FLOW_H_
+#define IUSTITIA_NET_FLOW_H_
+
+#include <cstddef>
+
+#include "net/packet.h"
+#include "util/sha1.h"
+
+namespace iustitia::net {
+
+// 160-bit flow identifier.
+using FlowId = util::Sha1Digest;
+
+// Serializes the 5-tuple into the canonical 13-byte header representation
+// (src ip, dst ip, src port, dst port, protocol — all big-endian).
+std::array<std::uint8_t, 13> canonical_header_bytes(const FlowKey& key) noexcept;
+
+// SHA-1 of the canonical header bytes; direction-sensitive, like the paper.
+FlowId flow_id(const FlowKey& key) noexcept;
+
+// Hash functor so FlowKey can key unordered containers directly.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& key) const noexcept;
+};
+
+}  // namespace iustitia::net
+
+#endif  // IUSTITIA_NET_FLOW_H_

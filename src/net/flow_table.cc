@@ -1,0 +1,30 @@
+#include "net/flow_table.h"
+
+namespace iustitia::net {
+
+void FlowTable::add(const Packet& packet) {
+  auto [it, inserted] = flows_.try_emplace(packet.key);
+  FlowRecord& record = it->second;
+  if (inserted) {
+    record.key = packet.key;
+    record.first_seen = packet.timestamp;
+  }
+  record.last_seen = packet.timestamp;
+  ++record.packets;
+  record.saw_fin |= packet.flags.fin;
+  record.saw_rst |= packet.flags.rst;
+  if (packet.is_data()) {
+    ++record.data_packets;
+    record.payload_bytes += packet.payload.size();
+    record.data_packet_times.push_back(packet.timestamp);
+    if (record.prefix.size() < prefix_limit_) {
+      const std::size_t take =
+          std::min(prefix_limit_ - record.prefix.size(), packet.payload.size());
+      record.prefix.insert(record.prefix.end(), packet.payload.begin(),
+                           packet.payload.begin() +
+                               static_cast<std::ptrdiff_t>(take));
+    }
+  }
+}
+
+}  // namespace iustitia::net

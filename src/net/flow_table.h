@@ -1,0 +1,52 @@
+// Offline flow reassembly: groups a packet stream by 5-tuple and keeps
+// per-flow byte prefixes and timing statistics.  Used by trace analysis
+// benches (Figs. 9 and 10) and by examples that need whole flows.
+#ifndef IUSTITIA_NET_FLOW_TABLE_H_
+#define IUSTITIA_NET_FLOW_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow.h"
+#include "net/packet.h"
+
+namespace iustitia::net {
+
+// Aggregated view of one flow.
+struct FlowRecord {
+  FlowKey key;
+  std::size_t packets = 0;
+  std::size_t data_packets = 0;
+  std::uint64_t payload_bytes = 0;
+  double first_seen = 0.0;
+  double last_seen = 0.0;
+  bool saw_fin = false;
+  bool saw_rst = false;
+  std::vector<std::uint8_t> prefix;  // first prefix_limit payload bytes
+  std::vector<double> data_packet_times;
+};
+
+// Reassembles flows from packets fed in timestamp order.
+class FlowTable {
+ public:
+  // `prefix_limit` caps how many payload bytes are retained per flow.
+  explicit FlowTable(std::size_t prefix_limit = 4096)
+      : prefix_limit_(prefix_limit) {}
+
+  void add(const Packet& packet);
+
+  std::size_t flow_count() const noexcept { return flows_.size(); }
+  const std::unordered_map<FlowKey, FlowRecord, FlowKeyHash>& flows()
+      const noexcept {
+    return flows_;
+  }
+
+ private:
+  std::size_t prefix_limit_;
+  std::unordered_map<FlowKey, FlowRecord, FlowKeyHash> flows_;
+};
+
+}  // namespace iustitia::net
+
+#endif  // IUSTITIA_NET_FLOW_TABLE_H_

@@ -1,0 +1,48 @@
+// Packet and flow-key model.
+//
+// The online classifier consumes a time-ordered stream of packets, each
+// carrying its 5-tuple, TCP flags, and transport payload.  These types are
+// deliberately transport-level: link/IP framing only exists at the pcap
+// boundary (net/pcap.h).
+#ifndef IUSTITIA_NET_PACKET_H_
+#define IUSTITIA_NET_PACKET_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace iustitia::net {
+
+enum class Protocol : std::uint8_t { kTcp = 6, kUdp = 17 };
+
+// Transport 5-tuple identifying a flow direction.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  Protocol protocol = Protocol::kTcp;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+};
+
+// TCP control flags (subset relevant to flow lifecycle tracking).
+struct TcpFlags {
+  bool syn = false;
+  bool ack = false;
+  bool fin = false;
+  bool rst = false;
+};
+
+// One captured packet.
+struct Packet {
+  double timestamp = 0.0;  // seconds since trace start
+  FlowKey key;
+  TcpFlags flags;          // all-false for UDP
+  std::vector<std::uint8_t> payload;
+
+  bool is_data() const noexcept { return !payload.empty(); }
+};
+
+}  // namespace iustitia::net
+
+#endif  // IUSTITIA_NET_PACKET_H_

@@ -1,0 +1,321 @@
+#include "net/pcap.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/hash.h"
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace iustitia::net {
+
+namespace {
+
+constexpr std::size_t kEthernetHeader = 14;
+constexpr std::size_t kIpv4Header = 20;
+constexpr std::size_t kTcpHeader = 20;
+constexpr std::size_t kUdpHeader = 8;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint16_t kEtherTypeIpv6 = 0x86DD;
+constexpr std::size_t kIpv6Header = 40;
+
+void put16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void put32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+std::uint16_t get16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t get32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) |
+         static_cast<std::uint32_t>(p[3]);
+}
+
+// RFC 1071 internet checksum over a byte range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(get16(data.data() + i));
+  }
+  if (i < data.size()) {
+    sum += static_cast<std::uint32_t>(data[i]) << 8;
+  }
+  while (sum >> 16) {
+    sum = (sum & 0xFFFF) + (sum >> 16);
+  }
+  return static_cast<std::uint16_t>(~sum);
+}
+
+void write_le32(std::ostream& os, std::uint32_t v) {
+  std::uint8_t buf[4] = {static_cast<std::uint8_t>(v),
+                         static_cast<std::uint8_t>(v >> 8),
+                         static_cast<std::uint8_t>(v >> 16),
+                         static_cast<std::uint8_t>(v >> 24)};
+  os.write(reinterpret_cast<const char*>(buf), 4);
+}
+
+void write_le16(std::ostream& os, std::uint16_t v) {
+  std::uint8_t buf[2] = {static_cast<std::uint8_t>(v),
+                         static_cast<std::uint8_t>(v >> 8)};
+  os.write(reinterpret_cast<const char*>(buf), 2);
+}
+
+bool read_le32(std::istream& is, std::uint32_t& v) {
+  std::uint8_t buf[4];
+  if (!is.read(reinterpret_cast<char*>(buf), 4)) return false;
+  v = static_cast<std::uint32_t>(buf[0]) |
+      (static_cast<std::uint32_t>(buf[1]) << 8) |
+      (static_cast<std::uint32_t>(buf[2]) << 16) |
+      (static_cast<std::uint32_t>(buf[3]) << 24);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_frame(const Packet& packet) {
+  const bool tcp = packet.key.protocol == Protocol::kTcp;
+  const std::size_t transport = tcp ? kTcpHeader : kUdpHeader;
+  const std::size_t ip_total = kIpv4Header + transport + packet.payload.size();
+
+  std::vector<std::uint8_t> out;
+  out.reserve(kEthernetHeader + ip_total);
+
+  // Ethernet II: synthetic locally-administered MACs derived from the IPs.
+  for (int i = 0; i < 2; ++i) {
+    const std::uint32_t ip = i == 0 ? packet.key.dst_ip : packet.key.src_ip;
+    out.push_back(0x02);
+    out.push_back(0x00);
+    put32(out, ip);
+  }
+  put16(out, kEtherTypeIpv4);
+
+  // IPv4 header.
+  const std::size_t ip_start = out.size();
+  out.push_back(0x45);  // version 4, IHL 5
+  out.push_back(0x00);  // DSCP/ECN
+  put16(out, static_cast<std::uint16_t>(ip_total));
+  put16(out, 0x0000);   // identification
+  put16(out, 0x4000);   // flags: DF
+  out.push_back(64);    // TTL
+  out.push_back(static_cast<std::uint8_t>(packet.key.protocol));
+  put16(out, 0x0000);   // checksum placeholder
+  put32(out, packet.key.src_ip);
+  put32(out, packet.key.dst_ip);
+  const std::uint16_t checksum = internet_checksum(
+      std::span<const std::uint8_t>(out.data() + ip_start, kIpv4Header));
+  out[ip_start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[ip_start + 11] = static_cast<std::uint8_t>(checksum);
+
+  if (tcp) {
+    put16(out, packet.key.src_port);
+    put16(out, packet.key.dst_port);
+    put32(out, 0);  // seq (not modeled)
+    put32(out, 0);  // ack
+    std::uint8_t flags = 0;
+    if (packet.flags.fin) flags |= 0x01;
+    if (packet.flags.syn) flags |= 0x02;
+    if (packet.flags.rst) flags |= 0x04;
+    if (packet.flags.ack) flags |= 0x10;
+    out.push_back(0x50);  // data offset 5 words
+    out.push_back(flags);
+    put16(out, 65535);  // window
+    put16(out, 0);      // checksum (not computed; readers here don't verify)
+    put16(out, 0);      // urgent
+  } else {
+    put16(out, packet.key.src_port);
+    put16(out, packet.key.dst_port);
+    put16(out, static_cast<std::uint16_t>(kUdpHeader + packet.payload.size()));
+    put16(out, 0);  // checksum optional in IPv4
+  }
+
+  out.insert(out.end(), packet.payload.begin(), packet.payload.end());
+  return out;
+}
+
+namespace {
+
+// Folds a 128-bit IPv6 address into 32 bits for the FlowKey (see header).
+std::uint32_t fold_ipv6(const std::uint8_t* addr) noexcept {
+  std::uint64_t h = util::kFnvOffset;
+  for (int i = 0; i < 16; ++i) {
+    h ^= addr[i];
+    h *= util::kFnvPrime;
+  }
+  return static_cast<std::uint32_t>(util::mix64(h));
+}
+
+// Decodes the TCP/UDP transport section shared by the IPv4/IPv6 paths.
+bool decode_transport(std::uint8_t proto, const std::uint8_t* transport,
+                      std::size_t transport_len, Packet& packet) {
+  if (proto == static_cast<std::uint8_t>(Protocol::kTcp)) {
+    if (transport_len < kTcpHeader) {
+      throw std::runtime_error("pcap: truncated TCP header");
+    }
+    packet.key.protocol = Protocol::kTcp;
+    packet.key.src_port = get16(transport);
+    packet.key.dst_port = get16(transport + 2);
+    const std::size_t data_offset =
+        static_cast<std::size_t>(transport[12] >> 4) * 4;
+    if (data_offset < kTcpHeader || transport_len < data_offset) {
+      throw std::runtime_error("pcap: bad TCP data offset");
+    }
+    const std::uint8_t flags = transport[13];
+    packet.flags.fin = flags & 0x01;
+    packet.flags.syn = flags & 0x02;
+    packet.flags.rst = flags & 0x04;
+    packet.flags.ack = flags & 0x10;
+    packet.payload.assign(transport + data_offset,
+                          transport + transport_len);
+    return true;
+  }
+  if (proto == static_cast<std::uint8_t>(Protocol::kUdp)) {
+    if (transport_len < kUdpHeader) {
+      throw std::runtime_error("pcap: truncated UDP header");
+    }
+    packet.key.protocol = Protocol::kUdp;
+    packet.key.src_port = get16(transport);
+    packet.key.dst_port = get16(transport + 2);
+    packet.payload.assign(transport + kUdpHeader, transport + transport_len);
+    return true;
+  }
+  return false;
+}
+
+std::optional<Packet> decode_ipv6(std::span<const std::uint8_t> frame,
+                                  double timestamp) {
+  if (frame.size() < kEthernetHeader + kIpv6Header) {
+    throw std::runtime_error("pcap: frame shorter than Ethernet+IPv6 headers");
+  }
+  const std::uint8_t* ip = frame.data() + kEthernetHeader;
+  if ((ip[0] >> 4) != 6) return std::nullopt;
+  const std::uint16_t payload_len = get16(ip + 4);
+  const std::uint8_t next_header = ip[6];  // extension headers unsupported
+  if (frame.size() < kEthernetHeader + kIpv6Header + payload_len) {
+    throw std::runtime_error("pcap: IPv6 payload length exceeds frame");
+  }
+  Packet packet;
+  packet.timestamp = timestamp;
+  packet.key.src_ip = fold_ipv6(ip + 8);
+  packet.key.dst_ip = fold_ipv6(ip + 24);
+  if (!decode_transport(next_header, ip + kIpv6Header, payload_len, packet)) {
+    return std::nullopt;
+  }
+  return packet;
+}
+
+}  // namespace
+
+std::optional<Packet> decode_frame(std::span<const std::uint8_t> frame,
+                                   double timestamp) {
+  if (frame.size() < kEthernetHeader + kIpv4Header) {
+    throw std::runtime_error("pcap: frame shorter than Ethernet+IPv4 headers");
+  }
+  const std::uint16_t ether_type = get16(frame.data() + 12);
+  if (ether_type == kEtherTypeIpv6) return decode_ipv6(frame, timestamp);
+  if (ether_type != kEtherTypeIpv4) return std::nullopt;
+
+  const std::uint8_t* ip = frame.data() + kEthernetHeader;
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl < kIpv4Header ||
+      frame.size() < kEthernetHeader + ihl) {
+    throw std::runtime_error("pcap: bad IPv4 IHL");
+  }
+  if (internet_checksum(std::span<const std::uint8_t>(ip, ihl)) != 0) {
+    throw std::runtime_error("pcap: IPv4 header checksum mismatch");
+  }
+  const std::uint16_t ip_total = get16(ip + 2);
+  if (ip_total < ihl || frame.size() < kEthernetHeader + ip_total) {
+    throw std::runtime_error("pcap: IPv4 total length exceeds frame");
+  }
+
+  Packet packet;
+  packet.timestamp = timestamp;
+  packet.key.src_ip = get32(ip + 12);
+  packet.key.dst_ip = get32(ip + 16);
+  if (!decode_transport(ip[9], ip + ihl, ip_total - ihl, packet)) {
+    return std::nullopt;
+  }
+  return packet;
+}
+
+PcapWriter::PcapWriter(std::ostream& os, std::uint32_t snaplen) : os_(os) {
+  write_le32(os_, kPcapMagic);
+  write_le16(os_, 2);  // version major
+  write_le16(os_, 4);  // version minor
+  write_le32(os_, 0);  // thiszone
+  write_le32(os_, 0);  // sigfigs
+  write_le32(os_, snaplen);
+  write_le32(os_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const Packet& packet) {
+  const std::vector<std::uint8_t> frame = encode_frame(packet);
+  const double ts = packet.timestamp;
+  const auto sec = static_cast<std::uint32_t>(ts);
+  const auto usec = static_cast<std::uint32_t>(
+      std::lround((ts - std::floor(ts)) * 1e6) % 1000000);
+  write_le32(os_, sec);
+  write_le32(os_, usec);
+  write_le32(os_, static_cast<std::uint32_t>(frame.size()));
+  write_le32(os_, static_cast<std::uint32_t>(frame.size()));
+  os_.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  ++packets_written_;
+}
+
+PcapReader::PcapReader(std::istream& is) : is_(is) {
+  std::uint32_t magic = 0;
+  if (!read_le32(is_, magic) || magic != kPcapMagic) {
+    throw std::runtime_error("pcap: bad magic (only native-order "
+                             "microsecond pcap is supported)");
+  }
+  std::uint32_t word = 0;
+  read_le32(is_, word);  // versions
+  read_le32(is_, word);  // thiszone
+  read_le32(is_, word);  // sigfigs
+  read_le32(is_, word);  // snaplen
+  std::uint32_t link_type = 0;
+  if (!read_le32(is_, link_type) || link_type != kLinkTypeEthernet) {
+    throw std::runtime_error("pcap: unsupported link type");
+  }
+}
+
+std::optional<Packet> PcapReader::next() {
+  for (;;) {
+    std::uint32_t sec = 0, usec = 0, incl = 0, orig = 0;
+    if (!read_le32(is_, sec)) return std::nullopt;
+    if (!read_le32(is_, usec) || !read_le32(is_, incl) ||
+        !read_le32(is_, orig)) {
+      throw std::runtime_error("pcap: truncated record header");
+    }
+    std::vector<std::uint8_t> frame(incl);
+    if (!is_.read(reinterpret_cast<char*>(frame.data()),
+                  static_cast<std::streamsize>(incl))) {
+      throw std::runtime_error("pcap: truncated record body");
+    }
+    const double ts =
+        static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;
+    std::optional<Packet> packet = decode_frame(frame, ts);
+    if (packet.has_value()) {
+      ++packets_read_;
+      return packet;
+    }
+    // Non-IPv4/TCP/UDP frame: skip and continue.
+  }
+}
+
+}  // namespace iustitia::net

@@ -1,0 +1,76 @@
+// Classic libpcap file format reader/writer, implemented from scratch.
+//
+// The paper's delay experiments run on a gateway trace from the UMASS
+// repository; we cannot redistribute it, so synthetic traces round-trip
+// through the standard pcap container instead: write with PcapWriter, read
+// back with PcapReader (or into any other pcap-consuming tool).  Frames are
+// Ethernet II / IPv4 / {TCP, UDP}; the IPv4 header checksum is computed on
+// write and verified on read.
+#ifndef IUSTITIA_NET_PCAP_H_
+#define IUSTITIA_NET_PCAP_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "net/packet.h"
+
+namespace iustitia::net {
+
+// pcap magic for microsecond timestamps, native byte order.
+inline constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4u;
+inline constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+// Serializes one packet to an Ethernet/IPv4/TCP-or-UDP frame.
+std::vector<std::uint8_t> encode_frame(const Packet& packet);
+
+// Parses a frame produced by encode_frame (or any Ethernet/IPv4/TCP|UDP
+// frame).  IPv6 frames are also accepted: their 128-bit addresses are
+// folded to the 32-bit FlowKey fields with a 64-bit mix (flows remain
+// distinct with overwhelming probability; addresses are not recoverable).
+// Returns std::nullopt for non-IP or non-TCP/UDP frames; throws
+// std::runtime_error on structurally corrupt frames (bad lengths or a bad
+// IPv4 header checksum).
+std::optional<Packet> decode_frame(std::span<const std::uint8_t> frame,
+                                   double timestamp);
+
+// Streaming pcap writer.
+class PcapWriter {
+ public:
+  // Writes the global header immediately.  The stream must outlive the
+  // writer.
+  explicit PcapWriter(std::ostream& os, std::uint32_t snaplen = 65535);
+
+  // Appends one packet record.
+  void write(const Packet& packet);
+
+  std::size_t packets_written() const noexcept { return packets_written_; }
+
+ private:
+  std::ostream& os_;
+  std::size_t packets_written_ = 0;
+};
+
+// Streaming pcap reader.
+class PcapReader {
+ public:
+  // Reads and validates the global header.  Throws std::runtime_error on a
+  // bad magic or unsupported link type.
+  explicit PcapReader(std::istream& is);
+
+  // Next decodable packet, skipping frames decode_frame rejects; or
+  // std::nullopt at end of file.
+  std::optional<Packet> next();
+
+  std::size_t packets_read() const noexcept { return packets_read_; }
+
+ private:
+  std::istream& is_;
+  std::size_t packets_read_ = 0;
+};
+
+}  // namespace iustitia::net
+
+#endif  // IUSTITIA_NET_PCAP_H_

@@ -1,0 +1,185 @@
+#include "net/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iustitia::net {
+
+std::size_t sample_payload_size(util::Rng& rng) noexcept {
+  // Calibrated to Fig. 9(a): >50% of data packets under 140 bytes, ~20% at
+  // the 1480-byte MTU mode, the rest spread between.
+  const double roll = rng.uniform();
+  if (roll < 0.52) {
+    return static_cast<std::size_t>(rng.uniform_int(16, 140));
+  }
+  if (roll < 0.78) {
+    return static_cast<std::size_t>(rng.uniform_int(141, 1459));
+  }
+  return static_cast<std::size_t>(rng.uniform_int(1460, 1480));
+}
+
+namespace {
+
+datagen::FileClass sample_class(const std::array<double, 3>& mix,
+                                util::Rng& rng) {
+  const std::size_t idx = rng.weighted_index(mix);
+  return static_cast<datagen::FileClass>(static_cast<int>(idx));
+}
+
+appproto::AppProtocol sample_app_protocol(util::Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.70) return appproto::AppProtocol::kHttp;
+  if (roll < 0.85) return appproto::AppProtocol::kSmtp;
+  if (roll < 0.93) return appproto::AppProtocol::kPop3;
+  return appproto::AppProtocol::kImap;
+}
+
+FlowKey random_flow_key(util::Rng& rng, bool tcp) {
+  FlowKey key;
+  key.src_ip = static_cast<std::uint32_t>(rng.next_u64());
+  key.dst_ip = static_cast<std::uint32_t>(rng.next_u64());
+  key.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+  key.dst_port = static_cast<std::uint16_t>(
+      rng.chance(0.6) ? rng.uniform_int(1, 1023) : rng.uniform_int(1024, 65535));
+  key.protocol = tcp ? Protocol::kTcp : Protocol::kUdp;
+  return key;
+}
+
+}  // namespace
+
+Trace generate_trace(const TraceOptions& options) {
+  util::Rng rng(options.seed);
+  Trace trace;
+  trace.duration_seconds = options.duration_seconds;
+
+  const double packet_rate =
+      static_cast<double>(options.target_packets) / options.duration_seconds;
+  const double flow_rate = packet_rate * options.flows_per_packet;
+  // Mean data packets per flow that hits the global data-packet fraction.
+  const double mean_data_per_flow =
+      options.data_packet_fraction / options.flows_per_packet;
+  // Mean total packets per flow (data + acks/control).
+  const double mean_total_per_flow = 1.0 / options.flows_per_packet;
+
+  trace.packets.reserve(options.target_packets + options.target_packets / 8);
+
+  double flow_arrival = 0.0;
+  while (trace.packets.size() < options.target_packets) {
+    flow_arrival += rng.exponential(flow_rate);
+    if (flow_arrival > trace.duration_seconds) {
+      // Keep spawning flows past the nominal duration until the packet
+      // budget is met; the trace is trimmed and re-sorted below.
+      if (trace.packets.size() >= options.target_packets) break;
+    }
+
+    const bool tcp = rng.chance(options.tcp_fraction);
+    const FlowKey key = random_flow_key(rng, tcp);
+    FlowTruth truth;
+    truth.nature = sample_class(options.class_mix, rng);
+
+    // Heavy-tailed flow length (Pareto), mean ~= mean_data_per_flow.
+    const double shape = 1.5;
+    const double scale = mean_data_per_flow * (shape - 1.0) / shape;
+    std::size_t data_packets = static_cast<std::size_t>(
+        std::ceil(rng.pareto(shape, std::max(1.0, scale))));
+    data_packets = std::min<std::size_t>(data_packets, 2000);
+    truth.data_packets = data_packets;
+
+    // Flow content: a real generated file of the flow's class, with an
+    // optional application-layer header in front.
+    std::size_t content_len = options.content_limit;
+    std::vector<std::uint8_t> content;
+    if (rng.chance(options.app_header_fraction)) {
+      truth.app_protocol = sample_app_protocol(rng);
+      content = appproto::generate_header(truth.app_protocol, rng,
+                                          content_len);
+      truth.app_header_length = content.size();
+    }
+    {
+      const datagen::FileSample file =
+          datagen::generate_file(truth.nature, content_len, rng);
+      content.insert(content.end(), file.bytes.begin(), file.bytes.end());
+    }
+
+    // Per-flow packet timing: the flow lives for a lognormal duration
+    // (median 0.5 s, capped at the trace window) and spreads its packets
+    // across it with exponential gaps; the resulting inter-arrival CDF has
+    // the sub-half-second mass of Fig. 9(b).
+    const double flow_duration = std::min(
+        std::exp(rng.normal(std::log(0.5), 1.0)), options.duration_seconds);
+    const double expected_flow_packets =
+        static_cast<double>(data_packets) *
+        (1.0 + std::max(0.0, mean_total_per_flow / mean_data_per_flow - 1.0));
+    const double flow_mean_gap =
+        flow_duration / std::max(1.0, expected_flow_packets);
+    double t = flow_arrival;
+    std::size_t content_offset = 0;
+
+    auto push_packet = [&](TcpFlags flags, std::size_t payload_size) {
+      Packet packet;
+      packet.timestamp = t;
+      packet.key = key;
+      packet.flags = flags;
+      if (payload_size > 0) {
+        packet.payload.resize(payload_size);
+        for (std::size_t i = 0; i < payload_size; ++i) {
+          // Cycle through the flow content once exhausted; cycling repeats
+          // real same-class bytes, preserving the class statistics.
+          packet.payload[i] = content[content_offset % content.size()];
+          ++content_offset;
+        }
+      }
+      trace.packets.push_back(std::move(packet));
+    };
+
+    if (tcp) {
+      push_packet({.syn = true}, 0);  // no handshake payload
+      t += rng.exponential(1.0 / std::max(1e-4, flow_mean_gap));
+    }
+    // Interleave data packets with pure-ACK packets so the global
+    // data-packet fraction lands near the target.
+    const double acks_per_data =
+        std::max(0.0, mean_total_per_flow / mean_data_per_flow - 1.0);
+    for (std::size_t p = 0; p < data_packets; ++p) {
+      push_packet({.ack = tcp}, sample_payload_size(rng));
+      t += rng.exponential(1.0 / std::max(1e-4, flow_mean_gap));
+      if (tcp) {
+        // Expected acks_per_data pure-ack packets per data packet.
+        double budget = acks_per_data;
+        while (budget > 0.0 && rng.chance(std::min(1.0, budget))) {
+          push_packet({.ack = true}, 0);
+          t += rng.exponential(1.0 / std::max(1e-4, flow_mean_gap));
+          budget -= 1.0;
+        }
+      }
+    }
+    if (tcp) {
+      const double close_roll = rng.uniform();
+      if (close_roll < options.fin_close_fraction) {
+        truth.closed_by_fin = true;
+        push_packet({.ack = true, .fin = true}, 0);
+      } else if (close_roll <
+                 options.fin_close_fraction + options.rst_close_fraction) {
+        truth.closed_by_rst = true;
+        push_packet({.rst = true}, 0);
+      }
+      // Otherwise: socket never closed properly (paper Section 4.5).
+    }
+
+    trace.truth.emplace(key, std::move(truth));
+  }
+
+  std::sort(trace.packets.begin(), trace.packets.end(),
+            [](const Packet& a, const Packet& b) {
+              return a.timestamp < b.timestamp;
+            });
+  if (trace.packets.size() > options.target_packets) {
+    trace.packets.resize(options.target_packets);
+  }
+  if (!trace.packets.empty()) {
+    trace.duration_seconds = trace.packets.back().timestamp;
+  }
+  return trace;
+}
+
+}  // namespace iustitia::net

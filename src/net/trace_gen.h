@@ -1,0 +1,84 @@
+// Synthetic gateway trace generator.
+//
+// Substitute for the UMASS gigabit gateway trace used in Section 4.5 (not
+// redistributable).  Every statistic the paper reports about that trace is
+// a calibration target here:
+//   - 41.16% of packets are TCP/UDP data packets,
+//   - 146,714 packets/second aggregate rate,
+//   - one flow per ~40 packets (299,564 flows / 11,976,410 packets),
+//   - bimodal payload sizes: ~20% of data packets at 1480 bytes, >50%
+//     under 140 bytes (Fig. 9(a)),
+//   - a mix of FIN/RST-closed and never-closed TCP flows plus UDP flows
+//     (Fig. 8: "up to 46% of the flows are removed" by FIN/RST purging).
+//
+// Flow payloads are real generated content of a known nature class
+// (text/binary/encrypted), optionally behind a generated application-layer
+// header, so classification accuracy can be measured against ground truth.
+#ifndef IUSTITIA_NET_TRACE_GEN_H_
+#define IUSTITIA_NET_TRACE_GEN_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "appproto/header_gen.h"
+#include "datagen/corpus.h"
+#include "net/flow.h"
+#include "net/packet.h"
+#include "util/random.h"
+
+namespace iustitia::net {
+
+// Trace shape knobs; defaults are the paper's calibration targets with a
+// scaled-down packet budget (override target_packets for paper scale).
+struct TraceOptions {
+  std::size_t target_packets = 100000;
+  // Wall-clock length of the flow-arrival window.  The aggregate packet
+  // rate is target_packets / duration_seconds; at paper scale
+  // (11,976,410 packets over ~81.6 s) this reproduces the paper's
+  // 146,714 pkt/s.  Scaled-down benches keep per-flow timing realistic by
+  // keeping a trace duration of seconds, not microseconds.
+  double duration_seconds = 10.0;
+  double data_packet_fraction = 0.4116;
+  double flows_per_packet = 299564.0 / 11976410.0;
+  double tcp_fraction = 0.85;
+  double fin_close_fraction = 0.38;    // TCP flows closed with FIN
+  double rst_close_fraction = 0.08;    // TCP flows closed with RST
+  // Nature mix of data-carrying flows (text, binary, encrypted).
+  std::array<double, 3> class_mix{0.45, 0.35, 0.20};
+  // Fraction of flows that open with a well-known application header.
+  double app_header_fraction = 0.25;
+  // Real content bytes generated per flow; packets beyond this carry
+  // filler of the same class statistics.
+  std::size_t content_limit = 4096;
+  std::uint64_t seed = 0xBEEF;
+};
+
+// Ground truth for one generated flow.
+struct FlowTruth {
+  datagen::FileClass nature = datagen::FileClass::kText;
+  appproto::AppProtocol app_protocol = appproto::AppProtocol::kNone;
+  std::size_t app_header_length = 0;
+  std::size_t data_packets = 0;
+  bool closed_by_fin = false;
+  bool closed_by_rst = false;
+};
+
+// A fully generated trace: time-ordered packets plus per-flow ground truth.
+struct Trace {
+  std::vector<Packet> packets;
+  std::unordered_map<FlowKey, FlowTruth, FlowKeyHash> truth;
+  double duration_seconds = 0.0;
+};
+
+// Generates a trace per `options`.  Deterministic in options.seed.
+Trace generate_trace(const TraceOptions& options);
+
+// Draws one data-packet payload size from the calibrated bimodal
+// distribution (exposed for tests and Fig. 9).
+std::size_t sample_payload_size(util::Rng& rng) noexcept;
+
+}  // namespace iustitia::net
+
+#endif  // IUSTITIA_NET_TRACE_GEN_H_

@@ -1,0 +1,73 @@
+#include "net/tunnel.h"
+
+#include <algorithm>
+
+namespace iustitia::net {
+
+TunnelMux::TunnelMux(const datagen::ChaCha20::Key& key,
+                     const datagen::ChaCha20::Nonce& nonce)
+    : cipher_(datagen::ChaCha20(key, nonce)) {}
+
+std::vector<std::uint8_t> TunnelMux::encapsulate(
+    std::uint32_t inner_id, std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> out;
+  std::size_t at = 0;
+  do {
+    const std::size_t take =
+        std::min(kTunnelMaxFramePayload, payload.size() - at);
+    out.push_back(kTunnelMagic0);
+    out.push_back(kTunnelMagic1);
+    out.push_back(static_cast<std::uint8_t>(inner_id >> 24));
+    out.push_back(static_cast<std::uint8_t>(inner_id >> 16));
+    out.push_back(static_cast<std::uint8_t>(inner_id >> 8));
+    out.push_back(static_cast<std::uint8_t>(inner_id));
+    out.push_back(static_cast<std::uint8_t>(take >> 8));
+    out.push_back(static_cast<std::uint8_t>(take));
+    out.insert(out.end(), payload.begin() + static_cast<std::ptrdiff_t>(at),
+               payload.begin() + static_cast<std::ptrdiff_t>(at + take));
+    at += take;
+  } while (at < payload.size());
+  if (cipher_.has_value()) {
+    cipher_->apply(out);
+  }
+  return out;
+}
+
+TunnelDemux::TunnelDemux(std::size_t per_flow_limit)
+    : per_flow_limit_(per_flow_limit) {}
+
+void TunnelDemux::feed(std::span<const std::uint8_t> outer_payload) {
+  if (corrupted_) return;
+  pending_.insert(pending_.end(), outer_payload.begin(), outer_payload.end());
+
+  std::size_t at = 0;
+  while (pending_.size() - at >= kTunnelFrameHeader) {
+    const std::uint8_t* frame = pending_.data() + at;
+    if (frame[0] != kTunnelMagic0 || frame[1] != kTunnelMagic1) {
+      corrupted_ = true;
+      break;
+    }
+    const std::uint32_t inner_id = (static_cast<std::uint32_t>(frame[2]) << 24) |
+                                   (static_cast<std::uint32_t>(frame[3]) << 16) |
+                                   (static_cast<std::uint32_t>(frame[4]) << 8) |
+                                   static_cast<std::uint32_t>(frame[5]);
+    const std::size_t length = (static_cast<std::size_t>(frame[6]) << 8) |
+                               static_cast<std::size_t>(frame[7]);
+    if (pending_.size() - at < kTunnelFrameHeader + length) {
+      break;  // frame split across outer packets: wait for more
+    }
+    std::vector<std::uint8_t>& stream = streams_[inner_id];
+    if (stream.size() < per_flow_limit_) {
+      const std::size_t room = per_flow_limit_ - stream.size();
+      const std::size_t take = std::min(room, length);
+      stream.insert(stream.end(), frame + kTunnelFrameHeader,
+                    frame + kTunnelFrameHeader + take);
+    }
+    ++frames_decoded_;
+    at += kTunnelFrameHeader + length;
+  }
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(at));
+}
+
+}  // namespace iustitia::net

@@ -1,0 +1,52 @@
+// Small non-cryptographic hashing helpers used by hash tables and sketches.
+#ifndef IUSTITIA_UTIL_HASH_H_
+#define IUSTITIA_UTIL_HASH_H_
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace iustitia::util {
+
+// 64-bit FNV-1a over a byte span.
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+inline std::uint64_t fnv1a(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const std::uint8_t b : data) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(std::string_view data,
+                           std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : data) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Strong 64-bit finalizer (from MurmurHash3 / SplitMix64 family).
+inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Combines two 64-bit hashes (boost::hash_combine style, widened).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_HASH_H_

@@ -1,0 +1,59 @@
+// Minimal leveled logger.
+//
+// Writes to stderr; the level is process-global and settable via the
+// IUSTITIA_LOG environment variable (error|warn|info|debug) or set_level().
+#ifndef IUSTITIA_UTIL_LOGGING_H_
+#define IUSTITIA_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace iustitia::util {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+// Current process-wide log level (initialized from IUSTITIA_LOG, default
+// warn).
+LogLevel log_level() noexcept;
+
+// Overrides the process-wide level.
+void set_log_level(LogLevel level) noexcept;
+
+// Emits one line at `level` if the current level permits.
+void log_line(LogLevel level, const std::string& message);
+
+namespace internal {
+
+// Stream-style helper that emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { log_line(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+}  // namespace iustitia::util
+
+#define IUSTITIA_LOG_ERROR \
+  ::iustitia::util::internal::LogMessage(::iustitia::util::LogLevel::kError)
+#define IUSTITIA_LOG_WARN \
+  ::iustitia::util::internal::LogMessage(::iustitia::util::LogLevel::kWarn)
+#define IUSTITIA_LOG_INFO \
+  ::iustitia::util::internal::LogMessage(::iustitia::util::LogLevel::kInfo)
+#define IUSTITIA_LOG_DEBUG \
+  ::iustitia::util::internal::LogMessage(::iustitia::util::LogLevel::kDebug)
+
+#endif  // IUSTITIA_UTIL_LOGGING_H_

@@ -1,0 +1,157 @@
+#include "util/sha1.h"
+
+#include <cstring>
+
+namespace iustitia::util {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int k) noexcept {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+std::uint64_t Sha1Digest::prefix64() const noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+  return v;
+}
+
+std::string Sha1Digest::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(40);
+  for (const std::uint8_t b : bytes) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Sha1::Sha1() noexcept { reset(); }
+
+void Sha1::reset() noexcept {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::process_block(const std::uint8_t* block) noexcept {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<std::uint32_t>(block[4 * t]) << 24) |
+           (static_cast<std::uint32_t>(block[4 * t + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[4 * t + 2]) << 8) |
+           static_cast<std::uint32_t>(block[4 * t + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) noexcept {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const std::size_t need = 64 - buffer_len_;
+    const std::size_t take = data.size() < need ? data.size() : need;
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == 64) {
+      process_block(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_, data.data() + offset, data.size() - offset);
+    buffer_len_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view data) noexcept {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+Sha1Digest Sha1::digest() const noexcept {
+  Sha1 copy = *this;  // finalize a copy so callers may continue absorbing
+  const std::uint64_t bit_len = copy.total_len_ * 8;
+
+  std::uint8_t pad = 0x80;
+  copy.update(std::span<const std::uint8_t>(&pad, 1));
+  const std::uint8_t zero = 0x00;
+  while (copy.buffer_len_ != 56) {
+    copy.update(std::span<const std::uint8_t>(&zero, 1));
+  }
+  std::uint8_t len_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    len_bytes[i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  copy.update(std::span<const std::uint8_t>(len_bytes, 8));
+
+  Sha1Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out.bytes[static_cast<std::size_t>(4 * i)] =
+        static_cast<std::uint8_t>(copy.h_[i] >> 24);
+    out.bytes[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(copy.h_[i] >> 16);
+    out.bytes[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(copy.h_[i] >> 8);
+    out.bytes[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(copy.h_[i]);
+  }
+  return out;
+}
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.digest();
+}
+
+Sha1Digest sha1(std::string_view data) noexcept {
+  Sha1 h;
+  h.update(data);
+  return h.digest();
+}
+
+}  // namespace iustitia::util

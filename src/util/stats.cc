@@ -1,0 +1,136 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace iustitia::util {
+
+double quantile_sorted(std::span<const double> sorted, double q) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double mean(std::span<const double> values) noexcept {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) noexcept {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (const double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+double median(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return quantile_sorted(copy, 0.5);
+}
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  s.mean = mean(values);
+  s.stddev = stddev(values);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = quantile_sorted(sorted, 0.5);
+  s.p25 = quantile_sorted(sorted, 0.25);
+  s.p75 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.p99 = quantile_sorted(sorted, 0.99);
+  return s;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> values)
+    : sorted_(values.begin(), values.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::evaluate(double x) const noexcept {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const noexcept {
+  return quantile_sorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::points(
+    std::size_t max_points) const {
+  std::vector<std::pair<double, double>> out;
+  if (sorted_.empty() || max_points == 0) return out;
+  const std::size_t step =
+      sorted_.size() <= max_points ? 1 : sorted_.size() / max_points;
+  for (std::size_t i = 0; i < sorted_.size(); i += step) {
+    out.emplace_back(sorted_[i], static_cast<double>(i + 1) /
+                                     static_cast<double>(sorted_.size()));
+  }
+  if (out.back().first != sorted_.back()) {
+    out.emplace_back(sorted_.back(), 1.0);
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo),
+      width_((hi - lo) / static_cast<double>(bins == 0 ? 1 : bins)),
+      counts_(bins == 0 ? 1 : bins, 0) {}
+
+void Histogram::add(double value) noexcept { add_n(value, 1); }
+
+void Histogram::add_n(double value, std::size_t n) noexcept {
+  double idx = (value - lo_) / width_;
+  if (idx < 0.0) idx = 0.0;
+  auto bin = static_cast<std::size_t>(idx);
+  if (bin >= counts_.size()) bin = counts_.size() - 1;
+  counts_[bin] += n;
+  total_ += n;
+}
+
+double Histogram::bin_center(std::size_t bin) const noexcept {
+  return lo_ + width_ * (static_cast<double>(bin) + 0.5);
+}
+
+double Histogram::fraction(std::size_t bin) const noexcept {
+  return total_ == 0
+             ? 0.0
+             : static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+}  // namespace iustitia::util

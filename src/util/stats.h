@@ -1,0 +1,115 @@
+// Descriptive statistics, empirical CDFs, and histograms.
+//
+// Used throughout the benchmark harness to summarize accuracy sweeps and to
+// reproduce the trace-statistics figures (Fig. 9 payload/inter-arrival CDFs).
+#ifndef IUSTITIA_UTIL_STATS_H_
+#define IUSTITIA_UTIL_STATS_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace iustitia::util {
+
+// Five-number-plus summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes a Summary of `values`. Returns an all-zero summary when empty.
+Summary summarize(std::span<const double> values);
+
+// Linear-interpolated quantile of an already sorted sample, q in [0,1].
+double quantile_sorted(std::span<const double> sorted, double q) noexcept;
+
+// Arithmetic mean (0 for an empty span).
+double mean(std::span<const double> values) noexcept;
+
+// Sample standard deviation (0 for fewer than two values).
+double stddev(std::span<const double> values) noexcept;
+
+// Median (0 for an empty span); copies and sorts internally.
+double median(std::span<const double> values);
+
+// Empirical cumulative distribution function of a sample.
+//
+// Built once from data; evaluate() answers P(X <= x).  points() yields a
+// compact piecewise representation suitable for printing a CDF table.
+class EmpiricalCdf {
+ public:
+  // Builds from an unsorted sample; `values` may be empty.
+  explicit EmpiricalCdf(std::span<const double> values);
+
+  // P(X <= x); 0 for empty samples.
+  double evaluate(double x) const noexcept;
+
+  // The value below which a fraction q of the sample lies (inverse CDF).
+  double quantile(double q) const noexcept;
+
+  // Down-samples the CDF to at most `max_points` (x, P(X<=x)) pairs.
+  std::vector<std::pair<double, double>> points(std::size_t max_points) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// Fixed-bin histogram over [lo, hi); values outside are clamped into the
+// first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value) noexcept;
+  void add_n(double value, std::size_t n) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const noexcept { return counts_[bin]; }
+  std::size_t total() const noexcept { return total_; }
+
+  // Center of the given bin.
+  double bin_center(std::size_t bin) const noexcept;
+
+  // Fraction of samples in the given bin (0 when empty).
+  double fraction(std::size_t bin) const noexcept;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept;  // sample variance
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_STATS_H_

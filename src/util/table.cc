@@ -1,0 +1,102 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace iustitia::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+void Table::render(std::ostream& os) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+
+  std::vector<std::size_t> widths(columns, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << cell;
+      if (c + 1 < columns) {
+        os << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  emit_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < columns; ++c) {
+    total += widths[c] + (c + 1 < columns ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+}
+
+void Table::render_csv(std::ostream& os) const {
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (const char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      emit_cell(row[c]);
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+std::string fmt_bytes(double bytes) {
+  if (bytes < 1024.0) return fmt(bytes, 0) + " B";
+  if (bytes < 1024.0 * 1024.0) return fmt(bytes / 1024.0, 2) + " KB";
+  return fmt(bytes / (1024.0 * 1024.0), 2) + " MB";
+}
+
+std::string fmt_seconds(double seconds) {
+  if (seconds < 1e-3) return fmt(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return fmt(seconds * 1e3, 2) + " ms";
+  return fmt(seconds, 3) + " s";
+}
+
+std::string bar(double fraction, std::size_t width) {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto filled =
+      static_cast<std::size_t>(std::lround(fraction * static_cast<double>(width)));
+  return std::string(filled, '#') + std::string(width - filled, '.');
+}
+
+}  // namespace iustitia::util

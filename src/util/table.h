@@ -1,0 +1,55 @@
+// Console table and CSV rendering for the benchmark harness.
+//
+// Every bench binary prints its reproduction of a paper table/figure as an
+// aligned ASCII table (matching the paper's rows) and can optionally dump the
+// same data as CSV for plotting.
+#ifndef IUSTITIA_UTIL_TABLE_H_
+#define IUSTITIA_UTIL_TABLE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace iustitia::util {
+
+// Column-aligned text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a row; missing trailing cells render as empty, extra cells widen
+  // the table.
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with a header underline and two-space column gaps.
+  void render(std::ostream& os) const;
+
+  // Renders as RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void render_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals.
+std::string fmt(double value, int decimals = 2);
+
+// Formats a fraction as a percentage string, e.g. 0.8651 -> "86.51%".
+std::string fmt_percent(double fraction, int decimals = 2);
+
+// Formats a byte count with a unit suffix (B, KB, MB).
+std::string fmt_bytes(double bytes);
+
+// Formats seconds with an adaptive unit (us / ms / s).
+std::string fmt_seconds(double seconds);
+
+// Renders a crude horizontal bar (for quick-look ASCII plots in benches).
+std::string bar(double fraction, std::size_t width = 40);
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_TABLE_H_

@@ -1,0 +1,32 @@
+// Wall-clock stopwatch for the timing experiments (Fig. 5, Table 3).
+#ifndef IUSTITIA_UTIL_TIMER_H_
+#define IUSTITIA_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace iustitia::util {
+
+// Steady-clock stopwatch with microsecond resolution reporting.
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  // Restarts the stopwatch.
+  void reset() noexcept { start_ = Clock::now(); }
+
+  // Elapsed time since construction or the last reset().
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_micros() const noexcept { return elapsed_seconds() * 1e6; }
+  double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_TIMER_H_

@@ -1,0 +1,142 @@
+// Tests for application-layer header generation and signature-based
+// stripping (Section 4.3).
+#include "appproto/header_gen.h"
+#include "appproto/header_stripper.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/random.h"
+
+namespace iustitia::appproto {
+namespace {
+
+std::string as_string(std::span<const std::uint8_t> bytes) {
+  return {bytes.begin(), bytes.end()};
+}
+
+TEST(ProtocolName, AllValues) {
+  EXPECT_STREQ(protocol_name(AppProtocol::kNone), "none");
+  EXPECT_STREQ(protocol_name(AppProtocol::kHttp), "http");
+  EXPECT_STREQ(protocol_name(AppProtocol::kSmtp), "smtp");
+  EXPECT_STREQ(protocol_name(AppProtocol::kPop3), "pop3");
+  EXPECT_STREQ(protocol_name(AppProtocol::kImap), "imap");
+}
+
+TEST(GenerateHeader, NoneIsEmpty) {
+  util::Rng rng(1);
+  EXPECT_TRUE(generate_header(AppProtocol::kNone, rng).empty());
+}
+
+TEST(HttpResponseHeader, EndsWithDoubleCrlfAndDetects) {
+  util::Rng rng(2);
+  const auto header = generate_http_response_header(rng, 12345);
+  const std::string text = as_string(header);
+  ASSERT_GE(text.size(), 4u);
+  EXPECT_EQ(text.substr(text.size() - 4), "\r\n\r\n");
+  EXPECT_NE(text.find("Content-Length: 12345"), std::string::npos);
+
+  const HeaderDetection det = detect_header(header);
+  EXPECT_EQ(det.protocol, AppProtocol::kHttp);
+  EXPECT_TRUE(det.header_complete);
+  EXPECT_EQ(det.header_length, header.size());
+}
+
+TEST(HttpRequestHeader, DetectedAndStrippedExactly) {
+  util::Rng rng(3);
+  auto flow = generate_http_request_header(rng);
+  const std::size_t header_len = flow.size();
+  // Binary payload follows the header.
+  for (int i = 0; i < 500; ++i) {
+    flow.push_back(static_cast<std::uint8_t>(i * 37 + 128));
+  }
+  const HeaderDetection det = detect_header(flow);
+  EXPECT_EQ(det.protocol, AppProtocol::kHttp);
+  EXPECT_TRUE(det.header_complete);
+  EXPECT_EQ(det.header_length, header_len);
+  EXPECT_EQ(strip_header(flow).size(), 500u);
+}
+
+TEST(HttpHeader, IncompletePrefixReportedAsIncomplete) {
+  util::Rng rng(4);
+  const auto header = generate_http_response_header(rng, 100);
+  // Cut before the terminating CRLF CRLF.
+  const std::span<const std::uint8_t> partial(header.data(),
+                                              header.size() - 6);
+  const HeaderDetection det = detect_header(partial);
+  EXPECT_EQ(det.protocol, AppProtocol::kHttp);
+  EXPECT_FALSE(det.header_complete);
+  EXPECT_EQ(det.header_length, partial.size());
+}
+
+class MailProtocols : public ::testing::TestWithParam<AppProtocol> {};
+
+TEST_P(MailProtocols, PreambleDetectedAndStrippedBeforePayload) {
+  util::Rng rng(5);
+  auto flow = generate_header(GetParam(), rng);
+  const std::size_t preamble_len = flow.size();
+  ASSERT_GT(preamble_len, 0u);
+  // Non-protocol content follows (binary attachment bytes).
+  for (int i = 0; i < 300; ++i) {
+    flow.push_back(static_cast<std::uint8_t>(0x80 + i % 100));
+  }
+  const HeaderDetection det = detect_header(flow);
+  EXPECT_EQ(det.protocol, GetParam());
+  EXPECT_TRUE(det.header_complete);
+  EXPECT_EQ(det.header_length, preamble_len);
+}
+
+INSTANTIATE_TEST_SUITE_P(Smtp, MailProtocols,
+                         ::testing::Values(AppProtocol::kSmtp,
+                                           AppProtocol::kPop3,
+                                           AppProtocol::kImap));
+
+TEST(DetectHeader, PlainTextIsNotAHeader) {
+  const std::string text =
+      "Dear colleague, the measurements are attached below.";
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  const HeaderDetection det = detect_header(bytes);
+  EXPECT_EQ(det.protocol, AppProtocol::kNone);
+  EXPECT_EQ(det.header_length, 0u);
+  EXPECT_EQ(strip_header(bytes).size(), bytes.size());
+}
+
+TEST(DetectHeader, RandomBinaryIsNotAHeader) {
+  util::Rng rng(6);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint8_t> data(200);
+    rng.fill_bytes(data);
+    // Avoid the vanishingly unlikely accidental signature.
+    if (data[0] == 'G' || data[0] == 'P' || data[0] == 'H' || data[0] == '+' ||
+        data[0] == '*' || data[0] == '2') {
+      data[0] = 0x00;
+    }
+    const HeaderDetection det = detect_header(data);
+    ASSERT_EQ(det.protocol, AppProtocol::kNone) << "trial " << trial;
+  }
+}
+
+TEST(DetectHeader, EmptyInput) {
+  const HeaderDetection det = detect_header({});
+  EXPECT_EQ(det.protocol, AppProtocol::kNone);
+  EXPECT_EQ(det.header_length, 0u);
+}
+
+TEST(DetectHeader, EncryptedPayloadAfterHttpHeaderSurvivesStrip) {
+  // The motivating case of Section 4.3: a binary object behind a text
+  // header must expose only the object after stripping.
+  util::Rng rng(7);
+  auto flow = generate_http_response_header(rng, 1000);
+  const std::size_t header_len = flow.size();
+  std::vector<std::uint8_t> body(1000);
+  rng.fill_bytes(body);
+  flow.insert(flow.end(), body.begin(), body.end());
+  const auto stripped = strip_header(flow);
+  ASSERT_EQ(stripped.size(), 1000u);
+  EXPECT_TRUE(std::equal(stripped.begin(), stripped.end(), body.begin()));
+  EXPECT_EQ(detect_header(flow).header_length, header_len);
+}
+
+}  // namespace
+}  // namespace iustitia::appproto

@@ -1,0 +1,215 @@
+// Tests for the CART decision tree: impurity math, fit quality, pruning,
+// and feature reporting.
+#include "ml/cart.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+namespace {
+
+// Axis-separable two-class blobs.
+Dataset separable_blobs(std::size_t per_class, util::Rng& rng) {
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_class; ++i) {
+    data.add({rng.normal(0.0, 0.5), rng.normal(0.0, 0.5)}, 0);
+    data.add({rng.normal(5.0, 0.5), rng.normal(5.0, 0.5)}, 1);
+  }
+  return data;
+}
+
+// XOR pattern: requires depth >= 2.
+Dataset xor_data(std::size_t per_quadrant, util::Rng& rng) {
+  Dataset data(2);
+  for (std::size_t i = 0; i < per_quadrant; ++i) {
+    for (const int qx : {0, 1}) {
+      for (const int qy : {0, 1}) {
+        data.add({qx + rng.uniform(0.05, 0.95), qy + rng.uniform(0.05, 0.95)},
+                 qx ^ qy);
+      }
+    }
+  }
+  return data;
+}
+
+TEST(GiniImpurity, KnownValues) {
+  const std::size_t pure[] = {10, 0};
+  EXPECT_DOUBLE_EQ(gini_impurity(pure), 0.0);
+  const std::size_t even[] = {5, 5};
+  EXPECT_DOUBLE_EQ(gini_impurity(even), 0.5);
+  const std::size_t three[] = {1, 1, 1};
+  EXPECT_NEAR(gini_impurity(three), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gini_impurity({}), 0.0);
+}
+
+TEST(DecisionTree, RejectsEmptyTraining) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.train(Dataset(2)), std::invalid_argument);
+}
+
+TEST(DecisionTree, PredictBeforeTrainThrows) {
+  const DecisionTree tree;
+  EXPECT_THROW(tree.predict(std::vector<double>{0.0}), std::logic_error);
+}
+
+TEST(DecisionTree, PerfectlySeparableDataIsLearnedExactly) {
+  util::Rng rng(1);
+  const Dataset data = separable_blobs(50, rng);
+  DecisionTree tree;
+  tree.train(data);
+  EXPECT_DOUBLE_EQ(tree.evaluate(data).accuracy(), 1.0);
+  // A single split suffices.
+  EXPECT_LE(tree.depth(), 3u);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  util::Rng rng(2);
+  const Dataset data = xor_data(40, rng);
+  DecisionTree tree;
+  tree.train(data);
+  EXPECT_GE(tree.evaluate(data).accuracy(), 0.98);
+  EXPECT_GE(tree.depth(), 2u);
+}
+
+TEST(DecisionTree, MaxDepthOneIsAStump) {
+  util::Rng rng(3);
+  const Dataset data = separable_blobs(30, rng);
+  DecisionTree tree;
+  tree.train(data, CartParams{.max_depth = 0});
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_EQ(tree.leaf_count(), 1u);
+}
+
+TEST(DecisionTree, MinSamplesLeafRespected) {
+  util::Rng rng(4);
+  const Dataset data = separable_blobs(40, rng);
+  DecisionTree tree;
+  tree.train(data, CartParams{.min_samples_leaf = 10});
+  for (const auto& node : tree.nodes()) {
+    EXPECT_GE(node.samples, 10u);
+  }
+}
+
+TEST(DecisionTree, NodeInvariants) {
+  util::Rng rng(5);
+  const Dataset data = xor_data(30, rng);
+  DecisionTree tree;
+  tree.train(data);
+  const auto& nodes = tree.nodes();
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_EQ(nodes[0].samples, data.size());
+  for (const auto& node : nodes) {
+    if (node.feature >= 0) {
+      const auto& l = nodes[static_cast<std::size_t>(node.left)];
+      const auto& r = nodes[static_cast<std::size_t>(node.right)];
+      EXPECT_EQ(l.samples + r.samples, node.samples);
+    }
+    EXPECT_LE(node.errors, node.samples);
+    EXPECT_GE(node.impurity, 0.0);
+    EXPECT_LE(node.impurity, 1.0);
+  }
+}
+
+TEST(DecisionTree, PruneWeakestLinkShrinksLeaves) {
+  util::Rng rng(6);
+  const Dataset data = xor_data(30, rng);
+  DecisionTree tree;
+  tree.train(data);
+  const std::size_t before = tree.leaf_count();
+  ASSERT_GT(before, 1u);
+  EXPECT_TRUE(tree.prune_weakest_link());
+  EXPECT_LT(tree.leaf_count(), before);
+}
+
+TEST(DecisionTree, PruningToSingleLeafThenStops) {
+  util::Rng rng(7);
+  const Dataset data = separable_blobs(20, rng);
+  DecisionTree tree;
+  tree.train(data);
+  int steps = 0;
+  while (tree.prune_weakest_link()) {
+    ++steps;
+    ASSERT_LT(steps, 1000);
+  }
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  EXPECT_FALSE(tree.prune_weakest_link());
+}
+
+TEST(DecisionTree, PruneToAccuracyBoundsTheDrop) {
+  util::Rng rng(8);
+  Dataset data = xor_data(60, rng);
+  // Add label noise so the full tree overfits and pruning has room.
+  Dataset noisy(2);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const int label = rng.chance(0.1) ? 1 - data[i].label : data[i].label;
+    noisy.add(data[i].features, label);
+  }
+  DecisionTree tree;
+  tree.train(noisy);
+  const double before = tree.evaluate(data).accuracy();
+  tree.prune_to_accuracy(data, 0.02);
+  const double after = tree.evaluate(data).accuracy();
+  EXPECT_GE(after, before - 0.02 - 1e-9);
+}
+
+TEST(DecisionTree, FeaturesUsedAndImportance) {
+  // Only feature 1 is informative.
+  util::Rng rng(9);
+  Dataset data(2);
+  for (int i = 0; i < 200; ++i) {
+    const int label = i % 2;
+    data.add({rng.uniform(), label == 0 ? rng.uniform(0.0, 0.4)
+                                        : rng.uniform(0.6, 1.0)},
+             label);
+  }
+  DecisionTree tree;
+  tree.train(data);
+  const auto used = tree.features_used();
+  ASSERT_FALSE(used.empty());
+  const auto importance = tree.feature_importance();
+  ASSERT_EQ(importance.size(), 2u);
+  EXPECT_GT(importance[1], importance[0]);
+  double total = importance[0] + importance[1];
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ImpurityCriteria, EntropyValues) {
+  const std::size_t pure[] = {10, 0};
+  EXPECT_DOUBLE_EQ(entropy_impurity(pure), 0.0);
+  const std::size_t even[] = {5, 5};
+  EXPECT_DOUBLE_EQ(entropy_impurity(even), 1.0);
+  const std::size_t three[] = {1, 1, 1};
+  EXPECT_NEAR(entropy_impurity(three), std::log2(3.0), 1e-12);
+  EXPECT_DOUBLE_EQ(impurity(even, SplitCriterion::kGini), 0.5);
+  EXPECT_DOUBLE_EQ(impurity(even, SplitCriterion::kEntropy), 1.0);
+}
+
+TEST(DecisionTree, EntropyCriterionLearnsXorToo) {
+  util::Rng rng(11);
+  const Dataset data = xor_data(40, rng);
+  DecisionTree tree;
+  tree.train(data, CartParams{.criterion = SplitCriterion::kEntropy});
+  EXPECT_GE(tree.evaluate(data).accuracy(), 0.98);
+}
+
+TEST(DecisionTree, MultiClassMajorityLabels) {
+  util::Rng rng(10);
+  Dataset data(3);
+  for (int i = 0; i < 60; ++i) {
+    data.add({rng.normal(0.0, 0.3)}, 0);
+    data.add({rng.normal(3.0, 0.3)}, 1);
+    data.add({rng.normal(6.0, 0.3)}, 2);
+  }
+  DecisionTree tree;
+  tree.train(data);
+  EXPECT_EQ(tree.predict(std::vector<double>{0.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{3.0}), 1);
+  EXPECT_EQ(tree.predict(std::vector<double>{6.0}), 2);
+  EXPECT_EQ(tree.num_classes(), 3);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

@@ -1,0 +1,162 @@
+// Tests for the Classification Database: lookup/refresh semantics, FIN/RST
+// removal, and the n*lambda inactivity purge of Section 4.5.
+#include "core/cdb.h"
+
+#include <gtest/gtest.h>
+
+#include "util/sha1.h"
+
+namespace iustitia::core {
+namespace {
+
+using datagen::FileClass;
+
+net::FlowId id_of(int n) { return util::sha1("flow-" + std::to_string(n)); }
+
+TEST(Cdb, MissThenInsertThenHit) {
+  ClassificationDatabase cdb;
+  EXPECT_EQ(cdb.lookup(id_of(1), 0.0), std::nullopt);
+  cdb.insert(id_of(1), FileClass::kBinary, 0.0);
+  EXPECT_EQ(cdb.lookup(id_of(1), 0.1), FileClass::kBinary);
+  EXPECT_EQ(cdb.size(), 1u);
+  EXPECT_EQ(cdb.stats().lookups, 2u);
+  EXPECT_EQ(cdb.stats().hits, 1u);
+  EXPECT_EQ(cdb.stats().inserts, 1u);
+}
+
+TEST(Cdb, PeekDoesNotRefreshTiming) {
+  CdbOptions options;
+  options.inactivity_coefficient = 2.0;
+  options.default_lambda = 0.5;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  // Many peeks later, the record still purges based on the insert time.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cdb.peek(id_of(1)), FileClass::kText);
+  }
+  EXPECT_EQ(cdb.purge(10.0), 1u);
+  EXPECT_EQ(cdb.peek(id_of(1)), std::nullopt);
+}
+
+TEST(Cdb, LookupRefreshesLambdaFromObservedGap) {
+  CdbOptions options;
+  options.inactivity_coefficient = 4.0;
+  options.default_lambda = 0.5;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  // Packet at t=2.0: lambda' becomes 2.0; obsolete only after t > 2 + 8.
+  EXPECT_TRUE(cdb.lookup(id_of(1), 2.0).has_value());
+  EXPECT_EQ(cdb.purge(9.9), 0u);
+  EXPECT_EQ(cdb.purge(10.1), 1u);
+}
+
+TEST(Cdb, DefaultLambdaUsedForSinglePacketFlows) {
+  CdbOptions options;
+  options.inactivity_coefficient = 4.0;
+  options.default_lambda = 0.5;  // n * lambda = 2.0 seconds
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kEncrypted, 0.0);
+  EXPECT_EQ(cdb.purge(1.9), 0u);
+  EXPECT_EQ(cdb.purge(2.1), 1u);
+}
+
+TEST(Cdb, FinRstRemoval) {
+  ClassificationDatabase cdb;
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.insert(id_of(2), FileClass::kBinary, 0.0);
+  cdb.remove_on_close(id_of(1));
+  EXPECT_EQ(cdb.size(), 1u);
+  EXPECT_EQ(cdb.stats().fin_rst_removals, 1u);
+  // Removing an absent flow is a no-op.
+  cdb.remove_on_close(id_of(99));
+  EXPECT_EQ(cdb.stats().fin_rst_removals, 1u);
+}
+
+TEST(Cdb, FinRstRemovalCanBeDisabled) {
+  CdbOptions options;
+  options.fin_rst_removal_enabled = false;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.remove_on_close(id_of(1));
+  EXPECT_EQ(cdb.size(), 1u);
+}
+
+TEST(Cdb, InactivityPurgeCanBeDisabled) {
+  CdbOptions options;
+  options.inactivity_purge_enabled = false;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  EXPECT_EQ(cdb.purge(1e9), 0u);
+  EXPECT_EQ(cdb.size(), 1u);
+}
+
+TEST(Cdb, MaybePurgeHonorsTriggerThreshold) {
+  CdbOptions options;
+  options.purge_trigger_flows = 10;
+  options.inactivity_coefficient = 1.0;
+  options.default_lambda = 0.001;  // everything old is purgeable
+  ClassificationDatabase cdb(options);
+  for (int i = 0; i < 9; ++i) {
+    cdb.insert(id_of(i), FileClass::kText, 0.0);
+    cdb.maybe_purge(100.0);
+  }
+  EXPECT_EQ(cdb.stats().purge_runs, 0u);  // below trigger
+  cdb.insert(id_of(9), FileClass::kText, 100.0);
+  cdb.maybe_purge(100.0);
+  EXPECT_EQ(cdb.stats().purge_runs, 1u);
+  EXPECT_EQ(cdb.size(), 1u);  // only the fresh flow survives
+}
+
+TEST(Cdb, MemoryBitsUsePaperRecordSize) {
+  ClassificationDatabase cdb;
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.insert(id_of(2), FileClass::kText, 0.0);
+  EXPECT_EQ(cdb.memory_bits(), 2u * 194u);
+}
+
+TEST(Cdb, OverwriteKeepsSingleRecord) {
+  ClassificationDatabase cdb;
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.insert(id_of(1), FileClass::kEncrypted, 1.0);
+  EXPECT_EQ(cdb.size(), 1u);
+  EXPECT_EQ(cdb.peek(id_of(1)), FileClass::kEncrypted);
+}
+
+TEST(Cdb, ReclassificationRuleDeletesOldRecords) {
+  CdbOptions options;
+  options.reclassify_after_seconds = 10.0;
+  options.inactivity_coefficient = 1000.0;  // inactivity never triggers here
+  options.default_lambda = 1000.0;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  // Keep the flow active so only the reclassification rule can remove it.
+  cdb.lookup(id_of(1), 5.0);
+  EXPECT_EQ(cdb.purge(9.0), 0u);
+  EXPECT_EQ(cdb.purge(10.5), 1u);
+  EXPECT_EQ(cdb.stats().reclassification_removals, 1u);
+  EXPECT_EQ(cdb.stats().inactivity_removals, 0u);
+}
+
+TEST(Cdb, ReclassificationDisabledByDefault) {
+  CdbOptions options;
+  options.inactivity_coefficient = 1000.0;
+  options.default_lambda = 1000.0;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.lookup(id_of(1), 1.0);  // lambda' = 1.0 -> obsolete only after t=1001
+  EXPECT_EQ(cdb.purge(500.0), 0u);  // old record, but no reclassify rule
+}
+
+TEST(Cdb, PurgeCountsInStats) {
+  CdbOptions options;
+  options.inactivity_coefficient = 1.0;
+  options.default_lambda = 0.1;
+  ClassificationDatabase cdb(options);
+  for (int i = 0; i < 5; ++i) cdb.insert(id_of(i), FileClass::kBinary, 0.0);
+  EXPECT_EQ(cdb.purge(1.0), 5u);
+  EXPECT_EQ(cdb.stats().inactivity_removals, 5u);
+  EXPECT_EQ(cdb.size(), 0u);
+}
+
+}  // namespace
+}  // namespace iustitia::core

@@ -1,0 +1,114 @@
+// Corpus-level tests: class balance, determinism, and the paper's two
+// hypotheses as measurable properties of the synthetic pool.
+#include "datagen/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/divergence.h"
+#include "entropy/entropy_vector.h"
+#include "util/stats.h"
+
+namespace iustitia::datagen {
+namespace {
+
+double h1_of(std::span<const std::uint8_t> data) {
+  const int widths[] = {1};
+  return entropy::entropy_vector(data, widths)[0];
+}
+
+CorpusOptions small_options() {
+  CorpusOptions options;
+  options.files_per_class = 30;
+  options.min_size = 2048;
+  options.max_size = 8192;
+  options.seed = 99;
+  return options;
+}
+
+TEST(ClassName, AllValues) {
+  EXPECT_STREQ(class_name(FileClass::kText), "text");
+  EXPECT_STREQ(class_name(FileClass::kBinary), "binary");
+  EXPECT_STREQ(class_name(FileClass::kEncrypted), "encrypted");
+}
+
+TEST(BuildCorpus, BalancedAndSized) {
+  const auto corpus = build_corpus(small_options());
+  ASSERT_EQ(corpus.size(), 90u);
+  std::size_t counts[3] = {};
+  for (const auto& file : corpus) {
+    ++counts[static_cast<int>(file.label)];
+    EXPECT_GE(file.bytes.size(), 2048u);
+    EXPECT_LE(file.bytes.size(), 8192u);
+    EXPECT_FALSE(file.kind.empty());
+  }
+  EXPECT_EQ(counts[0], 30u);
+  EXPECT_EQ(counts[1], 30u);
+  EXPECT_EQ(counts[2], 30u);
+}
+
+TEST(BuildCorpus, DeterministicForSeed) {
+  const auto a = build_corpus(small_options());
+  const auto b = build_corpus(small_options());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].bytes, b[i].bytes);
+    ASSERT_EQ(a[i].label, b[i].label);
+  }
+  CorpusOptions other = small_options();
+  other.seed = 100;
+  const auto c = build_corpus(other);
+  EXPECT_NE(a[0].bytes, c[0].bytes);
+}
+
+TEST(BuildCorpus, Hypothesis1EntropyOrdering) {
+  // Mean h_1: text < binary < encrypted — the observation behind the whole
+  // system (paper Section 3.2, Fig. 2a).
+  const auto corpus = build_corpus(small_options());
+  double sums[3] = {};
+  std::size_t counts[3] = {};
+  for (const auto& file : corpus) {
+    sums[static_cast<int>(file.label)] += h1_of(file.bytes);
+    ++counts[static_cast<int>(file.label)];
+  }
+  const double text = sums[0] / static_cast<double>(counts[0]);
+  const double binary = sums[1] / static_cast<double>(counts[1]);
+  const double encrypted = sums[2] / static_cast<double>(counts[2]);
+  EXPECT_LT(text, binary);
+  EXPECT_LT(binary, encrypted);
+  EXPECT_GT(encrypted, 0.95);  // ciphertext is nearly uniform
+}
+
+TEST(BuildCorpus, Hypothesis2PrefixRepresentsWhole) {
+  // JSD between the first-20% byte distribution and the whole-file one
+  // should be small on average (paper: >= 86% similarity for f_1).
+  const auto corpus = build_corpus(small_options());
+  util::RunningStats jsd_stats;
+  for (const auto& file : corpus) {
+    const auto prefix_len = file.bytes.size() / 5;
+    const auto prefix = entropy::gram_distribution(
+        std::span<const std::uint8_t>(file.bytes.data(), prefix_len), 1);
+    const auto whole = entropy::gram_distribution(file.bytes, 1);
+    jsd_stats.add(entropy::js_divergence(prefix, whole));
+  }
+  EXPECT_LT(jsd_stats.mean(), 0.14);
+}
+
+TEST(GenerateFile, EncryptedFilesHaveMaximalPairEntropy) {
+  util::Rng rng(7);
+  const FileSample file = generate_file(FileClass::kEncrypted, 8192, rng);
+  const int widths[] = {2};
+  EXPECT_GT(entropy::entropy_vector(file.bytes, widths)[0], 0.75);
+}
+
+TEST(GenerateFile, RequestedSizeHonored) {
+  util::Rng rng(8);
+  for (const FileClass label :
+       {FileClass::kText, FileClass::kBinary, FileClass::kEncrypted}) {
+    const FileSample file = generate_file(label, 4096, rng);
+    EXPECT_EQ(file.bytes.size(), 4096u);
+    EXPECT_EQ(file.label, label);
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::datagen

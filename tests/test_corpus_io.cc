@@ -1,0 +1,95 @@
+// Tests for corpus <-> filesystem round trips (the CLI's data path).
+#include "datagen/corpus_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace iustitia::datagen {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CorpusIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("iustitia_corpus_io_" + std::to_string(::getpid()));
+    fs::remove_all(root_);
+  }
+  void TearDown() override { fs::remove_all(root_); }
+
+  fs::path root_;
+};
+
+TEST_F(CorpusIoTest, WriteReadSingleFile) {
+  const fs::path path = root_ / "sub" / "data.bin";
+  const std::vector<std::uint8_t> bytes{0x00, 0xFF, 0x41, 0x0A};
+  write_file(path, bytes);
+  EXPECT_EQ(read_file(path), bytes);
+}
+
+TEST_F(CorpusIoTest, ReadFileTruncation) {
+  const fs::path path = root_ / "big.bin";
+  write_file(path, std::vector<std::uint8_t>(1000, 0x7A));
+  EXPECT_EQ(read_file(path, 100).size(), 100u);
+  EXPECT_EQ(read_file(path, 0).size(), 1000u);  // 0 = unlimited
+}
+
+TEST_F(CorpusIoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(read_file(root_ / "nope.bin"), std::runtime_error);
+}
+
+TEST_F(CorpusIoTest, CorpusRoundTripPreservesBytesAndLabels) {
+  CorpusOptions options;
+  options.files_per_class = 10;
+  options.min_size = 512;
+  options.max_size = 1024;
+  options.seed = 5;
+  const auto corpus = build_corpus(options);
+  save_corpus(corpus, root_);
+
+  const auto loaded = load_corpus(root_);
+  ASSERT_EQ(loaded.size(), corpus.size());
+  // Per-class byte multisets match (directory order is unspecified).
+  std::size_t class_bytes_saved[3] = {}, class_bytes_loaded[3] = {};
+  std::size_t class_counts[3] = {};
+  for (const auto& s : corpus) {
+    class_bytes_saved[static_cast<int>(s.label)] += s.bytes.size();
+  }
+  for (const auto& s : loaded) {
+    class_bytes_loaded[static_cast<int>(s.label)] += s.bytes.size();
+    ++class_counts[static_cast<int>(s.label)];
+  }
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_EQ(class_bytes_loaded[c], class_bytes_saved[c]);
+    EXPECT_EQ(class_counts[c], 10u);
+  }
+}
+
+TEST_F(CorpusIoTest, LoadCorpusTruncatesPerFile) {
+  CorpusOptions options;
+  options.files_per_class = 3;
+  options.min_size = 2048;
+  options.max_size = 2049;
+  options.seed = 6;
+  save_corpus(build_corpus(options), root_);
+  const auto loaded = load_corpus(root_, 256);
+  for (const auto& s : loaded) EXPECT_EQ(s.bytes.size(), 256u);
+}
+
+TEST_F(CorpusIoTest, LoadEmptyTreeThrows) {
+  fs::create_directories(root_);
+  EXPECT_THROW(load_corpus(root_), std::runtime_error);
+}
+
+TEST_F(CorpusIoTest, LoadToleratesMissingClassDirectories) {
+  // Only text/ present: loads what exists.
+  write_file(root_ / "text" / "a.bin", std::vector<std::uint8_t>(64, 'x'));
+  const auto loaded = load_corpus(root_);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].label, FileClass::kText);
+}
+
+}  // namespace
+}  // namespace iustitia::datagen

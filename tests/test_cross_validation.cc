@@ -1,0 +1,79 @@
+// Tests for the k-fold cross-validation driver.
+#include "ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, util::Rng& rng) {
+  Dataset data(3);
+  const double centers[3] = {0.0, 4.0, 8.0};
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      data.add({rng.normal(centers[c], 0.5), rng.uniform()}, c);
+    }
+  }
+  return data;
+}
+
+TEST(CrossValidate, ProducesOneMatrixPerFold) {
+  util::Rng rng(1);
+  const Dataset data = blobs(30, rng);
+  const auto folds = cross_validate(data, 5, make_cart_factory(), rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& fold : folds) total += fold.total();
+  EXPECT_EQ(total, data.size());  // every sample tested exactly once
+}
+
+TEST(CrossValidate, RejectsTooFewFolds) {
+  util::Rng rng(2);
+  const Dataset data = blobs(10, rng);
+  EXPECT_THROW(cross_validate(data, 1, make_cart_factory(), rng),
+               std::invalid_argument);
+}
+
+TEST(CrossValidate, CartAccurateOnSeparableBlobs) {
+  util::Rng rng(3);
+  const Dataset data = blobs(40, rng);
+  const auto folds = cross_validate(data, 5, make_cart_factory(), rng);
+  EXPECT_GE(mean_accuracy(folds), 0.95);
+}
+
+TEST(CrossValidate, SvmAccurateOnSeparableBlobs) {
+  util::Rng rng(4);
+  const Dataset data = blobs(30, rng);
+  const auto folds = cross_validate(
+      data, 3, make_svm_factory(SvmParams{.gamma = 2.0, .c = 100.0}), rng);
+  EXPECT_GE(mean_accuracy(folds), 0.95);
+}
+
+TEST(PoolFolds, MergesCounts) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(1, 0);
+  const ConfusionMatrix pooled = pool_folds({a, b});
+  EXPECT_EQ(pooled.total(), 2u);
+  EXPECT_EQ(pooled.count(1, 0), 1u);
+  EXPECT_THROW(pool_folds({}), std::invalid_argument);
+}
+
+TEST(CrossValidate, DeterministicGivenSeed) {
+  const Dataset data = [] {
+    util::Rng rng(5);
+    return blobs(20, rng);
+  }();
+  util::Rng rng_a(6), rng_b(6);
+  const auto a = cross_validate(data, 4, make_cart_factory(), rng_a);
+  const auto b = cross_validate(data, 4, make_cart_factory(), rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t f = 0; f < a.size(); ++f) {
+    EXPECT_DOUBLE_EQ(a[f].accuracy(), b[f].accuracy());
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::ml

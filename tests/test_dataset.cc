@@ -1,0 +1,144 @@
+// Tests for ml/dataset.h: invariants of stratified splitting that the
+// cross-validation experiments rely on.
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace iustitia::ml {
+namespace {
+
+Dataset three_class_dataset(std::size_t per_class) {
+  Dataset data(3);
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      data.add({static_cast<double>(c), static_cast<double>(i)}, c);
+    }
+  }
+  return data;
+}
+
+TEST(Dataset, AddFixesDimensionality) {
+  Dataset data(2);
+  data.add({1.0, 2.0}, 0);
+  EXPECT_EQ(data.feature_count(), 2u);
+  EXPECT_THROW(data.add({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(data.add({1.0, 2.0, 3.0}, 1), std::invalid_argument);
+}
+
+TEST(Dataset, RejectsOutOfRangeLabels) {
+  Dataset data(2);
+  EXPECT_THROW(data.add({1.0}, 2), std::invalid_argument);
+  EXPECT_THROW(data.add({1.0}, -1), std::invalid_argument);
+}
+
+TEST(Dataset, GrowsClassesWhenUnset) {
+  Dataset data;
+  data.add({1.0}, 0);
+  data.add({2.0}, 4);
+  EXPECT_EQ(data.num_classes(), 5);
+}
+
+TEST(Dataset, ClassCounts) {
+  const Dataset data = three_class_dataset(7);
+  const auto counts = data.class_counts();
+  ASSERT_EQ(counts.size(), 3u);
+  for (const std::size_t c : counts) EXPECT_EQ(c, 7u);
+}
+
+TEST(Dataset, SubsetSelectsRows) {
+  const Dataset data = three_class_dataset(2);
+  const std::size_t rows[] = {0, 5};
+  const Dataset sub = data.subset(rows);
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0].features, data[0].features);
+  EXPECT_EQ(sub[1].features, data[5].features);
+}
+
+TEST(Dataset, ProjectSelectsColumnsInOrder) {
+  Dataset data(1);
+  data.add({1.0, 2.0, 3.0}, 0);
+  const std::size_t cols[] = {2, 0};
+  const Dataset proj = data.project(cols);
+  EXPECT_EQ(proj[0].features, (std::vector<double>{3.0, 1.0}));
+  const std::size_t bad[] = {5};
+  EXPECT_THROW(data.project(bad), std::out_of_range);
+}
+
+TEST(Dataset, BalancedSampleCapsEachClass) {
+  Dataset data(2);
+  for (int i = 0; i < 20; ++i) data.add({static_cast<double>(i)}, 0);
+  for (int i = 0; i < 5; ++i) data.add({static_cast<double>(i)}, 1);
+  util::Rng rng(1);
+  const Dataset balanced = data.balanced_sample(8, rng);
+  const auto counts = balanced.class_counts();
+  EXPECT_EQ(counts[0], 8u);
+  EXPECT_EQ(counts[1], 5u);  // fewer available than requested
+}
+
+TEST(StratifiedFolds, PartitionCoversEveryRowOnce) {
+  const Dataset data = three_class_dataset(10);
+  util::Rng rng(2);
+  const auto folds = stratified_folds(data, 5, rng);
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<std::size_t> seen;
+  for (const auto& fold : folds) {
+    for (const std::size_t row : fold) {
+      EXPECT_TRUE(seen.insert(row).second) << "row " << row << " duplicated";
+    }
+  }
+  EXPECT_EQ(seen.size(), data.size());
+}
+
+TEST(StratifiedFolds, EachFoldIsClassBalanced) {
+  const Dataset data = three_class_dataset(10);
+  util::Rng rng(3);
+  const auto folds = stratified_folds(data, 5, rng);
+  for (const auto& fold : folds) {
+    int per_class[3] = {0, 0, 0};
+    for (const std::size_t row : fold) ++per_class[data[row].label];
+    EXPECT_EQ(per_class[0], 2);
+    EXPECT_EQ(per_class[1], 2);
+    EXPECT_EQ(per_class[2], 2);
+  }
+}
+
+TEST(StratifiedFolds, RejectsZeroFolds) {
+  const Dataset data = three_class_dataset(2);
+  util::Rng rng(4);
+  EXPECT_THROW(stratified_folds(data, 0, rng), std::invalid_argument);
+}
+
+TEST(StratifiedFoldSplit, TrainTestDisjointAndComplete) {
+  const Dataset data = three_class_dataset(8);
+  util::Rng rng(5);
+  const auto folds = stratified_folds(data, 4, rng);
+  const Split split = stratified_fold_split(data, folds, 1);
+  EXPECT_EQ(split.test.size(), 6u);
+  EXPECT_EQ(split.train.size(), 18u);
+  EXPECT_THROW(stratified_fold_split(data, folds, 4), std::out_of_range);
+}
+
+TEST(StratifiedHoldout, FractionAndStratification) {
+  const Dataset data = three_class_dataset(10);
+  util::Rng rng(6);
+  const Split split = stratified_holdout(data, 0.7, rng);
+  EXPECT_EQ(split.train.size(), 21u);
+  EXPECT_EQ(split.test.size(), 9u);
+  const auto train_counts = split.train.class_counts();
+  for (const std::size_t c : train_counts) EXPECT_EQ(c, 7u);
+}
+
+TEST(Dataset, ShuffleKeepsContents) {
+  Dataset data = three_class_dataset(5);
+  util::Rng rng(7);
+  const auto before = data.class_counts();
+  data.shuffle(rng);
+  EXPECT_EQ(data.class_counts(), before);
+  EXPECT_EQ(data.size(), 15u);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

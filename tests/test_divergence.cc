@@ -1,0 +1,128 @@
+// Tests for entropy/divergence.h: KL/JS divergence properties used to
+// validate the paper's Hypothesis 2.
+#include "entropy/divergence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::entropy {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(ToDistribution, NormalizesCounts) {
+  GramCounter c(1);
+  const auto data = bytes_of("aab");
+  c.add(data);
+  const GramDistribution dist = to_distribution(c);
+  EXPECT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist.at('a'), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(dist.at('b'), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ToDistribution, EmptyCounterYieldsEmptyDistribution) {
+  GramCounter c(2);
+  EXPECT_TRUE(to_distribution(c).empty());
+}
+
+TEST(DistributionEntropy, UniformTwoSymbolsIsOneBit) {
+  GramDistribution p{{'a', 0.5}, {'b', 0.5}};
+  EXPECT_NEAR(distribution_entropy_bits(p), 1.0, 1e-12);
+}
+
+TEST(KlDivergence, ZeroForIdenticalDistributions) {
+  GramDistribution p{{'a', 0.3}, {'b', 0.7}};
+  EXPECT_NEAR(kl_divergence(p, p), 0.0, 1e-12);
+}
+
+TEST(KlDivergence, KnownValue) {
+  GramDistribution p{{'a', 0.5}, {'b', 0.5}};
+  GramDistribution q{{'a', 0.25}, {'b', 0.75}};
+  const double expected =
+      0.5 * std::log2(0.5 / 0.25) + 0.5 * std::log2(0.5 / 0.75);
+  EXPECT_NEAR(kl_divergence(p, q), expected, 1e-12);
+}
+
+TEST(KlDivergence, InfiniteWhenSupportEscapes) {
+  GramDistribution p{{'a', 0.5}, {'b', 0.5}};
+  GramDistribution q{{'a', 1.0}};
+  EXPECT_TRUE(std::isinf(kl_divergence(p, q)));
+}
+
+TEST(JsDivergence, ZeroIffEqual) {
+  GramDistribution p{{'a', 0.4}, {'b', 0.6}};
+  EXPECT_NEAR(js_divergence(p, p), 0.0, 1e-12);
+  GramDistribution q{{'a', 0.41}, {'b', 0.59}};
+  EXPECT_GT(js_divergence(p, q), 0.0);
+}
+
+TEST(JsDivergence, SymmetricUnlikeKl) {
+  GramDistribution p{{'a', 0.9}, {'b', 0.1}};
+  GramDistribution q{{'a', 0.2}, {'b', 0.5}, {'c', 0.3}};
+  EXPECT_NEAR(js_divergence(p, q), js_divergence(q, p), 1e-12);
+  EXPECT_NE(kl_divergence(p, q), kl_divergence(q, p));
+}
+
+TEST(JsDivergence, DisjointSupportsGiveExactlyOne) {
+  GramDistribution p{{'a', 1.0}};
+  GramDistribution q{{'b', 1.0}};
+  EXPECT_NEAR(js_divergence(p, q), 1.0, 1e-12);
+}
+
+TEST(JsDivergence, AlwaysBounded) {
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    GramDistribution p, q;
+    double pt = 0, qt = 0;
+    for (int s = 0; s < 8; ++s) {
+      p[static_cast<GramKey>(s)] = rng.uniform();
+      q[static_cast<GramKey>(s + 4)] = rng.uniform();
+      pt += p[static_cast<GramKey>(s)];
+      qt += q[static_cast<GramKey>(s + 4)];
+    }
+    for (auto& [k, v] : p) v /= pt;
+    for (auto& [k, v] : q) v /= qt;
+    const double jsd = js_divergence(p, q);
+    ASSERT_GE(jsd, 0.0);
+    ASSERT_LE(jsd, 1.0);
+  }
+}
+
+TEST(JsDivergence, MatchesEntropyFormulation) {
+  // JSD = H(M) - H(P)/2 - H(Q)/2 must equal the averaged-KL definition.
+  GramDistribution p{{'a', 0.7}, {'b', 0.3}};
+  GramDistribution q{{'a', 0.2}, {'b', 0.8}};
+  GramDistribution m{{'a', 0.45}, {'b', 0.55}};
+  const double via_kl =
+      0.5 * kl_divergence(p, m) + 0.5 * kl_divergence(q, m);
+  EXPECT_NEAR(js_divergence(p, q), via_kl, 1e-12);
+}
+
+TEST(GramDistributionOfData, PrefixConvergesToWholeFile) {
+  // Hypothesis 2 in miniature: the JSD between the prefix distribution and
+  // the full distribution must shrink as the prefix grows.
+  util::Rng rng(77);
+  std::vector<std::uint8_t> data(20000);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(64));
+  const GramDistribution whole = gram_distribution(data, 1);
+  double last = 1.0;
+  for (const double portion : {0.05, 0.2, 0.5, 1.0}) {
+    const auto len = static_cast<std::size_t>(portion * 20000);
+    const GramDistribution prefix = gram_distribution(
+        std::span<const std::uint8_t>(data.data(), len), 1);
+    const double jsd = js_divergence(prefix, whole);
+    EXPECT_LE(jsd, last + 1e-9);
+    last = jsd;
+  }
+  EXPECT_NEAR(last, 0.0, 1e-12);  // portion 1.0 -> identical
+}
+
+}  // namespace
+}  // namespace iustitia::entropy

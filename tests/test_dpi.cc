@@ -1,0 +1,143 @@
+// Tests for the Aho-Corasick matcher and the IDS signature sets.
+#include "dpi/aho_corasick.h"
+#include "dpi/signature_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/random.h"
+
+namespace iustitia::dpi {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(AhoCorasick, RejectsEmptyPattern) {
+  EXPECT_THROW(AhoCorasick({""}), std::invalid_argument);
+  EXPECT_THROW(AhoCorasick({"ok", ""}), std::invalid_argument);
+}
+
+TEST(AhoCorasick, SinglePatternAllOccurrences) {
+  const AhoCorasick ac({"ab"});
+  const auto matches = ac.find_all(bytes_of("xxabyabzab"));
+  ASSERT_EQ(matches.size(), 3u);
+  EXPECT_EQ(matches[0].end_offset, 4u);
+  EXPECT_EQ(matches[1].end_offset, 7u);
+  EXPECT_EQ(matches[2].end_offset, 10u);
+  for (const Match& m : matches) EXPECT_EQ(m.pattern_index, 0u);
+}
+
+TEST(AhoCorasick, OverlappingPatterns) {
+  // Classic example: he / she / his / hers on "ushers".
+  const AhoCorasick ac({"he", "she", "his", "hers"});
+  const auto matches = ac.find_all(bytes_of("ushers"));
+  std::set<std::pair<std::size_t, std::size_t>> found;
+  for (const Match& m : matches) found.insert({m.pattern_index, m.end_offset});
+  EXPECT_TRUE(found.count({1, 4}));  // "she" ends at 4
+  EXPECT_TRUE(found.count({0, 4}));  // "he" ends at 4 (suffix of she)
+  EXPECT_TRUE(found.count({3, 6}));  // "hers" ends at 6
+  EXPECT_EQ(matches.size(), 3u);
+}
+
+TEST(AhoCorasick, PatternsThatAreSuffixesOfEachOther) {
+  const AhoCorasick ac({"a", "aa", "aaa"});
+  const auto matches = ac.find_all(bytes_of("aaaa"));
+  // "a" x4, "aa" x3, "aaa" x2 = 9 matches.
+  EXPECT_EQ(matches.size(), 9u);
+}
+
+TEST(AhoCorasick, BinaryPatternsIncludingHighBytes) {
+  std::string pattern;
+  pattern.push_back(static_cast<char>(0xFF));
+  pattern.push_back(static_cast<char>(0x00));
+  pattern.push_back(static_cast<char>(0xD8));
+  const AhoCorasick ac({pattern});
+  std::vector<std::uint8_t> text{0x01, 0xFF, 0x00, 0xD8, 0x02, 0xFF, 0x00,
+                                 0xD8};
+  EXPECT_EQ(ac.find_all(text).size(), 2u);
+}
+
+TEST(AhoCorasick, ContainsAnyStopsEarly) {
+  const AhoCorasick ac({"needle"});
+  std::vector<std::uint8_t> hay = bytes_of("xx needle yy");
+  EXPECT_TRUE(ac.contains_any(hay));
+  EXPECT_FALSE(ac.contains_any(bytes_of("nothing here")));
+}
+
+TEST(AhoCorasick, ScanCallbackEarlyTermination) {
+  const AhoCorasick ac({"a"});
+  int calls = 0;
+  ac.scan(std::string_view("aaaa"), [&](const Match&) {
+    ++calls;
+    return calls < 2;
+  });
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(AhoCorasick, MatchesAgainstNaiveSearch) {
+  // Property: automaton results equal brute-force substring search.
+  util::Rng rng(3);
+  std::vector<std::string> patterns;
+  for (int i = 0; i < 12; ++i) {
+    std::string p(static_cast<std::size_t>(rng.uniform_int(1, 4)), 'x');
+    for (char& c : p) c = static_cast<char>('a' + rng.next_below(3));
+    patterns.push_back(p);
+  }
+  // Dedup (duplicates would double-report; builder keeps them distinct).
+  std::sort(patterns.begin(), patterns.end());
+  patterns.erase(std::unique(patterns.begin(), patterns.end()),
+                 patterns.end());
+  const AhoCorasick ac(patterns);
+
+  std::string text(500, 'x');
+  for (char& c : text) c = static_cast<char>('a' + rng.next_below(3));
+
+  std::size_t naive = 0;
+  for (const std::string& p : patterns) {
+    for (std::size_t at = 0; at + p.size() <= text.size(); ++at) {
+      naive += (text.compare(at, p.size(), p) == 0);
+    }
+  }
+  EXPECT_EQ(ac.find_all(bytes_of(text)).size(), naive);
+}
+
+TEST(AhoCorasick, StateCountBounded) {
+  const AhoCorasick ac({"abc", "abd", "x"});
+  // root + a,ab,abc,abd + x = 6.
+  EXPECT_EQ(ac.state_count(), 6u);
+}
+
+TEST(SignatureSets, GeneratedCountsAndShapes) {
+  util::Rng rng(4);
+  const auto text_sigs = generate_text_signatures(50, rng);
+  const auto binary_sigs = generate_binary_signatures(50, rng);
+  EXPECT_EQ(text_sigs.size(), 50u);
+  EXPECT_EQ(binary_sigs.size(), 50u);
+  for (const auto& s : text_sigs) EXPECT_GE(s.size(), 3u);
+  for (const auto& s : binary_sigs) {
+    EXPECT_GE(s.size(), 4u);
+    EXPECT_LE(s.size(), 12u);
+  }
+}
+
+TEST(SignatureEngine, CompilesAndMatches) {
+  util::Rng rng(5);
+  SignatureEngine engine = SignatureEngine::generate(100, 100, rng);
+  EXPECT_EQ(engine.text_rule_count(), 100u);
+  EXPECT_EQ(engine.binary_rule_count(), 100u);
+
+  // A payload embedding a known text rule must match via both the text
+  // and the combined matcher.
+  const std::string rule = engine.text_matcher().pattern(7);
+  const std::string payload = "GET /x HTTP/1.1 " + rule + " trailing";
+  const std::vector<std::uint8_t> bytes(payload.begin(), payload.end());
+  EXPECT_TRUE(engine.text_matcher().contains_any(bytes));
+  EXPECT_TRUE(engine.combined_matcher().contains_any(bytes));
+}
+
+}  // namespace
+}  // namespace iustitia::dpi

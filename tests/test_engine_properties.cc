@@ -1,0 +1,103 @@
+// Parameterized engine invariants: for random traces and a sweep of
+// buffer sizes / configurations, structural properties of the online
+// pipeline must hold regardless of classification quality.
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "net/trace_gen.h"
+
+namespace iustitia::core {
+namespace {
+
+struct EngineConfigCase {
+  std::size_t buffer_size;
+  std::size_t header_threshold;
+  bool strip_headers;
+  std::size_t random_skip_max;
+};
+
+class EngineInvariants : public ::testing::TestWithParam<EngineConfigCase> {
+ protected:
+  static FlowNatureModel model(std::size_t buffer_size) {
+    datagen::CorpusOptions corpus_options;
+    corpus_options.files_per_class = 10;
+    corpus_options.min_size = 2048;
+    corpus_options.max_size = 4096;
+    corpus_options.seed = 120;
+    const auto corpus = datagen::build_corpus(corpus_options);
+    TrainerOptions options;
+    options.backend = Backend::kCart;
+    options.widths = entropy::cart_preferred_widths();
+    options.method = TrainingMethod::kFirstBytes;
+    options.buffer_size = buffer_size;
+    return train_model(corpus, options);
+  }
+};
+
+TEST_P(EngineInvariants, StructuralPropertiesHold) {
+  const EngineConfigCase& config = GetParam();
+  EngineOptions options;
+  options.buffer_size = config.buffer_size;
+  options.header_threshold = config.header_threshold;
+  options.strip_known_headers = config.strip_headers;
+  options.random_skip_max = config.random_skip_max;
+  Iustitia engine(model(config.buffer_size), options);
+
+  net::TraceOptions trace_options;
+  trace_options.target_packets = 6000;
+  trace_options.seed = 0xE0 + config.buffer_size;
+  const net::Trace trace = net::generate_trace(trace_options);
+  for (const net::Packet& p : trace.packets) engine.on_packet(p);
+  engine.flush_all();
+
+  const EngineStats& stats = engine.stats();
+  // Every packet was seen exactly once.
+  EXPECT_EQ(stats.packets, trace.packets.size());
+  // Nothing remains pending after flush_all.
+  EXPECT_EQ(engine.pending_flows(), 0u);
+  EXPECT_EQ(engine.pending_buffer_bytes(), 0u);
+  // One delay record per classification event.
+  EXPECT_EQ(engine.delays().size(), stats.flows_classified);
+  // Timed-out flows are a subset of classifications.
+  EXPECT_LE(stats.flows_timed_out, stats.flows_classified);
+  // CDB can only hold flows that were classified (minus removals).
+  EXPECT_LE(engine.cdb().size(), stats.flows_classified);
+  EXPECT_EQ(engine.cdb().stats().inserts, stats.flows_classified);
+
+  for (const FlowDelayRecord& record : engine.delays()) {
+    // Labels in range; every classified flow exists in the trace.
+    ASSERT_GE(static_cast<int>(record.label), 0);
+    ASSERT_LE(static_cast<int>(record.label), 2);
+    ASSERT_TRUE(trace.truth.count(record.key));
+    // Delay accounting is physically sensible.
+    ASSERT_GE(record.tau_b, 0.0);
+    ASSERT_GE(record.packets_to_fill, 1u);
+    ASSERT_GE(record.hash_micros, 0.0);
+    ASSERT_GE(record.cdb_micros, 0.0);
+    ASSERT_GE(record.extract_micros, 0.0);
+    // Never classified on more than the configured buffer.
+    ASSERT_LE(record.buffered_bytes, config.buffer_size);
+    ASSERT_GE(record.buffered_bytes, 1u);
+    ASSERT_LE(record.classified_at,
+              trace.packets.back().timestamp + 1e-9);
+  }
+
+  // Queue counters cover exactly the data packets of classified flows
+  // plus classification events; they never exceed total packets + flows.
+  std::uint64_t queued = 0;
+  for (const std::uint64_t q : stats.queue_packets) queued += q;
+  EXPECT_LE(queued, stats.packets + stats.flows_classified);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ConfigSweep, EngineInvariants,
+    ::testing::Values(EngineConfigCase{16, 0, false, 0},
+                      EngineConfigCase{32, 0, true, 0},
+                      EngineConfigCase{64, 128, true, 0},
+                      EngineConfigCase{64, 0, false, 512},
+                      EngineConfigCase{256, 256, true, 128},
+                      EngineConfigCase{1024, 0, true, 0}));
+
+}  // namespace
+}  // namespace iustitia::core

@@ -1,0 +1,166 @@
+// Tests for entropy/entropy_vector.h: Formula (1) correctness, bounds, and
+// the streaming == batch property.
+#include "entropy/entropy_vector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::entropy {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+double h1_of(const std::vector<std::uint8_t>& data) {
+  const int widths[] = {1};
+  return entropy_vector(data, widths)[0];
+}
+
+TEST(NormalizedEntropy, AllSameBytesIsZero) {
+  // Incremental S accumulation leaves ~1e-16 of float residue.
+  EXPECT_NEAR(h1_of(std::vector<std::uint8_t>(100, 'a')), 0.0, 1e-12);
+}
+
+TEST(NormalizedEntropy, AllDistinctBytesIsMaximal) {
+  // 256 distinct bytes once each: H = log2(256) bits = 8 bits over an
+  // 8-bit alphabet -> normalized 1.0.
+  std::vector<std::uint8_t> data(256);
+  for (int i = 0; i < 256; ++i) data[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(i);
+  EXPECT_NEAR(h1_of(data), 1.0, 1e-12);
+}
+
+TEST(NormalizedEntropy, TwoEqualSymbolsGiveOneBit) {
+  // "abab...": h1 = 1 bit / 8 bits = 0.125.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 100; ++i) {
+    data.push_back('a');
+    data.push_back('b');
+  }
+  EXPECT_NEAR(h1_of(data), 0.125, 1e-12);
+}
+
+TEST(NormalizedEntropy, MatchesDirectShannonFormula) {
+  // Counts: a=5, b=3, c=2 (m=10).
+  const auto data = bytes_of("aaaaabbbcc");
+  double h_bits = 0.0;
+  for (const double p : {0.5, 0.3, 0.2}) h_bits -= p * std::log2(p);
+  EXPECT_NEAR(h1_of(data), h_bits / 8.0, 1e-12);
+}
+
+TEST(NormalizedEntropy, FromSumHandlesDegenerateInputs) {
+  EXPECT_DOUBLE_EQ(normalized_entropy_from_sum(0.0, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_entropy_from_sum(0.0, 1, 1), 0.0);
+  // Negative drift clamps to 0; estimation overshoot clamps to 1.
+  EXPECT_DOUBLE_EQ(normalized_entropy_from_sum(1e9, 100, 1), 0.0);
+  EXPECT_DOUBLE_EQ(normalized_entropy_from_sum(-1e9, 100, 1), 1.0);
+}
+
+TEST(NormalizedEntropy, Width2OfAlternatingPairIsNearZero) {
+  // "ababab...": pairs are ab,ba,ab,ba,... -> entropy 1 bit over a 16-bit
+  // alphabet = 1/16.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 512; ++i) data.push_back(i % 2 ? 'b' : 'a');
+  const int widths[] = {2};
+  EXPECT_NEAR(entropy_vector(data, widths)[0], 1.0 / 16.0, 1e-3);
+}
+
+TEST(EntropyVector, ShortBufferCapsAchievableEntropy) {
+  // With m = 32 random bytes, h1 <= log2(32)/8 = 0.625 even for uniform
+  // data: the classifier learns this regime (paper Fig. 4).
+  util::Rng rng(3);
+  std::vector<std::uint8_t> data(32);
+  rng.fill_bytes(data);
+  EXPECT_LE(h1_of(data), 0.625 + 1e-12);
+  EXPECT_GT(h1_of(data), 0.5);
+}
+
+TEST(EntropyVector, AlwaysWithinUnitInterval) {
+  util::Rng rng(4);
+  const auto widths = full_feature_widths();
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(rng.uniform_int(1, 2000)));
+    rng.fill_bytes(data);
+    for (const double h : entropy_vector(data, widths)) {
+      ASSERT_GE(h, 0.0);
+      ASSERT_LE(h, 1.0);
+    }
+  }
+}
+
+TEST(EntropyVector, PaperFeatureSets) {
+  EXPECT_EQ(full_feature_widths(), (std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8,
+                                                     9, 10}));
+  EXPECT_EQ(cart_selected_widths(), (std::vector<int>{1, 3, 4, 10}));
+  EXPECT_EQ(cart_preferred_widths(), (std::vector<int>{1, 3, 4, 5}));
+  EXPECT_EQ(svm_selected_widths(), (std::vector<int>{1, 2, 3, 9}));
+  EXPECT_EQ(svm_preferred_widths(), (std::vector<int>{1, 2, 3, 5}));
+}
+
+TEST(EntropyVector, SpaceAccountingAccumulatesAcrossWidths) {
+  util::Rng rng(5);
+  std::vector<std::uint8_t> data(1024);
+  rng.fill_bytes(data);
+  const auto widths = svm_preferred_widths();
+  const EntropyVectorResult result = compute_entropy_vector(data, widths);
+  EXPECT_EQ(result.h.size(), widths.size());
+  // At least the exact h1 table plus one hash entry per distinct gram.
+  EXPECT_GT(result.space_bytes, 256 * sizeof(std::uint32_t));
+}
+
+// Property: StreamingEntropyVector fed packet-sized chunks must match the
+// one-shot computation for every feature width set.
+class StreamingProperty
+    : public ::testing::TestWithParam<std::vector<int>> {};
+
+TEST_P(StreamingProperty, StreamingEqualsBatch) {
+  const std::vector<int> widths = GetParam();
+  util::Rng rng(99);
+  std::vector<std::uint8_t> data(1500);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(32));
+
+  StreamingEntropyVector streaming(widths);
+  std::size_t at = 0;
+  while (at < data.size()) {
+    const std::size_t take =
+        std::min<std::size_t>(static_cast<std::size_t>(rng.uniform_int(1, 200)),
+                              data.size() - at);
+    streaming.add(std::span<const std::uint8_t>(data.data() + at, take));
+    at += take;
+  }
+  const std::vector<double> batch = entropy_vector(data, widths);
+  const std::vector<double> stream = streaming.vector();
+  ASSERT_EQ(batch.size(), stream.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_NEAR(stream[i], batch[i], 1e-12);
+  }
+  EXPECT_EQ(streaming.total_bytes(), data.size());
+  EXPECT_GT(streaming.space_bytes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FeatureSets, StreamingProperty,
+    ::testing::Values(std::vector<int>{1}, std::vector<int>{1, 2, 3, 5},
+                      std::vector<int>{1, 3, 4, 5},
+                      std::vector<int>{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}));
+
+TEST(StreamingEntropyVector, ResetRestartsAccumulation) {
+  const std::vector<int> widths{1, 2};
+  StreamingEntropyVector streaming(widths);
+  std::vector<std::uint8_t> data(100, 'x');
+  streaming.add(data);
+  streaming.reset();
+  EXPECT_EQ(streaming.total_bytes(), 0u);
+  streaming.add(data);
+  EXPECT_NEAR(streaming.vector()[0], 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace iustitia::entropy

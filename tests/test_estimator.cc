@@ -1,0 +1,207 @@
+// Tests for the (delta, epsilon)-approximation of Section 4.4: the counter
+// sizing formulas (3)/(4) and the statistical accuracy of the estimate.
+#include "entropy/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "entropy/gram_counter.h"
+
+namespace iustitia::entropy {
+namespace {
+
+TEST(EstimatorMath, GroupCountFormula) {
+  // g = ceil(2 * log2(1/delta)).
+  EXPECT_EQ(estimator_group_count(0.5), 2);
+  EXPECT_EQ(estimator_group_count(0.25), 4);
+  EXPECT_EQ(estimator_group_count(0.1), 7);   // 2*3.32 = 6.64 -> 7
+  EXPECT_EQ(estimator_group_count(0.75), 1);  // 2*0.415 = 0.83 -> 1
+  EXPECT_EQ(estimator_group_count(1.0), 1);   // clamped
+  EXPECT_GE(estimator_group_count(0.999), 1);
+}
+
+TEST(EstimatorMath, SamplesPerGroupFormula) {
+  // z = ceil(32 * log_{2^(8k)}(b) / eps^2).
+  // k=2, b=1024: log_65536(1024) = 10/16 = 0.625; eps=0.25 -> 32*0.625/0.0625
+  // = 320.
+  EXPECT_EQ(estimator_samples_per_group(2, 1024, 0.25), 320);
+  // k=5, b=1024: 10/40 = 0.25 -> 32*0.25/0.0625 = 128.
+  EXPECT_EQ(estimator_samples_per_group(5, 1024, 0.25), 128);
+  // Larger eps shrinks z.
+  EXPECT_LT(estimator_samples_per_group(2, 1024, 0.5),
+            estimator_samples_per_group(2, 1024, 0.25));
+  // Tiny buffers degenerate to 1.
+  EXPECT_EQ(estimator_samples_per_group(2, 1, 0.25), 1);
+}
+
+TEST(EstimatorMath, FeatureSetCoefficientMatchesPaper) {
+  // K_phi = 8 * sum_{k != 1} 1/k.  Paper: K_phi_SVM = 8.26 for {1,2,3,5}
+  // (8*(1/2+1/3+1/5) = 8*1.0333 = 8.27) and K_phi_CART = 6.26 for {1,3,4,5}
+  // (8*(1/3+1/4+1/5) = 8*0.7833 = 6.27).
+  EXPECT_NEAR(feature_set_coefficient(svm_preferred_widths()), 8.27, 0.05);
+  EXPECT_NEAR(feature_set_coefficient(cart_preferred_widths()), 6.27, 0.05);
+  const int only_h1[] = {1};
+  EXPECT_DOUBLE_EQ(feature_set_coefficient(only_h1), 0.0);
+}
+
+TEST(EstimatorMath, EpsilonLowerBoundMatchesPaperExample) {
+  // Paper: with b = 1024 and alpha ~= 1911, formula (4) reduces to
+  // eps > 0.18 * sqrt(log2(1/delta)) for K_phi ~ 6.26.
+  const double k_phi = 6.26;
+  const double bound = epsilon_lower_bound(k_phi, 1024, 1911.0, 0.5);
+  EXPECT_NEAR(bound, 0.18 * std::sqrt(std::log2(2.0)), 0.01);
+  // Monotone: smaller delta (more confidence) needs larger epsilon for the
+  // same counter budget.
+  EXPECT_GT(epsilon_lower_bound(k_phi, 1024, 1911.0, 0.1),
+            epsilon_lower_bound(k_phi, 1024, 1911.0, 0.5));
+}
+
+TEST(EstimatorMath, SpaceBytesBelowExactForLargeBuffers) {
+  // The whole point of estimation (Table 3): fewer counters than exact
+  // counting at b = 1024.
+  const auto widths = svm_preferred_widths();
+  const EstimatorParams params{.epsilon = 0.25, .delta = 0.75};
+  const std::size_t est = estimator_space_bytes(widths, 1024, params);
+
+  util::Rng rng(8);
+  std::vector<std::uint8_t> data(1024);
+  rng.fill_bytes(data);
+  const std::size_t exact =
+      compute_entropy_vector(data, widths).space_bytes;
+  EXPECT_LT(est, exact);
+}
+
+TEST(ChooseEstimatorParams, FitsTheCounterBudget) {
+  const auto widths = svm_preferred_widths();
+  for (const std::size_t budget : {200u, 500u, 1000u, 2000u}) {
+    const auto params = choose_estimator_params(widths, 1024, budget);
+    ASSERT_TRUE(params.has_value()) << "budget " << budget;
+    // Realized sketch space must fit 4 bytes/counter * budget (the width-1
+    // table is exact and excluded from the budget).
+    const std::size_t space = estimator_space_bytes(widths, 1024, *params);
+    EXPECT_LE(space - 256 * sizeof(std::uint32_t),
+              budget * sizeof(std::uint32_t))
+        << "budget " << budget;
+  }
+}
+
+TEST(ChooseEstimatorParams, TinyBudgetIsRejected) {
+  const auto widths = svm_preferred_widths();
+  // A handful of counters cannot satisfy Formula (4) with epsilon <= 1.
+  EXPECT_EQ(choose_estimator_params(widths, 1024, 5), std::nullopt);
+}
+
+TEST(ChooseEstimatorParams, LargerBudgetBuysMoreConfidenceOrPrecision) {
+  const auto widths = svm_preferred_widths();
+  const auto tight = choose_estimator_params(widths, 1024, 300);
+  const auto roomy = choose_estimator_params(widths, 1024, 5000);
+  ASSERT_TRUE(tight.has_value());
+  ASSERT_TRUE(roomy.has_value());
+  // More budget must not make both knobs worse.
+  EXPECT_TRUE(roomy->epsilon <= tight->epsilon ||
+              roomy->delta <= tight->delta);
+}
+
+TEST(ChooseEstimatorParams, Width1OnlyNeedsNoSketch) {
+  const int widths[] = {1};
+  const auto params = choose_estimator_params(widths, 1024, 0);
+  ASSERT_TRUE(params.has_value());
+  EXPECT_EQ(estimator_space_bytes(widths, 1024, *params),
+            256 * sizeof(std::uint32_t));
+}
+
+TEST(EstimateSum, ExactWhenBufferIsConstant) {
+  // All-same buffer: the only element occurs m times at every position;
+  // every sample sees the full remaining run, and the median-of-means is a
+  // biased-sample curiosity — just require a positive finite value.
+  std::vector<std::uint8_t> data(256, 'a');
+  util::Rng rng(9);
+  const double estimate = estimate_sum_count_log_count(data, 2, 32, 3, rng);
+  EXPECT_GT(estimate, 0.0);
+  EXPECT_TRUE(std::isfinite(estimate));
+}
+
+TEST(EstimateSum, ApproximatesExactSumOnStructuredData) {
+  // Statistical check: averaged over seeds, the estimate of
+  // S_2 = sum m_i ln m_i should land within ~25% of the exact value on
+  // low-diversity data (where S is large and estimable).
+  std::vector<std::uint8_t> data(1024);
+  util::Rng fill(10);
+  for (auto& b : data) b = static_cast<std::uint8_t>(fill.next_below(4));
+
+  GramCounter counter(2);
+  counter.add(data);
+  const double exact = counter.sum_count_log_count();
+  ASSERT_GT(exact, 0.0);
+
+  double total_rel_err = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng(100 + static_cast<std::uint64_t>(t));
+    const double estimate =
+        estimate_sum_count_log_count(data, 2, 200, 5, rng);
+    total_rel_err += std::fabs(estimate - exact) / exact;
+  }
+  EXPECT_LT(total_rel_err / trials, 0.25);
+}
+
+TEST(EstimateEntropyVector, Width1IsAlwaysExact) {
+  // |f_1| = 256 violates the estimator's |f| >> b precondition, so the
+  // paper computes h_1 exactly; verify our h_1 matches the exact path bit
+  // for bit.
+  util::Rng fill(11);
+  std::vector<std::uint8_t> data(512);
+  fill.fill_bytes(data);
+
+  util::Rng rng(12);
+  const int widths[] = {1, 2};
+  const EstimatorParams params{.epsilon = 0.3, .delta = 0.5};
+  const auto estimated = estimate_entropy_vector(data, widths, params, rng);
+  const auto exact = compute_entropy_vector(data, std::span<const int>(widths, 1));
+  ASSERT_EQ(estimated.h.size(), 2u);
+  EXPECT_DOUBLE_EQ(estimated.h[0], exact.h[0]);
+}
+
+TEST(EstimateEntropyVector, EstimatesStayInUnitInterval) {
+  util::Rng fill(13);
+  std::vector<std::uint8_t> data(1024);
+  fill.fill_bytes(data);
+  util::Rng rng(14);
+  const auto widths = svm_preferred_widths();
+  for (const double eps : {0.1, 0.25, 0.5, 1.0}) {
+    for (const double delta : {0.1, 0.5, 0.9}) {
+      const EstimatorParams params{.epsilon = eps, .delta = delta};
+      const auto result = estimate_entropy_vector(data, widths, params, rng);
+      for (const double h : result.h) {
+        ASSERT_GE(h, 0.0);
+        ASSERT_LE(h, 1.0);
+      }
+    }
+  }
+}
+
+TEST(EstimateEntropyVector, TracksExactEntropyAcrossRegimes) {
+  // Sweep data diversity from constant to uniform and require the
+  // estimated h_3 to follow exact h_3 within a loose band (the estimator's
+  // variance shrinks as entropy rises because counts concentrate at 1).
+  for (const int alphabet : {2, 16, 256}) {
+    util::Rng fill(20 + static_cast<std::uint64_t>(alphabet));
+    std::vector<std::uint8_t> data(1024);
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(fill.next_below(
+          static_cast<std::uint64_t>(alphabet)));
+    }
+    const int widths[] = {3};
+    const double exact = entropy_vector(data, widths)[0];
+    util::Rng rng(30);
+    const EstimatorParams params{.epsilon = 0.2, .delta = 0.25};
+    const double estimated =
+        estimate_entropy_vector(data, widths, params, rng).h[0];
+    EXPECT_NEAR(estimated, exact, 0.15) << "alphabet " << alphabet;
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::entropy

@@ -1,0 +1,79 @@
+// Tests for the feature extractor (exact vs estimated paths + cost
+// accounting).
+#include "core/feature_extractor.h"
+
+#include <gtest/gtest.h>
+
+#include "entropy/entropy_vector.h"
+#include "util/random.h"
+
+namespace iustitia::core {
+namespace {
+
+std::vector<std::uint8_t> random_buffer(std::size_t size,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint8_t> data(size);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(32));
+  return data;
+}
+
+TEST(FeatureExtractor, ExactPathMatchesDirectComputation) {
+  const auto widths = entropy::svm_preferred_widths();
+  FeatureExtractor extractor(widths);
+  const auto data = random_buffer(1024, 1);
+  const ExtractionResult result = extractor.extract(data);
+  EXPECT_FALSE(extractor.uses_estimation());
+  EXPECT_EQ(result.features, entropy::entropy_vector(data, widths));
+  EXPECT_GE(result.micros, 0.0);
+  EXPECT_GT(result.space_bytes, 0u);
+}
+
+TEST(FeatureExtractor, EstimatedPathIsDeterministicPerConstruction) {
+  const auto widths = entropy::svm_preferred_widths();
+  const entropy::EstimatorParams params{.epsilon = 0.3, .delta = 0.5};
+  const auto data = random_buffer(1024, 2);
+  FeatureExtractor a(widths, params, /*seed=*/7);
+  FeatureExtractor b(widths, params, /*seed=*/7);
+  EXPECT_TRUE(a.uses_estimation());
+  EXPECT_EQ(a.extract(data).features, b.extract(data).features);
+}
+
+TEST(FeatureExtractor, EstimatedFeaturesNearExact) {
+  const auto widths = entropy::svm_preferred_widths();
+  const entropy::EstimatorParams params{.epsilon = 0.2, .delta = 0.25};
+  const auto data = random_buffer(2048, 3);
+  FeatureExtractor estimator(widths, params, 11);
+  const auto exact = entropy::entropy_vector(data, widths);
+  const auto estimated = estimator.extract(data).features;
+  ASSERT_EQ(estimated.size(), exact.size());
+  EXPECT_DOUBLE_EQ(estimated[0], exact[0]);  // h1 always exact
+  for (std::size_t i = 1; i < exact.size(); ++i) {
+    EXPECT_NEAR(estimated[i], exact[i], 0.2) << "feature " << i;
+  }
+}
+
+TEST(FeatureExtractor, EstimatedSpaceBelowExactForLargeBuffers) {
+  const auto widths = entropy::svm_preferred_widths();
+  const entropy::EstimatorParams params{.epsilon = 0.25, .delta = 0.75};
+  const auto data = random_buffer(4096, 4);
+  FeatureExtractor exact(widths);
+  FeatureExtractor estimated(widths, params, 5);
+  EXPECT_LT(estimated.extract(data).space_bytes,
+            exact.extract(data).space_bytes);
+}
+
+TEST(FeatureExtractor, HandlesEmptyAndTinyInput) {
+  const auto widths = entropy::svm_preferred_widths();
+  FeatureExtractor extractor(widths);
+  EXPECT_EQ(extractor.extract({}).features.size(), widths.size());
+  const std::vector<std::uint8_t> tiny{0x42};
+  const auto result = extractor.extract(tiny);
+  for (const double h : result.features) {
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::core

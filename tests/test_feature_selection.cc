@@ -1,0 +1,86 @@
+// Tests for the paper's two feature-selection schemes (Section 4.1): both
+// must recover planted informative features among noise.
+#include "ml/feature_selection.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+namespace {
+
+// Features 1 and 3 jointly carry the label (diagonal boundary, so neither
+// alone separates the classes); 0, 2, 4 are noise.
+Dataset planted_dataset(std::size_t n, util::Rng& rng) {
+  Dataset data(2);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<double> f(5);
+    f[0] = rng.uniform();
+    f[1] = rng.uniform();
+    f[2] = rng.uniform();
+    f[3] = rng.uniform();
+    f[4] = rng.uniform();
+    const int label = (f[1] + f[3] > 1.0) ? 1 : 0;
+    data.add(std::move(f), label);
+  }
+  return data;
+}
+
+bool contains(const std::vector<std::size_t>& v, std::size_t x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+TEST(CartVoteSelection, RecoversInformativeFeatures) {
+  util::Rng rng(1);
+  const Dataset data = planted_dataset(400, rng);
+  const FeatureSelectionResult result =
+      cart_vote_selection(data, 5, 0.02, 2, CartParams{}, rng);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(contains(result.selected, 1));
+  EXPECT_TRUE(contains(result.selected, 3));
+}
+
+TEST(CartVoteSelection, VotesFavorInformativeFeatures) {
+  util::Rng rng(2);
+  const Dataset data = planted_dataset(400, rng);
+  const FeatureSelectionResult result =
+      cart_vote_selection(data, 5, 0.02, 5, CartParams{}, rng);
+  EXPECT_GT(result.votes[1], result.votes[0]);
+  EXPECT_GT(result.votes[3], result.votes[2]);
+}
+
+TEST(CartVoteSelection, SelectedIndicesAscending) {
+  util::Rng rng(3);
+  const Dataset data = planted_dataset(200, rng);
+  const FeatureSelectionResult result =
+      cart_vote_selection(data, 3, 0.05, 3, CartParams{}, rng);
+  EXPECT_TRUE(std::is_sorted(result.selected.begin(), result.selected.end()));
+}
+
+TEST(SequentialForwardSelection, RecoversInformativeFeatures) {
+  util::Rng rng(4);
+  const Dataset data = planted_dataset(160, rng);
+  const SvmParams params{.gamma = 2.0, .c = 10.0};
+  const FeatureSelectionResult result =
+      sequential_forward_selection(data, 2, 2, params, 0.7, rng);
+  ASSERT_EQ(result.selected.size(), 2u);
+  EXPECT_TRUE(contains(result.selected, 1));
+  EXPECT_TRUE(contains(result.selected, 3));
+}
+
+TEST(SequentialForwardSelection, TargetLargerThanFeatureCountIsCapped) {
+  util::Rng rng(5);
+  Dataset data(2);
+  for (int i = 0; i < 60; ++i) {
+    data.add({i % 2 == 0 ? 0.2 : 0.8, 0.5}, i % 2);
+  }
+  const SvmParams params{.gamma = 1.0, .c = 10.0};
+  const FeatureSelectionResult result =
+      sequential_forward_selection(data, 1, 10, params, 0.7, rng);
+  EXPECT_LE(result.selected.size(), 2u);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

@@ -1,0 +1,91 @@
+// Tests for flow identification (SHA-1 over the canonical header).
+#include "net/flow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace iustitia::net {
+namespace {
+
+FlowKey sample_key() {
+  return FlowKey{.src_ip = 0x0A000001,
+                 .dst_ip = 0xC0A80101,
+                 .src_port = 49152,
+                 .dst_port = 443,
+                 .protocol = Protocol::kTcp};
+}
+
+TEST(CanonicalHeaderBytes, LayoutIsBigEndian) {
+  const auto bytes = canonical_header_bytes(sample_key());
+  EXPECT_EQ(bytes[0], 0x0A);
+  EXPECT_EQ(bytes[3], 0x01);
+  EXPECT_EQ(bytes[4], 0xC0);
+  EXPECT_EQ(bytes[8], 49152 >> 8);
+  EXPECT_EQ(bytes[9], 49152 & 0xFF);
+  EXPECT_EQ(bytes[10], 443 >> 8);
+  EXPECT_EQ(bytes[11], 443 & 0xFF);
+  EXPECT_EQ(bytes[12], 6);  // TCP
+}
+
+TEST(FlowId, DeterministicForSameKey) {
+  EXPECT_EQ(flow_id(sample_key()), flow_id(sample_key()));
+}
+
+TEST(FlowId, EveryFieldAffectsTheId) {
+  const FlowKey base = sample_key();
+  const FlowId base_id = flow_id(base);
+
+  FlowKey k = base;
+  k.src_ip ^= 1;
+  EXPECT_NE(flow_id(k), base_id);
+  k = base;
+  k.dst_ip ^= 1;
+  EXPECT_NE(flow_id(k), base_id);
+  k = base;
+  k.src_port ^= 1;
+  EXPECT_NE(flow_id(k), base_id);
+  k = base;
+  k.dst_port ^= 1;
+  EXPECT_NE(flow_id(k), base_id);
+  k = base;
+  k.protocol = Protocol::kUdp;
+  EXPECT_NE(flow_id(k), base_id);
+}
+
+TEST(FlowId, DirectionSensitive) {
+  // Like the paper, the flow ID covers the oriented 5-tuple.
+  FlowKey forward = sample_key();
+  FlowKey reverse{.src_ip = forward.dst_ip,
+                  .dst_ip = forward.src_ip,
+                  .src_port = forward.dst_port,
+                  .dst_port = forward.src_port,
+                  .protocol = forward.protocol};
+  EXPECT_NE(flow_id(forward), flow_id(reverse));
+}
+
+TEST(FlowKeyHash, SpreadsDistinctKeys) {
+  FlowKeyHash hasher;
+  std::set<std::size_t> hashes;
+  for (std::uint16_t port = 1000; port < 1200; ++port) {
+    FlowKey k = sample_key();
+    k.src_port = port;
+    hashes.insert(hasher(k));
+  }
+  EXPECT_EQ(hashes.size(), 200u);  // no collisions on a trivial family
+}
+
+TEST(FlowKey, UsableInUnorderedContainers) {
+  std::unordered_set<FlowKey, FlowKeyHash> keys;
+  keys.insert(sample_key());
+  keys.insert(sample_key());
+  EXPECT_EQ(keys.size(), 1u);
+  FlowKey other = sample_key();
+  other.dst_port = 80;
+  keys.insert(other);
+  EXPECT_EQ(keys.size(), 2u);
+}
+
+}  // namespace
+}  // namespace iustitia::net

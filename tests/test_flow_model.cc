@@ -1,0 +1,162 @@
+// Tests for the trained flow-nature model bundle (extraction + backend +
+// serialization).
+#include "core/flow_model.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trainer.h"
+#include "datagen/corpus.h"
+
+namespace iustitia::core {
+namespace {
+
+using datagen::CorpusOptions;
+using datagen::FileClass;
+
+std::vector<datagen::FileSample> tiny_corpus() {
+  CorpusOptions options;
+  options.files_per_class = 20;
+  options.min_size = 2048;
+  options.max_size = 4096;
+  options.seed = 31;
+  return datagen::build_corpus(options);
+}
+
+TrainerOptions cart_options() {
+  TrainerOptions options;
+  options.backend = Backend::kCart;
+  options.widths = entropy::cart_preferred_widths();
+  options.method = TrainingMethod::kFirstBytes;
+  options.buffer_size = 256;
+  return options;
+}
+
+TEST(BackendName, BothBackends) {
+  EXPECT_STREQ(backend_name(Backend::kCart), "CART");
+  EXPECT_STREQ(backend_name(Backend::kSvm), "SVM-RBF");
+}
+
+TEST(FlowNatureModel, CartClassifiesTrainingDistribution) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+
+  std::size_t correct = 0;
+  for (const auto& file : corpus) {
+    const std::span<const std::uint8_t> prefix(
+        file.bytes.data(), std::min<std::size_t>(256, file.bytes.size()));
+    const Classification result = model.classify(prefix);
+    correct += (result.label == file.label);
+    EXPECT_EQ(result.features.size(), model.widths().size());
+    EXPECT_GE(result.extract_micros, 0.0);
+    EXPECT_GT(result.space_bytes, 0u);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(corpus.size()),
+            0.8);
+}
+
+TEST(FlowNatureModel, SvmClassifiesTrainingDistribution) {
+  const auto corpus = tiny_corpus();
+  TrainerOptions options;
+  options.backend = Backend::kSvm;
+  options.widths = entropy::svm_preferred_widths();
+  options.method = TrainingMethod::kFirstBytes;
+  options.buffer_size = 256;
+  options.svm.gamma = 10.0;
+  options.svm.c = 100.0;
+  FlowNatureModel model = train_model(corpus, options);
+
+  std::size_t correct = 0;
+  for (const auto& file : corpus) {
+    const std::span<const std::uint8_t> prefix(
+        file.bytes.data(), std::min<std::size_t>(256, file.bytes.size()));
+    correct += (model.classify(prefix).label == file.label);
+  }
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(corpus.size()),
+            0.8);
+}
+
+TEST(FlowNatureModel, ClassifyFeaturesAgreesWithClassify) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+  const std::span<const std::uint8_t> prefix(corpus[0].bytes.data(), 256);
+  const Classification full = model.classify(prefix);
+  EXPECT_EQ(model.classify_features(full.features), full.label);
+}
+
+TEST(FlowNatureModel, ModelSpaceBytesPositive) {
+  const auto corpus = tiny_corpus();
+  EXPECT_GT(train_model(corpus, cart_options()).model_space_bytes(), 0u);
+}
+
+TEST(FlowNatureModel, SaveLoadRoundTripCart) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+  std::stringstream ss;
+  model.save(ss);
+  FlowNatureModel loaded = FlowNatureModel::load(ss);
+  EXPECT_EQ(loaded.backend(), Backend::kCart);
+  ASSERT_EQ(std::vector<int>(loaded.widths().begin(), loaded.widths().end()),
+            std::vector<int>(model.widths().begin(), model.widths().end()));
+  for (const auto& file : corpus) {
+    const std::span<const std::uint8_t> prefix(file.bytes.data(), 256);
+    ASSERT_EQ(loaded.classify(prefix).label, model.classify(prefix).label);
+  }
+}
+
+TEST(FlowNatureModel, SaveLoadRoundTripSvm) {
+  const auto corpus = tiny_corpus();
+  TrainerOptions options;
+  options.backend = Backend::kSvm;
+  options.widths = entropy::svm_preferred_widths();
+  options.method = TrainingMethod::kFirstBytes;
+  options.buffer_size = 128;
+  options.svm.gamma = 10.0;
+  options.svm.c = 100.0;
+  FlowNatureModel model = train_model(corpus, options);
+  std::stringstream ss;
+  model.save(ss);
+  FlowNatureModel loaded = FlowNatureModel::load(ss);
+  EXPECT_EQ(loaded.backend(), Backend::kSvm);
+  for (const auto& file : corpus) {
+    const std::span<const std::uint8_t> prefix(file.bytes.data(), 128);
+    ASSERT_EQ(loaded.classify(prefix).label, model.classify(prefix).label);
+  }
+}
+
+TEST(FlowNatureModel, LoadRejectsGarbage) {
+  std::stringstream ss("not-a-flow-model");
+  EXPECT_THROW(FlowNatureModel::load(ss), std::runtime_error);
+}
+
+TEST(FlowNatureModel, TrainingBufferSizePersisted) {
+  const auto corpus = tiny_corpus();
+  TrainerOptions options = cart_options();
+  options.buffer_size = 96;
+  FlowNatureModel model = train_model(corpus, options);
+  EXPECT_EQ(model.training_buffer_size(), 96u);
+  std::stringstream ss;
+  model.save(ss);
+  EXPECT_EQ(FlowNatureModel::load(ss).training_buffer_size(), 96u);
+
+  // Whole-file training records 0 ("no fixed buffer").
+  options.method = TrainingMethod::kWholeFile;
+  EXPECT_EQ(train_model(corpus, options).training_buffer_size(), 0u);
+}
+
+TEST(FlowNatureModel, EstimationFlagPreservedThroughSaveLoad) {
+  const auto corpus = tiny_corpus();
+  TrainerOptions options = cart_options();
+  options.buffer_size = 1024;
+  options.use_estimation = true;
+  options.estimator = {.epsilon = 0.5, .delta = 0.5};
+  FlowNatureModel model = train_model(corpus, options);
+  EXPECT_TRUE(model.uses_estimation());
+  std::stringstream ss;
+  model.save(ss);
+  EXPECT_TRUE(FlowNatureModel::load(ss).uses_estimation());
+}
+
+}  // namespace
+}  // namespace iustitia::core

@@ -1,0 +1,92 @@
+// Tests for offline flow reassembly.
+#include "net/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include "net/trace_gen.h"
+
+namespace iustitia::net {
+namespace {
+
+Packet data_packet(const FlowKey& key, double ts,
+                   std::vector<std::uint8_t> payload) {
+  Packet p;
+  p.key = key;
+  p.timestamp = ts;
+  p.payload = std::move(payload);
+  return p;
+}
+
+TEST(FlowTable, GroupsByFiveTuple) {
+  FlowTable table;
+  FlowKey a{.src_ip = 1, .dst_ip = 2, .src_port = 3, .dst_port = 4,
+            .protocol = Protocol::kTcp};
+  FlowKey b = a;
+  b.dst_port = 5;
+  table.add(data_packet(a, 0.0, {1, 2}));
+  table.add(data_packet(a, 0.1, {3}));
+  table.add(data_packet(b, 0.2, {4}));
+  EXPECT_EQ(table.flow_count(), 2u);
+  const FlowRecord& ra = table.flows().at(a);
+  EXPECT_EQ(ra.packets, 2u);
+  EXPECT_EQ(ra.data_packets, 2u);
+  EXPECT_EQ(ra.payload_bytes, 3u);
+  EXPECT_EQ(ra.prefix, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(ra.first_seen, 0.0);
+  EXPECT_DOUBLE_EQ(ra.last_seen, 0.1);
+}
+
+TEST(FlowTable, PrefixLimitRespected) {
+  FlowTable table(4);
+  FlowKey key{.src_ip = 9, .dst_ip = 9, .src_port = 9, .dst_port = 9,
+              .protocol = Protocol::kUdp};
+  table.add(data_packet(key, 0.0, {1, 2, 3}));
+  table.add(data_packet(key, 0.1, {4, 5, 6}));
+  const FlowRecord& record = table.flows().at(key);
+  EXPECT_EQ(record.prefix, (std::vector<std::uint8_t>{1, 2, 3, 4}));
+  EXPECT_EQ(record.payload_bytes, 6u);  // accounting unaffected by cap
+}
+
+TEST(FlowTable, TracksFinRstAndControlPackets) {
+  FlowTable table;
+  FlowKey key{.src_ip = 1, .dst_ip = 1, .src_port = 1, .dst_port = 1,
+              .protocol = Protocol::kTcp};
+  Packet syn;
+  syn.key = key;
+  syn.flags.syn = true;
+  table.add(syn);
+  table.add(data_packet(key, 0.5, {7}));
+  Packet fin;
+  fin.key = key;
+  fin.timestamp = 1.0;
+  fin.flags.fin = true;
+  table.add(fin);
+  const FlowRecord& record = table.flows().at(key);
+  EXPECT_EQ(record.packets, 3u);
+  EXPECT_EQ(record.data_packets, 1u);
+  EXPECT_TRUE(record.saw_fin);
+  EXPECT_FALSE(record.saw_rst);
+  EXPECT_EQ(record.data_packet_times.size(), 1u);
+}
+
+TEST(FlowTable, ReassemblesGeneratedTraceConsistently) {
+  TraceOptions options;
+  options.target_packets = 10000;
+  options.seed = 5;
+  const Trace trace = generate_trace(options);
+  FlowTable table;
+  for (const Packet& p : trace.packets) table.add(p);
+  // Every reassembled flow must be in the generator's truth map and
+  // payload accounting must be self-consistent.
+  for (const auto& [key, record] : table.flows()) {
+    ASSERT_TRUE(trace.truth.count(key));
+    EXPECT_LE(record.data_packets, record.packets);
+    EXPECT_EQ(record.data_packet_times.size(), record.data_packets);
+    EXPECT_LE(record.prefix.size(),
+              std::min<std::uint64_t>(record.payload_bytes, 4096));
+  }
+  EXPECT_LE(table.flow_count(), trace.truth.size());
+}
+
+}  // namespace
+}  // namespace iustitia::net

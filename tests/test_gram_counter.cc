@@ -1,0 +1,166 @@
+// Tests for entropy/gram_counter.h, including the chunk-boundary stitching
+// property the streaming engine depends on.
+#include "entropy/gram_counter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace iustitia::entropy {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(GramCounter, RejectsInvalidWidths) {
+  EXPECT_THROW(GramCounter(0), std::invalid_argument);
+  EXPECT_THROW(GramCounter(17), std::invalid_argument);
+  EXPECT_NO_THROW(GramCounter(1));
+  EXPECT_NO_THROW(GramCounter(16));
+}
+
+TEST(GramCounter, Width1CountsBytes) {
+  GramCounter c(1);
+  const auto data = bytes_of("aabbbz");
+  c.add(data);
+  EXPECT_EQ(c.total_grams(), 6u);
+  EXPECT_EQ(c.count('a'), 2u);
+  EXPECT_EQ(c.count('b'), 3u);
+  EXPECT_EQ(c.count('z'), 1u);
+  EXPECT_EQ(c.count('q'), 0u);
+  EXPECT_EQ(c.distinct(), 3u);
+}
+
+TEST(GramCounter, Width2CountsOverlappingPairs) {
+  GramCounter c(2);
+  const auto data = bytes_of("abab");
+  c.add(data);
+  // Pairs: ab, ba, ab.
+  EXPECT_EQ(c.total_grams(), 3u);
+  const GramKey ab = pack_gram(data.data(), 2);
+  EXPECT_EQ(c.count(ab), 2u);
+  EXPECT_EQ(c.distinct(), 2u);
+}
+
+TEST(GramCounter, PackGramIsBigEndian) {
+  const std::uint8_t data[] = {0x01, 0x02, 0x03};
+  EXPECT_EQ(static_cast<std::uint64_t>(pack_gram(data, 3)), 0x010203u);
+  EXPECT_EQ(static_cast<std::uint64_t>(pack_gram(data, 1)), 0x01u);
+}
+
+TEST(GramCounter, ShortInputYieldsNoGrams) {
+  GramCounter c(4);
+  c.add(bytes_of("abc"));
+  EXPECT_EQ(c.total_grams(), 0u);
+  EXPECT_EQ(c.distinct(), 0u);
+  EXPECT_EQ(c.sum_count_log_count(), 0.0);
+}
+
+TEST(GramCounter, SumCountLogCountMatchesHandComputation) {
+  GramCounter c(1);
+  c.add(bytes_of("aaabb"));  // counts: a=3, b=2
+  const double expected = 3.0 * std::log(3.0) + 2.0 * std::log(2.0);
+  EXPECT_NEAR(c.sum_count_log_count(), expected, 1e-12);
+}
+
+TEST(GramCounter, ResetClearsEverything) {
+  GramCounter c(3);
+  c.add(bytes_of("hello world"));
+  c.reset();
+  EXPECT_EQ(c.total_grams(), 0u);
+  EXPECT_EQ(c.total_bytes(), 0u);
+  c.add(bytes_of("xy"));
+  c.add(bytes_of("z"));
+  EXPECT_EQ(c.total_grams(), 1u);  // "xyz" across the boundary
+}
+
+TEST(GramCounter, ForEachVisitsAllCounts) {
+  GramCounter c(2);
+  c.add(bytes_of("abcabc"));
+  std::uint64_t total = 0;
+  std::size_t entries = 0;
+  c.for_each([&](GramKey, std::uint64_t count) {
+    total += count;
+    ++entries;
+  });
+  EXPECT_EQ(total, c.total_grams());
+  EXPECT_EQ(entries, c.distinct());
+}
+
+TEST(GramCounter, IncrementalSumMatchesRecomputation) {
+  // Property: the O(1)-maintained S must equal the O(distinct) recompute
+  // after any sequence of adds, for all widths.
+  util::Rng rng(31);
+  for (const int width : {1, 2, 3, 5, 10}) {
+    GramCounter counter(width);
+    for (int chunk = 0; chunk < 10; ++chunk) {
+      std::vector<std::uint8_t> data(
+          static_cast<std::size_t>(rng.uniform_int(0, 300)));
+      for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_below(16));
+      counter.add(data);
+      ASSERT_NEAR(counter.sum_count_log_count(),
+                  counter.sum_count_log_count_recomputed(), 1e-9)
+          << "width " << width << " chunk " << chunk;
+    }
+    counter.reset();
+    EXPECT_DOUBLE_EQ(counter.sum_count_log_count(), 0.0);
+  }
+}
+
+TEST(GramCounter, SpaceBytesPositiveAndGrowsWithDistinct) {
+  GramCounter small(3), large(3);
+  util::Rng rng(1);
+  std::vector<std::uint8_t> a(64), b(4096);
+  rng.fill_bytes(a);
+  rng.fill_bytes(b);
+  small.add(a);
+  large.add(b);
+  EXPECT_GT(small.space_bytes(), 0u);
+  EXPECT_GT(large.space_bytes(), small.space_bytes());
+}
+
+// Property: feeding data in arbitrary chunk sizes must produce identical
+// counts to feeding it at once, for every width.
+class ChunkingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkingProperty, ChunkedEqualsWhole) {
+  const int width = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(width) * 977);
+  std::vector<std::uint8_t> data(701);
+  for (auto& b : data) {
+    b = static_cast<std::uint8_t>(rng.next_below(7));  // small alphabet
+  }
+
+  GramCounter whole(width);
+  whole.add(data);
+
+  for (const std::size_t chunk : {1u, 2u, 3u, 5u, 64u, 700u}) {
+    GramCounter chunked(width);
+    std::size_t at = 0;
+    while (at < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - at);
+      chunked.add(std::span<const std::uint8_t>(data.data() + at, take));
+      at += take;
+    }
+    ASSERT_EQ(chunked.total_grams(), whole.total_grams())
+        << "width " << width << " chunk " << chunk;
+    ASSERT_EQ(chunked.distinct(), whole.distinct());
+    ASSERT_NEAR(chunked.sum_count_log_count(), whole.sum_count_log_count(),
+                1e-9);
+    // Spot-check individual counts.
+    whole.for_each([&](GramKey key, std::uint64_t count) {
+      ASSERT_EQ(chunked.count(key), count);
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ChunkingProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 10, 16));
+
+}  // namespace
+}  // namespace iustitia::entropy

@@ -1,0 +1,206 @@
+// End-to-end integration tests: corpus -> offline training -> synthetic
+// gateway trace -> online engine -> accuracy against ground truth; plus the
+// pcap round-trip variant of the same pipeline.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "net/flow_table.h"
+#include "net/pcap.h"
+#include "net/trace_gen.h"
+
+namespace iustitia::core {
+namespace {
+
+using datagen::FileClass;
+
+FlowNatureModel trained_model(std::size_t buffer_size, Backend backend) {
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 40;
+  corpus_options.min_size = 2048;
+  corpus_options.max_size = 8192;
+  corpus_options.seed = 2024;
+  const auto corpus = datagen::build_corpus(corpus_options);
+
+  TrainerOptions options;
+  options.backend = backend;
+  options.widths = backend == Backend::kCart
+                       ? entropy::cart_preferred_widths()
+                       : entropy::svm_preferred_widths();
+  options.method = TrainingMethod::kFirstBytes;
+  options.buffer_size = buffer_size;
+  options.svm.gamma = 10.0;
+  options.svm.c = 100.0;
+  return train_model(corpus, options);
+}
+
+net::Trace small_trace() {
+  net::TraceOptions options;
+  options.target_packets = 20000;
+  options.app_header_fraction = 0.0;  // no headers in the baseline test
+  options.seed = 77;
+  return generate_trace(options);
+}
+
+// Runs a trace through an engine and returns (accuracy, classified count)
+// against the generator's ground truth.
+std::pair<double, std::size_t> run_and_score(Iustitia& engine,
+                                             const net::Trace& trace) {
+  for (const net::Packet& p : trace.packets) engine.on_packet(p);
+  engine.flush_all();
+  std::size_t correct = 0, total = 0;
+  for (const FlowDelayRecord& record : engine.delays()) {
+    const auto it = trace.truth.find(record.key);
+    if (it == trace.truth.end()) continue;
+    ++total;
+    correct += (record.label == it->second.nature);
+  }
+  return {total > 0 ? static_cast<double>(correct) /
+                          static_cast<double>(total)
+                    : 0.0,
+          total};
+}
+
+TEST(Integration, CartEngineBeatsChanceComfortablyOnLiveTrace) {
+  EngineOptions engine_options;
+  engine_options.buffer_size = 64;
+  Iustitia engine(trained_model(64, Backend::kCart), engine_options);
+  const net::Trace trace = small_trace();
+  const auto [accuracy, classified] = run_and_score(engine, trace);
+  EXPECT_GT(classified, 100u);
+  // Paper reports ~86% on 32-byte buffers; synthetic corpus + partial
+  // buffers make this noisier, so assert a conservative floor well above
+  // the 33% chance level.
+  EXPECT_GT(accuracy, 0.6);
+}
+
+TEST(Integration, EveryDataFlowGetsClassifiedEventually) {
+  EngineOptions engine_options;
+  engine_options.buffer_size = 64;
+  Iustitia engine(trained_model(64, Backend::kCart), engine_options);
+  const net::Trace trace = small_trace();
+  for (const net::Packet& p : trace.packets) engine.on_packet(p);
+  engine.flush_all();
+  std::size_t data_flows = 0;
+  net::FlowTable table;
+  for (const net::Packet& p : trace.packets) table.add(p);
+  for (const auto& [key, record] : table.flows()) {
+    data_flows += (record.data_packets > 0);
+  }
+  EXPECT_EQ(engine.stats().flows_classified, data_flows);
+}
+
+TEST(Integration, ReloadedModelReproducesEngineBehaviour) {
+  FlowNatureModel original = trained_model(64, Backend::kCart);
+  std::stringstream ss;
+  original.save(ss);
+  FlowNatureModel reloaded = FlowNatureModel::load(ss);
+
+  EngineOptions engine_options;
+  engine_options.buffer_size = 64;
+  Iustitia engine_a(std::move(original), engine_options);
+  Iustitia engine_b(std::move(reloaded), engine_options);
+  const net::Trace trace = small_trace();
+  for (const net::Packet& p : trace.packets) {
+    engine_a.on_packet(p);
+    engine_b.on_packet(p);
+  }
+  engine_a.flush_all();
+  engine_b.flush_all();
+  ASSERT_EQ(engine_a.delays().size(), engine_b.delays().size());
+  for (std::size_t i = 0; i < engine_a.delays().size(); ++i) {
+    ASSERT_EQ(engine_a.delays()[i].label, engine_b.delays()[i].label);
+  }
+}
+
+TEST(Integration, PcapRoundTripPreservesClassification) {
+  const net::Trace trace = [] {
+    net::TraceOptions options;
+    options.target_packets = 5000;
+    options.app_header_fraction = 0.0;
+    options.seed = 78;
+    return generate_trace(options);
+  }();
+
+  // Write the trace to pcap and read it back.
+  std::stringstream pcap;
+  net::PcapWriter writer(pcap);
+  for (const net::Packet& p : trace.packets) writer.write(p);
+  std::vector<net::Packet> replayed;
+  net::PcapReader reader(pcap);
+  while (auto p = reader.next()) replayed.push_back(std::move(*p));
+  ASSERT_EQ(replayed.size(), trace.packets.size());
+
+  EngineOptions engine_options;
+  engine_options.buffer_size = 64;
+  Iustitia engine_live(trained_model(64, Backend::kCart), engine_options);
+  Iustitia engine_pcap(trained_model(64, Backend::kCart), engine_options);
+  for (const net::Packet& p : trace.packets) engine_live.on_packet(p);
+  for (const net::Packet& p : replayed) engine_pcap.on_packet(p);
+  engine_live.flush_all();
+  engine_pcap.flush_all();
+  EXPECT_EQ(engine_live.stats().flows_classified,
+            engine_pcap.stats().flows_classified);
+
+  // Same labels per flow.
+  for (const FlowDelayRecord& record : engine_live.delays()) {
+    EXPECT_EQ(engine_pcap.label_of(record.key).has_value(),
+              engine_live.label_of(record.key).has_value());
+  }
+}
+
+TEST(Integration, HeaderStrippingImprovesAccuracyOnHeaderedTraffic) {
+  net::TraceOptions trace_options;
+  trace_options.target_packets = 15000;
+  trace_options.app_header_fraction = 0.8;  // headers nearly everywhere
+  trace_options.seed = 79;
+  const net::Trace trace = generate_trace(trace_options);
+
+  EngineOptions with_strip;
+  with_strip.buffer_size = 64;
+  with_strip.strip_known_headers = true;
+  EngineOptions without_strip = with_strip;
+  without_strip.strip_known_headers = false;
+
+  Iustitia engine_strip(trained_model(64, Backend::kCart), with_strip);
+  Iustitia engine_raw(trained_model(64, Backend::kCart), without_strip);
+  const auto [acc_strip, n1] = run_and_score(engine_strip, trace);
+  const auto [acc_raw, n2] = run_and_score(engine_raw, trace);
+  EXPECT_GT(n1, 50u);
+  // Aggregate accuracy includes tiny flows that never transmit more than a
+  // partial header (unclassifiable either way), so the aggregate margin is
+  // modest but must favor stripping.
+  EXPECT_GT(acc_strip, acc_raw + 0.02);
+
+  // On flows that transmitted a full post-header window, stripping must
+  // recover encrypted flows that the raw engine reads as text/binary.
+  net::FlowTable table(4096);
+  for (const net::Packet& p : trace.packets) table.add(p);
+  auto subset_accuracy = [&](const Iustitia& engine) {
+    std::size_t correct = 0, total = 0;
+    for (const FlowDelayRecord& record : engine.delays()) {
+      const auto truth_it = trace.truth.find(record.key);
+      const auto flow_it = table.flows().find(record.key);
+      if (truth_it == trace.truth.end() || flow_it == table.flows().end()) {
+        continue;
+      }
+      const net::FlowTruth& truth = truth_it->second;
+      if (truth.nature != datagen::FileClass::kEncrypted) continue;
+      if (truth.app_protocol == appproto::AppProtocol::kNone) continue;
+      if (flow_it->second.payload_bytes < truth.app_header_length + 64) {
+        continue;  // never transmitted a full content window
+      }
+      ++total;
+      correct += (record.label == truth.nature);
+    }
+    return total > 0 ? static_cast<double>(correct) /
+                           static_cast<double>(total)
+                     : 0.0;
+  };
+  EXPECT_GT(subset_accuracy(engine_strip), subset_accuracy(engine_raw) + 0.3);
+}
+
+}  // namespace
+}  // namespace iustitia::core

@@ -1,0 +1,99 @@
+// Round-trip and behavioural tests for the LZ77/LZSS coder.
+#include "datagen/lz77.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "datagen/markov_text.h"
+#include "util/random.h"
+
+namespace iustitia::datagen {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Lz77, EmptyInput) {
+  EXPECT_TRUE(lz77_compress({}).empty());
+  EXPECT_TRUE(lz77_decompress({}).empty());
+}
+
+TEST(Lz77, RoundTripShortLiterals) {
+  const auto data = bytes_of("abc");
+  EXPECT_EQ(lz77_decompress(lz77_compress(data)), data);
+}
+
+TEST(Lz77, RoundTripRepetitiveText) {
+  const auto data = bytes_of(std::string(500, 'a') + "bcd" +
+                             std::string(500, 'a'));
+  const auto packed = lz77_compress(data);
+  EXPECT_EQ(lz77_decompress(packed), data);
+  // Runs compress extremely well.
+  EXPECT_LT(packed.size(), data.size() / 10);
+}
+
+TEST(Lz77, RoundTripEnglishTextAndCompresses) {
+  util::Rng rng(1);
+  const std::string text = MarkovText::english(3).generate(20000, rng);
+  const auto data = bytes_of(text);
+  const auto packed = lz77_compress(data);
+  EXPECT_EQ(lz77_decompress(packed), data);
+  // Natural-language text must compress meaningfully — this is what puts
+  // archive members in the paper's middle entropy band.
+  EXPECT_LT(packed.size(), data.size() * 0.8);
+}
+
+TEST(Lz77, RoundTripIncompressibleData) {
+  util::Rng rng(2);
+  std::vector<std::uint8_t> data(10000);
+  rng.fill_bytes(data);
+  const auto packed = lz77_compress(data);
+  EXPECT_EQ(lz77_decompress(packed), data);
+  // Random data expands by at most the flag-byte overhead (1/8) + O(1).
+  EXPECT_LE(packed.size(), data.size() + data.size() / 8 + 16);
+}
+
+TEST(Lz77, RoundTripOverlappingMatches) {
+  // "abcabcabc...": matches overlap their own output.
+  std::vector<std::uint8_t> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(static_cast<std::uint8_t>(
+      "abc"[i % 3]));
+  EXPECT_EQ(lz77_decompress(lz77_compress(data)), data);
+}
+
+TEST(Lz77, RoundTripAllByteValues) {
+  std::vector<std::uint8_t> data;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int b = 0; b < 256; ++b) data.push_back(static_cast<std::uint8_t>(b));
+  }
+  EXPECT_EQ(lz77_decompress(lz77_compress(data)), data);
+}
+
+TEST(Lz77, RoundTripManyRandomSizes) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<std::uint8_t> data(
+        static_cast<std::size_t>(rng.uniform_int(0, 3000)));
+    for (auto& b : data) {
+      b = static_cast<std::uint8_t>(rng.next_below(8));  // compressible
+    }
+    ASSERT_EQ(lz77_decompress(lz77_compress(data)), data)
+        << "trial " << trial << " size " << data.size();
+  }
+}
+
+TEST(Lz77, CorruptMatchOffsetThrows) {
+  // Flag byte with match bit set, then an offset pointing before start.
+  const std::vector<std::uint8_t> bogus{0x01, 0x10, 0x00, 0x00};
+  EXPECT_THROW(lz77_decompress(bogus), std::runtime_error);
+}
+
+TEST(Lz77, TruncatedMatchTokenThrows) {
+  const std::vector<std::uint8_t> bogus{0x01, 0x01};
+  EXPECT_THROW(lz77_decompress(bogus), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iustitia::datagen

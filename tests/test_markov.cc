@@ -1,0 +1,104 @@
+// Tests for the Markov text model: structural contracts and the English-
+// like statistics the text class depends on.
+#include "datagen/markov_text.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <set>
+
+#include "entropy/entropy_vector.h"
+
+namespace iustitia::datagen {
+namespace {
+
+TEST(SeedCorpus, IsSubstantialEnglishText) {
+  const std::string_view seed = seed_corpus();
+  EXPECT_GT(seed.size(), 3000u);
+  std::size_t spaces = 0;
+  for (const char c : seed) spaces += (c == ' ');
+  // Word lengths around 5 => roughly 1/6 of characters are spaces.
+  EXPECT_GT(static_cast<double>(spaces) / static_cast<double>(seed.size()),
+            0.10);
+}
+
+TEST(MarkovText, RejectsDegenerateInputs) {
+  EXPECT_THROW(MarkovText("ab", 3), std::invalid_argument);
+  EXPECT_THROW(MarkovText("whatever", 0), std::invalid_argument);
+}
+
+TEST(MarkovText, GeneratesRequestedLength) {
+  util::Rng rng(1);
+  const MarkovText& model = MarkovText::english(3);
+  for (const std::size_t len : {1u, 10u, 100u, 5000u}) {
+    EXPECT_EQ(model.generate(len, rng).size(), len);
+  }
+}
+
+TEST(MarkovText, DeterministicGivenSeed) {
+  util::Rng a(7), b(7);
+  const MarkovText& model = MarkovText::english(3);
+  EXPECT_EQ(model.generate(500, a), model.generate(500, b));
+}
+
+TEST(MarkovText, OutputAlphabetIsSubsetOfCorpusAlphabet) {
+  const std::set<char> corpus_chars(seed_corpus().begin(),
+                                    seed_corpus().end());
+  util::Rng rng(2);
+  const std::string text = MarkovText::english(2).generate(3000, rng);
+  for (const char c : text) {
+    ASSERT_TRUE(corpus_chars.count(c)) << "unexpected char "
+                                       << static_cast<int>(c);
+  }
+}
+
+TEST(MarkovText, OrderThreePreservesTrigramStructure) {
+  // Every generated 3-gram context must exist in the corpus (generation
+  // only walks observed contexts; restarts also land on observed ones).
+  const std::string_view seed = seed_corpus();
+  std::set<std::string> contexts;
+  for (std::size_t i = 0; i + 3 <= seed.size(); ++i) {
+    contexts.insert(std::string(seed.substr(i, 3)));
+  }
+  util::Rng rng(3);
+  const std::string text = MarkovText::english(3).generate(2000, rng);
+  std::size_t misses = 0;
+  for (std::size_t i = 0; i + 3 <= text.size(); ++i) {
+    if (!contexts.count(text.substr(i, 3))) ++misses;
+  }
+  EXPECT_EQ(misses, 0u);
+}
+
+TEST(MarkovText, EntropyInEnglishBand) {
+  // Natural English byte entropy h_1 sits near 4.2 bits/byte = 0.52
+  // normalized; the Markov output must land in a believable band, far
+  // below binary (~0.75+) and encrypted (~1.0).
+  util::Rng rng(4);
+  const std::string text = MarkovText::english(3).generate(16384, rng);
+  const std::vector<std::uint8_t> bytes(text.begin(), text.end());
+  const int widths[] = {1};
+  const double h1 = entropy::entropy_vector(bytes, widths)[0];
+  EXPECT_GT(h1, 0.40);
+  EXPECT_LT(h1, 0.62);
+}
+
+TEST(MarkovText, ContextCountReflectsCorpus) {
+  const MarkovText model(seed_corpus(), 2);
+  EXPECT_GT(model.context_count(), 200u);
+  EXPECT_EQ(model.order(), 2);
+}
+
+TEST(RandomWord, LengthBoundsAndAlphabet) {
+  util::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::string word = random_word(rng, 3, 10);
+    ASSERT_GE(word.size(), 3u);
+    ASSERT_LE(word.size(), 10u);
+    for (const char c : word) {
+      ASSERT_TRUE(std::islower(static_cast<unsigned char>(c)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::datagen

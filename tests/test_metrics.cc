@@ -1,0 +1,77 @@
+// Tests for ml/metrics.h confusion-matrix arithmetic (the Table 1 / Table 2
+// reporting machinery).
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace iustitia::ml {
+namespace {
+
+TEST(ConfusionMatrix, RejectsBadDimension) {
+  EXPECT_THROW(ConfusionMatrix(0), std::invalid_argument);
+  EXPECT_THROW(ConfusionMatrix(-1), std::invalid_argument);
+}
+
+TEST(ConfusionMatrix, AddValidatesLabels) {
+  ConfusionMatrix m(2);
+  EXPECT_THROW(m.add(2, 0), std::out_of_range);
+  EXPECT_THROW(m.add(0, -1), std::out_of_range);
+  m.add(0, 1);
+  EXPECT_EQ(m.total(), 1u);
+}
+
+TEST(ConfusionMatrix, AccuracyOverall) {
+  ConfusionMatrix m(3);
+  m.add(0, 0);
+  m.add(1, 1);
+  m.add(2, 2);
+  m.add(0, 2);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero) {
+  ConfusionMatrix m(3);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(m.class_accuracy(0), 0.0);
+  EXPECT_DOUBLE_EQ(m.misclassification_rate(0, 1), 0.0);
+}
+
+TEST(ConfusionMatrix, PerClassBreakdownMatchesPaperSemantics) {
+  // 10 text samples: 8 correct, 1 -> binary, 1 -> encrypted.
+  ConfusionMatrix m(3);
+  for (int i = 0; i < 8; ++i) m.add(0, 0);
+  m.add(0, 1);
+  m.add(0, 2);
+  EXPECT_DOUBLE_EQ(m.class_accuracy(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.misclassification_rate(0, 1), 0.1);
+  EXPECT_DOUBLE_EQ(m.misclassification_rate(0, 2), 0.1);
+  EXPECT_DOUBLE_EQ(m.misclassification_rate(0, 0), 0.8);  // diagonal = recall
+}
+
+TEST(ConfusionMatrix, MergeAccumulates) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);
+  b.add(0, 1);
+  b.add(1, 1);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.count(0, 1), 1u);
+  EXPECT_NEAR(a.accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrix, MergeRejectsDimensionMismatch) {
+  ConfusionMatrix a(2), b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(MeanAccuracy, AveragesFolds) {
+  ConfusionMatrix a(2), b(2);
+  a.add(0, 0);           // 100%
+  b.add(0, 1);
+  b.add(1, 1);           // 50%
+  EXPECT_DOUBLE_EQ(mean_accuracy({a, b}), 0.75);
+  EXPECT_DOUBLE_EQ(mean_accuracy({}), 0.0);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

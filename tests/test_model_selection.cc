@@ -1,0 +1,56 @@
+// Tests for SVM (gamma, C) grid search.
+#include "ml/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+namespace {
+
+Dataset blobs(util::Rng& rng) {
+  Dataset data(2);
+  for (int i = 0; i < 60; ++i) {
+    data.add({rng.normal(0.0, 0.4), rng.normal(0.0, 0.4)}, 0);
+    data.add({rng.normal(3.0, 0.4), rng.normal(3.0, 0.4)}, 1);
+  }
+  return data;
+}
+
+TEST(SvmGridSearch, EvaluatesFullGridAndPicksMaximum) {
+  util::Rng rng(1);
+  const Dataset data = blobs(rng);
+  const double gammas[] = {0.5, 5.0};
+  const double cs[] = {1.0, 100.0};
+  const GridSearchResult result =
+      svm_grid_search(data, gammas, cs, 3, SvmParams{}, rng);
+  EXPECT_EQ(result.evaluated.size(), 4u);
+  for (const GridPoint& p : result.evaluated) {
+    EXPECT_LE(p.accuracy, result.best.accuracy + 1e-12);
+  }
+  EXPECT_GE(result.best.accuracy, 0.9);
+}
+
+TEST(SvmGridSearch, RejectsEmptyGrid) {
+  util::Rng rng(2);
+  const Dataset data = blobs(rng);
+  const double gammas[] = {1.0};
+  EXPECT_THROW(svm_grid_search(data, gammas, {}, 3, SvmParams{}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(svm_grid_search(data, {}, gammas, 3, SvmParams{}, rng),
+               std::invalid_argument);
+}
+
+TEST(SvmGridSearch, BestPointCarriesItsParameters) {
+  util::Rng rng(3);
+  const Dataset data = blobs(rng);
+  const double gammas[] = {1.0};
+  const double cs[] = {10.0};
+  const GridSearchResult result =
+      svm_grid_search(data, gammas, cs, 3, SvmParams{}, rng);
+  EXPECT_DOUBLE_EQ(result.best.gamma, 1.0);
+  EXPECT_DOUBLE_EQ(result.best.c, 10.0);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

@@ -1,0 +1,78 @@
+// Tests for the per-nature output queues (Fig. 1's LQ blocks).
+#include "core/output_queues.h"
+
+#include <gtest/gtest.h>
+
+namespace iustitia::core {
+namespace {
+
+using datagen::FileClass;
+
+net::Packet packet_of(std::uint16_t port) {
+  net::Packet p;
+  p.key.src_port = port;
+  p.payload = {1, 2, 3};
+  return p;
+}
+
+TEST(OutputQueues, FifoPerClass) {
+  OutputQueues queues;
+  queues.enqueue(FileClass::kText, packet_of(1));
+  queues.enqueue(FileClass::kText, packet_of(2));
+  queues.enqueue(FileClass::kBinary, packet_of(3));
+
+  EXPECT_EQ(queues.depth(FileClass::kText), 2u);
+  EXPECT_EQ(queues.depth(FileClass::kBinary), 1u);
+  EXPECT_EQ(queues.depth(FileClass::kEncrypted), 0u);
+
+  const auto first = queues.dequeue(FileClass::kText);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->packet.key.src_port, 1);
+  EXPECT_EQ(first->label, FileClass::kText);
+  const auto second = queues.dequeue(FileClass::kText);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->packet.key.src_port, 2);
+  EXPECT_EQ(queues.dequeue(FileClass::kText), std::nullopt);
+}
+
+TEST(OutputQueues, CapacityDrops) {
+  OutputQueues queues(2);
+  EXPECT_TRUE(queues.enqueue(FileClass::kBinary, packet_of(1)));
+  EXPECT_TRUE(queues.enqueue(FileClass::kBinary, packet_of(2)));
+  EXPECT_FALSE(queues.enqueue(FileClass::kBinary, packet_of(3)));
+  EXPECT_EQ(queues.depth(FileClass::kBinary), 2u);
+  EXPECT_EQ(queues.dropped(FileClass::kBinary), 1u);
+  EXPECT_EQ(queues.enqueued(FileClass::kBinary), 2u);
+  // Other classes unaffected by one class's pressure.
+  EXPECT_TRUE(queues.enqueue(FileClass::kText, packet_of(4)));
+}
+
+TEST(OutputQueues, UnboundedWhenCapacityZero) {
+  OutputQueues queues(0);
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(queues.enqueue(FileClass::kEncrypted, packet_of(
+        static_cast<std::uint16_t>(i))));
+  }
+  EXPECT_EQ(queues.depth(FileClass::kEncrypted), 10000u);
+  EXPECT_EQ(queues.dropped(FileClass::kEncrypted), 0u);
+}
+
+TEST(OutputQueues, PriorityDequeueOrder) {
+  OutputQueues queues;
+  queues.enqueue(FileClass::kText, packet_of(1));
+  queues.enqueue(FileClass::kEncrypted, packet_of(2));
+
+  // Bank scenario: encrypted first.
+  const FileClass order[] = {FileClass::kEncrypted, FileClass::kBinary,
+                             FileClass::kText};
+  auto first = queues.dequeue_priority(order);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->label, FileClass::kEncrypted);
+  auto second = queues.dequeue_priority(order);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->label, FileClass::kText);
+  EXPECT_EQ(queues.dequeue_priority(order), std::nullopt);
+}
+
+}  // namespace
+}  // namespace iustitia::core

@@ -1,0 +1,201 @@
+// Tests for the from-scratch pcap reader/writer and frame codec.
+#include "net/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/random.h"
+
+namespace iustitia::net {
+namespace {
+
+Packet make_packet(Protocol proto, std::size_t payload_size,
+                   double timestamp = 1.25) {
+  Packet p;
+  p.timestamp = timestamp;
+  p.key = {.src_ip = 0x0A010203,
+           .dst_ip = 0xC0A80005,
+           .src_port = 50123,
+           .dst_port = proto == Protocol::kTcp ? std::uint16_t{443}
+                                               : std::uint16_t{53},
+           .protocol = proto};
+  p.flags.ack = proto == Protocol::kTcp;
+  p.payload.resize(payload_size);
+  for (std::size_t i = 0; i < payload_size; ++i) {
+    p.payload[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  return p;
+}
+
+TEST(FrameCodec, TcpRoundTrip) {
+  const Packet original = make_packet(Protocol::kTcp, 100);
+  const auto frame = encode_frame(original);
+  const auto decoded = decode_frame(frame, original.timestamp);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, original.key);
+  EXPECT_EQ(decoded->payload, original.payload);
+  EXPECT_TRUE(decoded->flags.ack);
+  EXPECT_FALSE(decoded->flags.syn);
+}
+
+TEST(FrameCodec, UdpRoundTrip) {
+  const Packet original = make_packet(Protocol::kUdp, 64);
+  const auto decoded = decode_frame(encode_frame(original), 0.0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, original.key);
+  EXPECT_EQ(decoded->payload, original.payload);
+}
+
+TEST(FrameCodec, TcpFlagsSurvive) {
+  Packet p = make_packet(Protocol::kTcp, 0);
+  p.flags = {.syn = true, .ack = false, .fin = true, .rst = false};
+  const auto decoded = decode_frame(encode_frame(p), 0.0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->flags.syn);
+  EXPECT_TRUE(decoded->flags.fin);
+  EXPECT_FALSE(decoded->flags.rst);
+  EXPECT_FALSE(decoded->flags.ack);
+}
+
+TEST(FrameCodec, EmptyPayloadRoundTrip) {
+  const Packet original = make_packet(Protocol::kTcp, 0);
+  const auto decoded = decode_frame(encode_frame(original), 0.0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(FrameCodec, CorruptChecksumRejected) {
+  auto frame = encode_frame(make_packet(Protocol::kTcp, 10));
+  frame[14 + 12] ^= 0xFF;  // flip a source-IP byte; checksum now stale
+  EXPECT_THROW(decode_frame(frame, 0.0), std::runtime_error);
+}
+
+TEST(FrameCodec, TruncatedFrameRejected) {
+  auto frame = encode_frame(make_packet(Protocol::kTcp, 10));
+  frame.resize(20);
+  EXPECT_THROW(decode_frame(frame, 0.0), std::runtime_error);
+}
+
+TEST(FrameCodec, NonIpv4FrameSkipped) {
+  auto frame = encode_frame(make_packet(Protocol::kTcp, 10));
+  frame[12] = 0x86;  // EtherType -> IPv6
+  frame[13] = 0xDD;
+  EXPECT_EQ(decode_frame(frame, 0.0), std::nullopt);
+}
+
+// Hand-builds an Ethernet/IPv6/UDP frame (encode_frame emits IPv4 only).
+std::vector<std::uint8_t> ipv6_udp_frame(std::uint16_t src_port,
+                                         std::uint16_t dst_port,
+                                         std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> f;
+  // Ethernet: MACs + EtherType IPv6.
+  f.insert(f.end(), 12, 0x02);
+  f.push_back(0x86);
+  f.push_back(0xDD);
+  // IPv6 header.
+  f.push_back(0x60);  // version 6
+  f.insert(f.end(), 3, 0x00);
+  const std::size_t payload_len = 8 + body.size();
+  f.push_back(static_cast<std::uint8_t>(payload_len >> 8));
+  f.push_back(static_cast<std::uint8_t>(payload_len));
+  f.push_back(17);  // next header = UDP
+  f.push_back(64);  // hop limit
+  for (int i = 0; i < 16; ++i) f.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0; i < 16; ++i) f.push_back(static_cast<std::uint8_t>(0xF0 + i));
+  // UDP header.
+  f.push_back(static_cast<std::uint8_t>(src_port >> 8));
+  f.push_back(static_cast<std::uint8_t>(src_port));
+  f.push_back(static_cast<std::uint8_t>(dst_port >> 8));
+  f.push_back(static_cast<std::uint8_t>(dst_port));
+  f.push_back(static_cast<std::uint8_t>(payload_len >> 8));
+  f.push_back(static_cast<std::uint8_t>(payload_len));
+  f.push_back(0);
+  f.push_back(0);
+  f.insert(f.end(), body.begin(), body.end());
+  return f;
+}
+
+TEST(FrameCodec, Ipv6UdpFrameDecodes) {
+  const std::vector<std::uint8_t> body{10, 20, 30, 40};
+  const auto frame = ipv6_udp_frame(5353, 53, body);
+  const auto decoded = decode_frame(frame, 2.0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key.protocol, Protocol::kUdp);
+  EXPECT_EQ(decoded->key.src_port, 5353);
+  EXPECT_EQ(decoded->key.dst_port, 53);
+  EXPECT_EQ(decoded->payload, body);
+  // Folded addresses: nonzero and direction-sensitive.
+  EXPECT_NE(decoded->key.src_ip, decoded->key.dst_ip);
+}
+
+TEST(FrameCodec, Ipv6FoldedKeysAreStable) {
+  const std::vector<std::uint8_t> body{1};
+  const auto a = decode_frame(ipv6_udp_frame(1000, 2000, body), 0.0);
+  const auto b = decode_frame(ipv6_udp_frame(1000, 2000, body), 1.0);
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  EXPECT_EQ(a->key, b->key);  // same flow across packets
+}
+
+TEST(FrameCodec, TruncatedIpv6Rejected) {
+  const std::vector<std::uint8_t> body{1, 2, 3};
+  auto frame = ipv6_udp_frame(10, 20, body);
+  frame.resize(40);  // below Ethernet(14) + IPv6 header(40)
+  EXPECT_THROW(decode_frame(frame, 0.0), std::runtime_error);
+}
+
+TEST(PcapFile, WriterReaderRoundTrip) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  std::vector<Packet> originals;
+  for (int i = 0; i < 50; ++i) {
+    Packet p = make_packet(i % 3 == 0 ? Protocol::kUdp : Protocol::kTcp,
+                           static_cast<std::size_t>(i * 7 % 200),
+                           0.001 * i);
+    p.key.src_port = static_cast<std::uint16_t>(1000 + i);
+    originals.push_back(p);
+    writer.write(p);
+  }
+  EXPECT_EQ(writer.packets_written(), 50u);
+
+  PcapReader reader(ss);
+  for (const Packet& expected : originals) {
+    const auto got = reader.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->key, expected.key);
+    EXPECT_EQ(got->payload, expected.payload);
+    EXPECT_NEAR(got->timestamp, expected.timestamp, 1e-6);
+  }
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.packets_read(), 50u);
+}
+
+TEST(PcapFile, BadMagicRejected) {
+  std::stringstream ss("this is not a pcap file at all, sorry");
+  EXPECT_THROW(PcapReader reader(ss), std::runtime_error);
+}
+
+TEST(PcapFile, TruncatedRecordRejected) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_packet(Protocol::kTcp, 100));
+  std::string data = ss.str();
+  data.resize(data.size() - 40);
+  std::stringstream truncated(data);
+  PcapReader reader(truncated);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(PcapFile, TimestampMicrosecondPrecision) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  Packet p = make_packet(Protocol::kUdp, 1, 1234.567890);
+  writer.write(p);
+  PcapReader reader(ss);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NEAR(got->timestamp, 1234.567890, 1e-6);
+}
+
+}  // namespace
+}  // namespace iustitia::net

@@ -1,0 +1,85 @@
+// Tests for ml/scaler.h.
+#include "ml/scaler.h"
+
+#include <gtest/gtest.h>
+
+namespace iustitia::ml {
+namespace {
+
+Dataset two_feature_data() {
+  Dataset data(2);
+  data.add({0.0, 10.0}, 0);
+  data.add({5.0, 20.0}, 1);
+  data.add({10.0, 30.0}, 0);
+  return data;
+}
+
+TEST(MinMaxScaler, MapsTrainingRangeToUnitInterval) {
+  MinMaxScaler scaler;
+  scaler.fit(two_feature_data());
+  EXPECT_EQ(scaler.transform(std::vector<double>{0.0, 10.0}),
+            (std::vector<double>{0.0, 0.0}));
+  EXPECT_EQ(scaler.transform(std::vector<double>{10.0, 30.0}),
+            (std::vector<double>{1.0, 1.0}));
+  EXPECT_EQ(scaler.transform(std::vector<double>{5.0, 20.0}),
+            (std::vector<double>{0.5, 0.5}));
+}
+
+TEST(MinMaxScaler, ExtrapolatesOutsideTrainingRange) {
+  MinMaxScaler scaler;
+  scaler.fit(two_feature_data());
+  const auto out = scaler.transform(std::vector<double>{20.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 2.0);
+  EXPECT_DOUBLE_EQ(out[1], -0.5);
+}
+
+TEST(MinMaxScaler, ConstantFeatureMapsToZero) {
+  Dataset data(1);
+  data.add({7.0, 1.0}, 0);
+  data.add({7.0, 2.0}, 0);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+  const auto out = scaler.transform(std::vector<double>{7.0, 1.5});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.5);
+}
+
+TEST(MinMaxScaler, UnfittedIsIdentity) {
+  const MinMaxScaler scaler;
+  EXPECT_FALSE(scaler.fitted());
+  EXPECT_EQ(scaler.transform(std::vector<double>{3.0, 4.0}),
+            (std::vector<double>{3.0, 4.0}));
+}
+
+TEST(MinMaxScaler, DimensionMismatchThrows) {
+  MinMaxScaler scaler;
+  scaler.fit(two_feature_data());
+  EXPECT_THROW(scaler.transform(std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(MinMaxScaler, TransformDatasetKeepsLabels) {
+  MinMaxScaler scaler;
+  const Dataset data = two_feature_data();
+  scaler.fit(data);
+  const Dataset scaled = scaler.transform(data);
+  ASSERT_EQ(scaled.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(scaled[i].label, data[i].label);
+  }
+}
+
+TEST(MinMaxScaler, RestoreRoundTrip) {
+  MinMaxScaler scaler;
+  scaler.fit(two_feature_data());
+  MinMaxScaler restored;
+  restored.restore(
+      std::vector<double>(scaler.mins().begin(), scaler.mins().end()),
+      std::vector<double>(scaler.maxs().begin(), scaler.maxs().end()));
+  EXPECT_EQ(restored.transform(std::vector<double>{5.0, 20.0}),
+            scaler.transform(std::vector<double>{5.0, 20.0}));
+  EXPECT_THROW(restored.restore({1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

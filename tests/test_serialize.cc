@@ -1,0 +1,108 @@
+// Round-trip tests for model serialization: a reloaded model must make
+// byte-identical predictions.
+#include "ml/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/random.h"
+
+namespace iustitia::ml {
+namespace {
+
+Dataset blobs(util::Rng& rng, int classes = 3) {
+  Dataset data(classes);
+  for (int c = 0; c < classes; ++c) {
+    for (int i = 0; i < 40; ++i) {
+      data.add({rng.normal(3.0 * c, 0.4), rng.normal(-2.0 * c, 0.4)}, c);
+    }
+  }
+  return data;
+}
+
+TEST(SerializeTree, RoundTripPredictionsIdentical) {
+  util::Rng rng(1);
+  const Dataset data = blobs(rng);
+  DecisionTree tree;
+  tree.train(data);
+
+  std::stringstream ss;
+  save_tree(tree, ss);
+  const DecisionTree loaded = load_tree(ss);
+
+  EXPECT_EQ(loaded.num_classes(), tree.num_classes());
+  EXPECT_EQ(loaded.node_count(), tree.node_count());
+  util::Rng probe(2);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x{probe.uniform(-2.0, 8.0),
+                                probe.uniform(-6.0, 2.0)};
+    ASSERT_EQ(loaded.predict(x), tree.predict(x));
+  }
+}
+
+TEST(SerializeTree, MalformedHeaderThrows) {
+  std::stringstream ss("not-a-model 3 2 1");
+  EXPECT_THROW(load_tree(ss), std::runtime_error);
+}
+
+TEST(SerializeTree, TruncatedBodyThrows) {
+  util::Rng rng(3);
+  DecisionTree tree;
+  tree.train(blobs(rng));
+  std::stringstream ss;
+  save_tree(tree, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(load_tree(truncated), std::runtime_error);
+}
+
+TEST(SerializeDagSvm, RoundTripDecisionsIdentical) {
+  util::Rng rng(4);
+  const Dataset data = blobs(rng);
+  DagSvm model;
+  model.train(data, SvmParams{.gamma = 1.0, .c = 50.0});
+
+  std::stringstream ss;
+  save_dag_svm(model, ss);
+  const DagSvm loaded = load_dag_svm(ss);
+
+  EXPECT_EQ(loaded.num_classes(), model.num_classes());
+  EXPECT_EQ(loaded.support_vector_count(), model.support_vector_count());
+  util::Rng probe(5);
+  for (int i = 0; i < 200; ++i) {
+    const std::vector<double> x{probe.uniform(-2.0, 8.0),
+                                probe.uniform(-6.0, 2.0)};
+    ASSERT_EQ(loaded.predict(x), model.predict(x));
+    ASSERT_NEAR(loaded.machine(0, 2).decision(x),
+                model.machine(0, 2).decision(x), 1e-12);
+  }
+}
+
+TEST(SerializeDagSvm, MalformedInputThrows) {
+  std::stringstream ss("dagsvm-v1 oops");
+  EXPECT_THROW(load_dag_svm(ss), std::runtime_error);
+}
+
+TEST(SerializeScaler, RoundTrip) {
+  Dataset data(1);
+  data.add({1.0, -5.0}, 0);
+  data.add({3.0, 5.0}, 0);
+  MinMaxScaler scaler;
+  scaler.fit(data);
+
+  std::stringstream ss;
+  save_scaler(scaler, ss);
+  const MinMaxScaler loaded = load_scaler(ss);
+  EXPECT_EQ(loaded.transform(std::vector<double>{2.0, 0.0}),
+            scaler.transform(std::vector<double>{2.0, 0.0}));
+}
+
+TEST(SerializeScaler, MalformedInputThrows) {
+  std::stringstream ss("scaler-v1 junk");
+  EXPECT_THROW(load_scaler(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace iustitia::ml

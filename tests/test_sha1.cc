@@ -1,0 +1,101 @@
+// SHA-1 correctness against the FIPS 180-2 example vectors, plus the
+// incremental-update and non-destructive-digest contracts.
+#include "util/sha1.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace iustitia::util {
+namespace {
+
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(sha1("").hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, FipsVectorAbc) {
+  EXPECT_EQ(sha1("abc").hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, FipsVectorTwoBlocks) {
+  EXPECT_EQ(
+      sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").hex(),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(h.digest().hex(), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, IncrementalMatchesOneShot) {
+  const std::string data = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha1 h;
+    h.update(data.substr(0, split));
+    h.update(data.substr(split));
+    ASSERT_EQ(h.digest(), sha1(data)) << "split at " << split;
+  }
+}
+
+TEST(Sha1, DigestDoesNotDisturbState) {
+  Sha1 h;
+  h.update("hello ");
+  const Sha1Digest mid = h.digest();
+  EXPECT_EQ(mid, sha1("hello "));
+  h.update("world");
+  EXPECT_EQ(h.digest(), sha1("hello world"));
+}
+
+TEST(Sha1, ResetRestoresInitialState) {
+  Sha1 h;
+  h.update("garbage");
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.digest().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, BoundaryLengthsAroundBlockSize) {
+  // Exercise padding around the 64-byte block boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string data(len, 'x');
+    Sha1 split_hash;
+    split_hash.update(data.substr(0, len / 2));
+    split_hash.update(data.substr(len / 2));
+    ASSERT_EQ(split_hash.digest(), sha1(data)) << "len " << len;
+  }
+}
+
+TEST(Sha1Digest, Prefix64IsBigEndianPrefix) {
+  Sha1Digest d;
+  for (std::size_t i = 0; i < d.bytes.size(); ++i) {
+    d.bytes[i] = static_cast<std::uint8_t>(i + 1);
+  }
+  EXPECT_EQ(d.prefix64(), 0x0102030405060708ULL);
+}
+
+TEST(Sha1Digest, HexIsFortyLowercaseChars) {
+  const std::string hex = sha1("xyz").hex();
+  EXPECT_EQ(hex.size(), 40u);
+  for (const char c : hex) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Sha1Digest, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha1("flow-a"), sha1("flow-b"));
+  EXPECT_NE(sha1("flow-a").prefix64(), sha1("flow-b").prefix64());
+}
+
+TEST(Sha1Digest, UsableAsUnorderedMapKey) {
+  std::unordered_map<Sha1Digest, int> map;
+  map[sha1("a")] = 1;
+  map[sha1("b")] = 2;
+  EXPECT_EQ(map.at(sha1("a")), 1);
+  EXPECT_EQ(map.at(sha1("b")), 2);
+}
+
+}  // namespace
+}  // namespace iustitia::util

@@ -1,0 +1,119 @@
+// Tests for util/stats.h.
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace iustitia::util {
+namespace {
+
+TEST(Summarize, EmptyYieldsZeros) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-3);
+}
+
+TEST(QuantileSorted, InterpolatesLinearly) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 10.0);
+}
+
+TEST(MeanStddevMedian, Basics) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);
+  EXPECT_DOUBLE_EQ(median(v), 4.5);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{3.0}), 0.0);
+}
+
+TEST(EmpiricalCdf, EvaluateMatchesDefinition) {
+  const std::vector<double> v{1, 2, 2, 3, 10};
+  const EmpiricalCdf cdf(v);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(2.0), 0.6);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(9.99), 0.8);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.evaluate(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInverse) {
+  std::vector<double> v;
+  for (int i = 0; i <= 100; ++i) v.push_back(i);
+  const EmpiricalCdf cdf(v);
+  EXPECT_NEAR(cdf.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(cdf.quantile(0.9), 90.0, 1.0);
+}
+
+TEST(EmpiricalCdf, PointsDownsampleEndsAtOne) {
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i);
+  const EmpiricalCdf cdf(v);
+  const auto pts = cdf.points(10);
+  ASSERT_FALSE(pts.empty());
+  EXPECT_LE(pts.size(), 12u);
+  EXPECT_DOUBLE_EQ(pts.back().second, 1.0);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    EXPECT_LE(pts[i - 1].first, pts[i].first);
+    EXPECT_LE(pts[i - 1].second, pts[i].second);
+  }
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);    // bin 0
+  h.add(9.99);   // bin 9
+  h.add(-5.0);   // clamped to bin 0
+  h.add(42.0);   // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 0.5);
+}
+
+TEST(Histogram, AddNWeights) {
+  Histogram h(0.0, 1.0, 2);
+  h.add_n(0.25, 10);
+  EXPECT_EQ(h.count(0), 10u);
+  EXPECT_EQ(h.total(), 10u);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  const std::vector<double> v{3, 1, 4, 1, 5, 9, 2, 6};
+  RunningStats rs;
+  for (const double x : v) rs.add(x);
+  EXPECT_EQ(rs.count(), v.size());
+  EXPECT_NEAR(rs.mean(), mean(v), 1e-12);
+  EXPECT_NEAR(rs.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyAndSingle) {
+  RunningStats rs;
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(7.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+}
+
+}  // namespace
+}  // namespace iustitia::util

@@ -1,0 +1,80 @@
+// Tests for util/table.h rendering and formatting helpers.
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace iustitia::util {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22222"});
+  std::ostringstream os;
+  t.render(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  // Header underline present.
+  EXPECT_NE(text.find("---"), std::string::npos);
+  // Every line where "value" appears is aligned to the same column.
+  const auto header_col = text.find("value");
+  const auto row_col = text.find("22222") - text.rfind('\n', text.find("22222")) - 1;
+  EXPECT_EQ(header_col - text.rfind('\n', header_col) - 1, row_col);
+}
+
+TEST(Table, HandlesRaggedRows) {
+  Table t({"a", "b"});
+  t.add_row({"only-one"});
+  t.add_row({"x", "y", "extra"});
+  std::ostringstream os;
+  t.render(os);
+  EXPECT_NE(os.str().find("extra"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, CsvQuotesSpecialCells) {
+  Table t({"k", "v"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"quote", "say \"hi\""});
+  std::ostringstream os;
+  t.render_csv(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(text.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Fmt, DecimalControl) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+}
+
+TEST(FmtPercent, MatchesPaperStyle) {
+  EXPECT_EQ(fmt_percent(0.8651), "86.51%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(FmtBytes, UnitSelection) {
+  EXPECT_EQ(fmt_bytes(512), "512 B");
+  EXPECT_EQ(fmt_bytes(2048), "2.00 KB");
+  EXPECT_EQ(fmt_bytes(3.5 * 1024 * 1024), "3.50 MB");
+}
+
+TEST(FmtSeconds, UnitSelection) {
+  EXPECT_EQ(fmt_seconds(5e-6), "5.0 us");
+  EXPECT_EQ(fmt_seconds(0.0123), "12.30 ms");
+  EXPECT_EQ(fmt_seconds(2.5), "2.500 s");
+}
+
+TEST(Bar, FillProportional) {
+  EXPECT_EQ(bar(0.0, 4), "....");
+  EXPECT_EQ(bar(0.5, 4), "##..");
+  EXPECT_EQ(bar(1.0, 4), "####");
+  EXPECT_EQ(bar(2.0, 4), "####");   // clamped
+  EXPECT_EQ(bar(-1.0, 4), "....");  // clamped
+}
+
+}  // namespace
+}  // namespace iustitia::util

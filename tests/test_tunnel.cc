@@ -1,0 +1,145 @@
+// Tests for the tunneling substrate (Section 4.6): mux/demux round trips,
+// split frames, the encrypted-tunnel case, and the classification rule.
+#include "net/tunnel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "datagen/corpus.h"
+#include "entropy/entropy_vector.h"
+#include "util/random.h"
+
+namespace iustitia::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(const std::string& s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(TunnelMux, FrameLayout) {
+  TunnelMux mux;
+  const auto payload = bytes_of("hello");
+  const auto frame = mux.encapsulate(0x01020304, payload);
+  ASSERT_EQ(frame.size(), kTunnelFrameHeader + 5);
+  EXPECT_EQ(frame[0], 'T');
+  EXPECT_EQ(frame[1], '!');
+  EXPECT_EQ(frame[2], 0x01);
+  EXPECT_EQ(frame[5], 0x04);
+  EXPECT_EQ(frame[6], 0x00);
+  EXPECT_EQ(frame[7], 0x05);
+  EXPECT_EQ(frame[8], 'h');
+}
+
+TEST(TunnelDemux, RoundTripTwoInterleavedFlows) {
+  TunnelMux mux;
+  TunnelDemux demux;
+  const auto a1 = bytes_of("alpha-");
+  const auto b1 = bytes_of("bravo-");
+  const auto a2 = bytes_of("second");
+  demux.feed(mux.encapsulate(1, a1));
+  demux.feed(mux.encapsulate(2, b1));
+  demux.feed(mux.encapsulate(1, a2));
+  EXPECT_FALSE(demux.corrupted());
+  EXPECT_EQ(demux.frames_decoded(), 3u);
+  ASSERT_EQ(demux.inner_streams().size(), 2u);
+  EXPECT_EQ(demux.inner_streams().at(1), bytes_of("alpha-second"));
+  EXPECT_EQ(demux.inner_streams().at(2), bytes_of("bravo-"));
+}
+
+TEST(TunnelDemux, FramesSplitAcrossOuterPackets) {
+  TunnelMux mux;
+  const auto payload = bytes_of("split across many outer packets");
+  const auto frame = mux.encapsulate(7, payload);
+  TunnelDemux demux;
+  // Feed one byte at a time: worst-case reassembly.
+  for (const std::uint8_t byte : frame) {
+    demux.feed(std::span<const std::uint8_t>(&byte, 1));
+  }
+  EXPECT_FALSE(demux.corrupted());
+  EXPECT_EQ(demux.inner_streams().at(7), payload);
+}
+
+TEST(TunnelDemux, LargeSegmentSplitsIntoMultipleFrames) {
+  TunnelMux mux;
+  std::vector<std::uint8_t> big(200000, 0xAB);
+  const auto stream = mux.encapsulate(3, big);
+  TunnelDemux demux(1 << 20);
+  demux.feed(stream);
+  EXPECT_FALSE(demux.corrupted());
+  EXPECT_GT(demux.frames_decoded(), 2u);
+  EXPECT_EQ(demux.inner_streams().at(3), big);
+}
+
+TEST(TunnelDemux, PerFlowLimitCapsRetention) {
+  TunnelMux mux;
+  std::vector<std::uint8_t> data(1000, 0x42);
+  TunnelDemux demux(64);
+  demux.feed(mux.encapsulate(9, data));
+  EXPECT_EQ(demux.inner_streams().at(9).size(), 64u);
+  EXPECT_EQ(demux.frames_decoded(), 1u);  // frame still fully consumed
+}
+
+TEST(TunnelDemux, EncryptedTunnelReportsCorrupted) {
+  datagen::ChaCha20::Key key{};
+  key[0] = 0x55;
+  datagen::ChaCha20::Nonce nonce{};
+  TunnelMux mux(key, nonce);
+  EXPECT_TRUE(mux.encrypted());
+  TunnelDemux demux;
+  demux.feed(mux.encapsulate(1, bytes_of("hidden content")));
+  EXPECT_TRUE(demux.corrupted());
+  EXPECT_TRUE(demux.inner_streams().empty());
+}
+
+TEST(Tunnel, ClassificationRuleOfSection46) {
+  // Cleartext tunnel: inner flows classified separately, each by its own
+  // nature.  Encrypted tunnel: the outer stream classifies as encrypted.
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 20;
+  corpus_options.seed = 61;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  core::TrainerOptions trainer;
+  trainer.backend = core::Backend::kCart;
+  trainer.widths = entropy::cart_preferred_widths();
+  trainer.method = core::TrainingMethod::kFirstBytes;
+  trainer.buffer_size = 256;
+  core::FlowNatureModel model = core::train_model(corpus, trainer);
+
+  util::Rng rng(62);
+  const datagen::FileSample text =
+      datagen::generate_file(datagen::FileClass::kText, 2048, rng);
+  const datagen::FileSample enc =
+      datagen::generate_file(datagen::FileClass::kEncrypted, 2048, rng);
+
+  // Cleartext tunnel carrying one text and one encrypted inner flow.
+  TunnelMux clear;
+  TunnelDemux demux;
+  demux.feed(clear.encapsulate(1, text.bytes));
+  demux.feed(clear.encapsulate(2, enc.bytes));
+  ASSERT_FALSE(demux.corrupted());
+  const auto& s1 = demux.inner_streams().at(1);
+  const auto& s2 = demux.inner_streams().at(2);
+  EXPECT_EQ(model.classify(std::span<const std::uint8_t>(s1.data(), 256))
+                .label,
+            datagen::FileClass::kText);
+  EXPECT_EQ(model.classify(std::span<const std::uint8_t>(s2.data(), 256))
+                .label,
+            datagen::FileClass::kEncrypted);
+
+  // Encrypted tunnel carrying the *text* flow: outer stream reads as
+  // encrypted, per the paper's rule.
+  datagen::ChaCha20::Key key{};
+  rng.fill_bytes(key);
+  datagen::ChaCha20::Nonce nonce{};
+  TunnelMux sealed(key, nonce);
+  const auto outer = sealed.encapsulate(1, text.bytes);
+  TunnelDemux probe;
+  probe.feed(outer);
+  EXPECT_TRUE(probe.corrupted());
+  EXPECT_EQ(model.classify(std::span<const std::uint8_t>(outer.data(), 256))
+                .label,
+            datagen::FileClass::kEncrypted);
+}
+
+}  // namespace
+}  // namespace iustitia::net

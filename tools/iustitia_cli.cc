@@ -1,0 +1,240 @@
+// iustitia — command-line front end for the library.
+//
+// Subcommands:
+//   gen-corpus <dir> [--files N] [--seed S] [--min-size B] [--max-size B]
+//       Synthesize a labeled corpus as real files under <dir>/{text,
+//       binary,encrypted}/.
+//   train <corpus-dir> <model-file> [--backend cart|svm] [--buffer B]
+//         [--method hf|hb|hbp] [--threshold T] [--gamma G] [--c C]
+//       Train a flow-nature model on a labeled directory tree and save it.
+//   classify <model-file> <file>...
+//       Classify files (their first-buffer window) with a saved model.
+//   gen-trace <out.pcap> [--packets N] [--seed S] [--duration SEC]
+//       Synthesize a calibrated gateway trace as a standard pcap.
+//   analyze <model-file> <trace.pcap> [--buffer B]
+//       Replay a pcap through the online engine and summarize flows.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/trainer.h"
+#include "datagen/corpus_io.h"
+#include "net/pcap.h"
+#include "net/trace_gen.h"
+#include "util/table.h"
+
+using namespace iustitia;
+
+namespace {
+
+// Minimal flag parser: positional args plus --key value pairs.
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> flags;
+
+  std::string flag(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  long long flag_int(const std::string& key, long long fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoll(it->second.c_str());
+  }
+  double flag_double(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
+};
+
+Args parse_args(int argc, char** argv, int from) {
+  Args args;
+  for (int i = from; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0 && i + 1 < argc) {
+      args.flags[token.substr(2)] = argv[++i];
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: iustitia <command> ...\n"
+      "  gen-corpus <dir> [--files N] [--seed S] [--min-size B] "
+      "[--max-size B]\n"
+      "  train <corpus-dir> <model-file> [--backend cart|svm] [--buffer B]\n"
+      "        [--method hf|hb|hbp] [--threshold T] [--gamma G] [--c C]\n"
+      "  classify <model-file> <file>...\n"
+      "  gen-trace <out.pcap> [--packets N] [--seed S] [--duration SEC]\n"
+      "  analyze <model-file> <trace.pcap> [--buffer B]\n";
+  return 2;
+}
+
+int cmd_gen_corpus(const Args& args) {
+  if (args.positional.empty()) return usage();
+  datagen::CorpusOptions options;
+  options.files_per_class =
+      static_cast<std::size_t>(args.flag_int("files", 100));
+  options.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
+  options.min_size = static_cast<std::size_t>(args.flag_int("min-size", 2048));
+  options.max_size =
+      static_cast<std::size_t>(args.flag_int("max-size", 16384));
+  const auto corpus = datagen::build_corpus(options);
+  datagen::save_corpus(corpus, args.positional[0]);
+  std::cout << "wrote " << corpus.size() << " files under "
+            << args.positional[0] << "/{text,binary,encrypted}/\n";
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto corpus = datagen::load_corpus(args.positional[0]);
+  std::cout << "loaded " << corpus.size() << " labeled files\n";
+
+  core::TrainerOptions options;
+  const std::string backend = args.flag("backend", "svm");
+  options.backend =
+      backend == "cart" ? core::Backend::kCart : core::Backend::kSvm;
+  options.widths = options.backend == core::Backend::kCart
+                       ? entropy::cart_preferred_widths()
+                       : entropy::svm_preferred_widths();
+  const std::string method = args.flag("method", "hb");
+  options.method = method == "hf"    ? core::TrainingMethod::kWholeFile
+                   : method == "hbp" ? core::TrainingMethod::kRandomOffset
+                                     : core::TrainingMethod::kFirstBytes;
+  options.buffer_size = static_cast<std::size_t>(args.flag_int("buffer", 32));
+  options.header_threshold =
+      static_cast<std::size_t>(args.flag_int("threshold", 0));
+  options.svm.gamma = args.flag_double("gamma", 50.0);
+  options.svm.c = args.flag_double("c", 1000.0);
+
+  const core::FlowNatureModel model = core::train_model(corpus, options);
+  std::ofstream out(args.positional[1]);
+  if (!out) {
+    std::cerr << "cannot write " << args.positional[1] << '\n';
+    return 1;
+  }
+  model.save(out);
+  std::cout << "trained " << core::backend_name(model.backend())
+            << " (method " << core::training_method_name(options.method)
+            << ", b=" << options.buffer_size << ") -> " << args.positional[1]
+            << " (" << model.model_space_bytes() << " model bytes)\n";
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::cerr << "cannot read model " << args.positional[0] << '\n';
+    return 1;
+  }
+  core::FlowNatureModel model = core::FlowNatureModel::load(in);
+
+  util::Table table({"file", "size", "nature", "h-vector"});
+  for (std::size_t i = 1; i < args.positional.size(); ++i) {
+    const auto bytes = datagen::read_file(args.positional[i], 65536);
+    // Classify the same window size the model was trained on.
+    const std::size_t window =
+        model.training_buffer_size() == 0
+            ? bytes.size()
+            : std::min(model.training_buffer_size(), bytes.size());
+    const core::Classification result = model.classify(
+        std::span<const std::uint8_t>(bytes.data(), window));
+    std::string h;
+    for (const double v : result.features) {
+      if (!h.empty()) h += ' ';
+      h += util::fmt(v, 3);
+    }
+    table.add_row({args.positional[i],
+                   util::fmt_bytes(static_cast<double>(bytes.size())),
+                   datagen::class_name(result.label), h});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_gen_trace(const Args& args) {
+  if (args.positional.empty()) return usage();
+  net::TraceOptions options;
+  options.target_packets =
+      static_cast<std::size_t>(args.flag_int("packets", 100000));
+  options.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));
+  options.duration_seconds = args.flag_double("duration", 10.0);
+  const net::Trace trace = net::generate_trace(options);
+  std::ofstream out(args.positional[0], std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot write " << args.positional[0] << '\n';
+    return 1;
+  }
+  net::PcapWriter writer(out);
+  for (const net::Packet& packet : trace.packets) writer.write(packet);
+  std::cout << "wrote " << writer.packets_written() << " packets ("
+            << trace.truth.size() << " flows, "
+            << util::fmt(trace.duration_seconds, 1) << "s) to "
+            << args.positional[0] << '\n';
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream model_in(args.positional[0]);
+  if (!model_in) {
+    std::cerr << "cannot read model " << args.positional[0] << '\n';
+    return 1;
+  }
+  core::FlowNatureModel model = core::FlowNatureModel::load(model_in);
+
+  std::ifstream pcap_in(args.positional[1], std::ios::binary);
+  if (!pcap_in) {
+    std::cerr << "cannot read pcap " << args.positional[1] << '\n';
+    return 1;
+  }
+  core::EngineOptions engine_options;
+  engine_options.buffer_size =
+      static_cast<std::size_t>(args.flag_int("buffer", 32));
+  core::Iustitia engine(std::move(model), engine_options);
+  net::PcapReader reader(pcap_in);
+  while (auto packet = reader.next()) engine.on_packet(*packet);
+  engine.flush_all();
+
+  std::size_t per_class[3] = {};
+  for (const core::FlowDelayRecord& record : engine.delays()) {
+    ++per_class[static_cast<int>(record.label)];
+  }
+  std::cout << "packets: " << reader.packets_read()
+            << "  flows classified: " << engine.stats().flows_classified
+            << '\n';
+  util::Table table({"nature", "flows"});
+  static constexpr const char* kNames[3] = {"text", "binary", "encrypted"};
+  for (int c = 0; c < 3; ++c) {
+    table.add_row({kNames[c], std::to_string(per_class[c])});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse_args(argc, argv, 2);
+  try {
+    if (command == "gen-corpus") return cmd_gen_corpus(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "classify") return cmd_classify(args);
+    if (command == "gen-trace") return cmd_gen_trace(args);
+    if (command == "analyze") return cmd_analyze(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+  return usage();
+}
