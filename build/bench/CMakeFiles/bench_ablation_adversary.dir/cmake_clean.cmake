@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_adversary.dir/bench_ablation_adversary.cc.o"
+  "CMakeFiles/bench_ablation_adversary.dir/bench_ablation_adversary.cc.o.d"
+  "bench_ablation_adversary"
+  "bench_ablation_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

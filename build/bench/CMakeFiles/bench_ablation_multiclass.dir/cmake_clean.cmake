@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multiclass.dir/bench_ablation_multiclass.cc.o"
+  "CMakeFiles/bench_ablation_multiclass.dir/bench_ablation_multiclass.cc.o.d"
+  "bench_ablation_multiclass"
+  "bench_ablation_multiclass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multiclass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_purge.dir/bench_ablation_purge.cc.o"
+  "CMakeFiles/bench_ablation_purge.dir/bench_ablation_purge.cc.o.d"
+  "bench_ablation_purge"
+  "bench_ablation_purge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_purge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_jsd.dir/bench_fig3_jsd.cc.o"
+  "CMakeFiles/bench_fig3_jsd.dir/bench_fig3_jsd.cc.o.d"
+  "bench_fig3_jsd"
+  "bench_fig3_jsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_jsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

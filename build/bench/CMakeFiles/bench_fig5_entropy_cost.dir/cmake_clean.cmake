@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_entropy_cost.dir/bench_fig5_entropy_cost.cc.o"
+  "CMakeFiles/bench_fig5_entropy_cost.dir/bench_fig5_entropy_cost.cc.o.d"
+  "bench_fig5_entropy_cost"
+  "bench_fig5_entropy_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_entropy_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

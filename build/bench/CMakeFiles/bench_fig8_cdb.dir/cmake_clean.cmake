@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_cdb.dir/bench_fig8_cdb.cc.o"
+  "CMakeFiles/bench_fig8_cdb.dir/bench_fig8_cdb.cc.o.d"
+  "bench_fig8_cdb"
+  "bench_fig8_cdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

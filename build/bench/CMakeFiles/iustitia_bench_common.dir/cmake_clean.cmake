@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/iustitia_bench_common.dir/bench_common.cc.o.d"
+  "libiustitia_bench_common.a"
+  "libiustitia_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forensics_scan.dir/forensics_scan.cc.o"
+  "CMakeFiles/forensics_scan.dir/forensics_scan.cc.o.d"
+  "forensics_scan"
+  "forensics_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forensics_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ids_prefilter.dir/ids_prefilter.cc.o"
+  "CMakeFiles/ids_prefilter.dir/ids_prefilter.cc.o.d"
+  "ids_prefilter"
+  "ids_prefilter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ids_prefilter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

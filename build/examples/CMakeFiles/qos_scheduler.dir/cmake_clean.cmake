@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qos_scheduler.dir/qos_scheduler.cc.o"
+  "CMakeFiles/qos_scheduler.dir/qos_scheduler.cc.o.d"
+  "qos_scheduler"
+  "qos_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qos_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tunnel_gateway.dir/tunnel_gateway.cc.o"
+  "CMakeFiles/tunnel_gateway.dir/tunnel_gateway.cc.o.d"
+  "tunnel_gateway"
+  "tunnel_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tunnel_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_appproto.dir/header_gen.cc.o"
+  "CMakeFiles/iustitia_appproto.dir/header_gen.cc.o.d"
+  "CMakeFiles/iustitia_appproto.dir/header_stripper.cc.o"
+  "CMakeFiles/iustitia_appproto.dir/header_stripper.cc.o.d"
+  "libiustitia_appproto.a"
+  "libiustitia_appproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_appproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cdb.cc" "src/core/CMakeFiles/iustitia_core.dir/cdb.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/cdb.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/iustitia_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/feature_extractor.cc" "src/core/CMakeFiles/iustitia_core.dir/feature_extractor.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/feature_extractor.cc.o.d"
+  "/root/repo/src/core/flow_model.cc" "src/core/CMakeFiles/iustitia_core.dir/flow_model.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/flow_model.cc.o.d"
+  "/root/repo/src/core/output_queues.cc" "src/core/CMakeFiles/iustitia_core.dir/output_queues.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/output_queues.cc.o.d"
+  "/root/repo/src/core/sharded_engine.cc" "src/core/CMakeFiles/iustitia_core.dir/sharded_engine.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/sharded_engine.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/iustitia_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/iustitia_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/iustitia_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/iustitia_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/iustitia_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iustitia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/appproto/CMakeFiles/iustitia_appproto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

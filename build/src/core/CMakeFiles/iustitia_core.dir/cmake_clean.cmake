@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_core.dir/cdb.cc.o"
+  "CMakeFiles/iustitia_core.dir/cdb.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/engine.cc.o"
+  "CMakeFiles/iustitia_core.dir/engine.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/feature_extractor.cc.o"
+  "CMakeFiles/iustitia_core.dir/feature_extractor.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/flow_model.cc.o"
+  "CMakeFiles/iustitia_core.dir/flow_model.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/output_queues.cc.o"
+  "CMakeFiles/iustitia_core.dir/output_queues.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/sharded_engine.cc.o"
+  "CMakeFiles/iustitia_core.dir/sharded_engine.cc.o.d"
+  "CMakeFiles/iustitia_core.dir/trainer.cc.o"
+  "CMakeFiles/iustitia_core.dir/trainer.cc.o.d"
+  "libiustitia_core.a"
+  "libiustitia_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/binary_gen.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/binary_gen.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/binary_gen.cc.o.d"
+  "/root/repo/src/datagen/chacha20.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/chacha20.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/chacha20.cc.o.d"
+  "/root/repo/src/datagen/corpus.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/corpus.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/corpus.cc.o.d"
+  "/root/repo/src/datagen/corpus_io.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/corpus_io.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/corpus_io.cc.o.d"
+  "/root/repo/src/datagen/lz77.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/lz77.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/lz77.cc.o.d"
+  "/root/repo/src/datagen/markov_text.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/markov_text.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/markov_text.cc.o.d"
+  "/root/repo/src/datagen/text_gen.cc" "src/datagen/CMakeFiles/iustitia_datagen.dir/text_gen.cc.o" "gcc" "src/datagen/CMakeFiles/iustitia_datagen.dir/text_gen.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

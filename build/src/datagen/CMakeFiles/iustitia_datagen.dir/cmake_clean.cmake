@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_datagen.dir/binary_gen.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/binary_gen.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/chacha20.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/chacha20.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/corpus.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/corpus_io.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/corpus_io.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/lz77.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/lz77.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/markov_text.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/markov_text.cc.o.d"
+  "CMakeFiles/iustitia_datagen.dir/text_gen.cc.o"
+  "CMakeFiles/iustitia_datagen.dir/text_gen.cc.o.d"
+  "libiustitia_datagen.a"
+  "libiustitia_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dpi/aho_corasick.cc" "src/dpi/CMakeFiles/iustitia_dpi.dir/aho_corasick.cc.o" "gcc" "src/dpi/CMakeFiles/iustitia_dpi.dir/aho_corasick.cc.o.d"
+  "/root/repo/src/dpi/signature_set.cc" "src/dpi/CMakeFiles/iustitia_dpi.dir/signature_set.cc.o" "gcc" "src/dpi/CMakeFiles/iustitia_dpi.dir/signature_set.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/iustitia_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

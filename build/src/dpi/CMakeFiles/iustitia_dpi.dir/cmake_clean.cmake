@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_dpi.dir/aho_corasick.cc.o"
+  "CMakeFiles/iustitia_dpi.dir/aho_corasick.cc.o.d"
+  "CMakeFiles/iustitia_dpi.dir/signature_set.cc.o"
+  "CMakeFiles/iustitia_dpi.dir/signature_set.cc.o.d"
+  "libiustitia_dpi.a"
+  "libiustitia_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/entropy/divergence.cc" "src/entropy/CMakeFiles/iustitia_entropy.dir/divergence.cc.o" "gcc" "src/entropy/CMakeFiles/iustitia_entropy.dir/divergence.cc.o.d"
+  "/root/repo/src/entropy/entropy_vector.cc" "src/entropy/CMakeFiles/iustitia_entropy.dir/entropy_vector.cc.o" "gcc" "src/entropy/CMakeFiles/iustitia_entropy.dir/entropy_vector.cc.o.d"
+  "/root/repo/src/entropy/estimator.cc" "src/entropy/CMakeFiles/iustitia_entropy.dir/estimator.cc.o" "gcc" "src/entropy/CMakeFiles/iustitia_entropy.dir/estimator.cc.o.d"
+  "/root/repo/src/entropy/gram_counter.cc" "src/entropy/CMakeFiles/iustitia_entropy.dir/gram_counter.cc.o" "gcc" "src/entropy/CMakeFiles/iustitia_entropy.dir/gram_counter.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_entropy.dir/divergence.cc.o"
+  "CMakeFiles/iustitia_entropy.dir/divergence.cc.o.d"
+  "CMakeFiles/iustitia_entropy.dir/entropy_vector.cc.o"
+  "CMakeFiles/iustitia_entropy.dir/entropy_vector.cc.o.d"
+  "CMakeFiles/iustitia_entropy.dir/estimator.cc.o"
+  "CMakeFiles/iustitia_entropy.dir/estimator.cc.o.d"
+  "CMakeFiles/iustitia_entropy.dir/gram_counter.cc.o"
+  "CMakeFiles/iustitia_entropy.dir/gram_counter.cc.o.d"
+  "libiustitia_entropy.a"
+  "libiustitia_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

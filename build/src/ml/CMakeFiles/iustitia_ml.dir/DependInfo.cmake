@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cart.cc" "src/ml/CMakeFiles/iustitia_ml.dir/cart.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/cart.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/iustitia_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/iustitia_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/feature_selection.cc" "src/ml/CMakeFiles/iustitia_ml.dir/feature_selection.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/feature_selection.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/iustitia_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/model_selection.cc" "src/ml/CMakeFiles/iustitia_ml.dir/model_selection.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/model_selection.cc.o.d"
+  "/root/repo/src/ml/scaler.cc" "src/ml/CMakeFiles/iustitia_ml.dir/scaler.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/scaler.cc.o.d"
+  "/root/repo/src/ml/serialize.cc" "src/ml/CMakeFiles/iustitia_ml.dir/serialize.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/serialize.cc.o.d"
+  "/root/repo/src/ml/svm.cc" "src/ml/CMakeFiles/iustitia_ml.dir/svm.cc.o" "gcc" "src/ml/CMakeFiles/iustitia_ml.dir/svm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

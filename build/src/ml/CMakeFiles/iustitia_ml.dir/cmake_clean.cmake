@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_ml.dir/cart.cc.o"
+  "CMakeFiles/iustitia_ml.dir/cart.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/iustitia_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/dataset.cc.o"
+  "CMakeFiles/iustitia_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/feature_selection.cc.o"
+  "CMakeFiles/iustitia_ml.dir/feature_selection.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/metrics.cc.o"
+  "CMakeFiles/iustitia_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/model_selection.cc.o"
+  "CMakeFiles/iustitia_ml.dir/model_selection.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/scaler.cc.o"
+  "CMakeFiles/iustitia_ml.dir/scaler.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/serialize.cc.o"
+  "CMakeFiles/iustitia_ml.dir/serialize.cc.o.d"
+  "CMakeFiles/iustitia_ml.dir/svm.cc.o"
+  "CMakeFiles/iustitia_ml.dir/svm.cc.o.d"
+  "libiustitia_ml.a"
+  "libiustitia_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

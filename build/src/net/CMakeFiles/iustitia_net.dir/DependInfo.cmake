@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/flow.cc" "src/net/CMakeFiles/iustitia_net.dir/flow.cc.o" "gcc" "src/net/CMakeFiles/iustitia_net.dir/flow.cc.o.d"
+  "/root/repo/src/net/flow_table.cc" "src/net/CMakeFiles/iustitia_net.dir/flow_table.cc.o" "gcc" "src/net/CMakeFiles/iustitia_net.dir/flow_table.cc.o.d"
+  "/root/repo/src/net/pcap.cc" "src/net/CMakeFiles/iustitia_net.dir/pcap.cc.o" "gcc" "src/net/CMakeFiles/iustitia_net.dir/pcap.cc.o.d"
+  "/root/repo/src/net/trace_gen.cc" "src/net/CMakeFiles/iustitia_net.dir/trace_gen.cc.o" "gcc" "src/net/CMakeFiles/iustitia_net.dir/trace_gen.cc.o.d"
+  "/root/repo/src/net/tunnel.cc" "src/net/CMakeFiles/iustitia_net.dir/tunnel.cc.o" "gcc" "src/net/CMakeFiles/iustitia_net.dir/tunnel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/iustitia_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/appproto/CMakeFiles/iustitia_appproto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_net.dir/flow.cc.o"
+  "CMakeFiles/iustitia_net.dir/flow.cc.o.d"
+  "CMakeFiles/iustitia_net.dir/flow_table.cc.o"
+  "CMakeFiles/iustitia_net.dir/flow_table.cc.o.d"
+  "CMakeFiles/iustitia_net.dir/pcap.cc.o"
+  "CMakeFiles/iustitia_net.dir/pcap.cc.o.d"
+  "CMakeFiles/iustitia_net.dir/trace_gen.cc.o"
+  "CMakeFiles/iustitia_net.dir/trace_gen.cc.o.d"
+  "CMakeFiles/iustitia_net.dir/tunnel.cc.o"
+  "CMakeFiles/iustitia_net.dir/tunnel.cc.o.d"
+  "libiustitia_net.a"
+  "libiustitia_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_util.dir/logging.cc.o"
+  "CMakeFiles/iustitia_util.dir/logging.cc.o.d"
+  "CMakeFiles/iustitia_util.dir/random.cc.o"
+  "CMakeFiles/iustitia_util.dir/random.cc.o.d"
+  "CMakeFiles/iustitia_util.dir/sha1.cc.o"
+  "CMakeFiles/iustitia_util.dir/sha1.cc.o.d"
+  "CMakeFiles/iustitia_util.dir/stats.cc.o"
+  "CMakeFiles/iustitia_util.dir/stats.cc.o.d"
+  "CMakeFiles/iustitia_util.dir/table.cc.o"
+  "CMakeFiles/iustitia_util.dir/table.cc.o.d"
+  "libiustitia_util.a"
+  "libiustitia_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

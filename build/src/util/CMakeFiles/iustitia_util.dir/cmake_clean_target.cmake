@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libiustitia_util.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_appproto.dir/test_appproto.cc.o"
+  "CMakeFiles/test_appproto.dir/test_appproto.cc.o.d"
+  "test_appproto"
+  "test_appproto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_appproto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

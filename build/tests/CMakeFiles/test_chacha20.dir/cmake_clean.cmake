@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chacha20.dir/test_chacha20.cc.o"
+  "CMakeFiles/test_chacha20.dir/test_chacha20.cc.o.d"
+  "test_chacha20"
+  "test_chacha20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chacha20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

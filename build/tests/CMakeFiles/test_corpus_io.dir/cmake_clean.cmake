@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_corpus_io.dir/test_corpus_io.cc.o"
+  "CMakeFiles/test_corpus_io.dir/test_corpus_io.cc.o.d"
+  "test_corpus_io"
+  "test_corpus_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_corpus_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cross_validation.cc" "tests/CMakeFiles/test_cross_validation.dir/test_cross_validation.cc.o" "gcc" "tests/CMakeFiles/test_cross_validation.dir/test_cross_validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/iustitia_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/iustitia_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/appproto/CMakeFiles/iustitia_appproto.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/iustitia_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/iustitia_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/entropy/CMakeFiles/iustitia_entropy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/iustitia_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dpi/CMakeFiles/iustitia_dpi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_divergence.dir/test_divergence.cc.o"
+  "CMakeFiles/test_divergence.dir/test_divergence.cc.o.d"
+  "test_divergence"
+  "test_divergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_divergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

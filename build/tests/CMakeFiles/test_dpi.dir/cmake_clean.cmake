@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dpi.dir/test_dpi.cc.o"
+  "CMakeFiles/test_dpi.dir/test_dpi.cc.o.d"
+  "test_dpi"
+  "test_dpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_entropy.dir/test_entropy.cc.o"
+  "CMakeFiles/test_entropy.dir/test_entropy.cc.o.d"
+  "test_entropy"
+  "test_entropy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_extractor.dir/test_feature_extractor.cc.o"
+  "CMakeFiles/test_feature_extractor.dir/test_feature_extractor.cc.o.d"
+  "test_feature_extractor"
+  "test_feature_extractor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_extractor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gram_counter.dir/test_gram_counter.cc.o"
+  "CMakeFiles/test_gram_counter.dir/test_gram_counter.cc.o.d"
+  "test_gram_counter"
+  "test_gram_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gram_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

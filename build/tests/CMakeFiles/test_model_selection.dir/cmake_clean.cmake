@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_selection.dir/test_model_selection.cc.o"
+  "CMakeFiles/test_model_selection.dir/test_model_selection.cc.o.d"
+  "test_model_selection"
+  "test_model_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_queues.dir/test_output_queues.cc.o"
+  "CMakeFiles/test_output_queues.dir/test_output_queues.cc.o.d"
+  "test_output_queues"
+  "test_output_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sharded_engine.dir/test_sharded_engine.cc.o"
+  "CMakeFiles/test_sharded_engine.dir/test_sharded_engine.cc.o.d"
+  "test_sharded_engine"
+  "test_sharded_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sharded_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

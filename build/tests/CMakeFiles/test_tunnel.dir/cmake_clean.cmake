@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tunnel.dir/test_tunnel.cc.o"
+  "CMakeFiles/test_tunnel.dir/test_tunnel.cc.o.d"
+  "test_tunnel"
+  "test_tunnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tunnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

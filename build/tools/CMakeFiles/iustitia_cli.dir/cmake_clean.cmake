@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iustitia_cli.dir/iustitia_cli.cc.o"
+  "CMakeFiles/iustitia_cli.dir/iustitia_cli.cc.o.d"
+  "iustitia"
+  "iustitia.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iustitia_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
