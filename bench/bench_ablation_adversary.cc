@@ -22,6 +22,11 @@
 #include "core/engine.h"
 #include "util/random.h"
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

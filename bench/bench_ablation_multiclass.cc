@@ -6,6 +6,7 @@
 // the *same* trained pairwise machines, so accuracy should be essentially
 // identical while DAGSVM predicts faster.
 #include <cmath>
+#include <iostream>
 
 #include "bench/bench_common.h"
 #include "ml/scaler.h"

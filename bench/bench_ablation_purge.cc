@@ -10,6 +10,11 @@
 #include "core/engine.h"
 #include "net/trace_gen.h"
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
 namespace iustitia::bench {
 namespace {
 

@@ -12,6 +12,11 @@
 #include "net/trace_gen.h"
 #include "util/stats.h"
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

@@ -2,6 +2,8 @@
 // three file classes.  The paper's scatter shows text lowest, encrypted
 // highest, binary in between, with partial overlap.
 #include <array>
+#include <iostream>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "util/stats.h"

@@ -9,6 +9,10 @@
 #include "entropy/divergence.h"
 #include "util/stats.h"
 
+#include <algorithm>
+#include <iostream>
+#include <span>
+
 namespace iustitia::bench {
 namespace {
 

@@ -9,6 +9,12 @@
 // for tiny buffers.
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

@@ -9,6 +9,11 @@
 // table is printed afterwards from the counter accounting.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "util/random.h"
 

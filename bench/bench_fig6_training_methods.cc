@@ -11,6 +11,12 @@
 #include "bench/bench_common.h"
 #include "datagen/text_gen.h"
 
+#include <algorithm>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

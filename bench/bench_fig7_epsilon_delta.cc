@@ -8,6 +8,11 @@
 // encrypted/text classes tolerate estimation better than binary.
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <iostream>
+#include <span>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

@@ -10,6 +10,10 @@
 #include "core/engine.h"
 #include "net/trace_gen.h"
 
+#include <iostream>
+#include <string>
+#include <unordered_map>
+
 namespace iustitia::bench {
 namespace {
 

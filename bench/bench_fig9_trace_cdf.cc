@@ -9,6 +9,10 @@
 #include "net/trace_gen.h"
 #include "util/stats.h"
 
+#include <iostream>
+#include <unordered_map>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

@@ -8,6 +8,8 @@
 // encrypted class.
 #include "bench/bench_common.h"
 
+#include <iostream>
+
 namespace iustitia::bench {
 namespace {
 

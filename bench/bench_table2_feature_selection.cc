@@ -5,6 +5,9 @@
 // and width-preferred sets.  Paper shape: accuracy changes only slightly
 // (within ~1%) after feature selection.
 #include <algorithm>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "ml/feature_selection.h"

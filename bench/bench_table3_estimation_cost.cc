@@ -9,6 +9,11 @@
 #include "bench/bench_common.h"
 #include "util/timer.h"
 
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
 namespace iustitia::bench {
 namespace {
 

@@ -6,8 +6,13 @@
 // bench measures the replay rate of the full pipeline (hash + CDB +
 // buffering + entropy + CART) and how it scales when flows are sharded
 // across cores — the standard RSS deployment pattern.
+#include <algorithm>
 #include <atomic>
+#include <functional>
+#include <iostream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "core/sharded_engine.h"

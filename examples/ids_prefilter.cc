@@ -9,6 +9,7 @@
 //
 // Run:  ./ids_prefilter
 #include <iostream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/trainer.h"

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/trainer.h"

@@ -9,7 +9,9 @@
 // baseline.
 //
 // Run:  ./qos_scheduler
+#include <deque>
 #include <iostream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/output_queues.h"

@@ -9,6 +9,7 @@
 // Run:  ./quickstart
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/trainer.h"
 #include "datagen/corpus.h"

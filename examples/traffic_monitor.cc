@@ -6,6 +6,7 @@
 //
 // Run:  ./traffic_monitor
 #include <iostream>
+#include <string>
 
 #include "core/engine.h"
 #include "core/trainer.h"

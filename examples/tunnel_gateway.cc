@@ -6,7 +6,11 @@
 // classified as one encrypted flow — exactly the rule the paper states.
 //
 // Run:  ./tunnel_gateway
+#include <algorithm>
 #include <iostream>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "core/trainer.h"
 #include "net/tunnel.h"

@@ -1,12 +1,21 @@
 #include "core/cdb.h"
 
+#include "util/check.h"
+
 namespace iustitia::core {
 
 ClassificationDatabase::ClassificationDatabase(const CdbOptions& options)
-    : options_(options) {}
+    : options_(options) {
+  CHECK_GT(options_.inactivity_coefficient, 0.0)
+      << "CDB inactivity rule needs a positive n";
+  CHECK_GT(options_.default_lambda, 0.0)
+      << "single-packet flows need a positive default lambda'";
+  CHECK_GE(options_.reclassify_after_seconds, 0.0);
+}
 
 std::optional<datagen::FileClass> ClassificationDatabase::lookup(
     const net::FlowId& id, double now) {
+  util::MutexLock lock(mu_);
   ++stats_.lookups;
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
@@ -20,6 +29,7 @@ std::optional<datagen::FileClass> ClassificationDatabase::lookup(
 
 std::optional<datagen::FileClass> ClassificationDatabase::peek(
     const net::FlowId& id) const {
+  util::MutexLock lock(mu_);
   const auto it = records_.find(id);
   if (it == records_.end()) return std::nullopt;
   return it->second.label;
@@ -33,6 +43,7 @@ void ClassificationDatabase::insert(const net::FlowId& id,
   record.created_at = now;
   record.lambda = options_.default_lambda;
   record.has_lambda = false;
+  util::MutexLock lock(mu_);
   records_[id] = record;
   ++stats_.inserts;
   ++inserts_since_purge_;
@@ -40,19 +51,27 @@ void ClassificationDatabase::insert(const net::FlowId& id,
 
 void ClassificationDatabase::remove_on_close(const net::FlowId& id) {
   if (!options_.fin_rst_removal_enabled) return;
+  util::MutexLock lock(mu_);
   if (records_.erase(id) > 0) ++stats_.fin_rst_removals;
 }
 
 void ClassificationDatabase::maybe_purge(double now) {
   if (!options_.inactivity_purge_enabled) return;
+  util::MutexLock lock(mu_);
   if (inserts_since_purge_ < options_.purge_trigger_flows) return;
-  purge(now);
+  purge_locked(now);
   inserts_since_purge_ = 0;
 }
 
 std::size_t ClassificationDatabase::purge(double now) {
+  util::MutexLock lock(mu_);
+  return purge_locked(now);
+}
+
+std::size_t ClassificationDatabase::purge_locked(double now) {
   if (!options_.inactivity_purge_enabled) return 0;
   ++stats_.purge_runs;
+  const std::size_t size_before = records_.size();
   std::size_t inactive = 0;
   std::size_t stale = 0;
   for (auto it = records_.begin(); it != records_.end();) {
@@ -74,7 +93,19 @@ std::size_t ClassificationDatabase::purge(double now) {
   }
   stats_.inactivity_removals += inactive;
   stats_.reclassification_removals += stale;
+  DCHECK_EQ(size_before, records_.size() + inactive + stale)
+      << "purge must account for every removed record";
   return inactive + stale;
+}
+
+std::size_t ClassificationDatabase::size() const {
+  util::MutexLock lock(mu_);
+  return records_.size();
+}
+
+CdbStats ClassificationDatabase::stats() const {
+  util::MutexLock lock(mu_);
+  return stats_;
 }
 
 }  // namespace iustitia::core

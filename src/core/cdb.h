@@ -7,6 +7,10 @@
 // ways: explicit FIN/RST removal, the inactivity rule
 // t_now - t_last > n * lambda', and never (when purging is disabled, the
 // Fig. 8 baseline).
+//
+// Thread safety: fully synchronized behind one annotated mutex, so a CDB
+// may be shared across shards or polled (size/stats) while an owner thread
+// classifies.  Per-shard CDBs in the usual deployment see zero contention.
 #ifndef IUSTITIA_CORE_CDB_H_
 #define IUSTITIA_CORE_CDB_H_
 
@@ -17,6 +21,7 @@
 #include "core/config.h"
 #include "datagen/corpus.h"
 #include "net/flow.h"
+#include "util/thread_annotations.h"
 
 namespace iustitia::core {
 
@@ -33,6 +38,8 @@ struct CdbStats {
 
 class ClassificationDatabase {
  public:
+  // CHECK-validates the options: inactivity_coefficient and default_lambda
+  // must be positive, reclassify_after_seconds non-negative.
   explicit ClassificationDatabase(const CdbOptions& options = {});
 
   // Looks up a flow; on a hit refreshes t_last and lambda'.
@@ -54,12 +61,13 @@ class ClassificationDatabase {
   // Unconditional inactivity purge; returns records removed.
   std::size_t purge(double now);
 
-  std::size_t size() const noexcept { return records_.size(); }
+  std::size_t size() const;
 
   // Memory footprint using the paper's 194-bit record accounting.
-  std::uint64_t memory_bits() const noexcept { return size() * 194; }
+  std::uint64_t memory_bits() const { return size() * 194; }
 
-  const CdbStats& stats() const noexcept { return stats_; }
+  // Snapshot of the lifetime counters (copied under the lock).
+  CdbStats stats() const;
   const CdbOptions& options() const noexcept { return options_; }
 
  private:
@@ -71,10 +79,13 @@ class ClassificationDatabase {
     bool has_lambda = false;
   };
 
-  CdbOptions options_;
-  std::unordered_map<net::FlowId, Record> records_;
-  std::size_t inserts_since_purge_ = 0;
-  CdbStats stats_;
+  std::size_t purge_locked(double now) IUSTITIA_REQUIRES(mu_);
+
+  const CdbOptions options_;  // immutable after construction
+  mutable util::Mutex mu_;
+  std::unordered_map<net::FlowId, Record> records_ IUSTITIA_GUARDED_BY(mu_);
+  std::size_t inserts_since_purge_ IUSTITIA_GUARDED_BY(mu_) = 0;
+  CdbStats stats_ IUSTITIA_GUARDED_BY(mu_);
 };
 
 }  // namespace iustitia::core

@@ -1,8 +1,11 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <optional>
+#include <span>
 
 #include "appproto/header_stripper.h"
+#include "util/check.h"
 #include "util/timer.h"
 
 namespace iustitia::core {
@@ -19,7 +22,11 @@ Iustitia::Iustitia(FlowNatureModel model, const EngineOptions& options)
     : model_(std::move(model)),
       options_(options),
       cdb_(options.cdb),
-      rng_(options.seed) {}
+      rng_(options.seed) {
+  CHECK_GT(options_.buffer_size, std::size_t{0})
+      << "engine needs at least one buffered byte to classify on";
+  CHECK_GT(options_.buffer_timeout_seconds, 0.0);
+}
 
 bool Iustitia::resolve_skip(PendingFlow& flow) {
   if (flow.skip_resolved) return true;
@@ -69,6 +76,7 @@ PacketAction Iustitia::on_packet(const net::Packet& packet) {
   const double cdb_micros = cdb_timer.elapsed_micros();
 
   if (known.has_value()) {
+    DCHECK_LT(static_cast<std::size_t>(*known), stats_.queue_packets.size());
     ++stats_.queue_packets[static_cast<std::size_t>(*known)];
     if (packet.flags.fin || packet.flags.rst) {
       cdb_.remove_on_close(id);
@@ -130,6 +138,8 @@ void Iustitia::classify_flow(const net::FlowKey& key, PendingFlow& flow,
   const std::size_t available =
       flow.raw.size() > flow.skip ? flow.raw.size() - flow.skip : 0;
   const std::size_t take = std::min(available, options_.buffer_size);
+  DCHECK_LE(flow.skip + take, flow.raw.size())
+      << "classification window must stay inside the buffered bytes";
   const std::span<const std::uint8_t> window(flow.raw.data() + flow.skip,
                                              take);
   Classification result = model_.classify(window);
@@ -151,6 +161,8 @@ void Iustitia::classify_flow(const net::FlowKey& key, PendingFlow& flow,
 
   ++stats_.flows_classified;
   if (timed_out) ++stats_.flows_timed_out;
+  DCHECK_LT(static_cast<std::size_t>(result.label),
+            stats_.queue_packets.size());
   ++stats_.queue_packets[static_cast<std::size_t>(result.label)];
 }
 

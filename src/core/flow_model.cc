@@ -3,6 +3,7 @@
 #include <istream>
 #include <ostream>
 #include <stdexcept>
+#include <string>
 
 #include "ml/serialize.h"
 

@@ -1,45 +1,70 @@
 #include "core/output_queues.h"
 
+#include <utility>
+
+#include "util/check.h"
+
 namespace iustitia::core {
 
-bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
+std::size_t OutputQueues::index_of(datagen::FileClass label) {
   const auto index = static_cast<std::size_t>(label);
+  CHECK_LT(index, std::size_t{3}) << "unknown FileClass label";
+  return index;
+}
+
+bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
+  const std::size_t index = index_of(label);
+  util::MutexLock lock(mu_);
   if (capacity_ != 0 && queues_[index].size() >= capacity_) {
     ++dropped_[index];
     return false;
   }
   queues_[index].push_back(QueuedPacket{std::move(packet), label});
   ++enqueued_[index];
+  DCHECK(capacity_ == 0 || queues_[index].size() <= capacity_);
   return true;
 }
 
-std::optional<QueuedPacket> OutputQueues::dequeue(datagen::FileClass label) {
-  const auto index = static_cast<std::size_t>(label);
+std::optional<QueuedPacket> OutputQueues::dequeue_locked(
+    datagen::FileClass label) {
+  const std::size_t index = index_of(label);
   if (queues_[index].empty()) return std::nullopt;
   QueuedPacket out = std::move(queues_[index].front());
   queues_[index].pop_front();
   return out;
 }
 
+std::optional<QueuedPacket> OutputQueues::dequeue(datagen::FileClass label) {
+  util::MutexLock lock(mu_);
+  return dequeue_locked(label);
+}
+
 std::optional<QueuedPacket> OutputQueues::dequeue_priority(
     std::span<const datagen::FileClass> priority_order) {
+  util::MutexLock lock(mu_);
   for (const datagen::FileClass label : priority_order) {
-    auto packet = dequeue(label);
+    auto packet = dequeue_locked(label);
     if (packet.has_value()) return packet;
   }
   return std::nullopt;
 }
 
-std::size_t OutputQueues::depth(datagen::FileClass label) const noexcept {
-  return queues_[static_cast<std::size_t>(label)].size();
+std::size_t OutputQueues::depth(datagen::FileClass label) const {
+  const std::size_t index = index_of(label);
+  util::MutexLock lock(mu_);
+  return queues_[index].size();
 }
 
-std::uint64_t OutputQueues::enqueued(datagen::FileClass label) const noexcept {
-  return enqueued_[static_cast<std::size_t>(label)];
+std::uint64_t OutputQueues::enqueued(datagen::FileClass label) const {
+  const std::size_t index = index_of(label);
+  util::MutexLock lock(mu_);
+  return enqueued_[index];
 }
 
-std::uint64_t OutputQueues::dropped(datagen::FileClass label) const noexcept {
-  return dropped_[static_cast<std::size_t>(label)];
+std::uint64_t OutputQueues::dropped(datagen::FileClass label) const {
+  const std::size_t index = index_of(label);
+  util::MutexLock lock(mu_);
+  return dropped_[index];
 }
 
 }  // namespace iustitia::core

@@ -5,6 +5,11 @@
 // engine, logger) drains it.  Queues are bounded; a full queue drops, and
 // drop counters per class expose the back-pressure a prioritization
 // policy would act on.
+//
+// Thread safety: fully synchronized.  Shards may enqueue concurrently while
+// consumers drain — the natural deployment once ShardedIustitia fans flows
+// out across cores.  All state is guarded by one mutex (uncontended in the
+// single-threaded experiments, so the lock is noise there).
 #ifndef IUSTITIA_CORE_OUTPUT_QUEUES_H_
 #define IUSTITIA_CORE_OUTPUT_QUEUES_H_
 
@@ -12,9 +17,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <span>
 
 #include "datagen/corpus.h"
 #include "net/packet.h"
+#include "util/thread_annotations.h"
 
 namespace iustitia::core {
 
@@ -38,20 +45,28 @@ class OutputQueues {
 
   // Strict-priority dequeue across classes: highest-priority non-empty
   // queue first, in the order given (e.g. encrypted > binary > text for
-  // the paper's bank scenario).
+  // the paper's bank scenario).  The scan is atomic: no concurrently
+  // enqueued higher-priority packet can be missed mid-scan.
   std::optional<QueuedPacket> dequeue_priority(
       std::span<const datagen::FileClass> priority_order);
 
-  std::size_t depth(datagen::FileClass label) const noexcept;
-  std::uint64_t enqueued(datagen::FileClass label) const noexcept;
-  std::uint64_t dropped(datagen::FileClass label) const noexcept;
+  std::size_t depth(datagen::FileClass label) const;
+  std::uint64_t enqueued(datagen::FileClass label) const;
+  std::uint64_t dropped(datagen::FileClass label) const;
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
-  std::size_t capacity_;
-  std::array<std::deque<QueuedPacket>, 3> queues_;
-  std::array<std::uint64_t, 3> enqueued_{};
-  std::array<std::uint64_t, 3> dropped_{};
+  // Validated label -> queue index.
+  static std::size_t index_of(datagen::FileClass label);
+
+  std::optional<QueuedPacket> dequeue_locked(datagen::FileClass label)
+      IUSTITIA_REQUIRES(mu_);
+
+  const std::size_t capacity_;  // immutable after construction
+  mutable util::Mutex mu_;
+  std::array<std::deque<QueuedPacket>, 3> queues_ IUSTITIA_GUARDED_BY(mu_);
+  std::array<std::uint64_t, 3> enqueued_ IUSTITIA_GUARDED_BY(mu_){};
+  std::array<std::uint64_t, 3> dropped_ IUSTITIA_GUARDED_BY(mu_){};
 };
 
 }  // namespace iustitia::core

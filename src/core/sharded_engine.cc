@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace iustitia::core {
 
 ShardedIustitia::ShardedIustitia(
@@ -14,8 +16,9 @@ ShardedIustitia::ShardedIustitia(
   for (std::size_t i = 0; i < shards; ++i) {
     EngineOptions shard_options = options;
     shard_options.seed = options.seed + i;  // independent random-skip streams
-    shards_.push_back(
-        std::make_unique<Iustitia>(model_factory(), shard_options));
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<Iustitia>(model_factory(), shard_options);
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -25,13 +28,30 @@ std::size_t ShardedIustitia::shard_of(
 }
 
 PacketAction ShardedIustitia::on_packet(const net::Packet& packet) {
-  return shards_[shard_of(packet.key)]->on_packet(packet);
+  Shard& shard = *shards_[shard_of(packet.key)];
+  util::MutexLock lock(shard.mu);
+  return shard.engine->on_packet(packet);
+}
+
+// Single-owner escape hatch: the caller guarantees no concurrent access to
+// this shard, so the lock is deliberately skipped (and the analysis told so).
+Iustitia& ShardedIustitia::shard(std::size_t index)
+    IUSTITIA_NO_THREAD_SAFETY_ANALYSIS {
+  CHECK_LT(index, shards_.size());
+  return *shards_[index]->engine;
+}
+
+const Iustitia& ShardedIustitia::shard(std::size_t index) const
+    IUSTITIA_NO_THREAD_SAFETY_ANALYSIS {
+  CHECK_LT(index, shards_.size());
+  return *shards_[index]->engine;
 }
 
 EngineStats ShardedIustitia::total_stats() const {
   EngineStats total;
   for (const auto& shard : shards_) {
-    const EngineStats& s = shard->stats();
+    util::MutexLock lock(shard->mu);
+    const EngineStats& s = shard->engine->stats();
     total.packets += s.packets;
     total.data_packets += s.data_packets;
     total.flows_classified += s.flows_classified;
@@ -45,21 +65,28 @@ EngineStats ShardedIustitia::total_stats() const {
 
 std::size_t ShardedIustitia::total_cdb_size() const {
   std::size_t total = 0;
-  for (const auto& shard : shards_) total += shard->cdb().size();
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    total += shard->engine->cdb().size();
+  }
   return total;
 }
 
 std::size_t ShardedIustitia::total_flows_classified() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    total += shard->stats().flows_classified;
+    util::MutexLock lock(shard->mu);
+    total += shard->engine->stats().flows_classified;
   }
   return total;
 }
 
 std::size_t ShardedIustitia::flush_all() {
   std::size_t flushed = 0;
-  for (auto& shard : shards_) flushed += shard->flush_all();
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mu);
+    flushed += shard->engine->flush_all();
+  }
   return flushed;
 }
 

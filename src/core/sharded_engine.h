@@ -8,13 +8,23 @@
 // synchronization is needed.  ShardedIustitia packages that pattern:
 // shard_of() implements the steering function, and each shard is an
 // independent engine the caller may drive from its own thread.
+//
+// Thread safety: each shard is protected by its own annotated mutex, so
+// on_packet() and the aggregate accessors are safe from arbitrary threads.
+// With RSS-style steering (one thread per shard) the per-shard lock is
+// never contended and costs a few nanoseconds; callers without steering
+// can simply call on_packet() from any thread and let the hash route.
+// shard() bypasses the lock for single-owner access (setup, teardown,
+// experiments) — see the method comment.
 #ifndef IUSTITIA_CORE_SHARDED_ENGINE_H_
 #define IUSTITIA_CORE_SHARDED_ENGINE_H_
 
+#include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/engine.h"
+#include "util/thread_annotations.h"
 
 namespace iustitia::core {
 
@@ -30,14 +40,19 @@ class ShardedIustitia {
   // hash, mixing both directions independently like the paper's CDB).
   std::size_t shard_of(const net::FlowKey& key) const noexcept;
 
-  // Convenience single-threaded drive: routes to the owning shard.
+  // Routes to the owning shard under that shard's lock; callable from any
+  // thread concurrently.
   PacketAction on_packet(const net::Packet& packet);
 
   std::size_t shard_count() const noexcept { return shards_.size(); }
-  Iustitia& shard(std::size_t index) { return *shards_[index]; }
-  const Iustitia& shard(std::size_t index) const { return *shards_[index]; }
 
-  // Aggregated statistics across shards.
+  // Direct, unlocked shard access for a single-owner phase (configuration,
+  // per-thread RSS drive of exactly this shard, post-join inspection).
+  // The caller takes over the serialization the lock would provide.
+  Iustitia& shard(std::size_t index);
+  const Iustitia& shard(std::size_t index) const;
+
+  // Aggregated statistics across shards (each shard read under its lock).
   EngineStats total_stats() const;
   std::size_t total_cdb_size() const;
   std::size_t total_flows_classified() const;
@@ -46,7 +61,13 @@ class ShardedIustitia {
   std::size_t flush_all();
 
  private:
-  std::vector<std::unique_ptr<Iustitia>> shards_;
+  // One engine plus the lock that serializes cross-thread access to it.
+  struct Shard {
+    mutable util::Mutex mu;
+    std::unique_ptr<Iustitia> engine IUSTITIA_PT_GUARDED_BY(mu);
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace iustitia::core

@@ -1,5 +1,6 @@
 #include "datagen/binary_gen.h"
 
+#include <algorithm>
 #include <array>
 #include <string>
 

@@ -5,6 +5,7 @@
 #include "datagen/binary_gen.h"
 #include "datagen/chacha20.h"
 #include "datagen/text_gen.h"
+#include "util/check.h"
 
 namespace iustitia::datagen {
 
@@ -127,6 +128,10 @@ std::vector<FileSample> build_corpus(const CorpusOptions& options) {
   util::Rng rng(options.seed);
   std::vector<FileSample> corpus;
   corpus.reserve(options.files_per_class * kNumClasses);
+  // min_size == 0 would put log(0) = -inf into the log-uniform size draw
+  // and make every file zero-length; reject it up front.
+  CHECK_GT(options.min_size, std::size_t{0})
+      << "corpus files need a positive minimum size";
   const double log_min = std::log(static_cast<double>(options.min_size));
   const double log_max = std::log(static_cast<double>(
       options.max_size > options.min_size ? options.max_size

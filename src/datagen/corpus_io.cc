@@ -1,7 +1,9 @@
 #include "datagen/corpus_io.h"
 
 #include <fstream>
+#include <span>
 #include <stdexcept>
+#include <string>
 
 namespace iustitia::datagen {
 

@@ -9,6 +9,7 @@
 #define IUSTITIA_DATAGEN_CORPUS_IO_H_
 
 #include <filesystem>
+#include <span>
 #include <vector>
 
 #include "datagen/corpus.h"

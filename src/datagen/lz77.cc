@@ -1,5 +1,6 @@
 #include "datagen/lz77.h"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 #include <stdexcept>

@@ -3,7 +3,21 @@
 #include <cmath>
 #include <limits>
 
+#include "util/check.h"
+
 namespace iustitia::entropy {
+
+namespace {
+
+// Probability mass of a distribution; a well-formed non-empty
+// GramDistribution sums to 1 (DCHECKed by the divergence entry points).
+double total_mass(const GramDistribution& p) {
+  double sum = 0.0;
+  for (const auto& [key, prob] : p) sum += prob;
+  return sum;
+}
+
+}  // namespace
 
 GramDistribution to_distribution(const GramCounter& counter) {
   GramDistribution dist;
@@ -12,6 +26,8 @@ GramDistribution to_distribution(const GramCounter& counter) {
   counter.for_each([&](GramKey key, std::uint64_t count) {
     dist[key] = static_cast<double>(count) / total;
   });
+  DCHECK_NEAR(total_mass(dist), 1.0, 1e-9)
+      << "gram distribution must be normalized";
   return dist;
 }
 
@@ -31,6 +47,8 @@ double distribution_entropy_bits(const GramDistribution& p) {
 }
 
 double kl_divergence(const GramDistribution& p, const GramDistribution& q) {
+  if (!p.empty()) DCHECK_NEAR(total_mass(p), 1.0, 1e-6);
+  if (!q.empty()) DCHECK_NEAR(total_mass(q), 1.0, 1e-6);
   double d = 0.0;
   for (const auto& [key, pi] : p) {
     if (pi <= 0.0) continue;
@@ -43,6 +61,8 @@ double kl_divergence(const GramDistribution& p, const GramDistribution& q) {
 }
 
 double js_divergence(const GramDistribution& p, const GramDistribution& q) {
+  if (!p.empty()) DCHECK_NEAR(total_mass(p), 1.0, 1e-6);
+  if (!q.empty()) DCHECK_NEAR(total_mass(q), 1.0, 1e-6);
   // Build M = (P + Q) / 2 over the union support.
   GramDistribution m = p;
   for (auto& [key, prob] : m) prob *= 0.5;

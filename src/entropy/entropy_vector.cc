@@ -3,11 +3,16 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/check.h"
+
 namespace iustitia::entropy {
 
 double normalized_entropy_from_sum(double sum_count_log_count,
                                    std::uint64_t total_grams,
                                    int width) noexcept {
+  DCHECK_GE(width, 1);
+  // Note: sum_count_log_count may drift slightly negative on the estimated
+  // path; the contract is to clamp the result into [0, 1], not to reject it.
   if (total_grams <= 1) return 0.0;
   const double m = static_cast<double>(total_grams);
   // Entropy in nats: ln(m) - S/m, then normalize by ln(|f_k|) = 8k * ln 2.
@@ -40,7 +45,10 @@ EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
   for (const int w : widths) {
     GramCounter counter(w);
     counter.add(data);
-    out.h.push_back(normalized_entropy(counter));
+    const double h = normalized_entropy(counter);
+    DCHECK_GE(h, 0.0) << "normalized entropy left [0, 1] for width " << w;
+    DCHECK_LE(h, 1.0) << "normalized entropy left [0, 1] for width " << w;
+    out.h.push_back(h);
     out.space_bytes += counter.space_bytes();
   }
   return out;
@@ -69,7 +77,10 @@ std::vector<double> StreamingEntropyVector::vector() const {
   std::vector<double> out;
   out.reserve(counters_.size());
   for (const auto& counter : counters_) {
-    out.push_back(normalized_entropy(counter));
+    const double h = normalized_entropy(counter);
+    DCHECK_GE(h, 0.0);
+    DCHECK_LE(h, 1.0);
+    out.push_back(h);
   }
   return out;
 }

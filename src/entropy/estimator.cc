@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/check.h"
+
 namespace iustitia::entropy {
 
 int estimator_group_count(double delta) noexcept {
@@ -45,6 +47,9 @@ double epsilon_lower_bound(double k_phi, std::size_t buffer_size, double alpha,
 double estimate_sum_count_log_count(std::span<const std::uint8_t> data,
                                     int width, int samples_per_group,
                                     int groups, util::Rng& rng) {
+  CHECK_GE(width, 1);
+  CHECK_GT(samples_per_group, 0);
+  CHECK_GT(groups, 0);
   const auto w = static_cast<std::size_t>(width);
   if (data.size() < w) return 0.0;
   const std::size_t gram_count = data.size() - w + 1;
@@ -66,6 +71,7 @@ double estimate_sum_count_log_count(std::span<const std::uint8_t> data,
         if (pack_gram(data.data() + i, width) == element) ++c;
       }
       // Unbiased estimator of S_k: m * (c ln c - (c-1) ln (c-1)).
+      DCHECK_GE(c, std::uint64_t{1}) << "sampled gram must count itself";
       const double cd = static_cast<double>(c);
       double x = cd * std::log(cd);
       if (c > 1) {
@@ -86,6 +92,12 @@ EntropyVectorResult estimate_entropy_vector(std::span<const std::uint8_t> data,
                                             std::span<const int> widths,
                                             const EstimatorParams& params,
                                             util::Rng& rng) {
+  // Domain of the (delta, epsilon)-approximation guarantee: relative error
+  // bound in (0, 1], failure probability in (0, 1).
+  CHECK_GT(params.epsilon, 0.0) << "estimator epsilon out of domain";
+  CHECK_LE(params.epsilon, 1.0) << "estimator epsilon out of domain";
+  CHECK_GT(params.delta, 0.0) << "estimator delta out of domain";
+  CHECK_LT(params.delta, 1.0) << "estimator delta out of domain";
   EntropyVectorResult out;
   out.h.reserve(widths.size());
   const int groups = estimator_group_count(params.delta);

@@ -39,6 +39,7 @@ void GramCounter::bump_sum(std::uint64_t old_count) noexcept {
   // S gains (c+1)ln(c+1) - c*ln(c) when a gram's count goes c -> c+1.
   const double c = static_cast<double>(old_count);
   const double c1 = c + 1.0;
+  // NOLINTNEXTLINE(log2-domain): c1 = c + 1 >= 1 by construction.
   sum_count_log_count_ += c1 * std::log(c1);
   if (old_count > 0) sum_count_log_count_ -= c * std::log(c);
 }

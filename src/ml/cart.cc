@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace iustitia::ml {
 
 namespace {
@@ -80,6 +82,9 @@ int DecisionTree::build_node(const Dataset& data,
   const auto k = static_cast<std::size_t>(num_classes_);
   std::vector<std::size_t> counts(k, 0);
   for (const std::size_t r : rows) {
+    DCHECK_LT(r, data.size());
+    DCHECK_LT(static_cast<std::size_t>(data[r].label), k)
+        << "sample label outside the dataset's class range";
     ++counts[static_cast<std::size_t>(data[r].label)];
   }
 
@@ -163,6 +168,12 @@ int DecisionTree::build_node(const Dataset& data,
 
   const int left = build_node(data, left_rows, depth + 1, params);
   const int right = build_node(data, right_rows, depth + 1, params);
+  // Children are appended after their parent, so the stored split indices
+  // must point strictly forward into the node vector.
+  DCHECK_GT(left, node_index);
+  DCHECK_GT(right, node_index);
+  DCHECK_LT(static_cast<std::size_t>(left), nodes_.size());
+  DCHECK_LT(static_cast<std::size_t>(right), nodes_.size());
   nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
   nodes_[static_cast<std::size_t>(node_index)].threshold = best_threshold;
   nodes_[static_cast<std::size_t>(node_index)].left = left;
@@ -174,10 +185,14 @@ int DecisionTree::predict(std::span<const double> features) const {
   if (nodes_.empty()) {
     throw std::logic_error("DecisionTree::predict: untrained model");
   }
+  CHECK_GE(features.size(), feature_count_)
+      << "feature vector narrower than the trained arity";
   std::size_t index = 0;
   for (;;) {
+    DCHECK_LT(index, nodes_.size()) << "split index escaped the node vector";
     const Node& node = nodes_[index];
     if (node.feature < 0) return node.label;
+    DCHECK_LT(static_cast<std::size_t>(node.feature), feature_count_);
     const double v = features[static_cast<std::size_t>(node.feature)];
     index = static_cast<std::size_t>(v <= node.threshold ? node.left
                                                          : node.right);

@@ -1,6 +1,7 @@
 #include "ml/cross_validation.h"
 
 #include <memory>
+#include <span>
 #include <stdexcept>
 
 #include "ml/scaler.h"

@@ -4,6 +4,7 @@
 #define IUSTITIA_ML_CROSS_VALIDATION_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "ml/cart.h"

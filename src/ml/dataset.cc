@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace iustitia::ml {
 
 void Dataset::add(std::vector<double> features, int label) {
@@ -34,6 +36,7 @@ std::vector<std::size_t> Dataset::class_counts() const {
 Dataset Dataset::subset(std::span<const std::size_t> indices) const {
   Dataset out(num_classes_);
   for (const std::size_t i : indices) {
+    CHECK_LT(i, samples_.size()) << "subset row index out of range";
     out.add(samples_[i].features, samples_[i].label);
   }
   return out;

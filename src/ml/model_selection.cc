@@ -1,5 +1,6 @@
 #include "ml/model_selection.h"
 
+#include <span>
 #include <stdexcept>
 
 #include "ml/cross_validation.h"

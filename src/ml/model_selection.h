@@ -5,6 +5,7 @@
 #ifndef IUSTITIA_ML_MODEL_SELECTION_H_
 #define IUSTITIA_ML_MODEL_SELECTION_H_
 
+#include <span>
 #include <vector>
 
 #include "ml/dataset.h"

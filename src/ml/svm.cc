@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.h"
+
 namespace iustitia::ml {
 
 double kernel_value(const SvmParams& params, std::span<const double> a,
@@ -275,6 +277,12 @@ void BinarySvm::train(const std::vector<std::vector<double>>& x,
 }
 
 double BinarySvm::decision(std::span<const double> features) const {
+  // kernel_value walks the support-vector length, so a narrower feature
+  // vector would read out of bounds.
+  if (!support_vectors_.empty()) {
+    CHECK_GE(features.size(), support_vectors_.front().size())
+        << "feature vector narrower than the trained arity";
+  }
   double acc = bias_;
   for (std::size_t i = 0; i < support_vectors_.size(); ++i) {
     acc += coefficients_[i] *
@@ -336,6 +344,9 @@ void DagSvm::train(const Dataset& data, const SvmParams& params) {
 }
 
 std::size_t DagSvm::machine_index(int i, int j) const {
+  DCHECK_GE(i, 0);
+  DCHECK_LT(i, j) << "pairwise machines are indexed with i < j";
+  DCHECK_LT(j, num_classes_);
   // Row-major upper triangle: index(i,j) for i<j.
   const auto n = static_cast<std::size_t>(num_classes_);
   const auto ii = static_cast<std::size_t>(i);
@@ -392,6 +403,9 @@ MaxWinsSvm MaxWinsSvm::from_dag(const DagSvm& dag) {
 }
 
 std::size_t MaxWinsSvm::machine_index(int i, int j) const {
+  DCHECK_GE(i, 0);
+  DCHECK_LT(i, j) << "pairwise machines are indexed with i < j";
+  DCHECK_LT(j, num_classes_);
   const auto n = static_cast<std::size_t>(num_classes_);
   const auto ii = static_cast<std::size_t>(i);
   const auto jj = static_cast<std::size_t>(j);

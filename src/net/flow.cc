@@ -1,5 +1,8 @@
 #include "net/flow.h"
 
+#include <array>
+#include <span>
+
 #include "util/hash.h"
 
 namespace iustitia::net {

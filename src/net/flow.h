@@ -4,6 +4,7 @@
 #ifndef IUSTITIA_NET_FLOW_H_
 #define IUSTITIA_NET_FLOW_H_
 
+#include <array>
 #include <cstddef>
 
 #include "net/packet.h"

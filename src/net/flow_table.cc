@@ -1,5 +1,7 @@
 #include "net/flow_table.h"
 
+#include <algorithm>
+
 namespace iustitia::net {
 
 void FlowTable::add(const Packet& packet) {

@@ -1,6 +1,7 @@
 #include "net/tunnel.h"
 
 #include <algorithm>
+#include <span>
 
 namespace iustitia::net {
 

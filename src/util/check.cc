@@ -1,0 +1,14 @@
+#include "util/check.h"
+
+#include "util/logging.h"
+
+namespace iustitia::util::internal {
+
+CheckFailure::CheckFailure(const char* file, int line, const char* message) {
+  // The trailing space separates the check text from any streamed context.
+  stream_ << file << ":" << line << ": " << message << " ";
+}
+
+CheckFailure::~CheckFailure() { log_fatal(stream_.str()); }
+
+}  // namespace iustitia::util::internal

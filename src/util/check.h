@@ -1,0 +1,162 @@
+// Fatal runtime invariant checks (CHECK) and debug-only checks (DCHECK).
+//
+// CHECK(cond) aborts the process through util/logging when `cond` is false;
+// it is always on, in every build type, and is the repo's replacement for
+// assert() (the linter rejects assert() in src/).  The macros stream extra
+// context like the logger does:
+//
+//   CHECK(shards > 0) << "ShardedIustitia needs at least one shard";
+//   CHECK_LT(index, shards_.size());
+//   CHECK_NEAR(prob_sum, 1.0, 1e-9) << "distribution not normalized";
+//
+// DCHECK and friends compile to nothing when IUSTITIA_DCHECK_IS_ON is 0
+// (operands are not evaluated), so they are safe on hot paths.  DCHECKs are
+// on when NDEBUG is unset or when the build defines IUSTITIA_DCHECK_ALWAYS_ON
+// (the default of the IUSTITIA_DCHECKS CMake option, so the standard
+// RelWithDebInfo build still exercises them; benchmarking configurations can
+// pass -DIUSTITIA_DCHECKS=OFF).
+#ifndef IUSTITIA_UTIL_CHECK_H_
+#define IUSTITIA_UTIL_CHECK_H_
+
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace iustitia::util {
+
+namespace internal {
+
+// Accumulates the failure message; the destructor reports it through
+// util/logging and aborts.  Only ever constructed on the failure path.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* message);
+  ~CheckFailure();  // [[noreturn]] in effect: ends in std::abort()
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed operands of compiled-out DCHECKs.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Builds "CHECK failed: <expr> (<lhs> vs <rhs>)" for a failed comparison;
+// returns nullptr on success so the macro below can test it.  Operands are
+// evaluated exactly once.
+#define IUSTITIA_DEFINE_CHECK_OP_IMPL(name, op)                             \
+  template <typename L, typename R>                                         \
+  std::unique_ptr<std::string> name(const L& lhs, const R& rhs,             \
+                                    const char* expr) {                     \
+    if (lhs op rhs) return nullptr;                                         \
+    std::ostringstream os;                                                  \
+    os << "CHECK failed: " << expr << " (" << lhs << " vs " << rhs << ")";  \
+    return std::make_unique<std::string>(os.str());                         \
+  }
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckEqImpl, ==)
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckNeImpl, !=)
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckLtImpl, <)
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckLeImpl, <=)
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckGtImpl, >)
+IUSTITIA_DEFINE_CHECK_OP_IMPL(CheckGeImpl, >=)
+#undef IUSTITIA_DEFINE_CHECK_OP_IMPL
+
+template <typename L, typename R, typename T>
+std::unique_ptr<std::string> CheckNearImpl(const L& lhs, const R& rhs,
+                                           const T& tolerance,
+                                           const char* expr) {
+  const double delta =
+      std::fabs(static_cast<double>(lhs) - static_cast<double>(rhs));
+  if (delta <= static_cast<double>(tolerance)) return nullptr;
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " (" << lhs << " vs " << rhs
+     << ", |delta| = " << delta << " > " << tolerance << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+}  // namespace internal
+
+// True when DCHECK-family macros are live in this translation unit.
+#if !defined(NDEBUG) || defined(IUSTITIA_DCHECK_ALWAYS_ON)
+#define IUSTITIA_DCHECK_IS_ON 1
+inline constexpr bool kDCheckEnabled = true;
+#else
+#define IUSTITIA_DCHECK_IS_ON 0
+inline constexpr bool kDCheckEnabled = false;
+#endif
+
+}  // namespace iustitia::util
+
+// The `while` form makes every macro a single statement that accepts a
+// trailing `<< message` chain; the failure object's destructor aborts, so
+// the loop body runs at most once.
+#define CHECK(condition)                                      \
+  while (!(condition))                                        \
+  ::iustitia::util::internal::CheckFailure(                   \
+      __FILE__, __LINE__, "CHECK failed: " #condition)        \
+      .stream()
+
+#define IUSTITIA_CHECK_OP(impl, lhs, rhs, expr)                         \
+  while (auto iustitia_check_result =                                   \
+             ::iustitia::util::internal::impl((lhs), (rhs), expr))      \
+  ::iustitia::util::internal::CheckFailure(                             \
+      __FILE__, __LINE__, iustitia_check_result->c_str())               \
+      .stream()
+
+#define CHECK_EQ(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckEqImpl, lhs, rhs, #lhs " == " #rhs)
+#define CHECK_NE(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckNeImpl, lhs, rhs, #lhs " != " #rhs)
+#define CHECK_LT(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckLtImpl, lhs, rhs, #lhs " < " #rhs)
+#define CHECK_LE(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckLeImpl, lhs, rhs, #lhs " <= " #rhs)
+#define CHECK_GT(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckGtImpl, lhs, rhs, #lhs " > " #rhs)
+#define CHECK_GE(lhs, rhs) \
+  IUSTITIA_CHECK_OP(CheckGeImpl, lhs, rhs, #lhs " >= " #rhs)
+
+#define CHECK_NEAR(lhs, rhs, tolerance)                                 \
+  while (auto iustitia_check_result =                                   \
+             ::iustitia::util::internal::CheckNearImpl(                 \
+                 (lhs), (rhs), (tolerance),                             \
+                 "|" #lhs " - " #rhs "| <= " #tolerance))               \
+  ::iustitia::util::internal::CheckFailure(                             \
+      __FILE__, __LINE__, iustitia_check_result->c_str())               \
+      .stream()
+
+#if IUSTITIA_DCHECK_IS_ON
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(lhs, rhs) CHECK_EQ(lhs, rhs)
+#define DCHECK_NE(lhs, rhs) CHECK_NE(lhs, rhs)
+#define DCHECK_LT(lhs, rhs) CHECK_LT(lhs, rhs)
+#define DCHECK_LE(lhs, rhs) CHECK_LE(lhs, rhs)
+#define DCHECK_GT(lhs, rhs) CHECK_GT(lhs, rhs)
+#define DCHECK_GE(lhs, rhs) CHECK_GE(lhs, rhs)
+#define DCHECK_NEAR(lhs, rhs, tolerance) CHECK_NEAR(lhs, rhs, tolerance)
+#else
+// Compiled out: operands are never evaluated, but stay visible to the
+// compiler so variables used only in DCHECKs do not become "unused".
+#define IUSTITIA_DCHECK_NOP(condition) \
+  while (false && (condition)) ::iustitia::util::internal::NullStream()
+#define DCHECK(condition) IUSTITIA_DCHECK_NOP(condition)
+#define DCHECK_EQ(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) == (rhs))
+#define DCHECK_NE(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) != (rhs))
+#define DCHECK_LT(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) < (rhs))
+#define DCHECK_LE(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) <= (rhs))
+#define DCHECK_GT(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) > (rhs))
+#define DCHECK_GE(lhs, rhs) IUSTITIA_DCHECK_NOP((lhs) >= (rhs))
+#define DCHECK_NEAR(lhs, rhs, tolerance) \
+  IUSTITIA_DCHECK_NOP((lhs) == (rhs) && (tolerance) == (tolerance))
+#endif
+
+#endif  // IUSTITIA_UTIL_CHECK_H_

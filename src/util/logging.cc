@@ -54,4 +54,11 @@ void log_line(LogLevel level, const std::string& message) {
                message.c_str());
 }
 
+void log_fatal(const std::string& message) {
+  // Never filtered: a failed CHECK must always reach stderr before abort.
+  std::fprintf(stderr, "[iustitia FATAL] %s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
 }  // namespace iustitia::util

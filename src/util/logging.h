@@ -22,6 +22,11 @@ void set_log_level(LogLevel level) noexcept;
 // Emits one line at `level` if the current level permits.
 void log_line(LogLevel level, const std::string& message);
 
+// Reports an unrecoverable invariant violation and aborts.  Emitted
+// unconditionally (never filtered by the level) with a FATAL tag; this is
+// the sink behind the CHECK/DCHECK macros of util/check.h.
+[[noreturn]] void log_fatal(const std::string& message);
+
 namespace internal {
 
 // Stream-style helper that emits on destruction.

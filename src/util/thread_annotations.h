@@ -1,0 +1,81 @@
+// Clang thread-safety annotations and an annotated mutex wrapper.
+//
+// When compiled with Clang (which enables -Wthread-safety in the build),
+// these macros let the compiler prove lock discipline statically: data
+// members declare which mutex guards them (IUSTITIA_GUARDED_BY), private
+// helpers declare the locks they expect held (IUSTITIA_REQUIRES), and the
+// analysis rejects any access path that does not hold the right capability.
+// Under GCC the macros expand to nothing and the wrappers are plain
+// std::mutex, so the annotations cost nothing.
+//
+// Repo conventions (see DESIGN.md "Correctness tooling"):
+//  - use util::Mutex + util::MutexLock, never bare std::mutex, so the
+//    annotations are never silently dropped;
+//  - every member guarded by a mutex carries IUSTITIA_GUARDED_BY(mu_);
+//  - locked private helpers are suffixed `_locked` and annotated with
+//    IUSTITIA_REQUIRES(mu_);
+//  - deliberately unsynchronized escape hatches (e.g. single-owner shard
+//    access) are annotated IUSTITIA_NO_THREAD_SAFETY_ANALYSIS and must say
+//    why in a comment.
+#ifndef IUSTITIA_UTIL_THREAD_ANNOTATIONS_H_
+#define IUSTITIA_UTIL_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+
+#if defined(__clang__)
+#define IUSTITIA_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define IUSTITIA_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define IUSTITIA_CAPABILITY(x) IUSTITIA_THREAD_ANNOTATION(capability(x))
+#define IUSTITIA_SCOPED_CAPABILITY IUSTITIA_THREAD_ANNOTATION(scoped_lockable)
+#define IUSTITIA_GUARDED_BY(x) IUSTITIA_THREAD_ANNOTATION(guarded_by(x))
+#define IUSTITIA_PT_GUARDED_BY(x) IUSTITIA_THREAD_ANNOTATION(pt_guarded_by(x))
+#define IUSTITIA_REQUIRES(...) \
+  IUSTITIA_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define IUSTITIA_ACQUIRE(...) \
+  IUSTITIA_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define IUSTITIA_RELEASE(...) \
+  IUSTITIA_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define IUSTITIA_TRY_ACQUIRE(...) \
+  IUSTITIA_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define IUSTITIA_EXCLUDES(...) \
+  IUSTITIA_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define IUSTITIA_RETURN_CAPABILITY(x) \
+  IUSTITIA_THREAD_ANNOTATION(lock_returned(x))
+#define IUSTITIA_NO_THREAD_SAFETY_ANALYSIS \
+  IUSTITIA_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace iustitia::util {
+
+// std::mutex with the capability annotation the analysis needs.
+class IUSTITIA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() IUSTITIA_ACQUIRE() { mu_.lock(); }
+  void unlock() IUSTITIA_RELEASE() { mu_.unlock(); }
+  bool try_lock() IUSTITIA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock for util::Mutex (std::lock_guard is not annotated).
+class IUSTITIA_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) IUSTITIA_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() IUSTITIA_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_THREAD_ANNOTATIONS_H_

@@ -5,7 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "util/random.h"
 

@@ -2,6 +2,9 @@
 // removal, and the n*lambda inactivity purge of Section 4.5.
 #include "core/cdb.h"
 
+#include <optional>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "util/sha1.h"

@@ -3,7 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <string>
+#include <vector>
 
 namespace iustitia::datagen {
 namespace {

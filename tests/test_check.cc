@@ -1,0 +1,128 @@
+// Tests for util/check.h: pass-through on success, fatal (death) on
+// failure, message formatting, single evaluation of operands, and the
+// DCHECK on/off contract.  Also regression death tests for invariants the
+// CHECK deployment added across the engine.
+#include "util/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+
+#include "datagen/corpus.h"
+#include "entropy/estimator.h"
+#include "util/random.h"
+
+namespace iustitia::util {
+namespace {
+
+class CheckDeathTest : public ::testing::Test {
+ protected:
+  CheckDeathTest() {
+    // The stress/engine tests in this binary may spawn threads; fork-based
+    // death tests need the threadsafe style to stay reliable.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  }
+};
+
+TEST(Check, PassingChecksAreSilent) {
+  CHECK(true);
+  CHECK(1 + 1 == 2) << "never evaluated";
+  CHECK_EQ(4, 4);
+  CHECK_NE(4, 5);
+  CHECK_LT(4, 5);
+  CHECK_LE(5, 5);
+  CHECK_GT(5, 4);
+  CHECK_GE(5, 5);
+  CHECK_NEAR(1.0, 1.0 + 1e-12, 1e-9);
+}
+
+TEST(Check, OperandsAreEvaluatedExactlyOnce) {
+  int calls = 0;
+  const auto bump = [&calls] { return ++calls; };
+  CHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 1);
+  CHECK_NEAR(bump(), 2.0, 0.5);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST_F(CheckDeathTest, CheckFailureIsFatalAndNamesTheCondition) {
+  EXPECT_DEATH(CHECK(2 + 2 == 5), "CHECK failed: 2 \\+ 2 == 5");
+}
+
+TEST_F(CheckDeathTest, StreamedContextReachesTheFatalMessage) {
+  EXPECT_DEATH(CHECK(false) << "flow " << 42 << " corrupt",
+               "flow 42 corrupt");
+}
+
+TEST_F(CheckDeathTest, BinaryChecksReportBothOperands) {
+  EXPECT_DEATH(CHECK_EQ(1, 2), "1 vs 2");
+  EXPECT_DEATH(CHECK_LT(7, 3), "7 vs 3");
+  const std::string name = "shard";
+  EXPECT_DEATH(CHECK_NE(name, "shard"), "shard vs shard");
+}
+
+TEST_F(CheckDeathTest, CheckNearReportsTheDelta) {
+  EXPECT_DEATH(CHECK_NEAR(1.0, 2.0, 1e-3) << "probability sum drifted",
+               "probability sum drifted");
+}
+
+TEST_F(CheckDeathTest, FailureMessageCarriesFileAndLine) {
+  EXPECT_DEATH(CHECK(false), "test_check\\.cc");
+}
+
+TEST(DCheck, CompiledStateMatchesBuildFlag) {
+#if IUSTITIA_DCHECK_IS_ON
+  EXPECT_TRUE(kDCheckEnabled);
+#else
+  EXPECT_FALSE(kDCheckEnabled);
+#endif
+}
+
+TEST_F(CheckDeathTest, DCheckIsFatalExactlyWhenEnabled) {
+  if (kDCheckEnabled) {
+    EXPECT_DEATH(DCHECK_EQ(1, 2), "1 vs 2");
+  } else {
+    DCHECK_EQ(1, 2) << "compiled out";  // must be a no-op
+  }
+}
+
+TEST(DCheck, CompiledOutOperandsAreNotEvaluated) {
+  if (kDCheckEnabled) return;  // only meaningful when DCHECKs are off
+  int calls = 0;
+  const auto bump = [&calls] { return ++calls; };
+  DCHECK_GE(bump(), 1);
+  EXPECT_EQ(calls, 0);
+}
+
+// --- Regression death tests for deployed invariants ---------------------
+
+// build_corpus used to feed min_size straight into std::log: min_size == 0
+// produced log(0) = -inf and an all-empty corpus instead of failing fast.
+TEST_F(CheckDeathTest, CorpusRejectsZeroMinSize) {
+  datagen::CorpusOptions options;
+  options.files_per_class = 1;
+  options.min_size = 0;
+  options.max_size = 64;
+  EXPECT_DEATH(datagen::build_corpus(options), "positive minimum size");
+}
+
+// The (epsilon, delta) sketch guarantee only holds on its domain; out-of-
+// range parameters used to silently clamp deep inside the helpers.
+TEST_F(CheckDeathTest, EstimatorRejectsOutOfDomainParams) {
+  const std::uint8_t data[] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const int widths[] = {2};
+  util::Rng rng(7);
+  entropy::EstimatorParams params;
+  params.epsilon = 0.0;  // must be in (0, 1]
+  params.delta = 0.5;
+  EXPECT_DEATH(entropy::estimate_entropy_vector(data, widths, params, rng),
+               "epsilon out of domain");
+  params.epsilon = 0.5;
+  params.delta = 1.0;  // must be in (0, 1)
+  EXPECT_DEATH(entropy::estimate_entropy_vector(data, widths, params, rng),
+               "delta out of domain");
+}
+
+}  // namespace
+}  // namespace iustitia::util

@@ -2,6 +2,8 @@
 // hypotheses as measurable properties of the synthetic pool.
 #include "datagen/corpus.h"
 
+#include <span>
+
 #include <gtest/gtest.h>
 
 #include "entropy/divergence.h"

@@ -6,6 +6,9 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/random.h"
 

@@ -1,6 +1,10 @@
 // Tests for the online Iustitia engine: the Fig. 1 pipeline mechanics.
 #include "core/engine.h"
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/trainer.h"

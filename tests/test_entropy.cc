@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -50,6 +52,7 @@ TEST(NormalizedEntropy, MatchesDirectShannonFormula) {
   // Counts: a=5, b=3, c=2 (m=10).
   const auto data = bytes_of("aaaaabbbcc");
   double h_bits = 0.0;
+  // NOLINTNEXTLINE(log2-domain): p ranges over positive literals only.
   for (const double p : {0.5, 0.3, 0.2}) h_bits -= p * std::log2(p);
   EXPECT_NEAR(h1_of(data), h_bits / 8.0, 1e-12);
 }

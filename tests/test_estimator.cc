@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <optional>
+#include <span>
 #include <vector>
 
 #include "entropy/gram_counter.h"

@@ -2,6 +2,8 @@
 // accounting).
 #include "core/feature_extractor.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "entropy/entropy_vector.h"

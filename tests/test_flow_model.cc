@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "core/trainer.h"
 #include "datagen/corpus.h"

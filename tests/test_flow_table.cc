@@ -1,6 +1,9 @@
 // Tests for offline flow reassembly.
 #include "net/flow_table.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "net/trace_gen.h"

@@ -7,7 +7,9 @@
 
 #include <cctype>
 #include <functional>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "entropy/entropy_vector.h"
 #include "util/random.h"

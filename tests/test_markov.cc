@@ -6,6 +6,9 @@
 
 #include <cctype>
 #include <set>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "entropy/entropy_vector.h"
 

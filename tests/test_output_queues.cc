@@ -1,6 +1,8 @@
 // Tests for the per-nature output queues (Fig. 1's LQ blocks).
 #include "core/output_queues.h"
 
+#include <optional>
+
 #include <gtest/gtest.h>
 
 namespace iustitia::core {

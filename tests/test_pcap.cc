@@ -3,7 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <span>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "util/random.h"
 

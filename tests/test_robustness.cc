@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "appproto/header_stripper.h"
 #include "datagen/lz77.h"

@@ -1,6 +1,8 @@
 // Tests for ml/scaler.h.
 #include "ml/scaler.h"
 
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace iustitia::ml {

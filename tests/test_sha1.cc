@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <unordered_map>
 
 namespace iustitia::util {
 namespace {

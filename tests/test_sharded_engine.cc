@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <thread>
+#include <vector>
 
 #include "core/trainer.h"
 #include "net/trace_gen.h"

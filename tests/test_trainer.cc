@@ -2,6 +2,11 @@
 // and dataset construction invariants.
 #include "core/trainer.h"
 
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "datagen/corpus.h"

@@ -2,6 +2,10 @@
 // split frames, the encrypted-tunnel case, and the classification rule.
 #include "net/tunnel.h"
 
+#include <span>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "core/trainer.h"

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Pre-merge gate: the full ctest matrix under every sanitizer preset, plus
+# the repo lint pass.  Maps onto tier-1 verify as follows: the `default`
+# preset IS the tier-1 build/test command (same binary dir, same cache), so
+# a green ci.sh implies a green tier-1 run.
+#
+# Usage: tools/ci.sh [preset ...]
+#   With no arguments runs: default, asan-ubsan, tsan, then the lint target.
+#   With arguments runs only the named configure/build/test presets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+presets=("$@")
+if [[ ${#presets[@]} -eq 0 ]]; then
+  presets=(default asan-ubsan tsan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==== [$preset] configure"
+  cmake --preset "$preset"
+  echo "==== [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==== [$preset] test"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "==== lint"
+cmake --build --preset default --target lint
+
+echo "ci.sh: all presets green"

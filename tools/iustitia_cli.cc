@@ -13,10 +13,13 @@
 //       Synthesize a calibrated gateway trace as a standard pcap.
 //   analyze <model-file> <trace.pcap> [--buffer B]
 //       Replay a pcap through the online engine and summarize flows.
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <span>
 #include <string>
 #include <vector>
 

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Repo linter for iustitia.
+
+Runs a small set of repo-specific static checks that the compiler does not
+enforce.  Wired up as the `lint` CMake target and run by tools/ci.sh; a
+finding is a hard failure (exit 1) and must be fixed, not suppressed,
+unless a rule-specific NOLINT comment documents why the code is right.
+
+Rules
+-----
+  std-include        IWYU-lite: a file that names a std:: symbol from the
+                     curated table below must include the owning header
+                     itself (for src/foo.cc, an include in the paired
+                     src/foo.h also counts).
+  no-assert          assert() is banned in src/ — use CHECK/DCHECK from
+                     util/check.h so failures are logged and fatal in every
+                     build type (assert vanishes under NDEBUG).
+  no-owning-new      no raw `new` expressions; use std::make_unique /
+                     containers.  Suppress with // NOLINT(no-owning-new)
+                     only for placement new or non-owning framework calls.
+  log2-domain        log2()/log() of a count must be guarded against zero
+                     (log2(0) is -inf and poisons entropy math).  A guard
+                     is any zero/positivity test or CHECK within the three
+                     preceding lines; suppress deliberate cases with
+                     // NOLINT(log2-domain).
+  include-guard      headers use #ifndef IUSTITIA_<PATH>_H_ guards derived
+                     from their repo-relative path.
+  no-using-namespace `using namespace std` (or any `using namespace` at
+                     header scope) is banned.
+
+Usage: tools/lint.py [path ...]   (defaults to src tests bench tools examples)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_ROOTS = ["src", "tests", "bench", "tools", "examples"]
+SOURCE_SUFFIXES = {".cc", ".h"}
+
+# Curated std symbol -> owning header table (deliberately unambiguous
+# symbols only; transitively-available-everywhere names like std::size_t,
+# std::move or std::pair are out of scope for the lite checker).
+STD_HEADERS = {
+    "functional": ["std::function"],
+    "span": ["std::span"],
+    "optional": ["std::optional", "std::nullopt"],
+    "memory": ["std::unique_ptr", "std::shared_ptr", "std::make_unique",
+               "std::make_shared"],
+    "vector": ["std::vector"],
+    "string": ["std::string", "std::to_string"],
+    "string_view": ["std::string_view"],
+    "unordered_map": ["std::unordered_map"],
+    "unordered_set": ["std::unordered_set"],
+    "map": ["std::map", "std::multimap"],
+    "set": ["std::set", "std::multiset"],
+    "array": ["std::array"],
+    "deque": ["std::deque"],
+    "variant": ["std::variant", "std::get_if", "std::holds_alternative"],
+    "atomic": ["std::atomic"],
+    "thread": ["std::thread"],
+    "mutex": ["std::mutex", "std::lock_guard", "std::scoped_lock",
+              "std::unique_lock"],
+    "condition_variable": ["std::condition_variable"],
+    "chrono": ["std::chrono"],
+    "limits": ["std::numeric_limits"],
+    "sstream": ["std::ostringstream", "std::istringstream",
+                "std::stringstream"],
+    "fstream": ["std::ofstream", "std::ifstream", "std::fstream"],
+    "iostream": ["std::cout", "std::cerr", "std::cin"],
+    "random": ["std::mt19937", "std::uniform_int_distribution",
+               "std::uniform_real_distribution", "std::normal_distribution"],
+    "numbers": ["std::numbers"],
+    "numeric": ["std::accumulate", "std::iota", "std::gcd", "std::lcm"],
+    "algorithm": ["std::sort", "std::stable_sort", "std::min", "std::max",
+                  "std::minmax", "std::clamp", "std::fill", "std::find",
+                  "std::find_if", "std::count", "std::count_if",
+                  "std::lower_bound", "std::upper_bound", "std::max_element",
+                  "std::min_element", "std::all_of", "std::any_of",
+                  "std::none_of", "std::shuffle", "std::copy",
+                  # std::remove is ambiguous (cstdio's file remove) — only
+                  # the _if variant is safely attributable to <algorithm>.
+                  "std::transform", "std::remove_if",
+                  "std::reverse", "std::unique", "std::nth_element"],
+    "cmath": ["std::log2", "std::log", "std::exp", "std::sqrt", "std::pow",
+              "std::ceil", "std::floor", "std::fabs", "std::round",
+              "std::isnan", "std::isinf", "std::fmod", "std::hypot"],
+    "cstring": ["std::memcpy", "std::memset", "std::memcmp", "std::strcmp",
+                "std::strlen"],
+    "cstdio": ["std::fprintf", "std::printf", "std::snprintf", "std::fflush",
+               "std::fopen", "std::fclose", "std::fwrite", "std::fread"],
+    "cstdlib": ["std::getenv", "std::abort", "std::exit", "std::atoll",
+                "std::atoi", "std::strtod"],
+}
+
+GUARD_PATTERNS = (
+    "> 0", ">= 1", ">= 2", "!= 0", "== 0", "<= 0", "< 1", "<= 1", "> 1",
+    "CHECK", "DCHECK", "empty()", "max(", "clamp(",
+)
+
+LINE_COMMENT_RE = re.compile(r"//.*$")
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
+
+
+def strip_code(text: str) -> str:
+    """Removes comments and string/char literals, preserving line structure."""
+    out: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 2
+        elif c in "\"'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    i += 1
+                elif text[i] == "\n":
+                    out.append("\n")
+                i += 1
+            i += 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def rel_path(path: Path) -> Path:
+    """Repo-relative when possible; out-of-repo paths stay absolute."""
+    return path.relative_to(REPO_ROOT) if path.is_relative_to(REPO_ROOT) \
+        else path
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{rel_path(self.path)}:{self.line}: " \
+               f"[{self.rule}] {self.message}"
+
+
+def raw_lines_with_nolint(text: str, rule: str) -> set[int]:
+    """1-based line numbers carrying a NOLINT marker for `rule`."""
+    marked = set()
+    for i, line in enumerate(text.splitlines(), start=1):
+        if f"NOLINT({rule})" in line or "NOLINTALL" in line:
+            marked.add(i)
+        if f"NOLINTNEXTLINE({rule})" in line:
+            marked.add(i + 1)
+    return marked
+
+
+def includes_of(text: str) -> set[str]:
+    return {m.group(1) for line in text.splitlines()
+            if (m := INCLUDE_RE.match(line))}
+
+
+def check_std_includes(path: Path, raw: str, stripped: str,
+                       findings: list[Finding]) -> None:
+    direct = includes_of(raw)
+    # For src/foo.cc, includes of the paired header src/foo.h count too:
+    # the pair is one component and the header is always included first.
+    if path.suffix == ".cc":
+        paired = path.with_suffix(".h")
+        if paired.exists():
+            direct |= includes_of(paired.read_text())
+    lines = stripped.splitlines()
+    for header, symbols in STD_HEADERS.items():
+        if header in direct:
+            continue
+        for symbol in symbols:
+            pattern = re.compile(re.escape(symbol) + r"\b")
+            for lineno, line in enumerate(lines, start=1):
+                if pattern.search(line):
+                    findings.append(Finding(
+                        path, lineno, "std-include",
+                        f"uses {symbol} but does not include <{header}>"))
+                    break  # one finding per (file, header) pair
+            else:
+                continue
+            break
+
+
+def check_no_assert(path: Path, stripped: str,
+                    findings: list[Finding]) -> None:
+    if rel_path(path).parts[:1] != ("src",):
+        return
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if re.search(r"(?<![\w_])assert\s*\(", line) and \
+                "static_assert" not in line:
+            findings.append(Finding(
+                path, lineno, "no-assert",
+                "assert() is compiled out under NDEBUG; use CHECK/DCHECK "
+                "from util/check.h"))
+
+
+def check_no_owning_new(path: Path, raw: str, stripped: str,
+                        findings: list[Finding]) -> None:
+    nolint = raw_lines_with_nolint(raw, "no-owning-new")
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if lineno in nolint:
+            continue
+        if re.search(r"(?<![\w_])new\s+[A-Za-z_:(]", line):
+            findings.append(Finding(
+                path, lineno, "no-owning-new",
+                "raw new expression; use std::make_unique or a container"))
+
+
+def check_log2_domain(path: Path, raw: str, stripped: str,
+                      findings: list[Finding]) -> None:
+    nolint = raw_lines_with_nolint(raw, "log2-domain")
+    lines = stripped.splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if lineno in nolint:
+            continue
+        m = re.search(r"(?<![\w_.])(?:std::)?log2?\s*\(", line)
+        if not m:
+            continue
+        # A literal or obviously-constant argument is fine: log2(1.0 / x).
+        arg_start = line[m.end():].lstrip()
+        if re.match(r"[0-9]", arg_start):
+            continue
+        context = lines[max(0, lineno - 4):lineno]
+        if any(g in ctx for ctx in context for g in GUARD_PATTERNS):
+            continue
+        findings.append(Finding(
+            path, lineno, "log2-domain",
+            "log of a possibly-zero count: guard the argument (or add "
+            "// NOLINT(log2-domain) with a reason)"))
+
+
+def check_include_guard(path: Path, raw: str,
+                        findings: list[Finding]) -> None:
+    if path.suffix != ".h":
+        return
+    parts = list(rel_path(path).parts)
+    if parts[0] == "src":
+        parts = parts[1:]  # headers are included relative to src/
+    expected = "IUSTITIA_" + "_".join(
+        re.sub(r"[^A-Za-z0-9]", "_", p).upper() for p in parts) + "_"
+    m = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", raw)
+    if not m:
+        findings.append(Finding(path, 1, "include-guard",
+                                f"missing include guard {expected}"))
+        return
+    if m.group(1) != expected or m.group(2) != expected:
+        findings.append(Finding(
+            path, raw[:m.start()].count("\n") + 1, "include-guard",
+            f"guard is {m.group(1)}, expected {expected}"))
+
+
+def check_using_namespace(path: Path, stripped: str,
+                          findings: list[Finding]) -> None:
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if re.search(r"using\s+namespace\s+std\b", line):
+            findings.append(Finding(path, lineno, "no-using-namespace",
+                                    "using namespace std is banned"))
+        elif path.suffix == ".h" and re.search(r"using\s+namespace\s", line):
+            findings.append(Finding(
+                path, lineno, "no-using-namespace",
+                "using namespace in a header leaks into every includer"))
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text()
+    stripped = strip_code(raw)
+    findings: list[Finding] = []
+    check_std_includes(path, raw, stripped, findings)
+    check_no_assert(path, stripped, findings)
+    check_no_owning_new(path, raw, stripped, findings)
+    check_log2_domain(path, raw, stripped, findings)
+    check_include_guard(path, raw, findings)
+    check_using_namespace(path, stripped, findings)
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or \
+            [REPO_ROOT / r for r in DEFAULT_ROOTS]
+    files: list[Path] = []
+    for root in roots:
+        root = root.resolve()
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SOURCE_SUFFIXES)
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(lint_file(path))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"lint: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint: clean ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
