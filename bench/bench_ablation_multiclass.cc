@@ -11,6 +11,8 @@
 #include "bench/bench_common.h"
 #include "ml/scaler.h"
 #include "util/timer.h"
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {

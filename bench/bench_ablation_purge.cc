@@ -6,6 +6,7 @@
 // 194-bit record).  Large n keeps everything: no reclassification, but the
 // CDB grows toward the unpurged size.  The sweep shows the knee around the
 // paper's n = 4.
+#include "appproto/trace_headers.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
 #include "net/trace_gen.h"
@@ -14,6 +15,9 @@
 #include <iostream>
 #include <string>
 #include <unordered_map>
+
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {
@@ -34,6 +38,7 @@ int run() {
 
   const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 80000);
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = packets;
   trace_options.duration_seconds = 16.0;
   trace_options.seed = 0xAB1;

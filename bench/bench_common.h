@@ -14,7 +14,6 @@
 #include <string>
 #include <vector>
 
-#include "core/trainer.h"
 #include "datagen/corpus.h"
 #include "ml/cross_validation.h"
 #include "util/table.h"

@@ -7,6 +7,7 @@
 // 3-5 packets for the larger buffers; tau is dominated by the buffer fill
 // time tau_b — tens of ms for b=32 and around a second for large buffers —
 // while tau_hash and tau_CDBsearch are microseconds.
+#include "appproto/trace_headers.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
 #include "net/trace_gen.h"
@@ -16,6 +17,9 @@
 #include <iostream>
 #include <string>
 #include <vector>
+
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {
@@ -36,6 +40,7 @@ int run() {
 
   const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 80000);
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = packets;
   trace_options.duration_seconds = 16.0;
   trace_options.seed = 0xF10;

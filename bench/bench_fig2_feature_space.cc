@@ -7,6 +7,7 @@
 
 #include "bench/bench_common.h"
 #include "util/stats.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {

@@ -6,12 +6,12 @@
 // file the f1 distributions are within ~0.14 JSD (>86% similarity) and f2
 // within ~0.30 (70% similarity).
 #include "bench/bench_common.h"
-#include "entropy/divergence.h"
-#include "util/stats.h"
 
 #include <algorithm>
 #include <iostream>
 #include <span>
+
+#include "entropy/divergence.h"
 
 namespace iustitia::bench {
 namespace {

@@ -15,6 +15,9 @@
 #include <string>
 #include <vector>
 
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
+
 namespace iustitia::bench {
 namespace {
 

@@ -16,6 +16,7 @@
 
 #include "bench/bench_common.h"
 #include "util/random.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {

@@ -13,6 +13,9 @@
 #include <span>
 #include <vector>
 
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
+
 namespace iustitia::bench {
 namespace {
 

@@ -6,6 +6,7 @@
 // CDB size flattens out near the number of concurrent flows (the paper
 // reports a steady ~29,713 records on its trace; up to 46% of flows are
 // removed by FIN/RST alone).
+#include "appproto/trace_headers.h"
 #include "bench/bench_common.h"
 #include "core/engine.h"
 #include "net/trace_gen.h"
@@ -13,6 +14,9 @@
 #include <iostream>
 #include <string>
 #include <unordered_map>
+
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {
@@ -34,6 +38,7 @@ int run() {
 
   const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 120000);
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = packets;
   trace_options.duration_seconds = 20.0;
   trace_options.seed = 0xF18;

@@ -4,6 +4,7 @@
 // Paper shape: payload sizes are bimodal — more than 50% of data packets
 // under 140 bytes and ~20% at the 1480-byte MTU mode; inter-arrival times
 // concentrate well below half a second.
+#include "appproto/trace_headers.h"
 #include "bench/bench_common.h"
 #include "net/flow_table.h"
 #include "net/trace_gen.h"
@@ -22,6 +23,7 @@ int run() {
 
   const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 100000);
   net::TraceOptions options;
+  options.header_source = appproto::standard_header_source();
   options.target_packets = packets;
   options.seed = 0xF19;
   const net::Trace trace = net::generate_trace(options);

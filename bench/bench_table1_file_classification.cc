@@ -10,6 +10,9 @@
 
 #include <iostream>
 
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
+
 namespace iustitia::bench {
 namespace {
 

@@ -11,6 +11,8 @@
 
 #include "bench/bench_common.h"
 #include "ml/feature_selection.h"
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {

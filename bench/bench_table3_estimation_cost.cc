@@ -14,6 +14,9 @@
 #include <string>
 #include <vector>
 
+#include "entropy/entropy_vector.h"
+#include "entropy/estimator.h"
+
 namespace iustitia::bench {
 namespace {
 

@@ -14,10 +14,13 @@
 #include <thread>
 #include <vector>
 
+#include "appproto/trace_headers.h"
 #include "bench/bench_common.h"
 #include "core/sharded_engine.h"
 #include "net/trace_gen.h"
 #include "util/timer.h"
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
 
 namespace iustitia::bench {
 namespace {
@@ -41,6 +44,7 @@ int run() {
 
   const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 200000);
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = packets;
   trace_options.seed = 0x789;
   const net::Trace trace = net::generate_trace(trace_options);

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "dpi/signature_set.h"
@@ -35,6 +36,7 @@ int main() {
   core::FlowNatureModel model = core::train_model(corpus, trainer);
 
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 40000;
   trace_options.seed = 22;
   const net::Trace trace = net::generate_trace(trace_options);

@@ -11,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "net/pcap.h"
@@ -29,6 +30,7 @@ int main(int argc, char** argv) {
     path = "iustitia_example.pcap";
     temporary = true;
     net::TraceOptions trace_options;
+    trace_options.header_source = appproto::standard_header_source();
     trace_options.target_packets = 20000;
     trace_options.seed = 55;
     const net::Trace trace = net::generate_trace(trace_options);

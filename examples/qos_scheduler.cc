@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/output_queues.h"
 #include "core/trainer.h"
@@ -36,6 +37,7 @@ int main() {
   core::FlowNatureModel model = core::train_model(corpus, trainer);
 
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 50000;
   trace_options.seed = 82;
   const net::Trace trace = net::generate_trace(trace_options);

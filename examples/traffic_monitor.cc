@@ -8,6 +8,7 @@
 #include <iostream>
 #include <string>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "net/trace_gen.h"
@@ -30,6 +31,7 @@ int main() {
 
   // Online: a synthetic gateway trace stands in for the live link.
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 60000;
   trace_options.seed = 12;
   const net::Trace trace = net::generate_trace(trace_options);

@@ -70,6 +70,8 @@ std::vector<std::uint8_t> generate_http_request_header(util::Rng& rng) {
   return to_bytes(h);
 }
 
+namespace {
+
 std::vector<std::uint8_t> generate_smtp_preamble(util::Rng& rng) {
   std::string h = "220 " + host(rng) + " ESMTP Postfix\r\n";
   h += "EHLO " + host(rng) + "\r\n";
@@ -82,6 +84,7 @@ std::vector<std::uint8_t> generate_smtp_preamble(util::Rng& rng) {
   return to_bytes(h);
 }
 
+
 std::vector<std::uint8_t> generate_pop3_preamble(util::Rng& rng) {
   std::string h = "+OK POP3 server ready <" +
                   std::to_string(rng.next_u64() & 0xFFFFFF) + "@" + host(rng) +
@@ -93,6 +96,7 @@ std::vector<std::uint8_t> generate_pop3_preamble(util::Rng& rng) {
   return to_bytes(h);
 }
 
+
 std::vector<std::uint8_t> generate_imap_preamble(util::Rng& rng) {
   std::string h = "* OK [CAPABILITY IMAP4rev1] " + host(rng) +
                   " IMAP server ready\r\n";
@@ -103,6 +107,8 @@ std::vector<std::uint8_t> generate_imap_preamble(util::Rng& rng) {
        " BODY[]\r\n";
   return to_bytes(h);
 }
+
+}  // namespace
 
 std::vector<std::uint8_t> generate_header(AppProtocol protocol, util::Rng& rng,
                                           std::size_t content_length) {

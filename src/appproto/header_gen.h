@@ -27,15 +27,6 @@ std::vector<std::uint8_t> generate_http_response_header(
 // HTTP/1.1 request header (GET/POST + host + typical fields).
 std::vector<std::uint8_t> generate_http_request_header(util::Rng& rng);
 
-// SMTP server banner + a short command/response prefix.
-std::vector<std::uint8_t> generate_smtp_preamble(util::Rng& rng);
-
-// POP3 greeting + a short command prefix.
-std::vector<std::uint8_t> generate_pop3_preamble(util::Rng& rng);
-
-// IMAP greeting + a short command prefix.
-std::vector<std::uint8_t> generate_imap_preamble(util::Rng& rng);
-
 // Header for the given protocol (kNone yields an empty vector).
 std::vector<std::uint8_t> generate_header(AppProtocol protocol, util::Rng& rng,
                                           std::size_t content_length = 0);

@@ -1,0 +1,29 @@
+#include "appproto/trace_headers.h"
+
+#include "appproto/header_gen.h"
+
+namespace iustitia::appproto {
+
+namespace {
+
+AppProtocol sample_app_protocol(util::Rng& rng) {
+  const double roll = rng.uniform();
+  if (roll < 0.70) return AppProtocol::kHttp;
+  if (roll < 0.85) return AppProtocol::kSmtp;
+  if (roll < 0.93) return AppProtocol::kPop3;
+  return AppProtocol::kImap;
+}
+
+}  // namespace
+
+net::AppHeaderSource standard_header_source() {
+  return [](util::Rng& rng, std::size_t content_length) {
+    const AppProtocol protocol = sample_app_protocol(rng);
+    net::AppHeader header;
+    header.protocol_id = static_cast<int>(protocol);
+    header.bytes = generate_header(protocol, rng, content_length);
+    return header;
+  };
+}
+
+}  // namespace iustitia::appproto

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <vector>
 
-#include "entropy/estimator.h"
 
 namespace iustitia::core {
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/logging.h"
+
 namespace iustitia::core {
 
 const char* training_method_name(TrainingMethod m) noexcept {
@@ -61,6 +63,9 @@ ml::Dataset build_entropy_dataset(
   return data;
 }
 
+namespace {
+
+// Trains a ready-to-use model on already-extracted feature vectors.
 FlowNatureModel train_on_dataset(const ml::Dataset& train_data,
                                  const TrainerOptions& options) {
   FlowNatureModel model =
@@ -84,9 +89,18 @@ FlowNatureModel train_on_dataset(const ml::Dataset& train_data,
   return model;
 }
 
+}  // namespace
+
 FlowNatureModel train_model(std::span<const datagen::FileSample> corpus,
                             const TrainerOptions& options) {
-  return train_on_dataset(build_entropy_dataset(corpus, options), options);
+  IUSTITIA_LOG_INFO << "training " << backend_name(options.backend)
+                    << " model (" << training_method_name(options.method)
+                    << ") on " << corpus.size() << " files";
+  ml::Dataset data = build_entropy_dataset(corpus, options);
+  FlowNatureModel model = train_on_dataset(data, options);
+  IUSTITIA_LOG_DEBUG << "training done: " << data.size() << " samples, "
+                     << options.widths.size() << " gram widths";
+  return model;
 }
 
 }  // namespace iustitia::core

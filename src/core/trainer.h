@@ -48,10 +48,6 @@ std::vector<double> training_features(std::span<const std::uint8_t> bytes,
 ml::Dataset build_entropy_dataset(
     std::span<const datagen::FileSample> corpus, const TrainerOptions& options);
 
-// Trains a ready-to-use model on `train_data` (already extracted vectors).
-FlowNatureModel train_on_dataset(const ml::Dataset& train_data,
-                                 const TrainerOptions& options);
-
 // Convenience: dataset construction + training in one step.
 FlowNatureModel train_model(std::span<const datagen::FileSample> corpus,
                             const TrainerOptions& options);

@@ -5,6 +5,11 @@
 
 namespace iustitia::entropy {
 
+namespace {
+// Maximum k-gram width supported (the paper uses 1..10).
+constexpr int kMaxGramWidth = 16;
+}  // namespace
+
 GramKey pack_gram(const std::uint8_t* data, int width) noexcept {
   GramKey key = 0;
   for (int i = 0; i < width; ++i) {

@@ -33,9 +33,6 @@ struct GramKeyHash {
   }
 };
 
-// Maximum k-gram width supported (the paper uses 1..10).
-inline constexpr int kMaxGramWidth = 16;
-
 // Exact frequency counter for overlapping k-grams of a byte stream.
 //
 // Width-1 counting uses a flat 256-entry array; wider grams use a hash map,

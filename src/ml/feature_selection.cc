@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "ml/cross_validation.h"
 #include "ml/scaler.h"
 
 namespace iustitia::ml {

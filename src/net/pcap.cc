@@ -11,6 +11,12 @@
 namespace iustitia::net {
 
 namespace {
+// pcap magic for microsecond timestamps, native byte order.
+constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4u;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+}  // namespace
+
+namespace {
 
 constexpr std::size_t kEthernetHeader = 14;
 constexpr std::size_t kIpv4Header = 20;

@@ -19,10 +19,6 @@
 
 namespace iustitia::net {
 
-// pcap magic for microsecond timestamps, native byte order.
-inline constexpr std::uint32_t kPcapMagic = 0xA1B2C3D4u;
-inline constexpr std::uint32_t kLinkTypeEthernet = 1;
-
 // Serializes one packet to an Ethernet/IPv4/TCP-or-UDP frame.
 std::vector<std::uint8_t> encode_frame(const Packet& packet);
 

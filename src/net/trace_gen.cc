@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.h"
+
 namespace iustitia::net {
 
 std::size_t sample_payload_size(util::Rng& rng) noexcept {
@@ -26,14 +28,6 @@ datagen::FileClass sample_class(const std::array<double, 3>& mix,
   return static_cast<datagen::FileClass>(static_cast<int>(idx));
 }
 
-appproto::AppProtocol sample_app_protocol(util::Rng& rng) {
-  const double roll = rng.uniform();
-  if (roll < 0.70) return appproto::AppProtocol::kHttp;
-  if (roll < 0.85) return appproto::AppProtocol::kSmtp;
-  if (roll < 0.93) return appproto::AppProtocol::kPop3;
-  return appproto::AppProtocol::kImap;
-}
-
 FlowKey random_flow_key(util::Rng& rng, bool tcp) {
   FlowKey key;
   key.src_ip = static_cast<std::uint32_t>(rng.next_u64());
@@ -48,6 +42,9 @@ FlowKey random_flow_key(util::Rng& rng, bool tcp) {
 }  // namespace
 
 Trace generate_trace(const TraceOptions& options) {
+  CHECK(options.app_header_fraction <= 0.0 || options.header_source)
+      << "TraceOptions.app_header_fraction > 0 needs a header_source "
+         "(appproto::standard_header_source() is the calibrated one)";
   util::Rng rng(options.seed);
   Trace trace;
   trace.duration_seconds = options.duration_seconds;
@@ -90,10 +87,10 @@ Trace generate_trace(const TraceOptions& options) {
     std::size_t content_len = options.content_limit;
     std::vector<std::uint8_t> content;
     if (rng.chance(options.app_header_fraction)) {
-      truth.app_protocol = sample_app_protocol(rng);
-      content = appproto::generate_header(truth.app_protocol, rng,
-                                          content_len);
-      truth.app_header_length = content.size();
+      AppHeader header = options.header_source(rng, content_len);
+      truth.app_protocol_id = header.protocol_id;
+      truth.app_header_length = header.bytes.size();
+      content = std::move(header.bytes);
     }
     {
       const datagen::FileSample file =

@@ -19,16 +19,31 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
-#include "appproto/header_gen.h"
 #include "datagen/corpus.h"
 #include "net/flow.h"
 #include "net/packet.h"
 #include "util/random.h"
 
 namespace iustitia::net {
+
+// Application-layer header prepended to a flow's content.  net does not
+// know concrete protocols (appproto layers above net); the generator
+// receives headers through a callback and records only the opaque id.
+struct AppHeader {
+  int protocol_id = 0;  // 0 = none; id values are assigned by the source
+  std::vector<std::uint8_t> bytes;
+};
+
+// Draws a protocol and synthesizes its header bytes.  Must consume `rng`
+// deterministically so traces stay reproducible; `content_length` is the
+// flow's content size (for Content-Length style fields).
+// appproto/trace_headers.h provides the standard implementation.
+using AppHeaderSource =
+    std::function<AppHeader(util::Rng& rng, std::size_t content_length)>;
 
 // Trace shape knobs; defaults are the paper's calibration targets with a
 // scaled-down packet budget (override target_packets for paper scale).
@@ -48,7 +63,11 @@ struct TraceOptions {
   // Nature mix of data-carrying flows (text, binary, encrypted).
   std::array<double, 3> class_mix{0.45, 0.35, 0.20};
   // Fraction of flows that open with a well-known application header.
+  // Any value > 0 requires a header_source.
   double app_header_fraction = 0.25;
+  // Supplies the header for flows selected by app_header_fraction
+  // (appproto::standard_header_source() is the calibrated default mix).
+  AppHeaderSource header_source;
   // Real content bytes generated per flow; packets beyond this carry
   // filler of the same class statistics.
   std::size_t content_limit = 4096;
@@ -58,7 +77,9 @@ struct TraceOptions {
 // Ground truth for one generated flow.
 struct FlowTruth {
   datagen::FileClass nature = datagen::FileClass::kText;
-  appproto::AppProtocol app_protocol = appproto::AppProtocol::kNone;
+  // Id reported by the trace's AppHeaderSource; 0 means no header.  With
+  // the standard source this casts back to appproto::AppProtocol.
+  int app_protocol_id = 0;
   std::size_t app_header_length = 0;
   std::size_t data_packets = 0;
   bool closed_by_fin = false;

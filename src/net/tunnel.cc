@@ -5,6 +5,12 @@
 
 namespace iustitia::net {
 
+namespace {
+constexpr std::uint8_t kTunnelMagic0 = 'T';
+constexpr std::uint8_t kTunnelMagic1 = '!';
+constexpr std::size_t kTunnelMaxFramePayload = 0xFFFF;
+}  // namespace
+
 TunnelMux::TunnelMux(const datagen::ChaCha20::Key& key,
                      const datagen::ChaCha20::Nonce& nonce)
     : cipher_(datagen::ChaCha20(key, nonce)) {}

@@ -25,10 +25,7 @@
 
 namespace iustitia::net {
 
-inline constexpr std::uint8_t kTunnelMagic0 = 'T';
-inline constexpr std::uint8_t kTunnelMagic1 = '!';
 inline constexpr std::size_t kTunnelFrameHeader = 8;
-inline constexpr std::size_t kTunnelMaxFramePayload = 0xFFFF;
 
 // Encapsulates inner-flow segments into an outer tunnel byte stream.
 class TunnelMux {

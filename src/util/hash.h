@@ -3,34 +3,13 @@
 #define IUSTITIA_UTIL_HASH_H_
 
 #include <cstdint>
-#include <span>
-#include <string_view>
 
 namespace iustitia::util {
 
-// 64-bit FNV-1a over a byte span.
+// FNV-1a parameters for callers that inline the byte loop (pcap's IPv6
+// address folding).
 constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
 constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
-
-inline std::uint64_t fnv1a(std::span<const std::uint8_t> data,
-                           std::uint64_t seed = kFnvOffset) noexcept {
-  std::uint64_t h = seed;
-  for (const std::uint8_t b : data) {
-    h ^= b;
-    h *= kFnvPrime;
-  }
-  return h;
-}
-
-inline std::uint64_t fnv1a(std::string_view data,
-                           std::uint64_t seed = kFnvOffset) noexcept {
-  std::uint64_t h = seed;
-  for (const char c : data) {
-    h ^= static_cast<std::uint8_t>(c);
-    h *= kFnvPrime;
-  }
-  return h;
-}
 
 // Strong 64-bit finalizer (from MurmurHash3 / SplitMix64 family).
 inline std::uint64_t mix64(std::uint64_t x) noexcept {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "appproto/trace_headers.h"
 #include "core/output_queues.h"
 #include "core/trainer.h"
 #include "net/flow.h"
@@ -48,6 +49,7 @@ TEST(ConcurrencyStress, ContendedOnPacketLosesNothing) {
   ShardedIustitia sharded(model_factory(), options, shard_count);
 
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 12000;
   trace_options.seed = 171;
   const net::Trace trace = net::generate_trace(trace_options);
@@ -162,6 +164,7 @@ TEST(ConcurrencyStress, SteeredShardDriveWithConcurrentAggregation) {
   ShardedIustitia sharded(model_factory(), options, shard_count);
 
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 8000;
   trace_options.seed = 172;
   const net::Trace trace = net::generate_trace(trace_options);

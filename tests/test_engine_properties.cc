@@ -3,6 +3,7 @@
 // pipeline must hold regardless of classification quality.
 #include <gtest/gtest.h>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "net/trace_gen.h"
@@ -45,6 +46,7 @@ TEST_P(EngineInvariants, StructuralPropertiesHold) {
   Iustitia engine(model(config.buffer_size), options);
 
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 6000;
   trace_options.seed = 0xE0 + config.buffer_size;
   const net::Trace trace = net::generate_trace(trace_options);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "appproto/trace_headers.h"
 #include "net/trace_gen.h"
 
 namespace iustitia::net {
@@ -74,6 +75,7 @@ TEST(FlowTable, TracksFinRstAndControlPackets) {
 
 TEST(FlowTable, ReassemblesGeneratedTraceConsistently) {
   TraceOptions options;
+  options.header_source = appproto::standard_header_source();
   options.target_packets = 10000;
   options.seed = 5;
   const Trace trace = generate_trace(options);

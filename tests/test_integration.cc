@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "net/flow_table.h"
@@ -154,6 +155,7 @@ TEST(Integration, PcapRoundTripPreservesClassification) {
 
 TEST(Integration, HeaderStrippingImprovesAccuracyOnHeaderedTraffic) {
   net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
   trace_options.target_packets = 15000;
   trace_options.app_header_fraction = 0.8;  // headers nearly everywhere
   trace_options.seed = 79;
@@ -189,7 +191,7 @@ TEST(Integration, HeaderStrippingImprovesAccuracyOnHeaderedTraffic) {
       }
       const net::FlowTruth& truth = truth_it->second;
       if (truth.nature != datagen::FileClass::kEncrypted) continue;
-      if (truth.app_protocol == appproto::AppProtocol::kNone) continue;
+      if (truth.app_protocol_id == 0) continue;
       if (flow_it->second.payload_bytes < truth.app_header_length + 64) {
         continue;  // never transmitted a full content window
       }

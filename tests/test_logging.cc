@@ -1,0 +1,57 @@
+// Leveled-logger behavior: level plumbing, filtering, and the stream
+// macros that the rest of the codebase logs through.
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace iustitia::util {
+namespace {
+
+// Restores the process-global level after each test so test order does
+// not matter.
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LoggingTest, SetLevelRoundTrips) {
+  for (const LogLevel level : {LogLevel::kError, LogLevel::kWarn,
+                               LogLevel::kInfo, LogLevel::kDebug}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST_F(LoggingTest, FilteredLinesAreCheap) {
+  set_log_level(LogLevel::kError);
+  // log_line must early-return for levels above the threshold; this is
+  // the hot-path contract the stream macros rely on.
+  for (int i = 0; i < 1000; ++i) {
+    log_line(LogLevel::kDebug, "suppressed");
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggingTest, StreamMacrosEmitWithoutCrashing) {
+  set_log_level(LogLevel::kDebug);
+  IUSTITIA_LOG_ERROR << "error line " << 1;
+  IUSTITIA_LOG_WARN << "warn line " << 2.5;
+  IUSTITIA_LOG_INFO << "info line " << "three";
+  IUSTITIA_LOG_DEBUG << "debug line " << 'x';
+}
+
+TEST_F(LoggingTest, DebugMessagesSuppressedAtWarn) {
+  set_log_level(LogLevel::kWarn);
+  // The LogMessage destructor routes through log_line, so this must be
+  // filtered, not printed; there is no observable side effect to assert
+  // beyond not crashing and the level staying put.
+  IUSTITIA_LOG_DEBUG << "should not appear";
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+}  // namespace
+}  // namespace iustitia::util

@@ -9,7 +9,6 @@
 #include <string>
 #include <vector>
 
-#include "util/random.h"
 
 namespace iustitia::net {
 namespace {

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "appproto/trace_headers.h"
 #include "core/trainer.h"
 #include "net/trace_gen.h"
 
@@ -33,6 +34,7 @@ std::function<FlowNatureModel()> model_factory() {
 
 net::Trace small_trace() {
   net::TraceOptions options;
+  options.header_source = appproto::standard_header_source();
   options.target_packets = 10000;
   options.seed = 91;
   return net::generate_trace(options);

@@ -7,6 +7,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "appproto/trace_headers.h"
+
 namespace iustitia::net {
 namespace {
 
@@ -14,6 +16,7 @@ TraceOptions small_options() {
   TraceOptions options;
   options.target_packets = 30000;
   options.seed = 1234;
+  options.header_source = appproto::standard_header_source();
   return options;
 }
 
@@ -124,7 +127,7 @@ TEST(GenerateTrace, AppHeaderFlowsStartWithSignature) {
   const Trace trace = generate_trace(options);
   std::size_t with_header = 0;
   for (const auto& [key, truth] : trace.truth) {
-    if (truth.app_protocol != appproto::AppProtocol::kNone) {
+    if (truth.app_protocol_id != 0) {
       ++with_header;
       EXPECT_GT(truth.app_header_length, 0u);
     }

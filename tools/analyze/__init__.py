@@ -1,0 +1,1 @@
+"""iustitia static analyzer: see tools/README.md and `__main__.py`."""

@@ -1,0 +1,16 @@
+"""Entry point: `python3 tools/analyze [args]`.
+
+Running a directory executes this file with the directory itself as
+sys.path[0], so the flat module names used across the package (tokenizer,
+cppmodel, passes.*) resolve regardless of the caller's CWD.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

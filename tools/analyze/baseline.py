@@ -1,0 +1,64 @@
+"""Baseline file handling: suppress legacy findings, gate only new ones.
+
+The baseline is a checked-in JSON file of finding fingerprints (rule +
+file + stable anchor, no line numbers, so unrelated edits do not churn
+it).  The analyzer exits nonzero only for findings not in the baseline;
+fixing a baselined finding then regenerating (--write-baseline) shrinks
+the file, and review of baseline diffs is how legacy debt is paid down.
+
+Policy knob: `clean_prefixes` lists path prefixes that must stay at zero
+baselined findings (src/core and src/entropy — the online pipeline is
+held to the clean bar even for legacy code).  --write-baseline refuses to
+baseline findings there.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from findings import Finding
+
+CLEAN_PREFIXES = ("src/core/", "src/entropy/")
+FORMAT_VERSION = 1
+
+
+def load(path: Path) -> set[str]:
+    if not path.exists():
+        return set()
+    data = json.loads(path.read_text())
+    if data.get("format") != FORMAT_VERSION:
+        raise ValueError(f"{path}: unknown baseline format "
+                         f"{data.get('format')!r}")
+    return set(data.get("suppressed", []))
+
+
+def save(path: Path, findings: list[Finding]) -> list[Finding]:
+    """Writes all findings as the new baseline; returns the ones refused
+    because they fall under a clean prefix."""
+    refused = [f for f in findings
+               if any(f.path.startswith(p) for p in CLEAN_PREFIXES)]
+    allowed = [f for f in findings if f not in refused]
+    data = {
+        "format": FORMAT_VERSION,
+        "comment": ("Legacy findings suppressed by tools/analyze.  Do not "
+                    "add entries by hand: fix the finding, or run "
+                    "`tools/analyze --write-baseline` and justify the diff "
+                    "in review.  src/core and src/entropy must stay out of "
+                    "this file."),
+        "suppressed": sorted({f.fingerprint for f in allowed}),
+    }
+    path.write_text(json.dumps(data, indent=2) + "\n")
+    return refused
+
+
+def split(findings: list[Finding],
+          suppressed: set[str]) -> tuple[list[Finding], list[Finding],
+                                         set[str]]:
+    """(new, baselined, stale fingerprints no longer produced)."""
+    new, old = [], []
+    seen: set[str] = set()
+    for f in findings:
+        seen.add(f.fingerprint)
+        (old if f.fingerprint in suppressed else new).append(f)
+    return new, old, suppressed - seen

@@ -1,0 +1,162 @@
+"""CLI driver: load sources, run passes, gate against the baseline.
+
+Exit codes: 0 clean (or all findings baselined), 1 new findings,
+2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import baseline as baseline_mod
+import sarif as sarif_mod
+from compdb import SourceUniverse, load_from_compdb, load_from_root
+from cppmodel import FileModel, build_model
+from findings import Finding, sort_key
+from passes import PASSES
+
+
+class AnalysisContext:
+    """Everything a pass needs: the universe, parsed models, helpers."""
+
+    def __init__(self, universe: SourceUniverse,
+                 allowed_deps: dict[str, set[str]] | None = None):
+        self.universe = universe
+        self.allowed_deps = allowed_deps
+        self.models: dict[str, FileModel] = {}
+        for rel, text in universe.files.items():
+            self.models[rel] = build_model(rel, text)
+        # Include resolution: repo-style "module/header.h" relative to the
+        # src/ root, or relative to the repo root (tests/bench headers).
+        self._by_suffix: dict[str, str] = {}
+        for rel in self.models:
+            self._by_suffix[rel] = rel
+            if rel.startswith("src/"):
+                self._by_suffix.setdefault(rel[len("src/"):], rel)
+
+    def resolve_include(self, target: str) -> str | None:
+        return self._by_suffix.get(target)
+
+
+def _default_compdb(repo_root: Path) -> Path | None:
+    for build_dir in ("build", "build-lint", "build-asan", "build-tsan"):
+        candidate = repo_root / build_dir / "compile_commands.json"
+        if candidate.exists():
+            return candidate
+    return None
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tools/analyze",
+        description="Architecture-aware static analyzer for iustitia "
+                    "(layering, lock discipline, dead code, API contracts).")
+    parser.add_argument("--compdb", type=Path,
+                        help="compile_commands.json driving TU discovery "
+                             "(default: first of build*/compile_commands"
+                             ".json)")
+    parser.add_argument("--root", type=Path,
+                        help="analyze a bare directory tree instead of a "
+                             "compilation database (fixtures/tests)")
+    parser.add_argument("--passes", default=",".join(PASSES),
+                        help=f"comma list from: {', '.join(PASSES)}")
+    parser.add_argument("--format", choices=("text", "sarif"),
+                        default="text", help="stdout format")
+    parser.add_argument("--sarif-out", type=Path,
+                        help="also write SARIF 2.1.0 JSON to this file")
+    parser.add_argument("--baseline", type=Path,
+                        help="baseline JSON; findings listed there are "
+                             "suppressed (new findings still fail)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="rewrite the baseline from current findings "
+                             "(refuses src/core and src/entropy)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary on success")
+    args = parser.parse_args(argv)
+
+    if args.root is not None:
+        universe = load_from_root(args.root)
+        repo_root = args.root.resolve()
+    else:
+        repo_root = Path(__file__).resolve().parent.parent.parent
+        compdb = args.compdb or _default_compdb(repo_root)
+        if compdb is None or not compdb.exists():
+            print("analyze: no compile_commands.json found; configure a "
+                  "build first (cmake --preset lint exports one without "
+                  "building) or pass --root", file=sys.stderr)
+            return 2
+        try:
+            universe = load_from_compdb(compdb, repo_root)
+        except (ValueError, OSError) as err:
+            print(f"analyze: {err}", file=sys.stderr)
+            return 2
+    if not universe.files:
+        print("analyze: no sources found", file=sys.stderr)
+        return 2
+
+    ctx = AnalysisContext(universe)
+
+    findings: list[Finding] = []
+    for name in args.passes.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name not in PASSES:
+            print(f"analyze: unknown pass '{name}' (have: "
+                  f"{', '.join(PASSES)})", file=sys.stderr)
+            return 2
+        findings.extend(PASSES[name](ctx))
+    findings.sort(key=sort_key)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("analyze: --write-baseline needs --baseline",
+                  file=sys.stderr)
+            return 2
+        refused = baseline_mod.save(args.baseline, findings)
+        print(f"analyze: baseline written to {args.baseline} "
+              f"({len(findings) - len(refused)} finding(s))")
+        if refused:
+            print(f"analyze: {len(refused)} finding(s) in clean-prefix "
+                  f"paths (src/core, src/entropy) were NOT baselined and "
+                  f"must be fixed:", file=sys.stderr)
+            for f in refused:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        return 0
+
+    suppressed: set[str] = set()
+    if args.baseline is not None:
+        try:
+            suppressed = baseline_mod.load(args.baseline)
+        except ValueError as err:
+            print(f"analyze: {err}", file=sys.stderr)
+            return 2
+    new, baselined, stale = baseline_mod.split(findings, suppressed)
+
+    sarif_doc = sarif_mod.to_sarif(new, repo_root.as_uri())
+    if args.sarif_out is not None:
+        import json
+        args.sarif_out.write_text(json.dumps(sarif_doc, indent=2) + "\n")
+    if args.format == "sarif":
+        import json
+        print(json.dumps(sarif_doc, indent=2))
+    else:
+        for f in new:
+            print(f)
+
+    n_files = len(universe.files)
+    if new:
+        print(f"analyze: {len(new)} new finding(s) in {n_files} files "
+              f"({len(baselined)} baselined)", file=sys.stderr)
+        return 1
+    if stale:
+        print(f"analyze: note: {len(stale)} stale baseline entr"
+              f"{'y' if len(stale) == 1 else 'ies'} (fixed findings); "
+              f"regenerate with --write-baseline", file=sys.stderr)
+    if not args.quiet and args.format == "text":
+        print(f"analyze: clean ({n_files} files, "
+              f"{len(baselined)} baselined finding(s))")
+    return 0

@@ -1,0 +1,97 @@
+"""Translation-unit discovery for the analyzer.
+
+Primary driver is a CMake-exported compile_commands.json: its entries are
+the ground truth for which sources actually build (so generated or
+dead-configured files never pollute the dead-code pass).  Headers do not
+appear in a compilation database, so the project's headers are collected
+by scanning the same roots the build covers.
+
+A `--root` fallback scans a directory tree directly; fixture tests and
+pre-configure runs use it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+SOURCE_SUFFIXES = (".cc", ".cpp", ".cxx")
+HEADER_SUFFIXES = (".h", ".hh", ".hpp")
+
+# Directory roots (relative to the repo root) that make up the analysis
+# universe.  src/ carries the layered modules; the rest are reference
+# roots: their uses keep src/ symbols alive for the dead-code pass.
+LAYERED_ROOT = "src"
+REFERENCE_ROOTS = ("tests", "bench", "examples", "tools")
+
+
+class SourceUniverse:
+    """Every file the analyzer reads, with repo-relative paths."""
+
+    def __init__(self, root: Path):
+        self.root = root.resolve()
+        self.files: dict[str, str] = {}  # rel path -> text
+
+    def add(self, path: Path) -> None:
+        path = path.resolve()
+        if not path.is_relative_to(self.root):
+            return
+        rel = path.relative_to(self.root).as_posix()
+        if rel in self.files:
+            return
+        try:
+            self.files[rel] = path.read_text(errors="replace")
+        except OSError:
+            pass
+
+    def module_of(self, rel: str) -> str | None:
+        """Layer module name for src/<module>/... paths, else None."""
+        parts = rel.split("/")
+        if len(parts) >= 3 and parts[0] == LAYERED_ROOT:
+            return parts[1]
+        return None
+
+    def headers(self) -> list[str]:
+        return sorted(p for p in self.files if p.endswith(HEADER_SUFFIXES))
+
+    def sources(self) -> list[str]:
+        return sorted(p for p in self.files if p.endswith(SOURCE_SUFFIXES))
+
+
+def _scan_headers(universe: SourceUniverse, roots: list[Path]) -> None:
+    for root in roots:
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in HEADER_SUFFIXES + SOURCE_SUFFIXES:
+                universe.add(path)
+
+
+def load_from_compdb(compdb_path: Path, repo_root: Path) -> SourceUniverse:
+    """Universe = compdb TUs + all headers/sources under the known roots.
+
+    The compdb tells us the build is real (and is required so the analyzer
+    only ever runs against a configured tree), but headers and
+    non-compiled helpers still come from the filesystem scan.
+    """
+    universe = SourceUniverse(repo_root)
+    entries = json.loads(compdb_path.read_text())
+    if not isinstance(entries, list) or not entries:
+        raise ValueError(f"{compdb_path}: not a compilation database")
+    for entry in entries:
+        directory = Path(entry.get("directory", "."))
+        file_path = Path(entry["file"])
+        if not file_path.is_absolute():
+            file_path = directory / file_path
+        universe.add(file_path)
+    roots = [repo_root / LAYERED_ROOT]
+    roots += [repo_root / r for r in REFERENCE_ROOTS]
+    _scan_headers(universe, roots)
+    return universe
+
+
+def load_from_root(root: Path) -> SourceUniverse:
+    """Fixture/fallback mode: every .cc/.h under `root` is the universe."""
+    universe = SourceUniverse(root)
+    _scan_headers(universe, [root])
+    return universe

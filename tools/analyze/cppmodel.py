@@ -1,0 +1,567 @@
+"""Structural C++ model built on the token stream.
+
+The analyzer does not parse C++ fully; each pass needs only a slice of
+structure, recovered here by walking the token stream with brace/paren
+depth tracking:
+
+  - includes (project vs system) with line numbers,
+  - namespace / class / enum / function scope classification per brace,
+  - enum definitions with their enumerator lists,
+  - classes with their mutex members, GUARDED_BY fields, and the methods
+    annotated REQUIRES(...) / NO_THREAD_SAFETY_ANALYSIS,
+  - out-of-line method definitions (Class::method) with body token spans,
+  - the namespace-scope names a header exports (functions, types, enums,
+    enumerators, aliases, constexpr constants, macros).
+
+Heuristics err toward under-reporting: a construct the model cannot
+classify produces no findings rather than noise.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from tokenizer import (CHAR, COMMENT, IDENT, NUMBER, PP, PUNCT, STRING,
+                       Token, code_tokens, tokenize)
+
+_INCLUDE_RE = re.compile(r'#\s*include\s*(<[^>]+>|"[^"]+")')
+_DEFINE_RE = re.compile(r"#\s*define\s+([A-Za-z_]\w*)")
+_WORD_RE = re.compile(r"[A-Za-z_]\w*")
+
+_KEYWORDS = {
+    "alignas", "alignof", "auto", "bool", "break", "case", "catch", "char",
+    "class", "const", "consteval", "constexpr", "constinit", "continue",
+    "co_await", "co_return", "co_yield", "decltype", "default", "delete",
+    "do", "double", "else", "enum", "explicit", "export", "extern", "false",
+    "final", "float", "for", "friend", "goto", "if", "inline", "int", "long",
+    "mutable", "namespace", "new", "noexcept", "nullptr", "operator",
+    "override", "private", "protected", "public", "register", "requires",
+    "return", "short", "signed", "sizeof", "static", "static_assert",
+    "static_cast", "struct", "switch", "template", "this", "throw", "true",
+    "try", "typedef", "typeid", "typename", "union", "unsigned", "using",
+    "virtual", "void", "volatile", "while",
+}
+
+GUARDED_BY_MACROS = ("IUSTITIA_GUARDED_BY", "GUARDED_BY",
+                     "IUSTITIA_PT_GUARDED_BY", "PT_GUARDED_BY")
+REQUIRES_MACROS = ("IUSTITIA_REQUIRES", "EXCLUSIVE_LOCKS_REQUIRED",
+                   "REQUIRES")
+NO_ANALYSIS_MACROS = ("IUSTITIA_NO_THREAD_SAFETY_ANALYSIS",
+                      "NO_THREAD_SAFETY_ANALYSIS")
+MUTEX_TYPES = ("Mutex", "mutex")
+LOCK_TYPES = ("MutexLock", "lock_guard", "scoped_lock", "unique_lock")
+
+
+@dataclass
+class Include:
+    target: str        # as written, without <> or ""
+    line: int
+    is_project: bool   # "..." include
+
+
+@dataclass
+class EnumDef:
+    name: str
+    line: int
+    enumerators: list[str]
+    end_line: int = 0
+
+
+@dataclass
+class ClassDef:
+    name: str
+    line: int
+    end_line: int = 0
+    mutexes: set[str] = field(default_factory=set)
+    guarded_fields: dict[str, str] = field(default_factory=dict)  # f -> mu
+    guarded_lines: dict[str, int] = field(default_factory=dict)
+    requires_methods: dict[str, str] = field(default_factory=dict)  # m -> mu
+    no_analysis_methods: set[str] = field(default_factory=set)
+
+
+@dataclass
+class MethodDef:
+    cls: str           # "" for free functions
+    name: str
+    line: int
+    body: list[Token]  # code tokens of the body, braces included
+    no_analysis: bool = False
+    is_special: bool = False  # constructor or destructor
+
+
+@dataclass
+class FileModel:
+    path: str
+    tokens: list[Token]
+    code: list[Token]
+    includes: list[Include]
+    macros: dict[str, int]
+    enums: list[EnumDef]
+    classes: list[ClassDef]
+    methods: list[MethodDef]
+    exported: dict[str, int]   # name -> decl line (namespace scope)
+    nested: dict[str, int]     # class-scope type names (not dead candidates)
+    type_spans: dict[str, tuple[int, int]]  # type name -> def line span
+    provided: dict[str, int]   # exported + nested + enumerators + macros
+
+
+def _match_forward(code: list[Token], i: int, open_p: str, close_p: str) -> int:
+    """Index just past the punctuator matching code[i] (which is open_p)."""
+    depth = 0
+    n = len(code)
+    while i < n:
+        t = code[i]
+        if t.kind == PUNCT:
+            if t.text == open_p:
+                depth += 1
+            elif t.text == close_p:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+        i += 1
+    return n
+
+
+def _paren_group(code: list[Token], i: int) -> tuple[list[Token], int]:
+    """Tokens inside (...) starting at code[i] == '(' and the end index."""
+    end = _match_forward(code, i, "(", ")")
+    return code[i + 1:end - 1], end
+
+
+def parse_includes(tokens: list[Token]) -> list[Include]:
+    out = []
+    for t in tokens:
+        if t.kind != PP:
+            continue
+        m = _INCLUDE_RE.match(t.text)
+        if m:
+            raw = m.group(1)
+            out.append(Include(raw[1:-1], t.line, raw.startswith('"')))
+    return out
+
+
+def parse_macros(tokens: list[Token]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for t in tokens:
+        if t.kind == PP and (m := _DEFINE_RE.match(t.text)):
+            out.setdefault(m.group(1), t.line)
+    return out
+
+
+def _backtrack_method_name(code: list[Token], i: int) -> str | None:
+    """Name of the method whose parameter list ends just before code[i].
+
+    Used for annotations that follow a parameter list:
+        void f(int x) IUSTITIA_REQUIRES(mu_);
+    Walks back over qualifier tokens to the ')'; matches it to its '(';
+    the identifier before that '(' is the method name.
+    """
+    j = i - 1
+    qualifiers = {"const", "noexcept", "override", "final", "&", "&&"}
+    while j >= 0 and (code[j].text in qualifiers or
+                      code[j].text in NO_ANALYSIS_MACROS):
+        j -= 1
+    if j < 0 or code[j].text != ")":
+        return None
+    depth = 0
+    while j >= 0:
+        if code[j].text == ")":
+            depth += 1
+        elif code[j].text == "(":
+            depth -= 1
+            if depth == 0:
+                break
+        j -= 1
+    if j <= 0:
+        return None
+    prev = code[j - 1]
+    if prev.kind == IDENT and prev.text not in _KEYWORDS:
+        return prev.text
+    return None
+
+
+class _ScopeWalker:
+    """Single pass over the code tokens building all structural facts."""
+
+    def __init__(self, path: str, code: list[Token]):
+        self.path = path
+        self.code = code
+        self.enums: list[EnumDef] = []
+        self.classes: list[ClassDef] = []
+        self.methods: list[MethodDef] = []
+        self.exported: dict[str, int] = {}
+        self.nested: dict[str, int] = {}
+        # Scope stack entries: ("namespace"|"class"|"enum"|"opaque", payload)
+        self.scopes: list[tuple[str, object]] = []
+
+    def at_namespace_scope(self) -> bool:
+        return all(kind == "namespace" for kind, _ in self.scopes)
+
+    def current_class(self) -> ClassDef | None:
+        for kind, payload in reversed(self.scopes):
+            if kind == "class":
+                return payload  # type: ignore[return-value]
+            if kind != "namespace":
+                return None
+        return None
+
+    # -- declaration heads -------------------------------------------------
+
+    def _enum_head(self, i: int) -> int | None:
+        """Parses `enum [class|struct] Name [: type] {` at i; returns body
+        start index or None."""
+        code = self.code
+        j = i + 1
+        if j < len(code) and code[j].text in ("class", "struct"):
+            j += 1
+        if j >= len(code) or code[j].kind != IDENT:
+            return None
+        name_tok = code[j]
+        j += 1
+        if j < len(code) and code[j].text == ":":
+            j += 1
+            while j < len(code) and code[j].text not in ("{", ";"):
+                j += 1
+        if j >= len(code) or code[j].text != "{":
+            return None  # opaque-enum-declaration
+        enum = EnumDef(name_tok.text, name_tok.line, [])
+        # Collect enumerators: idents at depth 1 in positions name[, =expr].
+        k, depth = j, 0
+        expect_name = True
+        while k < len(code):
+            t = code[k]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            elif depth == 1:
+                if expect_name and t.kind == IDENT:
+                    enum.enumerators.append(t.text)
+                    expect_name = False
+                elif t.text == ",":
+                    expect_name = True
+            k += 1
+        enum.end_line = code[k].line if k < len(code) else name_tok.line
+        self.enums.append(enum)
+        if self.at_namespace_scope():
+            self.exported.setdefault(enum.name, enum.line)
+        elif self.current_class():
+            self.nested.setdefault(enum.name, enum.line)
+        return j
+
+    def _class_head(self, i: int) -> tuple[int, ClassDef] | None:
+        """Parses `class|struct [attr] Name [final] [: bases] {` at i."""
+        code = self.code
+        j = i + 1
+        while j < len(code) and code[j].text in ("alignas",):
+            j = _match_forward(code, j + 1, "(", ")")
+        if j >= len(code) or code[j].kind != IDENT:
+            return None
+        # Annotation macros (IUSTITIA_CAPABILITY("mutex"), SCOPED_CAPABILITY)
+        # between the class keyword and the class name.
+        while (j + 1 < len(code) and code[j].kind == IDENT and
+               code[j].text.isupper()):
+            if code[j + 1].text == "(":
+                j = _match_forward(code, j + 1, "(", ")")
+            elif code[j + 1].kind == IDENT:
+                j += 1
+            else:
+                break
+        if j >= len(code) or code[j].kind != IDENT:
+            return None
+        name_tok = code[j]
+        j += 1
+        if j < len(code) and code[j].text == "final":
+            j += 1
+        if j < len(code) and code[j].text == ":":
+            while j < len(code) and code[j].text not in ("{", ";"):
+                j += 1
+        if j >= len(code) or code[j].text != "{":
+            return None  # forward declaration / variable of class type
+        cls = ClassDef(name_tok.text, name_tok.line)
+        self.classes.append(cls)
+        if self.at_namespace_scope():
+            self.exported.setdefault(cls.name, cls.line)
+        else:
+            self.nested.setdefault(cls.name, cls.line)
+        return j, cls
+
+    # -- class-body facts --------------------------------------------------
+
+    def _note_class_annotations(self, cls: ClassDef, i: int) -> None:
+        """Records mutex members, guarded fields, and annotated methods when
+        positioned on an interesting identifier inside a class body."""
+        code = self.code
+        t = code[i]
+        if t.text in MUTEX_TYPES and i + 1 < len(code) and \
+                code[i + 1].kind == IDENT:
+            cls.mutexes.add(code[i + 1].text)
+        elif t.text in GUARDED_BY_MACROS and i + 1 < len(code) and \
+                code[i + 1].text == "(":
+            group, _ = _paren_group(code, i + 1)
+            mutex = "".join(g.text for g in group)
+            prev = code[i - 1] if i > 0 else None
+            if prev is not None and prev.kind == IDENT:
+                cls.guarded_fields[prev.text] = mutex
+                cls.guarded_lines[prev.text] = prev.line
+        elif t.text in REQUIRES_MACROS and i + 1 < len(code) and \
+                code[i + 1].text == "(":
+            group, _ = _paren_group(code, i + 1)
+            mutex = "".join(g.text for g in group)
+            name = _backtrack_method_name(code, i)
+            if name:
+                cls.requires_methods[name] = mutex
+        elif t.text in NO_ANALYSIS_MACROS:
+            name = _backtrack_method_name(code, i)
+            if name:
+                cls.no_analysis_methods.add(name)
+
+    # -- out-of-line method definitions -----------------------------------
+
+    def _try_method_def(self, i: int) -> int | None:
+        """Parses `Class::name(params) quals [:: init] { body }` at i (the
+        class identifier).  Returns the index past the body, else None."""
+        code = self.code
+        n = len(code)
+        if not (i + 2 < n and code[i].kind == IDENT and
+                code[i + 1].text == "::"):
+            return None
+        j = i + 2
+        is_dtor = False
+        if code[j].text == "~":
+            is_dtor = True
+            j += 1
+        if j >= n or code[j].kind != IDENT:
+            return None
+        name_tok = code[j]
+        j += 1
+        # Template-argument lists and further :: qualifications are rare in
+        # this codebase; bail out rather than misparse.
+        if j < n and code[j].text == "::":
+            return None
+        if j >= n or code[j].text != "(":
+            return None
+        j = _match_forward(code, j, "(", ")")
+        no_analysis = False
+        # Qualifiers / annotations / ctor-init between params and body.
+        while j < n and code[j].text != "{" and code[j].text != ";":
+            t = code[j]
+            if t.text in NO_ANALYSIS_MACROS:
+                no_analysis = True
+                j += 1
+            elif t.kind == IDENT and j + 1 < n and code[j + 1].text == "(":
+                j = _match_forward(code, j + 1, "(", ")")
+            elif t.text == ":":
+                # ctor-init list: skip to the body brace at paren depth 0.
+                j += 1
+                depth = 0
+                while j < n:
+                    if code[j].text in ("(", "{") and depth > 0:
+                        depth += 1
+                    elif code[j].text == "(":
+                        depth += 1
+                    elif code[j].text == ")":
+                        depth -= 1
+                    elif code[j].text == "{" and depth == 0:
+                        break
+                    elif code[j].text == "}" and depth > 0:
+                        depth -= 1
+                    elif code[j].text == ";":
+                        return None
+                    j += 1
+            elif t.text in ("const", "noexcept", "override", "final", "&",
+                            "&&", "->") or t.kind in (IDENT, NUMBER):
+                j += 1
+            else:
+                return None
+        if j >= n or code[j].text != "{":
+            return None
+        end = _match_forward(code, j, "{", "}")
+        self.methods.append(MethodDef(
+            cls=code[i].text,
+            name=name_tok.text,
+            line=name_tok.line,
+            body=code[j:end],
+            no_analysis=no_analysis,
+            is_special=is_dtor or name_tok.text == code[i].text))
+        return end
+
+    # -- namespace-scope free declarations ---------------------------------
+
+    def _note_namespace_decl(self, i: int) -> None:
+        """Exports free functions / aliases / constants declared at i."""
+        code = self.code
+        t = code[i]
+        if t.kind != IDENT or t.text in _KEYWORDS:
+            return
+        prev = code[i - 1] if i > 0 else None
+        nxt = code[i + 1] if i + 1 < len(code) else None
+        if nxt is None:
+            return
+        # using Name = ...;
+        if prev is not None and prev.text == "using" and nxt.text == "=":
+            self.exported.setdefault(t.text, t.line)
+            return
+        if prev is not None and prev.text in (".", "->", "::"):
+            return
+        # Function declaration/definition: name immediately before '('.
+        # ALL_CAPS names before '(' are macro invocations (x-macro style),
+        # not declarations.
+        if nxt.text == "(":
+            if not t.text.isupper():
+                self.exported.setdefault(t.text, t.line)
+            return
+        # Variable/constant: name before '=', '{', '[' or ';' at decl end.
+        if nxt.text in ("=", "[", ";", "{") and prev is not None and \
+                (prev.kind == IDENT or prev.text in ("&", "*", ">")):
+            self.exported.setdefault(t.text, t.line)
+
+    # -- driver ------------------------------------------------------------
+
+    def walk(self) -> None:
+        code = self.code
+        i, n = 0, len(code)
+        while i < n:
+            t = code[i]
+            if t.text == "namespace" and self.at_namespace_scope():
+                j = i + 1
+                while j < n and (code[j].kind == IDENT or
+                                 code[j].text == "::"):
+                    j += 1
+                if j < n and code[j].text == "{":
+                    self.scopes.append(("namespace", None))
+                    i = j + 1
+                    continue
+                # namespace alias or `using namespace`: skip statement.
+                while j < n and code[j].text != ";":
+                    j += 1
+                i = j + 1
+                continue
+            if t.text == "enum":
+                body = self._enum_head(i)
+                if body is not None:
+                    i = _match_forward(code, body, "{", "}")
+                    continue
+            if t.text in ("class", "struct") and \
+                    (self.at_namespace_scope() or self.current_class()):
+                head = self._class_head(i)
+                if head is not None:
+                    body_start, cls = head
+                    self.scopes.append(("class", cls))
+                    i = body_start + 1
+                    continue
+                # fall through: forward declaration etc.
+            if t.text == "using" and self.at_namespace_scope():
+                # `using X = ...;` exports X; either way skip to the ';'
+                # so alias right-hand sides (`unsigned __int128`) and
+                # using-declarations never look like declarations.
+                if (i + 2 < n and code[i + 1].kind == IDENT and
+                        code[i + 2].text == "="):
+                    self.exported.setdefault(code[i + 1].text,
+                                             code[i + 1].line)
+                j = i + 1
+                while j < n and code[j].text != ";":
+                    j += 1
+                i = j + 1
+                continue
+            if t.text == "{":
+                self.scopes.append(("opaque", None))
+                i += 1
+                continue
+            if t.text == "}":
+                if self.scopes:
+                    kind, payload = self.scopes.pop()
+                    if kind == "class" and payload is not None:
+                        payload.end_line = t.line  # type: ignore[union-attr]
+                i += 1
+                continue
+
+            cls = self.current_class()
+            if cls is not None and t.kind == IDENT:
+                self._note_class_annotations(cls, i)
+            if self.at_namespace_scope():
+                end = self._try_method_def(i)
+                if end is not None:
+                    i = end
+                    continue
+                self._note_namespace_decl(i)
+                # Parameter lists / initializer calls hold no namespace-scope
+                # declarations; skipping them keeps default-argument names
+                # out of the export table.
+                if t.text == "(":
+                    i = _match_forward(code, i, "(", ")")
+                    continue
+            i += 1
+
+
+def build_model(path: str, text: str) -> FileModel:
+    tokens = tokenize(text)
+    code = code_tokens(tokens)
+    walker = _ScopeWalker(path, code)
+    walker.walk()
+    macros = parse_macros(tokens)
+    provided = dict(walker.exported)
+    for name, line in walker.nested.items():
+        provided.setdefault(name, line)
+    for m, line in macros.items():
+        provided.setdefault(m, line)
+    for enum in walker.enums:
+        for e in enum.enumerators:
+            provided.setdefault(e, enum.line)
+    type_spans: dict[str, tuple[int, int]] = {}
+    for cls in walker.classes:
+        type_spans.setdefault(cls.name, (cls.line, cls.end_line or cls.line))
+    for enum in walker.enums:
+        type_spans.setdefault(enum.name,
+                              (enum.line, enum.end_line or enum.line))
+    return FileModel(
+        path=path,
+        tokens=tokens,
+        code=code,
+        includes=parse_includes(tokens),
+        macros=macros,
+        enums=walker.enums,
+        classes=walker.classes,
+        methods=walker.methods,
+        exported=walker.exported,
+        nested=walker.nested,
+        type_spans=type_spans,
+        provided=provided,
+    )
+
+
+def identifier_uses(model: FileModel) -> set[str]:
+    """Every identifier the file mentions (code + macro bodies)."""
+    uses = {t.text for t in model.code if t.kind == IDENT}
+    for t in model.tokens:
+        if t.kind == PP and not t.text.lstrip("# ").startswith("include"):
+            uses.update(_WORD_RE.findall(t.text))
+    return uses
+
+
+_DEFINE_BODY_RE = re.compile(
+    r"#\s*define\s+[A-Za-z_]\w*(?:\([^)]*\))?(.*)", re.S)
+
+
+def macro_body_idents(model: FileModel) -> dict[str, set[str]]:
+    """Macro name -> identifiers appearing in its replacement text.
+
+    Feeds the dead-code liveness fixpoint: a symbol referenced from the
+    body of a live macro is reachable wherever that macro is expanded,
+    even though no ordinary code token names it.
+    """
+    out: dict[str, set[str]] = {}
+    for t in model.tokens:
+        if t.kind != PP:
+            continue
+        name_m = _DEFINE_RE.match(t.text)
+        if not name_m:
+            continue
+        body_m = _DEFINE_BODY_RE.match(t.text)
+        body = body_m.group(1) if body_m else ""
+        out.setdefault(name_m.group(1), set()).update(
+            _WORD_RE.findall(body))
+    return out

@@ -1,0 +1,63 @@
+"""Finding type and the rule registry shared by every analyzer pass.
+
+A Finding's `fingerprint` intentionally excludes the line number: baselines
+must survive unrelated edits above a legacy finding.  The `anchor` is a
+stable symbol-ish key (include path, Class::method.field, function name)
+that, with the rule id and file, identifies "the same" finding across
+revisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+# rule id -> (short description, SARIF level)
+RULES: dict[str, tuple[str, str]] = {
+    "layer-violation": (
+        "module includes a header its layer is not allowed to depend on",
+        "error"),
+    "layer-cycle": (
+        "include cycle between project headers", "error"),
+    "layer-unknown-module": (
+        "src/ module missing from the allowed-dependency matrix", "error"),
+    "lock-unguarded-access": (
+        "guarded field accessed without taking its mutex or declaring "
+        "EXCLUSIVE_LOCKS_REQUIRED", "error"),
+    "lock-unknown-mutex": (
+        "GUARDED_BY names a mutex that is not a member of the class",
+        "error"),
+    "dead-symbol": (
+        "exported symbol never referenced outside its own translation unit",
+        "warning"),
+    "unused-include": (
+        "header included but none of its declarations are used", "warning"),
+    "switch-not-exhaustive": (
+        "switch over an enum misses enumerators and has no CHECK'd default",
+        "error"),
+    "check-in-hot-loop": (
+        "CHECK (always-on) inside a loop in a hot module; use DCHECK",
+        "warning"),
+    "lock-held-io": (
+        "I/O or blocking call while a MutexLock is live", "error"),
+}
+
+
+@dataclass
+class Finding:
+    rule: str
+    path: str      # repo-relative, '/'-separated
+    line: int      # 1-based
+    message: str
+    anchor: str = ""  # stable identity component (symbol, include, ...)
+    related: list[tuple[str, int, str]] = field(default_factory=list)
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}:{self.path}:{self.anchor or self.message}"
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def sort_key(f: Finding) -> tuple:
+    return (f.path, f.line, f.rule, f.anchor)

@@ -1,0 +1,10 @@
+"""Analyzer passes.  Each exposes run(ctx) -> list[Finding]."""
+
+from passes import contracts, deadcode, layering, locks
+
+PASSES = {
+    "layering": layering.run,
+    "locks": locks.run,
+    "deadcode": deadcode.run,
+    "contracts": contracts.run,
+}

@@ -1,0 +1,234 @@
+"""API-contract pass: enum-switch exhaustiveness and hot-path hygiene.
+
+switch-not-exhaustive
+    A switch whose case labels name enumerators of a known project enum
+    (`Enum::kFoo`) must either list every enumerator or carry a default
+    arm that fails loudly (CHECK/LOG(FATAL)/abort/unreachable).  A silent
+    default turns "someone added a FlowNature" into a wrong-answer bug
+    instead of a compile/test failure.
+
+check-in-hot-loop
+    CHECK and its comparison forms are always-on; inside the per-packet /
+    per-gram loops of src/entropy and src/core they tax the paths the
+    paper's Table 3 measures.  Use DCHECK there (kept live by the default
+    IUSTITIA_DCHECKS=ON build, free in benchmark builds).
+
+lock-held-io
+    While a MutexLock is live, blocking calls (stream/file I/O, logging,
+    sleeping) stretch the critical section across every waiter.  Flagged
+    from the lock's declaration to the end of its enclosing block.
+    Container operations (push_back etc.) are deliberately not flagged:
+    bounded allocation under a short lock is this codebase's idiom.
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+from tokenizer import IDENT, PUNCT, nolint_lines
+
+HOT_MODULES = ("entropy", "core")
+
+_FATAL_DEFAULT_MARKERS = (
+    "CHECK", "DCHECK", "abort", "unreachable", "LOG_FATAL", "FATAL",
+    "CheckFailure", "throw",
+)
+
+_CHECK_FAMILY_PREFIX = "CHECK"  # CHECK, CHECK_EQ, CHECK_LT, ...
+
+_BLOCKING_CALLS = {
+    "printf", "fprintf", "snprintf_to_file", "puts", "fputs", "fopen",
+    "fclose", "fread", "fwrite", "fflush", "cout", "cerr", "clog",
+    "ofstream", "ifstream", "fstream", "getline", "system", "popen",
+    "sleep", "sleep_for", "sleep_until", "usleep", "nanosleep",
+    "read_corpus", "write_corpus", "load_model", "save_model",
+}
+
+
+def _is_check_ident(text: str) -> bool:
+    return text.startswith(_CHECK_FAMILY_PREFIX) and \
+        not text.startswith("CHECK_FAILURE")
+
+
+def _enum_tables(ctx) -> dict[str, set[str]]:
+    enums: dict[str, set[str]] = {}
+    for model in ctx.models.values():
+        for enum in model.enums:
+            if enum.enumerators:
+                enums.setdefault(enum.name, set(enum.enumerators))
+    return enums
+
+
+def _check_switches(ctx, path, model, enums, findings) -> None:
+    code = model.code
+    suppressed = nolint_lines(model.tokens, "switch-not-exhaustive")
+    n = len(code)
+    for i, tok in enumerate(code):
+        if tok.kind != IDENT or tok.text != "switch":
+            continue
+        # Find the switch body brace.
+        j = i + 1
+        if j >= n or code[j].text != "(":
+            continue
+        depth = 0
+        while j < n:
+            if code[j].text == "(":
+                depth += 1
+            elif code[j].text == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        j += 1
+        if j >= n or code[j].text != "{":
+            continue
+        # Walk the body at depth 1, collecting case labels and default arm.
+        body_depth = 0
+        cases: list[tuple[str | None, str]] = []  # (enum, enumerator)
+        default_fatal = False
+        has_default = False
+        in_default_arm = False
+        k = j
+        while k < n:
+            t = code[k]
+            if t.text == "{":
+                body_depth += 1
+            elif t.text == "}":
+                body_depth -= 1
+                if body_depth == 0:
+                    break
+            elif t.kind == IDENT and t.text == "case" and body_depth == 1:
+                in_default_arm = False
+                # label: [Ns::]Enum::kFoo  or a plain constant.
+                lbl: list[str] = []
+                m = k + 1
+                while m < n and code[m].text != ":":
+                    if code[m].kind in (IDENT,) or code[m].text == "::":
+                        lbl.append(code[m].text)
+                    m += 1
+                    if m - k > 12:
+                        break
+                if len(lbl) >= 3 and lbl[-2] == "::":
+                    cases.append((lbl[-3], lbl[-1]))
+                else:
+                    cases.append((None, "".join(lbl)))
+            elif t.kind == IDENT and t.text == "default" and body_depth == 1:
+                has_default = True
+                in_default_arm = True
+            elif in_default_arm and t.kind == IDENT:
+                if any(t.text.startswith(mark)
+                       for mark in _FATAL_DEFAULT_MARKERS):
+                    default_fatal = True
+            k += 1
+
+        enum_names = {e for e, _ in cases if e is not None and e in enums}
+        if len(enum_names) != 1:
+            continue  # not an enum switch we can attribute
+        enum_name = enum_names.pop()
+        covered = {c for e, c in cases if e == enum_name}
+        missing = sorted(enums[enum_name] - covered)
+        if not missing:
+            continue
+        if has_default and default_fatal:
+            continue
+        if tok.line in suppressed:
+            continue
+        arm = "a CHECK'd default arm" if has_default else "no default arm"
+        findings.append(Finding(
+            "switch-not-exhaustive", path, tok.line,
+            f"switch over {enum_name} misses {{{', '.join(missing)}}} with "
+            f"{arm}; add the cases or CHECK on default",
+            anchor=f"{enum_name}@{tok.line // 10}"))
+
+
+def _check_hot_loops(ctx, path, model, findings) -> None:
+    module = ctx.universe.module_of(path)
+    if module not in HOT_MODULES:
+        return
+    suppressed = nolint_lines(model.tokens, "check-in-hot-loop")
+    code = model.code
+    n = len(code)
+    # Collect loop body spans: for/while followed by (...) then { ... }.
+    i = 0
+    loop_depths: list[int] = []  # brace depths at which a loop body opened
+    depth = 0
+    while i < n:
+        t = code[i]
+        if t.kind == IDENT and t.text in ("for", "while") and \
+                i + 1 < n and code[i + 1].text == "(":
+            j = i + 1
+            pd = 0
+            while j < n:
+                if code[j].text == "(":
+                    pd += 1
+                elif code[j].text == ")":
+                    pd -= 1
+                    if pd == 0:
+                        break
+                j += 1
+            j += 1
+            if j < n and code[j].text == "{":
+                loop_depths.append(depth + 1)
+            i = j
+            continue
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            if loop_depths and loop_depths[-1] == depth:
+                loop_depths.pop()
+            depth -= 1
+        elif loop_depths and t.kind == IDENT and _is_check_ident(t.text) \
+                and i + 1 < n and code[i + 1].text == "(":
+            if t.line not in suppressed:
+                findings.append(Finding(
+                    "check-in-hot-loop", path, t.line,
+                    f"{t.text} inside a loop in hot module '{module}'; "
+                    f"use the DCHECK form (or hoist the check out of the "
+                    f"loop)",
+                    anchor=f"{t.text}@{t.line // 10}"))
+        i += 1
+
+
+def _check_lock_held_io(ctx, path, model, findings) -> None:
+    suppressed = nolint_lines(model.tokens, "lock-held-io")
+    code = model.code
+    n = len(code)
+    depth = 0
+    # Stack of (depth, mutex_name) for live RAII locks.
+    live: list[tuple[int, str]] = []
+    for i, t in enumerate(code):
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            while live and live[-1][0] > depth - 1:
+                live.pop()
+            depth -= 1
+        elif t.kind == IDENT and t.text == "MutexLock" and \
+                i + 2 < n and code[i + 1].kind == IDENT and \
+                code[i + 2].text == "(":
+            j = i + 3
+            expr = []
+            while j < n and code[j].text != ")":
+                expr.append(code[j].text)
+                j += 1
+            live.append((depth, "".join(expr)))
+        elif live and t.kind == IDENT and t.text in _BLOCKING_CALLS:
+            if t.line in suppressed:
+                continue
+            findings.append(Finding(
+                "lock-held-io", path, t.line,
+                f"'{t.text}' called while MutexLock({live[-1][1]}) is "
+                f"live; move the I/O outside the critical section",
+                anchor=f"{t.text}@{live[-1][1]}"))
+    return
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    enums = _enum_tables(ctx)
+    for path, model in sorted(ctx.models.items()):
+        if ctx.universe.module_of(path) is None:
+            continue
+        _check_switches(ctx, path, model, enums, findings)
+        _check_hot_loops(ctx, path, model, findings)
+        _check_lock_held_io(ctx, path, model, findings)
+    return findings

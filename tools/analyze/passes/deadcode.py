@@ -1,0 +1,154 @@
+"""Dead-code pass: unreferenced exports and unused includes (IWYU-lite).
+
+dead-symbol
+    A function/class/enum/alias exported from a src/ header that no file
+    outside its own component (the header plus its paired .cc) ever
+    mentions is dead weight: it still costs compile time, review
+    attention, and refactoring drag.  Tests, benches, examples, and tools
+    count as references, so "used only by tests" is alive by design.
+
+unused-include
+    A file includes a project header but uses none of the names that
+    header provides (exported symbols, enumerators, macros).  Matching is
+    by identifier, so a header kept for a type that is only named in a
+    transitive way can need an inline suppression:
+        #include "foo/bar.h"  // NOLINT(unused-include): <why>
+
+Both rules under-report by construction: any identifier collision counts
+as a use.  That is the right failure mode for a gate that must never cry
+wolf on legacy code.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from cppmodel import IDENT, identifier_uses, macro_body_idents
+from findings import Finding
+from tokenizer import nolint_lines
+
+# Names too generic to prove liveness/use by identifier matching.
+_IGNORED_EXPORTS = {"size", "begin", "end", "value", "type", "data", "get"}
+
+
+def _component_of(path: str) -> str:
+    """foo/bar.cc and foo/bar.h form one component."""
+    for suffix in (".cc", ".cpp", ".cxx", ".h", ".hh", ".hpp"):
+        if path.endswith(suffix):
+            return path[:-len(suffix)]
+    return path
+
+
+def _type_used_in_component(ctx, model, name: str) -> bool:
+    """Types get a weaker liveness rule than functions: callers often hold
+    them only through `auto` (e.g. the struct returned by stats()), so a
+    type named anywhere outside its own definition span — including by the
+    component's own declarations — is alive."""
+    start, end = model.type_spans[name]
+    component = _component_of(model.path)
+    for other_path, other_model in ctx.models.items():
+        if _component_of(other_path) != component:
+            continue
+        for t in other_model.code:
+            if t.kind != IDENT or t.text != name:
+                continue
+            if other_path == model.path and start <= t.line <= end:
+                continue  # its own definition does not keep it alive
+            return True
+    return False
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+
+    uses_by_file: dict[str, set[str]] = {
+        path: identifier_uses(model) for path, model in ctx.models.items()
+    }
+
+    # ident -> set of components mentioning it.
+    mentions: dict[str, set[str]] = defaultdict(set)
+    for path, uses in uses_by_file.items():
+        component = _component_of(path)
+        for ident in uses:
+            mentions[ident].add(component)
+
+    # Macro-expansion liveness, to a fixpoint: if a macro defined in
+    # component C is mentioned from outside C, every identifier in its
+    # replacement text is reachable from those same outside components
+    # (CHECK(...) expands to internal::CheckFailure, so CheckFailure is
+    # alive wherever CHECK is used).  Iterated because macros expand to
+    # other macros.
+    macro_bodies: dict[str, tuple[str, set[str]]] = {}
+    for path, model in ctx.models.items():
+        component = _component_of(path)
+        for name, body in macro_body_idents(model).items():
+            macro_bodies.setdefault(name, (component, set()))[1].update(body)
+    for _ in range(10):
+        changed = False
+        for name, (component, body) in macro_bodies.items():
+            users = mentions.get(name, set()) - {component}
+            if not users:
+                continue
+            for ident in body:
+                if not users <= mentions[ident]:
+                    mentions[ident] |= users
+                    changed = True
+        if not changed:
+            break
+
+    # --- dead exported symbols -------------------------------------------
+    for path in ctx.universe.headers():
+        if ctx.universe.module_of(path) is None:
+            continue
+        model = ctx.models[path]
+        suppressed = nolint_lines(model.tokens, "dead-symbol")
+        component = _component_of(path)
+        for name, line in sorted(model.exported.items(),
+                                 key=lambda kv: kv[1]):
+            if name in _IGNORED_EXPORTS or name.startswith("operator"):
+                continue
+            outside = mentions.get(name, set()) - {component}
+            if outside:
+                continue
+            if name in model.type_spans and \
+                    _type_used_in_component(ctx, model, name):
+                continue
+            if line in suppressed:
+                continue
+            findings.append(Finding(
+                "dead-symbol", path, line,
+                f"'{name}' is exported here but never referenced outside "
+                f"{component}.*; delete it or NOLINT(dead-symbol) with a "
+                f"reason",
+                anchor=name))
+
+    # --- unused includes --------------------------------------------------
+    for path, model in sorted(ctx.models.items()):
+        uses = uses_by_file[path]
+        component = _component_of(path)
+        suppressed = nolint_lines(model.tokens, "unused-include")
+        # For foo.cc, names used by the paired foo.h count: the pair is one
+        # component and the .h include chain is part of its interface.
+        for other, other_model in ctx.models.items():
+            if other != path and _component_of(other) == component:
+                uses = uses | uses_by_file[other]
+        for inc in model.includes:
+            if not inc.is_project:
+                continue
+            target = ctx.resolve_include(inc.target)
+            if target is None or target not in ctx.models:
+                continue
+            if _component_of(target) == component:
+                continue  # paired header include is always kept
+            provided = set(ctx.models[target].provided)
+            if provided & uses:
+                continue
+            if inc.line in suppressed:
+                continue
+            findings.append(Finding(
+                "unused-include", path, inc.line,
+                f"\"{inc.target}\" is included but none of its "
+                f"{len(provided)} exported names are used",
+                anchor=inc.target))
+
+    return findings

@@ -1,0 +1,114 @@
+"""Layering pass: module dependency matrix + include-cycle detection.
+
+The architecture stacks the src/ modules in layers (see DESIGN.md
+"Layering"):
+
+      L0  util
+      L1  datagen   entropy   ml
+      L2  net   dpi
+      L3  appproto
+      L4  core
+
+A module may include headers only from the modules its matrix row names
+(always itself and anything in a strictly lower layer that the row lists).
+The matrix is deliberately explicit — adding a dependency edge is a code
+review decision, made by editing ALLOWED_DEPS here, not an accident of
+whoever first writes the include line.
+
+The pass also rejects include cycles among project headers, which break
+incremental builds and usually signal a layering problem the matrix has
+not caught yet (e.g. a cycle inside one module).
+"""
+
+from __future__ import annotations
+
+from findings import Finding
+
+# module -> modules it may include from (itself is always allowed).
+ALLOWED_DEPS: dict[str, set[str]] = {
+    "util": set(),
+    "datagen": {"util"},
+    "entropy": {"util"},
+    "ml": {"util"},
+    "net": {"util", "datagen"},
+    "dpi": {"util", "datagen"},
+    "appproto": {"util", "datagen", "net"},
+    "core": {"util", "datagen", "entropy", "ml", "net", "appproto"},
+}
+
+
+def _project_target(include_target: str) -> str | None:
+    """Module of an include written repo-style ("net/packet.h")."""
+    parts = include_target.split("/")
+    return parts[0] if len(parts) >= 2 else None
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    allowed = ctx.allowed_deps if ctx.allowed_deps is not None \
+        else ALLOWED_DEPS
+
+    # --- matrix check over every layered file -----------------------------
+    for path, model in sorted(ctx.models.items()):
+        module = ctx.universe.module_of(path)
+        if module is None:
+            continue  # tests/bench/examples/tools are not layered
+        if module not in allowed:
+            findings.append(Finding(
+                "layer-unknown-module", path, 1,
+                f"module '{module}' is not in the allowed-dependency "
+                f"matrix; add it to DESIGN.md and tools/analyze",
+                anchor=module))
+            continue
+        row = allowed[module] | {module}
+        for inc in model.includes:
+            if not inc.is_project:
+                continue
+            target = _project_target(inc.target)
+            if target is None or target not in allowed:
+                continue  # not a layered module header
+            if target not in row:
+                findings.append(Finding(
+                    "layer-violation", path, inc.line,
+                    f"module '{module}' may not depend on '{target}' "
+                    f"(include of \"{inc.target}\"); allowed: "
+                    f"{{{', '.join(sorted(row))}}}",
+                    anchor=f"{module}->{inc.target}"))
+
+    # --- include cycles among project headers -----------------------------
+    graph: dict[str, list[tuple[str, int]]] = {}
+    for path, model in ctx.models.items():
+        edges = []
+        for inc in model.includes:
+            if inc.is_project and ctx.resolve_include(inc.target):
+                edges.append((ctx.resolve_include(inc.target), inc.line))
+        graph[path] = edges
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = dict.fromkeys(graph, WHITE)
+    stack: list[str] = []
+    reported: set[frozenset[str]] = set()
+
+    def dfs(node: str) -> None:
+        color[node] = GRAY
+        stack.append(node)
+        for dep, line in graph.get(node, ()):
+            if color.get(dep, BLACK) == GRAY:
+                cycle = stack[stack.index(dep):] + [dep]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    findings.append(Finding(
+                        "layer-cycle", node, line,
+                        "include cycle: " + " -> ".join(cycle),
+                        anchor="->".join(sorted(set(cycle)))))
+            elif color.get(dep) == WHITE:
+                dfs(dep)
+        stack.pop()
+        color[node] = BLACK
+
+    for node in sorted(graph):
+        if color[node] == WHITE:
+            dfs(node)
+
+    return findings

@@ -1,0 +1,124 @@
+"""Lock-discipline pass: a TSA-lite checker that works on every compiler.
+
+Clang's -Wthread-safety proves the GUARDED_BY contracts statically, but
+GCC compiles the annotations to no-ops, so a GCC-only CI run would let a
+lock-discipline regression through.  This pass re-checks the core of the
+contract from the annotations themselves:
+
+  For every field declared IUSTITIA_GUARDED_BY(mu) in a class, every
+  out-of-line method of that class that mentions the field must either
+  (a) construct a util::MutexLock (or std::lock_guard/scoped_lock/
+  unique_lock) on that mutex somewhere in its body, (b) be declared
+  IUSTITIA_REQUIRES(mu) in the class, or (c) carry
+  IUSTITIA_NO_THREAD_SAFETY_ANALYSIS (the audited escape hatch).
+
+Known, deliberate approximations (Clang remains the precise checker):
+  - granularity is the whole method body: a lock taken in any block
+    satisfies accesses in the whole method;
+  - constructors and destructors are exempt (single-owner by language
+    rules, and locking there is usually a bug in itself);
+  - header-inline method bodies are not checked, matching this repo's
+    convention that any method touching guarded state lives in the .cc.
+"""
+
+from __future__ import annotations
+
+from cppmodel import LOCK_TYPES
+from findings import Finding
+from tokenizer import IDENT, nolint_lines
+
+RULE = "lock-unguarded-access"
+
+
+def _normalize_mutex(expr: str) -> str:
+    """GUARDED_BY(mu_) and MutexLock lock(mu_) both reduce to 'mu_'."""
+    return expr.replace("&", "").replace("this->", "").strip()
+
+
+def _locks_taken(body) -> set[str]:
+    """Mutex member names locked via RAII guards anywhere in the body."""
+    taken: set[str] = set()
+    for i, t in enumerate(body):
+        if t.kind != IDENT or t.text not in LOCK_TYPES:
+            continue
+        # MutexLock <var> ( <mutex-expr> )  /  lock_guard<...> var(mu)
+        j = i + 1
+        if j < len(body) and body[j].text == "<":
+            depth = 0
+            while j < len(body):
+                if body[j].text == "<":
+                    depth += 1
+                elif body[j].text == ">":
+                    depth -= 1
+                    if depth == 0:
+                        j += 1
+                        break
+                j += 1
+        if j < len(body) and body[j].kind == IDENT:
+            j += 1
+        if j >= len(body) or body[j].text not in ("(", "{"):
+            continue
+        close = ")" if body[j].text == "(" else "}"
+        expr: list[str] = []
+        k = j + 1
+        while k < len(body) and body[k].text != close:
+            expr.append(body[k].text)
+            k += 1
+        if expr:
+            taken.add(_normalize_mutex("".join(expr)))
+    return taken
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+
+    # class name -> ClassDef with guarded fields (headers + sources).
+    guarded_classes = {}
+    for model in ctx.models.values():
+        for cls in model.classes:
+            if cls.guarded_fields:
+                guarded_classes.setdefault(cls.name, []).append(cls)
+
+    if not guarded_classes:
+        return findings
+
+    for path, model in sorted(ctx.models.items()):
+        if ctx.universe.module_of(path) is None:
+            continue
+        suppressed = nolint_lines(model.tokens, RULE)
+        for method in model.methods:
+            defs = guarded_classes.get(method.cls)
+            if not defs or method.no_analysis or method.is_special:
+                continue
+            cls = defs[0]
+            if method.name in cls.no_analysis_methods:
+                continue
+            required = cls.requires_methods.get(method.name)
+            taken = _locks_taken(method.body)
+            for tok in method.body:
+                if tok.kind != IDENT or tok.text not in cls.guarded_fields:
+                    continue
+                mutex = _normalize_mutex(cls.guarded_fields[tok.text])
+                if cls.mutexes and mutex not in cls.mutexes:
+                    findings.append(Finding(
+                        "lock-unknown-mutex", path, tok.line,
+                        f"{method.cls}::{method.name} touches "
+                        f"'{tok.text}' guarded by '{mutex}', which is not "
+                        f"a mutex member of {method.cls}",
+                        anchor=f"{method.cls}.{tok.text}"))
+                    break
+                if required is not None and \
+                        _normalize_mutex(required) == mutex:
+                    continue
+                if mutex in taken:
+                    continue
+                if tok.line in suppressed:
+                    continue
+                findings.append(Finding(
+                    RULE, path, tok.line,
+                    f"{method.cls}::{method.name} accesses '{tok.text}' "
+                    f"(guarded by {mutex}) without MutexLock({mutex}) or "
+                    f"an IUSTITIA_REQUIRES({mutex}) annotation",
+                    anchor=f"{method.cls}::{method.name}.{tok.text}"))
+                break  # one finding per method per field set
+    return findings

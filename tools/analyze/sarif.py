@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 emitter for analyzer findings.
+
+Emits one run with the full rule table (so viewers can show rule help for
+rules with zero results) and one result per finding.  Fingerprints go in
+the standard `fingerprints` property under the key "iustitia/v1" — the
+same string the baseline file stores, so SARIF consumers and the baseline
+gate agree on finding identity.
+"""
+
+from __future__ import annotations
+
+from findings import RULES, Finding, sort_key
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+TOOL_NAME = "iustitia-analyze"
+TOOL_VERSION = "1.0.0"
+SRCROOT = "SRCROOT"
+
+
+def to_sarif(findings: list[Finding], repo_root_uri: str) -> dict:
+    rule_ids = sorted(RULES)
+    rule_index = {rid: i for i, rid in enumerate(rule_ids)}
+    rules = [
+        {
+            "id": rid,
+            "name": "".join(w.capitalize() for w in rid.split("-")),
+            "shortDescription": {"text": RULES[rid][0]},
+            "defaultConfiguration": {"level": RULES[rid][1]},
+        }
+        for rid in rule_ids
+    ]
+    results = []
+    for f in sorted(findings, key=sort_key):
+        level = RULES.get(f.rule, ("", "warning"))[1]
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_index.get(f.rule, -1),
+            "level": level,
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": f.path,
+                        "uriBaseId": SRCROOT,
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+            "fingerprints": {"iustitia/v1": f.fingerprint},
+        }
+        if f.related:
+            result["relatedLocations"] = [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": p, "uriBaseId": SRCROOT},
+                    "region": {"startLine": max(1, line)},
+                },
+                "message": {"text": msg},
+            } for p, line, msg in f.related]
+        results.append(result)
+    if not repo_root_uri.endswith("/"):
+        repo_root_uri += "/"
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "version": TOOL_VERSION,
+                    "informationUri":
+                        "https://example.invalid/iustitia/tools/analyze",
+                    "rules": rules,
+                },
+            },
+            "originalUriBaseIds": {
+                SRCROOT: {"uri": repo_root_uri},
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }

@@ -1,0 +1,214 @@
+"""A real C++ tokenizer (lexer) for the iustitia static analyzer.
+
+Unlike the line-regex checks in tools/lint.py, every pass in tools/analyze
+works on a token stream: identifiers, numbers, string/char literals
+(including raw strings), punctuation, preprocessor directives, and
+comments, each carrying a line number.  Comments and preprocessor lines
+are kept as tokens so passes can honor inline suppressions and read
+#include / #define directives, but `code_tokens()` gives the stream most
+passes want: everything the compiler proper would see.
+
+This is a lexer, not a parser: the pass layer reconstructs just enough
+structure (namespaces, class bodies, method definitions, switch arms) by
+tracking brace/paren depth over the token stream.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+# Token kinds.
+IDENT = "ident"
+NUMBER = "number"
+STRING = "string"
+CHAR = "char"
+PUNCT = "punct"
+PP = "pp"            # a full preprocessor directive (continuations joined)
+COMMENT = "comment"
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+# Longest-first so maximal munch works with simple prefix matching.
+_PUNCTUATORS = sorted(
+    ["<<=", ">>=", "...", "->*", "<=>", "::", "->", "++", "--", "<<", ">>",
+     "<=", ">=", "==", "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=",
+     "|=", "^=", "##", "{", "}", "[", "]", "(", ")", ";", ":", ",", ".",
+     "?", "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+     "#"],
+    key=len, reverse=True)
+
+_RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n]*)\(')
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int  # 1-based
+
+    def __repr__(self) -> str:  # compact for debugging
+        return f"{self.kind}:{self.line}:{self.text!r}"
+
+
+class TokenizeError(ValueError):
+    def __init__(self, line: int, message: str):
+        super().__init__(f"line {line}: {message}")
+        self.line = line
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lexes C++ source into a token list (comments and pp lines included)."""
+    tokens: list[Token] = []
+    i, n, line = 0, len(text), 1
+    at_line_start = True  # only whitespace seen since the last newline
+
+    def take_string(quote: str, start: int) -> int:
+        j = start + 1
+        while j < n:
+            c = text[j]
+            if c == "\\":
+                j += 2
+                continue
+            if c == quote:
+                return j + 1
+            if c == "\n":
+                # Unterminated literal: tolerate (broken fixture sources
+                # must not crash the analyzer) and resync at the newline.
+                return j
+            j += 1
+        return n
+
+    while i < n:
+        c = text[i]
+
+        if c == "\n":
+            line += 1
+            i += 1
+            at_line_start = True
+            continue
+        if c in " \t\r\v\f":
+            i += 1
+            continue
+
+        # Preprocessor directive: '#' first on the line; join continuations.
+        if c == "#" and at_line_start:
+            start, start_line = i, line
+            while i < n and text[i] != "\n":
+                if text[i] == "\\" and i + 1 < n and text[i + 1] == "\n":
+                    line += 1
+                    i += 2
+                    continue
+                # A // comment ends the directive text.
+                if text[i] == "/" and i + 1 < n and text[i + 1] == "/":
+                    break
+                i += 1
+            directive = re.sub(r"\\\n", " ", text[start:i]).strip()
+            tokens.append(Token(PP, directive, start_line))
+            # Leave the trailing comment/newline for the main loop.
+            at_line_start = False
+            continue
+
+        at_line_start = False
+
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start, start_line = i, line
+            while i < n and text[i] != "\n":
+                i += 1
+            tokens.append(Token(COMMENT, text[start:i], start_line))
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start, start_line = i, line
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(n, i + 2)
+            tokens.append(Token(COMMENT, text[start:i], start_line))
+            continue
+
+        # Raw string literal: R"delim( ... )delim".
+        m = _RAW_STRING_RE.match(text, i)
+        if m:
+            delim = m.group(1)
+            close = text.find(f"){delim}\"", m.end())
+            if close < 0:
+                close = n
+            literal = text[i:min(n, close + len(delim) + 2)]
+            tokens.append(Token(STRING, literal, line))
+            line += literal.count("\n")
+            i += len(literal)
+            continue
+
+        if c == '"' or (c in "uUL" and i + 1 < n and text[i + 1] == '"'):
+            start, start_line = i, line
+            if c != '"':
+                i += 1
+            end = take_string('"', i)
+            tokens.append(Token(STRING, text[start:end], start_line))
+            i = end
+            continue
+        if c == "'":
+            start = i
+            end = take_string("'", i)
+            tokens.append(Token(CHAR, text[start:end], line))
+            i = end
+            continue
+
+        if c in _IDENT_START:
+            start = i
+            while i < n and text[i] in _IDENT_CONT:
+                i += 1
+            tokens.append(Token(IDENT, text[start:i], line))
+            continue
+
+        if c in _DIGITS or (c == "." and i + 1 < n and text[i + 1] in _DIGITS):
+            start = i
+            i += 1
+            while i < n:
+                ch = text[i]
+                if ch in _IDENT_CONT or ch in "'.":
+                    i += 1
+                elif ch in "+-" and text[i - 1] in "eEpP":
+                    i += 1  # exponent sign
+                else:
+                    break
+            tokens.append(Token(NUMBER, text[start:i], line))
+            continue
+
+        for p in _PUNCTUATORS:
+            if text.startswith(p, i):
+                tokens.append(Token(PUNCT, p, line))
+                i += len(p)
+                break
+        else:
+            # Unknown byte (stray unicode, etc.): skip, never crash.
+            i += 1
+
+    return tokens
+
+
+def code_tokens(tokens: list[Token]) -> list[Token]:
+    """The stream the compiler proper sees: no comments, no pp directives."""
+    return [t for t in tokens if t.kind not in (COMMENT, PP)]
+
+
+def nolint_lines(tokens: list[Token], rule: str) -> set[int]:
+    """1-based lines suppressed for `rule` via // NOLINT(rule) comments.
+
+    NOLINTNEXTLINE(rule) suppresses the following line; NOLINTALL the
+    whole comment's line.  Shares the marker syntax with tools/lint.py so
+    one suppression idiom covers both tools.
+    """
+    marked: set[int] = set()
+    for t in tokens:
+        if t.kind != COMMENT:
+            continue
+        if f"NOLINT({rule})" in t.text or "NOLINTALL" in t.text:
+            marked.add(t.line)
+        if f"NOLINTNEXTLINE({rule})" in t.text:
+            marked.add(t.line + t.text.count("\n") + 1)
+    return marked

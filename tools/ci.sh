@@ -28,4 +28,9 @@ done
 echo "==== lint"
 cmake --build --preset default --target lint
 
+echo "==== analyze"
+# Baseline-gated: exits nonzero only on findings not in
+# tools/analyze-baseline.json (see tools/README.md for the workflow).
+cmake --build --preset default --target analyze
+
 echo "ci.sh: all presets green"

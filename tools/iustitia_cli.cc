@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "appproto/trace_headers.h"
 #include "core/engine.h"
 #include "core/trainer.h"
 #include "datagen/corpus_io.h"
@@ -166,6 +167,7 @@ int cmd_classify(const Args& args) {
 int cmd_gen_trace(const Args& args) {
   if (args.positional.empty()) return usage();
   net::TraceOptions options;
+  options.header_source = appproto::standard_header_source();
   options.target_packets =
       static_cast<std::size_t>(args.flag_int("packets", 100000));
   options.seed = static_cast<std::uint64_t>(args.flag_int("seed", 1));

@@ -254,15 +254,61 @@ def check_include_guard(path: Path, raw: str,
         parts = parts[1:]  # headers are included relative to src/
     expected = "IUSTITIA_" + "_".join(
         re.sub(r"[^A-Za-z0-9]", "_", p).upper() for p in parts) + "_"
-    m = re.search(r"#ifndef\s+(\S+)\s*\n\s*#define\s+(\S+)", raw)
-    if not m:
+    lines = raw.splitlines()
+
+    # The guard #ifndef must be the first directive in the file: searching
+    # for any #ifndef/#define pair anywhere would accept a pair buried in
+    # the body (or a file whose real guard name is wrong but that happens
+    # to contain a matching pair later).
+    open_idx = None
+    in_comment = False
+    for i, line in enumerate(lines):
+        s = line.strip()
+        if in_comment:
+            if "*/" in s:
+                in_comment = False
+            continue
+        if not s or s.startswith("//"):
+            continue
+        if s.startswith("/*"):
+            in_comment = "*/" not in s
+            continue
+        open_idx = i
+        break
+    if open_idx is None:
         findings.append(Finding(path, 1, "include-guard",
                                 f"missing include guard {expected}"))
         return
-    if m.group(1) != expected or m.group(2) != expected:
+    m = re.fullmatch(r"#\s*ifndef\s+(\S+)", lines[open_idx].strip())
+    if not m:
         findings.append(Finding(
-            path, raw[:m.start()].count("\n") + 1, "include-guard",
-            f"guard is {m.group(1)}, expected {expected}"))
+            path, open_idx + 1, "include-guard",
+            f"first directive must be the include guard "
+            f"'#ifndef {expected}'"))
+        return
+    if m.group(1) != expected:
+        findings.append(Finding(path, open_idx + 1, "include-guard",
+                                f"guard is {m.group(1)}, expected {expected}"))
+        return
+    define = lines[open_idx + 1].strip() if open_idx + 1 < len(lines) else ""
+    dm = re.fullmatch(r"#\s*define\s+(\S+)", define)
+    if not dm or dm.group(1) != expected:
+        findings.append(Finding(
+            path, open_idx + 2, "include-guard",
+            f"'#define {expected}' must immediately follow its #ifndef"))
+        return
+    last_endif = None
+    for i in range(len(lines) - 1, -1, -1):
+        if lines[i].strip().startswith("#endif"):
+            last_endif = i
+            break
+    if last_endif is None or \
+            not re.search(rf"//\s*{re.escape(expected)}\s*$",
+                          lines[last_endif]):
+        findings.append(Finding(
+            path, (last_endif if last_endif is not None else len(lines) - 1)
+            + 1, "include-guard",
+            f"closing #endif must carry the comment '// {expected}'"))
 
 
 def check_using_namespace(path: Path, stripped: str,
