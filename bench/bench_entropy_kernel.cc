@@ -1,0 +1,188 @@
+// Microbenchmark: legacy per-width extraction (one GramCounter pass per
+// width, std::unordered_map, libm logs) vs the fused single-pass kernel
+// (rolling key, FlatCounts, n*ln n LUT) behind compute_entropy_vector.
+//
+// For each feature set and buffer size it reports bytes/sec for both
+// paths, the speedup, and the counter-space accounting, and verifies the
+// two paths agree to <= 1e-9 on every feature.  Results are also written
+// as machine-readable JSON (argv[1], default BENCH_entropy_kernel.json)
+// so the bench trajectory accumulates across commits; tools/ci.sh runs
+// this binary in reduced form and gates it against
+// bench/baselines/entropy_kernel.json via tools/perf_check.py.
+//
+// Knobs: IUSTITIA_KERNEL_MIN_MS  minimum measured ms per timing loop
+//                                (default 300; CI smoke uses 60).
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "entropy/entropy_vector.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace iustitia::bench {
+namespace {
+
+struct KernelRow {
+  std::string width_set;
+  std::size_t buffer_bytes = 0;
+  double legacy_bps = 0.0;
+  double fused_bps = 0.0;
+  double speedup = 0.0;
+  std::size_t legacy_space = 0;
+  std::size_t fused_space = 0;
+  std::size_t fused_resident = 0;
+  double max_delta = 0.0;
+};
+
+std::vector<std::uint8_t> sample_buffer(std::size_t size) {
+  // Mid-entropy payload, same class the Fig. 5 bench times.
+  util::Rng rng(0xF16);
+  const datagen::FileSample file = datagen::generate_file(
+      datagen::FileClass::kBinary, std::max<std::size_t>(size, 64), rng);
+  return {file.bytes.begin(),
+          file.bytes.begin() + static_cast<std::ptrdiff_t>(size)};
+}
+
+// Runs `fn` until at least `min_ms` of wall time is measured and returns
+// the byte throughput.  `sink` accumulates a feature checksum so the
+// compiler cannot elide the extraction.
+template <typename Fn>
+double measure_bps(std::size_t bytes_per_iter, double min_ms, Fn&& fn,
+                   double& sink) {
+  sink += fn();  // warm-up (also grows the fused tables to steady state)
+  std::size_t iters = 1;
+  for (;;) {
+    const util::Stopwatch timer;
+    for (std::size_t i = 0; i < iters; ++i) sink += fn();
+    const double ms = timer.elapsed_millis();
+    if (ms >= min_ms) {
+      return static_cast<double>(bytes_per_iter) *
+             static_cast<double>(iters) / (ms / 1e3);
+    }
+    iters = ms < 0.01
+                ? iters * 8
+                : static_cast<std::size_t>(
+                      static_cast<double>(iters) * min_ms * 1.25 / ms) +
+                      1;
+  }
+}
+
+KernelRow run_config(const std::string& name, const std::vector<int>& widths,
+                     std::size_t buffer_bytes, double min_ms, double& sink) {
+  const auto data = sample_buffer(buffer_bytes);
+
+  const auto legacy = entropy::compute_entropy_vector_legacy(data, widths);
+  const auto fused = entropy::compute_entropy_vector(data, widths);
+  KernelRow row;
+  row.width_set = name;
+  row.buffer_bytes = buffer_bytes;
+  row.legacy_space = legacy.space_bytes;
+  row.fused_space = fused.space_bytes;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    row.max_delta =
+        std::max(row.max_delta, std::abs(legacy.h[i] - fused.h[i]));
+  }
+  {
+    // Resident size of a dedicated steady-state kernel for this config.
+    entropy::FusedEntropyKernel kernel(widths);
+    kernel.add(data);
+    row.fused_resident = kernel.resident_bytes();
+  }
+
+  row.legacy_bps = measure_bps(
+      data.size(), min_ms,
+      [&] {
+        return entropy::compute_entropy_vector_legacy(data, widths).h[0];
+      },
+      sink);
+  row.fused_bps = measure_bps(
+      data.size(), min_ms,
+      [&] { return entropy::compute_entropy_vector(data, widths).h[0]; },
+      sink);
+  row.speedup = row.fused_bps / row.legacy_bps;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<KernelRow>& rows,
+                double min_ms) {
+  std::ofstream out(path);
+  out << std::setprecision(12);
+  out << "{\n  \"bench\": \"entropy_kernel\",\n  \"min_ms\": " << min_ms
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const KernelRow& r = rows[i];
+    out << "    {\"width_set\": \"" << r.width_set
+        << "\", \"buffer_bytes\": " << r.buffer_bytes
+        << ", \"legacy_bytes_per_sec\": " << r.legacy_bps
+        << ", \"fused_bytes_per_sec\": " << r.fused_bps
+        << ", \"speedup\": " << r.speedup
+        << ", \"legacy_space_bytes\": " << r.legacy_space
+        << ", \"fused_space_bytes\": " << r.fused_space
+        << ", \"fused_resident_bytes\": " << r.fused_resident
+        << ", \"max_feature_delta\": " << r.max_delta << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  banner("Entropy-kernel microbenchmark: legacy per-width vs fused",
+         "context: the paper computes h_1..h_10 at line rate; this "
+         "measures the extraction inner loop both ways");
+
+  const double min_ms =
+      static_cast<double>(env_size("IUSTITIA_KERNEL_MIN_MS", 300));
+  const std::string json_path =
+      argc > 1 ? argv[1] : "BENCH_entropy_kernel.json";
+
+  const std::vector<std::pair<std::string, std::vector<int>>> sets = {
+      {"full", entropy::full_feature_widths()},
+      {"svm_preferred", entropy::svm_preferred_widths()},
+      {"cart_preferred", entropy::cart_preferred_widths()},
+  };
+  const std::vector<std::size_t> buffers = {1024, 16384};
+
+  double sink = 0.0;
+  std::vector<KernelRow> rows;
+  for (const auto& [name, widths] : sets) {
+    for (const std::size_t buffer : buffers) {
+      rows.push_back(run_config(name, widths, buffer, min_ms, sink));
+    }
+  }
+
+  util::Table table({"width set", "buffer", "legacy MB/s", "fused MB/s",
+                     "speedup", "fused space", "max |dh|"});
+  bool equal = true;
+  for (const KernelRow& r : rows) {
+    equal = equal && r.max_delta <= 1e-9;
+    table.add_row({r.width_set, std::to_string(r.buffer_bytes),
+                   util::fmt(r.legacy_bps / 1e6, 1),
+                   util::fmt(r.fused_bps / 1e6, 1),
+                   util::fmt(r.speedup, 2) + "x",
+                   util::fmt_bytes(static_cast<double>(r.fused_space)),
+                   util::fmt(r.max_delta, 2)});
+  }
+  table.render(std::cout);
+  std::cout << "(sink " << sink << ")\n";
+
+  write_json(json_path, rows, min_ms);
+  std::cout << "\nwrote " << json_path << "\n";
+  if (!equal) {
+    std::cerr << "FAIL: fused features differ from legacy by > 1e-9\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main(int argc, char** argv) { return iustitia::bench::run(argc, argv); }

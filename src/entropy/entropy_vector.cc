@@ -1,7 +1,10 @@
 #include "entropy/entropy_vector.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numbers>
+#include <vector>
 
 #include "util/check.h"
 
@@ -38,8 +41,47 @@ std::vector<int> cart_preferred_widths() { return {1, 3, 4, 5}; }
 std::vector<int> svm_selected_widths() { return {1, 2, 3, 9}; }
 std::vector<int> svm_preferred_widths() { return {1, 2, 3, 5}; }
 
+namespace {
+
+// Thread-local fused-kernel scratch, one kernel per distinct widths set
+// this thread has extracted with.  Kernels are reset (keeping their table
+// capacity), never freed, so the steady-state extraction path performs no
+// heap allocation inside the kernel.  Real deployments use a handful of
+// feature sets (full, phi'_SVM, phi'_CART), so the cache stays tiny.
+FusedEntropyKernel& fused_scratch(std::span<const int> widths) {
+  thread_local std::vector<std::unique_ptr<FusedEntropyKernel>> cache;
+  for (const auto& kernel : cache) {
+    const std::span<const int> have = kernel->widths();
+    if (std::equal(have.begin(), have.end(), widths.begin(), widths.end())) {
+      kernel->reset();
+      return *kernel;
+    }
+  }
+  cache.push_back(std::make_unique<FusedEntropyKernel>(widths));
+  return *cache.back();
+}
+
+}  // namespace
+
 EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
                                            std::span<const int> widths) {
+  FusedEntropyKernel& kernel = fused_scratch(widths);
+  kernel.add(data);
+  EntropyVectorResult out;
+  out.h.resize(widths.size());
+  kernel.features(out.h);
+  out.space_bytes = kernel.space_bytes();
+  for (std::size_t i = 0; i < out.h.size(); ++i) {
+    DCHECK_GE(out.h[i], 0.0)
+        << "normalized entropy left [0, 1] for width " << widths[i];
+    DCHECK_LE(out.h[i], 1.0)
+        << "normalized entropy left [0, 1] for width " << widths[i];
+  }
+  return out;
+}
+
+EntropyVectorResult compute_entropy_vector_legacy(
+    std::span<const std::uint8_t> data, std::span<const int> widths) {
   EntropyVectorResult out;
   out.h.reserve(widths.size());
   for (const int w : widths) {
@@ -60,39 +102,29 @@ std::vector<double> entropy_vector(std::span<const std::uint8_t> data,
 }
 
 StreamingEntropyVector::StreamingEntropyVector(std::span<const int> widths)
-    : widths_(widths.begin(), widths.end()) {
-  counters_.reserve(widths_.size());
-  for (const int w : widths_) counters_.emplace_back(w);
-}
+    : kernel_(widths) {}
 
 void StreamingEntropyVector::add(std::span<const std::uint8_t> data) {
-  for (auto& counter : counters_) counter.add(data);
+  kernel_.add(data);
 }
 
-void StreamingEntropyVector::reset() noexcept {
-  for (auto& counter : counters_) counter.reset();
-}
+void StreamingEntropyVector::reset() noexcept { kernel_.reset(); }
 
 std::vector<double> StreamingEntropyVector::vector() const {
-  std::vector<double> out;
-  out.reserve(counters_.size());
-  for (const auto& counter : counters_) {
-    const double h = normalized_entropy(counter);
+  std::vector<double> out = kernel_.vector();
+  for (const double h : out) {
     DCHECK_GE(h, 0.0);
     DCHECK_LE(h, 1.0);
-    out.push_back(h);
   }
   return out;
 }
 
 std::uint64_t StreamingEntropyVector::total_bytes() const noexcept {
-  return counters_.empty() ? 0 : counters_.front().total_bytes();
+  return kernel_.total_bytes();
 }
 
 std::size_t StreamingEntropyVector::space_bytes() const noexcept {
-  std::size_t total = 0;
-  for (const auto& counter : counters_) total += counter.space_bytes();
-  return total;
+  return kernel_.space_bytes();
 }
 
 }  // namespace iustitia::entropy

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "entropy/fused_kernel.h"
 #include "entropy/gram_counter.h"
 
 namespace iustitia::entropy {
@@ -46,8 +47,15 @@ struct EntropyVectorResult {
 };
 
 // Computes h_w for each width in `widths` over `data` by exact counting.
+// Runs on the fused single-pass kernel with a thread-local reusable
+// scratch state, so repeated calls allocate only the returned vector.
 EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
                                            std::span<const int> widths);
+
+// Reference implementation on the legacy one-pass-per-width GramCounter
+// path; kept for golden-equivalence tests and the kernel microbenchmark.
+EntropyVectorResult compute_entropy_vector_legacy(
+    std::span<const std::uint8_t> data, std::span<const int> widths);
 
 // Convenience overload returning only the feature values.
 std::vector<double> entropy_vector(std::span<const std::uint8_t> data,
@@ -55,8 +63,11 @@ std::vector<double> entropy_vector(std::span<const std::uint8_t> data,
 
 // Incremental multi-width entropy computation for streaming flows.
 //
-// Maintains one GramCounter per requested width; payload chunks are fed via
-// add() as packets arrive, and vector() snapshots the current features.
+// A thin facade over the fused single-pass kernel: payload chunks are fed
+// via add() as packets arrive (one buffer sweep for all widths), and
+// vector() snapshots the current features.  reset() keeps the kernel's
+// table capacity, so a pooled instance extracts flow after flow without
+// heap allocation.
 class StreamingEntropyVector {
  public:
   explicit StreamingEntropyVector(std::span<const int> widths);
@@ -67,13 +78,15 @@ class StreamingEntropyVector {
   // Current normalized-entropy features (one per width, in input order).
   std::vector<double> vector() const;
 
+  // Allocation-free variant; out.size() must equal widths().size().
+  void features(std::span<double> out) const { kernel_.features(out); }
+
   std::uint64_t total_bytes() const noexcept;
   std::size_t space_bytes() const noexcept;
-  std::span<const int> widths() const noexcept { return widths_; }
+  std::span<const int> widths() const noexcept { return kernel_.widths(); }
 
  private:
-  std::vector<int> widths_;
-  std::vector<GramCounter> counters_;
+  FusedEntropyKernel kernel_;
 };
 
 }  // namespace iustitia::entropy

@@ -1,0 +1,62 @@
+#include "entropy/flat_counts.h"
+
+namespace iustitia::entropy {
+
+namespace {
+// Smallest table ever allocated; keeps the probe mask valid without a
+// per-increment emptiness branch.
+constexpr std::size_t kMinSlots = 16;
+
+// Grow when size exceeds 11/16 (~0.69) of capacity: linear probing stays
+// short, and the check compiles to shifts.
+constexpr std::size_t load_limit(std::size_t capacity) noexcept {
+  return capacity - (capacity >> 2) - (capacity >> 4);
+}
+
+constexpr std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = kMinSlots;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+FlatCounts::FlatCounts(std::size_t min_capacity) {
+  // Size so `min_capacity` live entries stay under the load limit.
+  std::size_t capacity = kMinSlots;
+  while (load_limit(capacity) < min_capacity) capacity <<= 1;
+  slots_.resize(round_up_pow2(capacity));
+  mask_ = slots_.size() - 1;
+  grow_at_ = load_limit(slots_.size());
+}
+
+void FlatCounts::reset() noexcept {
+  size_ = 0;
+  ++epoch_;
+  if (epoch_ == 0) {  // epoch wrapped: stale tags could alias; hard-clear
+    for (Slot& slot : slots_) slot.epoch = 0;
+    epoch_ = 1;
+  }
+}
+
+void FlatCounts::reserve(std::size_t min_capacity) {
+  while (load_limit(slots_.size()) < min_capacity) grow();
+}
+
+void FlatCounts::grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot{});
+  mask_ = slots_.size() - 1;
+  grow_at_ = load_limit(slots_.size());
+  for (const Slot& slot : old) {
+    if (slot.epoch != epoch_) continue;
+    std::size_t idx = slot_hash(slot.lo, slot.hi) & mask_;
+    while (slots_[idx].epoch == epoch_) idx = (idx + 1) & mask_;
+    slots_[idx] = slot;
+  }
+}
+
+std::size_t FlatCounts::resident_bytes() const noexcept {
+  return slots_.size() * sizeof(Slot);
+}
+
+}  // namespace iustitia::entropy

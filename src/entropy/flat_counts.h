@@ -1,0 +1,121 @@
+// Open-addressing frequency table for 128-bit gram keys.
+//
+// The exact per-width gram tables are the hottest data structure of the
+// extraction path: one probe per byte per width.  std::unordered_map pays
+// a heap node per distinct gram and a pointer chase per probe; FlatCounts
+// stores (key, count) inline in one power-of-2 slot array with linear
+// probing, so a probe is one hash, one indexed load, and (almost always)
+// zero extra cache lines.
+//
+// Slots are 24 bytes (128-bit key split into two 64-bit halves + 32-bit
+// count + 32-bit epoch tag), there is no erase and therefore no tombstone
+// machinery, and reset() is O(1): it bumps the epoch, which invalidates
+// every slot at once while keeping the allocation — the property the
+// streaming engine relies on to make per-flow extraction allocation-free
+// after warm-up.
+//
+// Counts are 32-bit: a table counts at most one gram per input byte, so
+// this bounds supported input at 2^32-1 grams per width — far beyond the
+// paper's b <= 16 KB flow prefixes this table exists for.
+#ifndef IUSTITIA_ENTROPY_FLAT_COUNTS_H_
+#define IUSTITIA_ENTROPY_FLAT_COUNTS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace iustitia::entropy {
+
+class FlatCounts {
+ public:
+  // Starts with capacity for at least `min_capacity` entries (subject to
+  // the power-of-2 and load-factor rules); the table grows on demand.
+  explicit FlatCounts(std::size_t min_capacity = 0);
+
+  // Adds one occurrence of `key`; returns the count *before* the bump
+  // (0 for a first sighting), which is exactly what the incremental
+  // entropy update needs.
+  std::uint32_t increment(unsigned __int128 key) {
+    if (size_ >= grow_at_) grow();
+    const auto lo = static_cast<std::uint64_t>(key);
+    const auto hi = static_cast<std::uint64_t>(key >> 64);
+    std::size_t idx = slot_hash(lo, hi) & mask_;
+    for (;;) {
+      Slot& slot = slots_[idx];
+      if (slot.epoch != epoch_) {  // empty (or dead since last reset)
+        slot.lo = lo;
+        slot.hi = hi;
+        slot.count = 1;
+        slot.epoch = epoch_;
+        ++size_;
+        return 0;
+      }
+      if (slot.lo == lo && slot.hi == hi) return slot.count++;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  // Current count of `key` (0 when absent).
+  std::uint32_t count(unsigned __int128 key) const noexcept {
+    const auto lo = static_cast<std::uint64_t>(key);
+    const auto hi = static_cast<std::uint64_t>(key >> 64);
+    std::size_t idx = slot_hash(lo, hi) & mask_;
+    for (;;) {
+      const Slot& slot = slots_[idx];
+      if (slot.epoch != epoch_) return 0;
+      if (slot.lo == lo && slot.hi == hi) return slot.count;
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  // Distinct keys since the last reset().
+  std::size_t size() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return slots_.size(); }
+
+  // Invalidates every entry in O(1) by bumping the epoch; keeps the slot
+  // array (and therefore the capacity reached so far) allocated.
+  void reset() noexcept;
+
+  // Grows the slot array until it can hold `min_capacity` entries without
+  // rehashing mid-stream.
+  void reserve(std::size_t min_capacity);
+
+  // Visits every live (key, count) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& slot : slots_) {
+      if (slot.epoch != epoch_) continue;
+      const auto key = (static_cast<unsigned __int128>(slot.hi) << 64) |
+                       static_cast<unsigned __int128>(slot.lo);
+      fn(key, slot.count);
+    }
+  }
+
+  // Actual resident size of the slot array in bytes.
+  std::size_t resident_bytes() const noexcept;
+
+ private:
+  struct Slot {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    std::uint32_t count = 0;
+    std::uint32_t epoch = 0;  // live iff equal to the table epoch
+  };
+
+  static std::size_t slot_hash(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return static_cast<std::size_t>(util::hash_combine(util::mix64(lo), hi));
+  }
+
+  void grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;     // live entries
+  std::size_t mask_ = 0;     // capacity - 1
+  std::size_t grow_at_ = 0;  // grow() threshold (max load factor)
+  std::uint32_t epoch_ = 1;  // 0 is reserved for never-used slots
+};
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_FLAT_COUNTS_H_

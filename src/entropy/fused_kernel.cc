@@ -1,0 +1,163 @@
+#include "entropy/fused_kernel.h"
+
+#include <stdexcept>
+
+#include "entropy/entropy_vector.h"
+#include "entropy/log_lut.h"
+#include "util/check.h"
+
+namespace iustitia::entropy {
+
+namespace {
+// GramCounter's bound; the rolling key holds exactly 16 bytes.
+constexpr int kMaxWidth = 16;
+
+GramKey width_mask(int width) noexcept {
+  if (width >= kMaxWidth) return ~GramKey{0};
+  return (GramKey{1} << (8 * width)) - 1;
+}
+
+// Initial flat-table sizing for widths >= 2: enough for the distinct-gram
+// working set of a few-KB buffer without growth, small enough that a
+// kernel for a narrow feature set stays cheap to construct.
+constexpr std::size_t kInitialTableCapacity = 1024;
+}  // namespace
+
+FusedEntropyKernel::FusedEntropyKernel(std::span<const int> widths)
+    : widths_(widths.begin(), widths.end()) {
+  states_.reserve(widths_.size());
+  for (const int w : widths_) {
+    if (w < 1 || w > kMaxWidth) {
+      throw std::invalid_argument(
+          "FusedEntropyKernel widths must be in [1, 16]");
+    }
+    WidthState state;
+    state.width = w;
+    state.mask = width_mask(w);
+    if (w >= 2) state.counts.reserve(kInitialTableCapacity);
+    states_.push_back(std::move(state));
+    if (w > max_width_) max_width_ = w;
+  }
+}
+
+void FusedEntropyKernel::update_state(WidthState& state,
+                                      const std::uint8_t byte) {
+  // Same += / -= sequence as GramCounter::bump_sum, with n_ln_n exact to
+  // the double, so S_k stays bit-identical to the legacy path.
+  if (state.width == 1) {
+    std::uint64_t& count = byte_counts_[byte];
+    state.sum += n_ln_n(count + 1);
+    if (count != 0) state.sum -= n_ln_n(count);
+    ++count;
+  } else {
+    const std::uint32_t count = state.counts.increment(rolling_ & state.mask);
+    state.sum += n_ln_n(static_cast<std::uint64_t>(count) + 1);
+    if (count != 0) state.sum -= n_ln_n(count);
+  }
+  ++state.grams;
+}
+
+void FusedEntropyKernel::add(std::span<const std::uint8_t> data) {
+  total_bytes_ += data.size();
+  std::size_t i = 0;
+  // Warm-up: until the rolling key holds max_width bytes, each width needs
+  // its own "first gram complete yet?" check.
+  const auto warm = static_cast<std::uint64_t>(max_width_ - 1);
+  for (; i < data.size() && pos_ < warm; ++i) {
+    rolling_ = (rolling_ << 8) | data[i];
+    ++pos_;
+    for (WidthState& state : states_) {
+      if (pos_ >= static_cast<std::uint64_t>(state.width)) {
+        update_state(state, data[i]);
+      }
+    }
+  }
+  // Steady state: every byte completes one gram of every width.
+  for (; i < data.size(); ++i) {
+    rolling_ = (rolling_ << 8) | data[i];
+    ++pos_;
+    for (WidthState& state : states_) update_state(state, data[i]);
+  }
+}
+
+void FusedEntropyKernel::reset() noexcept {
+  rolling_ = 0;
+  pos_ = 0;
+  total_bytes_ = 0;
+  byte_counts_.fill(0);
+  for (WidthState& state : states_) {
+    state.sum = 0.0;
+    state.grams = 0;
+    state.counts.reset();
+  }
+}
+
+void FusedEntropyKernel::features(std::span<double> out) const {
+  CHECK_EQ(out.size(), states_.size())
+      << "features() output span must have one slot per width";
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const WidthState& state = states_[i];
+    out[i] =
+        normalized_entropy_from_sum(state.sum, state.grams, state.width);
+  }
+}
+
+std::vector<double> FusedEntropyKernel::vector() const {
+  std::vector<double> out(states_.size());
+  features(out);
+  return out;
+}
+
+std::uint64_t FusedEntropyKernel::total_grams(std::size_t width_index) const {
+  CHECK_LT(width_index, states_.size());
+  return states_[width_index].grams;
+}
+
+std::size_t FusedEntropyKernel::distinct(std::size_t width_index) const {
+  CHECK_LT(width_index, states_.size());
+  const WidthState& state = states_[width_index];
+  if (state.width == 1) {
+    std::size_t n = 0;
+    for (const std::uint64_t c : byte_counts_) n += (c != 0);
+    return n;
+  }
+  return state.counts.size();
+}
+
+std::uint64_t FusedEntropyKernel::count(std::size_t width_index,
+                                        GramKey key) const {
+  CHECK_LT(width_index, states_.size());
+  const WidthState& state = states_[width_index];
+  if (state.width == 1) {
+    return byte_counts_[static_cast<std::size_t>(key & 0xFF)];
+  }
+  return state.counts.count(key);
+}
+
+double FusedEntropyKernel::sum_count_log_count(std::size_t width_index) const {
+  CHECK_LT(width_index, states_.size());
+  return states_[width_index].sum;
+}
+
+std::size_t FusedEntropyKernel::space_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const WidthState& state : states_) {
+    if (state.width == 1) {
+      total += 256 * sizeof(std::uint32_t);
+    } else {
+      total += state.counts.size() *
+               (sizeof(GramKey) + sizeof(std::uint64_t) + 8);
+    }
+  }
+  return total;
+}
+
+std::size_t FusedEntropyKernel::resident_bytes() const noexcept {
+  std::size_t total = sizeof(byte_counts_);
+  for (const WidthState& state : states_) {
+    if (state.width >= 2) total += state.counts.resident_bytes();
+  }
+  return total;
+}
+
+}  // namespace iustitia::entropy

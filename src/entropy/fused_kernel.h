@@ -1,0 +1,101 @@
+// Fused single-pass multi-width entropy kernel.
+//
+// The legacy exact path (entropy/entropy_vector.h driving one GramCounter
+// per width) sweeps the buffer once *per width*: n widths mean n full
+// passes, each re-packing its gram from scratch and probing a node-based
+// hash map.  This kernel sweeps the buffer once total.  It maintains a
+// single rolling 128-bit key holding the last 16 bytes of the stream; the
+// k-gram ending at the current byte is just `rolling & mask_k`, so every
+// configured width's counters are updated from one shift-or per byte.
+// Width >= 2 counts live in FlatCounts (open addressing, epoch reset);
+// width 1 keeps the flat 256-entry array.  The incremental
+// S_k = sum m_ik ln(m_ik) bookkeeping uses the n*ln(n) lookup table
+// instead of two libm calls per gram.
+//
+// Numerical contract: for every width the per-gram updates happen in the
+// same stream order, with the same double expressions, as GramCounter —
+// so the resulting S_k, and therefore every entropy feature, is
+// bit-identical to the legacy path (tests assert <= 1e-9; in practice the
+// delta is 0).
+//
+// Streaming: the rolling key itself carries the last bytes across add()
+// boundaries, so cross-packet grams need no stitch buffer at all.  After
+// the tables have grown to a flow's working set once, add()/features()/
+// reset() cycles perform no heap allocation.
+#ifndef IUSTITIA_ENTROPY_FUSED_KERNEL_H_
+#define IUSTITIA_ENTROPY_FUSED_KERNEL_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "entropy/flat_counts.h"
+#include "entropy/gram_counter.h"
+
+namespace iustitia::entropy {
+
+class FusedEntropyKernel {
+ public:
+  // `widths` are the feature widths, each in [1, 16], reported in input
+  // order; throws std::invalid_argument on an out-of-range width.
+  explicit FusedEntropyKernel(std::span<const int> widths);
+
+  // Appends `data` to the logical stream, updating every width's
+  // counters; grams spanning add() boundaries are counted via the rolling
+  // key.  Allocation-free once the tables have reached working-set size.
+  void add(std::span<const std::uint8_t> data);
+
+  // Invalidates all counts in O(widths) while keeping every table's
+  // capacity, so the kernel can be reused flow after flow.
+  void reset() noexcept;
+
+  // Writes the normalized entropy h_k of each configured width into
+  // `out` (one slot per width, input order); out.size() must equal
+  // widths().size().  Allocation-free.
+  void features(std::span<double> out) const;
+
+  // Convenience allocating variant of features().
+  std::vector<double> vector() const;
+
+  std::span<const int> widths() const noexcept { return widths_; }
+  std::uint64_t total_bytes() const noexcept { return total_bytes_; }
+
+  // Per-width accessors (index into widths(), checked): gram total,
+  // distinct grams, one gram's count, and the incremental S_k.
+  std::uint64_t total_grams(std::size_t width_index) const;
+  std::size_t distinct(std::size_t width_index) const;
+  std::uint64_t count(std::size_t width_index, GramKey key) const;
+  double sum_count_log_count(std::size_t width_index) const;
+
+  // Paper-style counter-space accounting, matching GramCounter slot for
+  // slot (Fig. 5(b)/Table 3 series): 256 4-byte counters for width 1,
+  // 32 bytes per distinct gram otherwise.
+  std::size_t space_bytes() const noexcept;
+
+  // Actual resident bytes of the flat tables + width-1 array.
+  std::size_t resident_bytes() const noexcept;
+
+ private:
+  struct WidthState {
+    int width = 0;
+    GramKey mask = 0;  // low 8*width bits set
+    double sum = 0.0;  // S_k, maintained incrementally
+    std::uint64_t grams = 0;
+    FlatCounts counts;  // width >= 2 only
+  };
+
+  void update_state(WidthState& state, std::uint8_t byte);
+
+  std::vector<int> widths_;
+  std::vector<WidthState> states_;  // parallel to widths_
+  std::array<std::uint64_t, 256> byte_counts_{};  // width-1 fast path
+  GramKey rolling_ = 0;   // last 16 stream bytes, newest in the low byte
+  std::uint64_t pos_ = 0;  // bytes seen since reset
+  std::uint64_t total_bytes_ = 0;
+  int max_width_ = 1;
+};
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_FUSED_KERNEL_H_

@@ -1,6 +1,7 @@
 #include "entropy/gram_counter.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace iustitia::entropy {
@@ -61,16 +62,21 @@ void GramCounter::add(std::span<const std::uint8_t> data) {
   }
 
   // Stitch the retained tail with the new data so grams crossing the call
-  // boundary are counted.  The stitched region is at most 2*(width-1) bytes.
+  // boundary are counted.  The stitched region is at most 2*(width-1)
+  // bytes, so a fixed stack buffer holds it for every legal width.
   const auto w = static_cast<std::size_t>(width_);
   if (!tail_.empty()) {
-    std::vector<std::uint8_t> joint(tail_);
+    std::uint8_t joint[2 * (kMaxGramWidth - 1)];
+    std::size_t joint_size = tail_.size();
+    std::memcpy(joint, tail_.data(), joint_size);
     const std::size_t take = data.size() < w - 1 ? data.size() : w - 1;
-    joint.insert(joint.end(), data.begin(),
-                 data.begin() + static_cast<std::ptrdiff_t>(take));
-    if (joint.size() >= w) {
-      for (std::size_t i = 0; i + w <= joint.size(); ++i) {
-        std::uint64_t& count = counts_[pack_gram(joint.data() + i, width_)];
+    if (take > 0) {
+      std::memcpy(joint + joint_size, data.data(), take);
+      joint_size += take;
+    }
+    if (joint_size >= w) {
+      for (std::size_t i = 0; i + w <= joint_size; ++i) {
+        std::uint64_t& count = counts_[pack_gram(joint + i, width_)];
         bump_sum(count);
         ++count;
         ++total_grams_;
@@ -86,16 +92,19 @@ void GramCounter::add(std::span<const std::uint8_t> data) {
       ++total_grams_;
     }
   }
-  // Update the tail: last (width-1) bytes of the logical stream.
+  // Update the tail: last (width-1) bytes of the logical stream.  Trim the
+  // old bytes *before* appending so the vector never outgrows its reserved
+  // (width-1)-byte capacity.
   if (data.size() >= w - 1) {
     tail_.assign(data.end() - static_cast<std::ptrdiff_t>(w - 1), data.end());
   } else {
+    const std::size_t keep = tail_.size() + data.size() > w - 1
+                                 ? w - 1 - data.size()
+                                 : tail_.size();
+    tail_.erase(tail_.begin(),
+                tail_.begin() +
+                    static_cast<std::ptrdiff_t>(tail_.size() - keep));
     tail_.insert(tail_.end(), data.begin(), data.end());
-    if (tail_.size() > w - 1) {
-      tail_.erase(tail_.begin(),
-                  tail_.begin() + static_cast<std::ptrdiff_t>(tail_.size() -
-                                                              (w - 1)));
-    }
   }
 }
 

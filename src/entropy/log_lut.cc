@@ -1,0 +1,20 @@
+#include "entropy/log_lut.h"
+
+namespace iustitia::entropy::detail {
+
+namespace {
+std::array<double, kNLogNTableSize> build_table() {
+  std::array<double, kNLogNTableSize> table{};
+  table[0] = 0.0;  // lim_{x->0} x*ln(x) = 0; matches the sum convention
+  for (std::uint64_t n = 1; n < kNLogNTableSize; ++n) {
+    const double v = static_cast<double>(n);
+    // NOLINTNEXTLINE(log2-domain): n >= 1 by loop construction.
+    table[n] = v * std::log(v);
+  }
+  return table;
+}
+}  // namespace
+
+const std::array<double, kNLogNTableSize> kNLogNTable = build_table();
+
+}  // namespace iustitia::entropy::detail

@@ -1,0 +1,44 @@
+// Lookup table for n * ln(n), the quantity every incremental entropy
+// update needs twice (once for the old count, once for the new one).
+//
+// A count transition c -> c+1 changes S_k = sum_i m_ik * ln(m_ik) by
+// (c+1)ln(c+1) - c*ln(c); evaluating that with std::log costs two libm
+// calls per gram per width, which dominates the exact extraction profile.
+// The table stores n*ln(n) for every n < kNLogNTableSize, computed with
+// the same double expression the direct path uses, so replacing the libm
+// calls with loads is *exact to the double*: for buffers of b bytes every
+// count is at most b, and the paper's operating points (b <= 16 KB, Fig. 5
+// / Table 3) stay entirely inside the table.  Larger counts — possible
+// only on the unbounded streaming path — fall back to std::log and remain
+// bit-identical to the direct computation.
+#ifndef IUSTITIA_ENTROPY_LOG_LUT_H_
+#define IUSTITIA_ENTROPY_LOG_LUT_H_
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+namespace iustitia::entropy {
+
+// Counts covered exactly by the table: 0 .. kNLogNTableSize-1.  16384
+// entries (128 KB, shared process-wide) cover every count a 16 KB buffer
+// can produce with headroom.
+inline constexpr std::uint64_t kNLogNTableSize = 16384;
+
+namespace detail {
+// Defined in log_lut.cc; entry n holds n * std::log(n), entry 0 holds 0.
+// NOLINTNEXTLINE(dead-symbol): referenced through the inline n_ln_n below.
+extern const std::array<double, kNLogNTableSize> kNLogNTable;
+}  // namespace detail
+
+// n * ln(n) with n_ln_n(0) == 0.  Table load for n < kNLogNTableSize,
+// exact fallback above.
+inline double n_ln_n(std::uint64_t n) noexcept {
+  if (n < kNLogNTableSize) return detail::kNLogNTable[n];
+  const double v = static_cast<double>(n);
+  return v * std::log(v);  // NOLINT(log2-domain): n >= table size >= 1 here
+}
+
+}  // namespace iustitia::entropy
+
+#endif  // IUSTITIA_ENTROPY_LOG_LUT_H_

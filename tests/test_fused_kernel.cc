@@ -1,0 +1,348 @@
+// Golden-equivalence tests for the fused single-pass entropy kernel
+// against the legacy per-width GramCounter path, plus the allocation-free
+// steady-state contract the streaming engine depends on.
+#include "entropy/fused_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <span>
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "entropy/entropy_vector.h"
+#include "entropy/flat_counts.h"
+#include "entropy/log_lut.h"
+#include "util/random.h"
+
+// ---- global allocation counter ------------------------------------------
+// Replacement operator new/delete counting every heap allocation in the
+// process; the steady-state test snapshots the counter around kernel
+// add/features/reset cycles and requires zero growth.
+namespace {
+std::atomic<std::size_t> g_alloc_calls{0};
+
+std::size_t alloc_calls() noexcept {
+  return g_alloc_calls.load(std::memory_order_relaxed);
+}
+
+void* counted_alloc(std::size_t size) {
+  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace iustitia::entropy {
+namespace {
+
+std::vector<int> all_widths() { return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}; }
+
+std::vector<std::uint8_t> corpus_sample(datagen::FileClass cls,
+                                        std::size_t size,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  return datagen::generate_file(cls, size, rng).bytes;
+}
+
+// Feeds `data` to both the fused kernel and one GramCounter per width and
+// asserts full agreement: features, sums, gram totals, distinct counts,
+// and every individual gram count.
+void expect_golden_equal(std::span<const std::uint8_t> data,
+                         const std::vector<int>& widths) {
+  FusedEntropyKernel kernel(widths);
+  kernel.add(data);
+  std::vector<double> fused(widths.size());
+  kernel.features(fused);
+
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    GramCounter counter(widths[i]);
+    counter.add(data);
+    ASSERT_NEAR(fused[i], normalized_entropy(counter), 1e-9)
+        << "width " << widths[i];
+    ASSERT_NEAR(kernel.sum_count_log_count(i), counter.sum_count_log_count(),
+                1e-9)
+        << "width " << widths[i];
+    ASSERT_EQ(kernel.total_grams(i), counter.total_grams());
+    ASSERT_EQ(kernel.distinct(i), counter.distinct());
+    counter.for_each([&](GramKey key, std::uint64_t count) {
+      ASSERT_EQ(kernel.count(i, key), count) << "width " << widths[i];
+    });
+  }
+}
+
+TEST(LogLut, MatchesDirectComputation) {
+  EXPECT_EQ(n_ln_n(0), 0.0);
+  for (const std::uint64_t n :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3},
+        std::uint64_t{100}, kNLogNTableSize - 1, kNLogNTableSize,
+        kNLogNTableSize + 17, std::uint64_t{1} << 32}) {
+    const double v = static_cast<double>(n);
+    // Bit-identical, not just close: the table stores the same expression.
+    // NOLINTNEXTLINE(log2-domain): every n in the list above is >= 1.
+    EXPECT_EQ(n_ln_n(n), v * std::log(v)) << "n=" << n;
+  }
+}
+
+TEST(FlatCounts, IncrementReturnsPreviousCount) {
+  FlatCounts table;
+  const GramKey key = 0xAB;
+  EXPECT_EQ(table.count(key), 0u);
+  EXPECT_EQ(table.increment(key), 0u);
+  EXPECT_EQ(table.increment(key), 1u);
+  EXPECT_EQ(table.increment(key), 2u);
+  EXPECT_EQ(table.count(key), 3u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatCounts, KeyZeroIsAValidKey) {
+  FlatCounts table;
+  EXPECT_EQ(table.count(0), 0u);
+  EXPECT_EQ(table.increment(0), 0u);
+  EXPECT_EQ(table.count(0), 1u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlatCounts, GrowsPastInitialCapacityWithoutLosingCounts) {
+  FlatCounts table;
+  constexpr std::uint64_t kKeys = 10000;
+  for (std::uint64_t round = 0; round < 3; ++round) {
+    for (std::uint64_t k = 0; k < kKeys; ++k) {
+      table.increment((static_cast<GramKey>(k) << 64) | (k * 0x9E3779B9));
+    }
+  }
+  EXPECT_EQ(table.size(), kKeys);
+  EXPECT_GE(table.capacity(), kKeys);
+  std::uint64_t total = 0;
+  table.for_each([&](GramKey, std::uint32_t count) {
+    EXPECT_EQ(count, 3u);
+    total += count;
+  });
+  EXPECT_EQ(total, 3 * kKeys);
+}
+
+TEST(FlatCounts, EpochResetInvalidatesAllEntriesAndKeepsCapacity) {
+  FlatCounts table;
+  for (std::uint64_t k = 0; k < 5000; ++k) table.increment(k);
+  const std::size_t grown = table.capacity();
+  table.reset();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.capacity(), grown);
+  for (std::uint64_t k = 0; k < 5000; ++k) EXPECT_EQ(table.count(k), 0u);
+  EXPECT_EQ(table.increment(42), 0u);  // counts restart from scratch
+  EXPECT_EQ(table.count(42), 1u);
+}
+
+TEST(FusedKernel, RejectsInvalidWidths) {
+  const std::vector<int> zero = {1, 0};
+  const std::vector<int> wide = {17};
+  EXPECT_THROW(FusedEntropyKernel{std::span<const int>(zero)},
+               std::invalid_argument);
+  EXPECT_THROW(FusedEntropyKernel{std::span<const int>(wide)},
+               std::invalid_argument);
+}
+
+TEST(FusedKernel, EmptyAndTinyInputs) {
+  FusedEntropyKernel kernel(all_widths());
+  std::array<double, 10> out{};
+  kernel.features(out);
+  for (const double h : out) EXPECT_EQ(h, 0.0);
+  // Three bytes: widths 1..3 have grams, the rest stay empty.
+  const std::array<std::uint8_t, 3> tiny = {'a', 'b', 'c'};
+  kernel.add(tiny);
+  EXPECT_EQ(kernel.total_grams(0), 3u);
+  EXPECT_EQ(kernel.total_grams(2), 1u);
+  EXPECT_EQ(kernel.total_grams(3), 0u);
+  EXPECT_EQ(kernel.total_grams(9), 0u);
+}
+
+TEST(FusedKernel, GoldenEquivalenceAcrossCorpora) {
+  for (const datagen::FileClass cls :
+       {datagen::FileClass::kText, datagen::FileClass::kBinary,
+        datagen::FileClass::kEncrypted}) {
+    const auto data = corpus_sample(cls, 4096, 0xC0FFEE);
+    SCOPED_TRACE(datagen::class_name(cls));
+    expect_golden_equal(data, all_widths());
+  }
+}
+
+TEST(FusedKernel, GoldenEquivalenceOnSelectedFeatureSets) {
+  const auto data = corpus_sample(datagen::FileClass::kBinary, 2048, 99);
+  expect_golden_equal(data, svm_preferred_widths());
+  expect_golden_equal(data, cart_preferred_widths());
+  expect_golden_equal(data, {10, 1, 5});  // order preserved, non-monotone
+  expect_golden_equal(data, {16});        // max rolling-key width
+}
+
+// Adversarial packetizations: the kernel must count grams across add()
+// boundaries exactly like a GramCounter fed the same chunks.
+TEST(FusedKernel, AdversarialPacketizationsMatchOneShot) {
+  const auto widths = all_widths();
+  const auto data = corpus_sample(datagen::FileClass::kText, 1531, 5);
+
+  FusedEntropyKernel whole(widths);
+  whole.add(data);
+  std::vector<double> expected(widths.size());
+  whole.features(expected);
+
+  // Chunk sizes: single bytes, width-1-sized feeds for every width, a
+  // prime stride, and everything at once.
+  for (const std::size_t chunk : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{9},
+                                  std::size_t{7}, data.size()}) {
+    FusedEntropyKernel chunked(widths);
+    chunked.add({});  // leading empty span must be a no-op
+    std::size_t at = 0;
+    while (at < data.size()) {
+      const std::size_t take = std::min(chunk, data.size() - at);
+      chunked.add(std::span<const std::uint8_t>(data.data() + at, take));
+      chunked.add({});  // interleaved empty spans must be no-ops
+      at += take;
+    }
+    std::vector<double> got(widths.size());
+    chunked.features(got);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      ASSERT_NEAR(got[i], expected[i], 1e-9)
+          << "chunk " << chunk << " width " << widths[i];
+      ASSERT_EQ(chunked.total_grams(i), whole.total_grams(i));
+      ASSERT_EQ(chunked.distinct(i), whole.distinct(i));
+    }
+    ASSERT_EQ(chunked.total_bytes(), whole.total_bytes());
+  }
+}
+
+TEST(FusedKernel, ResetReusesTablesAcrossFlows) {
+  const auto widths = all_widths();
+  const auto first = corpus_sample(datagen::FileClass::kText, 4096, 1);
+  const auto second = corpus_sample(datagen::FileClass::kEncrypted, 4096, 2);
+
+  FusedEntropyKernel fresh(widths);
+  fresh.add(second);
+  std::vector<double> expected(widths.size());
+  fresh.features(expected);
+
+  FusedEntropyKernel reused(widths);
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    reused.add(first);
+    reused.reset();
+    EXPECT_EQ(reused.total_bytes(), 0u);
+    reused.add(second);
+    std::vector<double> got(widths.size());
+    reused.features(got);
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      ASSERT_NEAR(got[i], expected[i], 1e-9) << "cycle " << cycle;
+      ASSERT_EQ(reused.distinct(i), fresh.distinct(i));
+    }
+    reused.reset();
+  }
+}
+
+TEST(FusedKernel, ComputeEntropyVectorMatchesLegacyPath) {
+  for (const std::size_t size : {std::size_t{64}, std::size_t{1024},
+                                 std::size_t{8192}}) {
+    const auto data =
+        corpus_sample(datagen::FileClass::kBinary, size, size);
+    const auto widths = full_feature_widths();
+    const auto fused = compute_entropy_vector(data, widths);
+    const auto legacy = compute_entropy_vector_legacy(data, widths);
+    ASSERT_EQ(fused.h.size(), legacy.h.size());
+    for (std::size_t i = 0; i < fused.h.size(); ++i) {
+      ASSERT_NEAR(fused.h[i], legacy.h[i], 1e-9)
+          << "size " << size << " width " << widths[i];
+    }
+    ASSERT_EQ(fused.space_bytes, legacy.space_bytes);
+  }
+}
+
+TEST(FusedKernel, SpaceAccountingMatchesGramCounters) {
+  const auto data = corpus_sample(datagen::FileClass::kText, 2048, 11);
+  const auto widths = all_widths();
+  FusedEntropyKernel kernel(widths);
+  kernel.add(data);
+  std::size_t legacy_space = 0;
+  for (const int w : widths) {
+    GramCounter counter(w);
+    counter.add(data);
+    legacy_space += counter.space_bytes();
+  }
+  EXPECT_EQ(kernel.space_bytes(), legacy_space);
+  // The flat tables really exist: resident accounting covers them.
+  EXPECT_GE(kernel.resident_bytes(), kernel.space_bytes() / 2);
+}
+
+// The contract the streaming engine relies on: after warm-up, extraction
+// cycles (add + features + reset) perform zero heap allocations.
+TEST(FusedKernelAllocation, SteadyStateExtractionIsAllocationFree) {
+  const auto widths = full_feature_widths();
+  FusedEntropyKernel kernel(widths);
+  util::Rng rng(7);
+  std::vector<std::uint8_t> high(16384), low(16384);
+  rng.fill_bytes(high);
+  for (std::size_t i = 0; i < low.size(); ++i) {
+    low[i] = static_cast<std::uint8_t>(i % 7);
+  }
+  std::array<double, 10> out{};
+
+  // Warm-up: grow every width's table to its working-set capacity on both
+  // payload shapes.
+  kernel.add(high);
+  kernel.features(out);
+  kernel.reset();
+  kernel.add(low);
+  kernel.features(out);
+  kernel.reset();
+
+  const std::size_t before = alloc_calls();
+  for (int round = 0; round < 5; ++round) {
+    kernel.add(high);
+    kernel.features(out);
+    kernel.reset();
+    kernel.add(low);
+    kernel.features(out);
+    kernel.reset();
+  }
+  const std::size_t after = alloc_calls();
+  EXPECT_EQ(after, before)
+      << "steady-state extraction cycles must not allocate";
+}
+
+// Same contract one layer up: a pooled StreamingEntropyVector fed
+// packet-sized chunks, snapshotted via the span-based features().
+TEST(FusedKernelAllocation, StreamingFacadeSteadyStateIsAllocationFree) {
+  const auto widths = svm_preferred_widths();
+  StreamingEntropyVector streaming(widths);
+  util::Rng rng(13);
+  std::vector<std::uint8_t> payload(4096);
+  rng.fill_bytes(payload);
+  std::array<double, 4> out{};
+
+  streaming.add(payload);
+  streaming.features(out);
+  streaming.reset();
+
+  const std::size_t before = alloc_calls();
+  for (int round = 0; round < 5; ++round) {
+    for (std::size_t at = 0; at < payload.size(); at += 512) {
+      streaming.add(
+          std::span<const std::uint8_t>(payload.data() + at, 512));
+    }
+    streaming.features(out);
+    streaming.reset();
+  }
+  EXPECT_EQ(alloc_calls(), before);
+}
+
+}  // namespace
+}  // namespace iustitia::entropy

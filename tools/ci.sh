@@ -33,4 +33,13 @@ echo "==== analyze"
 # tools/analyze-baseline.json (see tools/README.md for the workflow).
 cmake --build --preset default --target analyze
 
+echo "==== perf-smoke"
+# Reduced-size run of the entropy-kernel microbench, gated on >30%
+# regression against the checked-in baseline (speedup is the gated,
+# machine-portable metric; see tools/perf_check.py).
+IUSTITIA_KERNEL_MIN_MS=60 ./build/bench/bench_entropy_kernel \
+  build/BENCH_entropy_kernel.json
+python3 tools/perf_check.py build/BENCH_entropy_kernel.json \
+  bench/baselines/entropy_kernel.json
+
 echo "ci.sh: all presets green"

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Perf-smoke gate: compare a bench JSON against its checked-in baseline.
+
+Usage: tools/perf_check.py CURRENT.json BASELINE.json [TOLERANCE]
+
+Both files use the bench_entropy_kernel schema: a top-level "results"
+list whose rows are keyed by (width_set, buffer_bytes).  For every row in
+the baseline, the matching current row must reach at least
+(1 - TOLERANCE) of the baseline value for each metric named in the
+baseline's "gated_metrics" list (default: speedup only, which is the
+machine-portable metric).  TOLERANCE defaults to 0.30, i.e. the gate
+fails on a >30% regression.
+
+The baseline is refreshed deliberately: rerun the bench on the reference
+machine, inspect the diff, and commit the new JSON alongside the change
+that moved the numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_TOLERANCE = 0.30
+DEFAULT_GATED_METRICS = ["speedup"]
+
+
+def load_rows(path: Path) -> tuple[dict, dict[tuple[str, int], dict]]:
+    doc = json.loads(path.read_text())
+    rows = {(r["width_set"], int(r["buffer_bytes"])): r
+            for r in doc.get("results", [])}
+    return doc, rows
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    current_path, baseline_path = Path(argv[1]), Path(argv[2])
+    tolerance = float(argv[3]) if len(argv) > 3 else DEFAULT_TOLERANCE
+
+    _, current = load_rows(current_path)
+    baseline_doc, baseline = load_rows(baseline_path)
+    metrics = baseline_doc.get("gated_metrics", DEFAULT_GATED_METRICS)
+
+    failures: list[str] = []
+    checked = 0
+    for key, base_row in sorted(baseline.items()):
+        cur_row = current.get(key)
+        if cur_row is None:
+            failures.append(f"{key}: missing from {current_path}")
+            continue
+        for metric in metrics:
+            base = float(base_row[metric])
+            got = float(cur_row[metric])
+            floor = base * (1.0 - tolerance)
+            checked += 1
+            status = "ok" if got >= floor else "REGRESSION"
+            print(f"perf_check: {key[0]}/{key[1]} {metric}: "
+                  f"{got:.3g} vs baseline {base:.3g} "
+                  f"(floor {floor:.3g}) {status}")
+            if got < floor:
+                failures.append(
+                    f"{key}: {metric} {got:.3g} < floor {floor:.3g} "
+                    f"(baseline {base:.3g}, tolerance {tolerance:.0%})")
+
+    if failures:
+        print("perf_check: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"perf_check: {checked} metric(s) within {tolerance:.0%} "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
