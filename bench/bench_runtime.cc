@@ -1,0 +1,155 @@
+// Serving-runtime bench: end-to-end packets/second of the online runtime
+// (dispatcher + SPSC rings + shard workers + per-nature output queues),
+// swept across shard counts.
+//
+// Unlike bench_throughput (which pre-partitions the trace and times only
+// the engines), this measures the deployment path the runtime subsystem
+// adds: live steering, ring transport, backpressure, and metrics — the
+// difference between the two is the orchestration overhead.  Results go
+// to stdout and to machine-readable JSON (argv[1], default
+// BENCH_runtime.json); tools/ci.sh runs a reduced form and gates it
+// against bench/baselines/runtime.json via tools/perf_check.py.
+//
+// Knobs: IUSTITIA_TRACE_PACKETS  synthetic trace packet budget
+//                                (default 200000; CI smoke uses 25000).
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "appproto/trace_headers.h"
+#include "bench/bench_common.h"
+#include "core/trainer.h"
+#include "entropy/entropy_vector.h"
+#include "net/trace_gen.h"
+#include "runtime/runtime.h"
+#include "util/timer.h"
+
+namespace iustitia::bench {
+namespace {
+
+struct RuntimeRow {
+  std::size_t shards = 0;
+  double seconds = 0.0;
+  double pkts_per_sec = 0.0;
+  double scaling_vs_1shard = 0.0;
+  std::uint64_t flows_classified = 0;
+  std::uint64_t dropped = 0;
+  double p99_latency_upper_micros = 0.0;
+};
+
+std::function<core::FlowNatureModel()> model_factory() {
+  return [] {
+    const auto corpus = standard_corpus(40);
+    core::TrainerOptions options;
+    options.backend = core::Backend::kCart;
+    options.widths = entropy::cart_preferred_widths();
+    options.method = core::TrainingMethod::kFirstBytes;
+    options.buffer_size = 32;
+    return core::train_model(corpus, options);
+  };
+}
+
+void write_json(const std::string& path,
+                const std::vector<RuntimeRow>& rows, std::size_t packets) {
+  std::ofstream out(path);
+  out << std::setprecision(12);
+  out << "{\n  \"bench\": \"runtime\",\n  \"trace_packets\": " << packets
+      << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RuntimeRow& r = rows[i];
+    out << "    {\"shards\": " << r.shards
+        << ", \"pkts_per_sec\": " << r.pkts_per_sec
+        << ", \"scaling_vs_1shard\": " << r.scaling_vs_1shard
+        << ", \"flows_classified\": " << r.flows_classified
+        << ", \"dropped\": " << r.dropped
+        << ", \"p99_latency_upper_micros\": " << r.p99_latency_upper_micros
+        << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+int run(int argc, char** argv) {
+  banner("Serving-runtime throughput: dispatcher + rings + shard workers",
+         "context: bench_throughput times bare engines on pre-split "
+         "traces; this times the full online deployment path");
+
+  const std::size_t packets = env_size("IUSTITIA_TRACE_PACKETS", 200000);
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+
+  net::TraceOptions trace_options;
+  trace_options.header_source = appproto::standard_header_source();
+  trace_options.target_packets = packets;
+  trace_options.seed = 0x78A;
+  const std::size_t trace_size =
+      net::generate_trace(trace_options).packets.size();
+  std::cout << "trace: " << trace_size << " packets; hardware threads: "
+            << hw << "\n\n";
+
+  const auto factory = model_factory();
+  std::vector<RuntimeRow> rows;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{4}, std::size_t{8}}) {
+    runtime::RuntimeOptions options;
+    options.shards = shards;
+    options.backpressure = runtime::BackpressurePolicy::kBlock;  // lossless
+    options.latency_sample_every = 16;
+    options.engine.buffer_size = 32;
+    runtime::Runtime rt(factory, options);
+
+    // Fresh trace per run: a TraceSource is single-shot (packets are
+    // moved out).  Same seed, so every shard count replays identical
+    // input; generation is outside the timed window.
+    runtime::TraceSource source(net::generate_trace(trace_options));
+
+    const util::Stopwatch timer;
+    rt.start(source);
+    rt.wait();
+    const double seconds = timer.elapsed_seconds();
+
+    const runtime::MetricsSnapshot snap = rt.snapshot();
+    RuntimeRow row;
+    row.shards = shards;
+    row.seconds = seconds;
+    row.pkts_per_sec = static_cast<double>(snap.packets_in) / seconds;
+    row.scaling_vs_1shard =
+        rows.empty() ? 1.0 : row.pkts_per_sec / rows.front().pkts_per_sec;
+    row.flows_classified = snap.flows_by_nature[0] +
+                           snap.flows_by_nature[1] + snap.flows_by_nature[2];
+    row.dropped = snap.total_dropped();
+    row.p99_latency_upper_micros =
+        snap.engine_latency.quantile_upper_micros(0.99);
+    rows.push_back(row);
+    rt.output_queues().drain_all();
+  }
+
+  util::Table table({"shards", "replay time", "packets/sec", "scaling",
+                     "flows", "dropped", "p99 latency"});
+  for (const RuntimeRow& r : rows) {
+    table.add_row({std::to_string(r.shards), util::fmt_seconds(r.seconds),
+                   util::fmt(r.pkts_per_sec / 1e6, 2) + " M",
+                   util::fmt(r.scaling_vs_1shard, 2) + "x",
+                   std::to_string(r.flows_classified),
+                   std::to_string(r.dropped),
+                   util::fmt(r.p99_latency_upper_micros, 1) + "us"});
+  }
+  table.render(std::cout);
+  std::cout << "\ncontext: blocking backpressure is lossless, so every "
+               "shard count does identical classification work; scaling "
+               "tracks available cores (" << hw << " here), and the "
+               "dispatcher thread itself caps it at high shard counts.\n";
+
+  write_json(json_path, rows, trace_size);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main(int argc, char** argv) { return iustitia::bench::run(argc, argv); }

@@ -61,6 +61,11 @@ bool Iustitia::buffer_full(const PendingFlow& flow) const noexcept {
 }
 
 PacketAction Iustitia::on_packet(const net::Packet& packet) {
+  return on_packet(packet, nullptr);
+}
+
+PacketAction Iustitia::on_packet(const net::Packet& packet,
+                                 datagen::FileClass* label_out) {
   ++stats_.packets;
   if (packet.is_data()) ++stats_.data_packets;
   const double now = packet.timestamp;
@@ -81,6 +86,7 @@ PacketAction Iustitia::on_packet(const net::Packet& packet) {
     if (packet.flags.fin || packet.flags.rst) {
       cdb_.remove_on_close(id);
     }
+    if (label_out != nullptr) *label_out = *known;
     return PacketAction::kForwarded;
   }
 
@@ -114,14 +120,18 @@ PacketAction Iustitia::on_packet(const net::Packet& packet) {
   }
 
   if (resolve_skip(flow) && buffer_full(flow)) {
-    classify_flow(packet.key, flow, now, /*timed_out=*/false);
+    const datagen::FileClass label =
+        classify_flow(packet.key, flow, now, /*timed_out=*/false);
+    if (label_out != nullptr) *label_out = label;
     pending_.erase(it);
     action = PacketAction::kClassifiedNow;
   } else if ((packet.flags.fin || packet.flags.rst) &&
              flow.raw.size() > flow.skip) {
     // Flow ended before the buffer filled: classify on what we have.
     flow.skip_resolved = true;
-    classify_flow(packet.key, flow, now, /*timed_out=*/true);
+    const datagen::FileClass label =
+        classify_flow(packet.key, flow, now, /*timed_out=*/true);
+    if (label_out != nullptr) *label_out = label;
     pending_.erase(it);
     action = PacketAction::kClassifiedNow;
   }
@@ -133,8 +143,9 @@ PacketAction Iustitia::on_packet(const net::Packet& packet) {
   return action;
 }
 
-void Iustitia::classify_flow(const net::FlowKey& key, PendingFlow& flow,
-                             double now, bool timed_out) {
+datagen::FileClass Iustitia::classify_flow(const net::FlowKey& key,
+                                           PendingFlow& flow, double now,
+                                           bool timed_out) {
   const std::size_t available =
       flow.raw.size() > flow.skip ? flow.raw.size() - flow.skip : 0;
   const std::size_t take = std::min(available, options_.buffer_size);
@@ -164,6 +175,7 @@ void Iustitia::classify_flow(const net::FlowKey& key, PendingFlow& flow,
   DCHECK_LT(static_cast<std::size_t>(result.label),
             stats_.queue_packets.size());
   ++stats_.queue_packets[static_cast<std::size_t>(result.label)];
+  return result.label;
 }
 
 std::size_t Iustitia::flush_idle(double now) {

@@ -63,6 +63,14 @@ class Iustitia {
   // Processes one packet (packets must arrive in timestamp order).
   PacketAction on_packet(const net::Packet& packet);
 
+  // As above, and additionally reports the nature the packet was routed
+  // under when the returned action is kForwarded or kClassifiedNow
+  // (*label_out is left untouched otherwise).  This is the flow-splitter
+  // hook: the serving runtime fans the packet out to its per-nature
+  // output queue without paying a second CDB probe.
+  PacketAction on_packet(const net::Packet& packet,
+                         datagen::FileClass* label_out);
+
   // Classifies every pending flow that has been idle for the configured
   // timeout (called automatically every 1024 packets; call manually for
   // deterministic experiments).  Returns flows flushed.
@@ -107,8 +115,8 @@ class Iustitia {
   // Buffer target met? (raw bytes beyond the skip >= buffer_size)
   bool buffer_full(const PendingFlow& flow) const noexcept;
 
-  void classify_flow(const net::FlowKey& key, PendingFlow& flow, double now,
-                     bool timed_out);
+  datagen::FileClass classify_flow(const net::FlowKey& key, PendingFlow& flow,
+                                   double now, bool timed_out);
 
   FlowNatureModel model_;
   EngineOptions options_;

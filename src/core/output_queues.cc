@@ -21,8 +21,21 @@ bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
   }
   queues_[index].push_back(QueuedPacket{std::move(packet), label});
   ++enqueued_[index];
+  if (queues_[index].size() > high_water_[index]) {
+    high_water_[index] = queues_[index].size();
+  }
   DCHECK(capacity_ == 0 || queues_[index].size() <= capacity_);
   return true;
+}
+
+std::size_t OutputQueues::drain_all() {
+  util::MutexLock lock(mu_);
+  std::size_t discarded = 0;
+  for (auto& queue : queues_) {
+    discarded += queue.size();
+    queue.clear();
+  }
+  return discarded;
 }
 
 std::optional<QueuedPacket> OutputQueues::dequeue_locked(
@@ -65,6 +78,24 @@ std::uint64_t OutputQueues::dropped(datagen::FileClass label) const {
   const std::size_t index = index_of(label);
   util::MutexLock lock(mu_);
   return dropped_[index];
+}
+
+std::size_t OutputQueues::high_water(datagen::FileClass label) const {
+  const std::size_t index = index_of(label);
+  util::MutexLock lock(mu_);
+  return high_water_[index];
+}
+
+OutputQueueStats OutputQueues::stats() const {
+  OutputQueueStats out;
+  util::MutexLock lock(mu_);
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    out.enqueued[i] = enqueued_[i];
+    out.dropped[i] = dropped_[i];
+    out.depth[i] = queues_[i].size();
+    out.high_water[i] = high_water_[i];
+  }
+  return out;
 }
 
 }  // namespace iustitia::core

@@ -31,6 +31,16 @@ struct QueuedPacket {
   datagen::FileClass label = datagen::FileClass::kText;
 };
 
+// Point-in-time counters for all three class queues, indexed by
+// static_cast<std::size_t>(datagen::FileClass).  Taken atomically under
+// the queue lock, so the per-class values are mutually consistent.
+struct OutputQueueStats {
+  std::array<std::uint64_t, 3> enqueued{};
+  std::array<std::uint64_t, 3> dropped{};
+  std::array<std::size_t, 3> depth{};
+  std::array<std::size_t, 3> high_water{};  // max depth ever reached
+};
+
 class OutputQueues {
  public:
   // `capacity` bounds each class queue (packets); 0 means unbounded.
@@ -50,9 +60,18 @@ class OutputQueues {
   std::optional<QueuedPacket> dequeue_priority(
       std::span<const datagen::FileClass> priority_order);
 
+  // Empties every class queue (shutdown path: the consumers are gone and
+  // whatever is still enqueued will never be drained).  Returns the number
+  // of packets discarded.  Counters and high-water marks are preserved.
+  std::size_t drain_all();
+
   std::size_t depth(datagen::FileClass label) const;
   std::uint64_t enqueued(datagen::FileClass label) const;
   std::uint64_t dropped(datagen::FileClass label) const;
+  // Deepest the class queue has ever been (back-pressure headroom signal).
+  std::size_t high_water(datagen::FileClass label) const;
+  // One consistent snapshot of all per-class counters.
+  OutputQueueStats stats() const;
   std::size_t capacity() const noexcept { return capacity_; }
 
  private:
@@ -67,6 +86,7 @@ class OutputQueues {
   std::array<std::deque<QueuedPacket>, 3> queues_ IUSTITIA_GUARDED_BY(mu_);
   std::array<std::uint64_t, 3> enqueued_ IUSTITIA_GUARDED_BY(mu_){};
   std::array<std::uint64_t, 3> dropped_ IUSTITIA_GUARDED_BY(mu_){};
+  std::array<std::size_t, 3> high_water_ IUSTITIA_GUARDED_BY(mu_){};
 };
 
 }  // namespace iustitia::core

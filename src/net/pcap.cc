@@ -301,17 +301,23 @@ PcapReader::PcapReader(std::istream& is) : is_(is) {
 }
 
 std::optional<Packet> PcapReader::next() {
+  if (truncated_) return std::nullopt;
   for (;;) {
     std::uint32_t sec = 0, usec = 0, incl = 0, orig = 0;
     if (!read_le32(is_, sec)) return std::nullopt;
     if (!read_le32(is_, usec) || !read_le32(is_, incl) ||
         !read_le32(is_, orig)) {
-      throw std::runtime_error("pcap: truncated record header");
+      // Record header cut off: the capture stopped mid-write.  Everything
+      // before this point was complete, so end the stream and let the
+      // caller decide what a truncated capture means.
+      truncated_ = true;
+      return std::nullopt;
     }
     std::vector<std::uint8_t> frame(incl);
     if (!is_.read(reinterpret_cast<char*>(frame.data()),
                   static_cast<std::streamsize>(incl))) {
-      throw std::runtime_error("pcap: truncated record body");
+      truncated_ = true;  // body cut off: same story as a cut header
+      return std::nullopt;
     }
     const double ts =
         static_cast<double>(sec) + static_cast<double>(usec) * 1e-6;

@@ -57,14 +57,21 @@ class PcapReader {
   explicit PcapReader(std::istream& is);
 
   // Next decodable packet, skipping frames decode_frame rejects; or
-  // std::nullopt at end of file.
+  // std::nullopt at end of file.  A capture cut off mid-record (the
+  // normal fate of a live capture that was interrupted) ends the stream
+  // cleanly at the last complete record and sets truncated() instead of
+  // throwing — only structurally corrupt *complete* frames still throw.
   std::optional<Packet> next();
 
   std::size_t packets_read() const noexcept { return packets_read_; }
 
+  // True once next() hit a final record whose header or body was cut off.
+  bool truncated() const noexcept { return truncated_; }
+
  private:
   std::istream& is_;
   std::size_t packets_read_ = 0;
+  bool truncated_ = false;
 };
 
 }  // namespace iustitia::net

@@ -1,0 +1,235 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/table.h"
+
+namespace iustitia::runtime {
+
+namespace {
+
+constexpr const char* kNatureNames[3] = {"text", "binary", "encrypted"};
+
+std::string fmt_micros(double micros) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(2) << micros << "us";
+  return out.str();
+}
+
+}  // namespace
+
+void LatencyHistogram::record(double micros) noexcept {
+  const std::uint64_t whole =
+      micros <= 0.0 ? 0 : static_cast<std::uint64_t>(micros);
+  const std::size_t bucket = std::min<std::size_t>(
+      static_cast<std::size_t>(std::bit_width(whole)), kBucketCount - 1);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+  const auto nanos =
+      micros <= 0.0 ? std::uint64_t{0}
+                    : static_cast<std::uint64_t>(micros * 1e3);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+}
+
+LatencyHistogram::Snapshot LatencyHistogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+    snap.total += snap.counts[i];
+  }
+  snap.sum_micros =
+      static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) * 1e-3;
+  return snap;
+}
+
+double LatencyHistogram::bucket_floor_micros(std::size_t i) noexcept {
+  return i == 0 ? 0.0
+               : static_cast<double>(std::uint64_t{1} << (i - 1));
+}
+
+double LatencyHistogram::Snapshot::mean_micros() const noexcept {
+  return total == 0 ? 0.0 : sum_micros / static_cast<double>(total);
+}
+
+double LatencyHistogram::Snapshot::quantile_upper_micros(
+    double q) const noexcept {
+  if (total == 0) return 0.0;
+  const double clamped = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      clamped * static_cast<double>(total - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    seen += counts[i];
+    if (seen > rank) {
+      // Upper edge of bucket i (== floor of bucket i + 1).
+      return bucket_floor_micros(i + 1);
+    }
+  }
+  return bucket_floor_micros(kBucketCount);
+}
+
+MetricsRegistry::MetricsRegistry(std::size_t shards)
+    : shards_(shards), rings_(std::make_unique<RingCounters[]>(shards)) {
+  CHECK_GT(shards, std::size_t{0}) << "metrics need at least one ring";
+}
+
+void MetricsRegistry::on_source_packet() noexcept {
+  packets_in_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_push(std::size_t shard,
+                              std::size_t depth_after) noexcept {
+  DCHECK_LT(shard, shards_);
+  RingCounters& ring = rings_[shard];
+  ring.pushed.fetch_add(1, std::memory_order_relaxed);
+  // Only the dispatcher writes high_water, so a read-then-store is safe.
+  if (depth_after > ring.high_water.load(std::memory_order_relaxed)) {
+    ring.high_water.store(depth_after, std::memory_order_relaxed);
+  }
+}
+
+void MetricsRegistry::on_drop(std::size_t shard) noexcept {
+  DCHECK_LT(shard, shards_);
+  rings_[shard].dropped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_pop(std::size_t shard) noexcept {
+  DCHECK_LT(shard, shards_);
+  rings_[shard].popped.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_classified(datagen::FileClass nature) noexcept {
+  const auto index = static_cast<std::size_t>(nature);
+  DCHECK_LT(index, flows_by_nature_.size());
+  flows_by_nature_[index].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::record_engine_latency(double micros) noexcept {
+  engine_latency_.record(micros);
+}
+
+MetricsSnapshot MetricsRegistry::snapshot(
+    const core::OutputQueues* queues) const {
+  MetricsSnapshot snap;
+  snap.shards = shards_;
+  snap.packets_in = packets_in_.load(std::memory_order_relaxed);
+  snap.rings.resize(shards_);
+  for (std::size_t s = 0; s < shards_; ++s) {
+    snap.rings[s].pushed = rings_[s].pushed.load(std::memory_order_relaxed);
+    snap.rings[s].popped = rings_[s].popped.load(std::memory_order_relaxed);
+    snap.rings[s].dropped = rings_[s].dropped.load(std::memory_order_relaxed);
+    snap.rings[s].high_water =
+        rings_[s].high_water.load(std::memory_order_relaxed);
+  }
+  for (std::size_t c = 0; c < flows_by_nature_.size(); ++c) {
+    snap.flows_by_nature[c] =
+        flows_by_nature_[c].load(std::memory_order_relaxed);
+  }
+  snap.engine_latency = engine_latency_.snapshot();
+  if (queues != nullptr) {
+    snap.has_queue_stats = true;
+    snap.queue_stats = queues->stats();
+  }
+  return snap;
+}
+
+std::uint64_t MetricsSnapshot::total_pushed() const noexcept {
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings) total += ring.pushed;
+  return total;
+}
+
+std::uint64_t MetricsSnapshot::total_popped() const noexcept {
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings) total += ring.popped;
+  return total;
+}
+
+std::uint64_t MetricsSnapshot::total_dropped() const noexcept {
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings) total += ring.dropped;
+  return total;
+}
+
+std::string MetricsSnapshot::text_report() const {
+  std::ostringstream out;
+  out << "runtime metrics\n"
+      << "  packets in: " << packets_in << "  pushed: " << total_pushed()
+      << "  popped: " << total_popped() << "  dropped: " << total_dropped()
+      << "\n";
+
+  util::Table rings_table({"ring", "pushed", "popped", "dropped",
+                           "high water"});
+  for (std::size_t s = 0; s < rings.size(); ++s) {
+    rings_table.add_row({std::to_string(s), std::to_string(rings[s].pushed),
+                         std::to_string(rings[s].popped),
+                         std::to_string(rings[s].dropped),
+                         std::to_string(rings[s].high_water)});
+  }
+  rings_table.render(out);
+
+  util::Table natures({"nature", "flows classified", "queue enq",
+                       "queue drop", "queue depth", "queue high water"});
+  for (std::size_t c = 0; c < flows_by_nature.size(); ++c) {
+    natures.add_row(
+        {kNatureNames[c], std::to_string(flows_by_nature[c]),
+         has_queue_stats ? std::to_string(queue_stats.enqueued[c]) : "-",
+         has_queue_stats ? std::to_string(queue_stats.dropped[c]) : "-",
+         has_queue_stats ? std::to_string(queue_stats.depth[c]) : "-",
+         has_queue_stats ? std::to_string(queue_stats.high_water[c]) : "-"});
+  }
+  natures.render(out);
+
+  out << "  engine latency: n=" << engine_latency.total
+      << " mean=" << fmt_micros(engine_latency.mean_micros())
+      << " p50<=" << fmt_micros(engine_latency.quantile_upper_micros(0.50))
+      << " p99<=" << fmt_micros(engine_latency.quantile_upper_micros(0.99))
+      << "\n";
+  return out.str();
+}
+
+std::string MetricsSnapshot::json() const {
+  std::ostringstream out;
+  out << std::setprecision(12);
+  out << "{\n  \"shards\": " << shards
+      << ",\n  \"packets_in\": " << packets_in
+      << ",\n  \"pushed\": " << total_pushed()
+      << ",\n  \"popped\": " << total_popped()
+      << ",\n  \"dropped\": " << total_dropped() << ",\n  \"rings\": [";
+  for (std::size_t s = 0; s < rings.size(); ++s) {
+    out << (s == 0 ? "\n" : ",\n")
+        << "    {\"pushed\": " << rings[s].pushed
+        << ", \"popped\": " << rings[s].popped
+        << ", \"dropped\": " << rings[s].dropped
+        << ", \"high_water\": " << rings[s].high_water << "}";
+  }
+  out << "\n  ],\n  \"flows_by_nature\": {";
+  for (std::size_t c = 0; c < flows_by_nature.size(); ++c) {
+    out << (c == 0 ? "" : ", ") << "\"" << kNatureNames[c]
+        << "\": " << flows_by_nature[c];
+  }
+  out << "},\n  \"engine_latency\": {\"count\": " << engine_latency.total
+      << ", \"mean_micros\": " << engine_latency.mean_micros()
+      << ", \"p50_upper_micros\": "
+      << engine_latency.quantile_upper_micros(0.50)
+      << ", \"p99_upper_micros\": "
+      << engine_latency.quantile_upper_micros(0.99) << "}";
+  if (has_queue_stats) {
+    out << ",\n  \"output_queues\": {";
+    for (std::size_t c = 0; c < queue_stats.enqueued.size(); ++c) {
+      out << (c == 0 ? "" : ", ") << "\"" << kNatureNames[c]
+          << "\": {\"enqueued\": " << queue_stats.enqueued[c]
+          << ", \"dropped\": " << queue_stats.dropped[c]
+          << ", \"depth\": " << queue_stats.depth[c]
+          << ", \"high_water\": " << queue_stats.high_water[c] << "}";
+    }
+    out << "}";
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+}  // namespace iustitia::runtime

@@ -1,0 +1,129 @@
+// Live metrics for the online serving runtime.
+//
+// Every mutator is a relaxed atomic add on the hot path — no locks, no
+// fences beyond the counter itself, safe to call from the dispatcher and
+// every shard worker concurrently.  snapshot() reads the same atomics
+// from any thread and returns a plain-value MetricsSnapshot that renders
+// as a human text report or machine-readable JSON.  Relaxed ordering
+// means a snapshot taken mid-run can be momentarily inconsistent across
+// counters (e.g. a push counted whose pop is in flight); totals are exact
+// once the runtime has drained.
+//
+// Inventory (see DESIGN.md §10): packets in from the source; per-ring
+// pushed/popped/dropped and ring high-water mark; flows classified per
+// nature; a fixed-bucket histogram of per-packet engine latency; plus the
+// per-nature OutputQueues counters folded in at snapshot time.
+#ifndef IUSTITIA_RUNTIME_METRICS_H_
+#define IUSTITIA_RUNTIME_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/output_queues.h"
+#include "runtime/spsc_ring.h"
+
+namespace iustitia::runtime {
+
+// Fixed-bucket latency histogram: bucket i counts samples in
+// [2^(i-1), 2^i) microseconds (bucket 0 is < 1us, the last bucket is
+// open-ended).  Fixed buckets keep record() allocation-free and
+// wait-free, which is what lets every worker call it per packet.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketCount = 20;
+
+  void record(double micros) noexcept;
+
+  struct Snapshot {
+    std::array<std::uint64_t, kBucketCount> counts{};
+    std::uint64_t total = 0;
+    double sum_micros = 0.0;
+
+    double mean_micros() const noexcept;
+    // Upper bucket edge containing quantile q in [0, 1] (0 with no data).
+    double quantile_upper_micros(double q) const noexcept;
+  };
+
+  Snapshot snapshot() const;
+
+  // Inclusive lower edge of bucket i in microseconds.
+  static double bucket_floor_micros(std::size_t i) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+};
+
+// Plain-value copy of every runtime counter, safe to pass around after
+// the registry (or the whole runtime) is gone.
+struct MetricsSnapshot {
+  struct Ring {
+    std::uint64_t pushed = 0;
+    std::uint64_t popped = 0;
+    std::uint64_t dropped = 0;
+    std::size_t high_water = 0;
+  };
+
+  std::size_t shards = 0;
+  std::uint64_t packets_in = 0;
+  std::vector<Ring> rings;
+  std::array<std::uint64_t, 3> flows_by_nature{};
+  LatencyHistogram::Snapshot engine_latency;
+  bool has_queue_stats = false;
+  core::OutputQueueStats queue_stats;
+
+  std::uint64_t total_pushed() const noexcept;
+  std::uint64_t total_popped() const noexcept;
+  std::uint64_t total_dropped() const noexcept;
+
+  // Multi-line human report (tables of the inventory above).
+  std::string text_report() const;
+  // Machine-readable JSON document of the same values.
+  std::string json() const;
+};
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(std::size_t shards);
+
+  std::size_t shard_count() const noexcept { return shards_; }
+
+  // Dispatcher side.
+  void on_source_packet() noexcept;
+  void on_push(std::size_t shard, std::size_t depth_after) noexcept;
+  void on_drop(std::size_t shard) noexcept;
+
+  // Worker side.
+  void on_pop(std::size_t shard) noexcept;
+  void on_classified(datagen::FileClass nature) noexcept;
+  void record_engine_latency(double micros) noexcept;
+
+  // Any thread.  Pass the runtime's OutputQueues to fold its per-nature
+  // counters into the snapshot.
+  MetricsSnapshot snapshot(const core::OutputQueues* queues = nullptr) const;
+
+ private:
+  // Each ring's counters get their own cache line so shard workers never
+  // write-share a line with a neighbour.
+  struct alignas(kCacheLineBytes) RingCounters {
+    std::atomic<std::uint64_t> pushed{0};
+    std::atomic<std::uint64_t> popped{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::size_t> high_water{0};
+  };
+
+  const std::size_t shards_;
+  std::unique_ptr<RingCounters[]> rings_;
+  std::atomic<std::uint64_t> packets_in_{0};
+  std::array<std::atomic<std::uint64_t>, 3> flows_by_nature_{};
+  LatencyHistogram engine_latency_;
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_METRICS_H_

@@ -1,0 +1,47 @@
+#include "runtime/packet_source.h"
+
+#include <istream>
+#include <thread>
+#include <utility>
+
+namespace iustitia::runtime {
+
+void Pacer::tick() {
+  if (target_ <= 0.0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (!started_) {
+    started_ = true;
+    start_ = now;
+  }
+  ++ticks_;
+  const auto deadline =
+      start_ + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double>(
+                       static_cast<double>(ticks_) / target_));
+  if (deadline > now) std::this_thread::sleep_until(deadline);
+}
+
+PcapReplaySource::PcapReplaySource(std::istream& is, double target_pps)
+    : reader_(is), pacer_(target_pps) {}
+
+std::optional<net::Packet> PcapReplaySource::next() {
+  std::optional<net::Packet> packet = reader_.next();
+  if (!packet.has_value()) return std::nullopt;
+  pacer_.tick();
+  ++delivered_;
+  return packet;
+}
+
+TraceSource::TraceSource(net::Trace trace, double target_pps)
+    : trace_(std::move(trace)), pacer_(target_pps) {}
+
+TraceSource::TraceSource(const net::TraceOptions& options, double target_pps)
+    : TraceSource(net::generate_trace(options), target_pps) {}
+
+std::optional<net::Packet> TraceSource::next() {
+  if (next_index_ >= trace_.packets.size()) return std::nullopt;
+  pacer_.tick();
+  return std::move(trace_.packets[next_index_++]);
+}
+
+}  // namespace iustitia::runtime

@@ -1,0 +1,96 @@
+// Packet sources feeding the serving runtime's dispatcher.
+//
+// A PacketSource is a pull-model stream of time-ordered packets, consumed
+// by exactly one thread (the dispatcher), so implementations need no
+// internal synchronization.  Two implementations cover the deployment and
+// the lab: PcapReplaySource streams a standard capture file (surviving
+// truncated captures via net::PcapReader::truncated()), TraceSource
+// serves a calibrated synthetic gateway trace.  Both can be paced to a
+// target aggregate packet rate to emulate a live link instead of
+// replaying as fast as the disk allows.
+#ifndef IUSTITIA_RUNTIME_PACKET_SOURCE_H_
+#define IUSTITIA_RUNTIME_PACKET_SOURCE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <optional>
+
+#include "net/pcap.h"
+#include "net/trace_gen.h"
+
+namespace iustitia::runtime {
+
+// Pull interface; next() returns std::nullopt once the stream is
+// exhausted (and forever after).  Single-consumer by contract.
+class PacketSource {
+ public:
+  virtual ~PacketSource() = default;
+  virtual std::optional<net::Packet> next() = 0;
+};
+
+// Sleeps the calling thread so successive tick() calls average out to a
+// target rate.  Rate 0 disables pacing (tick() returns immediately).
+// The schedule is absolute — tick i completes no earlier than
+// start + i/rate — so short hiccups are caught up instead of compounding.
+class Pacer {
+ public:
+  explicit Pacer(double target_per_sec) : target_(target_per_sec) {}
+
+  // Call once per delivered item, before handing the item downstream.
+  void tick();
+
+ private:
+  const double target_;
+  std::uint64_t ticks_ = 0;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Replays a capture via net::PcapReader.  The stream must outlive the
+// source.  target_pps = 0 replays unpaced (as fast as the consumer
+// accepts); otherwise delivery is paced to that aggregate packet rate.
+class PcapReplaySource final : public PacketSource {
+ public:
+  explicit PcapReplaySource(std::istream& is, double target_pps = 0.0);
+
+  std::optional<net::Packet> next() override;
+
+  // True once the capture ended on a cut-off record: the replay served
+  // everything up to the last complete record (see net/pcap.h).
+  bool truncated() const noexcept { return reader_.truncated(); }
+  std::size_t packets_delivered() const noexcept { return delivered_; }
+
+ private:
+  net::PcapReader reader_;
+  Pacer pacer_;
+  std::size_t delivered_ = 0;
+};
+
+// Serves a synthetic gateway trace (net::generate_trace).  Owns the
+// trace; packets are *moved* out one by one (a source is single-shot),
+// while the ground-truth map stays valid for post-run scoring via
+// trace().truth.
+class TraceSource final : public PacketSource {
+ public:
+  explicit TraceSource(net::Trace trace, double target_pps = 0.0);
+  // Convenience: generates the trace from options first.
+  explicit TraceSource(const net::TraceOptions& options,
+                       double target_pps = 0.0);
+
+  std::optional<net::Packet> next() override;
+
+  // The owned trace.  truth and duration stay intact; packets already
+  // delivered are moved-from.
+  const net::Trace& trace() const noexcept { return trace_; }
+  std::size_t packets_delivered() const noexcept { return next_index_; }
+
+ private:
+  net::Trace trace_;
+  Pacer pacer_;
+  std::size_t next_index_ = 0;
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_PACKET_SOURCE_H_

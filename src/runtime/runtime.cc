@@ -1,0 +1,221 @@
+#include "runtime/runtime.h"
+
+#include <chrono>
+#include <optional>
+#include <thread>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace iustitia::runtime {
+
+namespace {
+
+// Progressive wait for a full/empty ring: spin briefly (the peer is
+// usually just a few instructions away), then yield (essential when
+// producer and consumer share a core), then sleep so a long stall does
+// not burn a CPU.
+class Backoff {
+ public:
+  void pause() {
+    ++rounds_;
+    if (rounds_ < 64) return;
+    if (rounds_ < 128) {
+      std::this_thread::yield();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+
+  void reset() noexcept { rounds_ = 0; }
+
+ private:
+  unsigned rounds_ = 0;
+};
+
+void pin_current_thread(std::size_t worker_index) {
+#ifdef __linux__
+  const unsigned cpus = std::thread::hardware_concurrency();
+  if (cpus == 0) return;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(worker_index % cpus, &set);
+  // Best effort: a failed pin (cgroup mask, exotic topology) just means
+  // the scheduler keeps choosing, which is the unpinned default anyway.
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+  (void)worker_index;
+#endif
+}
+
+}  // namespace
+
+Runtime::Runtime(const std::function<core::FlowNatureModel()>& model_factory,
+                 const RuntimeOptions& options)
+    : options_(options),
+      engine_(model_factory, options.engine, options.shards),
+      queues_(options.output_queue_capacity),
+      metrics_(options.shards),
+      folded_delays_(options.shards, 0) {
+  rings_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    rings_.push_back(
+        std::make_unique<SpscRing<net::Packet>>(options_.ring_capacity));
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::start(PacketSource& source) {
+  util::MutexLock lock(lifecycle_mu_);
+  CHECK(!started_) << "Runtime is single-shot; construct a new one";
+  started_ = true;
+  workers_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    workers_.emplace_back([this, s] { worker_loop(s); });
+  }
+  PacketSource* source_ptr = &source;
+  dispatcher_ = std::thread([this, source_ptr] { dispatch_loop(source_ptr); });
+}
+
+void Runtime::wait() {
+  util::MutexLock lock(lifecycle_mu_);
+  if (!started_ || joined_) return;
+  join_threads_locked();
+  joined_ = true;
+  finish_flush();
+}
+
+void Runtime::stop() {
+  // Set the flag before touching the lifecycle lock: a concurrent wait()
+  // holds the lock while joining, and this store is what lets its joins
+  // finish early.
+  stop_requested_.store(true, std::memory_order_relaxed);
+  wait();
+}
+
+bool Runtime::running() const {
+  util::MutexLock lock(lifecycle_mu_);
+  return started_ && !joined_;
+}
+
+void Runtime::join_threads_locked() {
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Runtime::dispatch_loop(PacketSource* source) {
+  Backoff backoff;
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    std::optional<net::Packet> packet = source->next();
+    if (!packet.has_value()) break;
+    metrics_.on_source_packet();
+    const std::size_t shard = engine_.shard_of(packet->key);
+    SpscRing<net::Packet>& ring = *rings_[shard];
+    if (ring.try_push(std::move(*packet))) {
+      metrics_.on_push(shard, ring.size_approx());
+      continue;
+    }
+    if (options_.backpressure == BackpressurePolicy::kDrop) {
+      metrics_.on_drop(shard);
+      continue;
+    }
+    // kBlock: stall until the worker frees a slot.  A stop() request
+    // abandons the held packet (counted as a drop) so shutdown can never
+    // deadlock against a full ring.
+    backoff.reset();
+    bool pushed = false;
+    while (!stop_requested_.load(std::memory_order_relaxed)) {
+      if (ring.try_push(std::move(*packet))) {
+        pushed = true;
+        break;
+      }
+      backoff.pause();
+    }
+    if (!pushed) {
+      metrics_.on_drop(shard);
+      break;
+    }
+    metrics_.on_push(shard, ring.size_approx());
+  }
+  // Poison pill: every worker terminates once its ring is closed *and*
+  // drained, whether we got here by source exhaustion or by stop().
+  for (auto& ring : rings_) ring->close();
+}
+
+void Runtime::worker_loop(std::size_t shard) {
+  if (options_.pin_workers) pin_current_thread(shard);
+
+  // Single-owner drive for the whole run: this thread is the only one
+  // touching the shard until the dispatcher's close() and our exit, which
+  // the post-join finish_flush() ordering respects.
+  core::Iustitia& eng = engine_.shard(shard);
+  SpscRing<net::Packet>& ring = *rings_[shard];
+  const std::size_t sample_every = options_.latency_sample_every;
+  std::size_t folded = 0;
+  std::uint64_t processed = 0;
+
+  const auto process = [&](net::Packet& packet) {
+    metrics_.on_pop(shard);
+    ++processed;
+    datagen::FileClass label = datagen::FileClass::kText;
+    core::PacketAction action;
+    if (sample_every != 0 && processed % sample_every == 0) {
+      const util::Stopwatch watch;
+      action = eng.on_packet(packet, &label);
+      metrics_.record_engine_latency(watch.elapsed_micros());
+    } else {
+      action = eng.on_packet(packet, &label);
+    }
+    // Fold classifications as they happen (including flush_idle batches)
+    // so a live snapshot() sees per-nature counts move in real time.
+    const auto& delays = eng.delays();
+    for (; folded < delays.size(); ++folded) {
+      metrics_.on_classified(delays[folded].label);
+    }
+    if (action == core::PacketAction::kForwarded ||
+        action == core::PacketAction::kClassifiedNow) {
+      queues_.enqueue(label, std::move(packet));
+    }
+  };
+
+  Backoff backoff;
+  net::Packet packet;
+  for (;;) {
+    if (ring.try_pop(packet)) {
+      backoff.reset();
+      process(packet);
+      continue;
+    }
+    if (ring.closed()) {
+      // Flag observed: one more drain pass is definitive (see spsc_ring.h
+      // termination protocol).
+      while (ring.try_pop(packet)) process(packet);
+      break;
+    }
+    backoff.pause();
+  }
+  folded_delays_[shard] = folded;
+}
+
+void Runtime::finish_flush() {
+  for (std::size_t s = 0; s < engine_.shard_count(); ++s) {
+    core::Iustitia& eng = engine_.shard(s);
+    eng.flush_all();
+    const auto& delays = eng.delays();
+    for (std::size_t i = folded_delays_[s]; i < delays.size(); ++i) {
+      metrics_.on_classified(delays[i].label);
+    }
+    folded_delays_[s] = delays.size();
+  }
+}
+
+}  // namespace iustitia::runtime

@@ -1,0 +1,141 @@
+// Online serving runtime: the full Fig. 1 deployment of the engine.
+//
+// Topology (DESIGN.md §10):
+//
+//   PacketSource ──▶ dispatcher thread ──▶ SPSC ring per shard
+//                    (shard_of steering)        │
+//                                               ▼ one pinned worker/shard
+//                                        Iustitia shard (unlocked drive)
+//                                               │
+//                                               ▼
+//                                  per-nature OutputQueues + metrics
+//
+// One dispatcher thread pulls packets from the source and steers each to
+// its flow's shard (ShardedIustitia::shard_of — same 5-tuple, same shard,
+// so per-flow packet order is preserved).  Each shard has a bounded SPSC
+// ring and exactly one worker thread that owns the shard for the whole
+// run and drives it through the unlocked shard() accessor: the classic
+// RSS deployment, no lock on the per-packet path.  When a ring fills, the
+// configured backpressure policy either blocks the dispatcher (lossless;
+// the source feels the stall, exactly like a NIC asserting flow control)
+// or counts the packet as dropped and moves on (lossy, line-rate).
+//
+// Lifecycle: construct → start(source) → wait() (source exhausted, rings
+// drained, pending flows flushed) or stop() (early shutdown: dispatcher
+// quits, workers drain what was already enqueued, then flush).  A
+// Runtime is single-shot: start() may be called once; wait()/stop() are
+// idempotent and safe from any thread and in any order after that.
+#ifndef IUSTITIA_RUNTIME_RUNTIME_H_
+#define IUSTITIA_RUNTIME_RUNTIME_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/sharded_engine.h"
+#include "runtime/metrics.h"
+#include "runtime/packet_source.h"
+#include "runtime/spsc_ring.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::runtime {
+
+// What the dispatcher does when a shard's ring is full.
+enum class BackpressurePolicy {
+  kBlock,  // wait for the worker; nothing is lost, the source stalls
+  kDrop,   // count the packet as dropped and keep up with the source
+};
+
+struct RuntimeOptions {
+  std::size_t shards = 1;
+  // Per-shard ring capacity in packets (rounded up to a power of two).
+  std::size_t ring_capacity = 2048;
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  // Per-nature output queue bound (packets; 0 = unbounded).
+  std::size_t output_queue_capacity = 4096;
+  // Record every Nth per-packet engine latency sample (1 = all packets).
+  std::size_t latency_sample_every = 1;
+  // Pin worker i to CPU (i mod hardware_concurrency).  Linux only; a
+  // no-op elsewhere.  Off by default: pinning helps steady-state serving
+  // but hurts on shared/oversubscribed hosts.
+  bool pin_workers = false;
+  core::EngineOptions engine;
+};
+
+class Runtime {
+ public:
+  // Builds the sharded engine (one model per shard via the factory), the
+  // rings, and the metrics registry.  No threads run until start().
+  Runtime(const std::function<core::FlowNatureModel()>& model_factory,
+          const RuntimeOptions& options);
+  ~Runtime();  // stops and joins if still running
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Spawns the shard workers and the dispatcher over `source`.  The
+  // source must stay alive until wait()/stop() returns.  CHECK-fails on a
+  // second call: a Runtime is single-shot.
+  void start(PacketSource& source);
+
+  // Blocks until the source is exhausted, every ring has drained, the
+  // workers have exited, and pending flows are flushed.  Idempotent.
+  void wait();
+
+  // Early shutdown: the dispatcher stops reading the source (a packet it
+  // is blocked on is counted as dropped), workers drain what was already
+  // in their rings, then everything joins and pending flows are flushed.
+  // Idempotent and safe from any thread, including while another thread
+  // is inside wait().  Called before start(), it makes the eventual run
+  // shut down as soon as it launches.
+  void stop();
+
+  // True between start() and the completion of wait()/stop().  The
+  // threads may have finished their work already; "running" means "not
+  // yet joined".
+  bool running() const;
+
+  core::ShardedIustitia& engine() noexcept { return engine_; }
+  const core::ShardedIustitia& engine() const noexcept { return engine_; }
+  core::OutputQueues& output_queues() noexcept { return queues_; }
+  const MetricsRegistry& metrics() const noexcept { return metrics_; }
+
+  // Convenience: metrics snapshot with the output-queue counters folded
+  // in.  Safe from any thread at any time.
+  MetricsSnapshot snapshot() const { return metrics_.snapshot(&queues_); }
+
+  const RuntimeOptions& options() const noexcept { return options_; }
+
+ private:
+  void dispatch_loop(PacketSource* source);
+  void worker_loop(std::size_t shard);
+  // Requires threads joined: classifies every still-pending flow and
+  // folds the remaining per-nature classification counts into metrics.
+  void finish_flush();
+  void join_threads_locked() IUSTITIA_REQUIRES(lifecycle_mu_);
+
+  const RuntimeOptions options_;
+  core::ShardedIustitia engine_;
+  core::OutputQueues queues_;
+  MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<SpscRing<net::Packet>>> rings_;
+
+  // Per-shard count of delay records already folded into
+  // metrics (flows_by_nature).  Written only by the owning worker while
+  // it runs, read by finish_flush() after join — ordered by thread join.
+  std::vector<std::size_t> folded_delays_;
+
+  std::atomic<bool> stop_requested_{false};
+  mutable util::Mutex lifecycle_mu_;
+  std::vector<std::thread> workers_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
+  std::thread dispatcher_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
+  bool started_ IUSTITIA_GUARDED_BY(lifecycle_mu_) = false;
+  bool joined_ IUSTITIA_GUARDED_BY(lifecycle_mu_) = false;
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_RUNTIME_H_

@@ -1,0 +1,111 @@
+// Bounded lock-free single-producer/single-consumer ring.
+//
+// The serving runtime's transport between the dispatcher and one pinned
+// shard worker: exactly one thread pushes, exactly one thread pops, so the
+// ring needs no locks and no CAS loops — one release store per side.  The
+// producer and consumer indices live on separate cache lines (no false
+// sharing), and each side keeps a plain-field cached copy of the other
+// side's index so the common case touches only memory it already owns
+// (the shared atomic is re-read only when the cache says full/empty).
+//
+// Shutdown is a poison pill carried out of band: the producer calls
+// close() after its final push, and the consumer terminates on a
+// try_pop() that fails AFTER closed() was observed — the acquire load of
+// closed_ pairs with the release store, so once the flag is seen the
+// producer's final push is guaranteed visible to the next pop, and an
+// empty ring at that point is genuinely the end of the stream.
+#ifndef IUSTITIA_RUNTIME_SPSC_RING_H_
+#define IUSTITIA_RUNTIME_SPSC_RING_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace iustitia::runtime {
+
+// Sized to the ubiquitous 64-byte line; 128 would also cover adjacent-line
+// prefetchers at twice the footprint, which this workload does not need.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two (minimum 2) so index
+  // wrapping is a mask, not a division.
+  explicit SpscRing(std::size_t min_capacity)
+      : mask_(std::bit_ceil(min_capacity < 2 ? std::size_t{2} : min_capacity) -
+              1),
+        slots_(mask_ + 1) {}
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side.  Moves `value` in and returns true, or returns false
+  // (value untouched) when the ring is full.  Must not be called after
+  // close().
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) return false;
+    }
+    DCHECK(!closed_.load(std::memory_order_relaxed))
+        << "push after close() breaks the drain contract";
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side.  Moves the oldest element into `out` and returns true,
+  // or returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return false;
+    }
+    out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Producer side: marks the stream complete.  Consumer termination
+  // protocol: observe closed() == true, then keep popping until try_pop()
+  // fails — only a failure *after* the flag was seen proves the ring is
+  // drained (a pop failure from before the flag may simply have raced the
+  // final push).
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // Callable from any thread; exact only when both sides are quiescent.
+  std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  const std::size_t mask_;
+  std::vector<T> slots_;
+
+  // Consumer-owned line: pop cursor plus its cached view of the tail.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  std::size_t cached_tail_ = 0;
+
+  // Producer-owned line: push cursor plus its cached view of the head.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+  std::size_t cached_head_ = 0;
+
+  alignas(kCacheLineBytes) std::atomic<bool> closed_{false};
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_SPSC_RING_H_

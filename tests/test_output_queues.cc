@@ -76,5 +76,64 @@ TEST(OutputQueues, PriorityDequeueOrder) {
   EXPECT_EQ(queues.dequeue_priority(order), std::nullopt);
 }
 
+TEST(OutputQueues, HighWaterTracksDeepestPointEver) {
+  OutputQueues queues;
+  EXPECT_EQ(queues.high_water(FileClass::kText), 0u);
+  queues.enqueue(FileClass::kText, packet_of(1));
+  queues.enqueue(FileClass::kText, packet_of(2));
+  queues.enqueue(FileClass::kText, packet_of(3));
+  EXPECT_EQ(queues.high_water(FileClass::kText), 3u);
+  // Draining does not lower the mark — it records peak backpressure.
+  (void)queues.dequeue(FileClass::kText);
+  (void)queues.dequeue(FileClass::kText);
+  EXPECT_EQ(queues.depth(FileClass::kText), 1u);
+  EXPECT_EQ(queues.high_water(FileClass::kText), 3u);
+  queues.enqueue(FileClass::kText, packet_of(4));
+  EXPECT_EQ(queues.high_water(FileClass::kText), 3u) << "2 < peak of 3";
+  // Other classes track independently.
+  EXPECT_EQ(queues.high_water(FileClass::kEncrypted), 0u);
+}
+
+TEST(OutputQueues, DrainAllEmptiesEveryClassAndKeepsCounters) {
+  OutputQueues queues;
+  queues.enqueue(FileClass::kText, packet_of(1));
+  queues.enqueue(FileClass::kBinary, packet_of(2));
+  queues.enqueue(FileClass::kBinary, packet_of(3));
+  queues.enqueue(FileClass::kEncrypted, packet_of(4));
+
+  EXPECT_EQ(queues.drain_all(), 4u);
+  for (const FileClass c :
+       {FileClass::kText, FileClass::kBinary, FileClass::kEncrypted}) {
+    EXPECT_EQ(queues.depth(c), 0u);
+    EXPECT_EQ(queues.dequeue(c), std::nullopt);
+  }
+  // Lifetime counters and peaks survive the drain.
+  EXPECT_EQ(queues.enqueued(FileClass::kBinary), 2u);
+  EXPECT_EQ(queues.high_water(FileClass::kBinary), 2u);
+  EXPECT_EQ(queues.drain_all(), 0u) << "second drain finds nothing";
+}
+
+TEST(OutputQueues, StatsSnapshotIsConsistentAcrossClasses) {
+  OutputQueues queues(2);
+  queues.enqueue(FileClass::kText, packet_of(1));
+  queues.enqueue(FileClass::kBinary, packet_of(2));
+  queues.enqueue(FileClass::kBinary, packet_of(3));
+  queues.enqueue(FileClass::kBinary, packet_of(4));  // dropped (cap 2)
+  (void)queues.dequeue(FileClass::kBinary);
+
+  const OutputQueueStats stats = queues.stats();
+  const auto text = static_cast<std::size_t>(FileClass::kText);
+  const auto binary = static_cast<std::size_t>(FileClass::kBinary);
+  const auto encrypted = static_cast<std::size_t>(FileClass::kEncrypted);
+  EXPECT_EQ(stats.enqueued[text], 1u);
+  EXPECT_EQ(stats.enqueued[binary], 2u);
+  EXPECT_EQ(stats.enqueued[encrypted], 0u);
+  EXPECT_EQ(stats.dropped[binary], 1u);
+  EXPECT_EQ(stats.depth[binary], 1u);
+  EXPECT_EQ(stats.high_water[binary], 2u);
+  EXPECT_EQ(stats.depth[text], 1u);
+  EXPECT_EQ(stats.high_water[encrypted], 0u);
+}
+
 }  // namespace
 }  // namespace iustitia::core

@@ -178,15 +178,55 @@ TEST(PcapFile, BadMagicRejected) {
   EXPECT_THROW(PcapReader reader(ss), std::runtime_error);
 }
 
-TEST(PcapFile, TruncatedRecordRejected) {
+// A capture cut off mid-write (the usual end of an interrupted live
+// capture) must not abort the replay: the reader serves every complete
+// record, then reports truncated() instead of throwing.
+TEST(PcapFile, TruncatedFinalBodyStopsCleanly) {
   std::stringstream ss;
   PcapWriter writer(ss);
-  writer.write(make_packet(Protocol::kTcp, 100));
+  writer.write(make_packet(Protocol::kTcp, 100, 0.1));
+  writer.write(make_packet(Protocol::kUdp, 80, 0.2));
+  writer.write(make_packet(Protocol::kTcp, 120, 0.3));
   std::string data = ss.str();
-  data.resize(data.size() - 40);
+  data.resize(data.size() - 40);  // cuts into the last record's frame bytes
   std::stringstream truncated(data);
   PcapReader reader(truncated);
-  EXPECT_THROW(reader.next(), std::runtime_error);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.truncated());
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_TRUE(reader.truncated());
+  // Sticky: further reads stay at end-of-stream.
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_EQ(reader.packets_read(), 2u);
+}
+
+TEST(PcapFile, TruncatedFinalRecordHeaderStopsCleanly) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_packet(Protocol::kTcp, 64, 0.1));
+  writer.write(make_packet(Protocol::kTcp, 64, 0.2));
+  std::string data = ss.str();
+  // Leave 7 bytes of the second record's 16-byte header.
+  const std::size_t second_record =
+      24 + 16 + (14 + 20 + 20 + 64);  // global hdr + rec hdr + frame
+  data.resize(second_record + 7);
+  std::stringstream truncated(data);
+  PcapReader reader(truncated);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.packets_read(), 1u);
+}
+
+TEST(PcapFile, CleanEofIsNotTruncated) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_packet(Protocol::kTcp, 32, 0.1));
+  PcapReader reader(ss);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.next(), std::nullopt);
+  EXPECT_FALSE(reader.truncated());
 }
 
 TEST(PcapFile, TimestampMicrosecondPrecision) {

@@ -1,0 +1,244 @@
+// End-to-end tests for the online serving runtime: shard-count
+// equivalence against the single-threaded engine, lifecycle idempotence,
+// backpressure accounting, and metrics consistency.  tools/ci.sh runs
+// this binary under TSan as well.
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "appproto/trace_headers.h"
+#include "core/trainer.h"
+#include "net/flow.h"
+#include "net/trace_gen.h"
+
+namespace iustitia::runtime {
+namespace {
+
+// Sanitized builds (TSan especially) run ~20x slower per packet; the
+// interleavings under test do not need trace volume to show up.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr std::size_t kEquivalencePackets = 20'000;
+#else
+constexpr std::size_t kEquivalencePackets = 100'000;
+#endif
+
+std::function<core::FlowNatureModel()> model_factory() {
+  return [] {
+    datagen::CorpusOptions corpus_options;
+    corpus_options.files_per_class = 12;
+    corpus_options.min_size = 2048;
+    corpus_options.max_size = 4096;
+    corpus_options.seed = 170;
+    const auto corpus = datagen::build_corpus(corpus_options);
+    core::TrainerOptions options;
+    options.backend = core::Backend::kCart;
+    options.widths = entropy::cart_preferred_widths();
+    options.method = core::TrainingMethod::kFirstBytes;
+    options.buffer_size = 32;
+    return core::train_model(corpus, options);
+  };
+}
+
+net::TraceOptions trace_options(std::size_t packets, std::uint64_t seed) {
+  net::TraceOptions options;
+  options.header_source = appproto::standard_header_source();
+  options.target_packets = packets;
+  options.seed = seed;
+  return options;
+}
+
+using LabelMap =
+    std::unordered_map<net::FlowKey, datagen::FileClass, net::FlowKeyHash>;
+
+// Flow -> final label across all shards (last record wins, matching the
+// single-threaded engine where a re-classified flow overwrites too).
+LabelMap labels_of(const core::ShardedIustitia& engine) {
+  LabelMap labels;
+  for (std::size_t s = 0; s < engine.shard_count(); ++s) {
+    for (const core::FlowDelayRecord& record : engine.shard(s).delays()) {
+      labels[record.key] = record.label;
+    }
+  }
+  return labels;
+}
+
+// The headline property of flow sharding: because every packet of a flow
+// lands on the same shard in arrival order, the classification of every
+// flow is identical whatever the shard count — the runtime is a pure
+// scale-out of the single-threaded engine.
+TEST(Runtime, ShardCountDoesNotChangeAnyClassification) {
+  const auto factory = model_factory();
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 32;
+
+  // Single-threaded reference: one engine, packets in trace order.
+  net::Trace reference_trace =
+      net::generate_trace(trace_options(kEquivalencePackets, 900));
+  const std::size_t total_packets = reference_trace.packets.size();
+  core::Iustitia reference(factory(), engine_options);
+  for (const net::Packet& packet : reference_trace.packets) {
+    reference.on_packet(packet);
+  }
+  reference.flush_all();
+  LabelMap expected;
+  for (const core::FlowDelayRecord& record : reference.delays()) {
+    expected[record.key] = record.label;
+  }
+  ASSERT_FALSE(expected.empty());
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2},
+                                   std::size_t{8}}) {
+    RuntimeOptions options;
+    options.shards = shards;
+    options.backpressure = BackpressurePolicy::kBlock;  // lossless
+    options.engine = engine_options;
+    Runtime rt(factory, options);
+
+    TraceSource source(trace_options(kEquivalencePackets, 900));
+    rt.start(source);
+    rt.wait();
+
+    const MetricsSnapshot snap = rt.snapshot();
+    EXPECT_EQ(snap.packets_in, total_packets) << shards << " shards";
+    EXPECT_EQ(snap.total_pushed(), total_packets) << shards << " shards";
+    EXPECT_EQ(snap.total_popped(), total_packets) << shards << " shards";
+    EXPECT_EQ(snap.total_dropped(), 0u)
+        << "blocking backpressure must be lossless";
+    EXPECT_EQ(rt.engine().total_stats().packets, total_packets);
+
+    const LabelMap actual = labels_of(rt.engine());
+    ASSERT_EQ(actual.size(), expected.size()) << shards << " shards";
+    for (const auto& [key, label] : expected) {
+      const auto it = actual.find(key);
+      ASSERT_NE(it, actual.end()) << shards << " shards";
+      EXPECT_EQ(it->second, label) << shards << " shards";
+    }
+
+    // Per-nature metric counts must agree with the engine's own records.
+    std::uint64_t classified = 0;
+    for (const std::uint64_t n : snap.flows_by_nature) classified += n;
+    std::uint64_t delay_records = 0;
+    for (std::size_t s = 0; s < rt.engine().shard_count(); ++s) {
+      delay_records += rt.engine().shard(s).delays().size();
+    }
+    EXPECT_EQ(classified, delay_records);
+  }
+}
+
+TEST(Runtime, WaitAndStopAreIdempotentInAnyOrder) {
+  RuntimeOptions options;
+  options.shards = 2;
+  Runtime rt(model_factory(), options);
+  EXPECT_FALSE(rt.running());
+  rt.wait();  // before start: a no-op
+
+  TraceSource source(trace_options(2000, 901));
+  rt.start(source);
+  rt.wait();
+  EXPECT_FALSE(rt.running());
+  rt.wait();  // idempotent
+  rt.stop();  // after wait: no-op
+  rt.stop();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.packets_in, snap.total_popped() + snap.total_dropped());
+  EXPECT_GT(rt.engine().total_flows_classified(), 0u);
+}
+
+TEST(Runtime, StopBeforeStartShutsTheRunDownImmediately) {
+  RuntimeOptions options;
+  options.shards = 2;
+  Runtime rt(model_factory(), options);
+  rt.stop();
+
+  TraceSource source(trace_options(50'000, 902));
+  rt.start(source);
+  rt.wait();
+  // The dispatcher observed the stop request on its first iteration, so
+  // (almost) nothing was read; what was read is fully accounted for.
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.packets_in, snap.total_popped() + snap.total_dropped());
+  EXPECT_LT(snap.packets_in, std::uint64_t{50'000});
+}
+
+TEST(Runtime, DropPolicyCountsEveryLostPacket) {
+  RuntimeOptions options;
+  options.shards = 1;
+  options.ring_capacity = 2;  // tiny: the dispatcher laps the worker
+  options.backpressure = BackpressurePolicy::kDrop;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(20'000, 903));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  // Conservation: every source packet was either pushed or dropped, and
+  // everything pushed was popped by the worker before shutdown.
+  EXPECT_EQ(snap.packets_in, snap.total_pushed() + snap.total_dropped());
+  EXPECT_EQ(snap.total_popped(), snap.total_pushed());
+  EXPECT_GT(snap.total_dropped(), 0u)
+      << "a 2-slot ring against per-packet engine work must drop";
+  EXPECT_EQ(rt.engine().total_stats().packets, snap.total_popped());
+}
+
+TEST(Runtime, SnapshotReportsAndSerializes) {
+  RuntimeOptions options;
+  options.shards = 2;
+  options.latency_sample_every = 4;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(5000, 904));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.shards, 2u);
+  EXPECT_EQ(snap.rings.size(), 2u);
+  EXPECT_TRUE(snap.has_queue_stats);
+  EXPECT_GT(snap.engine_latency.total, 0u);
+  // Sampled 1-in-4: strictly fewer samples than packets processed.
+  EXPECT_LT(snap.engine_latency.total, snap.total_popped());
+  EXPECT_GE(snap.engine_latency.quantile_upper_micros(0.99),
+            snap.engine_latency.quantile_upper_micros(0.50));
+
+  // Forwarded packets land in the per-nature queues; depths and counters
+  // come back through the snapshot.
+  std::uint64_t enqueued = 0;
+  for (const std::uint64_t n : snap.queue_stats.enqueued) enqueued += n;
+  EXPECT_GT(enqueued, 0u);
+
+  const std::string text = snap.text_report();
+  EXPECT_NE(text.find("runtime metrics"), std::string::npos);
+  EXPECT_NE(text.find("encrypted"), std::string::npos);
+  const std::string json = snap.json();
+  EXPECT_NE(json.find("\"flows_by_nature\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine_latency\""), std::string::npos);
+
+  EXPECT_GT(rt.output_queues().drain_all(), 0u);
+}
+
+TEST(Runtime, HighWaterMarksAreWithinRingCapacity) {
+  RuntimeOptions options;
+  options.shards = 2;
+  options.ring_capacity = 64;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(10'000, 905));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  for (const MetricsSnapshot::Ring& ring : snap.rings) {
+    EXPECT_LE(ring.high_water, 64u);
+    EXPECT_EQ(ring.pushed, ring.popped);
+  }
+}
+
+}  // namespace
+}  // namespace iustitia::runtime

@@ -8,6 +8,7 @@ The architecture stacks the src/ modules in layers (see DESIGN.md
       L2  net   dpi
       L3  appproto
       L4  core
+      L5  runtime
 
 A module may include headers only from the modules its matrix row names
 (always itself and anything in a strictly lower layer that the row lists).
@@ -34,6 +35,9 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     "dpi": {"util", "datagen"},
     "appproto": {"util", "datagen", "net"},
     "core": {"util", "datagen", "entropy", "ml", "net", "appproto"},
+    # The serving runtime orchestrates engines; it must not reach below
+    # core's abstractions for anything but transport (net) and util.
+    "runtime": {"util", "net", "core"},
 }
 
 

@@ -42,4 +42,11 @@ IUSTITIA_KERNEL_MIN_MS=60 ./build/bench/bench_entropy_kernel \
 python3 tools/perf_check.py build/BENCH_entropy_kernel.json \
   bench/baselines/entropy_kernel.json
 
+# Serving-runtime bench at reduced trace size, same gating scheme (rows
+# keyed by shard count via the baseline's key_fields).
+IUSTITIA_TRACE_PACKETS=25000 ./build/bench/bench_runtime \
+  build/BENCH_runtime.json
+python3 tools/perf_check.py build/BENCH_runtime.json \
+  bench/baselines/runtime.json
+
 echo "ci.sh: all presets green"

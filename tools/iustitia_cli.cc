@@ -13,6 +13,10 @@
 //       Synthesize a calibrated gateway trace as a standard pcap.
 //   analyze <model-file> <trace.pcap> [--buffer B]
 //       Replay a pcap through the online engine and summarize flows.
+//   replay <model-file> <trace.pcap> [--shards N] [--pps R]
+//          [--backpressure block|drop] [--ring N] [--buffer B] [--json]
+//       Serve a pcap through the online runtime (dispatcher + pinned shard
+//       workers + per-nature output queues) and print live-metrics report.
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
@@ -29,7 +33,9 @@
 #include "datagen/corpus_io.h"
 #include "net/pcap.h"
 #include "net/trace_gen.h"
+#include "runtime/runtime.h"
 #include "util/table.h"
+#include "util/timer.h"
 
 using namespace iustitia;
 
@@ -76,7 +82,10 @@ int usage() {
       "        [--method hf|hb|hbp] [--threshold T] [--gamma G] [--c C]\n"
       "  classify <model-file> <file>...\n"
       "  gen-trace <out.pcap> [--packets N] [--seed S] [--duration SEC]\n"
-      "  analyze <model-file> <trace.pcap> [--buffer B]\n";
+      "  analyze <model-file> <trace.pcap> [--buffer B]\n"
+      "  replay <model-file> <trace.pcap> [--shards N] [--pps R]\n"
+      "         [--backpressure block|drop] [--ring N] [--buffer B] "
+      "[--json]\n";
   return 2;
 }
 
@@ -225,6 +234,72 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
+int cmd_replay(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream model_in(args.positional[0]);
+  if (!model_in) {
+    std::cerr << "cannot read model " << args.positional[0] << '\n';
+    return 1;
+  }
+  const core::FlowNatureModel model = core::FlowNatureModel::load(model_in);
+
+  std::ifstream pcap_in(args.positional[1], std::ios::binary);
+  if (!pcap_in) {
+    std::cerr << "cannot read pcap " << args.positional[1] << '\n';
+    return 1;
+  }
+
+  runtime::RuntimeOptions options;
+  options.shards = static_cast<std::size_t>(args.flag_int("shards", 1));
+  options.ring_capacity = static_cast<std::size_t>(args.flag_int("ring", 2048));
+  const std::string policy = args.flag("backpressure", "block");
+  if (policy != "block" && policy != "drop") {
+    std::cerr << "unknown --backpressure '" << policy
+              << "' (expected block or drop)\n";
+    return 2;
+  }
+  options.backpressure = policy == "drop"
+                             ? runtime::BackpressurePolicy::kDrop
+                             : runtime::BackpressurePolicy::kBlock;
+  options.pin_workers = args.flag_int("pin", 0) != 0;
+  options.engine.buffer_size =
+      static_cast<std::size_t>(args.flag_int("buffer", 32));
+
+  runtime::Runtime rt([&model] { return model; }, options);
+  runtime::PcapReplaySource source(pcap_in, args.flag_double("pps", 0.0));
+
+  const util::Stopwatch watch;
+  rt.start(source);
+  rt.wait();
+  const double seconds = watch.elapsed_seconds();
+
+  const runtime::MetricsSnapshot snap = rt.snapshot();
+  // Accept both `--json 1` (flag parser eats a value) and bare trailing
+  // `--json` (lands in positional).
+  const bool json = (args.flags.count("json") != 0 &&
+                     args.flag("json", "1") != "0") ||
+                    std::count(args.positional.begin(), args.positional.end(),
+                               "--json") > 0;
+  if (json) {
+    std::cout << snap.json();
+  } else {
+    std::cout << snap.text_report();
+    const double pps =
+        seconds > 0.0 ? static_cast<double>(snap.packets_in) / seconds : 0.0;
+    std::cout << "  replayed " << snap.packets_in << " packets in "
+              << util::fmt(seconds, 3) << "s (" << util::fmt(pps / 1e3, 1)
+              << " kpps, " << options.shards << " shard"
+              << (options.shards == 1 ? "" : "s") << ", " << policy
+              << " backpressure)\n";
+  }
+  if (source.truncated()) {
+    std::cerr << "note: capture ended on a truncated record; replayed the "
+                 "complete prefix\n";
+  }
+  rt.output_queues().drain_all();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -237,6 +312,7 @@ int main(int argc, char** argv) {
     if (command == "classify") return cmd_classify(args);
     if (command == "gen-trace") return cmd_gen_trace(args);
     if (command == "analyze") return cmd_analyze(args);
+    if (command == "replay") return cmd_replay(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -3,13 +3,14 @@
 
 Usage: tools/perf_check.py CURRENT.json BASELINE.json [TOLERANCE]
 
-Both files use the bench_entropy_kernel schema: a top-level "results"
-list whose rows are keyed by (width_set, buffer_bytes).  For every row in
-the baseline, the matching current row must reach at least
-(1 - TOLERANCE) of the baseline value for each metric named in the
-baseline's "gated_metrics" list (default: speedup only, which is the
-machine-portable metric).  TOLERANCE defaults to 0.30, i.e. the gate
-fails on a >30% regression.
+Both files use the bench JSON schema: a top-level "results" list of rows.
+Rows are matched between the two files by the fields named in the
+baseline's "key_fields" list (default: width_set + buffer_bytes, the
+bench_entropy_kernel key).  For every row in the baseline, the matching
+current row must reach at least (1 - TOLERANCE) of the baseline value for
+each metric named in the baseline's "gated_metrics" list (default:
+speedup only, which is the machine-portable metric).  TOLERANCE defaults
+to 0.30, i.e. the gate fails on a >30% regression.
 
 The baseline is refreshed deliberately: rerun the bench on the reference
 machine, inspect the diff, and commit the new JSON alongside the change
@@ -24,13 +25,14 @@ from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.30
 DEFAULT_GATED_METRICS = ["speedup"]
+DEFAULT_KEY_FIELDS = ["width_set", "buffer_bytes"]
 
 
-def load_rows(path: Path) -> tuple[dict, dict[tuple[str, int], dict]]:
-    doc = json.loads(path.read_text())
-    rows = {(r["width_set"], int(r["buffer_bytes"])): r
+def rows_by_key(doc: dict,
+                key_fields: list[str]) -> dict[tuple[str, ...], dict]:
+    # Stringify key parts so 1024 and "1024" key identically across docs.
+    return {tuple(str(r[f]) for f in key_fields): r
             for r in doc.get("results", [])}
-    return doc, rows
 
 
 def main(argv: list[str]) -> int:
@@ -40,16 +42,19 @@ def main(argv: list[str]) -> int:
     current_path, baseline_path = Path(argv[1]), Path(argv[2])
     tolerance = float(argv[3]) if len(argv) > 3 else DEFAULT_TOLERANCE
 
-    _, current = load_rows(current_path)
-    baseline_doc, baseline = load_rows(baseline_path)
+    baseline_doc = json.loads(baseline_path.read_text())
+    key_fields = baseline_doc.get("key_fields", DEFAULT_KEY_FIELDS)
+    current = rows_by_key(json.loads(current_path.read_text()), key_fields)
+    baseline = rows_by_key(baseline_doc, key_fields)
     metrics = baseline_doc.get("gated_metrics", DEFAULT_GATED_METRICS)
 
     failures: list[str] = []
     checked = 0
     for key, base_row in sorted(baseline.items()):
+        label = "/".join(key)
         cur_row = current.get(key)
         if cur_row is None:
-            failures.append(f"{key}: missing from {current_path}")
+            failures.append(f"{label}: missing from {current_path}")
             continue
         for metric in metrics:
             base = float(base_row[metric])
@@ -57,12 +62,12 @@ def main(argv: list[str]) -> int:
             floor = base * (1.0 - tolerance)
             checked += 1
             status = "ok" if got >= floor else "REGRESSION"
-            print(f"perf_check: {key[0]}/{key[1]} {metric}: "
+            print(f"perf_check: {label} {metric}: "
                   f"{got:.3g} vs baseline {base:.3g} "
                   f"(floor {floor:.3g}) {status}")
             if got < floor:
                 failures.append(
-                    f"{key}: {metric} {got:.3g} < floor {floor:.3g} "
+                    f"{label}: {metric} {got:.3g} < floor {floor:.3g} "
                     f"(baseline {base:.3g}, tolerance {tolerance:.0%})")
 
     if failures:
