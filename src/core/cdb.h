@@ -82,7 +82,7 @@ class ClassificationDatabase {
   std::size_t purge_locked(double now) IUSTITIA_REQUIRES(mu_);
 
   const CdbOptions options_;  // immutable after construction
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"ClassificationDatabase::mu_"};
   std::unordered_map<net::FlowId, Record> records_ IUSTITIA_GUARDED_BY(mu_);
   std::size_t inserts_since_purge_ IUSTITIA_GUARDED_BY(mu_) = 0;
   CdbStats stats_ IUSTITIA_GUARDED_BY(mu_);

@@ -82,7 +82,7 @@ class OutputQueues {
       IUSTITIA_REQUIRES(mu_);
 
   const std::size_t capacity_;  // immutable after construction
-  mutable util::Mutex mu_;
+  mutable util::Mutex mu_{"OutputQueues::mu_"};
   std::array<std::deque<QueuedPacket>, 3> queues_ IUSTITIA_GUARDED_BY(mu_);
   std::array<std::uint64_t, 3> enqueued_ IUSTITIA_GUARDED_BY(mu_){};
   std::array<std::uint64_t, 3> dropped_ IUSTITIA_GUARDED_BY(mu_){};

@@ -63,7 +63,7 @@ class ShardedIustitia {
  private:
   // One engine plus the lock that serializes cross-thread access to it.
   struct Shard {
-    mutable util::Mutex mu;
+    mutable util::Mutex mu{"Shard::mu"};
     std::unique_ptr<Iustitia> engine IUSTITIA_PT_GUARDED_BY(mu);
   };
 

@@ -55,8 +55,8 @@ class LatencyHistogram {
   static double bucket_floor_micros(std::size_t i) noexcept;
 
  private:
-  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};
-  std::atomic<std::uint64_t> sum_nanos_{0};
+  std::array<std::atomic<std::uint64_t>, kBucketCount> counts_{};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> sum_nanos_{0};  // analyze: atomic(relaxed-counter)
 };
 
 // Plain-value copy of every runtime counter, safe to pass around after
@@ -111,16 +111,16 @@ class MetricsRegistry {
   // Each ring's counters get their own cache line so shard workers never
   // write-share a line with a neighbour.
   struct alignas(kCacheLineBytes) RingCounters {
-    std::atomic<std::uint64_t> pushed{0};
-    std::atomic<std::uint64_t> popped{0};
-    std::atomic<std::uint64_t> dropped{0};
-    std::atomic<std::size_t> high_water{0};
+    std::atomic<std::uint64_t> pushed{0};      // analyze: atomic(relaxed-counter)
+    std::atomic<std::uint64_t> popped{0};      // analyze: atomic(relaxed-counter)
+    std::atomic<std::uint64_t> dropped{0};     // analyze: atomic(relaxed-counter)
+    std::atomic<std::size_t> high_water{0};    // analyze: atomic(relaxed-counter)
   };
 
   const std::size_t shards_;
   std::unique_ptr<RingCounters[]> rings_;
-  std::atomic<std::uint64_t> packets_in_{0};
-  std::array<std::atomic<std::uint64_t>, 3> flows_by_nature_{};
+  std::atomic<std::uint64_t> packets_in_{0};  // analyze: atomic(relaxed-counter)
+  std::array<std::atomic<std::uint64_t>, 3> flows_by_nature_{};  // analyze: atomic(relaxed-counter)
   LatencyHistogram engine_latency_;
 };
 

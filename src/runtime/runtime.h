@@ -126,10 +126,12 @@ class Runtime {
   // Per-shard count of delay records already folded into
   // metrics (flows_by_nature).  Written only by the owning worker while
   // it runs, read by finish_flush() after join — ordered by thread join.
-  std::vector<std::size_t> folded_delays_;
+  std::vector<std::size_t> folded_delays_;  // analyze: escape(single-writer, read after join)
 
-  std::atomic<bool> stop_requested_{false};
-  mutable util::Mutex lifecycle_mu_;
+  // Only gates loop continuation; the data handoff rides on ring close()
+  // and thread join, never on this flag.
+  std::atomic<bool> stop_requested_{false};  // analyze: atomic(relaxed-flag)
+  mutable util::Mutex lifecycle_mu_{"Runtime::lifecycle_mu_"};
   std::vector<std::thread> workers_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
   std::thread dispatcher_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
   bool started_ IUSTITIA_GUARDED_BY(lifecycle_mu_) = false;

@@ -96,14 +96,16 @@ class SpscRing {
   std::vector<T> slots_;
 
   // Consumer-owned line: pop cursor plus its cached view of the tail.
-  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};
+  // Release stores publish slot writes; the owning side may re-read its
+  // own cursor relaxed (no cross-thread data rides on that load).
+  alignas(kCacheLineBytes) std::atomic<std::size_t> head_{0};  // analyze: atomic(publish)
   std::size_t cached_tail_ = 0;
 
   // Producer-owned line: push cursor plus its cached view of the head.
-  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};
+  alignas(kCacheLineBytes) std::atomic<std::size_t> tail_{0};  // analyze: atomic(publish)
   std::size_t cached_head_ = 0;
 
-  alignas(kCacheLineBytes) std::atomic<bool> closed_{false};
+  alignas(kCacheLineBytes) std::atomic<bool> closed_{false};  // analyze: atomic(publish)
 };
 
 }  // namespace iustitia::runtime

@@ -1,0 +1,142 @@
+#include "util/deadlock_debug.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <string_view>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace iustitia::util::deadlock {
+namespace {
+
+constexpr const char* kAnon = "<anon>";
+
+struct HeldLock {
+  const void* mu;
+  const char* name;  // nullptr for unnamed mutexes
+};
+
+// The registry guards its edge set with a raw std::mutex, never
+// util::Mutex: the hooks run inside util::Mutex::lock() and an
+// instrumented registry lock would recurse into itself.
+struct Registry {
+  std::mutex mu;
+  // Directed name pairs ever observed: held .first, then acquired .second.
+  std::set<std::pair<std::string, std::string>> edges;
+};
+
+Registry& registry() {
+  // Leaked so the atexit graph writer can still read it during static
+  // destruction.
+  static Registry* r = new Registry;  // NOLINT(no-owning-new)
+  return *r;
+}
+
+std::vector<HeldLock>& held_stack() {
+  thread_local std::vector<HeldLock> stack;
+  return stack;
+}
+
+const char* display(const char* name) { return name ? name : kAnon; }
+
+// Records held->acquired edges for `name` and, when `check` is set,
+// FATALs if the reverse of any new edge was already observed.
+void record_edges(const char* name, bool check) {
+  const auto& stack = held_stack();
+  if (stack.empty()) return;
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  for (const HeldLock& held : stack) {
+    const char* held_name = display(held.name);
+    const char* next_name = display(name);
+    if (std::string_view(held_name) == next_name) {
+      continue;  // instance-level ordering within one class is the
+                 // caller's contract, not this graph's
+    }
+    if (check) {
+      CHECK(reg.edges.find({next_name, held_name}) == reg.edges.end())
+          << "lock-order inversion: this thread acquires '" << next_name
+          << "' while holding '" << held_name << "', but the opposite "
+          << "order was already observed; one of the two paths can "
+          << "deadlock (static graph: tools/analyze --lock-graph-out)";
+    }
+    reg.edges.insert({held_name, next_name});
+  }
+}
+
+void write_graphs_at_exit() {
+  const char* dir = std::getenv("IUSTITIA_LOCK_GRAPH_OUT");
+  if (dir == nullptr || *dir == '\0') return;
+  write_graph(std::string(dir) + "/lock_graph." +
+              std::to_string(::getpid()) + ".json");
+}
+
+// Installs the atexit hook the first time any mutex is touched.  A
+// FATALed process aborts without running atexit handlers, so death-test
+// children never emit partial graphs.
+void ensure_exit_hook() {
+  static std::atomic<bool> installed{false};
+  if (!installed.exchange(true)) std::atexit(write_graphs_at_exit);
+}
+
+}  // namespace
+
+void on_acquire(const void* mu, const char* name) {
+  ensure_exit_hook();
+  for (const HeldLock& held : held_stack()) {
+    CHECK(held.mu != mu) << "recursive acquisition of mutex '"
+                         << display(name) << "' (already held by this "
+                         << "thread); util::Mutex is not reentrant";
+  }
+  // Check + record BEFORE blocking: a true inversion must crash with
+  // both orders named, not hang in std::mutex::lock().
+  record_edges(name, /*check=*/true);
+  held_stack().push_back({mu, name});
+}
+
+void on_acquired_try(const void* mu, const char* name) {
+  ensure_exit_hook();
+  // A successful try_lock cannot deadlock; record the ordering silently
+  // so the observed graph stays complete.
+  record_edges(name, /*check=*/false);
+  held_stack().push_back({mu, name});
+}
+
+void on_release(const void* mu) {
+  auto& stack = held_stack();
+  for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+    if (it->mu == mu) {
+      stack.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Unlock of a lock this thread never locked: either a cross-thread
+  // unlock (unsupported by std::mutex anyway) or hook misuse.
+  CHECK(false) << "unlock of a mutex not held by this thread";
+}
+
+void write_graph(const std::string& path) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  std::ofstream out(path);
+  if (!out) return;  // unwritable directory: silently skip (exit path)
+  out << "{\n  \"format\": 1,\n  \"edges\": [";
+  bool first = true;
+  for (const auto& [from, to] : reg.edges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    {\"from\": \"" << from << "\", \"to\": \"" << to
+        << "\"}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+std::size_t held_depth() { return held_stack().size(); }
+
+}  // namespace iustitia::util::deadlock

@@ -22,6 +22,10 @@
 
 #include <mutex>
 
+#if defined(IUSTITIA_DEADLOCK_DEBUG)
+#include "util/deadlock_debug.h"
+#endif
+
 #if defined(__clang__)
 #define IUSTITIA_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -50,18 +54,48 @@
 namespace iustitia::util {
 
 // std::mutex with the capability annotation the analysis needs.
+//
+// The optional name ties a mutex to its node in the lock-order graph;
+// the convention is the owning member's qualified name, e.g.
+// `util::Mutex mu_{"ClassificationDatabase::mu_"};`.  That string must
+// match the identity the tools/analyze lockorder pass derives
+// (`Class::member`), because IUSTITIA_DEADLOCK_DEBUG builds feed the
+// names into the runtime order registry that is cross-checked against
+// the static graph (tools/check_lock_graph.py).  Unnamed mutexes are
+// still deadlock-checked for recursive acquisition, but contribute no
+// named ordering edges.
 class IUSTITIA_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(const char* name) : name_(name) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() IUSTITIA_ACQUIRE() { mu_.lock(); }
-  void unlock() IUSTITIA_RELEASE() { mu_.unlock(); }
-  bool try_lock() IUSTITIA_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void lock() IUSTITIA_ACQUIRE() {
+#if defined(IUSTITIA_DEADLOCK_DEBUG)
+    deadlock::on_acquire(this, name_);
+#endif
+    mu_.lock();
+  }
+  void unlock() IUSTITIA_RELEASE() {
+#if defined(IUSTITIA_DEADLOCK_DEBUG)
+    deadlock::on_release(this);
+#endif
+    mu_.unlock();
+  }
+  bool try_lock() IUSTITIA_TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+#if defined(IUSTITIA_DEADLOCK_DEBUG)
+    if (acquired) deadlock::on_acquired_try(this, name_);
+#endif
+    return acquired;
+  }
+
+  const char* name() const noexcept { return name_; }
 
  private:
   std::mutex mu_;
+  const char* name_ = nullptr;
 };
 
 // RAII lock for util::Mutex (std::lock_guard is not annotated).

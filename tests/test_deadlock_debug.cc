@@ -1,0 +1,143 @@
+// Tests for the IUSTITIA_DEADLOCK_DEBUG runtime lock-order validator
+// (util/deadlock_debug.{h,cc} + the hooks in util::Mutex).  Compiled
+// only under the deadlock-debug preset — see tests/CMakeLists.txt.
+//
+// The FATAL paths are exercised as death tests: the child process
+// aborts before atexit runs, so crashing children never write partial
+// lock-graph JSON into IUSTITIA_LOCK_GRAPH_OUT.
+
+#include "util/deadlock_debug.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_annotations.h"
+
+namespace iustitia::util {
+namespace {
+
+TEST(DeadlockDebug, ConsistentOrderIsQuiet) {
+  Mutex a{"DlkTestA::mu_"};
+  Mutex b{"DlkTestB::mu_"};
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(deadlock::held_depth(), 0u);
+}
+
+TEST(DeadlockDebug, HeldDepthTracksNesting) {
+  Mutex a{"DlkDepthA::mu_"};
+  Mutex b{"DlkDepthB::mu_"};
+  EXPECT_EQ(deadlock::held_depth(), 0u);
+  {
+    MutexLock la(a);
+    EXPECT_EQ(deadlock::held_depth(), 1u);
+    MutexLock lb(b);
+    EXPECT_EQ(deadlock::held_depth(), 2u);
+  }
+  EXPECT_EQ(deadlock::held_depth(), 0u);
+}
+
+TEST(DeadlockDebugDeathTest, InversionFatalsBeforeBlocking) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  // Single-threaded on purpose: the registry remembers A-then-B, so the
+  // reversed pair must FATAL even though no second thread is waiting.
+  EXPECT_DEATH(
+      {
+        Mutex a{"DlkInvA::mu_"};
+        Mutex b{"DlkInvB::mu_"};
+        {
+          MutexLock la(a);
+          MutexLock lb(b);
+        }
+        {
+          MutexLock lb(b);
+          MutexLock la(a);  // inversion: B held, acquiring A
+        }
+      },
+      "lock-order inversion");
+}
+
+TEST(DeadlockDebugDeathTest, RecursiveAcquisitionFatals) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex a{"DlkRecA::mu_"};
+        a.lock();
+        a.lock();  // std::mutex would be UB/hang; the hook FATALs
+      },
+      "recursive acquisition");
+}
+
+TEST(DeadlockDebug, TryLockRecordsWithoutFatal) {
+  Mutex a{"DlkTryA::mu_"};
+  Mutex b{"DlkTryB::mu_"};
+  {
+    MutexLock la(a);
+    ASSERT_TRUE(b.try_lock());
+    b.unlock();
+  }
+  // The reverse order through try_lock must not FATAL: a failed or
+  // successful try_lock cannot deadlock.  (It still records the edge,
+  // which is why these names are not reused by other tests.)
+  {
+    MutexLock lb(b);
+    ASSERT_TRUE(a.try_lock());
+    a.unlock();
+  }
+  EXPECT_EQ(deadlock::held_depth(), 0u);
+}
+
+TEST(DeadlockDebug, SameNamePairsContributeNoEdges) {
+  // Hand-over-hand over instances of the same class: legal, and must
+  // not poison the class-level graph with a self edge.
+  Mutex s1{"DlkShard::mu"};
+  Mutex s2{"DlkShard::mu"};
+  {
+    MutexLock l1(s1);
+    MutexLock l2(s2);
+  }
+  {
+    MutexLock l2(s2);
+    MutexLock l1(s1);  // reverse instance order: still fine
+  }
+  EXPECT_EQ(deadlock::held_depth(), 0u);
+}
+
+TEST(DeadlockDebug, WriteGraphEmitsObservedEdges) {
+  Mutex outer{"DlkGraphOuter::mu_"};
+  Mutex inner{"DlkGraphInner::mu_"};
+  std::thread t([&] {
+    MutexLock lo(outer);
+    MutexLock li(inner);
+  });
+  t.join();
+
+  const std::string path =
+      testing::TempDir() + "/iustitia_lock_graph_test.json";
+  deadlock::write_graph(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  EXPECT_NE(doc.find("\"format\": 1"), std::string::npos) << doc;
+  EXPECT_NE(
+      doc.find("{\"from\": \"DlkGraphOuter::mu_\", "
+               "\"to\": \"DlkGraphInner::mu_\"}"),
+      std::string::npos)
+      << doc;
+  // No reversed pair was ever observed for these names.
+  EXPECT_EQ(doc.find("{\"from\": \"DlkGraphInner::mu_\", "
+                     "\"to\": \"DlkGraphOuter::mu_\"}"),
+            std::string::npos)
+      << doc;
+}
+
+}  // namespace
+}  // namespace iustitia::util

@@ -6,15 +6,21 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "appproto/trace_headers.h"
 #include "core/trainer.h"
 #include "net/flow.h"
 #include "net/trace_gen.h"
+#include "runtime/metrics.h"
 
 namespace iustitia::runtime {
 namespace {
@@ -237,6 +243,81 @@ TEST(Runtime, HighWaterMarksAreWithinRingCapacity) {
   for (const MetricsSnapshot::Ring& ring : snap.rings) {
     EXPECT_LE(ring.high_water, 64u);
     EXPECT_EQ(ring.pushed, ring.popped);
+  }
+}
+
+// snapshot() runs concurrently with every writer.  The relaxed-counter
+// protocol allows momentary inconsistency ACROSS counters, but each
+// counter must be a real value (never torn) and every total must be
+// monotone from one snapshot to the next; once the writers are joined the
+// totals are exact.  TSan (ci.sh runs this binary under it) checks the
+// data-race half of that claim.
+TEST(Metrics, SnapshotIsCoherentUnderConcurrentWriters) {
+  constexpr std::size_t kShards = 4;
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  constexpr std::uint64_t kPerWriter = 10'000;
+#else
+  constexpr std::uint64_t kPerWriter = 50'000;
+#endif
+  MetricsRegistry metrics(kShards);
+
+  std::atomic<bool> start{false};
+  std::vector<std::thread> writers;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    // Thread s owns shard s, preserving the registry's single-writer
+    // contract for high_water while exercising every mutator.
+    writers.emplace_back([&metrics, &start, s] {
+      while (!start.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+      }
+      for (std::uint64_t i = 0; i < kPerWriter; ++i) {
+        metrics.on_source_packet();
+        metrics.on_push(s, static_cast<std::size_t>(i % 7));
+        metrics.on_pop(s);
+        metrics.on_classified(
+            static_cast<datagen::FileClass>(i % 3));
+        metrics.record_engine_latency(1.5);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+
+  std::uint64_t last_packets = 0;
+  std::uint64_t last_pushed = 0;
+  std::uint64_t last_latency = 0;
+  constexpr std::uint64_t kTotal = kShards * kPerWriter;
+  for (int round = 0; round < 100; ++round) {
+    const MetricsSnapshot snap = metrics.snapshot();
+    ASSERT_EQ(snap.rings.size(), kShards);
+    EXPECT_GE(snap.packets_in, last_packets);
+    EXPECT_GE(snap.total_pushed(), last_pushed);
+    EXPECT_GE(snap.engine_latency.total, last_latency);
+    EXPECT_LE(snap.packets_in, kTotal);
+    EXPECT_LE(snap.total_pushed(), kTotal);
+    EXPECT_LE(snap.total_popped(), kTotal);
+    EXPECT_LE(snap.engine_latency.total, kTotal);
+    std::uint64_t flows = 0;
+    for (const std::uint64_t n : snap.flows_by_nature) flows += n;
+    EXPECT_LE(flows, kTotal);
+    last_packets = snap.packets_in;
+    last_pushed = snap.total_pushed();
+    last_latency = snap.engine_latency.total;
+  }
+  for (std::thread& writer : writers) writer.join();
+
+  const MetricsSnapshot final_snap = metrics.snapshot();
+  EXPECT_EQ(final_snap.packets_in, kTotal);
+  EXPECT_EQ(final_snap.total_pushed(), kTotal);
+  EXPECT_EQ(final_snap.total_popped(), kTotal);
+  EXPECT_EQ(final_snap.total_dropped(), 0u);
+  EXPECT_EQ(final_snap.engine_latency.total, kTotal);
+  std::uint64_t flows = 0;
+  for (const std::uint64_t n : final_snap.flows_by_nature) flows += n;
+  EXPECT_EQ(flows, kTotal);
+  for (const MetricsSnapshot::Ring& ring : final_snap.rings) {
+    EXPECT_EQ(ring.pushed, kPerWriter);
+    EXPECT_EQ(ring.popped, kPerWriter);
+    EXPECT_LE(ring.high_water, 6u);
   }
 }
 

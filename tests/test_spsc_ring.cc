@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -130,6 +131,50 @@ TEST(SpscRing, TwoThreadHammerDeliversEverythingInOrder) {
   }
   producer.join();
   EXPECT_EQ(expected, kHammerItems);
+}
+
+// A producer spinning on a full ring must be released by a close() from
+// the other side: the spin loop's give-up path is closed(), whose acquire
+// load pairs with close()'s release store.  The consumer never pops, so
+// observing the flag is the producer's ONLY way out — and because the
+// ring stays full, the spin never reaches try_push's success path, which
+// is what keeps the push-after-close DCHECK out of the race.
+TEST(SpscRing, CloseReleasesProducerSpinningOnFullRing) {
+  SpscRing<int> ring(4);
+  int filled = 0;
+  while (ring.try_push(int{filled})) ++filled;
+  ASSERT_EQ(static_cast<std::size_t>(filled), ring.capacity());
+
+  std::atomic<bool> spinning{false};
+  std::atomic<bool> gave_up{false};
+  std::thread producer([&ring, &spinning, &gave_up] {
+    int v = -1;
+    while (!ring.try_push(std::move(v))) {
+      spinning.store(true, std::memory_order_release);
+      if (ring.closed()) {
+        gave_up.store(true, std::memory_order_release);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  // Let the producer hit the full-ring spin before pulling the plug.
+  while (!spinning.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  ring.close();
+  producer.join();
+  EXPECT_TRUE(gave_up.load(std::memory_order_acquire));
+
+  // The abandoned push left no mark: the pre-close fill drains intact and
+  // the ring ends empty.
+  int out = -1;
+  for (int i = 0; i < filled; ++i) {
+    ASSERT_TRUE(ring.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.try_pop(out));
 }
 
 }  // namespace

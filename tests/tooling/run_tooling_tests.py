@@ -111,6 +111,91 @@ class LocksPass(FixtureCase):
         self.assertNotIn("Counter::read", proc.stdout)
 
 
+class LockOrderPass(FixtureCase):
+    def test_flags_inversion_with_both_edges(self):
+        root = self.materialize("lockorder")
+        proc = self.run_analyze(root, passes="lockorder")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("[lock-order-inversion]", proc.stdout)
+        self.assertIn("Bank::ledger_mu_", proc.stdout)
+        self.assertIn("Bank::audit_mu_", proc.stdout)
+        # Both directions are named in the one finding.
+        self.assertIn("transfer_ab", proc.stdout)
+        self.assertIn("transfer_ba", proc.stdout)
+        # Consistent-order methods are not implicated on their own.
+        self.assertNotIn("audit_only", proc.stdout)
+
+    def test_exports_graph_json(self):
+        root = self.materialize("lockorder")
+        out = root / "graph.json"
+        self.run_analyze(root, "--lock-graph-out", str(out),
+                         passes="lockorder")
+        doc = json.loads(out.read_text())
+        self.assertEqual(doc["format"], 1)
+        self.assertIn("Bank::ledger_mu_", doc["nodes"])
+        edges = {(e["from"], e["to"]) for e in doc["edges"]}
+        self.assertIn(("Bank::ledger_mu_", "Bank::audit_mu_"), edges)
+        self.assertIn(("Bank::audit_mu_", "Bank::ledger_mu_"), edges)
+        for e in doc["edges"]:
+            self.assertTrue(e["path"].startswith("src/core/"))
+            self.assertGreaterEqual(e["line"], 1)
+
+    def test_inversion_sarif_carries_related_location(self):
+        root = self.materialize("lockorder")
+        out = root / "findings.sarif"
+        self.run_analyze(root, "--sarif-out", str(out), passes="lockorder")
+        doc = json.loads(out.read_text())
+        results = [r for r in doc["runs"][0]["results"]
+                   if r["ruleId"] == "lock-order-inversion"]
+        self.assertEqual(len(results), 1, doc)
+        self.assertIn("relatedLocations", results[0])
+        rel = results[0]["relatedLocations"][0]
+        self.assertIn("reverse edge",
+                      rel["message"]["text"])
+
+
+class AtomicsPass(FixtureCase):
+    def test_flags_each_order_bug_once(self):
+        root = self.materialize("atomics")
+        proc = self.run_analyze(root, passes="atomics")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("[atomic-relaxed-publication]", proc.stdout)
+        self.assertIn("Stats::ready_", proc.stdout)
+        self.assertIn("[atomic-undocumented-relaxed]", proc.stdout)
+        self.assertIn("Stats::packets_", proc.stdout)
+        self.assertIn("[atomic-mixed-order]", proc.stdout)
+        self.assertIn("Stats::epoch_", proc.stdout)
+        self.assertIn("[atomic-default-seqcst]", proc.stdout)
+        self.assertIn("Stats::hot_hits_", proc.stdout)
+        # The annotated relaxed counter is documented, not a finding.
+        self.assertNotIn("Stats::drops_", proc.stdout)
+
+    def test_annotation_mismatch_is_flagged(self):
+        root = self.materialize("atomics")
+        src = root / "src" / "runtime" / "stats.h"
+        text = src.read_text().replace(
+            "atomic(relaxed-counter)", "atomic(seqcst)")
+        src.write_text(text)
+        proc = self.run_analyze(root, passes="atomics")
+        self.assertIn("[atomic-annotation-mismatch]", proc.stdout)
+        self.assertIn("Stats::drops_", proc.stdout)
+
+
+class EscapePass(FixtureCase):
+    def test_flags_member_and_global_not_controls(self):
+        root = self.materialize("escape")
+        proc = self.run_analyze(root, passes="escape")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        self.assertIn("[escape-unguarded-shared]", proc.stdout)
+        self.assertIn("Pool::scratch_", proc.stdout)
+        self.assertIn("g_scratch_total", proc.stdout)
+        # Controls: atomic, guarded, annotated, constexpr stay quiet.
+        self.assertNotIn("done_", proc.stdout)
+        self.assertNotIn("results_", proc.stdout)
+        self.assertNotIn("folded_", proc.stdout)
+        self.assertNotIn("kBatch", proc.stdout)
+
+
 class DeadcodePass(FixtureCase):
     def test_flags_orphan_export_and_pointless_include(self):
         root = self.materialize("deadcode")
@@ -237,6 +322,93 @@ class LintGuards(FixtureCase):
         root = self.materialize("lint_guard")
         proc = self.run_lint(root / "good.h")
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
+class LintThreads(FixtureCase):
+    def test_flags_detach_not_join_or_nolint(self):
+        root = self.materialize("lint_threads")
+        proc = self.run_lint(root)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        lines = [ln for ln in proc.stdout.splitlines()
+                 if "[no-thread-detach]" in ln]
+        self.assertEqual(len(lines), 2, proc.stdout)
+        self.assertTrue(any(":8:" in ln for ln in lines), proc.stdout)
+        self.assertTrue(any(":12:" in ln for ln in lines), proc.stdout)
+        # join(), the NOLINT'd detach, and comment/string mentions are quiet.
+        self.assertNotIn(":17:", proc.stdout)
+        self.assertNotIn(":23:", proc.stdout)
+        self.assertNotIn(":28:", proc.stdout)
+
+
+class TokenizerLexing(unittest.TestCase):
+    """Direct unit tests for tools/analyze/tokenizer.py edge cases."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(ANALYZE))
+        import tokenizer  # noqa: E402 (repo tool, not a package)
+        cls.tk = tokenizer
+
+    def lex(self, text):
+        return self.tk.code_tokens(self.tk.tokenize(text))
+
+    def test_raw_string_is_one_token(self):
+        toks = self.lex('auto s = R"(no // comment "quotes" here)";')
+        strings = [t for t in toks if t.kind == self.tk.STRING]
+        self.assertEqual(len(strings), 1)
+        self.assertIn('"quotes"', strings[0].text)
+        # Multi-line raw strings keep the line counter honest.
+        toks = self.lex('auto s = R"x(a\nb\nc)x";\nint after = 0;')
+        after = [t for t in toks if t.text == "after"]
+        self.assertEqual(after[0].line, 4)
+
+    def test_prefixed_raw_string(self):
+        toks = self.lex('auto s = u8R"(payload)";')
+        strings = [t for t in toks if t.kind == self.tk.STRING]
+        self.assertEqual(len(strings), 1)
+        self.assertTrue(strings[0].text.startswith('u8R"('))
+
+    def test_digit_separators_stay_one_number(self):
+        toks = self.lex("constexpr int kBig = 1'000'000;")
+        numbers = [t for t in toks if t.kind == self.tk.NUMBER]
+        self.assertEqual([t.text for t in numbers], ["1'000'000"])
+        # The separators must not open a char literal.
+        self.assertEqual([t for t in toks if t.kind == self.tk.CHAR], [])
+
+    def test_u8_string_prefix_is_part_of_literal(self):
+        toks = self.lex('auto s = u8"text";')
+        strings = [t for t in toks if t.kind == self.tk.STRING]
+        self.assertEqual([t.text for t in strings], ['u8"text"'])
+        # Regression: u8 must not leak out as a stray identifier.
+        self.assertNotIn("u8", [t.text for t in toks
+                                if t.kind == self.tk.IDENT])
+
+    def test_wide_and_unicode_char_prefixes(self):
+        for lit in ("L'x'", "u'x'", "U'x'", "u8'x'"):
+            toks = self.lex(f"auto c = {lit};")
+            chars = [t for t in toks if t.kind == self.tk.CHAR]
+            self.assertEqual([t.text for t in chars], [lit], lit)
+            self.assertNotIn(lit[:-3] or lit[0],
+                             [t.text for t in toks
+                              if t.kind == self.tk.IDENT])
+
+    def test_wide_string_prefix(self):
+        toks = self.lex('auto s = L"wide";')
+        strings = [t for t in toks if t.kind == self.tk.STRING]
+        self.assertEqual([t.text for t in strings], ['L"wide"'])
+
+    def test_identifiers_starting_with_prefix_letters_survive(self):
+        toks = self.lex('update(L, u, usage, Ubuf);')
+        idents = [t.text for t in toks if t.kind == self.tk.IDENT]
+        self.assertEqual(idents, ["update", "L", "u", "usage", "Ubuf"])
+
+    def test_escaped_quote_inside_literal(self):
+        toks = self.lex(r'auto s = u8"a\"b"; auto c = L'
+                        r"'\''" ";")
+        strings = [t for t in toks if t.kind == self.tk.STRING]
+        chars = [t for t in toks if t.kind == self.tk.CHAR]
+        self.assertEqual([t.text for t in strings], [r'u8"a\"b"'])
+        self.assertEqual([t.text for t in chars], [r"L'\''"])
 
 
 if __name__ == "__main__":

@@ -66,6 +66,11 @@ def main(argv: list[str]) -> int:
                         default="text", help="stdout format")
     parser.add_argument("--sarif-out", type=Path,
                         help="also write SARIF 2.1.0 JSON to this file")
+    parser.add_argument("--lock-graph-out", type=Path,
+                        help="write the static lock-order graph (JSON) "
+                             "here; tools/check_lock_graph.py compares "
+                             "it against runtime-observed graphs from "
+                             "IUSTITIA_DEADLOCK_DEBUG builds")
     parser.add_argument("--baseline", type=Path,
                         help="baseline JSON; findings listed there are "
                              "suppressed (new findings still fail)")
@@ -97,6 +102,13 @@ def main(argv: list[str]) -> int:
         return 2
 
     ctx = AnalysisContext(universe)
+
+    if args.lock_graph_out is not None:
+        import json
+
+        from passes import lockorder
+        graph = lockorder.build_graph(ctx)
+        args.lock_graph_out.write_text(json.dumps(graph, indent=2) + "\n")
 
     findings: list[Finding] = []
     for name in args.passes.split(","):

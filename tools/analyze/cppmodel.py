@@ -9,9 +9,12 @@ depth tracking:
   - enum definitions with their enumerator lists,
   - classes with their mutex members, GUARDED_BY fields, and the methods
     annotated REQUIRES(...) / NO_THREAD_SAFETY_ANALYSIS,
+  - plain data members with their declared type tokens (fields),
+  - namespace-scope variable definitions with their type tokens (globals),
   - out-of-line method definitions (Class::method) with body token spans,
   - the namespace-scope names a header exports (functions, types, enums,
-    enumerators, aliases, constexpr constants, macros).
+    enumerators, aliases, constexpr constants, macros),
+  - `// analyze: kind(value)` expectation annotations by line.
 
 Heuristics err toward under-reporting: a construct the model cannot
 classify produces no findings rather than noise.
@@ -78,6 +81,10 @@ class ClassDef:
     guarded_lines: dict[str, int] = field(default_factory=dict)
     requires_methods: dict[str, str] = field(default_factory=dict)  # m -> mu
     no_analysis_methods: set[str] = field(default_factory=set)
+    # Plain data members: name -> the declaration's type tokens (everything
+    # left of the member name after macro annotations are stripped).
+    fields: dict[str, list[Token]] = field(default_factory=dict)
+    field_lines: dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -104,6 +111,12 @@ class FileModel:
     nested: dict[str, int]     # class-scope type names (not dead candidates)
     type_spans: dict[str, tuple[int, int]]  # type name -> def line span
     provided: dict[str, int]   # exported + nested + enumerators + macros
+    # Namespace-scope variable definitions: name -> type tokens / decl line.
+    globals_: dict[str, list[Token]] = field(default_factory=dict)
+    global_lines: dict[str, int] = field(default_factory=dict)
+    # `// analyze: kind(value)` expectations: line -> [(kind, value)].
+    annotations: dict[int, list[tuple[str, str]]] = \
+        field(default_factory=dict)
 
 
 def _match_forward(code: list[Token], i: int, open_p: str, close_p: str) -> int:
@@ -181,6 +194,69 @@ def _backtrack_method_name(code: list[Token], i: int) -> str | None:
     return None
 
 
+_DECL_SKIP_HEADS = {
+    "using", "friend", "typedef", "template", "static_assert", "public",
+    "private", "protected", "struct", "class", "enum", "union", "namespace",
+    "extern", "operator", "return", "if", "for", "while", "switch", "case",
+}
+
+
+def _parse_decl(stmt: list[Token]) -> tuple[str, list[Token], int] | None:
+    """Interprets an accumulated statement as a data declaration.
+
+    Returns (name, type tokens, line) or None when the statement is not a
+    plain variable/member declaration (functions, nested types, macros,
+    access specifiers, anything ambiguous — under-reporting by design).
+    Annotation macros (ALL_CAPS ident + paren group) are stripped first so
+    `std::thread t_ IUSTITIA_GUARDED_BY(mu_);` still yields `t_`.
+    """
+    if not stmt or stmt[0].text in _DECL_SKIP_HEADS:
+        return None
+    cleaned: list[Token] = []
+    i = 0
+    while i < len(stmt):
+        t = stmt[i]
+        is_macro = t.kind == IDENT and t.text.isupper() and len(t.text) > 1
+        if (is_macro or t.text == "alignas") and i + 1 < len(stmt) and \
+                stmt[i + 1].text == "(":
+            i = _match_forward(stmt, i + 1, "(", ")")
+            continue
+        if is_macro:
+            i += 1  # bare annotation macro (e.g. NO_THREAD_SAFETY_ANALYSIS)
+            continue
+        cleaned.append(t)
+        i += 1
+    # Initializer does not participate in the declarator.
+    for j, t in enumerate(cleaned):
+        if t.text == "=":
+            cleaned = cleaned[:j]
+            break
+    if any(t.text == "(" for t in cleaned):
+        return None  # function declaration / function-style initializer
+    while len(cleaned) >= 2 and cleaned[-1].text == "]":
+        k = len(cleaned) - 1
+        depth = 0
+        while k >= 0:
+            if cleaned[k].text == "]":
+                depth += 1
+            elif cleaned[k].text == "[":
+                depth -= 1
+                if depth == 0:
+                    break
+            k -= 1
+        cleaned = cleaned[:max(0, k)]
+    if len(cleaned) < 2:
+        return None
+    name_tok = cleaned[-1]
+    prev = cleaned[-2]
+    if name_tok.kind != IDENT or name_tok.text in _KEYWORDS or \
+            name_tok.text.isupper():
+        return None
+    if not (prev.kind == IDENT or prev.text in (">", ">>", "*", "&", "]")):
+        return None
+    return name_tok.text, cleaned[:-1], name_tok.line
+
+
 class _ScopeWalker:
     """Single pass over the code tokens building all structural facts."""
 
@@ -192,8 +268,30 @@ class _ScopeWalker:
         self.methods: list[MethodDef] = []
         self.exported: dict[str, int] = {}
         self.nested: dict[str, int] = {}
+        self.globals_: dict[str, list[Token]] = {}
+        self.global_lines: dict[str, int] = {}
         # Scope stack entries: ("namespace"|"class"|"enum"|"opaque", payload)
         self.scopes: list[tuple[str, object]] = []
+        # Statement accumulator for field/global declarations; only fed
+        # while directly inside a class body or at namespace scope.
+        self._stmt: list[Token] = []
+
+    def _flush_stmt(self) -> None:
+        decl = _parse_decl(self._stmt)
+        self._stmt = []
+        if decl is None:
+            return
+        name, type_tokens, line = decl
+        cls = self.current_class()
+        if cls is not None:
+            cls.fields.setdefault(name, type_tokens)
+            cls.field_lines.setdefault(name, line)
+        elif self.at_namespace_scope() and self.scopes:
+            # Repo convention: file-scope state lives inside a namespace;
+            # the toplevel of a header (before any namespace) is guards
+            # and includes, never variables.
+            self.globals_.setdefault(name, type_tokens)
+            self.global_lines.setdefault(name, line)
 
     def at_namespace_scope(self) -> bool:
         return all(kind == "namespace" for kind, _ in self.scopes)
@@ -427,6 +525,7 @@ class _ScopeWalker:
         while i < n:
             t = code[i]
             if t.text == "namespace" and self.at_namespace_scope():
+                self._stmt = []
                 j = i + 1
                 while j < n and (code[j].kind == IDENT or
                                  code[j].text == "::"):
@@ -443,12 +542,14 @@ class _ScopeWalker:
             if t.text == "enum":
                 body = self._enum_head(i)
                 if body is not None:
+                    self._stmt = []
                     i = _match_forward(code, body, "{", "}")
                     continue
             if t.text in ("class", "struct") and \
                     (self.at_namespace_scope() or self.current_class()):
                 head = self._class_head(i)
                 if head is not None:
+                    self._stmt = []
                     body_start, cls = head
                     self.scopes.append(("class", cls))
                     i = body_start + 1
@@ -458,6 +559,7 @@ class _ScopeWalker:
                 # `using X = ...;` exports X; either way skip to the ';'
                 # so alias right-hand sides (`unsigned __int128`) and
                 # using-declarations never look like declarations.
+                self._stmt = []
                 if (i + 2 < n and code[i + 1].kind == IDENT and
                         code[i + 2].text == "="):
                     self.exported.setdefault(code[i + 1].text,
@@ -468,6 +570,11 @@ class _ScopeWalker:
                 i = j + 1
                 continue
             if t.text == "{":
+                # A `{` after `)` opens a function body (no declaration to
+                # keep); after a declarator it is a brace initializer and
+                # the statement continues past the matching `}`.
+                if self._stmt and self._stmt[-1].text == ")":
+                    self._stmt = []
                 self.scopes.append(("opaque", None))
                 i += 1
                 continue
@@ -476,25 +583,60 @@ class _ScopeWalker:
                     kind, payload = self.scopes.pop()
                     if kind == "class" and payload is not None:
                         payload.end_line = t.line  # type: ignore[union-attr]
+                        self._stmt = []
                 i += 1
                 continue
 
             cls = self.current_class()
             if cls is not None and t.kind == IDENT:
                 self._note_class_annotations(cls, i)
+            in_decl_scope = cls is not None or self.at_namespace_scope()
             if self.at_namespace_scope():
                 end = self._try_method_def(i)
                 if end is not None:
+                    self._stmt = []
                     i = end
                     continue
                 self._note_namespace_decl(i)
                 # Parameter lists / initializer calls hold no namespace-scope
                 # declarations; skipping them keeps default-argument names
-                # out of the export table.
+                # out of the export table.  The `(` still lands in the
+                # statement so _parse_decl rejects function-shaped decls.
                 if t.text == "(":
+                    self._stmt.append(t)
                     i = _match_forward(code, i, "(", ")")
                     continue
+            if in_decl_scope:
+                if t.text == ";":
+                    self._flush_stmt()
+                elif t.text == ":" and len(self._stmt) == 1 and \
+                        self._stmt[0].text in ("public", "private",
+                                               "protected"):
+                    self._stmt = []  # access specifier, not a declaration
+                else:
+                    self._stmt.append(t)
             i += 1
+
+
+_ANALYZE_RE = re.compile(r"analyze:\s*([A-Za-z_][\w-]*)\s*\(([^)]*)\)")
+
+
+def analyze_annotations(tokens: list[Token]) -> dict[int, list[tuple[str, str]]]:
+    """Parses `// analyze: kind(value)` expectation comments.
+
+    Returns comment line -> [(kind, value)].  A trailing comment annotates
+    the declaration on its own line; passes look the annotation up by the
+    declaration's line number.  Several annotations may share one comment:
+    `// analyze: atomic(publish) escape(spsc-owner)`.
+    """
+    out: dict[int, list[tuple[str, str]]] = {}
+    for t in tokens:
+        if t.kind != COMMENT:
+            continue
+        for m in _ANALYZE_RE.finditer(t.text):
+            out.setdefault(t.line, []).append(
+                (m.group(1), m.group(2).strip()))
+    return out
 
 
 def build_model(path: str, text: str) -> FileModel:
@@ -530,6 +672,9 @@ def build_model(path: str, text: str) -> FileModel:
         nested=walker.nested,
         type_spans=type_spans,
         provided=provided,
+        globals_=walker.globals_,
+        global_lines=walker.global_lines,
+        annotations=analyze_annotations(tokens),
     )
 
 

@@ -39,6 +39,31 @@ RULES: dict[str, tuple[str, str]] = {
         "warning"),
     "lock-held-io": (
         "I/O or blocking call while a MutexLock is live", "error"),
+    "lock-order-inversion": (
+        "two code paths acquire the same pair of locks in opposite "
+        "orders (potential deadlock)", "error"),
+    "lock-order-cycle": (
+        "cycle in the global lock-acquisition graph (potential deadlock)",
+        "error"),
+    "atomic-relaxed-publication": (
+        "atomic stored with memory_order_relaxed but read with an "
+        "acquiring load; the store publishes nothing", "error"),
+    "atomic-undocumented-relaxed": (
+        "relaxed memory orders used without an `// analyze: atomic(...)` "
+        "protocol annotation on the declaration", "error"),
+    "atomic-mixed-order": (
+        "atomic accessed with several distinct memory orders and no "
+        "protocol annotation documenting the pairing", "error"),
+    "atomic-default-seqcst": (
+        "hot-path atomic relies on defaulted seq_cst for every access",
+        "warning"),
+    "atomic-annotation-mismatch": (
+        "an access violates the atomic protocol declared by its "
+        "`// analyze: atomic(...)` annotation", "error"),
+    "escape-unguarded-shared": (
+        "state reachable from multiple threads is neither atomic nor "
+        "GUARDED_BY nor documented with `// analyze: escape(...)`",
+        "error"),
 }
 
 

@@ -1,10 +1,14 @@
 """Analyzer passes.  Each exposes run(ctx) -> list[Finding]."""
 
-from passes import contracts, deadcode, layering, locks
+from passes import (atomics, contracts, deadcode, escape, layering,
+                    lockorder, locks)
 
 PASSES = {
     "layering": layering.run,
     "locks": locks.run,
+    "lockorder": lockorder.run,
+    "atomics": atomics.run,
+    "escape": escape.run,
     "deadcode": deadcode.run,
     "contracts": contracts.run,
 }

@@ -1,0 +1,353 @@
+"""Atomic memory-order audit.
+
+Models every std::atomic data member and namespace-scope atomic in the
+layered src/ tree, classifies each access by its memory_order, and
+checks the access set against the atomic's declared protocol.
+
+Protocols are declared with a trailing expectation comment on the
+declaration line:
+
+    std::atomic<uint64_t> pushed{0};  // analyze: atomic(relaxed-counter)
+
+  relaxed-counter  every access relaxed (monotonic statistic; readers
+                   tolerate staleness and torn cross-counter views)
+  relaxed-flag     every access relaxed (stop/shutdown flags that only
+                   gate loop continuation, never publish data)
+  publish          stores release or seq_cst; RMWs acq_rel/release/
+                   seq_cst; loads acquire/seq_cst, or relaxed (an index
+                   owner re-reading its own last store: SPSC rings)
+  seqcst           every access seq_cst (explicit or defaulted)
+
+Rules:
+  atomic-relaxed-publication  unannotated atomic stored with relaxed
+                              but loaded with acquire/seq_cst: the
+                              store side fails to publish
+  atomic-undocumented-relaxed relaxed orders used without a protocol
+                              annotation (intent must be documented,
+                              not baselined)
+  atomic-mixed-order          unannotated atomic accessed with several
+                              distinct non-relaxed orders
+  atomic-default-seqcst       hot-path atomic using only defaulted
+                              seq_cst accesses (warning: either the
+                              strength is needed — annotate seqcst —
+                              or it is costing a fence per access)
+  atomic-annotation-mismatch  an access violates the declared protocol,
+                              or the protocol name is unknown
+
+One finding per atomic; heuristics err toward under-reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from findings import Finding
+from tokenizer import IDENT, Token, nolint_lines
+
+PROTOCOLS = ("relaxed-counter", "relaxed-flag", "publish", "seqcst")
+HOT_MODULES = ("entropy", "core", "runtime")
+
+_LOAD_NAMES = ("load",)
+_STORE_NAMES = ("store",)
+_RMW_NAMES = ("fetch_add", "fetch_sub", "fetch_and", "fetch_or",
+              "fetch_xor", "exchange", "compare_exchange_weak",
+              "compare_exchange_strong")
+_ORDERS = ("relaxed", "consume", "acquire", "release", "acq_rel",
+           "seq_cst")
+
+
+@dataclass
+class Access:
+    op: str       # "load" | "store" | "rmw"
+    order: str    # one of _ORDERS
+    explicit: bool
+    path: str
+    line: int
+
+
+@dataclass
+class AtomicVar:
+    key: str                  # "Class::member" or "path::name"
+    decl_path: str
+    decl_line: int
+    protocol: str | None      # annotation value, if any
+    module: str | None
+    accesses: list
+
+
+def _orders_in_group(group: list[Token]) -> list[str]:
+    # Only top-level arguments count: in `a.store(b.load(acquire)+1, release)`
+    # the order of the *store* is `release`; the nested load's order sits one
+    # paren level deeper and is classified by its own access scan.
+    out, depth = [], 0
+    for t in group:
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        elif (depth == 0 and t.kind == IDENT
+              and t.text.startswith("memory_order")):
+            suffix = t.text[len("memory_order"):].lstrip("_")
+            if suffix in _ORDERS:
+                out.append(suffix)
+    return out
+
+
+def _paren_group(toks: list[Token], i: int) -> list[Token]:
+    """Tokens inside the group opened at toks[i] == '('."""
+    depth, out = 0, []
+    while i < len(toks):
+        t = toks[i]
+        if t.text == "(":
+            depth += 1
+            if depth == 1:
+                i += 1
+                continue
+        elif t.text == ")":
+            depth -= 1
+            if depth == 0:
+                return out
+        out.append(t)
+        i += 1
+    return out
+
+
+_ASSIGN_RMW = ("+=", "-=", "&=", "|=", "^=", "++", "--")
+
+
+def _classify(toks: list[Token], i: int, path: str) -> Access | None:
+    """Access made by the atomic named at toks[i], or None (decl, &x, ...)."""
+    t = toks[i]
+    prev = toks[i - 1] if i > 0 else None
+    nxt = toks[i + 1] if i + 1 < len(toks) else None
+    if prev is not None and prev.text in (".", "->", "::", "&"):
+        return None  # someone else's member, or address-of
+    if nxt is None:
+        return Access("load", "seq_cst", False, path, t.line)
+    if nxt.text == "[":
+        # Array-of-atomics element access: counts_[i].fetch_add(...).
+        depth, j = 0, i + 1
+        while j < len(toks):
+            if toks[j].text == "[":
+                depth += 1
+            elif toks[j].text == "]":
+                depth -= 1
+                if depth == 0:
+                    break
+            j += 1
+        i = j
+        nxt = toks[i + 1] if i + 1 < len(toks) else None
+        if nxt is None:
+            return Access("load", "seq_cst", False, path, t.line)
+    if nxt.text in (".", "->") and i + 2 < len(toks):
+        member = toks[i + 2]
+        group = _paren_group(toks, i + 3) if i + 3 < len(toks) and \
+            toks[i + 3].text == "(" else None
+        if group is None:
+            return None
+        orders = _orders_in_group(group)
+        order = orders[0] if orders else "seq_cst"
+        if member.text in _LOAD_NAMES:
+            return Access("load", order, bool(orders), path, member.line)
+        if member.text in _STORE_NAMES:
+            return Access("store", order, bool(orders), path, member.line)
+        if member.text in _RMW_NAMES:
+            return Access("rmw", order, bool(orders), path, member.line)
+        return None  # is_lock_free(), wait(), ...
+    if nxt.text == "=":
+        return Access("store", "seq_cst", False, path, t.line)
+    if nxt.text in _ASSIGN_RMW or (prev is not None and
+                                   prev.text in ("++", "--")):
+        return Access("rmw", "seq_cst", False, path, t.line)
+    if nxt.text in ("{", "("):
+        return None  # brace/paren initialization at declaration
+    return Access("load", "seq_cst", False, path, t.line)
+
+
+def _is_atomic_type(type_toks: list[Token]) -> bool:
+    return any(t.kind == IDENT and t.text == "atomic" for t in type_toks)
+
+
+def _scan_accesses(toks: list[Token], name: str, decl_line: int,
+                   path: str, out: list) -> None:
+    for i, t in enumerate(toks):
+        if t.kind != IDENT or t.text != name or t.line == decl_line:
+            continue
+        access = _classify(toks, i, path)
+        if access is not None:
+            out.append(access)
+
+
+def _collect(ctx) -> list[AtomicVar]:
+    atomics: list[AtomicVar] = []
+    # Member atomics: declared in a class (usually a header), accessed in
+    # the class body span (header-inline methods) and in every
+    # out-of-line method of that class anywhere in the universe.
+    seen_members: set[str] = set()
+    for path, model in sorted(ctx.models.items()):
+        for cls in model.classes:
+            for fname, type_toks in cls.fields.items():
+                if not _is_atomic_type(type_toks):
+                    continue
+                key = f"{cls.name}::{fname}"
+                if key in seen_members:
+                    continue
+                seen_members.add(key)
+                decl_line = cls.field_lines[fname]
+                ann = _annotation(model, decl_line)
+                accesses: list[Access] = []
+                span = [t for t in model.code
+                        if cls.line <= t.line <= (cls.end_line or cls.line)]
+                _scan_accesses(span, fname, decl_line, path, accesses)
+                for mpath, mmodel in sorted(ctx.models.items()):
+                    for method in mmodel.methods:
+                        if method.cls != cls.name:
+                            continue
+                        _scan_accesses(method.body, fname, decl_line,
+                                       mpath, accesses)
+                atomics.append(AtomicVar(
+                    key, path, decl_line, ann,
+                    ctx.universe.module_of(path), accesses))
+    # Namespace-scope atomics: file-local by convention; accesses are
+    # scanned over the defining file.
+    for path, model in sorted(ctx.models.items()):
+        for gname, type_toks in model.globals_.items():
+            if not _is_atomic_type(type_toks):
+                continue
+            decl_line = model.global_lines[gname]
+            ann = _annotation(model, decl_line)
+            accesses = []
+            _scan_accesses(model.code, gname, decl_line, path, accesses)
+            atomics.append(AtomicVar(
+                f"{path}::{gname}", path, decl_line, ann,
+                ctx.universe.module_of(path), accesses))
+    return atomics
+
+
+def _annotation(model, decl_line: int) -> str | None:
+    for kind, value in model.annotations.get(decl_line, ()):
+        if kind == "atomic":
+            return value
+    return None
+
+
+def _protocol_violation(protocol: str, a: Access) -> str | None:
+    if protocol in ("relaxed-counter", "relaxed-flag"):
+        if a.order != "relaxed":
+            return (f"{a.op} uses {a.order} but the declared protocol "
+                    f"'{protocol}' requires every access relaxed")
+    elif protocol == "publish":
+        if a.op == "store" and a.order not in ("release", "seq_cst"):
+            return (f"store uses {a.order} but protocol 'publish' "
+                    f"requires release or seq_cst stores")
+        if a.op == "rmw" and a.order not in ("acq_rel", "release",
+                                             "seq_cst"):
+            return (f"RMW uses {a.order} but protocol 'publish' "
+                    f"requires acq_rel/release/seq_cst RMWs")
+        if a.op == "load" and a.order not in ("acquire", "seq_cst",
+                                              "relaxed", "consume"):
+            return (f"load uses {a.order}, outside protocol 'publish'")
+    elif protocol == "seqcst":
+        if a.order != "seq_cst":
+            return (f"{a.op} uses {a.order} but the declared protocol "
+                    f"'seqcst' requires seq_cst accesses")
+    return None
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for var in _collect(ctx):
+        if var.module is None:
+            continue  # findings only in the layered src/ tree
+        model = ctx.models.get(var.decl_path)
+        suppressed: set[int] = set()
+        if model is not None:
+            for rule in ("atomic-relaxed-publication",
+                         "atomic-undocumented-relaxed",
+                         "atomic-mixed-order", "atomic-default-seqcst",
+                         "atomic-annotation-mismatch"):
+                suppressed |= nolint_lines(model.tokens, rule)
+        if var.decl_line in suppressed:
+            continue
+
+        if var.protocol is not None:
+            if var.protocol not in PROTOCOLS:
+                findings.append(Finding(
+                    "atomic-annotation-mismatch", var.decl_path,
+                    var.decl_line,
+                    f"{var.key} declares unknown atomic protocol "
+                    f"'{var.protocol}' (known: {', '.join(PROTOCOLS)})",
+                    anchor=var.key))
+                continue
+            for a in var.accesses:
+                why = _protocol_violation(var.protocol, a)
+                if why is not None:
+                    findings.append(Finding(
+                        "atomic-annotation-mismatch", a.path, a.line,
+                        f"{var.key}: {why}",
+                        anchor=var.key,
+                        related=[(var.decl_path, var.decl_line,
+                                  f"protocol '{var.protocol}' declared "
+                                  f"here")]))
+                    break
+            continue
+
+        # Unannotated atomic: infer trouble from the access set.
+        relaxed_stores = [a for a in var.accesses
+                          if a.op in ("store", "rmw") and
+                          a.order == "relaxed"]
+        acq_loads = [a for a in var.accesses
+                     if a.op == "load" and a.order in ("acquire",
+                                                       "seq_cst") and
+                     a.explicit]
+        if relaxed_stores and acq_loads:
+            a = relaxed_stores[0]
+            findings.append(Finding(
+                "atomic-relaxed-publication", a.path, a.line,
+                f"{var.key} is stored with memory_order_relaxed here but "
+                f"loaded with {acq_loads[0].order} at "
+                f"{acq_loads[0].path}:{acq_loads[0].line}; a relaxed "
+                f"store publishes nothing — use release, or annotate "
+                f"the protocol",
+                anchor=var.key,
+                related=[(acq_loads[0].path, acq_loads[0].line,
+                          f"{acq_loads[0].order} load pairing with the "
+                          f"relaxed store")]))
+            continue
+        relaxed = [a for a in var.accesses if a.order == "relaxed"]
+        if relaxed:
+            a = relaxed[0]
+            findings.append(Finding(
+                "atomic-undocumented-relaxed", var.decl_path,
+                var.decl_line,
+                f"{var.key} uses memory_order_relaxed "
+                f"({a.path}:{a.line}) without an `// analyze: "
+                f"atomic(...)` protocol annotation on its declaration",
+                anchor=var.key,
+                related=[(a.path, a.line, "first relaxed access")]))
+            continue
+        explicit_orders = {a.order for a in var.accesses if a.explicit}
+        if len(explicit_orders | ({"seq_cst"} if
+                                  any(not a.explicit
+                                      for a in var.accesses) else
+                                  set())) > 1:
+            a = next(x for x in var.accesses if x.explicit)
+            findings.append(Finding(
+                "atomic-mixed-order", var.decl_path, var.decl_line,
+                f"{var.key} is accessed with mixed memory orders "
+                f"({', '.join(sorted(explicit_orders | {'seq_cst'}))}) "
+                f"and no protocol annotation documents the pairing",
+                anchor=var.key,
+                related=[(a.path, a.line,
+                          f"explicit {a.order} access")]))
+            continue
+        if var.accesses and not explicit_orders and \
+                var.module in HOT_MODULES:
+            findings.append(Finding(
+                "atomic-default-seqcst", var.decl_path, var.decl_line,
+                f"{var.key} relies on defaulted seq_cst for every access "
+                f"on the hot path (module '{var.module}'); annotate "
+                f"`// analyze: atomic(seqcst)` if the strength is "
+                f"intended, or weaken the orders",
+                anchor=var.key))
+    return findings

@@ -1,0 +1,251 @@
+"""Shared-state escape pass.
+
+Finds state reachable from more than one thread that is neither atomic
+nor lock-guarded.  Thread entry points are recovered from launch sites:
+
+  - `std::thread t(...)` constructions,
+  - `.emplace_back(...)`/`.push_back(...)` on a member whose declared
+    type mentions `thread` (worker pools),
+
+where the launch argument is a lambda (or `&Class::method` pointer):
+every identifier inside the argument list that names a method of the
+enclosing class marks that method as a thread entry.  A class that
+launches threads shares its members between the launching thread and
+the workers, so every member referenced from an entry-method body must
+be one of:
+
+  - const / constexpr,
+  - std::atomic (the atomics pass then audits its orders),
+  - IUSTITIA_GUARDED_BY-annotated,
+  - a synchronization primitive (mutex / condition_variable / etc.),
+  - of a thread-safe class type (has a mutex member, an atomic member,
+    or a member of another thread-safe class — fixpoint),
+  - documented with `// analyze: escape(<reason>)` on its declaration
+    (e.g. a single-writer field handed over by thread join).
+
+Namespace-scope variables referenced from an entry body get the same
+treatment.  Everything else is rule `escape-unguarded-shared`.
+"""
+
+from __future__ import annotations
+
+from cppmodel import MUTEX_TYPES, ClassDef
+from findings import Finding
+from tokenizer import IDENT, Token, nolint_lines
+
+RULE = "escape-unguarded-shared"
+
+_SYNC_TYPES = MUTEX_TYPES + ("condition_variable", "condition_variable_any",
+                             "once_flag", "shared_mutex", "counting_semaphore",
+                             "binary_semaphore", "barrier", "latch")
+_CONST_KEYWORDS = ("const", "constexpr", "constinit")
+
+
+def _merged_classes(ctx) -> dict[str, list[ClassDef]]:
+    out: dict[str, list[ClassDef]] = {}
+    for model in ctx.models.values():
+        for cls in model.classes:
+            out.setdefault(cls.name, []).append(cls)
+    return out
+
+
+def _thread_safe_classes(classes: dict[str, list[ClassDef]]) -> set[str]:
+    """Fixpoint: a class is thread-safe if it owns a mutex, owns an
+    atomic member, or owns a member of a thread-safe class type."""
+    safe: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, defs in classes.items():
+            if name in safe:
+                continue
+            for cls in defs:
+                if cls.mutexes:
+                    safe.add(name)
+                    changed = True
+                    break
+                for type_toks in cls.fields.values():
+                    idents = {t.text for t in type_toks if t.kind == IDENT}
+                    if "atomic" in idents or idents & safe:
+                        safe.add(name)
+                        changed = True
+                        break
+                if name in safe:
+                    break
+    return safe
+
+
+def _is_exempt_type(type_toks: list[Token], safe: set[str]) -> bool:
+    texts = {t.text for t in type_toks}
+    if texts & set(_CONST_KEYWORDS):
+        return True
+    idents = {t.text for t in type_toks if t.kind == IDENT}
+    if "atomic" in idents:
+        return True
+    if idents & set(_SYNC_TYPES):
+        return True
+    if idents & safe:
+        return True
+    if "thread" in idents or "jthread" in idents:
+        return True  # the worker pool itself (joined by the owner)
+    return False
+
+
+def _launch_groups(body: list[Token], thread_members: set[str]):
+    """Yields the argument token groups of thread-launch expressions."""
+    n = len(body)
+    for i, t in enumerate(body):
+        if t.kind != IDENT:
+            continue
+        is_ctor = t.text == "thread" and i + 1 < n and \
+            body[i + 1].text in ("(", "{") and \
+            (i == 0 or body[i - 1].text != ".")
+        is_pool = t.text in ("emplace_back", "push_back") and \
+            i + 1 < n and body[i + 1].text == "(" and i >= 2 and \
+            body[i - 1].text in (".", "->") and \
+            body[i - 2].text in thread_members
+        if not (is_ctor or is_pool):
+            continue
+        open_p = body[i + 1].text
+        close_p = ")" if open_p == "(" else "}"
+        depth, j, group = 0, i + 1, []
+        while j < n:
+            if body[j].text == open_p:
+                depth += 1
+            elif body[j].text == close_p:
+                depth -= 1
+                if depth == 0:
+                    break
+            if depth >= 1 and j > i + 1:
+                group.append(body[j])
+            j += 1
+        if group:
+            yield group
+
+
+def _entry_methods(ctx, cls_name: str, cls_defs: list[ClassDef],
+                   method_names: set[str]) -> set[str]:
+    """Methods of `cls_name` used as thread bodies anywhere."""
+    thread_members = set()
+    for cls in cls_defs:
+        for fname, type_toks in cls.fields.items():
+            if any(t.text in ("thread", "jthread") for t in type_toks):
+                thread_members.add(fname)
+    entries: set[str] = set()
+    for model in ctx.models.values():
+        for method in model.methods:
+            if method.cls != cls_name:
+                continue
+            for group in _launch_groups(method.body, thread_members):
+                for t in group:
+                    if t.kind == IDENT and t.text in method_names and \
+                            t.text != method.name:
+                        entries.add(t.text)
+    return entries
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    classes = _merged_classes(ctx)
+    safe = _thread_safe_classes(classes)
+
+    # Method name universe per class (out-of-line definitions).
+    methods_of: dict[str, set[str]] = {}
+    for model in ctx.models.values():
+        for method in model.methods:
+            if method.cls:
+                methods_of.setdefault(method.cls, set()).add(method.name)
+
+    for cls_name in sorted(classes):
+        defs = classes[cls_name]
+        entries = _entry_methods(ctx, cls_name, defs,
+                                 methods_of.get(cls_name, set()))
+        if not entries:
+            continue
+
+        # Merge field views (header declares, source may re-model).
+        fields: dict[str, list[Token]] = {}
+        field_lines: dict[str, int] = {}
+        field_paths: dict[str, str] = {}
+        guarded: set[str] = set()
+        for path, model in sorted(ctx.models.items()):
+            for cls in model.classes:
+                if cls.name != cls_name:
+                    continue
+                guarded |= set(cls.guarded_fields)
+                for fname, toks in cls.fields.items():
+                    fields.setdefault(fname, toks)
+                    field_lines.setdefault(fname, cls.field_lines[fname])
+                    field_paths.setdefault(fname, path)
+
+        flagged: set[str] = set()
+        for model_path, model in sorted(ctx.models.items()):
+            for method in model.methods:
+                if method.cls != cls_name or method.name not in entries:
+                    continue
+                for t in method.body:
+                    if t.kind != IDENT:
+                        continue
+                    # Members referenced from a worker body.
+                    if t.text in fields and t.text not in flagged:
+                        fname = t.text
+                        if fname in guarded or \
+                                _is_exempt_type(fields[fname], safe):
+                            continue
+                        fpath = field_paths[fname]
+                        fline = field_lines[fname]
+                        fmodel = ctx.models.get(fpath)
+                        if fmodel is not None and (
+                                _escape_annotated(fmodel, fline) or
+                                fline in nolint_lines(fmodel.tokens,
+                                                      RULE)):
+                            flagged.add(fname)  # documented: stay quiet
+                            continue
+                        if ctx.universe.module_of(fpath) is None:
+                            continue
+                        flagged.add(fname)
+                        findings.append(Finding(
+                            RULE, fpath, fline,
+                            f"{cls_name}::{fname} is written by thread "
+                            f"entry {cls_name}::{method.name} "
+                            f"({model_path}:{t.line}) but is neither "
+                            f"atomic nor GUARDED_BY; guard it, or "
+                            f"document the handoff with `// analyze: "
+                            f"escape(<reason>)`",
+                            anchor=f"{cls_name}::{fname}",
+                            related=[(model_path, t.line,
+                                      f"accessed from thread entry "
+                                      f"{method.name}")]))
+                        continue
+                    # Namespace-scope state referenced from a worker body.
+                    gmodel = model
+                    if t.text in gmodel.globals_ and \
+                            f"g:{t.text}" not in flagged:
+                        gline = gmodel.global_lines[t.text]
+                        if gline == t.line:
+                            continue
+                        if _is_exempt_type(gmodel.globals_[t.text], safe):
+                            continue
+                        if _escape_annotated(gmodel, gline) or \
+                                gline in nolint_lines(gmodel.tokens, RULE):
+                            flagged.add(f"g:{t.text}")
+                            continue
+                        if ctx.universe.module_of(model_path) is None:
+                            continue
+                        flagged.add(f"g:{t.text}")
+                        findings.append(Finding(
+                            RULE, model_path, gline,
+                            f"namespace-scope '{t.text}' is accessed by "
+                            f"thread entry {cls_name}::{method.name} "
+                            f"(line {t.line}) but is neither atomic, "
+                            f"const, nor lock-guarded",
+                            anchor=f"::{t.text}",
+                            related=[(model_path, t.line,
+                                      f"accessed from thread entry "
+                                      f"{method.name}")]))
+    return findings
+
+
+def _escape_annotated(model, line: int) -> bool:
+    return any(kind == "escape"
+               for kind, _ in model.annotations.get(line, ()))

@@ -1,0 +1,426 @@
+"""Lock-order pass: a global lock-acquisition graph over util::Mutex.
+
+Builds one directed graph for the whole universe: node = lock identity,
+edge A -> B = somewhere, B is acquired while A is held.  Acquisition
+sites are RAII guards (util::MutexLock, std::lock_guard/scoped_lock/
+unique_lock), direct .lock()/.unlock() calls, and IUSTITIA_REQUIRES
+annotations (entering an annotated method means the mutex is already
+held).  One level of call propagation is applied: a call made while
+holding L contributes L -> M for every lock M the callee acquires.
+
+Reported:
+  lock-order-inversion  both A -> B and B -> A exist (two-edge cycle);
+                        the SARIF result carries both witness sites.
+  lock-order-cycle      a strongly connected component of three or more
+                        locks, or a self-edge (recursive acquisition).
+
+Lock identity is `Class::member` for member mutexes (the immediate
+enclosing class), `::name` for namespace-scope mutexes.  A lock
+expression the model cannot resolve to a unique identity contributes no
+edges (under-reporting by design).  The same `Class::member` strings are
+the runtime names registered by the IUSTITIA_DEADLOCK_DEBUG build, so
+the observed runtime graph can be checked as a subgraph of this one
+(tools/check_lock_graph.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from cppmodel import LOCK_TYPES, MUTEX_TYPES, ClassDef, FileModel
+from findings import Finding
+from tokenizer import IDENT, Token, nolint_lines
+
+INVERSION_RULE = "lock-order-inversion"
+CYCLE_RULE = "lock-order-cycle"
+
+_UNLOCKABLE = ("lock", "Lock")
+_UNLOCK_NAMES = ("unlock", "Unlock")
+
+
+@dataclass
+class Edge:
+    src: str
+    dst: str
+    path: str
+    line: int
+    context: str   # "Class::method" holding src when dst was taken
+
+
+class _LockIndex:
+    """Resolves a lock expression to a stable `Class::member` identity."""
+
+    def __init__(self, ctx):
+        # mutex member name -> set of owning class names (whole universe).
+        self.owners: dict[str, set[str]] = {}
+        # class name -> merged ClassDef views (header + source).
+        self.classes: dict[str, list[ClassDef]] = {}
+        # namespace-scope mutex variables: name -> defining path.
+        self.globals: dict[str, str] = {}
+        for path, model in ctx.models.items():
+            for cls in model.classes:
+                self.classes.setdefault(cls.name, []).append(cls)
+                for mu in cls.mutexes:
+                    # Only util::Mutex members join the graph: the runtime
+                    # deadlock detector instruments exactly those, and raw
+                    # std::mutex members (e.g. inside util::Mutex itself or
+                    # the detector's own registry) would make common names
+                    # like `mu` ambiguous.  Unknown types keep the member.
+                    type_toks = cls.fields.get(mu)
+                    if type_toks is not None and not any(
+                            t.text == "Mutex" for t in type_toks):
+                        continue
+                    self.owners.setdefault(mu, set()).add(cls.name)
+            for name, type_toks in model.globals_.items():
+                if any(t.text in MUTEX_TYPES for t in type_toks):
+                    self.globals.setdefault(name, path)
+
+    def class_has_mutex(self, cls_name: str, member: str) -> bool:
+        return any(member in c.mutexes
+                   for c in self.classes.get(cls_name, ()))
+
+    def resolve(self, expr: list[Token], cls_name: str) -> str | None:
+        idents = [t.text for t in expr
+                  if t.kind == IDENT and t.text != "this"]
+        if not idents:
+            return None
+        member = idents[-1]
+        if len(idents) == 1:
+            # Bare `mu_` (or `this->mu_`): the enclosing class wins, then
+            # a namespace-scope mutex, then a globally unique member.
+            if cls_name and self.class_has_mutex(cls_name, member):
+                return f"{cls_name}::{member}"
+            if member in self.globals:
+                return f"::{member}"
+            owners = self.owners.get(member, set())
+            if len(owners) == 1:
+                return f"{next(iter(owners))}::{member}"
+            return None
+        # `obj.mu` / `obj->mu` / `Class::mu`: unique ownership only.
+        first = idents[0]
+        if first in self.classes and self.class_has_mutex(first, member):
+            return f"{first}::{member}"
+        owners = self.owners.get(member, set())
+        if len(owners) == 1:
+            return f"{next(iter(owners))}::{member}"
+        return None
+
+
+def _guard_lock_expr(body: list[Token], i: int) -> tuple[list[Token], int] | None:
+    """At body[i] in LOCK_TYPES, returns (mutex expr tokens, index past)."""
+    j = i + 1
+    if j < len(body) and body[j].text == "<":
+        depth = 0
+        while j < len(body):
+            if body[j].text == "<":
+                depth += 1
+            elif body[j].text == ">":
+                depth -= 1
+                if depth == 0:
+                    j += 1
+                    break
+            j += 1
+    if j < len(body) and body[j].kind == IDENT:
+        j += 1
+    if j >= len(body) or body[j].text not in ("(", "{"):
+        return None
+    close = ")" if body[j].text == "(" else "}"
+    expr: list[Token] = []
+    k = j + 1
+    while k < len(body) and body[k].text != close:
+        expr.append(body[k])
+        k += 1
+    return (expr, k + 1) if expr else None
+
+
+def _walk_method(method, index: _LockIndex, path: str,
+                 acquires: dict, edges: list[Edge],
+                 callee_acquires: dict[str, set[str]] | None) -> None:
+    """One pass over a method body maintaining the held-lock stack.
+
+    A guard holds until its enclosing block closes; .lock()/.unlock()
+    bracket explicitly.  With `callee_acquires` set, calls propagate one
+    level: held L and callee acquiring M adds L -> M.
+    """
+    ctx_name = f"{method.cls}::{method.name}" if method.cls else method.name
+    held: list[tuple[str, int]] = []  # (lock id, brace depth at acquire)
+    cls_def = index.classes.get(method.cls, [None])[0]
+    required = None
+    if cls_def is not None:
+        required = cls_def.requires_methods.get(method.name)
+    if required is not None:
+        req_id = index.resolve(
+            [Token(IDENT, p, method.line) for p in
+             required.replace("this->", "").replace("&", "").split("::")],
+            method.cls)
+        if req_id is not None:
+            held.append((req_id, -1))  # held for the whole body
+
+    def acquire(lock_id: str, line: int, depth: int) -> None:
+        for prior, _ in held:
+            if prior == lock_id:
+                continue
+            edges.append(Edge(prior, lock_id, path, line, ctx_name))
+        if any(h == lock_id for h, _ in held):
+            edges.append(Edge(lock_id, lock_id, path, line, ctx_name))
+        held.append((lock_id, depth))
+        acquires.setdefault(ctx_name, set()).add(lock_id)
+
+    body = method.body
+    depth = 0
+    i = 0
+    while i < len(body):
+        t = body[i]
+        if t.text == "{":
+            depth += 1
+        elif t.text == "}":
+            depth -= 1
+            while held and held[-1][1] >= depth and held[-1][1] >= 0:
+                held.pop()
+        elif t.kind == IDENT and t.text in LOCK_TYPES:
+            got = _guard_lock_expr(body, i)
+            if got is not None:
+                expr, end = got
+                lock_id = index.resolve(expr, method.cls)
+                if lock_id is not None:
+                    acquire(lock_id, t.line, depth)
+                i = end
+                continue
+        elif t.kind == IDENT and t.text in _UNLOCK_NAMES and i >= 2 and \
+                body[i - 1].text in (".", "->") and \
+                i + 1 < len(body) and body[i + 1].text == "(":
+            # mu_.unlock(): releases the most recent matching acquisition.
+            expr = _member_chain(body, i - 2)
+            lock_id = index.resolve(expr, method.cls)
+            if lock_id is not None:
+                for k in range(len(held) - 1, -1, -1):
+                    if held[k][0] == lock_id:
+                        del held[k]
+                        break
+        elif t.kind == IDENT and t.text in _UNLOCKABLE and i >= 2 and \
+                body[i - 1].text in (".", "->") and \
+                i + 1 < len(body) and body[i + 1].text == "(":
+            expr = _member_chain(body, i - 2)
+            lock_id = index.resolve(expr, method.cls)
+            if lock_id is not None:
+                acquire(lock_id, t.line, depth)
+        elif callee_acquires is not None and held and t.kind == IDENT and \
+                i + 1 < len(body) and body[i + 1].text == "(" and \
+                t.text not in LOCK_TYPES and not t.text.isupper():
+            for callee_lock in callee_acquires.get(t.text, ()):
+                for prior, _ in held:
+                    if prior != callee_lock:
+                        edges.append(Edge(prior, callee_lock, path,
+                                          t.line, ctx_name))
+        i += 1
+
+
+def _member_chain(body: list[Token], i: int) -> list[Token]:
+    """Tokens of the `a->b.c` chain ending at body[i] (walking back)."""
+    chain = [body[i]]
+    j = i - 1
+    while j > 0 and body[j].text in (".", "->", "::") and \
+            body[j - 1].kind == IDENT:
+        chain.append(body[j - 1])
+        j -= 2
+    chain.reverse()
+    return chain
+
+
+def _call_names(method) -> set[str]:
+    """Short names of functions called in `method`'s body (free or member)."""
+    body = method.body
+    out: set[str] = set()
+    for i, t in enumerate(body[:-1]):
+        if t.kind == IDENT and body[i + 1].text == "(" and \
+                not t.text.isupper() and t.text not in LOCK_TYPES:
+            out.add(t.text)
+    return out
+
+
+def _collect_edges(ctx) -> tuple[list[Edge], _LockIndex]:
+    index = _LockIndex(ctx)
+    acquires: dict[str, set[str]] = {}
+    edges: list[Edge] = []
+    calls: dict[str, set[str]] = {}
+    # First pass: direct acquisition edges + per-method acquire sets.
+    for path, model in sorted(ctx.models.items()):
+        for method in model.methods:
+            _walk_method(method, index, path, acquires, edges, None)
+            ctx_name = (f"{method.cls}::{method.name}" if method.cls
+                        else method.name)
+            calls.setdefault(ctx_name, set()).update(_call_names(method))
+    # Per-callee-name acquire sets for call propagation; a name defined by
+    # several classes merges (over-approximation is fine: the runtime
+    # detector arbitrates, and names here are method-local).  The sets are
+    # closed transitively so `wait() -> finish_flush() -> cdb lock` chains
+    # still produce a wait-context edge.
+    by_name: dict[str, set[str]] = {}
+    for ctx_name, locks in acquires.items():
+        short = ctx_name.split("::")[-1]
+        by_name.setdefault(short, set()).update(locks)
+    changed = True
+    while changed:
+        changed = False
+        for ctx_name, callees in calls.items():
+            reached: set[str] = set()
+            for callee in callees:
+                reached |= by_name.get(callee, set())
+            target = by_name.setdefault(ctx_name.split("::")[-1], set())
+            if not reached <= target:
+                target |= reached
+                changed = True
+    prop_edges: list[Edge] = []
+    for path, model in sorted(ctx.models.items()):
+        for method in model.methods:
+            _walk_method(method, index, path, {}, prop_edges, by_name)
+    seen = {(e.src, e.dst) for e in edges}
+    for e in prop_edges:
+        if (e.src, e.dst) not in seen:
+            seen.add((e.src, e.dst))
+            edges.append(e)
+    return edges, index
+
+
+def build_graph(ctx) -> dict:
+    """The static lock-order graph as a JSON-able document.
+
+    tools/check_lock_graph.py asserts the runtime-observed graph from an
+    IUSTITIA_DEADLOCK_DEBUG build is a subgraph of this.
+    """
+    edges, _ = _collect_edges(ctx)
+    first: dict[tuple[str, str], Edge] = {}
+    for e in edges:
+        first.setdefault((e.src, e.dst), e)
+    nodes = sorted({n for pair in first for n in pair})
+    return {
+        "format": 1,
+        "nodes": nodes,
+        "edges": [
+            {"from": e.src, "to": e.dst, "path": e.path, "line": e.line,
+             "context": e.context}
+            for (_, _), e in sorted(first.items())
+        ],
+    }
+
+
+def _sccs(adj: dict[str, set[str]]) -> list[list[str]]:
+    """Tarjan's strongly connected components (iterative)."""
+    index_of: dict[str, int] = {}
+    low: dict[str, int] = {}
+    on_stack: set[str] = set()
+    stack: list[str] = []
+    out: list[list[str]] = []
+    counter = [0]
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(adj.get(root, ()))))]
+        index_of[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            v, it = work[-1]
+            advanced = False
+            for w in it:
+                if w not in index_of:
+                    index_of[w] = low[w] = counter[0]
+                    counter[0] += 1
+                    stack.append(w)
+                    on_stack.add(w)
+                    work.append((w, iter(sorted(adj.get(w, ())))))
+                    advanced = True
+                    break
+                if w in on_stack:
+                    low[v] = min(low[v], index_of[w])
+            if advanced:
+                continue
+            work.pop()
+            if low[v] == index_of[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == v:
+                        break
+                out.append(comp)
+            if work:
+                pv = work[-1][0]
+                low[pv] = min(low[pv], low[v])
+
+    for node in sorted(adj):
+        if node not in index_of:
+            strongconnect(node)
+    return out
+
+
+def run(ctx) -> list[Finding]:
+    edges, _ = _collect_edges(ctx)
+    first: dict[tuple[str, str], Edge] = {}
+    for e in edges:
+        first.setdefault((e.src, e.dst), e)
+
+    findings: list[Finding] = []
+    reported_pairs: set[tuple[str, str]] = set()
+
+    def suppressed(e: Edge) -> bool:
+        model = ctx.models.get(e.path)
+        if model is None:
+            return False
+        return e.line in nolint_lines(model.tokens, INVERSION_RULE) or \
+            e.line in nolint_lines(model.tokens, CYCLE_RULE)
+
+    # Pairwise inversions: A -> B and B -> A both witnessed.
+    for (src, dst), e in sorted(first.items()):
+        if src == dst:
+            continue
+        rev = first.get((dst, src))
+        if rev is None:
+            continue
+        pair = tuple(sorted((src, dst)))
+        if pair in reported_pairs:
+            continue
+        reported_pairs.add(pair)
+        if suppressed(e) or suppressed(rev):
+            continue
+        findings.append(Finding(
+            INVERSION_RULE, e.path, e.line,
+            f"inconsistent lock order: {e.context} acquires {dst} while "
+            f"holding {src}, but {rev.context} acquires {src} while "
+            f"holding {dst} ({rev.path}:{rev.line})",
+            anchor=f"{pair[0]}<->{pair[1]}",
+            related=[(rev.path, rev.line,
+                      f"reverse edge: {rev.context} acquires {src} "
+                      f"while holding {dst}")]))
+
+    # Cycles: self-edges and SCCs of three or more locks.
+    adj: dict[str, set[str]] = {}
+    for (src, dst) in first:
+        adj.setdefault(src, set()).add(dst)
+        adj.setdefault(dst, set())
+    for (src, dst), e in sorted(first.items()):
+        if src == dst and not suppressed(e):
+            findings.append(Finding(
+                CYCLE_RULE, e.path, e.line,
+                f"recursive acquisition: {e.context} acquires {src} "
+                f"while already holding it",
+                anchor=f"self:{src}"))
+    for comp in _sccs(adj):
+        if len(comp) < 3:
+            continue
+        comp_set = set(comp)
+        witnesses = [e for (s, d), e in sorted(first.items())
+                     if s in comp_set and d in comp_set and s != d]
+        if not witnesses or any(suppressed(e) for e in witnesses):
+            continue
+        cyc = " -> ".join(sorted(comp))
+        head = witnesses[0]
+        findings.append(Finding(
+            CYCLE_RULE, head.path, head.line,
+            f"lock-order cycle across {len(comp)} locks: {cyc}",
+            anchor="cycle:" + "|".join(sorted(comp)),
+            related=[(e.path, e.line,
+                      f"{e.context} acquires {e.dst} while holding {e.src}")
+                     for e in witnesses[1:]]))
+    return findings

@@ -42,6 +42,11 @@ _PUNCTUATORS = sorted(
 
 _RAW_STRING_RE = re.compile(r'(?:u8|[uUL])?R"([^ ()\\\t\v\f\n]*)\(')
 
+# Encoding prefix directly attached to an ordinary string or char literal:
+# u8"x", L"x", u'x', U'x', u8'c'.  Matches only when the quote immediately
+# follows, so identifiers that merely start with u/U/L are untouched.
+_LIT_PREFIX_RE = re.compile(r"(?:u8|[uUL])?(['\"])")
+
 
 @dataclass(frozen=True)
 class Token:
@@ -143,18 +148,13 @@ def tokenize(text: str) -> list[Token]:
             i += len(literal)
             continue
 
-        if c == '"' or (c in "uUL" and i + 1 < n and text[i + 1] == '"'):
+        m = _LIT_PREFIX_RE.match(text, i)
+        if m:
+            quote = m.group(1)
             start, start_line = i, line
-            if c != '"':
-                i += 1
-            end = take_string('"', i)
-            tokens.append(Token(STRING, text[start:end], start_line))
-            i = end
-            continue
-        if c == "'":
-            start = i
-            end = take_string("'", i)
-            tokens.append(Token(CHAR, text[start:end], line))
+            end = take_string(quote, m.end() - 1)
+            kind = STRING if quote == '"' else CHAR
+            tokens.append(Token(kind, text[start:end], start_line))
             i = end
             continue
 

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Asserts runtime-observed lock-order graphs ⊆ the static graph.
+
+Usage:
+    tools/check_lock_graph.py STATIC_GRAPH OBSERVED...
+
+STATIC_GRAPH is the JSON written by `tools/analyze --lock-graph-out`.
+Each OBSERVED argument is either a lock_graph.<pid>.json written by an
+IUSTITIA_DEADLOCK_DEBUG build at process exit (env var
+IUSTITIA_LOCK_GRAPH_OUT names the directory), or a directory that is
+scanned for lock_graph.*.json files.
+
+An observed edge "held A, then acquired B" that the static lockorder
+pass never derived means the static model under-approximates real
+executions — either a lock expression it could not resolve, or a call
+path it does not see.  That breaks the deadlock-detection story, so the
+check fails (exit 1) and prints the missing edges.
+
+Edges involving unnamed mutexes ("<anon>") are ignored: they have no
+static identity to compare against.  Self-edges never occur (the
+runtime registry drops same-name pairs).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+
+def load_edges(path: Path) -> set[tuple[str, str]]:
+    doc = json.loads(path.read_text())
+    return {(e["from"], e["to"]) for e in doc.get("edges", [])}
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    static_path = Path(argv[0])
+    if not static_path.exists():
+        print(f"check_lock_graph: missing static graph {static_path}",
+              file=sys.stderr)
+        return 2
+    static_edges = load_edges(static_path)
+
+    observed_files: list[Path] = []
+    for arg in argv[1:]:
+        p = Path(arg)
+        if p.is_dir():
+            observed_files.extend(sorted(p.glob("lock_graph.*.json")))
+        elif p.exists():
+            observed_files.append(p)
+        else:
+            print(f"check_lock_graph: missing observed graph {p}",
+                  file=sys.stderr)
+            return 2
+    if not observed_files:
+        print("check_lock_graph: no observed graphs found (did the "
+              "deadlock-debug run set IUSTITIA_LOCK_GRAPH_OUT?)",
+              file=sys.stderr)
+        return 2
+
+    missing: dict[tuple[str, str], list[str]] = {}
+    total_observed = 0
+    for path in observed_files:
+        for edge in load_edges(path):
+            if "<anon>" in edge:
+                continue
+            total_observed += 1
+            if edge not in static_edges:
+                missing.setdefault(edge, []).append(path.name)
+
+    if missing:
+        print(f"check_lock_graph: {len(missing)} observed lock-order "
+              f"edge(s) missing from the static graph {static_path}:",
+              file=sys.stderr)
+        for (src, dst), files in sorted(missing.items()):
+            print(f"  {src} -> {dst}   (seen in {', '.join(files)})",
+                  file=sys.stderr)
+        print("the lockorder pass under-approximates these executions; "
+              "teach it the lock site or name the mutex differently",
+              file=sys.stderr)
+        return 1
+
+    print(f"check_lock_graph: OK — {total_observed} observed edge "
+          f"instance(s) across {len(observed_files)} graph(s), all "
+          f"within the {len(static_edges)}-edge static graph")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

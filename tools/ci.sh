@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
-# Pre-merge gate: the full ctest matrix under every sanitizer preset, plus
-# the repo lint pass.  Maps onto tier-1 verify as follows: the `default`
-# preset IS the tier-1 build/test command (same binary dir, same cache), so
-# a green ci.sh implies a green tier-1 run.
+# Pre-merge gate: the full ctest matrix under every sanitizer preset, the
+# repo lint + analyze passes, the deadlock-debug cross-check, and the perf
+# smoke.  Maps onto tier-1 verify as follows: the `default` preset IS the
+# tier-1 build/test command (same binary dir, same cache), so a green
+# ci.sh implies a green tier-1 run.
 #
 # Usage: tools/ci.sh [preset ...]
-#   With no arguments runs: default, asan-ubsan, tsan, then the lint target.
+#   With no arguments runs: default, asan-ubsan, tsan, then the tool stages.
 #   With arguments runs only the named configure/build/test presets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -26,12 +27,45 @@ for preset in "${presets[@]}"; do
 done
 
 echo "==== lint"
-cmake --build --preset default --target lint
+# The tool stages run directly instead of through `cmake --build --target`:
+# each cmake invocation re-checks the generate step, which can regenerate
+# compile_commands.json mid-gate.  The database exported by the `default`
+# configure above serves both stages unchanged.
+compdb="build/compile_commands.json"
+[[ -f "$compdb" ]] || {
+  echo "ci.sh: $compdb missing — run the default preset first" >&2
+  exit 1
+}
+python3 tools/lint.py
 
 echo "==== analyze"
 # Baseline-gated: exits nonzero only on findings not in
 # tools/analyze-baseline.json (see tools/README.md for the workflow).
-cmake --build --preset default --target analyze
+# Also exports the static lock-order graph the deadlock-debug stage
+# checks runtime executions against.
+python3 tools/analyze --compdb "$compdb" \
+  --baseline tools/analyze-baseline.json \
+  --sarif-out build/analyze.sarif \
+  --lock-graph-out build/lock_graph_static.json
+
+echo "==== deadlock-debug"
+# Instrumented util::Mutex: FATALs on a runtime lock-order inversion and
+# records every observed edge.  The concurrency suites run with graph
+# capture on, then the observed graph must be a subgraph of the static
+# one — an edge the analyzer failed to model fails the gate.
+cmake --preset deadlock-debug
+cmake --build --preset deadlock-debug -j "$jobs"
+# Absolute: ctest runs each test from its own binary dir, and the graph
+# writer resolves the path from the test's cwd.
+graph_dir="$PWD/build-deadlock/lock-graphs"
+rm -rf "$graph_dir"
+mkdir -p "$graph_dir"
+IUSTITIA_LOCK_GRAPH_OUT="$graph_dir" ctest --preset deadlock-debug \
+  -j "$jobs" -R 'test_runtime|test_concurrency_stress'
+# The detector's own unit tests use synthetic mutexes that must NOT land
+# in the comparison, so they run without graph capture.
+ctest --preset deadlock-debug -R test_deadlock_debug
+python3 tools/check_lock_graph.py build/lock_graph_static.json "$graph_dir"
 
 echo "==== perf-smoke"
 # Reduced-size run of the entropy-kernel microbench, gated on >30%

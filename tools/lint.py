@@ -27,6 +27,11 @@ Rules
                      from their repo-relative path.
   no-using-namespace `using namespace std` (or any `using namespace` at
                      header scope) is banned.
+  no-thread-detach   `.detach()` on a thread is banned: a detached thread
+                     outlives every join point, races static destruction,
+                     and is invisible to the deadlock detector's graph
+                     writer.  Keep the handle and join it (see
+                     runtime/runtime.cc for the owning pattern).
 
 Usage: tools/lint.py [path ...]   (defaults to src tests bench tools examples)
 """
@@ -311,6 +316,19 @@ def check_include_guard(path: Path, raw: str,
             f"closing #endif must carry the comment '// {expected}'"))
 
 
+def check_no_thread_detach(path: Path, raw: str, stripped: str,
+                           findings: list[Finding]) -> None:
+    nolint = raw_lines_with_nolint(raw, "no-thread-detach")
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if lineno in nolint:
+            continue
+        if re.search(r"(?:\.|->)\s*detach\s*\(\s*\)", line):
+            findings.append(Finding(
+                path, lineno, "no-thread-detach",
+                "detached threads race shutdown and static destruction; "
+                "keep the std::thread handle and join it"))
+
+
 def check_using_namespace(path: Path, stripped: str,
                           findings: list[Finding]) -> None:
     for lineno, line in enumerate(stripped.splitlines(), start=1):
@@ -332,6 +350,7 @@ def lint_file(path: Path) -> list[Finding]:
     check_no_owning_new(path, raw, stripped, findings)
     check_log2_domain(path, raw, stripped, findings)
     check_include_guard(path, raw, findings)
+    check_no_thread_detach(path, raw, stripped, findings)
     check_using_namespace(path, stripped, findings)
     return findings
 
