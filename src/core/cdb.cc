@@ -1,6 +1,7 @@
 #include "core/cdb.h"
 
 #include "util/check.h"
+#include "util/rt_guard.h"
 
 namespace iustitia::core {
 
@@ -15,6 +16,10 @@ ClassificationDatabase::ClassificationDatabase(const CdbOptions& options)
 
 std::optional<datagen::FileClass> ClassificationDatabase::lookup(
     const net::FlowId& id, double now) {
+  // The engine's per-packet fast path lands here: the per-shard lock is
+  // uncontended by construction (one worker drives one shard) and the
+  // probe itself never allocates.
+  util::rt::AllowScope allow(util::rt::kBlock);  // analyze: hotpath-allow(may-block, unresolved-call)
   util::MutexLock lock(mu_);
   ++stats_.lookups;
   const auto it = records_.find(id);
@@ -51,6 +56,9 @@ void ClassificationDatabase::insert(const net::FlowId& id,
 
 void ClassificationDatabase::remove_on_close(const net::FlowId& id) {
   if (!options_.fin_rst_removal_enabled) return;
+  // FIN/RST teardown on the fast path: same uncontended per-shard lock
+  // as lookup(), plus the freed hash node on erase.
+  util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, unresolved-call)
   util::MutexLock lock(mu_);
   if (records_.erase(id) > 0) ++stats_.fin_rst_removals;
 }

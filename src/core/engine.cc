@@ -6,6 +6,7 @@
 
 #include "appproto/header_stripper.h"
 #include "util/check.h"
+#include "util/rt_guard.h"
 #include "util/timer.h"
 
 namespace iustitia::core {
@@ -64,6 +65,11 @@ PacketAction Iustitia::on_packet(const net::Packet& packet) {
   return on_packet(packet, nullptr);
 }
 
+// Real-time contract: the steady state is the CDB-hit return below —
+// hash, one guarded table probe, counter bumps, no heap.  Everything
+// after the "Unknown flow" comment is the per-flow setup/classification
+// cold branch, documented by one AllowScope.
+// analyze: hotpath
 PacketAction Iustitia::on_packet(const net::Packet& packet,
                                  datagen::FileClass* label_out) {
   ++stats_.packets;
@@ -90,7 +96,11 @@ PacketAction Iustitia::on_packet(const net::Packet& packet,
     return PacketAction::kForwarded;
   }
 
-  // Unknown flow: buffer payload.
+  // Unknown flow: buffer payload.  First sight of a flow pays for its
+  // bookkeeping — map insertion, payload buffering, and (once the buffer
+  // fills) feature extraction + model classification.  That is the
+  // engine's documented cold branch; it covers the rest of the function.
+  util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
   auto [it, inserted] = pending_.try_emplace(packet.key);
   PendingFlow& flow = it->second;
   if (inserted) {

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/rt_guard.h"
 
 namespace iustitia::core {
 
@@ -13,6 +14,11 @@ std::size_t OutputQueues::index_of(datagen::FileClass label) {
 }
 
 bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
+  // Bounded handoff out of the worker loop: a short uncontended lock
+  // plus one deque node (and, on the refused path, the payload retired
+  // with the by-value parameter) — the accepted cost of crossing to the
+  // consumer side.
+  util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
   const std::size_t index = index_of(label);
   util::MutexLock lock(mu_);
   if (capacity_ != 0 && queues_[index].size() >= capacity_) {

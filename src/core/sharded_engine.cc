@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/check.h"
+#include "util/rt_guard.h"
 
 namespace iustitia::core {
 
@@ -22,13 +23,20 @@ ShardedIustitia::ShardedIustitia(
   }
 }
 
+// Per-packet on the dispatch side: one hash, one modulo, nothing else.
+// analyze: hotpath
 std::size_t ShardedIustitia::shard_of(
     const net::FlowKey& key) const noexcept {
   return net::FlowKeyHash{}(key) % shards_.size();
 }
 
+// Cross-thread classify entry.  The per-shard lock is the accepted cost
+// of external callers; the runtime's single-owner workers bypass it via
+// shard().
+// analyze: hotpath
 PacketAction ShardedIustitia::on_packet(const net::Packet& packet) {
   Shard& shard = *shards_[shard_of(packet.key)];
+  util::rt::AllowScope allow(util::rt::kBlock);  // analyze: hotpath-allow(may-block)
   util::MutexLock lock(shard.mu);
   return shard.engine->on_packet(packet);
 }

@@ -50,25 +50,38 @@ namespace {
 // feature sets (full, phi'_SVM, phi'_CART), so the cache stays tiny.
 FusedEntropyKernel& fused_scratch(std::span<const int> widths) {
   thread_local std::vector<std::unique_ptr<FusedEntropyKernel>> cache;
-  for (const auto& kernel : cache) {
-    const std::span<const int> have = kernel->widths();
+  for (const auto& entry : cache) {
+    FusedEntropyKernel& kernel = *entry;
+    const std::span<const int> have = kernel.widths();
     if (std::equal(have.begin(), have.end(), widths.begin(), widths.end())) {
-      kernel->reset();
-      return *kernel;
+      kernel.reset();
+      return kernel;
     }
   }
-  cache.push_back(std::make_unique<FusedEntropyKernel>(widths));
+  {
+    // First sight of this widths set on this thread: build (and keep) its
+    // kernel.  Warm-up cost, never repeated in steady state.
+    // analyze: hotpath-allow(may-allocate, may-throw, unresolved-call)
+    cache.push_back(std::make_unique<FusedEntropyKernel>(widths));
+  }
   return *cache.back();
 }
 
 }  // namespace
 
+// The extraction entry the classification path drives: thread-local
+// kernel reuse keeps steady-state heap traffic to the output vector.
+// analyze: hotpath
 EntropyVectorResult compute_entropy_vector(std::span<const std::uint8_t> data,
                                            std::span<const int> widths) {
   FusedEntropyKernel& kernel = fused_scratch(widths);
   kernel.add(data);
   EntropyVectorResult out;
-  out.h.resize(widths.size());
+  {
+    // |widths| doubles for the result the caller takes ownership of.
+    // analyze: hotpath-allow(may-allocate)
+    out.h.resize(widths.size());
+  }
   kernel.features(out.h);
   out.space_bytes = kernel.space_bytes();
   for (std::size_t i = 0; i < out.h.size(); ++i) {

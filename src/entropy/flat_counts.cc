@@ -1,5 +1,7 @@
 #include "entropy/flat_counts.h"
 
+#include "util/rt_guard.h"
+
 namespace iustitia::entropy {
 
 namespace {
@@ -43,6 +45,10 @@ void FlatCounts::reserve(std::size_t min_capacity) {
 }
 
 void FlatCounts::grow() {
+  // Rehash is the table's only steady-state heap traffic, and it stops
+  // once the slot array reaches the working-set size (reset() keeps the
+  // capacity) — the warm-up cost the streaming contract tolerates.
+  util::rt::AllowScope allow(util::rt::kAlloc);  // analyze: hotpath-allow(may-allocate)
   std::vector<Slot> old = std::move(slots_);
   slots_.assign(old.size() * 2, Slot{});
   mask_ = slots_.size() - 1;

@@ -35,7 +35,10 @@ class FlatCounts {
 
   // Adds one occurrence of `key`; returns the count *before* the bump
   // (0 for a first sighting), which is exactly what the incremental
-  // entropy update needs.
+  // entropy update needs.  One probe per byte per width makes this the
+  // hottest function of the extraction path; after warm-up it must not
+  // touch the heap (grow() is the documented exception).
+  // analyze: hotpath
   std::uint32_t increment(unsigned __int128 key) {
     if (size_ >= grow_at_) grow();
     const auto lo = static_cast<std::uint64_t>(key);

@@ -40,6 +40,8 @@ FusedEntropyKernel::FusedEntropyKernel(std::span<const int> widths)
   }
 }
 
+// Per-byte, per-width: table probe plus two LUT-backed float updates.
+// analyze: hotpath
 void FusedEntropyKernel::update_state(WidthState& state,
                                       const std::uint8_t byte) {
   // Same += / -= sequence as GramCounter::bump_sum, with n_ln_n exact to
@@ -57,6 +59,9 @@ void FusedEntropyKernel::update_state(WidthState& state,
   ++state.grams;
 }
 
+// The extraction inner loop: after table warm-up it reads the input
+// once and never touches the heap.
+// analyze: hotpath
 void FusedEntropyKernel::add(std::span<const std::uint8_t> data) {
   total_bytes_ += data.size();
   std::size_t i = 0;
@@ -92,6 +97,9 @@ void FusedEntropyKernel::reset() noexcept {
   }
 }
 
+// Allocation-free readout into a caller-provided span (vector() is the
+// allocating convenience wrapper and is not hot).
+// analyze: hotpath
 void FusedEntropyKernel::features(std::span<double> out) const {
   CHECK_EQ(out.size(), states_.size())
       << "features() output span must have one slot per width";

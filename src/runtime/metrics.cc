@@ -22,6 +22,8 @@ std::string fmt_micros(double micros) {
 
 }  // namespace
 
+// Sampled on the worker's packet path: bucket index + two relaxed adds.
+// analyze: hotpath
 void LatencyHistogram::record(double micros) noexcept {
   const std::uint64_t whole =
       micros <= 0.0 ? 0 : static_cast<std::uint64_t>(micros);
@@ -76,10 +78,14 @@ MetricsRegistry::MetricsRegistry(std::size_t shards)
   CHECK_GT(shards, std::size_t{0}) << "metrics need at least one ring";
 }
 
+// The on_* counters below run once per packet inside the guarded loops:
+// relaxed atomics only, no heap, no locks.
+// analyze: hotpath
 void MetricsRegistry::on_source_packet() noexcept {
   packets_in_.fetch_add(1, std::memory_order_relaxed);
 }
 
+// analyze: hotpath
 void MetricsRegistry::on_push(std::size_t shard,
                               std::size_t depth_after) noexcept {
   DCHECK_LT(shard, shards_);
@@ -91,22 +97,26 @@ void MetricsRegistry::on_push(std::size_t shard,
   }
 }
 
+// analyze: hotpath
 void MetricsRegistry::on_drop(std::size_t shard) noexcept {
   DCHECK_LT(shard, shards_);
   rings_[shard].dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
+// analyze: hotpath
 void MetricsRegistry::on_pop(std::size_t shard) noexcept {
   DCHECK_LT(shard, shards_);
   rings_[shard].popped.fetch_add(1, std::memory_order_relaxed);
 }
 
+// analyze: hotpath
 void MetricsRegistry::on_classified(datagen::FileClass nature) noexcept {
   const auto index = static_cast<std::size_t>(nature);
   DCHECK_LT(index, flows_by_nature_.size());
   flows_by_nature_[index].fetch_add(1, std::memory_order_relaxed);
 }
 
+// analyze: hotpath
 void MetricsRegistry::record_engine_latency(double micros) noexcept {
   engine_latency_.record(micros);
 }

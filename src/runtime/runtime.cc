@@ -11,6 +11,7 @@
 #endif
 
 #include "util/check.h"
+#include "util/rt_guard.h"
 #include "util/timer.h"
 
 namespace iustitia::runtime {
@@ -24,6 +25,9 @@ namespace {
 class Backoff {
  public:
   void pause() {
+    // The hot loops reach this only when a ring stalls; the deliberate
+    // yield/sleep ladder is the documented cold branch of that wait.
+    // analyze: hotpath-allow(may-block)
     ++rounds_;
     if (rounds_ < 64) return;
     if (rounds_ < 128) {
@@ -112,47 +116,82 @@ void Runtime::join_threads_locked() {
   }
 }
 
+// Real-time contract: once packets flow, the dispatcher neither touches
+// the heap nor takes a lock — payloads move by buffer handoff into the
+// rings.  The only tolerated exceptions are documented AllowScopes.
+// analyze: hotpath
 void Runtime::dispatch_loop(PacketSource* source) {
   Backoff backoff;
-  while (!stop_requested_.load(std::memory_order_relaxed)) {
-    std::optional<net::Packet> packet = source->next();
-    if (!packet.has_value()) break;
-    metrics_.on_source_packet();
-    const std::size_t shard = engine_.shard_of(packet->key);
-    SpscRing<net::Packet>& ring = *rings_[shard];
-    if (ring.try_push(std::move(*packet))) {
-      metrics_.on_push(shard, ring.size_approx());
-      continue;
-    }
-    if (options_.backpressure == BackpressurePolicy::kDrop) {
-      metrics_.on_drop(shard);
-      continue;
-    }
-    // kBlock: stall until the worker frees a slot.  A stop() request
-    // abandons the held packet (counted as a drop) so shutdown can never
-    // deadlock against a full ring.
-    backoff.reset();
-    bool pushed = false;
+  {
+    util::rt::GuardRegion guard;
     while (!stop_requested_.load(std::memory_order_relaxed)) {
+      std::optional<net::Packet> packet;
+      {
+        // Source refill sits upstream of the hot handoff: replay files
+        // and generators may read, allocate payload, or block on I/O.
+        util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
+        packet = source->next();
+      }
+      if (!packet.has_value()) break;
+      metrics_.on_source_packet();
+      const std::size_t shard = engine_.shard_of(packet->key);
+      SpscRing<net::Packet>& ring = *rings_[shard];
       if (ring.try_push(std::move(*packet))) {
-        pushed = true;
+        metrics_.on_push(shard, ring.size_approx());
+        continue;
+      }
+      if (options_.backpressure == BackpressurePolicy::kDrop) {
+        metrics_.on_drop(shard);
+        {
+          // Retire the refused payload here, not at the iteration
+          // boundary where the optional's destructor would free it
+          // inside the bare guard region.
+          util::rt::AllowScope allow(util::rt::kAlloc);  // analyze: hotpath-allow(may-allocate, unresolved-call)
+          packet.reset();
+        }
+        continue;
+      }
+      // kBlock: stall until the worker frees a slot.  A stop() request
+      // abandons the held packet (counted as a drop) so shutdown can never
+      // deadlock against a full ring.
+      backoff.reset();
+      bool pushed = false;
+      while (!stop_requested_.load(std::memory_order_relaxed)) {
+        if (ring.try_push(std::move(*packet))) {
+          pushed = true;
+          break;
+        }
+        backoff.pause();
+      }
+      if (!pushed) {
+        metrics_.on_drop(shard);
+        {
+          // Shutdown abandons the held packet; free its payload under a
+          // scope instead of at the loop exit.
+          util::rt::AllowScope allow(util::rt::kAlloc);  // analyze: hotpath-allow(may-allocate, unresolved-call)
+          packet.reset();
+        }
         break;
       }
-      backoff.pause();
+      metrics_.on_push(shard, ring.size_approx());
     }
-    if (!pushed) {
-      metrics_.on_drop(shard);
-      break;
-    }
-    metrics_.on_push(shard, ring.size_approx());
   }
   // Poison pill: every worker terminates once its ring is closed *and*
   // drained, whether we got here by source exhaustion or by stop().
   for (auto& ring : rings_) ring->close();
 }
 
+// Real-time contract: the steady-state worker path is the engine's
+// CDB-hit fast lane — no heap, no locks, no throws.  Unknown-flow setup
+// and the output handoff are the documented cold branches (see the
+// AllowScopes in core/engine.cc and core/output_queues.cc).
+// analyze: hotpath
 void Runtime::worker_loop(std::size_t shard) {
-  if (options_.pin_workers) pin_current_thread(shard);
+  if (options_.pin_workers) {
+    // Once-per-thread startup cost, ahead of the guarded loop.
+    // analyze: hotpath-allow(unresolved-call)
+    pin_current_thread(shard);
+  }
 
   // Single-owner drive for the whole run: this thread is the only one
   // touching the shard until the dispatcher's close() and our exit, which
@@ -183,25 +222,38 @@ void Runtime::worker_loop(std::size_t shard) {
     }
     if (action == core::PacketAction::kForwarded ||
         action == core::PacketAction::kClassifiedNow) {
+      // The handoff may touch the heap (lock + deque node, see
+      // output_queues.cc) — and when the queue refuses, the by-value
+      // parameter is destroyed *here*, in the caller (Itanium ABI), so
+      // the payload retirement needs this scope too.
+      util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
       queues_.enqueue(label, std::move(packet));
+    } else {
+      // A buffered/dropped packet keeps its payload; the next try_pop
+      // move-assign would free it mid-guard, so retire it here.
+      util::rt::AllowScope allow(util::rt::kAlloc);  // analyze: hotpath-allow(may-allocate, unresolved-call)
+      packet = net::Packet();
     }
   };
 
   Backoff backoff;
   net::Packet packet;
-  for (;;) {
-    if (ring.try_pop(packet)) {
-      backoff.reset();
-      process(packet);
-      continue;
+  {
+    util::rt::GuardRegion guard;
+    for (;;) {
+      if (ring.try_pop(packet)) {
+        backoff.reset();
+        process(packet);
+        continue;
+      }
+      if (ring.closed()) {
+        // Flag observed: one more drain pass is definitive (see
+        // spsc_ring.h termination protocol).
+        while (ring.try_pop(packet)) process(packet);
+        break;
+      }
+      backoff.pause();
     }
-    if (ring.closed()) {
-      // Flag observed: one more drain pass is definitive (see spsc_ring.h
-      // termination protocol).
-      while (ring.try_pop(packet)) process(packet);
-      break;
-    }
-    backoff.pause();
   }
   folded_delays_[shard] = folded;
 }

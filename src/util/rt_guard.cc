@@ -1,0 +1,63 @@
+#include "util/rt_guard.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace iustitia::util::rt {
+namespace {
+
+// Depth, not flag: hot loops may nest guarded callees (worker loop ->
+// guarded kernel) without the inner exit disarming the outer region.
+thread_local unsigned t_guard_depth = 0;
+thread_local unsigned t_allowed = 0;
+
+std::atomic<std::size_t> g_violations{0};  // analyze: atomic(relaxed-counter)
+
+void violation([[maybe_unused]] const char* effect,
+               [[maybe_unused]] const char* what) noexcept {
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+#if defined(IUSTITIA_RT_DEBUG)
+  // The failure path must not allocate (we may be inside operator new),
+  // so no logging/streams here: fprintf straight to stderr and abort.
+  std::fprintf(stderr,
+               "rt_guard: FATAL: %s (%s) inside a real-time guard "
+               "region without a matching AllowScope\n",
+               effect, what);
+  std::abort();
+#endif
+}
+
+}  // namespace
+
+void note_alloc(const char* what) noexcept {
+  if (t_guard_depth == 0 || (t_allowed & kAlloc) != 0) return;
+  violation("heap allocation", what);
+}
+
+void note_block(const char* what) noexcept {
+  if (t_guard_depth == 0 || (t_allowed & kBlock) != 0) return;
+  violation("blocking call", what);
+}
+
+bool in_guard() noexcept { return t_guard_depth != 0; }
+
+std::size_t violation_count() noexcept {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+void reset_violation_count() noexcept {
+  g_violations.store(0, std::memory_order_relaxed);
+}
+
+GuardRegion::GuardRegion() noexcept { ++t_guard_depth; }
+
+GuardRegion::~GuardRegion() { --t_guard_depth; }
+
+AllowScope::AllowScope(unsigned mask) noexcept : prev_(t_allowed) {
+  t_allowed |= mask;
+}
+
+AllowScope::~AllowScope() { t_allowed = prev_; }
+
+}  // namespace iustitia::util::rt

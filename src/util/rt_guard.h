@@ -1,0 +1,75 @@
+// Runtime real-time-safety verifier behind the IUSTITIA_RT_DEBUG build
+// option (CMake preset `rt-debug`) — the dynamic twin of the
+// tools/analyze `hotpath` pass.
+//
+// A hot loop carrying the analyzer's hotpath annotation enters a
+// GuardRegion for the span the static pass audits.  Inside a guard
+// region, replacement operator new/delete (tests/alloc_hook.h,
+// tools/rt_alloc_hook.cc) and util::Mutex::lock report to
+// note_alloc()/note_block(); a hit bumps a process-wide violation
+// counter in every build, and FATALs (fprintf + abort — the failure
+// path must not itself allocate) when the binary was compiled with
+// IUSTITIA_RT_DEBUG.  AllowScope mirrors a hotpath-allow annotation: a
+// documented cold branch (first-touch growth, drop-path accounting)
+// opens one on the same line as the annotation so the runtime
+// relaxation never drifts from the static claim (the analyzer rejects
+// either alone: hotpath-allow-undeclared).
+//
+// The guard state is thread-local: only the thread that entered the
+// region is checked, so cold threads (setup, control plane) allocate
+// freely while workers are being verified.
+#ifndef IUSTITIA_UTIL_RT_GUARD_H_
+#define IUSTITIA_UTIL_RT_GUARD_H_
+
+#include <cstddef>
+
+namespace iustitia::util::rt {
+
+// Effect bits for AllowScope masks; named after the static effect
+// lattice: kAlloc ↔ may-allocate, kBlock ↔ may-block.
+inline constexpr unsigned kAlloc = 1u;
+inline constexpr unsigned kBlock = 2u;
+
+// Called by the replacement allocator on every operator new/delete.
+// Counts (and under IUSTITIA_RT_DEBUG, FATALs on) calls made inside a
+// guard region without an active kAlloc allowance.
+void note_alloc(const char* what) noexcept;
+
+// Called by util::Mutex::lock (IUSTITIA_RT_DEBUG builds only) before
+// blocking; same contract with kBlock.
+void note_block(const char* what) noexcept;
+
+// True while the calling thread is inside a GuardRegion.
+bool in_guard() noexcept;
+
+// Process-wide count of guard violations (all threads, monotonic);
+// live in every build so tests can assert on it without dying.
+std::size_t violation_count() noexcept;
+void reset_violation_count() noexcept;
+
+// RAII: marks the calling thread's dynamic extent as a verified hot
+// region.  Enter once around an annotated hot loop; nesting is fine.
+class GuardRegion {
+ public:
+  GuardRegion() noexcept;
+  ~GuardRegion();
+  GuardRegion(const GuardRegion&) = delete;
+  GuardRegion& operator=(const GuardRegion&) = delete;
+};
+
+// RAII: permits the masked effects for its lexical lifetime.  Pair it
+// with the matching hotpath-allow annotation on the same line.
+class AllowScope {
+ public:
+  explicit AllowScope(unsigned mask) noexcept;
+  ~AllowScope();
+  AllowScope(const AllowScope&) = delete;
+  AllowScope& operator=(const AllowScope&) = delete;
+
+ private:
+  unsigned prev_;
+};
+
+}  // namespace iustitia::util::rt
+
+#endif  // IUSTITIA_UTIL_RT_GUARD_H_

@@ -26,6 +26,10 @@
 #include "util/deadlock_debug.h"
 #endif
 
+#if defined(IUSTITIA_RT_DEBUG)
+#include "util/rt_guard.h"
+#endif
+
 #if defined(__clang__)
 #define IUSTITIA_THREAD_ANNOTATION(x) __attribute__((x))
 #else
@@ -72,6 +76,9 @@ class IUSTITIA_CAPABILITY("mutex") Mutex {
   Mutex& operator=(const Mutex&) = delete;
 
   void lock() IUSTITIA_ACQUIRE() {
+#if defined(IUSTITIA_RT_DEBUG)
+    rt::note_block(name_ ? name_ : "unnamed util::Mutex");
+#endif
 #if defined(IUSTITIA_DEADLOCK_DEBUG)
     deadlock::on_acquire(this, name_);
 #endif

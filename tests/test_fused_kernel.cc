@@ -7,10 +7,7 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
-#include <cstdlib>
-#include <new>
 #include <span>
 #include <vector>
 
@@ -18,35 +15,13 @@
 #include "entropy/entropy_vector.h"
 #include "entropy/flat_counts.h"
 #include "entropy/log_lut.h"
+#include "tests/alloc_hook.h"
 #include "util/random.h"
-
-// ---- global allocation counter ------------------------------------------
-// Replacement operator new/delete counting every heap allocation in the
-// process; the steady-state test snapshots the counter around kernel
-// add/features/reset cycles and requires zero growth.
-namespace {
-std::atomic<std::size_t> g_alloc_calls{0};
-
-std::size_t alloc_calls() noexcept {
-  return g_alloc_calls.load(std::memory_order_relaxed);
-}
-
-void* counted_alloc(std::size_t size) {
-  g_alloc_calls.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
-  throw std::bad_alloc();
-}
-}  // namespace
-
-void* operator new(std::size_t size) { return counted_alloc(size); }
-void* operator new[](std::size_t size) { return counted_alloc(size); }
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete[](void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace iustitia::entropy {
 namespace {
+
+using testhooks::alloc_calls;
 
 std::vector<int> all_widths() { return {1, 2, 3, 4, 5, 6, 7, 8, 9, 10}; }
 

@@ -1,0 +1,97 @@
+// Tests for the IUSTITIA_RT_DEBUG runtime real-time verifier
+// (util/rt_guard.{h,cc} + the hooks in util::Mutex and the counting
+// operator new below).  Compiled only under the rt-debug preset — see
+// tests/CMakeLists.txt.
+//
+// The FATAL paths are exercised as death tests: an unallowed heap or
+// blocking call inside a GuardRegion must abort the child with the
+// rt_guard banner, and the same call under a matching AllowScope must
+// not.  This is the dynamic half of the seeded-violation fixture; the
+// static half lives in tests/tooling (hotpath pass).
+
+#include "util/rt_guard.h"
+
+#include <cstddef>
+
+#include <gtest/gtest.h>
+
+#include "tests/alloc_hook.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::util {
+namespace {
+
+TEST(RtDebugDeathTest, AllocationInGuardFatals) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        rt::GuardRegion guard;
+        // NOLINTNEXTLINE(no-owning-new): raw new drives the guard hook
+        int* p = new int(1);  // no AllowScope: FATAL before the delete
+        delete p;
+      },
+      "rt_guard: FATAL: heap allocation");
+}
+
+TEST(RtDebugDeathTest, MutexLockInGuardFatals) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex mu{"RtDbg::mu_"};
+        rt::GuardRegion guard;
+        MutexLock lock(mu);  // uncontended, but the acquire itself FATALs
+      },
+      "rt_guard: FATAL: blocking call \\(RtDbg::mu_\\)");
+}
+
+TEST(RtDebug, AllowScopeSuppressesTheFatal) {
+  rt::reset_violation_count();
+  {
+    rt::GuardRegion guard;
+    rt::AllowScope allow(rt::kAlloc | rt::kBlock);
+    int* p = new int(2);  // NOLINT(no-owning-new) drives the hook
+    delete p;
+    Mutex mu{"RtDbgAllowed::mu_"};
+    MutexLock lock(mu);
+  }
+  EXPECT_EQ(rt::violation_count(), 0u);
+}
+
+TEST(RtDebug, NestedAllowScopeRestoresOuterMask) {
+  rt::reset_violation_count();
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  rt::GuardRegion guard;
+  rt::AllowScope outer(rt::kAlloc);
+  {
+    rt::AllowScope inner(rt::kBlock);
+    // NOLINTNEXTLINE(no-owning-new): raw new drives the guard hook
+    int* p = new int(3);  // kAlloc still allowed: masks accumulate
+    delete p;
+  }
+  // Inner scope gone: blocking is forbidden again, allocation still fine.
+  int* q = new int(4);  // NOLINT(no-owning-new) drives the hook
+  delete q;
+  EXPECT_DEATH(
+      {
+        Mutex mu{"RtDbgNested::mu_"};
+        MutexLock lock(mu);
+      },
+      "rt_guard: FATAL: blocking call");
+}
+
+TEST(RtDebug, OutsideGuardNothingIsChecked) {
+  rt::reset_violation_count();
+  EXPECT_FALSE(rt::in_guard());
+  const std::size_t allocs_before = testhooks::alloc_calls();
+  int* p = new int(5);  // NOLINT(no-owning-new) drives the hook
+  delete p;
+  // The counting hook saw the allocation, yet no guard was active, so it
+  // never became a violation.
+  EXPECT_GT(testhooks::alloc_calls(), allocs_before);
+  Mutex mu{"RtDbgFree::mu_"};
+  { MutexLock lock(mu); }
+  EXPECT_EQ(rt::violation_count(), 0u);
+}
+
+}  // namespace
+}  // namespace iustitia::util

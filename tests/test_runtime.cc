@@ -21,6 +21,8 @@
 #include "net/flow.h"
 #include "net/trace_gen.h"
 #include "runtime/metrics.h"
+#include "tests/alloc_hook.h"
+#include "util/rt_guard.h"
 
 namespace iustitia::runtime {
 namespace {
@@ -244,6 +246,100 @@ TEST(Runtime, HighWaterMarksAreWithinRingCapacity) {
     EXPECT_LE(ring.high_water, 64u);
     EXPECT_EQ(ring.pushed, ring.popped);
   }
+}
+
+// Dynamic twin of the tools/analyze hotpath pass: with this TU's counting
+// operator new reporting into util::rt, a full replay under the live
+// GuardRegions must see zero violations — every allocation and block the
+// hot loops reach is covered by a declared AllowScope.  (Under
+// IUSTITIA_RT_DEBUG the same violations would abort instead of counting.)
+TEST(Runtime, ReplayRunsWithoutRtGuardViolations) {
+  util::rt::reset_violation_count();
+  for (const BackpressurePolicy policy :
+       {BackpressurePolicy::kBlock, BackpressurePolicy::kDrop}) {
+    RuntimeOptions options;
+    options.shards = 2;
+    options.backpressure = policy;
+    if (policy == BackpressurePolicy::kDrop) {
+      options.ring_capacity = 8;  // force the refused-push retirement path
+    }
+    Runtime rt(model_factory(), options);
+    TraceSource source(trace_options(20'000, 906));
+    rt.start(source);
+    rt.wait();
+    EXPECT_GT(rt.snapshot().packets_in, 0u);
+  }
+  EXPECT_EQ(util::rt::violation_count(), 0u)
+      << "hot loops allocated or blocked outside a declared AllowScope";
+}
+
+// The engine's steady state — data packet of an already-classified flow,
+// CDB hit, forward — must not touch the heap at all.  Warm an engine until
+// the CDB is populated, then replay only guaranteed-hit packets and demand
+// a zero delta on the process-wide operator-new counter.
+TEST(Runtime, SteadyStateFastPathIsAllocationFree) {
+  const auto factory = model_factory();
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 32;
+  core::Iustitia engine(factory(), engine_options);
+
+  net::Trace trace = net::generate_trace(trace_options(20'000, 907));
+  for (const net::Packet& packet : trace.packets) {
+    engine.on_packet(packet);
+  }
+  engine.flush_all();  // classifies stragglers straight into the CDB
+
+  // Hits only: flows still resident in the CDB, no FIN/RST (close would
+  // take the removal branch and make the flow unknown again mid-replay).
+  std::vector<const net::Packet*> hits;
+  for (const net::Packet& packet : trace.packets) {
+    if (packet.flags.fin || packet.flags.rst) continue;
+    if (engine.label_of(packet.key).has_value()) hits.push_back(&packet);
+  }
+  ASSERT_GT(hits.size(), 100u) << "warmup left the CDB nearly empty";
+
+  const std::size_t before = testhooks::alloc_calls();
+  std::size_t not_forwarded = 0;
+  for (const net::Packet* packet : hits) {
+    if (engine.on_packet(*packet) != core::PacketAction::kForwarded) {
+      ++not_forwarded;
+    }
+  }
+  const std::size_t after = testhooks::alloc_calls();
+  EXPECT_EQ(not_forwarded, 0u) << "a CDB hit left the fast path";
+  EXPECT_EQ(after - before, 0u)
+      << "the CDB-hit fast path performed a heap allocation";
+}
+
+// In default builds a violation is counted, never fatal: the replacement
+// operator new above reports into util::rt, so an unallowed allocation
+// inside a GuardRegion bumps the counter (once for new, once for delete)
+// while an AllowScope'd one stays silent.  The fatal flavor of the same
+// seeded violation is tests/test_rt_debug.cc's death test.
+TEST(RtGuard, CountsUnallowedAllocationsWithoutAborting) {
+  util::rt::reset_violation_count();
+  bool guarded_inside = false;
+  {
+    util::rt::GuardRegion guard;
+    guarded_inside = util::rt::in_guard();
+    {
+      util::rt::AllowScope allow(util::rt::kAlloc);
+      int* allowed = new int(7);  // NOLINT(no-owning-new) drives the hook
+      delete allowed;
+    }
+#if !defined(IUSTITIA_RT_DEBUG)
+    int* unallowed = new int(9);  // NOLINT(no-owning-new) drives the hook
+    delete unallowed;
+#endif
+  }
+  EXPECT_TRUE(guarded_inside);
+  EXPECT_FALSE(util::rt::in_guard());
+#if defined(IUSTITIA_RT_DEBUG)
+  EXPECT_EQ(util::rt::violation_count(), 0u);
+#else
+  EXPECT_EQ(util::rt::violation_count(), 2u);
+#endif
+  util::rt::reset_violation_count();
 }
 
 // snapshot() runs concurrently with every writer.  The relaxed-counter

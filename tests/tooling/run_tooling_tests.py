@@ -225,6 +225,67 @@ class ContractsPass(FixtureCase):
         self.assertIn("'printf'", proc.stdout)
 
 
+class HotpathPass(FixtureCase):
+    def test_transitive_effects_and_allow_suppression(self):
+        root = self.materialize("hotpath")
+        proc = self.run_analyze(root, passes="hotpath")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        # step -> buffer -> grow: the allocation propagates two calls up.
+        self.assertIn("[hotpath-may-allocate]", proc.stdout)
+        self.assertIn("'Pipeline::step'", proc.stdout)
+        self.assertIn("'push_back'", proc.stdout)
+        self.assertIn("via 'Pipeline::grow'", proc.stdout)
+        # Direct blocking I/O in a hot function.
+        self.assertIn("[hotpath-may-block]", proc.stdout)
+        self.assertIn("'Pipeline::drain'", proc.stdout)
+        self.assertIn("'printf'", proc.stdout)
+        # AllowScope without annotation + GuardRegion in a cold function.
+        undeclared = [ln for ln in proc.stdout.splitlines()
+                      if "[hotpath-allow-undeclared]" in ln]
+        self.assertEqual(len(undeclared), 2, proc.stdout)
+        self.assertTrue(any("AllowScope" in ln for ln in undeclared))
+        self.assertTrue(any("GuardRegion" in ln for ln in undeclared))
+        # Clean noexcept entry and the documented cold branch stay quiet.
+        self.assertNotIn("peek", proc.stdout)
+        self.assertNotIn("flush_cold", proc.stdout)
+
+    def test_sarif_related_locations_carry_call_chain(self):
+        root = self.materialize("hotpath")
+        out = root / "findings.sarif"
+        self.run_analyze(root, "--sarif-out", str(out), passes="hotpath")
+        doc = json.loads(out.read_text())
+        results = [r for r in doc["runs"][0]["results"]
+                   if r["ruleId"] == "hotpath-may-allocate"]
+        self.assertEqual(len(results), 1, doc)
+        related = results[0]["relatedLocations"]
+        # hot entry -> step calls buffer -> buffer calls grow.
+        self.assertEqual(len(related), 3, related)
+        msgs = [r["message"]["text"] for r in related]
+        self.assertIn("hot entry 'Pipeline::step'", msgs[0])
+        self.assertIn("calls 'Pipeline::buffer'", msgs[1])
+        self.assertIn("calls 'Pipeline::grow'", msgs[2])
+        for r in related:
+            loc = r["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uri"],
+                             "src/core/pipeline.cc")
+            self.assertGreaterEqual(loc["region"]["startLine"], 1)
+
+
+class AnnotationsPass(FixtureCase):
+    def test_rejects_each_malformed_item_once(self):
+        root = self.materialize("annotations")
+        proc = self.run_analyze(root, passes="annotations")
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        lines = [ln for ln in proc.stdout.splitlines()
+                 if "[annotation-unknown]" in ln]
+        # Typo'd kind, bogus effect, value on the bare kind — and nothing
+        # for the well-formed hotpath on ok().
+        self.assertEqual(len(lines), 3, proc.stdout)
+        self.assertIn("unknown annotation kind 'hotpth'", proc.stdout)
+        self.assertIn("may-allocte", proc.stdout)
+        self.assertIn("hotpath takes no value", proc.stdout)
+
+
 class CleanTree(FixtureCase):
     def test_all_passes_clean_and_exit_zero(self):
         root = self.materialize("clean")
@@ -340,6 +401,31 @@ class LintThreads(FixtureCase):
         self.assertNotIn(":28:", proc.stdout)
 
 
+class LintHotModules(FixtureCase):
+    def test_flags_stream_io_only_in_hot_modules(self):
+        root = self.materialize("lint_hotmodules")
+        proc = self.run_lint(root)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        lines = [ln for ln in proc.stdout.splitlines()
+                 if "[hot-module-io]" in ln]
+        # The include, the endl line, the bare cerr, and the log macro —
+        # not the hotpath-allow'd line, the NOLINT'd line, or the non-hot
+        # control file.
+        self.assertEqual(len(lines), 4, proc.stdout)
+        self.assertTrue(all("src/runtime/worker.cc" in ln for ln in lines),
+                        proc.stdout)
+        self.assertTrue(any("#include <iostream>" in ln for ln in lines))
+        self.assertTrue(any("std::endl" in ln for ln in lines))
+        self.assertTrue(any("std::cout/cerr/clog" in ln for ln in lines))
+        self.assertTrue(any("IUSTITIA_LOG_" in ln for ln in lines))
+        self.assertNotIn("reporter.cc", proc.stdout)
+
+    def test_non_hot_control_is_clean(self):
+        root = self.materialize("lint_hotmodules")
+        proc = self.run_lint(root / "src" / "core" / "reporter.cc")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+
+
 class TokenizerLexing(unittest.TestCase):
     """Direct unit tests for tools/analyze/tokenizer.py edge cases."""
 
@@ -409,6 +495,145 @@ class TokenizerLexing(unittest.TestCase):
         chars = [t for t in toks if t.kind == self.tk.CHAR]
         self.assertEqual([t.text for t in strings], [r'u8"a\"b"'])
         self.assertEqual([t.text for t in chars], [r"L'\''"])
+
+
+class CppModelCapture(unittest.TestCase):
+    """Direct unit tests for cppmodel.py body/noexcept/annotation capture."""
+
+    @classmethod
+    def setUpClass(cls):
+        sys.path.insert(0, str(ANALYZE))
+        import cppmodel  # noqa: E402 (repo tool, not a package)
+        cls.cm = cppmodel
+
+    def model(self, text):
+        return self.cm.build_model("src/x/t.h", text)
+
+    def method(self, model, cls, name):
+        for m in model.methods:
+            if m.cls == cls and m.name == name:
+                return m
+        self.fail(f"{cls or '<free>'}::{name} not captured: "
+                  f"{[(m.cls, m.name) for m in model.methods]}")
+
+    def test_inline_member_bodies_are_captured(self):
+        m = self.model("""
+            namespace n {
+            template <typename T>
+            class Ring {
+             public:
+              bool push(T&& v) {
+                slots_[tail_ & mask_] = std::move(v);
+                return true;
+              }
+              std::size_t capacity() const noexcept { return mask_ + 1; }
+              bool empty() const;           // declaration: no body here
+              Ring(const Ring&) = delete;   // not a definition either
+             private:
+              std::size_t mask_ = 0;
+              std::size_t tail_ = compute_mask(8);  // NSDMI call, no method
+            };
+            }  // namespace n
+        """)
+        push = self.method(m, "Ring", "push")
+        self.assertFalse(push.is_noexcept)
+        self.assertIn("slots_", [t.text for t in push.body])
+        cap = self.method(m, "Ring", "capacity")
+        self.assertTrue(cap.is_noexcept)
+        names = {(mm.cls, mm.name) for mm in m.methods}
+        self.assertNotIn(("Ring", "empty"), names)
+        self.assertNotIn(("Ring", "Ring"), names)
+        self.assertNotIn(("Ring", "compute_mask"), names)
+
+    def test_free_function_bodies_are_captured(self):
+        m = self.model("""
+            namespace n {
+            namespace {
+            int helper(int v) noexcept { return v * 2; }
+            }  // namespace
+            int shown(int v) { return helper(v); }
+            int declared_only(int v);
+            }  // namespace n
+        """)
+        helper = self.method(m, "", "helper")
+        self.assertTrue(helper.is_noexcept)
+        shown = self.method(m, "", "shown")
+        self.assertFalse(shown.is_noexcept)
+        self.assertIn("helper", [t.text for t in shown.body])
+        self.assertNotIn(("", "declared_only"),
+                         {(mm.cls, mm.name) for mm in m.methods})
+
+    def test_out_of_line_noexcept_specifier(self):
+        m = self.model("""
+            namespace n {
+            void Table::reset() noexcept { size_ = 0; }
+            void Table::grow() { rehash(); }
+            bool Table::shrink() noexcept(false) { return drop(); }
+            }  // namespace n
+        """)
+        self.assertTrue(self.method(m, "Table", "reset").is_noexcept)
+        self.assertFalse(self.method(m, "Table", "grow").is_noexcept)
+        # Conditional noexcept is recorded as declared; passes that need
+        # the distinction can inspect the tokens.
+        self.assertTrue(self.method(m, "Table", "shrink").is_noexcept)
+
+    def test_ctor_with_init_list_and_dtor(self):
+        m = self.model("""
+            namespace n {
+            class Pool {
+             public:
+              explicit Pool(std::size_t n) : slots_(n), used_(0) { fill(); }
+              ~Pool() { release(); }
+             private:
+              std::size_t slots_;
+              std::size_t used_;
+            };
+            }  // namespace n
+        """)
+        specials = [mm for mm in m.methods
+                    if mm.cls == "Pool" and mm.is_special]
+        self.assertEqual(len(specials), 2)  # ctor + dtor
+        bodies = ["".join(t.text for t in mm.body) for mm in specials]
+        self.assertTrue(any("fill" in b for b in bodies))
+        self.assertTrue(any("release" in b for b in bodies))
+
+    def test_requires_macro_on_inline_definition_is_recorded(self):
+        m = self.model("""
+            namespace n {
+            class Box {
+             public:
+              void bump() IUSTITIA_REQUIRES(mu_) { ++n_; }
+             private:
+              util::Mutex mu_;
+              int n_ IUSTITIA_GUARDED_BY(mu_) = 0;
+            };
+            }  // namespace n
+        """)
+        cls = m.classes[0]
+        self.assertEqual(cls.requires_methods.get("bump"), "mu_")
+
+    def test_annotation_items_bare_and_parenthesized(self):
+        ann = self.cm.analyze_annotations(self.cm.tokenize(
+            "int x;  // analyze: hotpath\n"
+            "int y;  // analyze: atomic(publish) escape(spsc-owner)\n"))
+        self.assertEqual(ann[1], [("hotpath", "")])
+        self.assertEqual(ann[2], [("atomic", "publish"),
+                                  ("escape", "spsc-owner")])
+
+    def test_annotation_prose_after_separator_is_ignored(self):
+        ann = self.cm.analyze_annotations(self.cm.tokenize(
+            "f();  // analyze: hotpath-allow(may-block) -- cold "
+            "drop-path lock, uncontended\n"))
+        self.assertEqual(ann[1], [("hotpath-allow", "may-block")])
+
+    def test_annotation_junk_is_kept_for_rejection(self):
+        ann = self.cm.analyze_annotations(self.cm.tokenize(
+            "f();  // analyze: hotpath-alow(may-block) first-touch growth\n"))
+        kinds = [k for k, _ in ann[1]]
+        self.assertIn("hotpath-alow", kinds)
+        # Unseparated prose surfaces as items so the annotations pass can
+        # reject it instead of silently dropping it.
+        self.assertIn("first-touch", kinds)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,415 @@
+"""Interprocedural call graph with real-time-safety effect summaries.
+
+Built on cppmodel: every captured function/method body (out-of-line,
+inline member, free) becomes a node keyed "Class::name" (or the bare
+name for free functions).  A single scan of each body records
+
+  - direct effect sites: `may-allocate` (new/delete, malloc family,
+    make_unique/make_shared, resizing std container mutators),
+    `may-block` (scoped lockers, .lock(), condition waits, sleeps,
+    stream/printf I/O, IUSTITIA_LOG_* macros), `may-throw` (throw,
+    .at()), and the pseudo-effect `unresolved-call` for calls the
+    resolver cannot attribute (virtuals through references, function
+    pointers, unknown externals) — conservative by construction;
+  - call sites resolved to other nodes: explicit `Class::name(...)`,
+    receiver-typed member calls (local declarations, class fields,
+    globals, unique field owner), same-class bare calls, and a
+    unique-definition-by-name fallback.
+
+`// analyze: hotpath` on (or just above) a definition marks it a hot
+entry point.  `// analyze: hotpath-allow(<effects>)` opens a
+suppression scope: it activates at the first code token at/after its
+line and dies when the brace depth drops below the activation depth —
+the static mirror of a `util::rt::AllowScope` RAII placed on the same
+line.  Effects suppressed at their origin never propagate; a call site
+inside an allow scope filters the listed effects out of everything
+reachable through that edge.
+
+Functions declared `noexcept` mask `may-throw` for their own body and
+everything below them (an escaping exception is std::terminate, which
+is the documented contract, not a silent stall).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from cppmodel import _KEYWORDS, FileModel, LOCK_TYPES
+from tokenizer import IDENT, Token
+
+EFFECTS = ("may-allocate", "may-block", "may-throw", "unresolved-call")
+
+# Direct-effect tables.  Member names fire only after '.'/'->'; free
+# names fire on any call position.  '<' also opens a call for the
+# templated allocators (make_unique<T>(...)).
+ALLOC_FREE_FUNCS = {
+    "malloc", "calloc", "realloc", "free", "strdup", "aligned_alloc",
+    "make_unique", "make_shared", "to_string",
+}
+ALLOC_MEMBERS = {
+    "push_back", "emplace_back", "emplace", "emplace_front",
+    "push_front", "insert", "try_emplace", "resize", "reserve",
+    "assign", "append", "substr", "str", "to_string",
+}
+BLOCK_MEMBERS = {"lock", "wait", "wait_for", "wait_until"}
+BLOCK_FREE_FUNCS = {
+    "printf", "fprintf", "puts", "fputs", "fopen", "fclose", "fread",
+    "fwrite", "fflush", "getline", "system", "popen", "sleep",
+    "sleep_for", "sleep_until", "usleep", "nanosleep", "yield",
+}
+BLOCK_STREAMS = {"cout", "cerr", "clog"}
+THROW_MEMBERS = {"at"}
+
+# Calls known not to allocate/block/throw on any input this codebase
+# feeds them: std utilities, atomics, cheap accessors, libm, chrono
+# plumbing, and functional-style casts to fixed-width ints.
+SAFE_CALLS = {
+    "move", "forward", "swap", "exchange", "get", "data", "size",
+    "size_bytes", "empty", "begin", "end", "cbegin", "cend", "front",
+    "back", "first", "last", "subspan", "min", "max", "clamp", "abs",
+    "memcpy", "memmove", "memcmp", "memset", "distance", "fill",
+    "fill_n", "copy", "copy_n", "count", "equal", "has_value",
+    "load", "store", "fetch_add",
+    "fetch_sub", "fetch_and", "fetch_or", "fetch_xor",
+    "compare_exchange_weak", "compare_exchange_strong", "try_lock",
+    "unlock", "notify_one", "notify_all", "test_and_set",
+    "log", "log2", "exp", "exp2", "sqrt", "pow", "floor", "ceil",
+    "round", "lround", "fma", "isnan", "isfinite", "ldexp",
+    "duration_cast", "time_since_epoch", "now",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t", "int8_t", "int16_t",
+    "int32_t", "int64_t", "size_t", "ptrdiff_t", "uintptr_t",
+    "intptr_t", "nanoseconds", "microseconds", "milliseconds",
+    "seconds", "popcount", "countl_zero", "countr_zero", "bit_width",
+    "rotl", "rotr", "has_single_bit", "from_range", "hash_bytes",
+}
+
+
+@dataclass
+class EffectSite:
+    kind: str      # one of EFFECTS
+    line: int
+    detail: str    # the token/callee that produced the effect
+
+
+@dataclass
+class CallSite:
+    line: int
+    name: str                  # callee as written
+    targets: tuple[str, ...]   # resolved node keys
+    allowed: frozenset[str]    # effects suppressed through this edge
+
+
+@dataclass
+class FuncInfo:
+    key: str
+    path: str
+    line: int
+    is_noexcept: bool = False
+    is_hot_entry: bool = False
+    effects: list[EffectSite] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+
+
+def _allow_values(value: str) -> frozenset[str]:
+    return frozenset(v.strip() for v in value.split(",") if v.strip())
+
+
+def _hot_entry_lines(model: FileModel) -> set[int]:
+    return {line for line, items in model.annotations.items()
+            if any(kind == "hotpath" for kind, _ in items)}
+
+
+def _allow_lines(model: FileModel) -> dict[int, frozenset[str]]:
+    out: dict[int, frozenset[str]] = {}
+    for line, items in model.annotations.items():
+        vals: set[str] = set()
+        for kind, value in items:
+            if kind == "hotpath-allow":
+                vals |= _allow_values(value)
+        if vals:
+            out[line] = frozenset(vals)
+    return out
+
+
+class CallGraph:
+    """Effect-annotated call graph over every model in the universe."""
+
+    def __init__(self, models: dict[str, FileModel]):
+        self.funcs: dict[str, FuncInfo] = {}
+        self.by_name: dict[str, set[str]] = {}
+        self.classes: set[str] = set()
+        # field name -> {(owning class, field's class)}: receiver typing
+        # fallback when the receiver expression itself cannot be typed.
+        self._field_owners: dict[str, set[tuple[str, str]]] = {}
+        self._class_fields: dict[str, dict[str, str]] = {}
+        self._globals: dict[str, str] = {}
+        for model in models.values():
+            for cls in model.classes:
+                self.classes.add(cls.name)
+        for model in models.values():
+            for cls in model.classes:
+                fields = self._class_fields.setdefault(cls.name, {})
+                for fname, type_toks in cls.fields.items():
+                    fcls = self._type_class(type_toks)
+                    if fcls is not None:
+                        fields[fname] = fcls
+                        self._field_owners.setdefault(fname, set()).add(
+                            (cls.name, fcls))
+            for gname, type_toks in model.globals_.items():
+                gcls = self._type_class(type_toks)
+                if gcls is not None:
+                    self._globals.setdefault(gname, gcls)
+        # Two phases: register every node first, then scan bodies —
+        # resolution consults funcs/by_name, which must be complete
+        # regardless of file order.
+        pending: list = []
+        for model in models.values():
+            pending.extend(self._register_file(model))
+        for info, m, model, allow_lines in pending:
+            self._scan_body(info, m, model, allow_lines)
+
+    # -- construction ------------------------------------------------------
+
+    def _type_class(self, type_toks: list[Token]) -> str | None:
+        """Rightmost identifier of a declared type that names a class."""
+        for t in reversed(type_toks):
+            if t.kind == IDENT and t.text in self.classes:
+                return t.text
+        return None
+
+    def _register_file(self, model: FileModel) -> list:
+        hot_lines = _hot_entry_lines(model)
+        allow_lines = _allow_lines(model)
+        out = []
+        for m in model.methods:
+            if not m.body:
+                continue
+            key = f"{m.cls}::{m.name}" if m.cls else m.name
+            first_line = m.body[0].line
+            is_hot = any(line in hot_lines
+                         for line in range(m.line - 2, first_line + 1))
+            info = self.funcs.get(key)
+            if info is None:
+                info = FuncInfo(key=key, path=model.path, line=m.line)
+                info.is_noexcept = m.is_noexcept
+                self.funcs[key] = info
+                self.by_name.setdefault(m.name, set()).add(key)
+            else:
+                # Several definitions share a key (anon-namespace helpers
+                # across TUs): merge conservatively.
+                info.is_noexcept = info.is_noexcept and m.is_noexcept
+            info.is_hot_entry = info.is_hot_entry or is_hot
+            out.append((info, m, model, allow_lines))
+        return out
+
+    # -- body scan ---------------------------------------------------------
+
+    def _scan_body(self, info: FuncInfo, m, model: FileModel,
+                   allow_lines: dict[int, frozenset[str]]) -> None:
+        body = m.body
+        last_line = body[-1].line
+        pending = sorted((line, effs) for line, effs in allow_lines.items()
+                         if body[0].line <= line <= last_line)
+        # `auto fn = [...]` lambda locals: their bodies are token spans of
+        # this body and already scanned inline; calls to them are not edges.
+        local_lambdas = {body[k].text for k in range(len(body) - 2)
+                         if body[k].kind == IDENT and
+                         body[k + 1].text == "=" and
+                         body[k + 2].text == "["}
+        depth = 0
+        active: list[tuple[frozenset[str], int]] = []
+        p = 0
+        for idx, t in enumerate(body):
+            while p < len(pending) and t.line >= pending[p][0]:
+                active.append((pending[p][1], depth))
+                p += 1
+            if t.text == "{":
+                depth += 1
+                continue
+            if t.text == "}":
+                depth -= 1
+                active = [(effs, d) for effs, d in active if d <= depth]
+                continue
+            allowed = frozenset().union(*(effs for effs, _ in active)) \
+                if active else frozenset()
+
+            def emit(kind: str, detail: str, line: int = t.line) -> None:
+                if kind not in allowed:
+                    info.effects.append(EffectSite(kind, line, detail))
+
+            if t.text in ("new", "delete"):
+                emit("may-allocate", t.text)
+                continue
+            if t.text == "throw":
+                emit("may-throw", "throw")
+                continue
+            if t.kind != IDENT or t.text in _KEYWORDS:
+                continue
+            prv = body[idx - 1] if idx > 0 else None
+            nxt = body[idx + 1] if idx + 1 < len(body) else None
+            if t.text in BLOCK_STREAMS:
+                emit("may-block", t.text)
+                continue
+            if t.text in LOCK_TYPES:
+                emit("may-block", t.text)
+                continue
+            if t.text.startswith("IUSTITIA_LOG_"):
+                emit("may-block", t.text)
+                continue
+            if nxt is None or nxt.text not in ("(", "<"):
+                continue
+            name = t.text
+            if name.isupper():
+                continue  # CHECK/DCHECK and friends: abort is the bug path
+            member = prv is not None and prv.text in (".", "->")
+            if nxt.text == "<":
+                # Only the templated allocators matter here; template
+                # calls otherwise stay un-modelled (under-reporting).
+                if name in ALLOC_FREE_FUNCS:
+                    emit("may-allocate", name)
+                continue
+            if not member and prv is not None and \
+                    (prv.kind == IDENT or prv.text in (">", "*", "&", "~")):
+                continue  # declaration `Type name(init)`, not a call
+            if member:
+                self._member_call(info, body, idx, m, emit, allowed,
+                                  local_lambdas)
+            else:
+                self._free_call(info, body, idx, m, emit, allowed,
+                                local_lambdas)
+
+    def _add_call(self, info: FuncInfo, line: int, name: str,
+                  targets: tuple[str, ...],
+                  allowed: frozenset[str]) -> None:
+        info.calls.append(CallSite(line, name, targets, allowed))
+
+    def _member_call(self, info, body, idx, m, emit, allowed,
+                     local_lambdas) -> None:
+        name = body[idx].text
+        rcls = self._receiver_class(body, idx, m)
+        if rcls is not None and f"{rcls}::{name}" in self.funcs:
+            self._add_call(info, body[idx].line, name,
+                           (f"{rcls}::{name}",), allowed)
+            return
+        if name in ALLOC_MEMBERS:
+            emit("may-allocate", name, body[idx].line)
+            return
+        if name in BLOCK_MEMBERS:
+            emit("may-block", name, body[idx].line)
+            return
+        if name in THROW_MEMBERS:
+            emit("may-throw", f".{name}()", body[idx].line)
+            return
+        if name in SAFE_CALLS:
+            return
+        keys = self.by_name.get(name, set())
+        if len(keys) == 1:
+            self._add_call(info, body[idx].line, name,
+                           (next(iter(keys)),), allowed)
+            return
+        emit("unresolved-call", name, body[idx].line)
+
+    def _free_call(self, info, body, idx, m, emit, allowed,
+                   local_lambdas) -> None:
+        name = body[idx].text
+        line = body[idx].line
+        prv = body[idx - 1] if idx > 0 else None
+        if name in local_lambdas:
+            return  # body scanned inline with this function
+        if prv is not None and prv.text == "::" and idx >= 2:
+            qual = body[idx - 2]
+            if qual.kind == IDENT and f"{qual.text}::{name}" in self.funcs:
+                self._add_call(info, line, name,
+                               (f"{qual.text}::{name}",), allowed)
+                return
+        if name in ALLOC_FREE_FUNCS:
+            emit("may-allocate", name, line)
+            return
+        if name in BLOCK_FREE_FUNCS:
+            emit("may-block", name, line)
+            return
+        if m.cls and f"{m.cls}::{name}" in self.funcs:
+            self._add_call(info, line, name, (f"{m.cls}::{name}",), allowed)
+            return
+        if name in self.funcs:
+            self._add_call(info, line, name, (name,), allowed)
+            return
+        if name in SAFE_CALLS:
+            return
+        keys = self.by_name.get(name, set())
+        if len(keys) == 1:
+            self._add_call(info, line, name, (next(iter(keys)),), allowed)
+            return
+        if name in self.classes:
+            return  # functional-style construction of a modelled type
+        emit("unresolved-call", name, line)
+
+    # -- receiver typing ---------------------------------------------------
+
+    def _receiver_class(self, body, idx, m) -> str | None:
+        """Class of the receiver in `recv.name(...)` at idx (the name)."""
+        if idx < 2:
+            return None
+        recv = body[idx - 2]
+        if recv.text == "this":
+            return m.cls or None
+        if recv.kind != IDENT:
+            return None  # call chains `f().g()`, indexing `a[i].g()`
+        var = recv.text
+        local = self._local_class(var, body)
+        if local is not None:
+            return local
+        if m.cls:
+            fcls = self._class_fields.get(m.cls, {}).get(var)
+            if fcls is not None:
+                return fcls
+        if var in self._globals:
+            return self._globals[var]
+        if idx >= 4 and body[idx - 3].text in (".", "->"):
+            # One level of member chain, `outer.field->name(...)`: type
+            # `outer`, then look `field` up in its class.
+            outer = self._receiver_class(body, idx - 2, m)
+            if outer is not None:
+                fcls = self._class_fields.get(outer, {}).get(var)
+                if fcls is not None:
+                    return fcls
+        owners = self._field_owners.get(var, set())
+        if len({fcls for _, fcls in owners}) == 1:
+            return next(iter(owners))[1]
+        return None
+
+    def _local_class(self, var: str, body) -> str | None:
+        """Type of a local `Cls v ...` / `Cls& v = ...` declaration."""
+        for k in range(1, len(body) - 1):
+            t = body[k]
+            if t.kind != IDENT or t.text != var:
+                continue
+            if body[k + 1].text not in ("=", ";", "{", "("):
+                continue
+            j = k - 1
+            while j >= 0:
+                if body[j].text in ("&", "*", "const", "::"):
+                    j -= 1
+                    continue
+                if body[j].text == ">":
+                    # Skip the whole <...> template-argument group so
+                    # `SpscRing<net::Packet>& ring` types as SpscRing,
+                    # not as the argument Packet.
+                    angle = 1
+                    j -= 1
+                    while j >= 0 and angle:
+                        if body[j].text == ">":
+                            angle += 1
+                        elif body[j].text == "<":
+                            angle -= 1
+                        j -= 1
+                    continue
+                break
+            if j >= 0 and body[j].kind == IDENT and \
+                    body[j].text in self.classes:
+                return body[j].text
+        return None
+
+
+def build(models: dict[str, FileModel]) -> CallGraph:
+    return CallGraph(models)

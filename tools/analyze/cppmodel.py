@@ -95,6 +95,7 @@ class MethodDef:
     body: list[Token]  # code tokens of the body, braces included
     no_analysis: bool = False
     is_special: bool = False  # constructor or destructor
+    is_noexcept: bool = False  # declared noexcept / noexcept(...)
 
 
 @dataclass
@@ -417,7 +418,64 @@ class _ScopeWalker:
             if name:
                 cls.no_analysis_methods.add(name)
 
-    # -- out-of-line method definitions -----------------------------------
+    # -- method / function definitions -------------------------------------
+
+    def _scan_qualifiers(self, j: int) \
+            -> tuple[int, bool, bool, str | None] | None:
+        """Walks qualifier/annotation tokens between a parameter list and
+        the body brace (or a terminating ';').
+
+        Returns (index of the '{' or ';', no_analysis, is_noexcept,
+        requires_mutex); the caller decides whether a ';' (declaration
+        only) is acceptable.  None on an unparseable qualifier run.
+        """
+        code = self.code
+        n = len(code)
+        no_analysis = False
+        is_noexcept = False
+        requires: str | None = None
+        while j < n and code[j].text != "{" and code[j].text != ";":
+            t = code[j]
+            if t.text in NO_ANALYSIS_MACROS:
+                no_analysis = True
+                j += 1
+            elif t.text == "noexcept":
+                is_noexcept = True
+                j += 1
+                if j < n and code[j].text == "(":
+                    j = _match_forward(code, j, "(", ")")
+            elif t.text in REQUIRES_MACROS and j + 1 < n and \
+                    code[j + 1].text == "(":
+                group, j = _paren_group(code, j + 1)
+                requires = "".join(g.text for g in group)
+            elif t.kind == IDENT and j + 1 < n and code[j + 1].text == "(":
+                j = _match_forward(code, j + 1, "(", ")")
+            elif t.text == ":":
+                # ctor-init list: skip to the body brace at paren depth 0.
+                j += 1
+                depth = 0
+                while j < n:
+                    if code[j].text in ("(", "{") and depth > 0:
+                        depth += 1
+                    elif code[j].text == "(":
+                        depth += 1
+                    elif code[j].text == ")":
+                        depth -= 1
+                    elif code[j].text == "{" and depth == 0:
+                        break
+                    elif code[j].text == "}" and depth > 0:
+                        depth -= 1
+                    elif code[j].text == ";":
+                        return None
+                    j += 1
+            elif t.text in ("const", "override", "final", "&",
+                            "&&", "->") or t.kind in (IDENT, NUMBER):
+                j += 1
+            else:
+                return None
+        if j >= n:
+            return None
+        return j, no_analysis, is_noexcept, requires
 
     def _try_method_def(self, i: int) -> int | None:
         """Parses `Class::name(params) quals [:: init] { body }` at i (the
@@ -443,39 +501,11 @@ class _ScopeWalker:
         if j >= n or code[j].text != "(":
             return None
         j = _match_forward(code, j, "(", ")")
-        no_analysis = False
-        # Qualifiers / annotations / ctor-init between params and body.
-        while j < n and code[j].text != "{" and code[j].text != ";":
-            t = code[j]
-            if t.text in NO_ANALYSIS_MACROS:
-                no_analysis = True
-                j += 1
-            elif t.kind == IDENT and j + 1 < n and code[j + 1].text == "(":
-                j = _match_forward(code, j + 1, "(", ")")
-            elif t.text == ":":
-                # ctor-init list: skip to the body brace at paren depth 0.
-                j += 1
-                depth = 0
-                while j < n:
-                    if code[j].text in ("(", "{") and depth > 0:
-                        depth += 1
-                    elif code[j].text == "(":
-                        depth += 1
-                    elif code[j].text == ")":
-                        depth -= 1
-                    elif code[j].text == "{" and depth == 0:
-                        break
-                    elif code[j].text == "}" and depth > 0:
-                        depth -= 1
-                    elif code[j].text == ";":
-                        return None
-                    j += 1
-            elif t.text in ("const", "noexcept", "override", "final", "&",
-                            "&&", "->") or t.kind in (IDENT, NUMBER):
-                j += 1
-            else:
-                return None
-        if j >= n or code[j].text != "{":
+        quals = self._scan_qualifiers(j)
+        if quals is None:
+            return None
+        j, no_analysis, is_noexcept, _requires = quals
+        if code[j].text != "{":
             return None
         end = _match_forward(code, j, "{", "}")
         self.methods.append(MethodDef(
@@ -484,7 +514,91 @@ class _ScopeWalker:
             line=name_tok.line,
             body=code[j:end],
             no_analysis=no_analysis,
-            is_special=is_dtor or name_tok.text == code[i].text))
+            is_special=is_dtor or name_tok.text == code[i].text,
+            is_noexcept=is_noexcept))
+        return end
+
+    def _try_inline_method(self, i: int, cls: ClassDef) -> int | None:
+        """Parses an in-class method definition `name(params) quals { body }`
+        at i (the method name).  Returns the index past the body, else None.
+
+        Declarations (ending ';'), `= default` / `= delete`, and calls
+        inside member initializers (an '=' or '(' already accumulated in
+        the statement) stay with the statement walker.
+        """
+        code = self.code
+        n = len(code)
+        t = code[i]
+        if t.kind != IDENT or t.text in _KEYWORDS or t.text.isupper():
+            return None
+        if i + 1 >= n or code[i + 1].text != "(":
+            return None
+        prev = code[i - 1] if i > 0 else None
+        is_special = t.text == cls.name
+        if prev is not None:
+            if prev.text == "~":
+                is_special = True
+            elif prev.text in (".", "->", "::", "=", "(", ","):
+                return None
+        if any(s.text in ("=", "(") for s in self._stmt):
+            return None
+        j = _match_forward(code, i + 1, "(", ")")
+        quals = self._scan_qualifiers(j)
+        if quals is None:
+            return None
+        j, no_analysis, is_noexcept, requires = quals
+        if code[j].text != "{":
+            return None  # declaration only; definition lives out of line
+        # The qualifier run is consumed here, so annotations inside it
+        # never reach _note_class_annotations — record them directly.
+        if requires is not None:
+            cls.requires_methods.setdefault(t.text, requires)
+        if no_analysis:
+            cls.no_analysis_methods.add(t.text)
+        end = _match_forward(code, j, "{", "}")
+        self.methods.append(MethodDef(
+            cls=cls.name,
+            name=t.text,
+            line=t.line,
+            body=code[j:end],
+            no_analysis=no_analysis,
+            is_special=is_special,
+            is_noexcept=is_noexcept))
+        return end
+
+    def _try_free_function(self, i: int) -> int | None:
+        """Parses a namespace-scope free-function definition
+        `name(params) quals { body }` at i (the function name).  Returns
+        the index past the body, else None."""
+        code = self.code
+        n = len(code)
+        t = code[i]
+        if t.kind != IDENT or t.text in _KEYWORDS or t.text.isupper():
+            return None
+        if i + 1 >= n or code[i + 1].text != "(":
+            return None
+        prev = code[i - 1] if i > 0 else None
+        if prev is not None and prev.text in (".", "->", "::", "=", "(",
+                                              ",", "~"):
+            return None
+        if any(s.text in ("=", "(") for s in self._stmt):
+            return None
+        j = _match_forward(code, i + 1, "(", ")")
+        quals = self._scan_qualifiers(j)
+        if quals is None:
+            return None
+        j, no_analysis, is_noexcept, _requires = quals
+        if code[j].text != "{":
+            return None  # declaration / prototype
+        end = _match_forward(code, j, "{", "}")
+        self.exported.setdefault(t.text, t.line)
+        self.methods.append(MethodDef(
+            cls="",
+            name=t.text,
+            line=t.line,
+            body=code[j:end],
+            no_analysis=no_analysis,
+            is_noexcept=is_noexcept))
         return end
 
     # -- namespace-scope free declarations ---------------------------------
@@ -590,9 +704,19 @@ class _ScopeWalker:
             cls = self.current_class()
             if cls is not None and t.kind == IDENT:
                 self._note_class_annotations(cls, i)
+                end = self._try_inline_method(i, cls)
+                if end is not None:
+                    self._stmt = []
+                    i = end
+                    continue
             in_decl_scope = cls is not None or self.at_namespace_scope()
             if self.at_namespace_scope():
                 end = self._try_method_def(i)
+                if end is not None:
+                    self._stmt = []
+                    i = end
+                    continue
+                end = self._try_free_function(i)
                 if end is not None:
                     self._stmt = []
                     i = end
@@ -618,7 +742,30 @@ class _ScopeWalker:
             i += 1
 
 
-_ANALYZE_RE = re.compile(r"analyze:\s*([A-Za-z_][\w-]*)\s*\(([^)]*)\)")
+_ANALYZE_HEAD_RE = re.compile(r"analyze:\s*(.*)", re.S)
+_ANALYZE_ITEM_RE = re.compile(r"\s*([A-Za-z_][\w-]*)(\s*\(([^)]*)\))?")
+
+
+def _parse_annotation_items(text: str) -> list[tuple[str, str]]:
+    """Parses the item run after `analyze:` — consecutive `kind` or
+    `kind(value)` items.  A chunk that is not item-shaped is kept as a
+    bare (chunk, "") item so the annotations pass can reject it instead
+    of a typo silently suppressing a report."""
+    items: list[tuple[str, str]] = []
+    pos = 0
+    while pos < len(text):
+        m = _ANALYZE_ITEM_RE.match(text, pos)
+        if m is not None and m.end() > pos and m.group(1):
+            items.append((m.group(1), (m.group(3) or "").strip()))
+            pos = m.end()
+            continue
+        rest = text[pos:].lstrip()
+        if not rest:
+            break
+        chunk = rest.split()[0]
+        items.append((chunk, ""))
+        pos = text.index(chunk, pos) + len(chunk)
+    return items
 
 
 def analyze_annotations(tokens: list[Token]) -> dict[int, list[tuple[str, str]]]:
@@ -626,16 +773,24 @@ def analyze_annotations(tokens: list[Token]) -> dict[int, list[tuple[str, str]]]
 
     Returns comment line -> [(kind, value)].  A trailing comment annotates
     the declaration on its own line; passes look the annotation up by the
-    declaration's line number.  Several annotations may share one comment:
-    `// analyze: atomic(publish) escape(spsc-owner)`.
+    declaration's line number.  Several annotations may share one comment
+    (`// analyze: atomic(publish) escape(spsc-owner)`), a value-free kind
+    is written bare (`// analyze: hotpath`), and free prose is allowed
+    after a ` -- ` separator:
+    `// analyze: hotpath-allow(may-block) -- uncontended handoff lock`.
     """
     out: dict[int, list[tuple[str, str]]] = {}
     for t in tokens:
         if t.kind != COMMENT:
             continue
-        for m in _ANALYZE_RE.finditer(t.text):
-            out.setdefault(t.line, []).append(
-                (m.group(1), m.group(2).strip()))
+        m = _ANALYZE_HEAD_RE.search(t.text)
+        if m is None:
+            continue
+        run = m.group(1).split("--", 1)[0]
+        # A comment token may span lines (/* */); items keep the head line.
+        items = _parse_annotation_items(run.rstrip("*/ \t\n"))
+        if items:
+            out.setdefault(t.line, []).extend(items)
     return out
 
 

@@ -64,6 +64,25 @@ RULES: dict[str, tuple[str, str]] = {
         "state reachable from multiple threads is neither atomic nor "
         "GUARDED_BY nor documented with `// analyze: escape(...)`",
         "error"),
+    "hotpath-may-allocate": (
+        "heap allocation reachable from an `// analyze: hotpath` entry "
+        "point", "error"),
+    "hotpath-may-block": (
+        "lock, wait, sleep, or I/O reachable from an "
+        "`// analyze: hotpath` entry point", "error"),
+    "hotpath-may-throw": (
+        "throw reachable from an `// analyze: hotpath` entry point",
+        "error"),
+    "hotpath-unresolved-call": (
+        "call on a hot path the resolver cannot attribute (virtual, "
+        "function pointer, unknown external)", "error"),
+    "hotpath-allow-undeclared": (
+        "util::rt guard RAII without the matching static hotpath "
+        "annotation; runtime and static contracts would diverge",
+        "error"),
+    "annotation-unknown": (
+        "unknown or malformed `// analyze:` annotation; a typo here "
+        "silently suppresses a real report", "error"),
 }
 
 

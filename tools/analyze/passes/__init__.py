@@ -1,7 +1,7 @@
 """Analyzer passes.  Each exposes run(ctx) -> list[Finding]."""
 
-from passes import (atomics, contracts, deadcode, escape, layering,
-                    lockorder, locks)
+from passes import (annotations, atomics, contracts, deadcode, escape,
+                    hotpath, layering, lockorder, locks)
 
 PASSES = {
     "layering": layering.run,
@@ -11,4 +11,6 @@ PASSES = {
     "escape": escape.run,
     "deadcode": deadcode.run,
     "contracts": contracts.run,
+    "hotpath": hotpath.run,
+    "annotations": annotations.run,
 }

@@ -1,0 +1,69 @@
+"""Annotation well-formedness audit.
+
+`// analyze: kind(value)` expectation comments steer the atomics,
+escape, and hotpath passes.  A misspelled kind or a bogus value used to
+be silently inert — which means a typo could suppress a real report
+(an `atomic(relaxd-counter)` never matches, an `escpae(...)` documents
+nothing).  This pass rejects anything that is not a known kind with a
+well-formed value:
+
+  atomic(<protocol>)        protocol ∈ atomics.PROTOCOLS
+  escape(<free text>)       non-empty rationale
+  hotpath                   bare, no value
+  hotpath-allow(<effects>)  non-empty comma list ⊆ callgraph.EFFECTS
+
+Unparseable chunks after `analyze:` (prose without the ` -- `
+separator, stray tokens) surface here too: the annotation grammar
+keeps them as bare items precisely so this pass can flag them.
+"""
+
+from __future__ import annotations
+
+import callgraph
+from findings import Finding
+from passes import atomics
+
+_KNOWN = ("atomic", "escape", "hotpath", "hotpath-allow")
+
+
+def _check(kind: str, value: str) -> str | None:
+    """Error text for a malformed item, None when well-formed."""
+    if kind not in _KNOWN:
+        return (f"unknown annotation kind '{kind}' (known: "
+                f"{', '.join(_KNOWN)}); prose belongs after ' -- '")
+    if kind == "atomic":
+        if value not in atomics.PROTOCOLS:
+            return (f"atomic protocol '{value}' is not one of "
+                    f"{', '.join(atomics.PROTOCOLS)}")
+    elif kind == "escape":
+        if not value:
+            return "escape(...) needs a rationale for the shared access"
+    elif kind == "hotpath":
+        if value:
+            return (f"hotpath takes no value (got '{value}'); cold-"
+                    "branch suppressions are hotpath-allow(<effects>)")
+    else:  # hotpath-allow
+        effects = callgraph._allow_values(value)
+        if not effects:
+            return "hotpath-allow needs a non-empty effect list"
+        bad = sorted(effects - set(callgraph.EFFECTS))
+        if bad:
+            return (f"hotpath-allow effect(s) {', '.join(bad)} not in "
+                    f"{', '.join(callgraph.EFFECTS)}")
+    return None
+
+
+def run(ctx) -> list[Finding]:
+    findings: list[Finding] = []
+    for path, model in sorted(ctx.models.items()):
+        for line in sorted(model.annotations):
+            for kind, value in model.annotations[line]:
+                err = _check(kind, value)
+                if err is not None:
+                    findings.append(Finding(
+                        rule="annotation-unknown",
+                        path=path, line=line,
+                        message=f"malformed `// analyze:` annotation: "
+                                f"{err}",
+                        anchor=f"{kind}({value})"))
+    return findings

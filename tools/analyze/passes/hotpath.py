@@ -1,0 +1,155 @@
+"""Hot-path real-time-safety audit.
+
+Walks the effect-annotated call graph (callgraph.py) from every
+function marked `// analyze: hotpath` and reports each effect the hot
+path can reach:
+
+  hotpath-may-allocate    heap traffic (new/delete, malloc family,
+                          resizing container mutators)
+  hotpath-may-block       locks, condition waits, sleeps, I/O, logging
+  hotpath-may-throw       throw statements and throwing accessors
+  hotpath-unresolved-call a call the resolver cannot attribute —
+                          virtuals, function pointers, unknown
+                          externals — which *could* be any of the above
+
+Each finding is anchored at the effect's origin with the full static
+call chain (hot entry → … → origin) attached as SARIF
+relatedLocations.  Documented cold branches are suppressed with
+`// analyze: hotpath-allow(<effects>)` placed on the statement (the
+same line as the matching `util::rt::AllowScope` RAII, when the branch
+is also runtime-guarded); suppression scopes end when the enclosing
+brace closes.  `noexcept` definitions mask may-throw below them.
+
+The pass also ties the runtime verifier to the static claims:
+
+  hotpath-allow-undeclared  a `util::rt::AllowScope` constructed in
+                            src/ without a same-line hotpath-allow
+                            annotation, or a `util::rt::GuardRegion`
+                            inside a function that is not a declared
+                            hot entry — either would let the
+                            IUSTITIA_RT_DEBUG runtime enforce a
+                            different contract than the analyzer
+                            proves.
+
+Fingerprints are line-independent: rule + origin file + origin
+function + effect detail.
+"""
+
+from __future__ import annotations
+
+import callgraph
+from findings import Finding
+
+_RULE_BY_EFFECT = {
+    "may-allocate": "hotpath-may-allocate",
+    "may-block": "hotpath-may-block",
+    "may-throw": "hotpath-may-throw",
+    "unresolved-call": "hotpath-unresolved-call",
+}
+
+_DESC_BY_EFFECT = {
+    "may-allocate": "may allocate",
+    "may-block": "may block",
+    "may-throw": "may throw",
+    "unresolved-call": "reaches an unresolvable call",
+}
+
+
+def _propagate(graph: callgraph.CallGraph) -> list[Finding]:
+    findings: list[Finding] = []
+    reported: set[tuple[str, str, str]] = set()
+    entries = sorted(k for k, f in graph.funcs.items() if f.is_hot_entry)
+    for entry in entries:
+        root = graph.funcs[entry]
+        stack = [(entry, frozenset(),
+                  [(root.path, root.line, f"hot entry '{entry}'")])]
+        visited: set[tuple[str, frozenset]] = set()
+        while stack:
+            key, allowed, chain = stack.pop()
+            if (key, allowed) in visited:
+                continue
+            visited.add((key, allowed))
+            info = graph.funcs[key]
+            if info.is_noexcept:
+                allowed = allowed | {"may-throw"}
+            for e in info.effects:
+                if e.kind in allowed:
+                    continue
+                rkey = (e.kind, key, e.detail)
+                if rkey in reported:
+                    continue
+                reported.add(rkey)
+                via = "" if key == entry else f" via '{key}'"
+                findings.append(Finding(
+                    rule=_RULE_BY_EFFECT[e.kind],
+                    path=info.path,
+                    line=e.line,
+                    message=f"hot path '{entry}' "
+                            f"{_DESC_BY_EFFECT[e.kind]}: '{e.detail}'"
+                            f"{via}",
+                    anchor=f"{key}:{e.kind}:{e.detail}",
+                    related=list(chain)))
+            for c in info.calls:
+                edge_allowed = allowed | c.allowed
+                for tgt in c.targets:
+                    if tgt not in graph.funcs:
+                        continue
+                    stack.append((tgt, edge_allowed, chain + [
+                        (info.path, c.line,
+                         f"'{key}' calls '{tgt}'")]))
+    return findings
+
+
+def _guard_declarations(ctx, graph: callgraph.CallGraph) -> list[Finding]:
+    """Cross-checks util::rt RAII constructions against annotations."""
+    findings: list[Finding] = []
+    for path, model in sorted(ctx.models.items()):
+        if not path.startswith("src/") or path.endswith("rt_guard.h"):
+            continue
+        hot_spans = []
+        for m in model.methods:
+            if not m.body:
+                continue
+            key = f"{m.cls}::{m.name}" if m.cls else m.name
+            info = graph.funcs.get(key)
+            if info is not None and info.is_hot_entry:
+                hot_spans.append((m.body[0].line, m.body[-1].line))
+        allow_lines = {
+            line for line, items in model.annotations.items()
+            if any(kind == "hotpath-allow" for kind, _ in items)}
+        for i, t in enumerate(model.code):
+            if t.kind != callgraph.IDENT or \
+                    t.text not in ("AllowScope", "GuardRegion"):
+                continue
+            nxt = model.code[i + 1] if i + 1 < len(model.code) else None
+            if nxt is None or nxt.kind != callgraph.IDENT:
+                continue  # not a named-variable construction
+            if t.text == "AllowScope":
+                if t.line not in allow_lines:
+                    findings.append(Finding(
+                        rule="hotpath-allow-undeclared",
+                        path=path, line=t.line,
+                        message="util::rt::AllowScope without a "
+                                "same-line `// analyze: hotpath-allow"
+                                "(<effects>)` annotation; the runtime "
+                                "verifier would relax a constraint the "
+                                "analyzer still enforces",
+                        anchor=f"AllowScope:{nxt.text}"))
+            else:
+                if not any(lo <= t.line <= hi for lo, hi in hot_spans):
+                    findings.append(Finding(
+                        rule="hotpath-allow-undeclared",
+                        path=path, line=t.line,
+                        message="util::rt::GuardRegion inside a function "
+                                "not annotated `// analyze: hotpath`; "
+                                "the runtime verifier would enforce a "
+                                "contract the analyzer never checked",
+                        anchor=f"GuardRegion:{nxt.text}"))
+    return findings
+
+
+def run(ctx) -> list[Finding]:
+    graph = callgraph.build(ctx.models)
+    findings = _propagate(graph)
+    findings.extend(_guard_declarations(ctx, graph))
+    return findings

@@ -53,6 +53,12 @@ class _LockIndex:
     def __init__(self, ctx):
         # mutex member name -> set of owning class names (whole universe).
         self.owners: dict[str, set[str]] = {}
+        # class name -> instrumented (util::Mutex) members.  Only these
+        # join the graph: the runtime deadlock detector instruments
+        # exactly util::Mutex, and raw std::mutex members (inside
+        # util::Mutex itself or the detector's own registry) would make
+        # common names like `mu` ambiguous.  Unknown types keep the member.
+        self.instrumented: dict[str, set[str]] = {}
         # class name -> merged ClassDef views (header + source).
         self.classes: dict[str, list[ClassDef]] = {}
         # namespace-scope mutex variables: name -> defining path.
@@ -61,25 +67,41 @@ class _LockIndex:
             for cls in model.classes:
                 self.classes.setdefault(cls.name, []).append(cls)
                 for mu in cls.mutexes:
-                    # Only util::Mutex members join the graph: the runtime
-                    # deadlock detector instruments exactly those, and raw
-                    # std::mutex members (e.g. inside util::Mutex itself or
-                    # the detector's own registry) would make common names
-                    # like `mu` ambiguous.  Unknown types keep the member.
                     type_toks = cls.fields.get(mu)
                     if type_toks is not None and not any(
                             t.text == "Mutex" for t in type_toks):
                         continue
                     self.owners.setdefault(mu, set()).add(cls.name)
+                    self.instrumented.setdefault(cls.name, set()).add(mu)
             for name, type_toks in model.globals_.items():
                 if any(t.text in MUTEX_TYPES for t in type_toks):
                     self.globals.setdefault(name, path)
 
     def class_has_mutex(self, cls_name: str, member: str) -> bool:
+        return member in self.instrumented.get(cls_name, ())
+
+    def _class_has_raw_mutex(self, cls_name: str, member: str) -> bool:
         return any(member in c.mutexes
                    for c in self.classes.get(cls_name, ()))
 
-    def resolve(self, expr: list[Token], cls_name: str) -> str | None:
+    def _receiver_class(self, var: str, body: list[Token]) -> str | None:
+        """Type of a local `Shard& shard = ...;`-style declaration of
+        `var` in `body`, when the type is a known class."""
+        for i, t in enumerate(body):
+            if t.kind != IDENT or t.text != var or i == 0:
+                continue
+            if i + 1 >= len(body) or body[i + 1].text not in ("=", ";", "{"):
+                continue
+            j = i - 1
+            while j >= 0 and body[j].text in ("&", "*", "const"):
+                j -= 1
+            if j >= 0 and body[j].kind == IDENT and \
+                    body[j].text in self.classes:
+                return body[j].text
+        return None
+
+    def resolve(self, expr: list[Token], cls_name: str,
+                body: list[Token] | None = None) -> str | None:
         idents = [t.text for t in expr
                   if t.kind == IDENT and t.text != "this"]
         if not idents:
@@ -90,16 +112,25 @@ class _LockIndex:
             # a namespace-scope mutex, then a globally unique member.
             if cls_name and self.class_has_mutex(cls_name, member):
                 return f"{cls_name}::{member}"
+            if cls_name and self._class_has_raw_mutex(cls_name, member):
+                return None  # the class's own lock, but not instrumented
             if member in self.globals:
                 return f"::{member}"
             owners = self.owners.get(member, set())
             if len(owners) == 1:
                 return f"{next(iter(owners))}::{member}"
             return None
-        # `obj.mu` / `obj->mu` / `Class::mu`: unique ownership only.
+        # `obj.mu` / `obj->mu` / `Class::mu`: type the receiver when a
+        # local declaration names it, else unique ownership.
         first = idents[0]
         if first in self.classes and self.class_has_mutex(first, member):
             return f"{first}::{member}"
+        recv = self._receiver_class(first, body) if body is not None else None
+        if recv is not None:
+            if self.class_has_mutex(recv, member):
+                return f"{recv}::{member}"
+            if self._class_has_raw_mutex(recv, member):
+                return None  # known receiver, uninstrumented mutex
         owners = self.owners.get(member, set())
         if len(owners) == 1:
             return f"{next(iter(owners))}::{member}"
@@ -181,7 +212,7 @@ def _walk_method(method, index: _LockIndex, path: str,
             got = _guard_lock_expr(body, i)
             if got is not None:
                 expr, end = got
-                lock_id = index.resolve(expr, method.cls)
+                lock_id = index.resolve(expr, method.cls, body)
                 if lock_id is not None:
                     acquire(lock_id, t.line, depth)
                 i = end
@@ -191,7 +222,7 @@ def _walk_method(method, index: _LockIndex, path: str,
                 i + 1 < len(body) and body[i + 1].text == "(":
             # mu_.unlock(): releases the most recent matching acquisition.
             expr = _member_chain(body, i - 2)
-            lock_id = index.resolve(expr, method.cls)
+            lock_id = index.resolve(expr, method.cls, body)
             if lock_id is not None:
                 for k in range(len(held) - 1, -1, -1):
                     if held[k][0] == lock_id:
@@ -201,7 +232,7 @@ def _walk_method(method, index: _LockIndex, path: str,
                 body[i - 1].text in (".", "->") and \
                 i + 1 < len(body) and body[i + 1].text == "(":
             expr = _member_chain(body, i - 2)
-            lock_id = index.resolve(expr, method.cls)
+            lock_id = index.resolve(expr, method.cls, body)
             if lock_id is not None:
                 acquire(lock_id, t.line, depth)
         elif callee_acquires is not None and held and t.kind == IDENT and \

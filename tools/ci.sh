@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Pre-merge gate: the full ctest matrix under every sanitizer preset, the
-# repo lint + analyze passes, the deadlock-debug cross-check, and the perf
-# smoke.  Maps onto tier-1 verify as follows: the `default` preset IS the
-# tier-1 build/test command (same binary dir, same cache), so a green
-# ci.sh implies a green tier-1 run.
+# repo lint + analyze passes, the deadlock-debug and rt-debug
+# cross-checks, and the perf smoke.  Maps onto tier-1 verify as follows:
+# the `default` preset IS the tier-1 build/test command (same binary dir,
+# same cache), so a green ci.sh implies a green tier-1 run.
 #
 # Usage: tools/ci.sh [preset ...]
 #   With no arguments runs: default, asan-ubsan, tsan, then the tool stages.
@@ -17,20 +17,48 @@ if [[ ${#presets[@]} -eq 0 ]]; then
   presets=(default asan-ubsan tsan)
 fi
 
+# Per-stage wall time: stage NAME marks a boundary, the summary at the
+# bottom prints one line per stage so a slow gate names its stage.
+stage_names=()
+stage_secs=()
+current_stage=""
+stage_start=0
+end_stage() {
+  if [[ -n "$current_stage" ]]; then
+    stage_names+=("$current_stage")
+    stage_secs+=($((SECONDS - stage_start)))
+  fi
+  current_stage=""
+}
+stage() {
+  end_stage
+  current_stage="$1"
+  stage_start=$SECONDS
+  echo "==== $1"
+}
+print_stage_times() {
+  end_stage
+  echo "---- stage wall times"
+  local i
+  for i in "${!stage_names[@]}"; do
+    printf '%6ss  %s\n' "${stage_secs[$i]}" "${stage_names[$i]}"
+  done
+}
+trap print_stage_times EXIT
+
 for preset in "${presets[@]}"; do
-  echo "==== [$preset] configure"
+  stage "[$preset] configure+build+test"
   cmake --preset "$preset"
-  echo "==== [$preset] build"
   cmake --build --preset "$preset" -j "$jobs"
-  echo "==== [$preset] test"
   ctest --preset "$preset" -j "$jobs"
 done
 
-echo "==== lint"
+stage "lint"
 # The tool stages run directly instead of through `cmake --build --target`:
 # each cmake invocation re-checks the generate step, which can regenerate
 # compile_commands.json mid-gate.  The database exported by the `default`
-# configure above serves both stages unchanged.
+# configure above serves every later stage unchanged (analyze here,
+# and the rt-debug stage's analyzer re-run below).
 compdb="build/compile_commands.json"
 [[ -f "$compdb" ]] || {
   echo "ci.sh: $compdb missing — run the default preset first" >&2
@@ -38,7 +66,7 @@ compdb="build/compile_commands.json"
 }
 python3 tools/lint.py
 
-echo "==== analyze"
+stage "analyze"
 # Baseline-gated: exits nonzero only on findings not in
 # tools/analyze-baseline.json (see tools/README.md for the workflow).
 # Also exports the static lock-order graph the deadlock-debug stage
@@ -48,7 +76,7 @@ python3 tools/analyze --compdb "$compdb" \
   --sarif-out build/analyze.sarif \
   --lock-graph-out build/lock_graph_static.json
 
-echo "==== deadlock-debug"
+stage "deadlock-debug"
 # Instrumented util::Mutex: FATALs on a runtime lock-order inversion and
 # records every observed edge.  The concurrency suites run with graph
 # capture on, then the observed graph must be a subgraph of the static
@@ -65,9 +93,40 @@ IUSTITIA_LOCK_GRAPH_OUT="$graph_dir" ctest --preset deadlock-debug \
 # The detector's own unit tests use synthetic mutexes that must NOT land
 # in the comparison, so they run without graph capture.
 ctest --preset deadlock-debug -R test_deadlock_debug
+
 python3 tools/check_lock_graph.py build/lock_graph_static.json "$graph_dir"
 
-echo "==== perf-smoke"
+stage "rt-debug"
+# Runtime twin of the analyzer's hotpath pass: replacement operator
+# new/delete and instrumented util::Mutex abort the process on any heap
+# or blocking call inside a util::rt::GuardRegion without a matching
+# AllowScope.  The hotpath pass in the analyze stage above proves the
+# static claims (no effects outside `// analyze: hotpath-allow` lines);
+# this stage proves the observed behavior is a subset of those claims —
+# a replay that allocates where the analyzer saw no allocation aborts
+# and fails the gate.  The static pass already ran against the shared
+# compile_commands.json; only the instrumented binaries build here.
+cmake --preset rt-debug
+cmake --build --preset rt-debug -j "$jobs"
+ctest --preset rt-debug -j "$jobs" -R 'test_rt_debug|test_runtime'
+# End-to-end serve under live guards: train a small model, generate a
+# trace, replay it through the sharded runtime in both backpressure
+# modes.  Any undeclared hot-loop allocation FATALs the replay.
+rt_dir="$PWD/build-rtdebug/rt-smoke"
+rm -rf "$rt_dir"
+mkdir -p "$rt_dir"
+./build-rtdebug/tools/iustitia gen-corpus "$rt_dir/corpus" --files 8 --seed 7
+./build-rtdebug/tools/iustitia train "$rt_dir/corpus" "$rt_dir/model.bin"
+./build-rtdebug/tools/iustitia gen-trace "$rt_dir/trace.pcap" \
+  --packets 20000 --seed 11
+./build-rtdebug/tools/iustitia replay "$rt_dir/model.bin" \
+  "$rt_dir/trace.pcap" --shards 2 --backpressure block --json \
+  > "$rt_dir/replay_block.json"
+./build-rtdebug/tools/iustitia replay "$rt_dir/model.bin" \
+  "$rt_dir/trace.pcap" --shards 2 --backpressure drop --json \
+  > "$rt_dir/replay_drop.json"
+
+stage "perf-smoke"
 # Reduced-size run of the entropy-kernel microbench, gated on >30%
 # regression against the checked-in baseline (speedup is the gated,
 # machine-portable metric; see tools/perf_check.py).

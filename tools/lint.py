@@ -32,6 +32,14 @@ Rules
                      and is invisible to the deadlock detector's graph
                      writer.  Keep the handle and join it (see
                      runtime/runtime.cc for the owning pattern).
+  hot-module-io      stream I/O and logging are banned in the hot modules
+                     (src/runtime, src/entropy): <iostream>, std::cout /
+                     cerr / clog, std::endl, and IUSTITIA_LOG_* stall the
+                     packet path the hotpath analyzer proves allocation-
+                     and block-free.  A deliberate cold-branch use is
+                     suppressed by the same `// analyze: hotpath-allow`
+                     annotation the analyzer audits (or NOLINT with a
+                     reason).
 
 Usage: tools/lint.py [path ...]   (defaults to src tests bench tools examples)
 """
@@ -329,6 +337,50 @@ def check_no_thread_detach(path: Path, raw: str, stripped: str,
                 "keep the std::thread handle and join it"))
 
 
+# Modules whose steady state the hotpath analyzer proves block-free;
+# matched as consecutive path components so materialized fixture trees
+# (absolute temp dirs) hit the same rule as the real tree.
+HOT_MODULES = (("src", "runtime"), ("src", "entropy"))
+
+_HOT_IO_PATTERNS = (
+    (re.compile(r"^\s*#\s*include\s*<iostream>"), "#include <iostream>"),
+    (re.compile(r"std::endl\b"), "std::endl"),
+    (re.compile(r"std::(cout|cerr|clog)\b"), "std::cout/cerr/clog"),
+    (re.compile(r"(?<![\w_])(IUSTITIA_LOG_[A-Z_]+)"), "IUSTITIA_LOG_*"),
+)
+
+
+def in_hot_module(path: Path) -> bool:
+    parts = rel_path(path).parts
+    return any(parts[i:i + 2] == pair
+               for pair in HOT_MODULES for i in range(len(parts) - 1))
+
+
+def check_hot_module_io(path: Path, raw: str, stripped: str,
+                        findings: list[Finding]) -> None:
+    if not in_hot_module(path):
+        return
+    nolint = raw_lines_with_nolint(raw, "hot-module-io")
+    raw_lines = raw.splitlines()
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if lineno in nolint:
+            continue
+        # A line carrying the analyzer's cold-branch annotation is a
+        # documented exception: the hotpath pass audits the same line.
+        raw_line = raw_lines[lineno - 1] if lineno <= len(raw_lines) else ""
+        if "analyze: hotpath-allow" in raw_line:
+            continue
+        for pattern, what in _HOT_IO_PATTERNS:
+            if pattern.search(line):
+                findings.append(Finding(
+                    path, lineno, "hot-module-io",
+                    f"{what} in a hot module: stream I/O and logging "
+                    "stall the packet path; use the metrics/report APIs, "
+                    "or mark a deliberate cold branch with "
+                    "`// analyze: hotpath-allow(may-block)`"))
+                break
+
+
 def check_using_namespace(path: Path, stripped: str,
                           findings: list[Finding]) -> None:
     for lineno, line in enumerate(stripped.splitlines(), start=1):
@@ -351,6 +403,7 @@ def lint_file(path: Path) -> list[Finding]:
     check_log2_domain(path, raw, stripped, findings)
     check_include_guard(path, raw, findings)
     check_no_thread_detach(path, raw, stripped, findings)
+    check_hot_module_io(path, raw, stripped, findings)
     check_using_namespace(path, stripped, findings)
     return findings
 

@@ -1,0 +1,31 @@
+// Replacement operator new/delete for IUSTITIA_RT_DEBUG builds of the
+// CLI: every heap call reports to util::rt::note_alloc so the replay
+// path FATALs on an allocation inside a guarded hot loop.  Linked into
+// iustitia_cli only when the option is on (tools/CMakeLists.txt); the
+// test binaries get the same behaviour from tests/alloc_hook.h.
+#include <cstdlib>
+#include <new>
+
+#include "util/rt_guard.h"
+
+namespace {
+
+void* checked_alloc(std::size_t size) {
+  iustitia::util::rt::note_alloc("operator new");
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+
+void checked_free(void* p) noexcept {
+  iustitia::util::rt::note_alloc("operator delete");
+  std::free(p);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return checked_alloc(size); }
+void* operator new[](std::size_t size) { return checked_alloc(size); }
+void operator delete(void* p) noexcept { checked_free(p); }
+void operator delete[](void* p) noexcept { checked_free(p); }
+void operator delete(void* p, std::size_t) noexcept { checked_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { checked_free(p); }
