@@ -34,6 +34,32 @@ bool OutputQueues::enqueue(datagen::FileClass label, net::Packet packet) {
   return true;
 }
 
+std::size_t OutputQueues::enqueue_burst(std::span<QueuedPacket> batch) {
+  if (batch.empty()) return 0;
+  // Same cold-branch budget as enqueue(), paid once per burst: the lock
+  // crossing and the deque nodes are amortized over the whole batch, and
+  // refused payloads are NOT freed here — they stay with the caller, so
+  // the lock hold time is bounded by queue work alone.
+  util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
+  std::size_t accepted = 0;
+  util::MutexLock lock(mu_);
+  for (QueuedPacket& item : batch) {
+    const std::size_t index = index_of(item.label);
+    if (capacity_ != 0 && queues_[index].size() >= capacity_) {
+      ++dropped_[index];
+      continue;
+    }
+    queues_[index].push_back(std::move(item));
+    ++enqueued_[index];
+    if (queues_[index].size() > high_water_[index]) {
+      high_water_[index] = queues_[index].size();
+    }
+    DCHECK(capacity_ == 0 || queues_[index].size() <= capacity_);
+    ++accepted;
+  }
+  return accepted;
+}
+
 std::size_t OutputQueues::drain_all() {
   util::MutexLock lock(mu_);
   std::size_t discarded = 0;

@@ -50,6 +50,15 @@ class OutputQueues {
   // the queue is full.
   bool enqueue(datagen::FileClass label, net::Packet packet);
 
+  // Batched enqueue: one lock acquisition for the whole span (the
+  // output-side leg of the runtime's burst protocol, DESIGN.md §10).
+  // Each element is accepted into its class queue or refused under
+  // exactly enqueue()'s rules and counters.  Accepted packets are moved
+  // out of `batch`; refused ones are left intact so the caller can
+  // retire their payloads outside the queue lock.  Returns the number
+  // accepted.
+  std::size_t enqueue_burst(std::span<QueuedPacket> batch);
+
   // Pops the oldest packet of one class, if any.
   std::optional<QueuedPacket> dequeue(datagen::FileClass label);
 

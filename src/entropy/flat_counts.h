@@ -72,6 +72,24 @@ class FlatCounts {
     }
   }
 
+  // Hints `key`'s home slot into cache ahead of a coming increment(key).
+  // The block-wise kernel issues these a few probes early so independent
+  // table misses overlap instead of serializing (DESIGN.md §9).  Purely
+  // advisory: linear probing may land past the home slot, and a grow()
+  // between hint and probe makes the hint stale — both only cost the
+  // prefetch, never correctness.
+  // analyze: hotpath
+  void prefetch(unsigned __int128 key) const noexcept {
+    const auto lo = static_cast<std::uint64_t>(key);
+    const auto hi = static_cast<std::uint64_t>(key >> 64);
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&slots_[slot_hash(lo, hi) & mask_], 1 /*write*/);
+#else
+    (void)lo;
+    (void)hi;
+#endif
+  }
+
   // Distinct keys since the last reset().
   std::size_t size() const noexcept { return size_; }
   std::size_t capacity() const noexcept { return slots_.size(); }

@@ -21,6 +21,11 @@ GramKey width_mask(int width) noexcept {
 // working set of a few-KB buffer without growth, small enough that a
 // kernel for a narrow feature set stays cheap to construct.
 constexpr std::size_t kInitialTableCapacity = 1024;
+
+// How many probes ahead add_block() prefetches a width's table slot.
+// Far enough that the line arrives before the probe reaches it, close
+// enough that a block tail does not evict still-needed lines.
+constexpr std::size_t kPrefetchAhead = 4;
 }  // namespace
 
 FusedEntropyKernel::FusedEntropyKernel(std::span<const int> widths)
@@ -59,6 +64,52 @@ void FusedEntropyKernel::update_state(WidthState& state,
   ++state.grams;
 }
 
+// Steady-state fast path: one whole block, keys first, then per-width
+// probe passes with the table slot kPrefetchAhead probes out already in
+// flight.  Bit-identity argument (§9): within one width the probes and
+// the S_k += / -= expressions run in exactly stream order with exactly
+// update_state's arithmetic; widths only ever touch their *own* sum and
+// table, so hoisting the width loop outside the byte loop cannot reorder
+// any float op that feeds a feature.
+// analyze: hotpath
+void FusedEntropyKernel::add_block(const std::uint8_t* bytes) {
+  GramKey keys[kBlockBytes];
+  GramKey rolling = rolling_;
+  for (std::size_t j = 0; j < kBlockBytes; ++j) {
+    rolling = (rolling << 8) | bytes[j];
+    keys[j] = rolling;
+  }
+  rolling_ = rolling;
+  pos_ += kBlockBytes;
+  for (WidthState& state : states_) {
+    double sum = state.sum;
+    if (state.width == 1) {
+      for (std::size_t j = 0; j < kBlockBytes; ++j) {
+        std::uint64_t& count = byte_counts_[bytes[j]];
+        sum += n_ln_n(count + 1);
+        if (count != 0) sum -= n_ln_n(count);
+        ++count;
+      }
+    } else {
+      const GramKey mask = state.mask;
+      FlatCounts& counts = state.counts;
+      for (std::size_t j = 0; j < kPrefetchAhead && j < kBlockBytes; ++j) {
+        counts.prefetch(keys[j] & mask);
+      }
+      for (std::size_t j = 0; j < kBlockBytes; ++j) {
+        if (j + kPrefetchAhead < kBlockBytes) {
+          counts.prefetch(keys[j + kPrefetchAhead] & mask);
+        }
+        const std::uint32_t count = counts.increment(keys[j] & mask);
+        sum += n_ln_n(static_cast<std::uint64_t>(count) + 1);
+        if (count != 0) sum -= n_ln_n(count);
+      }
+    }
+    state.sum = sum;
+    state.grams += kBlockBytes;
+  }
+}
+
 // The extraction inner loop: after table warm-up it reads the input
 // once and never touches the heap.
 // analyze: hotpath
@@ -77,7 +128,12 @@ void FusedEntropyKernel::add(std::span<const std::uint8_t> data) {
       }
     }
   }
-  // Steady state: every byte completes one gram of every width.
+  // Steady state: every byte completes one gram of every width.  Whole
+  // blocks take the keys-first prefetched path; the sub-block tail falls
+  // back to the per-byte loop (same arithmetic, so same features).
+  for (; i + kBlockBytes <= data.size(); i += kBlockBytes) {
+    add_block(data.data() + i);
+  }
   for (; i < data.size(); ++i) {
     rolling_ = (rolling_ << 8) | data[i];
     ++pos_;

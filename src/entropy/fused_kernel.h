@@ -12,6 +12,12 @@
 // S_k = sum m_ik ln(m_ik) bookkeeping uses the n*ln(n) lookup table
 // instead of two libm calls per gram.
 //
+// The steady-state sweep is block-wise (kBlockBytes at a time): all
+// rolling keys for a block are computed up front with pure shift-ors,
+// then each width probes its table over the block with the slot of the
+// key a few probes ahead already prefetched — so the dependent loads of
+// consecutive table misses overlap instead of serializing (§9).
+//
 // Numerical contract: for every width the per-gram updates happen in the
 // same stream order, with the same double expressions, as GramCounter —
 // so the resulting S_k, and therefore every entropy feature, is
@@ -37,6 +43,14 @@ namespace iustitia::entropy {
 
 class FusedEntropyKernel {
  public:
+  // Steady-state bytes handled per block-wise inner-loop iteration (§9):
+  // add() computes all rolling keys for a block first, then probes each
+  // width's table with the key a few probes ahead prefetched, so table
+  // misses overlap.  Exposed so tests can pin inputs to block boundaries
+  // (block−1 / block / block+1) where the bit-identity contract is most
+  // at risk.
+  static constexpr std::size_t kBlockBytes = 16;
+
   // `widths` are the feature widths, each in [1, 16], reported in input
   // order; throws std::invalid_argument on an out-of-range width.
   explicit FusedEntropyKernel(std::span<const int> widths);
@@ -86,6 +100,10 @@ class FusedEntropyKernel {
   };
 
   void update_state(WidthState& state, std::uint8_t byte);
+  // Steady-state fast path: consumes exactly kBlockBytes bytes,
+  // keys-first then per-width prefetched probe passes.  Bit-identical to
+  // kBlockBytes update_state calls per width.
+  void add_block(const std::uint8_t* bytes);
 
   std::vector<int> widths_;
   std::vector<WidthState> states_;  // parallel to widths_

@@ -14,6 +14,15 @@ namespace {
 
 constexpr const char* kNatureNames[3] = {"text", "binary", "encrypted"};
 
+// Burst-size histogram bucket for a burst of n >= 1 packets: bucket i
+// holds [2^i, 2^(i+1)), the last bucket is open-ended.
+std::size_t burst_bucket(std::size_t n) noexcept {
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(n)));
+  return std::min<std::size_t>(width == 0 ? 0 : width - 1,
+                               kBurstBucketCount - 1);
+}
+
 std::string fmt_micros(double micros) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(2) << micros << "us";
@@ -103,10 +112,52 @@ void MetricsRegistry::on_drop(std::size_t shard) noexcept {
   rings_[shard].dropped.fetch_add(1, std::memory_order_relaxed);
 }
 
+// The burst-path mutators fold a whole burst into one relaxed add per
+// counter — called once per ring operation instead of once per packet,
+// they are what keeps metrics cost amortized on the batched fast path.
+// analyze: hotpath
+void MetricsRegistry::on_source_packets(std::uint64_t n) noexcept {
+  packets_in_.fetch_add(n, std::memory_order_relaxed);
+}
+
+// analyze: hotpath
+void MetricsRegistry::on_push_burst(std::size_t shard, std::size_t n,
+                                    std::size_t depth_after) noexcept {
+  DCHECK_LT(shard, shards_);
+  if (n == 0) return;
+  RingCounters& ring = rings_[shard];
+  ring.pushed.fetch_add(n, std::memory_order_relaxed);
+  ring.bursts[burst_bucket(n)].fetch_add(1, std::memory_order_relaxed);
+  // Only the dispatcher writes high_water, so a read-then-store is safe.
+  if (depth_after > ring.high_water.load(std::memory_order_relaxed)) {
+    ring.high_water.store(depth_after, std::memory_order_relaxed);
+  }
+}
+
+// analyze: hotpath
+void MetricsRegistry::on_drop_burst(std::size_t shard,
+                                    std::size_t n) noexcept {
+  DCHECK_LT(shard, shards_);
+  rings_[shard].dropped.fetch_add(n, std::memory_order_relaxed);
+}
+
+// analyze: hotpath
+void MetricsRegistry::on_dispatch_flush(std::size_t shard) noexcept {
+  DCHECK_LT(shard, shards_);
+  rings_[shard].flushes.fetch_add(1, std::memory_order_relaxed);
+}
+
 // analyze: hotpath
 void MetricsRegistry::on_pop(std::size_t shard) noexcept {
   DCHECK_LT(shard, shards_);
   rings_[shard].popped.fetch_add(1, std::memory_order_relaxed);
+}
+
+// analyze: hotpath
+void MetricsRegistry::on_pop_burst(std::size_t shard,
+                                   std::size_t n) noexcept {
+  DCHECK_LT(shard, shards_);
+  rings_[shard].popped.fetch_add(n, std::memory_order_relaxed);
 }
 
 // analyze: hotpath
@@ -133,6 +184,11 @@ MetricsSnapshot MetricsRegistry::snapshot(
     snap.rings[s].dropped = rings_[s].dropped.load(std::memory_order_relaxed);
     snap.rings[s].high_water =
         rings_[s].high_water.load(std::memory_order_relaxed);
+    snap.rings[s].flushes = rings_[s].flushes.load(std::memory_order_relaxed);
+    for (std::size_t b = 0; b < kBurstBucketCount; ++b) {
+      snap.rings[s].burst_counts[b] =
+          rings_[s].bursts[b].load(std::memory_order_relaxed);
+    }
   }
   for (std::size_t c = 0; c < flows_by_nature_.size(); ++c) {
     snap.flows_by_nature[c] =
@@ -164,6 +220,20 @@ std::uint64_t MetricsSnapshot::total_dropped() const noexcept {
   return total;
 }
 
+std::uint64_t MetricsSnapshot::total_flushes() const noexcept {
+  std::uint64_t total = 0;
+  for (const Ring& ring : rings) total += ring.flushes;
+  return total;
+}
+
+double MetricsSnapshot::Ring::mean_burst() const noexcept {
+  std::uint64_t bursts = 0;
+  for (const std::uint64_t n : burst_counts) bursts += n;
+  return bursts == 0 ? 0.0
+                     : static_cast<double>(pushed) /
+                           static_cast<double>(bursts);
+}
+
 std::string MetricsSnapshot::text_report() const {
   std::ostringstream out;
   out << "runtime metrics\n"
@@ -172,12 +242,16 @@ std::string MetricsSnapshot::text_report() const {
       << "\n";
 
   util::Table rings_table({"ring", "pushed", "popped", "dropped",
-                           "high water"});
+                           "high water", "flushes", "mean burst"});
   for (std::size_t s = 0; s < rings.size(); ++s) {
     rings_table.add_row({std::to_string(s), std::to_string(rings[s].pushed),
                          std::to_string(rings[s].popped),
                          std::to_string(rings[s].dropped),
-                         std::to_string(rings[s].high_water)});
+                         std::to_string(rings[s].high_water),
+                         std::to_string(rings[s].flushes),
+                         rings[s].flushes == 0
+                             ? std::string("-")
+                             : util::fmt(rings[s].mean_burst(), 1)});
   }
   rings_table.render(out);
 
@@ -208,13 +282,22 @@ std::string MetricsSnapshot::json() const {
       << ",\n  \"packets_in\": " << packets_in
       << ",\n  \"pushed\": " << total_pushed()
       << ",\n  \"popped\": " << total_popped()
-      << ",\n  \"dropped\": " << total_dropped() << ",\n  \"rings\": [";
+      << ",\n  \"dropped\": " << total_dropped()
+      << ",\n  \"dispatch_flushes\": " << total_flushes()
+      << ",\n  \"rings\": [";
   for (std::size_t s = 0; s < rings.size(); ++s) {
     out << (s == 0 ? "\n" : ",\n")
         << "    {\"pushed\": " << rings[s].pushed
         << ", \"popped\": " << rings[s].popped
         << ", \"dropped\": " << rings[s].dropped
-        << ", \"high_water\": " << rings[s].high_water << "}";
+        << ", \"high_water\": " << rings[s].high_water
+        << ", \"flushes\": " << rings[s].flushes
+        << ", \"mean_burst\": " << rings[s].mean_burst()
+        << ", \"burst_hist\": [";
+    for (std::size_t b = 0; b < rings[s].burst_counts.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << rings[s].burst_counts[b];
+    }
+    out << "]}";
   }
   out << "\n  ],\n  \"flows_by_nature\": {";
   for (std::size_t c = 0; c < flows_by_nature.size(); ++c) {

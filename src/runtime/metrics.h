@@ -10,8 +10,11 @@
 // once the runtime has drained.
 //
 // Inventory (see DESIGN.md §10): packets in from the source; per-ring
-// pushed/popped/dropped and ring high-water mark; flows classified per
-// nature; a fixed-bucket histogram of per-packet engine latency; plus the
+// pushed/popped/dropped and ring high-water mark; per-ring dispatch
+// flush count and a fixed-bucket histogram of burst sizes (how many
+// packets each ring operation actually moved — the observable batching
+// efficiency of the burst protocol); flows classified per nature; a
+// fixed-bucket histogram of per-packet engine latency; plus the
 // per-nature OutputQueues counters folded in at snapshot time.
 #ifndef IUSTITIA_RUNTIME_METRICS_H_
 #define IUSTITIA_RUNTIME_METRICS_H_
@@ -59,6 +62,12 @@ class LatencyHistogram {
   std::atomic<std::uint64_t> sum_nanos_{0};  // analyze: atomic(relaxed-counter)
 };
 
+// Burst-size histogram geometry, shared by the registry and its
+// snapshot: bucket i counts bursts of [2^i, 2^(i+1)) packets (bucket 0
+// is exactly 1, the last bucket is open-ended), so 13 buckets cover
+// every burst a 4096-slot staging buffer can produce.
+inline constexpr std::size_t kBurstBucketCount = 13;
+
 // Plain-value copy of every runtime counter, safe to pass around after
 // the registry (or the whole runtime) is gone.
 struct MetricsSnapshot {
@@ -67,6 +76,13 @@ struct MetricsSnapshot {
     std::uint64_t popped = 0;
     std::uint64_t dropped = 0;
     std::size_t high_water = 0;
+    // Staging-buffer flushes the dispatcher performed for this ring and
+    // the sizes of the bursts its push operations actually moved.
+    std::uint64_t flushes = 0;
+    std::array<std::uint64_t, kBurstBucketCount> burst_counts{};
+
+    // Mean packets per successful burst push (0 with no burst pushes).
+    double mean_burst() const noexcept;
   };
 
   std::size_t shards = 0;
@@ -80,6 +96,7 @@ struct MetricsSnapshot {
   std::uint64_t total_pushed() const noexcept;
   std::uint64_t total_popped() const noexcept;
   std::uint64_t total_dropped() const noexcept;
+  std::uint64_t total_flushes() const noexcept;
 
   // Multi-line human report (tables of the inventory above).
   std::string text_report() const;
@@ -98,8 +115,20 @@ class MetricsRegistry {
   void on_push(std::size_t shard, std::size_t depth_after) noexcept;
   void on_drop(std::size_t shard) noexcept;
 
+  // Dispatcher side, batched: the burst-path equivalents fold a whole
+  // burst into one relaxed add per counter, and on_push_burst records
+  // the burst size in the per-shard histogram.  on_dispatch_flush counts
+  // one staging-buffer flush (a flush may take several burst pushes when
+  // the ring is nearly full).
+  void on_source_packets(std::uint64_t n) noexcept;
+  void on_push_burst(std::size_t shard, std::size_t n,
+                     std::size_t depth_after) noexcept;
+  void on_drop_burst(std::size_t shard, std::size_t n) noexcept;
+  void on_dispatch_flush(std::size_t shard) noexcept;
+
   // Worker side.
   void on_pop(std::size_t shard) noexcept;
+  void on_pop_burst(std::size_t shard, std::size_t n) noexcept;
   void on_classified(datagen::FileClass nature) noexcept;
   void record_engine_latency(double micros) noexcept;
 
@@ -115,6 +144,8 @@ class MetricsRegistry {
     std::atomic<std::uint64_t> popped{0};      // analyze: atomic(relaxed-counter)
     std::atomic<std::uint64_t> dropped{0};     // analyze: atomic(relaxed-counter)
     std::atomic<std::size_t> high_water{0};    // analyze: atomic(relaxed-counter)
+    std::atomic<std::uint64_t> flushes{0};     // analyze: atomic(relaxed-counter)
+    std::array<std::atomic<std::uint64_t>, kBurstBucketCount> bursts{};  // analyze: atomic(relaxed-counter)
   };
 
   const std::size_t shards_;

@@ -1,5 +1,6 @@
 #include "runtime/packet_source.h"
 
+#include <algorithm>
 #include <istream>
 #include <thread>
 #include <utility>
@@ -32,6 +33,19 @@ std::optional<net::Packet> PcapReplaySource::next() {
   return packet;
 }
 
+std::size_t PcapReplaySource::next_burst(std::span<net::Packet> out) {
+  std::size_t n = 0;
+  for (net::Packet& slot : out) {
+    std::optional<net::Packet> packet = reader_.next();
+    if (!packet.has_value()) break;
+    pacer_.tick();
+    slot = *std::move(packet);
+    ++n;
+  }
+  delivered_ += n;
+  return n;
+}
+
 TraceSource::TraceSource(net::Trace trace, double target_pps)
     : trace_(std::move(trace)), pacer_(target_pps) {}
 
@@ -42,6 +56,19 @@ std::optional<net::Packet> TraceSource::next() {
   if (next_index_ >= trace_.packets.size()) return std::nullopt;
   pacer_.tick();
   return std::move(trace_.packets[next_index_++]);
+}
+
+std::size_t TraceSource::next_burst(std::span<net::Packet> out) {
+  // Bulk move straight out of the owned trace: no per-packet optional,
+  // one bounds computation for the whole burst.
+  const std::size_t n =
+      std::min(out.size(), trace_.packets.size() - next_index_);
+  for (std::size_t i = 0; i < n; ++i) {
+    pacer_.tick();
+    out[i] = std::move(trace_.packets[next_index_ + i]);
+  }
+  next_index_ += n;
+  return n;
 }
 
 }  // namespace iustitia::runtime

@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <optional>
+#include <span>
 
 #include "net/pcap.h"
 #include "net/trace_gen.h"
@@ -27,6 +28,22 @@ class PacketSource {
  public:
   virtual ~PacketSource() = default;
   virtual std::optional<net::Packet> next() = 0;
+
+  // Batched pull: fills the front of `out` and returns how many packets
+  // were delivered; 0 means exhausted (and forever after, like next()).
+  // One virtual call per burst instead of per packet — the producer half
+  // of the runtime's batched hot path.  The default adapts any source by
+  // looping next(); implementations override with a bulk move.
+  virtual std::size_t next_burst(std::span<net::Packet> out) {
+    std::size_t n = 0;
+    for (net::Packet& slot : out) {
+      std::optional<net::Packet> packet = next();
+      if (!packet.has_value()) break;
+      slot = *std::move(packet);
+      ++n;
+    }
+    return n;
+  }
 };
 
 // Sleeps the calling thread so successive tick() calls average out to a
@@ -55,6 +72,7 @@ class PcapReplaySource final : public PacketSource {
   explicit PcapReplaySource(std::istream& is, double target_pps = 0.0);
 
   std::optional<net::Packet> next() override;
+  std::size_t next_burst(std::span<net::Packet> out) override;
 
   // True once the capture ended on a cut-off record: the replay served
   // everything up to the last complete record (see net/pcap.h).
@@ -79,6 +97,7 @@ class TraceSource final : public PacketSource {
                        double target_pps = 0.0);
 
   std::optional<net::Packet> next() override;
+  std::size_t next_burst(std::span<net::Packet> out) override;
 
   // The owned trace.  truth and duration stay intact; packets already
   // delivered are moved-from.

@@ -15,7 +15,11 @@
 // so per-flow packet order is preserved).  Each shard has a bounded SPSC
 // ring and exactly one worker thread that owns the shard for the whole
 // run and drives it through the unlocked shard() accessor: the classic
-// RSS deployment, no lock on the per-packet path.  When a ring fills, the
+// RSS deployment, no lock on the per-packet path.  The per-packet path
+// is batched (RuntimeOptions::burst): the dispatcher reads a burst from
+// the source, accumulates per-shard staging buffers, and flushes each
+// as one ring burst; workers drain bursts into a local array — one
+// head/tail acquire/release pair per burst instead of per packet.  When a ring fills, the
 // configured backpressure policy either blocks the dispatcher (lossless;
 // the source feels the stall, exactly like a NIC asserting flow control)
 // or counts the packet as dropped and moves on (lossy, line-rate).
@@ -54,6 +58,15 @@ struct RuntimeOptions {
   // Per-shard ring capacity in packets (rounded up to a power of two).
   std::size_t ring_capacity = 2048;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  // Packets moved per ring operation: the dispatcher stages up to this
+  // many packets per shard and flushes them with one try_push_burst;
+  // each worker drains up to this many with one try_pop_burst.  1
+  // disables batching entirely (the exact single-item path, one
+  // head/tail round-trip per packet) — use it when per-packet latency
+  // matters more than throughput (e.g. paced low-rate replays, where a
+  // staged packet can wait up to a full burst before flushing).  Values
+  // are clamped to [1, ring_capacity].
+  std::size_t burst = 32;
   // Per-nature output queue bound (packets; 0 = unbounded).
   std::size_t output_queue_capacity = 4096;
   // Record every Nth per-packet engine latency sample (1 = all packets).
@@ -110,7 +123,15 @@ class Runtime {
   const RuntimeOptions& options() const noexcept { return options_; }
 
  private:
+  // Clamps burst into [1, ring capacity] so staging buffers and ring
+  // bursts always fit.
+  static RuntimeOptions sanitize(RuntimeOptions options);
+
   void dispatch_loop(PacketSource* source);
+  // Flavors behind dispatch_loop: burst == 1 runs the exact single-item
+  // path, burst > 1 stages per shard and flushes ring bursts.
+  void dispatch_single(PacketSource* source);
+  void dispatch_burst(PacketSource* source);
   void worker_loop(std::size_t shard);
   // Requires threads joined: classifies every still-pending flow and
   // folds the remaining per-nature classification counts into metrics.

@@ -8,6 +8,13 @@
 // side's index so the common case touches only memory it already owns
 // (the shared atomic is re-read only when the cache says full/empty).
 //
+// Both sides come in single-item (try_push/try_pop) and burst
+// (try_push_burst/try_pop_burst) flavors.  A burst moves up to N items
+// under ONE head/tail load+store pair, so the per-item synchronization
+// cost — the acquire reload of the peer's cursor and the release
+// publish of our own — is amortized across the whole batch (see
+// DESIGN.md §10, burst protocol).
+//
 // Shutdown is a poison pill carried out of band: the producer calls
 // close() after its final push, and the consumer terminates on a
 // try_pop() that fails AFTER closed() was observed — the acquire load of
@@ -17,9 +24,11 @@
 #ifndef IUSTITIA_RUNTIME_SPSC_RING_H_
 #define IUSTITIA_RUNTIME_SPSC_RING_H_
 
+#include <algorithm>
 #include <atomic>
 #include <bit>
 #include <cstddef>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -75,6 +84,60 @@ class SpscRing {
     out = std::move(slots_[head & mask_]);
     head_.store(head + 1, std::memory_order_release);
     return true;
+  }
+
+  // Producer side, batched: moves up to values.size() items in FIFO
+  // order and returns how many fit (0 when the ring is full).  Consumed
+  // items are left moved-from; the unpushed tail of `values` is
+  // untouched, so the caller can retry exactly the remainder.  The whole
+  // burst costs the same synchronization as ONE try_push — at most one
+  // acquire reload of the head and exactly one release store of the tail
+  // — which is what amortizes the cross-core cache traffic when the
+  // dispatcher flushes a staging buffer.  Same close() contract as
+  // try_push: must not be called after close().
+  // analyze: hotpath
+  std::size_t try_push_burst(std::span<T> values) {
+    if (values.empty()) return 0;
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t space = capacity() - (tail - cached_head_);
+    if (space < values.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      space = capacity() - (tail - cached_head_);
+      if (space == 0) return 0;
+    }
+    DCHECK(!closed_.load(std::memory_order_relaxed))
+        << "push after close() breaks the drain contract";
+    const std::size_t n = std::min(values.size(), space);
+    for (std::size_t i = 0; i < n; ++i) {
+      slots_[(tail + i) & mask_] = std::move(values[i]);
+    }
+    tail_.store(tail + n, std::memory_order_release);
+    return n;
+  }
+
+  // Consumer side, batched: moves up to out.size() oldest items into the
+  // front of `out` and returns how many arrived (0 when the ring is
+  // empty).  One acquire reload of the tail at most, one release store
+  // of the head total — the consumer half of the burst protocol.  The
+  // close()/drain termination protocol is unchanged: a 0 return *after*
+  // closed() was observed proves exhaustion, exactly like a failed
+  // try_pop.
+  // analyze: hotpath
+  std::size_t try_pop_burst(std::span<T> out) {
+    if (out.empty()) return 0;
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t avail = cached_tail_ - head;
+    if (avail < out.size()) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      avail = cached_tail_ - head;
+      if (avail == 0) return 0;
+    }
+    const std::size_t n = std::min(out.size(), avail);
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] = std::move(slots_[(head + i) & mask_]);
+    }
+    head_.store(head + n, std::memory_order_release);
+    return n;
   }
 
   // Producer side: marks the stream complete.  Consumer termination

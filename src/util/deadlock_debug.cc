@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/rt_guard.h"
 
 namespace iustitia::util::deadlock {
 namespace {
@@ -88,6 +89,13 @@ void ensure_exit_hook() {
 }  // namespace
 
 void on_acquire(const void* mu, const char* name) {
+  // The detector's own bookkeeping — held-stack growth, edge-set nodes,
+  // the registry's raw mutex — is instrumentation overhead, not
+  // application behavior.  Exempt it from rt-guard accounting so a
+  // IUSTITIA_DEADLOCK_DEBUG build does not report the probe itself as a
+  // hot-path violation (the first lock a fresh thread takes inside a
+  // GuardRegion would otherwise count the stack's initial allocation).
+  rt::AllowScope rt_allow(rt::kAlloc | rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
   ensure_exit_hook();
   for (const HeldLock& held : held_stack()) {
     CHECK(held.mu != mu) << "recursive acquisition of mutex '"
@@ -101,6 +109,8 @@ void on_acquire(const void* mu, const char* name) {
 }
 
 void on_acquired_try(const void* mu, const char* name) {
+  // Same instrumentation-overhead exemption as on_acquire().
+  rt::AllowScope rt_allow(rt::kAlloc | rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
   ensure_exit_hook();
   // A successful try_lock cannot deadlock; record the ordering silently
   // so the observed graph stays complete.

@@ -5,6 +5,13 @@
 // wide hash for the Classification Database; it carries no security claim
 // here.  The implementation is self-contained and tested against the FIPS
 // 180-2 example vectors.
+//
+// The compression function is selected once at startup: on x86-64 hosts
+// whose cpuid reports the SHA extensions it runs via SHA-NI intrinsics,
+// otherwise via the portable 80-round loop — both produce bit-identical
+// digests.  The one-shot sha1() additionally special-cases messages of
+// <= 55 bytes (everything flow_id hashes) into a single stack-built
+// padded block, skipping the incremental buffer entirely.
 #ifndef IUSTITIA_UTIL_SHA1_H_
 #define IUSTITIA_UTIL_SHA1_H_
 

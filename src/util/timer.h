@@ -27,6 +27,35 @@ class Stopwatch {
   Clock::time_point start_;
 };
 
+// Two back-to-back intervals measured with THREE clock reads instead of
+// the four that a pair of Stopwatches costs: construction starts the
+// first interval, mark() ends it and starts the second, second_micros()
+// ends the second.  On a hot path that times adjacent stages (e.g. the
+// engine's tau_hash / tau_CDBsearch brackets) the shared middle read is
+// a measurable saving — a steady_clock read is tens of nanoseconds.
+class SplitStopwatch {
+ public:
+  SplitStopwatch() noexcept : start_(Clock::now()), mark_(start_) {}
+
+  // Ends the first interval and starts the second (one clock read).
+  void mark() noexcept { mark_ = Clock::now(); }
+
+  // First interval: construction to mark().  Pure arithmetic, no read.
+  double first_micros() const noexcept {
+    return std::chrono::duration<double>(mark_ - start_).count() * 1e6;
+  }
+
+  // Second interval: mark() to now (one clock read).
+  double second_micros() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - mark_).count() * 1e6;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  Clock::time_point mark_;
+};
+
 }  // namespace iustitia::util
 
 #endif  // IUSTITIA_UTIL_TIMER_H_

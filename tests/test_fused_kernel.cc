@@ -198,6 +198,80 @@ TEST(FusedKernel, AdversarialPacketizationsMatchOneShot) {
   }
 }
 
+// The block-wise inner loop (add_block, kBlockBytes at a time with probe
+// prefetch) must be bit-identical to the legacy per-byte path at every
+// boundary shape: below one block (pure tail loop), exactly one block
+// (pure block loop), one past (block + 1-byte tail), and multi-block
+// with and without a tail.  Empty input stays a no-op.
+TEST(FusedKernel, GoldenEquivalenceAtBlockBoundaries) {
+  constexpr std::size_t kB = FusedEntropyKernel::kBlockBytes;
+  for (const std::size_t size :
+       {std::size_t{0}, kB - 1, kB, kB + 1, 2 * kB, 2 * kB + 7,
+        5 * kB - 1}) {
+    const auto data =
+        corpus_sample(datagen::FileClass::kBinary, size, 0xB10C + size);
+    ASSERT_EQ(data.size(), size);
+    SCOPED_TRACE(size);
+    expect_golden_equal(data, all_widths());
+  }
+}
+
+// Feeding in block-sized chunks must agree with one-shot: the rolling
+// key must survive a block boundary that is also an add() boundary.
+TEST(FusedKernel, BlockSizedChunksMatchOneShot) {
+  constexpr std::size_t kB = FusedEntropyKernel::kBlockBytes;
+  const auto widths = all_widths();
+  const auto data = corpus_sample(datagen::FileClass::kText, 6 * kB, 77);
+
+  FusedEntropyKernel whole(widths);
+  whole.add(data);
+  FusedEntropyKernel chunked(widths);
+  for (std::size_t at = 0; at < data.size(); at += kB) {
+    chunked.add(std::span<const std::uint8_t>(data.data() + at, kB));
+  }
+
+  std::vector<double> expected(widths.size());
+  std::vector<double> got(widths.size());
+  whole.features(expected);
+  chunked.features(got);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_EQ(got[i], expected[i]) << "width " << widths[i];
+    ASSERT_EQ(chunked.total_grams(i), whole.total_grams(i));
+    ASSERT_EQ(chunked.distinct(i), whole.distinct(i));
+  }
+}
+
+// Strict bit-identity of the block path against the per-byte path: a
+// kernel fed one byte per add() can never enter add_block (a full block
+// never accumulates inside a single call), so it runs the legacy
+// per-byte loop exclusively.  The sums must be EXACTLY equal — the block
+// loop keeps every probe and every +/- in stream order per width, so no
+// float reassociation is allowed to creep in.
+TEST(FusedKernel, BlockPathBitIdenticalToPerBytePath) {
+  const auto widths = all_widths();
+  const auto data = corpus_sample(datagen::FileClass::kEncrypted, 2048, 42);
+
+  FusedEntropyKernel block_path(widths);
+  block_path.add(data);
+  FusedEntropyKernel byte_path(widths);
+  for (const std::uint8_t b : data) {
+    byte_path.add(std::span<const std::uint8_t>(&b, 1));
+  }
+
+  std::vector<double> blockwise(widths.size());
+  std::vector<double> bytewise(widths.size());
+  block_path.features(blockwise);
+  byte_path.features(bytewise);
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    ASSERT_EQ(blockwise[i], bytewise[i]) << "width " << widths[i];
+    ASSERT_EQ(block_path.sum_count_log_count(i),
+              byte_path.sum_count_log_count(i))
+        << "width " << widths[i];
+    ASSERT_EQ(block_path.total_grams(i), byte_path.total_grams(i));
+    ASSERT_EQ(block_path.distinct(i), byte_path.distinct(i));
+  }
+}
+
 TEST(FusedKernel, ResetReusesTablesAcrossFlows) {
   const auto widths = all_widths();
   const auto first = corpus_sample(datagen::FileClass::kText, 4096, 1);

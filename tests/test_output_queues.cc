@@ -2,6 +2,8 @@
 #include "core/output_queues.h"
 
 #include <optional>
+#include <span>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -47,6 +49,48 @@ TEST(OutputQueues, CapacityDrops) {
   EXPECT_EQ(queues.enqueued(FileClass::kBinary), 2u);
   // Other classes unaffected by one class's pressure.
   EXPECT_TRUE(queues.enqueue(FileClass::kText, packet_of(4)));
+}
+
+// The batched handoff out of a shard worker: one lock for the span,
+// accepted packets moved out, refused packets left intact for the caller
+// to retire outside the lock.
+TEST(OutputQueues, EnqueueBurstAcceptsUpToCapacityAndLeavesTheRestIntact) {
+  OutputQueues queues(2);
+  std::vector<QueuedPacket> batch;
+  for (std::uint16_t i = 1; i <= 4; ++i) {
+    batch.push_back(QueuedPacket{packet_of(i), FileClass::kBinary});
+  }
+  ASSERT_EQ(queues.enqueue_burst(std::span<QueuedPacket>(batch)), 2u);
+
+  // Accepted packets were moved out of the batch; refused ones keep
+  // their payloads so the caller can account for and retire them.
+  EXPECT_TRUE(batch[0].packet.payload.empty());
+  EXPECT_TRUE(batch[1].packet.payload.empty());
+  EXPECT_EQ(batch[2].packet.payload.size(), 3u);
+  EXPECT_EQ(batch[3].packet.payload.size(), 3u);
+
+  EXPECT_EQ(queues.depth(FileClass::kBinary), 2u);
+  EXPECT_EQ(queues.enqueued(FileClass::kBinary), 2u);
+  EXPECT_EQ(queues.dropped(FileClass::kBinary), 2u);
+
+  // FIFO within the accepted prefix.
+  const auto first = queues.dequeue(FileClass::kBinary);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->packet.key.src_port, 1);
+}
+
+TEST(OutputQueues, EnqueueBurstSpansClassesAndEmptyBatchIsANoOp) {
+  OutputQueues queues;
+  EXPECT_EQ(queues.enqueue_burst(std::span<QueuedPacket>()), 0u);
+
+  std::vector<QueuedPacket> batch;
+  batch.push_back(QueuedPacket{packet_of(1), FileClass::kText});
+  batch.push_back(QueuedPacket{packet_of(2), FileClass::kEncrypted});
+  batch.push_back(QueuedPacket{packet_of(3), FileClass::kText});
+  ASSERT_EQ(queues.enqueue_burst(std::span<QueuedPacket>(batch)), 3u);
+  EXPECT_EQ(queues.depth(FileClass::kText), 2u);
+  EXPECT_EQ(queues.depth(FileClass::kEncrypted), 1u);
+  EXPECT_EQ(queues.high_water(FileClass::kText), 2u);
 }
 
 TEST(OutputQueues, UnboundedWhenCapacityZero) {

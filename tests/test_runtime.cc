@@ -138,6 +138,142 @@ TEST(Runtime, ShardCountDoesNotChangeAnyClassification) {
   }
 }
 
+// Burst flavor of the headline property: the batched transport (staged
+// dispatch, ring bursts, batched output crossing) must not change any
+// classification or lose any packet relative to the single-item path.
+TEST(Runtime, BurstSizeDoesNotChangeClassificationsOrLosePackets) {
+  const auto factory = model_factory();
+  core::EngineOptions engine_options;
+  engine_options.buffer_size = 32;
+
+  LabelMap expected;
+  std::uint64_t expected_flushes = 0;
+  for (const std::size_t burst :
+       {std::size_t{1}, std::size_t{7}, std::size_t{32}}) {
+    RuntimeOptions options;
+    options.shards = 2;
+    options.burst = burst;
+    options.backpressure = BackpressurePolicy::kBlock;  // lossless
+    options.engine = engine_options;
+    Runtime rt(factory, options);
+
+    TraceSource source(trace_options(kEquivalencePackets / 2, 910));
+    rt.start(source);
+    rt.wait();
+
+    const MetricsSnapshot snap = rt.snapshot();
+    const std::uint64_t total = snap.packets_in;
+    ASSERT_GT(total, 0u);
+    EXPECT_EQ(snap.total_pushed(), total) << "burst " << burst;
+    EXPECT_EQ(snap.total_popped(), total) << "burst " << burst;
+    EXPECT_EQ(snap.total_dropped(), 0u) << "burst " << burst;
+    EXPECT_EQ(rt.engine().total_stats().packets, total);
+
+    if (burst == 1) {
+      expected = labels_of(rt.engine());
+      ASSERT_FALSE(expected.empty());
+      EXPECT_EQ(snap.total_flushes(), 0u)
+          << "the single-item path must not report dispatch flushes";
+      continue;
+    }
+    EXPECT_GT(snap.total_flushes(), 0u) << "burst " << burst;
+    const LabelMap actual = labels_of(rt.engine());
+    ASSERT_EQ(actual.size(), expected.size()) << "burst " << burst;
+    for (const auto& [key, label] : expected) {
+      const auto it = actual.find(key);
+      ASSERT_NE(it, actual.end()) << "burst " << burst;
+      EXPECT_EQ(it->second, label) << "burst " << burst;
+    }
+    expected_flushes = snap.total_flushes();
+  }
+  EXPECT_GT(expected_flushes, 0u);
+}
+
+// The per-shard burst-size histogram must account for every pushed
+// packet: sum(bucket midpoint counts) can't be checked exactly (buckets
+// are power-of-two ranges), but the histogram total must equal the
+// number of successful burst pushes and the mean must sit in [1, burst].
+TEST(Runtime, BurstHistogramAccountsForEveryPush) {
+  RuntimeOptions options;
+  options.shards = 2;
+  options.burst = 16;
+  options.backpressure = BackpressurePolicy::kBlock;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(20'000, 911));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  static_assert(kBurstBucketCount > 0);
+  for (const MetricsSnapshot::Ring& ring : snap.rings) {
+    ASSERT_EQ(ring.burst_counts.size(), kBurstBucketCount);
+    EXPECT_EQ(ring.pushed, ring.popped);
+    if (ring.pushed == 0) continue;
+    std::uint64_t burst_pushes = 0;
+    for (const std::uint64_t n : ring.burst_counts) burst_pushes += n;
+    EXPECT_GT(burst_pushes, 0u);
+    EXPECT_GT(ring.flushes, 0u);
+    // A flush may split into several pushes against a nearly-full ring,
+    // so pushes >= flushes; the mean burst is within [1, burst].
+    EXPECT_GE(burst_pushes, ring.flushes);
+    EXPECT_GE(ring.mean_burst(), 1.0);
+    EXPECT_LE(ring.mean_burst(), 16.0);
+  }
+
+  // The burst telemetry surfaces in both rendered forms.
+  EXPECT_NE(snap.text_report().find("mean burst"), std::string::npos);
+  EXPECT_NE(snap.json().find("\"flushes\""), std::string::npos);
+  EXPECT_NE(snap.json().find("\"mean_burst\""), std::string::npos);
+}
+
+// After close(), a worker's final drain runs burst pops until a zero
+// return: a ring loaded to capacity before the workers get scheduled
+// must still drain completely, with every packet accounted for.
+TEST(Runtime, FullRingsDrainCompletelyAfterCloseUnderBurst) {
+  RuntimeOptions options;
+  options.shards = 1;
+  options.ring_capacity = 64;  // small: the dispatcher fills it to the brim
+  options.burst = 16;
+  options.backpressure = BackpressurePolicy::kBlock;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(30'000, 912));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.total_pushed(), snap.packets_in);
+  EXPECT_EQ(snap.total_popped(), snap.packets_in)
+      << "packets still in a ring after shutdown: the post-close burst "
+         "drain lost them";
+  EXPECT_EQ(snap.total_dropped(), 0u);
+  EXPECT_EQ(rt.engine().total_stats().packets, snap.packets_in);
+}
+
+// Drop-policy conservation under burst: every source packet is pushed or
+// dropped, everything pushed is popped — same invariant as the
+// single-item path, now accounted burst-at-a-time.
+TEST(Runtime, DropPolicyCountsEveryLostPacketUnderBurst) {
+  RuntimeOptions options;
+  options.shards = 1;
+  options.ring_capacity = 8;
+  options.burst = 8;
+  options.backpressure = BackpressurePolicy::kDrop;
+  Runtime rt(model_factory(), options);
+
+  TraceSource source(trace_options(20'000, 913));
+  rt.start(source);
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.packets_in, snap.total_pushed() + snap.total_dropped());
+  EXPECT_EQ(snap.total_popped(), snap.total_pushed());
+  EXPECT_GT(snap.total_dropped(), 0u)
+      << "an 8-slot ring against per-packet engine work must drop";
+  EXPECT_EQ(rt.engine().total_stats().packets, snap.total_popped());
+}
+
 TEST(Runtime, WaitAndStopAreIdempotentInAnyOrder) {
   RuntimeOptions options;
   options.shards = 2;

@@ -58,6 +58,20 @@ TEST(Sha1, ResetRestoresInitialState) {
   EXPECT_EQ(h.digest().hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
 }
 
+// The one-shot sha1() special-cases messages of <= 55 bytes into a
+// single stack-built padded block (the flow-id shape).  Every length
+// through the cutoff — plus the first length past it — must agree with
+// the incremental path, which never takes the fast path.
+TEST(Sha1, OneShotFastPathMatchesIncrementalAtEveryLength) {
+  std::string data;
+  for (std::size_t len = 0; len <= 56; ++len) {
+    Sha1 h;
+    h.update(data);
+    ASSERT_EQ(sha1(data), h.digest()) << "len " << len;
+    data.push_back(static_cast<char>('A' + len % 26));
+  }
+}
+
 TEST(Sha1, BoundaryLengthsAroundBlockSize) {
   // Exercise padding around the 64-byte block boundary.
   for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {

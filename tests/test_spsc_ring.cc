@@ -1,14 +1,17 @@
 // SPSC ring unit tests: geometry, FIFO order across wraparound, full/empty
-// edges, the close()/drain termination protocol, and a two-thread hammer
-// that tools/ci.sh also runs under TSan.
+// edges, the close()/drain termination protocol, the burst push/pop
+// protocol (partial bursts, wraparound, move-only payloads), and
+// two-thread hammers that tools/ci.sh also runs under TSan.
 #include "runtime/spsc_ring.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -98,6 +101,91 @@ TEST(SpscRing, CloseDrainTerminationProtocol) {
   EXPECT_FALSE(ring.try_pop(out));
 }
 
+TEST(SpscRingBurst, PartialBurstNearFullAndEmptyEdges) {
+  SpscRing<int> ring(4);
+  // Push 6 into capacity 4: only 4 fit, the unpushed tail is untouched.
+  std::vector<int> values = {0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.try_push_burst(std::span<int>(values)), 4u);
+  EXPECT_EQ(values[4], 4) << "unpushed tail must be left intact for retry";
+  EXPECT_EQ(values[5], 5);
+  EXPECT_EQ(ring.try_push_burst(std::span<int>(values).subspan(4)), 0u)
+      << "full ring refuses the remainder";
+
+  // Pop 6 from a ring holding 4: only 4 arrive, in FIFO order.
+  std::vector<int> out(6, -1);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>(out)), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(out[4], -1) << "slots beyond the arrival count are untouched";
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>(out)), 0u) << "empty ring";
+
+  // Empty spans are no-ops on both sides.
+  EXPECT_EQ(ring.try_push_burst(std::span<int>()), 0u);
+  EXPECT_EQ(ring.try_pop_burst(std::span<int>()), 0u);
+}
+
+TEST(SpscRingBurst, FifoOrderAcrossWraparoundWithMixedBurstSizes) {
+  SpscRing<std::uint64_t> ring(8);
+  std::uint64_t next_push = 0;
+  std::uint64_t next_pop = 0;
+  std::vector<std::uint64_t> in;
+  std::vector<std::uint64_t> out(5);
+  // Mixed burst sizes keep the cursors landing on every offset modulo the
+  // capacity, so bursts regularly straddle the wrap point.
+  while (next_pop < 1000) {
+    const std::size_t want = 1 + next_push % 7;
+    in.clear();
+    for (std::size_t i = 0; i < want; ++i) in.push_back(next_push + i);
+    next_push += ring.try_push_burst(std::span<std::uint64_t>(in));
+    std::size_t got;
+    while ((got = ring.try_pop_burst(std::span<std::uint64_t>(out))) != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(out[i], next_pop);
+        ++next_pop;
+      }
+    }
+  }
+  EXPECT_EQ(next_push, next_pop);
+}
+
+TEST(SpscRingBurst, MoveOnlyPayloadsMoveThroughBursts) {
+  SpscRing<std::unique_ptr<int>> ring(4);
+  std::vector<std::unique_ptr<int>> in;
+  for (int i = 0; i < 3; ++i) in.push_back(std::make_unique<int>(i));
+  ASSERT_EQ(ring.try_push_burst(std::span<std::unique_ptr<int>>(in)), 3u);
+  for (const auto& p : in) {
+    EXPECT_EQ(p, nullptr) << "pushed items must be moved out, not copied";
+  }
+  std::vector<std::unique_ptr<int>> out(4);
+  ASSERT_EQ(ring.try_pop_burst(std::span<std::unique_ptr<int>>(out)), 3u);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_NE(out[static_cast<std::size_t>(i)], nullptr);
+    EXPECT_EQ(*out[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SpscRingBurst, FullRingDrainsCompletelyViaBurstsAfterClose) {
+  SpscRing<int> ring(8);
+  std::vector<int> all(ring.capacity());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+  ASSERT_EQ(ring.try_push_burst(std::span<int>(all)), ring.capacity());
+  ring.close();
+
+  // Worker-side final drain: closed() observed first, then burst pops
+  // until a zero return — every pre-close item must surface, no loss.
+  ASSERT_TRUE(ring.closed());
+  std::vector<int> window(3);
+  int expected = 0;
+  std::size_t got;
+  while ((got = ring.try_pop_burst(std::span<int>(window))) != 0) {
+    for (std::size_t i = 0; i < got; ++i) {
+      ASSERT_EQ(window[i], expected);
+      ++expected;
+    }
+  }
+  EXPECT_EQ(static_cast<std::size_t>(expected), ring.capacity())
+      << "zero-size pop after close() must mean a fully drained ring";
+}
+
 // Producer and consumer on separate threads push/pop a long monotone
 // sequence through a tiny ring, forcing constant full/empty collisions on
 // the cached-index fast paths.  TSan checks the memory-order contract;
@@ -131,6 +219,123 @@ TEST(SpscRing, TwoThreadHammerDeliversEverythingInOrder) {
   }
   producer.join();
   EXPECT_EQ(expected, kHammerItems);
+}
+
+// Burst flavor of the hammer: both sides use varying burst sizes through
+// a tiny ring, so bursts constantly split at the full/empty boundary and
+// wrap the index mask mid-burst.  TSan checks that one acquire/release
+// pair per burst is enough to publish every slot write; the assertions
+// check lossless FIFO delivery and that partial-burst retries resume at
+// exactly the right element.
+TEST(SpscRingBurst, TwoThreadBurstHammerDeliversEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(16);
+
+  std::thread producer([&ring] {
+    std::vector<std::uint64_t> staged;
+    std::uint64_t next = 0;
+    while (next < kHammerItems) {
+      const std::size_t want = static_cast<std::size_t>(
+          1 + next % 23);  // spans sub- and super-capacity bursts
+      staged.clear();
+      for (std::size_t i = 0; i < want && next + i < kHammerItems; ++i) {
+        staged.push_back(next + i);
+      }
+      std::span<std::uint64_t> rest(staged);
+      while (!rest.empty()) {
+        const std::size_t pushed = ring.try_push_burst(rest);
+        rest = rest.subspan(pushed);
+        next += pushed;
+        if (pushed == 0) std::this_thread::yield();
+      }
+    }
+    ring.close();
+  });
+
+  std::vector<std::uint64_t> window(13);  // deliberately != producer sizes
+  std::uint64_t expected = 0;
+  for (;;) {
+    const std::size_t got =
+        ring.try_pop_burst(std::span<std::uint64_t>(window));
+    if (got != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        ASSERT_EQ(window[i], expected);
+        ++expected;
+      }
+      continue;
+    }
+    if (ring.closed()) {
+      std::size_t more;
+      while ((more = ring.try_pop_burst(std::span<std::uint64_t>(window))) !=
+             0) {
+        for (std::size_t i = 0; i < more; ++i) {
+          ASSERT_EQ(window[i], expected);
+          ++expected;
+        }
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(expected, kHammerItems);
+}
+
+// Move-only payloads through the threaded burst path: every element must
+// arrive exactly once (no double-move, no leak — ASan would flag either).
+TEST(SpscRingBurst, TwoThreadBurstHammerMoveOnly) {
+  SpscRing<std::unique_ptr<std::uint64_t>> ring(8);
+  constexpr std::uint64_t kItems = kHammerItems / 20;
+
+  std::thread producer([&ring] {
+    std::vector<std::unique_ptr<std::uint64_t>> staged;
+    std::uint64_t next = 0;
+    while (next < kItems) {
+      staged.clear();
+      for (std::size_t i = 0; i < 5 && next + i < kItems; ++i) {
+        staged.push_back(std::make_unique<std::uint64_t>(next + i));
+      }
+      std::span<std::unique_ptr<std::uint64_t>> rest(staged);
+      while (!rest.empty()) {
+        const std::size_t pushed = ring.try_push_burst(rest);
+        rest = rest.subspan(pushed);
+        next += pushed;
+        if (pushed == 0) std::this_thread::yield();
+      }
+    }
+    ring.close();
+  });
+
+  std::vector<std::unique_ptr<std::uint64_t>> window(7);
+  std::uint64_t expected = 0;
+  for (;;) {
+    const std::size_t got = ring.try_pop_burst(
+        std::span<std::unique_ptr<std::uint64_t>>(window));
+    if (got != 0) {
+      for (std::size_t i = 0; i < got; ++i) {
+        ASSERT_NE(window[i], nullptr);
+        ASSERT_EQ(*window[i], expected);
+        window[i].reset();
+        ++expected;
+      }
+      continue;
+    }
+    if (ring.closed()) {
+      std::size_t more;
+      while ((more = ring.try_pop_burst(
+                  std::span<std::unique_ptr<std::uint64_t>>(window))) != 0) {
+        for (std::size_t i = 0; i < more; ++i) {
+          ASSERT_NE(window[i], nullptr);
+          ASSERT_EQ(*window[i], expected);
+          window[i].reset();
+          ++expected;
+        }
+      }
+      break;
+    }
+    std::this_thread::yield();
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
 }
 
 // A producer spinning on a full ring must be released by a close() from

@@ -81,6 +81,8 @@ SAFE_CALLS = {
     "intptr_t", "nanoseconds", "microseconds", "milliseconds",
     "seconds", "popcount", "countl_zero", "countr_zero", "bit_width",
     "rotl", "rotr", "has_single_bit", "from_range", "hash_bytes",
+    # Compiler intrinsic: a pure cache hint, no memory effects at all.
+    "__builtin_prefetch",
 }
 
 

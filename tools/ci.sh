@@ -111,7 +111,10 @@ cmake --build --preset rt-debug -j "$jobs"
 ctest --preset rt-debug -j "$jobs" -R 'test_rt_debug|test_runtime'
 # End-to-end serve under live guards: train a small model, generate a
 # trace, replay it through the sharded runtime in both backpressure
-# modes.  Any undeclared hot-loop allocation FATALs the replay.
+# modes — the blocking run with burst batching on, so the staging
+# buffers, ring burst push/pop, and batched output handoff all execute
+# inside guard regions.  Any undeclared hot-loop allocation FATALs the
+# replay.
 rt_dir="$PWD/build-rtdebug/rt-smoke"
 rm -rf "$rt_dir"
 mkdir -p "$rt_dir"
@@ -120,7 +123,7 @@ mkdir -p "$rt_dir"
 ./build-rtdebug/tools/iustitia gen-trace "$rt_dir/trace.pcap" \
   --packets 20000 --seed 11
 ./build-rtdebug/tools/iustitia replay "$rt_dir/model.bin" \
-  "$rt_dir/trace.pcap" --shards 2 --backpressure block --json \
+  "$rt_dir/trace.pcap" --shards 2 --burst 16 --backpressure block --json \
   > "$rt_dir/replay_block.json"
 ./build-rtdebug/tools/iustitia replay "$rt_dir/model.bin" \
   "$rt_dir/trace.pcap" --shards 2 --backpressure drop --json \
@@ -141,5 +144,16 @@ IUSTITIA_TRACE_PACKETS=25000 ./build/bench/bench_runtime \
   build/BENCH_runtime.json
 python3 tools/perf_check.py build/BENCH_runtime.json \
   bench/baselines/runtime.json
+
+# End-to-end batched hot path: shards x burst sweep at reduced trace
+# size.  The baseline's absolute pkts_per_sec floors encode the
+# >=1.3x-over-the-pre-burst-runtime acceptance bar (the floor is 1.37x
+# the measured pre-change throughput; see the baseline's comment), and
+# speedup_vs_single guards the burst protocol against regressing below
+# the in-binary single-item path.
+IUSTITIA_TRACE_PACKETS=25000 ./build/bench/bench_e2e_throughput \
+  build/BENCH_e2e_throughput.json
+python3 tools/perf_check.py build/BENCH_e2e_throughput.json \
+  bench/baselines/e2e_throughput.json
 
 echo "ci.sh: all presets green"

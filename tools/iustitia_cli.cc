@@ -13,7 +13,7 @@
 //       Synthesize a calibrated gateway trace as a standard pcap.
 //   analyze <model-file> <trace.pcap> [--buffer B]
 //       Replay a pcap through the online engine and summarize flows.
-//   replay <model-file> <trace.pcap> [--shards N] [--pps R]
+//   replay <model-file> <trace.pcap> [--shards N] [--burst N] [--pps R]
 //          [--backpressure block|drop] [--ring N] [--buffer B] [--json]
 //       Serve a pcap through the online runtime (dispatcher + pinned shard
 //       workers + per-nature output queues) and print live-metrics report.
@@ -83,7 +83,8 @@ int usage() {
       "  classify <model-file> <file>...\n"
       "  gen-trace <out.pcap> [--packets N] [--seed S] [--duration SEC]\n"
       "  analyze <model-file> <trace.pcap> [--buffer B]\n"
-      "  replay <model-file> <trace.pcap> [--shards N] [--pps R]\n"
+      "  replay <model-file> <trace.pcap> [--shards N] [--burst N] "
+      "[--pps R]\n"
       "         [--backpressure block|drop] [--ring N] [--buffer B] "
       "[--json]\n";
   return 2;
@@ -252,6 +253,11 @@ int cmd_replay(const Args& args) {
   runtime::RuntimeOptions options;
   options.shards = static_cast<std::size_t>(args.flag_int("shards", 1));
   options.ring_capacity = static_cast<std::size_t>(args.flag_int("ring", 2048));
+  options.burst = static_cast<std::size_t>(args.flag_int("burst", 1));
+  if (options.burst == 0) {
+    std::cerr << "--burst must be at least 1\n";
+    return 2;
+  }
   const std::string policy = args.flag("backpressure", "block");
   if (policy != "block" && policy != "drop") {
     std::cerr << "unknown --backpressure '" << policy
@@ -289,8 +295,8 @@ int cmd_replay(const Args& args) {
     std::cout << "  replayed " << snap.packets_in << " packets in "
               << util::fmt(seconds, 3) << "s (" << util::fmt(pps / 1e3, 1)
               << " kpps, " << options.shards << " shard"
-              << (options.shards == 1 ? "" : "s") << ", " << policy
-              << " backpressure)\n";
+              << (options.shards == 1 ? "" : "s") << ", burst "
+              << options.burst << ", " << policy << " backpressure)\n";
   }
   if (source.truncated()) {
     std::cerr << "note: capture ended on a truncated record; replayed the "
