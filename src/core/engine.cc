@@ -1,8 +1,10 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 
 #include "appproto/header_stripper.h"
 #include "util/check.h"
@@ -17,16 +19,33 @@ namespace {
 // header before giving up and classifying from the threshold.
 constexpr std::size_t kMaxHeaderWait = 8192;
 
+std::shared_ptr<const FlowNatureModel> require_model(
+    std::shared_ptr<const FlowNatureModel> model) {
+  CHECK(model != nullptr) << "engine needs a non-null model";
+  return model;
+}
+
 }  // namespace
 
 Iustitia::Iustitia(FlowNatureModel model, const EngineOptions& options)
-    : model_(std::move(model)),
+    : Iustitia(std::make_shared<const FlowNatureModel>(std::move(model)),
+               options) {}
+
+Iustitia::Iustitia(std::shared_ptr<const FlowNatureModel> model,
+                   const EngineOptions& options)
+    : model_(require_model(std::move(model))),
+      extractor_(model_->extractor()),
       options_(options),
       cdb_(options.cdb),
       rng_(options.seed) {
   CHECK_GT(options_.buffer_size, std::size_t{0})
       << "engine needs at least one buffered byte to classify on";
   CHECK_GT(options_.buffer_timeout_seconds, 0.0);
+}
+
+void Iustitia::install_model(std::shared_ptr<const FlowNatureModel> model) {
+  model_ = require_model(std::move(model));
+  extractor_ = model_->extractor();
 }
 
 bool Iustitia::resolve_skip(PendingFlow& flow) {
@@ -170,29 +189,32 @@ datagen::FileClass Iustitia::classify_flow(const net::FlowKey& key,
       << "classification window must stay inside the buffered bytes";
   const std::span<const std::uint8_t> window(flow.raw.data() + flow.skip,
                                              take);
-  Classification result = model_.classify(window);
+  // Extraction runs on the engine's own extractor copy (mutable Rng);
+  // inference runs on the shared immutable model — the split that makes
+  // one model safely shareable across shards and hot-swappable.
+  ExtractionResult extraction = extractor_.extract(window);
+  const datagen::FileClass label = model_->classify_features(extraction.features);
 
-  cdb_.insert(net::flow_id(key), result.label, now);
+  cdb_.insert(net::flow_id(key), label, now);
   cdb_.maybe_purge(now);
 
   FlowDelayRecord record;
   record.key = key;
-  record.label = result.label;
+  record.label = label;
   record.classified_at = now;
   record.tau_b = flow.data_packets > 0 ? now - flow.first_data_at : 0.0;
   record.packets_to_fill = flow.data_packets;
   record.hash_micros = flow.hash_micros;
   record.cdb_micros = flow.cdb_micros;
-  record.extract_micros = result.extract_micros;
+  record.extract_micros = extraction.micros;
   record.buffered_bytes = take;
   delays_.push_back(record);
 
   ++stats_.flows_classified;
   if (timed_out) ++stats_.flows_timed_out;
-  DCHECK_LT(static_cast<std::size_t>(result.label),
-            stats_.queue_packets.size());
-  ++stats_.queue_packets[static_cast<std::size_t>(result.label)];
-  return result.label;
+  DCHECK_LT(static_cast<std::size_t>(label), stats_.queue_packets.size());
+  ++stats_.queue_packets[static_cast<std::size_t>(label)];
+  return label;
 }
 
 std::size_t Iustitia::flush_idle(double now) {

@@ -13,12 +13,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/cdb.h"
 #include "core/config.h"
+#include "core/feature_extractor.h"
 #include "core/flow_model.h"
 #include "net/packet.h"
 
@@ -59,6 +61,19 @@ class Iustitia {
   // The model must match the engine's buffer_size in training regime for
   // best accuracy (see core/trainer.h), but any model works mechanically.
   Iustitia(FlowNatureModel model, const EngineOptions& options);
+
+  // Shared-model form: several shards (and the control plane's registry)
+  // hold the same immutable model; the engine keeps its own extractor
+  // copy so extraction state never crosses threads.
+  Iustitia(std::shared_ptr<const FlowNatureModel> model,
+           const EngineOptions& options);
+
+  // Hot-swaps the model (RCU cold path; see core/model_registry.h).  The
+  // CDB and pending flows are untouched: already-labelled flows keep
+  // their labels, in-flight buffers classify under the new model.
+  void install_model(std::shared_ptr<const FlowNatureModel> model);
+
+  const FlowNatureModel& model() const noexcept { return *model_; }
 
   // Processes one packet (packets must arrive in timestamp order).
   PacketAction on_packet(const net::Packet& packet);
@@ -118,7 +133,8 @@ class Iustitia {
   datagen::FileClass classify_flow(const net::FlowKey& key, PendingFlow& flow,
                                    double now, bool timed_out);
 
-  FlowNatureModel model_;
+  std::shared_ptr<const FlowNatureModel> model_;
+  FeatureExtractor extractor_;  // per-engine copy; owns mutable Rng state
   EngineOptions options_;
   ClassificationDatabase cdb_;
   std::unordered_map<net::FlowKey, PendingFlow, net::FlowKeyHash> pending_;

@@ -65,6 +65,12 @@ class FlowNatureModel {
   // of the paper's per-flow space discussion.
   std::size_t model_space_bytes() const noexcept;
 
+  // The configured extractor.  The online engine copies it per shard so
+  // a shared const model (core/model_registry.h) never carries mutable
+  // extraction state across threads; classify_features() on the shared
+  // model is const and thread-safe.
+  const FeatureExtractor& extractor() const noexcept { return extractor_; }
+
   // Backend/scaler installation (used by the trainer).
   void set_tree(ml::DecisionTree tree);
   void set_svm(ml::DagSvm svm, ml::MinMaxScaler scaler);

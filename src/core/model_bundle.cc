@@ -1,0 +1,59 @@
+#include "core/model_bundle.h"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ml/serialize.h"
+
+namespace iustitia::core {
+
+void save_model_bundle(const FlowNatureModel& model,
+                       std::string_view metadata, std::ostream& os) {
+  std::ostringstream payload;
+  model.save(payload);
+  ml::Bundle bundle;
+  bundle.metadata = std::string(metadata);
+  bundle.payload = std::move(payload).str();
+  ml::save_bundle(bundle, os);
+}
+
+LoadedModelBundle load_model_bundle(std::istream& is) {
+  ml::Bundle bundle = ml::load_bundle(is);
+  std::istringstream payload(std::move(bundle.payload));
+  LoadedModelBundle out;
+  out.model = FlowNatureModel::load(payload);
+  out.metadata = std::move(bundle.metadata);
+  out.format_version = bundle.format_version;
+  return out;
+}
+
+FlowNatureModel load_model_any(std::istream& is, std::string* metadata_out) {
+  // Peek the first token without consuming: a bundle opens with the
+  // frame magic, a bare model with its own "flowmodel-v1" magic.
+  const std::istream::pos_type start = is.tellg();
+  std::string first;
+  if (!(is >> first)) {
+    throw std::runtime_error("model parse error: empty stream");
+  }
+  is.clear();
+  is.seekg(start);
+  if (first == ml::kBundleMagic) {
+    LoadedModelBundle bundle = load_model_bundle(is);
+    if (metadata_out != nullptr) *metadata_out = std::move(bundle.metadata);
+    return std::move(bundle.model);
+  }
+  if (metadata_out != nullptr) metadata_out->clear();
+  return FlowNatureModel::load(is);
+}
+
+std::string model_version_of(std::string_view metadata) {
+  std::size_t begin = metadata.find_first_not_of(" \t");
+  if (begin == std::string_view::npos) return "unversioned";
+  std::size_t end = metadata.find_first_of(" \t", begin);
+  if (end == std::string_view::npos) end = metadata.size();
+  return std::string(metadata.substr(begin, end - begin));
+}
+
+}  // namespace iustitia::core

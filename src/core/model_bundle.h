@@ -1,0 +1,55 @@
+// Versioned flow-model artifacts: FlowNatureModel in a sealed bundle.
+//
+// The offline trainer of Fig. 1 hands the online classifier a model
+// artifact; in production that artifact crosses machines and process
+// generations (the admin server's POST /model accepts a retrained one
+// into a live fleet), so it must be self-describing and tamper-evident.
+// These helpers put the full model serialization (widths, estimator
+// config, embedded scaler, tree/SVM) inside the ml::Bundle frame —
+// magic, format version, free-form metadata line, CRC-32 trailer — and
+// validate the frame *before* parsing a single model value.
+//
+// Metadata convention: the first whitespace-separated token is the
+// operator-facing model version (reported by /metrics and /stats.json);
+// everything after it is free-form provenance.
+#ifndef IUSTITIA_CORE_MODEL_BUNDLE_H_
+#define IUSTITIA_CORE_MODEL_BUNDLE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "core/flow_model.h"
+
+namespace iustitia::core {
+
+struct LoadedModelBundle {
+  FlowNatureModel model;
+  std::string metadata;
+  std::uint32_t format_version = 0;
+};
+
+// Serializes `model` inside a bundle frame.  Throws std::invalid_argument
+// when metadata contains a newline.
+void save_model_bundle(const FlowNatureModel& model,
+                       std::string_view metadata, std::ostream& os);
+
+// Validates the frame (magic, version, size, CRC) and then parses the
+// payload.  Throws std::runtime_error with an actionable message on any
+// corruption — nothing partially parsed ever escapes.
+LoadedModelBundle load_model_bundle(std::istream& is);
+
+// Auto-detecting loader: accepts both a bundle and a bare serialized
+// model (the pre-bundle artifact format).  When `metadata_out` is
+// non-null it receives the bundle metadata, or "" for a bare model.
+FlowNatureModel load_model_any(std::istream& is,
+                               std::string* metadata_out = nullptr);
+
+// First whitespace token of a metadata line — the operator-facing model
+// version — or "unversioned" when the line is empty.
+std::string model_version_of(std::string_view metadata);
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_MODEL_BUNDLE_H_

@@ -1,0 +1,95 @@
+#include "core/model_registry.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace iustitia::core {
+
+ModelRegistry::ModelRegistry(std::size_t shards,
+                             std::shared_ptr<const FlowNatureModel> initial,
+                             std::string version)
+    : shards_(shards), epoch_(1) {
+  if (shards == 0) {
+    throw std::invalid_argument("ModelRegistry needs at least one shard");
+  }
+  if (initial == nullptr) {
+    throw std::invalid_argument("ModelRegistry initial model is null");
+  }
+  util::MutexLock lock(mu_);
+  current_ = std::move(initial);
+  version_ = std::move(version);
+  crossed_.assign(shards_, 0);
+}
+
+std::uint64_t ModelRegistry::publish(
+    std::shared_ptr<const FlowNatureModel> model, std::string version) {
+  if (model == nullptr) {
+    throw std::invalid_argument("ModelRegistry::publish: model is null");
+  }
+  util::MutexLock lock(mu_);
+  const std::uint64_t old_epoch = epoch_.load(std::memory_order_relaxed);
+  retired_.push_back(Retired{old_epoch, std::move(current_)});
+  current_ = std::move(model);
+  version_ = std::move(version);
+  ++swaps_;
+  // A shard fleet that already crossed every prior epoch (idle fleet, or
+  // back-to-back publishes) may make older entries reclaimable now.
+  reap_locked();
+  // The release store is the publication point: a reader whose relaxed
+  // epoch_hint() sees the new value will take mu_ in current(), which
+  // orders current_/version_ after this critical section.
+  epoch_.store(old_epoch + 1, std::memory_order_release);
+  return old_epoch + 1;
+}
+
+ModelRegistry::Published ModelRegistry::current() const {
+  util::MutexLock lock(mu_);
+  Published out;
+  out.model = current_;
+  out.epoch = epoch_.load(std::memory_order_relaxed);
+  out.version = version_;
+  return out;
+}
+
+void ModelRegistry::report_crossed(std::size_t shard, std::uint64_t epoch) {
+  util::MutexLock lock(mu_);
+  if (shard >= shards_) return;  // defensive: an unknown reader slot
+  crossed_[shard] = std::max(crossed_[shard], epoch);
+  reap_locked();
+}
+
+std::uint64_t ModelRegistry::min_crossed() const {
+  util::MutexLock lock(mu_);
+  return min_crossed_locked();
+}
+
+std::uint64_t ModelRegistry::min_crossed_locked() const {
+  return *std::min_element(crossed_.begin(), crossed_.end());
+}
+
+void ModelRegistry::reap_locked() {
+  // A model retired at epoch e is safe to free once every shard reports
+  // an epoch strictly greater: each shard installed a replacement (and
+  // released its reference) before reporting.
+  const std::uint64_t floor = min_crossed_locked();
+  std::erase_if(retired_,
+                [floor](const Retired& r) { return r.epoch < floor; });
+}
+
+std::size_t ModelRegistry::retired_count() const {
+  util::MutexLock lock(mu_);
+  return retired_.size();
+}
+
+std::uint64_t ModelRegistry::swap_count() const {
+  util::MutexLock lock(mu_);
+  return swaps_;
+}
+
+std::string ModelRegistry::current_version() const {
+  util::MutexLock lock(mu_);
+  return version_;
+}
+
+}  // namespace iustitia::core

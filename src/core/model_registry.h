@@ -1,0 +1,117 @@
+// RCU-style registry for zero-downtime model hot-swap.
+//
+// The control plane publishes retrained models into a live fleet of
+// shard workers without stopping packet flow.  The protocol (DESIGN.md
+// §11) splits hot and cold asymmetrically:
+//
+//   reader hot path   one relaxed load of the epoch counter per ring
+//                     burst; nothing else — no lock, no refcount, no
+//                     allocation while the epoch is unchanged
+//   reader cold path  on an epoch change, take the registry mutex once:
+//                     copy the current shared_ptr, install it into the
+//                     shard's engine, report the crossed epoch
+//   writer (publish)  swap the current pointer and version under the
+//                     mutex, retire the old model, then release-store
+//                     the bumped epoch — the store is what readers see
+//
+// Grace-period reclamation: a retired model is dropped from the registry
+// once *every* shard has reported crossing a newer epoch (min_crossed).
+// Because a shard installs the replacement — releasing its own reference
+// — strictly before reporting, the registry's retired entry is the last
+// reference by then and the old model is freed exactly once, never while
+// any worker could still be classifying with it.  Shards that never
+// report (e.g. a drained runtime) simply delay reclamation; they can
+// never resurrect a retired model.
+#ifndef IUSTITIA_CORE_MODEL_REGISTRY_H_
+#define IUSTITIA_CORE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow_model.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::core {
+
+class ModelRegistry {
+ public:
+  // One registered reader slot per shard.  The initial model is published
+  // at epoch 1 with swap_count() == 0.  Throws std::invalid_argument on
+  // shards == 0 or a null model.
+  ModelRegistry(std::size_t shards,
+                std::shared_ptr<const FlowNatureModel> initial,
+                std::string version);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  // A coherent (model, epoch, version) triple as of one mutex hold.
+  struct Published {
+    std::shared_ptr<const FlowNatureModel> model;
+    std::uint64_t epoch = 0;
+    std::string version;
+  };
+
+  // Control-plane side: atomically replaces the current model, retires
+  // the previous one, and release-stores the bumped epoch.  Returns the
+  // new epoch.  Throws std::invalid_argument on a null model.
+  std::uint64_t publish(std::shared_ptr<const FlowNatureModel> model,
+                        std::string version);
+
+  // Reader hot path: the epoch a reader compares against its local copy.
+  // Relaxed is sufficient — it is only a change *hint*; the model itself
+  // is re-read through current()'s mutex, which orders the data.
+  std::uint64_t epoch_hint() const noexcept {
+    return epoch_.load(std::memory_order_relaxed);
+  }
+
+  // Reader cold path: the current triple.
+  Published current() const;
+
+  // Reader cold path: shard `shard` now runs the model of `epoch`.
+  // Monotonic (an older epoch never rolls a shard's report back); drives
+  // retired-model reclamation.
+  void report_crossed(std::size_t shard, std::uint64_t epoch);
+
+  // Smallest epoch any shard has reported (0 until every shard reported
+  // at least once).
+  std::uint64_t min_crossed() const;
+
+  // Models retired but not yet reclaimed (grace period still open).
+  std::size_t retired_count() const;
+
+  // Publishes after construction — the operator-facing swap counter.
+  std::uint64_t swap_count() const;
+
+  std::string current_version() const;
+  std::size_t shard_count() const noexcept { return shards_; }
+
+ private:
+  // Drops every retired entry whose grace period has closed.
+  void reap_locked() IUSTITIA_REQUIRES(mu_);
+  std::uint64_t min_crossed_locked() const IUSTITIA_REQUIRES(mu_);
+
+  struct Retired {
+    std::uint64_t epoch = 0;  // the epoch this model served under
+    std::shared_ptr<const FlowNatureModel> model;
+  };
+
+  const std::size_t shards_;
+  // Monotonic publication counter; stores release under mu_, hot readers
+  // load relaxed as a change hint (see epoch_hint()).
+  std::atomic<std::uint64_t> epoch_;  // analyze: atomic(publish)
+  mutable util::Mutex mu_{"ModelRegistry::mu_"};
+  std::shared_ptr<const FlowNatureModel> current_ IUSTITIA_GUARDED_BY(mu_);
+  std::string version_ IUSTITIA_GUARDED_BY(mu_);
+  std::vector<std::uint64_t> crossed_ IUSTITIA_GUARDED_BY(mu_);
+  std::vector<Retired> retired_ IUSTITIA_GUARDED_BY(mu_);
+  std::uint64_t swaps_ IUSTITIA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace iustitia::core
+
+#endif  // IUSTITIA_CORE_MODEL_REGISTRY_H_

@@ -1,6 +1,7 @@
 #include "core/sharded_engine.h"
 
 #include <stdexcept>
+#include <utility>
 
 #include "util/check.h"
 #include "util/rt_guard.h"
@@ -19,6 +20,25 @@ ShardedIustitia::ShardedIustitia(
     shard_options.seed = options.seed + i;  // independent random-skip streams
     auto shard = std::make_unique<Shard>();
     shard->engine = std::make_unique<Iustitia>(model_factory(), shard_options);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedIustitia::ShardedIustitia(
+    std::shared_ptr<const FlowNatureModel> model, const EngineOptions& options,
+    std::size_t shards) {
+  if (shards == 0) {
+    throw std::invalid_argument("ShardedIustitia: shards must be > 0");
+  }
+  if (model == nullptr) {
+    throw std::invalid_argument("ShardedIustitia: model must be non-null");
+  }
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    EngineOptions shard_options = options;
+    shard_options.seed = options.seed + i;  // independent random-skip streams
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<Iustitia>(model, shard_options);
     shards_.push_back(std::move(shard));
   }
 }

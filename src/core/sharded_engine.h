@@ -36,6 +36,13 @@ class ShardedIustitia {
   ShardedIustitia(const std::function<FlowNatureModel()>& model_factory,
                   const EngineOptions& options, std::size_t shards);
 
+  // Shared-model form: every shard holds the same immutable model (the
+  // control plane's ModelRegistry publishes replacements; each shard still
+  // keeps its own extractor copy inside its engine).  Throws
+  // std::invalid_argument when shards == 0.
+  ShardedIustitia(std::shared_ptr<const FlowNatureModel> model,
+                  const EngineOptions& options, std::size_t shards);
+
   // Deterministic steering: same flow -> same shard (uses the flow-key
   // hash, mixing both directions independently like the paper's CDB).
   std::size_t shard_of(const net::FlowKey& key) const noexcept;

@@ -1,0 +1,118 @@
+#include "ctrl/admin.h"
+
+#include <exception>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "core/model_bundle.h"
+#include "ctrl/prometheus.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace iustitia::ctrl {
+
+AdminServer::AdminServer(runtime::Runtime* runtime,
+                         std::shared_ptr<core::ModelRegistry> registry,
+                         HttpServer::Options options)
+    : runtime_(runtime),
+      registry_(std::move(registry)),
+      server_(std::move(options),
+              [this](const HttpRequest& request) { return handle(request); }) {
+  CHECK(runtime_ != nullptr) << "AdminServer needs a runtime";
+}
+
+AdminServer::~AdminServer() { stop(); }
+
+void AdminServer::start() { server_.start(); }
+
+void AdminServer::stop() {
+  // Release any wait_for_quit() caller first so shutdown never hangs on
+  // the latch, then tear the HTTP threads down.
+  notify_quit();
+  server_.stop();
+}
+
+bool AdminServer::quit_requested() const {
+  util::MutexLock lock(quit_mu_);
+  return quit_;
+}
+
+void AdminServer::wait_for_quit() {
+  util::MutexLock lock(quit_mu_);
+  while (!quit_) quit_cv_.wait(quit_mu_);
+}
+
+void AdminServer::notify_quit() {
+  {
+    util::MutexLock lock(quit_mu_);
+    quit_ = true;
+  }
+  quit_cv_.notify_all();
+}
+
+HttpResponse AdminServer::handle(const HttpRequest& request) {
+  if (request.target == "/healthz") {
+    if (request.method != "GET") return text_response(405, "GET only\n");
+    return text_response(200, "ok\n");
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") return text_response(405, "GET only\n");
+    HttpResponse resp =
+        text_response(200, render_prometheus(runtime_->snapshot()));
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return resp;
+  }
+  if (request.target == "/stats.json") {
+    if (request.method != "GET") return text_response(405, "GET only\n");
+    return json_response(200, runtime_->snapshot().json());
+  }
+  if (request.target == "/model") {
+    if (request.method != "POST") return text_response(405, "POST only\n");
+    return handle_model_post(request);
+  }
+  if (request.target == "/quitquitquit") {
+    if (request.method != "POST") return text_response(405, "POST only\n");
+    // Latch only; the serve loop drains after this response is written.
+    notify_quit();
+    return text_response(200, "draining\n");
+  }
+  return text_response(404,
+                       "unknown endpoint; have /healthz /metrics "
+                       "/stats.json /model /quitquitquit\n");
+}
+
+HttpResponse AdminServer::handle_model_post(const HttpRequest& request) {
+  if (registry_ == nullptr) {
+    return text_response(
+        503, "runtime was started without a model registry; hot-swap "
+             "is unavailable\n");
+  }
+  if (request.body.empty()) {
+    return text_response(400, "empty body; POST a model bundle (see "
+                              "`iustitia train`)\n");
+  }
+  core::LoadedModelBundle bundle;
+  try {
+    // Full validation happens HERE, on the handler thread: frame magic,
+    // format version, CRC, then the model parse.  Only a fully parsed
+    // model is ever published to the workers.
+    std::istringstream body(request.body);
+    bundle = core::load_model_bundle(body);
+  } catch (const std::exception& e) {
+    return text_response(400, std::string("model bundle rejected: ") +
+                                  e.what() + "\n");
+  }
+  const std::string version = core::model_version_of(bundle.metadata);
+  const std::uint64_t epoch = registry_->publish(
+      std::make_shared<const core::FlowNatureModel>(std::move(bundle.model)),
+      version);
+  IUSTITIA_LOG_INFO << "ctrl: published model version '" << version
+                    << "' at epoch " << epoch;
+  std::ostringstream body;
+  body << "{\"status\": \"swapped\", \"version\": \"" << version
+       << "\", \"epoch\": " << epoch << "}\n";
+  return json_response(200, body.str());
+}
+
+}  // namespace iustitia::ctrl

@@ -1,0 +1,75 @@
+// Admin surface of the control plane (DESIGN.md §11): the endpoints an
+// operator (or the ctrl-smoke CI stage) drives a live runtime with.
+//
+//   GET  /healthz        liveness probe: 200 "ok"
+//   GET  /metrics        Prometheus text exposition of the snapshot
+//   GET  /stats.json     the runtime's JSON metrics document
+//   POST /model          versioned model bundle upload -> RCU hot-swap
+//   POST /quitquitquit   request graceful drain (wait_for_quit returns)
+//
+// AdminServer owns the HttpServer and translates requests into calls on
+// the serving Runtime and its ModelRegistry.  A model upload is fully
+// validated (bundle magic, format version, CRC) and parsed on the
+// handler thread *before* publish() — a corrupt artifact is refused
+// with a 400 and never reaches a shard worker.  /quitquitquit only
+// flips the quit latch: actually draining the runtime is the serve
+// loop's job after wait_for_quit() returns, so the HTTP response is
+// written before packet flow stops.
+#ifndef IUSTITIA_CTRL_ADMIN_H_
+#define IUSTITIA_CTRL_ADMIN_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+
+#include "core/model_registry.h"
+#include "ctrl/http.h"
+#include "runtime/runtime.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::ctrl {
+
+class AdminServer {
+ public:
+  // `runtime` must outlive the server.  `registry` may be null: model
+  // uploads then answer 503 (runtime without hot-swap), every read-only
+  // endpoint still works.
+  AdminServer(runtime::Runtime* runtime,
+              std::shared_ptr<core::ModelRegistry> registry,
+              HttpServer::Options options);
+  ~AdminServer();  // stop()
+
+  AdminServer(const AdminServer&) = delete;
+  AdminServer& operator=(const AdminServer&) = delete;
+
+  void start();
+  void stop();
+
+  // Actually bound port; valid after start().
+  std::uint16_t port() const noexcept { return server_.port(); }
+
+  // The quit latch: set by POST /quitquitquit or notify_quit(), sticky.
+  bool quit_requested() const;
+  // Blocks until the latch is set (stop() also releases waiters).
+  void wait_for_quit();
+  // External trigger for the same latch (e.g. the signal drain), so the
+  // serve loop has a single thing to wait on.
+  void notify_quit();
+
+ private:
+  HttpResponse handle(const HttpRequest& request);
+  HttpResponse handle_model_post(const HttpRequest& request);
+
+  runtime::Runtime* const runtime_;
+  const std::shared_ptr<core::ModelRegistry> registry_;
+
+  mutable util::Mutex quit_mu_{"AdminServer::quit_mu_"};
+  std::condition_variable_any quit_cv_;
+  bool quit_ IUSTITIA_GUARDED_BY(quit_mu_) = false;
+
+  HttpServer server_;
+};
+
+}  // namespace iustitia::ctrl
+
+#endif  // IUSTITIA_CTRL_ADMIN_H_

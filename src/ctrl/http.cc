@@ -1,0 +1,366 @@
+#include "ctrl/http.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace iustitia::ctrl {
+
+namespace {
+
+// Accept loop poll period: the latency bound on noticing stop().
+constexpr int kAcceptPollMillis = 50;
+
+// Per-connection I/O budget; a stalled client cannot wedge a pool
+// thread past this.
+constexpr std::chrono::seconds kConnectionDeadline(5);
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() &&
+         (s.back() == ' ' || s.back() == '\t' || s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+// Writes the whole buffer, tolerating partial sends; false on error.
+bool send_all(int fd, std::string_view data) noexcept {
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view HttpRequest::header(std::string_view name) const noexcept {
+  for (const auto& [key, value] : headers) {
+    if (iequals(key, name)) return value;
+  }
+  return {};
+}
+
+std::size_t HttpRequest::content_length() const noexcept {
+  const std::string_view raw = header("Content-Length");
+  if (raw.empty()) return 0;
+  std::size_t value = 0;
+  for (const char c : raw) {
+    if (c < '0' || c > '9') return static_cast<std::size_t>(-1);
+    const std::size_t digit = static_cast<std::size_t>(c - '0');
+    if (value > (static_cast<std::size_t>(-1) - digit) / 10) {
+      return static_cast<std::size_t>(-1);  // overflow
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+const char* status_reason(int status) noexcept {
+  switch (status) {
+    case 200: return "OK";
+    case 202: return "Accepted";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += std::to_string(status);
+  out += ' ';
+  out += status_reason(status);
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+HttpResponse text_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::move(body);
+  return resp;
+}
+
+HttpResponse json_response(int status, std::string body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.content_type = "application/json";
+  resp.body = std::move(body);
+  return resp;
+}
+
+bool parse_request_head(std::string_view head, HttpRequest& out,
+                        std::string& error) {
+  out = HttpRequest{};
+  std::size_t pos = 0;
+  const auto next_line = [&](std::string_view& line) {
+    if (pos >= head.size()) return false;
+    std::size_t end = head.find('\n', pos);
+    if (end == std::string_view::npos) end = head.size();
+    line = trim(head.substr(pos, end - pos));
+    pos = end + 1;
+    return true;
+  };
+
+  std::string_view request_line;
+  if (!next_line(request_line) || request_line.empty()) {
+    error = "empty request";
+    return false;
+  }
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string_view::npos ? sp1 : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    error = "malformed request line";
+    return false;
+  }
+  out.method = std::string(request_line.substr(0, sp1));
+  out.target = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.version = std::string(trim(request_line.substr(sp2 + 1)));
+  if (out.method.empty() || out.target.empty() ||
+      out.version.rfind("HTTP/", 0) != 0) {
+    error = "malformed request line";
+    return false;
+  }
+
+  std::string_view line;
+  while (next_line(line)) {
+    if (line.empty()) break;  // end of head
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      error = "malformed header line";
+      return false;
+    }
+    out.headers.emplace_back(std::string(trim(line.substr(0, colon))),
+                             std::string(trim(line.substr(colon + 1))));
+  }
+  return true;
+}
+
+HttpServer::HttpServer(Options options, Handler handler)
+    : options_(std::move(options)), handler_(std::move(handler)) {
+  CHECK(handler_ != nullptr) << "HttpServer needs a handler";
+  CHECK_GT(options_.handler_threads, std::size_t{0});
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start() {
+  util::MutexLock lock(lifecycle_mu_);
+  CHECK(!started_) << "HttpServer is single-shot; construct a new one";
+  started_ = true;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("ctrl: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    throw std::runtime_error("ctrl: bad bind address '" +
+                             options_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw std::runtime_error("ctrl: cannot bind " + options_.bind_address +
+                             ":" + std::to_string(options_.port));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    throw std::runtime_error("ctrl: listen() failed");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_.store(ntohs(bound.sin_port), std::memory_order_relaxed);
+  }
+  listen_fd_.store(fd, std::memory_order_relaxed);
+
+  handlers_.reserve(options_.handler_threads);
+  for (std::size_t i = 0; i < options_.handler_threads; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpServer::stop() {
+  stop_.store(true, std::memory_order_relaxed);
+  queue_cv_.notify_all();
+  util::MutexLock lock(lifecycle_mu_);
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& handler : handlers_) {
+    if (handler.joinable()) handler.join();
+  }
+  const int fd = listen_fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+  // Connections accepted but never served: close them so clients see a
+  // reset instead of a hang.
+  util::MutexLock queue_lock(queue_mu_);
+  while (!pending_.empty()) {
+    ::close(pending_.front());
+    pending_.pop_front();
+  }
+}
+
+void HttpServer::accept_loop() {
+  const int listen_fd = listen_fd_.load(std::memory_order_relaxed);
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{};
+    pfd.fd = listen_fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, kAcceptPollMillis);
+    if (ready <= 0) continue;  // timeout or EINTR: re-check stop_
+    const int conn = ::accept(listen_fd, nullptr, nullptr);
+    if (conn < 0) continue;
+    {
+      util::MutexLock lock(queue_mu_);
+      pending_.push_back(conn);
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void HttpServer::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      util::MutexLock lock(queue_mu_);
+      while (!stop_.load(std::memory_order_relaxed) && pending_.empty()) {
+        queue_cv_.wait(queue_mu_);
+      }
+      if (pending_.empty()) return;  // stop requested and queue drained
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    serve_connection(fd);
+  }
+}
+
+void HttpServer::serve_connection(int fd) {
+  // Bounded read with a poll-based deadline: a client that stalls
+  // mid-request gets cut off, never a pool thread.
+  const auto deadline = std::chrono::steady_clock::now() + kConnectionDeadline;
+  std::string data;
+  std::size_t head_end = std::string::npos;
+  HttpRequest request;
+  std::string parse_error;
+  bool head_parsed = false;
+  std::size_t body_target = 0;
+  HttpResponse response;
+  bool respond_now = false;
+  char chunk[4096];
+
+  while (!respond_now) {
+    if (stop_.load(std::memory_order_relaxed) ||
+        std::chrono::steady_clock::now() >= deadline) {
+      ::close(fd);
+      return;  // shutting down / timed out: drop without a response
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    if (::poll(&pfd, 1, kAcceptPollMillis) <= 0) continue;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return;  // peer went away mid-request
+    }
+    data.append(chunk, static_cast<std::size_t>(n));
+    if (data.size() > options_.max_request_bytes) {
+      response = text_response(413, "request too large\n");
+      break;
+    }
+
+    if (!head_parsed) {
+      head_end = data.find("\r\n\r\n");
+      std::size_t body_start = head_end + 4;
+      if (head_end == std::string::npos) {
+        head_end = data.find("\n\n");
+        body_start = head_end + 2;
+      }
+      if (head_end == std::string::npos) continue;  // need more head
+      if (!parse_request_head(std::string_view(data).substr(0, head_end),
+                              request, parse_error)) {
+        response = text_response(400, parse_error + "\n");
+        break;
+      }
+      head_parsed = true;
+      request.body = data.substr(body_start);
+      body_target = request.content_length();
+      if (body_target == static_cast<std::size_t>(-1) ||
+          body_target > options_.max_request_bytes) {
+        response = text_response(400, "bad Content-Length\n");
+        break;
+      }
+    } else {
+      request.body.append(chunk, static_cast<std::size_t>(n));
+    }
+    if (head_parsed && request.body.size() >= body_target) {
+      request.body.resize(body_target);
+      respond_now = true;
+    }
+  }
+
+  if (respond_now) {
+    try {
+      response = handler_(request);
+    } catch (const std::exception& e) {
+      response = text_response(500, std::string("handler error: ") +
+                                        e.what() + "\n");
+    }
+  }
+  if (!send_all(fd, response.serialize())) {
+    IUSTITIA_LOG_WARN << "ctrl: short write on response (" << request.method
+                      << " " << request.target << ")";
+  }
+  ::close(fd);
+}
+
+}  // namespace iustitia::ctrl

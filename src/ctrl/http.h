@@ -1,0 +1,142 @@
+// Minimal HTTP/1.1 server for the control plane (DESIGN.md §11).
+//
+// Scope is deliberately tiny: the admin surface serves a handful of
+// short-lived, localhost-by-default requests (health probes, metrics
+// scrapes, a model upload), so this is a blocking accept thread feeding
+// a small pool of handler threads over POSIX sockets — no external
+// dependency, no keep-alive, no TLS, no chunked encoding.  Every
+// response carries Connection: close and the socket is torn down after
+// one exchange.  Anything outside that envelope (absurd header sizes,
+// bodies over the configured cap, malformed framing) is rejected with a
+// 4xx rather than parsed heroically.
+//
+// The parser is exposed as free functions so it can be unit-tested
+// without sockets.
+#ifndef IUSTITIA_CTRL_HTTP_H_
+#define IUSTITIA_CTRL_HTTP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/thread_annotations.h"
+
+namespace iustitia::ctrl {
+
+// One parsed request.  Header names are matched case-insensitively via
+// header(); the body is raw bytes (Content-Length framing only).
+struct HttpRequest {
+  std::string method;   // e.g. "GET", "POST" (uppercased by convention)
+  std::string target;   // request target as sent, e.g. "/metrics"
+  std::string version;  // e.g. "HTTP/1.1"
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  // First header with the given name (case-insensitive), or "".
+  std::string_view header(std::string_view name) const noexcept;
+
+  // Parsed Content-Length header; 0 when absent, SIZE_MAX when present
+  // but unparsable (callers treat that as a framing error).
+  std::size_t content_length() const noexcept;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  // Full wire form: status line, headers (Content-Length, Content-Type,
+  // Connection: close), blank line, body.
+  std::string serialize() const;
+};
+
+// Canonical reason phrase for the handful of statuses the admin surface
+// uses ("Unknown" otherwise).
+const char* status_reason(int status) noexcept;
+
+// Convenience constructors used by endpoint handlers.
+HttpResponse text_response(int status, std::string body);
+HttpResponse json_response(int status, std::string body);
+
+// Parses the head of a request (everything before the blank line,
+// CRLF- or bare-LF-separated).  Returns false and fills `error` on
+// malformed input; the body is NOT read here — callers append it after
+// consulting content_length().
+bool parse_request_head(std::string_view head, HttpRequest& out,
+                        std::string& error);
+
+class HttpServer {
+ public:
+  // Handler runs on a pool thread; it must be safe to call concurrently
+  // with itself.  Throwing turns into a 500 response.
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  struct Options {
+    std::string bind_address = "127.0.0.1";  // admin surface: local only
+    std::uint16_t port = 0;                  // 0 = ephemeral (see port())
+    std::size_t handler_threads = 2;
+    // Hard cap on one request (head + body).  Model bundles are a few
+    // hundred KB; 64 MiB leaves room without letting a client balloon us.
+    std::size_t max_request_bytes = 64u << 20;
+  };
+
+  HttpServer(Options options, Handler handler);
+  ~HttpServer();  // stop()
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // Binds + listens, then spawns the accept thread and the handler pool.
+  // Throws std::runtime_error when the socket cannot be set up.
+  void start();
+
+  // Stops accepting, wakes the pool, joins every thread, and closes any
+  // connection still queued (unserved sockets are simply closed).
+  // Idempotent; safe from any thread.
+  void stop();
+
+  // The actually bound port (resolves port 0); valid after start().
+  std::uint16_t port() const noexcept {
+    return static_cast<std::uint16_t>(port_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  void accept_loop();
+  void handler_loop();
+  // Reads, parses, dispatches, and answers one connection, then closes it.
+  void serve_connection(int fd);
+
+  const Options options_;
+  const Handler handler_;
+
+  // Loop-termination flag only; data handoff rides on the queue mutex
+  // and thread joins.
+  std::atomic<bool> stop_{false};  // analyze: atomic(relaxed-flag)
+  // Listening socket; written by start() before any thread launches,
+  // closed by stop() after every thread joined.
+  std::atomic<int> listen_fd_{-1};  // analyze: atomic(relaxed-flag)
+  std::atomic<int> port_{0};  // analyze: atomic(relaxed-counter)
+
+  // Accepted-but-unserved connection sockets.
+  util::Mutex queue_mu_{"HttpServer::queue_mu_"};
+  std::condition_variable_any queue_cv_;
+  std::deque<int> pending_ IUSTITIA_GUARDED_BY(queue_mu_);
+
+  util::Mutex lifecycle_mu_{"HttpServer::lifecycle_mu_"};
+  std::thread acceptor_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> handlers_ IUSTITIA_GUARDED_BY(lifecycle_mu_);
+  bool started_ IUSTITIA_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ IUSTITIA_GUARDED_BY(lifecycle_mu_) = false;
+};
+
+}  // namespace iustitia::ctrl
+
+#endif  // IUSTITIA_CTRL_HTTP_H_

@@ -1,0 +1,26 @@
+// Prometheus text exposition (format 0.0.4) of a MetricsSnapshot.
+//
+// Pure rendering: takes the plain-value snapshot the runtime already
+// produces and emits the standard `# HELP`/`# TYPE`/sample lines a
+// Prometheus scraper (or curl) expects from GET /metrics.  Counter
+// names follow the convention <namespace>_<subsystem>_<unit>_total;
+// everything lives under the `iustitia_` namespace.
+#ifndef IUSTITIA_CTRL_PROMETHEUS_H_
+#define IUSTITIA_CTRL_PROMETHEUS_H_
+
+#include <string>
+
+#include "runtime/metrics.h"
+
+namespace iustitia::ctrl {
+
+// The full /metrics payload for one snapshot.
+std::string render_prometheus(const runtime::MetricsSnapshot& snapshot);
+
+// Escapes a label value per the exposition format (backslash, quote,
+// newline).  Exposed for tests.
+std::string prometheus_label_escape(const std::string& value);
+
+}  // namespace iustitia::ctrl
+
+#endif  // IUSTITIA_CTRL_PROMETHEUS_H_

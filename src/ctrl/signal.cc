@@ -1,0 +1,97 @@
+#include "ctrl/signal.h"
+
+#include <csignal>
+#include <utility>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/check.h"
+
+namespace iustitia::ctrl {
+
+namespace {
+
+// The handler's only channel: the pipe's write end.  Plain atomic int so
+// the async-signal context does one relaxed load + one write(2).
+std::atomic<int> g_signal_write_fd{-1};  // analyze: atomic(relaxed-flag)
+
+// Dispositions we replaced, restored by the destructor.
+struct sigaction g_old_int;   // analyze: escape(written before handlers install, read after restore)
+struct sigaction g_old_term;  // analyze: escape(written before handlers install, read after restore)
+
+void signal_handler(int /*signo*/) {
+  const int fd = g_signal_write_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 's';
+    // Best effort: a full pipe means a byte is already in flight, which
+    // is all the watcher needs.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+}  // namespace
+
+SignalDrain::SignalDrain(std::function<void()> on_signal)
+    : on_signal_(std::move(on_signal)) {
+  CHECK(on_signal_ != nullptr) << "SignalDrain needs a callback";
+  CHECK_EQ(g_signal_write_fd.load(std::memory_order_relaxed), -1)
+      << "only one SignalDrain at a time (process dispositions are global)";
+
+  int fds[2] = {-1, -1};
+  CHECK_EQ(::pipe(fds), 0) << "SignalDrain: pipe() failed";
+  // Non-blocking write end: the handler must never block in signal
+  // context, no matter how many signals pile up.
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  read_fd_.store(fds[0], std::memory_order_relaxed);
+  write_fd_.store(fds[1], std::memory_order_relaxed);
+  g_signal_write_fd.store(fds[1], std::memory_order_relaxed);
+
+  struct sigaction action{};
+  action.sa_handler = &signal_handler;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, &g_old_int);
+  ::sigaction(SIGTERM, &action, &g_old_term);
+
+  watcher_ = std::thread([this] { watch(); });
+}
+
+SignalDrain::~SignalDrain() {
+  // Unhook the handler first, then poke the watcher awake with a
+  // sentinel so it exits even when no signal ever arrived.
+  ::sigaction(SIGINT, &g_old_int, nullptr);
+  ::sigaction(SIGTERM, &g_old_term, nullptr);
+  const int write_fd = write_fd_.load(std::memory_order_relaxed);
+  const char quit = 'q';
+  [[maybe_unused]] const ssize_t n = ::write(write_fd, &quit, 1);
+  if (watcher_.joinable()) watcher_.join();
+  g_signal_write_fd.store(-1, std::memory_order_relaxed);
+  ::close(write_fd);
+  ::close(read_fd_.load(std::memory_order_relaxed));
+}
+
+void SignalDrain::watch() {
+  const int read_fd = read_fd_.load(std::memory_order_relaxed);
+  char byte = 0;
+  for (;;) {
+    const ssize_t n = ::read(read_fd, &byte, 1);
+    if (n < 0) continue;  // EINTR: retry
+    if (n == 0 || byte == 'q') return;  // destructor sentinel
+    break;  // a real signal byte
+  }
+  triggered_.store(true, std::memory_order_relaxed);
+  // Second Ctrl-C should kill a process wedged inside the drain: hand
+  // the dispositions back to the default before draining.
+  ::sigaction(SIGINT, &g_old_int, nullptr);
+  ::sigaction(SIGTERM, &g_old_term, nullptr);
+  on_signal_();
+  // Keep consuming bytes until the destructor's sentinel so repeated
+  // pre-restore signals cannot leave the pipe readable forever.
+  for (;;) {
+    const ssize_t n = ::read(read_fd, &byte, 1);
+    if (n < 0) continue;
+    if (n == 0 || byte == 'q') return;
+  }
+}
+
+}  // namespace iustitia::ctrl

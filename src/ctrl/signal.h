@@ -1,0 +1,55 @@
+// Graceful SIGINT/SIGTERM handling via the self-pipe trick.
+//
+// A signal handler may only touch async-signal-safe calls, so the
+// handler here does exactly one thing: write(2) a byte into a
+// non-blocking pipe.  A watcher thread blocks on the read end and runs
+// the (arbitrary, non-signal-safe) callback on the first byte — e.g.
+// Runtime::stop() followed by a final metrics report.  After the first
+// signal the default disposition is restored, so a second Ctrl-C kills
+// a wedged process the usual way.
+//
+// One instance at a time (CHECK-enforced): process signal dispositions
+// are global state.
+#ifndef IUSTITIA_CTRL_SIGNAL_H_
+#define IUSTITIA_CTRL_SIGNAL_H_
+
+#include <atomic>
+#include <functional>
+#include <thread>
+
+namespace iustitia::ctrl {
+
+class SignalDrain {
+ public:
+  // Installs SIGINT/SIGTERM handlers and spawns the watcher.  The
+  // callback runs at most once, on the watcher thread.
+  explicit SignalDrain(std::function<void()> on_signal);
+
+  // Restores the original dispositions (when still ours) and joins the
+  // watcher.
+  ~SignalDrain();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  // True once a signal has been seen (callback ran or is running).
+  bool triggered() const noexcept {
+    return triggered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void watch();
+
+  const std::function<void()> on_signal_;
+  std::atomic<bool> triggered_{false};  // analyze: atomic(relaxed-flag)
+  // Pipe fds: written in the ctor before the watcher launches, the write
+  // end is read by the async handler via a global, the read end only by
+  // the watcher; closed in the dtor after join.
+  std::atomic<int> read_fd_{-1};   // analyze: atomic(relaxed-flag)
+  std::atomic<int> write_fd_{-1};  // analyze: atomic(relaxed-flag)
+  std::thread watcher_;  // analyze: escape(joined in dtor, launched last in ctor)
+};
+
+}  // namespace iustitia::ctrl
+
+#endif  // IUSTITIA_CTRL_SIGNAL_H_

@@ -1,11 +1,15 @@
 #include "ml/serialize.h"
 
+#include <iomanip>
 #include <istream>
 #include <limits>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/crc32.h"
 
 namespace iustitia::ml {
 
@@ -168,6 +172,104 @@ MinMaxScaler load_scaler(std::istream& is) {
   MinMaxScaler scaler;
   scaler.restore(std::move(mins), std::move(maxs));
   return scaler;
+}
+
+namespace {
+
+// The CRC seals the metadata line (with its terminating newline) and the
+// raw payload — everything between the header and the trailer.
+std::uint32_t bundle_crc(const Bundle& bundle) noexcept {
+  std::uint32_t state = util::kCrc32Init;
+  state = util::crc32_update(state, bundle.metadata.data(),
+                             bundle.metadata.size());
+  state = util::crc32_update(state, "\n", 1);
+  state = util::crc32_update(state, bundle.payload.data(),
+                             bundle.payload.size());
+  return util::crc32_final(state);
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  std::ostringstream out;
+  out << std::hex << std::setw(8) << std::setfill('0') << crc;
+  return out.str();
+}
+
+}  // namespace
+
+void save_bundle(const Bundle& bundle, std::ostream& os) {
+  if (bundle.metadata.find('\n') != std::string::npos) {
+    throw std::invalid_argument(
+        "bundle metadata must be a single line (embedded newline)");
+  }
+  os << kBundleMagic << ' ' << bundle.format_version << ' '
+     << bundle.payload.size() << '\n'
+     << bundle.metadata << '\n';
+  os.write(bundle.payload.data(),
+           static_cast<std::streamsize>(bundle.payload.size()));
+  os << "crc32 " << crc_hex(bundle_crc(bundle)) << '\n';
+}
+
+Bundle load_bundle(std::istream& is) {
+  std::string magic;
+  if (!(is >> magic)) {
+    throw std::runtime_error("model bundle parse error: empty stream");
+  }
+  if (magic != kBundleMagic) {
+    throw std::runtime_error("model bundle parse error: bad magic '" + magic +
+                             "' (expected '" + kBundleMagic +
+                             "'); is this a bundle artifact?");
+  }
+  Bundle bundle;
+  std::size_t payload_bytes = 0;
+  if (!(is >> bundle.format_version >> payload_bytes)) {
+    throw std::runtime_error("model bundle parse error: header fields");
+  }
+  if (bundle.format_version > kBundleFormatVersion) {
+    throw std::runtime_error(
+        "model bundle format version " +
+        std::to_string(bundle.format_version) +
+        " is newer than this binary supports (" +
+        std::to_string(kBundleFormatVersion) +
+        "); rebuild or retrain with a matching trainer");
+  }
+  // Consume the newline ending the header, then the metadata line.
+  is.ignore(std::numeric_limits<std::streamsize>::max(), '\n');
+  if (!std::getline(is, bundle.metadata)) {
+    throw std::runtime_error("model bundle parse error: missing metadata "
+                             "line");
+  }
+  bundle.payload.resize(payload_bytes);
+  is.read(bundle.payload.data(),
+          static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<std::size_t>(is.gcount()) != payload_bytes) {
+    throw std::runtime_error(
+        "model bundle truncated: header promises " +
+        std::to_string(payload_bytes) + " payload bytes, stream ended after " +
+        std::to_string(static_cast<std::size_t>(is.gcount())));
+  }
+  std::string trailer_tag;
+  std::string stored_hex;
+  if (!(is >> trailer_tag >> stored_hex) || trailer_tag != "crc32" ||
+      stored_hex.size() != 8) {
+    throw std::runtime_error(
+        "model bundle parse error: missing crc32 trailer (artifact "
+        "truncated after the payload?)");
+  }
+  std::uint32_t stored = 0;
+  try {
+    stored = static_cast<std::uint32_t>(std::stoul(stored_hex, nullptr, 16));
+  } catch (const std::exception&) {
+    throw std::runtime_error("model bundle parse error: malformed crc32 '" +
+                             stored_hex + "'");
+  }
+  const std::uint32_t computed = bundle_crc(bundle);
+  if (stored != computed) {
+    throw std::runtime_error("model bundle CRC mismatch (stored " +
+                             crc_hex(stored) + ", computed " +
+                             crc_hex(computed) +
+                             "): artifact corrupt, refusing to load");
+  }
+  return bundle;
 }
 
 }  // namespace iustitia::ml

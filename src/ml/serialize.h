@@ -1,13 +1,32 @@
-// Text serialization of trained models.
+// Text serialization of trained models, and the versioned bundle frame
+// the control plane ships them in.
 //
 // The offline training process of Fig. 1 produces a "Decision Tree Model"
 // or "Support Vectors (SVs)" artifact consumed by the online classifier;
 // these helpers persist both in a line-oriented text format that is stable
 // across platforms and easy to diff.
+//
+// A *bundle* wraps any serialized payload (for flow models: the embedded
+// scaler plus tree/SVM emitted by core::FlowNatureModel::save) in a
+// self-describing frame so an artifact pushed over the admin server can
+// be validated before any parsed value reaches a worker:
+//
+//   iustitia-bundle <format-version> <payload-bytes>\n   header (magic)
+//   <free-form metadata line>\n                          operator version
+//   <payload-bytes raw bytes>                            the model text
+//   crc32 <8 hex digits>\n                               trailer
+//
+// The CRC-32 (util/crc32.h) covers the metadata line (with its newline)
+// and the payload, so both a corrupted model and a mislabeled artifact
+// fail closed.  Loaders reject bad magic, format versions newer than
+// this binary, truncated payloads, and checksum mismatches with
+// actionable std::runtime_error messages.
 #ifndef IUSTITIA_ML_SERIALIZE_H_
 #define IUSTITIA_ML_SERIALIZE_H_
 
+#include <cstdint>
 #include <iosfwd>
+#include <string>
 
 #include "ml/cart.h"
 #include "ml/scaler.h"
@@ -26,6 +45,32 @@ DagSvm load_dag_svm(std::istream& is);
 // Min-max scaler <-> stream.
 void save_scaler(const MinMaxScaler& scaler, std::ostream& os);
 MinMaxScaler load_scaler(std::istream& is);
+
+// --- versioned bundle frame ---------------------------------------------
+
+// First token of every bundle; also how auto-detecting loaders tell a
+// bundle from a bare serialized model.
+inline constexpr const char kBundleMagic[] = "iustitia-bundle";
+
+// Highest frame version this binary can parse.  Bump when the frame
+// layout (not the payload) changes; loaders reject anything newer.
+inline constexpr std::uint32_t kBundleFormatVersion = 1;
+
+struct Bundle {
+  std::uint32_t format_version = kBundleFormatVersion;
+  // One free-form line (no newlines); by convention the first token is
+  // the operator-facing model version, e.g. "model-v7 trained=2026-08-09".
+  std::string metadata;
+  std::string payload;
+};
+
+// Writes the frame around bundle.payload.  Throws std::invalid_argument
+// when metadata contains a newline.
+void save_bundle(const Bundle& bundle, std::ostream& os);
+
+// Parses and validates a frame.  Throws std::runtime_error on bad magic,
+// unsupported future format version, truncated payload, or CRC mismatch.
+Bundle load_bundle(std::istream& is);
 
 }  // namespace iustitia::ml
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 
@@ -27,6 +28,25 @@ std::string fmt_micros(double micros) {
   std::ostringstream out;
   out << std::fixed << std::setprecision(2) << micros << "us";
   return out.str();
+}
+
+// Minimal JSON string escaping: the model version is operator-supplied
+// (bundle metadata), so quotes/backslashes/control bytes must not break
+// the document.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -83,7 +103,9 @@ double LatencyHistogram::Snapshot::quantile_upper_micros(
 }
 
 MetricsRegistry::MetricsRegistry(std::size_t shards)
-    : shards_(shards), rings_(std::make_unique<RingCounters[]>(shards)) {
+    : shards_(shards),
+      created_(std::chrono::steady_clock::now()),
+      rings_(std::make_unique<RingCounters[]>(shards)) {
   CHECK_GT(shards, std::size_t{0}) << "metrics need at least one ring";
 }
 
@@ -176,6 +198,10 @@ MetricsSnapshot MetricsRegistry::snapshot(
     const core::OutputQueues* queues) const {
   MetricsSnapshot snap;
   snap.shards = shards_;
+  snap.uptime_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    created_)
+          .count();
   snap.packets_in = packets_in_.load(std::memory_order_relaxed);
   snap.rings.resize(shards_);
   for (std::size_t s = 0; s < shards_; ++s) {
@@ -237,6 +263,8 @@ double MetricsSnapshot::Ring::mean_burst() const noexcept {
 std::string MetricsSnapshot::text_report() const {
   std::ostringstream out;
   out << "runtime metrics\n"
+      << "  uptime: " << util::fmt(uptime_seconds, 1)
+      << "s  model: " << model_version << "  swaps: " << model_swaps << "\n"
       << "  packets in: " << packets_in << "  pushed: " << total_pushed()
       << "  popped: " << total_popped() << "  dropped: " << total_dropped()
       << "\n";
@@ -279,6 +307,9 @@ std::string MetricsSnapshot::json() const {
   std::ostringstream out;
   out << std::setprecision(12);
   out << "{\n  \"shards\": " << shards
+      << ",\n  \"uptime_seconds\": " << uptime_seconds
+      << ",\n  \"model_version\": \"" << json_escape(model_version) << "\""
+      << ",\n  \"model_swaps\": " << model_swaps
       << ",\n  \"packets_in\": " << packets_in
       << ",\n  \"pushed\": " << total_pushed()
       << ",\n  \"popped\": " << total_popped()

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -86,6 +87,14 @@ struct MetricsSnapshot {
   };
 
   std::size_t shards = 0;
+  // Seconds since the MetricsRegistry was constructed (monotonic clock),
+  // i.e. runtime age — what an operator reads off /metrics as uptime.
+  double uptime_seconds = 0.0;
+  // Operator-facing model identity: the version string of the currently
+  // installed model and how many hot-swaps have been published since
+  // start ("unversioned"/0 for a runtime without a registry).
+  std::string model_version = "unversioned";
+  std::uint64_t model_swaps = 0;
   std::uint64_t packets_in = 0;
   std::vector<Ring> rings;
   std::array<std::uint64_t, 3> flows_by_nature{};
@@ -149,6 +158,9 @@ class MetricsRegistry {
   };
 
   const std::size_t shards_;
+  // Construction instant; snapshot() derives uptime_seconds from it.
+  // Never written after the ctor, so reads need no synchronization.
+  const std::chrono::steady_clock::time_point created_;
   std::unique_ptr<RingCounters[]> rings_;
   std::atomic<std::uint64_t> packets_in_{0};  // analyze: atomic(relaxed-counter)
   std::array<std::atomic<std::uint64_t>, 3> flows_by_nature_{};  // analyze: atomic(relaxed-counter)

@@ -46,6 +46,14 @@ class Backoff {
   unsigned rounds_ = 0;
 };
 
+core::ModelRegistry::Published bootstrap_snapshot(
+    const std::shared_ptr<core::ModelRegistry>& registry, std::size_t shards) {
+  CHECK(registry != nullptr) << "hot-swap Runtime needs a registry";
+  CHECK_EQ(registry->shard_count(), shards)
+      << "registry reader slots must match runtime shards";
+  return registry->current();
+}
+
 void pin_current_thread(std::size_t worker_index) {
 #ifdef __linux__
   const unsigned cpus = std::thread::hardware_concurrency();
@@ -75,10 +83,34 @@ RuntimeOptions Runtime::sanitize(RuntimeOptions options) {
 Runtime::Runtime(const std::function<core::FlowNatureModel()>& model_factory,
                  const RuntimeOptions& options)
     : options_(sanitize(options)),
+      registry_(nullptr),
+      bootstrap_epoch_(0),
       engine_(model_factory, options.engine, options.shards),
       queues_(options.output_queue_capacity),
       metrics_(options.shards),
       folded_delays_(options.shards, 0) {
+  build_rings();
+}
+
+Runtime::Runtime(std::shared_ptr<core::ModelRegistry> registry,
+                 const RuntimeOptions& options)
+    : Runtime(registry, bootstrap_snapshot(registry, options.shards),
+              options) {}
+
+Runtime::Runtime(std::shared_ptr<core::ModelRegistry> registry,
+                 core::ModelRegistry::Published published,
+                 const RuntimeOptions& options)
+    : options_(sanitize(options)),
+      registry_(std::move(registry)),
+      bootstrap_epoch_(published.epoch),
+      engine_(std::move(published.model), options.engine, options.shards),
+      queues_(options.output_queue_capacity),
+      metrics_(options.shards),
+      folded_delays_(options.shards, 0) {
+  build_rings();
+}
+
+void Runtime::build_rings() {
   rings_.reserve(options_.shards);
   for (std::size_t s = 0; s < options_.shards; ++s) {
     rings_.push_back(
@@ -114,6 +146,15 @@ void Runtime::stop() {
   // finish early.
   stop_requested_.store(true, std::memory_order_relaxed);
   wait();
+}
+
+MetricsSnapshot Runtime::snapshot() const {
+  MetricsSnapshot snap = metrics_.snapshot(&queues_);
+  if (registry_ != nullptr) {
+    snap.model_version = registry_->current_version();
+    snap.model_swaps = registry_->swap_count();
+  }
+  return snap;
 }
 
 bool Runtime::running() const {
@@ -317,6 +358,32 @@ void Runtime::worker_loop(std::size_t shard) {
   std::size_t folded = 0;
   std::uint64_t processed = 0;
 
+  // RCU reader state (null registry = no hot-swap; one branch per burst).
+  core::ModelRegistry* const registry = registry_.get();
+  std::uint64_t model_epoch = bootstrap_epoch_;
+  if (registry != nullptr) {
+    // Pre-loop registration (cold, takes the registry mutex): this shard
+    // runs the bootstrap model, which opens reclamation accounting.
+    // analyze: hotpath-allow(may-block, may-throw, unresolved-call)
+    registry->report_crossed(shard, model_epoch);
+  }
+
+  // Burst-boundary model check: one relaxed load while the epoch is
+  // unchanged; on a publish, the cold branch takes the registry mutex
+  // once, installs the new model (shared_ptr copy + extractor rebuild),
+  // and reports the crossing so the old model's grace period can close.
+  const auto maybe_swap = [&] {
+    if (registry == nullptr ||
+        registry->epoch_hint() == model_epoch) {
+      return;
+    }
+    util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
+    core::ModelRegistry::Published next = registry->current();
+    model_epoch = next.epoch;
+    eng.install_model(std::move(next.model));
+    registry->report_crossed(shard, model_epoch);
+  };
+
   const auto process = [&](net::Packet& packet) {
     ++processed;
     datagen::FileClass label = datagen::FileClass::kText;
@@ -410,6 +477,7 @@ void Runtime::worker_loop(std::size_t shard) {
       // Unbatched flavor: one try_pop round-trip per packet.
       net::Packet packet;
       for (;;) {
+        maybe_swap();
         if (ring.try_pop(packet)) {
           backoff.reset();
           metrics_.on_pop(shard);
@@ -429,6 +497,7 @@ void Runtime::worker_loop(std::size_t shard) {
       }
     } else {
       for (;;) {
+        maybe_swap();
         std::size_t n = ring.try_pop_burst(window);
         if (n != 0) {
           backoff.reset();

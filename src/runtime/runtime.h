@@ -34,11 +34,13 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
 
+#include "core/model_registry.h"
 #include "core/sharded_engine.h"
 #include "runtime/metrics.h"
 #include "runtime/packet_source.h"
@@ -84,6 +86,14 @@ class Runtime {
   // rings, and the metrics registry.  No threads run until start().
   Runtime(const std::function<core::FlowNatureModel()>& model_factory,
           const RuntimeOptions& options);
+
+  // Hot-swap form: every shard bootstraps from the registry's current
+  // model and re-reads it at ring-burst boundaries (one relaxed epoch
+  // load while unchanged — see core/model_registry.h).  The registry's
+  // shard_count() must equal options.shards.  The control plane publishes
+  // replacements into the same registry while packets flow.
+  Runtime(std::shared_ptr<core::ModelRegistry> registry,
+          const RuntimeOptions& options);
   ~Runtime();  // stops and joins if still running
 
   Runtime(const Runtime&) = delete;
@@ -113,12 +123,19 @@ class Runtime {
 
   core::ShardedIustitia& engine() noexcept { return engine_; }
   const core::ShardedIustitia& engine() const noexcept { return engine_; }
+
+  // The registry this runtime reads models from; null when constructed
+  // with the per-shard model factory (no hot-swap).
+  core::ModelRegistry* model_registry() const noexcept {
+    return registry_.get();
+  }
   core::OutputQueues& output_queues() noexcept { return queues_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
-  // Convenience: metrics snapshot with the output-queue counters folded
-  // in.  Safe from any thread at any time.
-  MetricsSnapshot snapshot() const { return metrics_.snapshot(&queues_); }
+  // Convenience: metrics snapshot with the output-queue counters and the
+  // registry's model identity (version + swap count) folded in.  Safe
+  // from any thread at any time.
+  MetricsSnapshot snapshot() const;
 
   const RuntimeOptions& options() const noexcept { return options_; }
 
@@ -127,6 +144,15 @@ class Runtime {
   // bursts always fit.
   static RuntimeOptions sanitize(RuntimeOptions options);
 
+  // Delegation target of the registry ctor: `published` is ONE coherent
+  // (model, epoch) snapshot, so the engines' bootstrap model and
+  // bootstrap_epoch_ can never disagree even if a publish races
+  // construction.
+  Runtime(std::shared_ptr<core::ModelRegistry> registry,
+          core::ModelRegistry::Published published,
+          const RuntimeOptions& options);
+
+  void build_rings();
   void dispatch_loop(PacketSource* source);
   // Flavors behind dispatch_loop: burst == 1 runs the exact single-item
   // path, burst > 1 stages per shard and flushes ring bursts.
@@ -139,6 +165,12 @@ class Runtime {
   void join_threads_locked() IUSTITIA_REQUIRES(lifecycle_mu_);
 
   const RuntimeOptions options_;
+  // Hot-swap source (null without one).  Const pointer; the registry
+  // object is internally synchronized (see core/model_registry.h).
+  const std::shared_ptr<core::ModelRegistry> registry_;
+  // Epoch of the model the engines were built with; each worker starts
+  // its local epoch here.
+  const std::uint64_t bootstrap_epoch_;
   core::ShardedIustitia engine_;
   core::OutputQueues queues_;
   MetricsRegistry metrics_;

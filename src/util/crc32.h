@@ -1,0 +1,36 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), table-driven.
+//
+// Used to seal model bundle artifacts (ml/serialize.h): the trainer
+// writes the checksum into the bundle trailer and every loader verifies
+// it before any parsed value reaches a worker, so a corrupt or truncated
+// upload is rejected at the control plane instead of misclassifying
+// traffic.  This is the ubiquitous zlib/PNG/Ethernet CRC, so artifacts
+// can be checked with standard tools (`python3 -c "import zlib, ..."`).
+#ifndef IUSTITIA_UTIL_CRC32_H_
+#define IUSTITIA_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace iustitia::util {
+
+// One-shot CRC-32 of a byte span.
+std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+inline std::uint32_t crc32(std::string_view bytes) noexcept {
+  return crc32(bytes.data(), bytes.size());
+}
+
+// Incremental form: start from kCrc32Init, fold chunks with
+// crc32_update, finish with crc32_final.
+inline constexpr std::uint32_t kCrc32Init = 0xFFFFFFFFu;
+std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                           std::size_t size) noexcept;
+inline std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_CRC32_H_

@@ -1,0 +1,292 @@
+// Control-plane tests: HTTP parsing, response serialization, the
+// Prometheus renderer, socket round-trips through HttpServer, and the
+// AdminServer endpoints including a model hot-swap upload.
+#include "ctrl/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "core/model_bundle.h"
+#include "core/model_registry.h"
+#include "ctrl/http.h"
+#include "ctrl/prometheus.h"
+#include "runtime/metrics.h"
+#include "runtime/runtime.h"
+
+namespace iustitia::ctrl {
+namespace {
+
+// ---------------------------------------------------------------- parsing
+
+TEST(HttpParse, RequestLineAndHeaders) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_request_head(
+      "POST /model HTTP/1.1\r\nHost: localhost\r\nContent-Length: 12\r\n",
+      req, error))
+      << error;
+  EXPECT_EQ(req.method, "POST");
+  EXPECT_EQ(req.target, "/model");
+  EXPECT_EQ(req.version, "HTTP/1.1");
+  EXPECT_EQ(req.header("host"), "localhost");          // case-insensitive
+  EXPECT_EQ(req.header("CONTENT-LENGTH"), "12");
+  EXPECT_EQ(req.content_length(), 12u);
+  EXPECT_EQ(req.header("absent"), "");
+}
+
+TEST(HttpParse, ToleratesBareLfAndWhitespace) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_request_head(
+      "GET /healthz HTTP/1.1\nX-Pad:   spaced value  \n", req, error));
+  EXPECT_EQ(req.header("x-pad"), "spaced value");
+}
+
+TEST(HttpParse, RejectsMalformedInput) {
+  HttpRequest req;
+  std::string error;
+  EXPECT_FALSE(parse_request_head("", req, error));
+  EXPECT_FALSE(parse_request_head("GETonly\r\n", req, error));
+  EXPECT_FALSE(parse_request_head("GET /x NOTHTTP\r\n", req, error));
+  EXPECT_FALSE(
+      parse_request_head("GET /x HTTP/1.1\r\nbroken header line\r\n", req,
+                         error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(HttpParse, ContentLengthEdgeCases) {
+  HttpRequest req;
+  std::string error;
+  ASSERT_TRUE(parse_request_head("GET / HTTP/1.1\r\n", req, error));
+  EXPECT_EQ(req.content_length(), 0u);  // absent
+  ASSERT_TRUE(parse_request_head(
+      "GET / HTTP/1.1\r\nContent-Length: 12junk\r\n", req, error));
+  EXPECT_EQ(req.content_length(), static_cast<std::size_t>(-1));
+  ASSERT_TRUE(parse_request_head(
+      "GET / HTTP/1.1\r\nContent-Length: 99999999999999999999999\r\n", req,
+      error));
+  EXPECT_EQ(req.content_length(), static_cast<std::size_t>(-1));  // overflow
+}
+
+TEST(HttpResponseTest, StatusReasons) {
+  EXPECT_STREQ(status_reason(200), "OK");
+  EXPECT_STREQ(status_reason(400), "Bad Request");
+  EXPECT_STREQ(status_reason(404), "Not Found");
+  EXPECT_STREQ(status_reason(405), "Method Not Allowed");
+  EXPECT_STREQ(status_reason(503), "Service Unavailable");
+  EXPECT_STREQ(status_reason(299), "Unknown");
+}
+
+TEST(HttpResponseTest, SerializesFraming) {
+  const HttpResponse resp = text_response(404, "nope\n");
+  const std::string wire = resp.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 5), "nope\n");
+}
+
+// ------------------------------------------------------------- prometheus
+
+TEST(Prometheus, RendersCoreSeries) {
+  runtime::MetricsSnapshot snap;
+  snap.shards = 2;
+  snap.rings.resize(2);
+  snap.rings[0].pushed = 10;
+  snap.rings[1].dropped = 3;
+  snap.flows_by_nature = {4, 5, 6};
+  snap.model_version = "v7";
+  snap.model_swaps = 2;
+  snap.uptime_seconds = 1.5;
+
+  const std::string text = render_prometheus(snap);
+  EXPECT_NE(text.find("# TYPE iustitia_uptime_seconds gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("iustitia_model_info{version=\"v7\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("iustitia_model_swaps_total 2"), std::string::npos);
+  EXPECT_NE(text.find("iustitia_ring_pushed_total{shard=\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("iustitia_ring_dropped_total{shard=\"1\"} 3"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("iustitia_flows_classified_total{nature=\"encrypted\"} 6"),
+      std::string::npos);
+  // No queue stats folded in -> no output series.
+  EXPECT_EQ(text.find("iustitia_output_enqueued_total"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_label_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+}
+
+// ------------------------------------------------------- socket round-trip
+
+// Minimal blocking client: one request, reads to connection close.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string reply;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    reply.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return reply;
+}
+
+std::string get(std::uint16_t port, const std::string& target) {
+  return http_exchange(port, "GET " + target +
+                                 " HTTP/1.1\r\nHost: t\r\n\r\n");
+}
+
+std::string post(std::uint16_t port, const std::string& target,
+                 const std::string& body) {
+  return http_exchange(port, "POST " + target +
+                                 " HTTP/1.1\r\nHost: t\r\nContent-Length: " +
+                                 std::to_string(body.size()) + "\r\n\r\n" +
+                                 body);
+}
+
+TEST(HttpServerTest, ServesConcurrentRequestsAndStops) {
+  HttpServer::Options options;
+  HttpServer server(options, [](const HttpRequest& req) {
+    return text_response(200, "echo:" + req.target + ":" + req.body);
+  });
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  EXPECT_NE(get(server.port(), "/a").find("echo:/a:"), std::string::npos);
+  EXPECT_NE(post(server.port(), "/b", "payload").find("echo:/b:payload"),
+            std::string::npos);
+  // Malformed request line -> 400, not a wedge.
+  EXPECT_NE(http_exchange(server.port(), "garbage\r\n\r\n").find("400"),
+            std::string::npos);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(HttpServerTest, HandlerExceptionBecomes500) {
+  HttpServer::Options options;
+  HttpServer server(options, [](const HttpRequest&) -> HttpResponse {
+    throw std::runtime_error("boom");
+  });
+  server.start();
+  const std::string reply = get(server.port(), "/x");
+  EXPECT_NE(reply.find("500"), std::string::npos);
+  EXPECT_NE(reply.find("boom"), std::string::npos);
+}
+
+// ----------------------------------------------------------------- admin
+
+core::FlowNatureModel tiny_model() {
+  return core::FlowNatureModel(core::Backend::kCart, std::vector<int>{1});
+}
+
+std::string bundle_bytes(const std::string& metadata) {
+  std::ostringstream out;
+  core::save_model_bundle(tiny_model(), metadata, out);
+  return out.str();
+}
+
+struct AdminHarness {
+  std::shared_ptr<core::ModelRegistry> registry;
+  std::unique_ptr<runtime::Runtime> rt;
+  std::unique_ptr<AdminServer> admin;
+
+  AdminHarness() {
+    runtime::RuntimeOptions options;
+    options.shards = 2;
+    registry = std::make_shared<core::ModelRegistry>(
+        options.shards,
+        std::make_shared<const core::FlowNatureModel>(tiny_model()), "v1");
+    rt = std::make_unique<runtime::Runtime>(registry, options);
+    admin = std::make_unique<AdminServer>(rt.get(), registry,
+                                          HttpServer::Options{});
+    admin->start();
+  }
+};
+
+TEST(AdminServerTest, HealthMetricsAndStats) {
+  AdminHarness h;
+  EXPECT_NE(get(h.admin->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const std::string metrics = get(h.admin->port(), "/metrics");
+  EXPECT_NE(metrics.find("iustitia_model_info{version=\"v1\"} 1"),
+            std::string::npos);
+  const std::string stats = get(h.admin->port(), "/stats.json");
+  EXPECT_NE(stats.find("\"model_version\": \"v1\""), std::string::npos);
+  EXPECT_NE(get(h.admin->port(), "/missing").find("404"), std::string::npos);
+  // Method mismatches are 405, not handled-as-GET.
+  EXPECT_NE(post(h.admin->port(), "/healthz", "x").find("405"),
+            std::string::npos);
+  EXPECT_NE(get(h.admin->port(), "/model").find("405"), std::string::npos);
+}
+
+TEST(AdminServerTest, ModelUploadSwapsAndRejectsCorrupt) {
+  AdminHarness h;
+  // Valid bundle -> swapped at epoch 2.
+  const std::string ok =
+      post(h.admin->port(), "/model", bundle_bytes("v2 retrained"));
+  EXPECT_NE(ok.find("200 OK"), std::string::npos);
+  EXPECT_NE(ok.find("\"version\": \"v2\""), std::string::npos);
+  EXPECT_EQ(h.registry->swap_count(), 1u);
+  EXPECT_EQ(h.registry->current_version(), "v2");
+
+  // One flipped payload byte -> CRC mismatch -> 400, nothing published.
+  std::string corrupt = bundle_bytes("v3 bad");
+  corrupt[corrupt.size() / 2] ^= 0x01;
+  const std::string rejected = post(h.admin->port(), "/model", corrupt);
+  EXPECT_NE(rejected.find("400"), std::string::npos);
+  EXPECT_NE(rejected.find("rejected"), std::string::npos);
+  EXPECT_EQ(h.registry->swap_count(), 1u);
+
+  // Empty body -> 400.
+  EXPECT_NE(post(h.admin->port(), "/model", "").find("400"),
+            std::string::npos);
+  // The swap is visible through the runtime snapshot too.
+  const std::string stats = get(h.admin->port(), "/stats.json");
+  EXPECT_NE(stats.find("\"model_version\": \"v2\""), std::string::npos);
+  EXPECT_NE(stats.find("\"model_swaps\": 1"), std::string::npos);
+}
+
+TEST(AdminServerTest, QuitLatch) {
+  AdminHarness h;
+  EXPECT_FALSE(h.admin->quit_requested());
+  EXPECT_NE(post(h.admin->port(), "/quitquitquit", "").find("draining"),
+            std::string::npos);
+  EXPECT_TRUE(h.admin->quit_requested());
+  h.admin->wait_for_quit();  // already latched: returns immediately
+}
+
+}  // namespace
+}  // namespace iustitia::ctrl

@@ -7,10 +7,13 @@
 #include <algorithm>
 #include <span>
 #include <sstream>
+#include <string>
 #include <vector>
 
+#include "core/model_bundle.h"
 #include "core/trainer.h"
 #include "datagen/corpus.h"
+#include "ml/serialize.h"
 
 namespace iustitia::core {
 namespace {
@@ -146,6 +149,61 @@ TEST(FlowNatureModel, TrainingBufferSizePersisted) {
   // Whole-file training records 0 ("no fixed buffer").
   options.method = TrainingMethod::kWholeFile;
   EXPECT_EQ(train_model(corpus, options).training_buffer_size(), 0u);
+}
+
+TEST(ModelBundle, SaveLoadRoundTripKeepsPredictions) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+  std::stringstream ss;
+  save_model_bundle(model, "v3 backend=CART b=256", ss);
+  LoadedModelBundle loaded = load_model_bundle(ss);
+  EXPECT_EQ(loaded.metadata, "v3 backend=CART b=256");
+  EXPECT_EQ(loaded.format_version, ml::kBundleFormatVersion);
+  for (const auto& file : corpus) {
+    const std::span<const std::uint8_t> prefix(file.bytes.data(), 256);
+    ASSERT_EQ(loaded.model.classify(prefix).label,
+              model.classify(prefix).label);
+  }
+}
+
+TEST(ModelBundle, LoadModelAnyAcceptsBothArtifactFormats) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+  const std::span<const std::uint8_t> prefix(corpus[0].bytes.data(), 256);
+  const datagen::FileClass expected = model.classify(prefix).label;
+
+  std::stringstream bare;
+  model.save(bare);
+  std::string metadata = "sentinel";
+  FlowNatureModel from_bare = load_model_any(bare, &metadata);
+  EXPECT_EQ(metadata, "");  // bare artifact: no metadata to report
+  EXPECT_EQ(from_bare.classify(prefix).label, expected);
+
+  std::stringstream bundled;
+  save_model_bundle(model, "v9 retrained", bundled);
+  FlowNatureModel from_bundle = load_model_any(bundled, &metadata);
+  EXPECT_EQ(metadata, "v9 retrained");
+  EXPECT_EQ(from_bundle.classify(prefix).label, expected);
+}
+
+TEST(ModelBundle, CorruptBundleNeverYieldsAModel) {
+  const auto corpus = tiny_corpus();
+  FlowNatureModel model = train_model(corpus, cart_options());
+  std::stringstream ss;
+  save_model_bundle(model, "v1", ss);
+  std::string bytes = ss.str();
+  bytes[bytes.size() / 2] ^= 0x01;
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(load_model_bundle(corrupt), std::runtime_error);
+  std::stringstream corrupt_any(bytes);
+  EXPECT_THROW(load_model_any(corrupt_any), std::runtime_error);
+}
+
+TEST(ModelBundle, VersionOfTakesFirstToken) {
+  EXPECT_EQ(model_version_of("v7 trained=today"), "v7");
+  EXPECT_EQ(model_version_of("  padded-v2  "), "padded-v2");
+  EXPECT_EQ(model_version_of(""), "unversioned");
+  EXPECT_EQ(model_version_of("   "), "unversioned");
 }
 
 TEST(FlowNatureModel, EstimationFlagPreservedThroughSaveLoad) {

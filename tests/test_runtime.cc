@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -17,6 +19,7 @@
 #include <vector>
 
 #include "appproto/trace_headers.h"
+#include "core/model_registry.h"
 #include "core/trainer.h"
 #include "net/flow.h"
 #include "net/trace_gen.h"
@@ -364,6 +367,18 @@ TEST(Runtime, SnapshotReportsAndSerializes) {
   EXPECT_NE(json.find("\"flows_by_nature\""), std::string::npos);
   EXPECT_NE(json.find("\"engine_latency\""), std::string::npos);
 
+  // Control-plane fields ride along in both renderings.  A factory-built
+  // runtime has no registry: version stays at the bare-model default.
+  EXPECT_GT(snap.uptime_seconds, 0.0);
+  EXPECT_EQ(snap.model_version, "unversioned");
+  EXPECT_EQ(snap.model_swaps, 0u);
+  EXPECT_NE(text.find("model: unversioned"), std::string::npos);
+  EXPECT_NE(text.find("swaps: 0"), std::string::npos);
+  EXPECT_NE(json.find("\"uptime_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"model_version\": \"unversioned\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model_swaps\": 0"), std::string::npos);
+
   EXPECT_GT(rt.output_queues().drain_all(), 0u);
 }
 
@@ -381,6 +396,62 @@ TEST(Runtime, HighWaterMarksAreWithinRingCapacity) {
   for (const MetricsSnapshot::Ring& ring : snap.rings) {
     EXPECT_LE(ring.high_water, 64u);
     EXPECT_EQ(ring.pushed, ring.popped);
+  }
+}
+
+// The ISSUE acceptance scenario, in-process: publish a retrained model
+// through the registry while a paced multi-shard replay is live.  With
+// blocking backpressure the swap must lose nothing, every shard must
+// cross to the new epoch (workers re-read at burst boundaries), the
+// retired model must be reclaimed exactly once the grace period closes,
+// and the swap must surface through the runtime snapshot.
+TEST(Runtime, ModelHotSwapUnderLiveReplayLosesNothing) {
+  const auto factory = model_factory();
+  RuntimeOptions options;
+  options.shards = 2;
+  options.burst = 8;
+  options.backpressure = BackpressurePolicy::kBlock;  // lossless
+  options.engine.buffer_size = 32;
+
+  auto registry = std::make_shared<core::ModelRegistry>(
+      options.shards,
+      std::make_shared<const core::FlowNatureModel>(factory()), "v1");
+  Runtime rt(registry, options);
+  ASSERT_EQ(rt.model_registry(), registry.get());
+
+  // Pace the source so the publish provably lands mid-replay.
+  constexpr std::size_t kPackets = 20'000;
+  TraceSource source(trace_options(kPackets, 908), /*target_pps=*/40'000.0);
+  rt.start(source);
+
+  // Wait until the replay is demonstrably in flight, then swap.
+  for (int spin = 0; rt.snapshot().packets_in < kPackets / 10; ++spin) {
+    ASSERT_LT(spin, 2000) << "replay never got off the ground";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::weak_ptr<const core::FlowNatureModel> old_model =
+      registry->current().model;
+  registry->publish(
+      std::make_shared<const core::FlowNatureModel>(factory()), "v2");
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.packets_in, kPackets);
+  EXPECT_EQ(snap.total_popped(), kPackets);
+  EXPECT_EQ(snap.total_dropped(), 0u) << "hot swap must not drop packets";
+  EXPECT_EQ(snap.model_swaps, 1u);
+  EXPECT_EQ(snap.model_version, "v2");
+
+  // Every shard crossed to the published epoch before draining out...
+  EXPECT_EQ(registry->epoch_hint(), 2u);
+  EXPECT_EQ(registry->min_crossed(), 2u);
+  // ...so the old model was reclaimed: the registry dropped its retired
+  // reference and both shard engines installed the replacement.
+  EXPECT_EQ(registry->retired_count(), 0u);
+  EXPECT_TRUE(old_model.expired())
+      << "retired model still referenced after every shard crossed";
+  for (std::size_t s = 0; s < rt.engine().shard_count(); ++s) {
+    EXPECT_EQ(&rt.engine().shard(s).model(), registry->current().model.get());
   }
 }
 

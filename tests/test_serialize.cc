@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "util/crc32.h"
 #include "util/random.h"
 
 namespace iustitia::ml {
@@ -104,6 +107,129 @@ TEST(SerializeScaler, RoundTrip) {
 TEST(SerializeScaler, MalformedInputThrows) {
   std::stringstream ss("scaler-v1 junk");
   EXPECT_THROW(load_scaler(ss), std::runtime_error);
+}
+
+// --- versioned bundle frame ---------------------------------------------
+
+// Known-answer check for the CRC sealing the frame: 0xCBF43926 is the
+// standard CRC-32/IEEE check value for "123456789", so bundles verify
+// with stock zlib tooling.
+TEST(BundleFrame, CrcMatchesIeeeCheckValue) {
+  EXPECT_EQ(util::crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(std::string_view("123456789")), 0xCBF43926u);
+  std::uint32_t state = util::kCrc32Init;
+  state = util::crc32_update(state, "12345", 5);
+  state = util::crc32_update(state, "6789", 4);
+  EXPECT_EQ(util::crc32_final(state), 0xCBF43926u);
+}
+
+namespace {
+
+std::string framed(const std::string& metadata, const std::string& payload) {
+  Bundle bundle;
+  bundle.metadata = metadata;
+  bundle.payload = payload;
+  std::ostringstream out;
+  save_bundle(bundle, out);
+  return out.str();
+}
+
+// Loads and returns the what() of the expected runtime_error.
+std::string load_error(const std::string& bytes) {
+  std::istringstream in(bytes);
+  try {
+    load_bundle(in);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "load_bundle accepted: " << bytes.substr(0, 60);
+  return "";
+}
+
+}  // namespace
+
+TEST(BundleFrame, RoundTripPreservesEverything) {
+  const std::string payload("binary\0bytes\nwith newlines", 26);
+  std::istringstream in(framed("model-v7 trained=2026-08-09", payload));
+  const Bundle loaded = load_bundle(in);
+  EXPECT_EQ(loaded.format_version, kBundleFormatVersion);
+  EXPECT_EQ(loaded.metadata, "model-v7 trained=2026-08-09");
+  EXPECT_EQ(loaded.payload, payload);
+}
+
+TEST(BundleFrame, EmptyMetadataAndPayloadRoundTrip) {
+  std::istringstream in(framed("", ""));
+  const Bundle loaded = load_bundle(in);
+  EXPECT_EQ(loaded.metadata, "");
+  EXPECT_EQ(loaded.payload, "");
+}
+
+TEST(BundleFrame, MetadataNewlineRejectedAtSave) {
+  Bundle bundle;
+  bundle.metadata = "two\nlines";
+  std::ostringstream out;
+  EXPECT_THROW(save_bundle(bundle, out), std::invalid_argument);
+}
+
+TEST(BundleFrame, EmptyStreamAndBadMagic) {
+  EXPECT_NE(load_error("").find("empty stream"), std::string::npos);
+  const std::string err = load_error("flowmodel-v1 3 2 1\n");
+  EXPECT_NE(err.find("bad magic"), std::string::npos);
+  EXPECT_NE(err.find("flowmodel-v1"), std::string::npos);
+}
+
+TEST(BundleFrame, FutureFormatVersionRejected) {
+  std::string bytes = framed("meta", "payload");
+  // Rewrite the header's version field: "iustitia-bundle 1 7" -> "... 999 7".
+  const std::string needle = std::string(kBundleMagic) + " 1 ";
+  ASSERT_EQ(bytes.find(needle), 0u);
+  bytes.replace(needle.size() - 2, 1, "999");
+  const std::string err = load_error(bytes);
+  EXPECT_NE(err.find("format version 999"), std::string::npos);
+  EXPECT_NE(err.find("retrain"), std::string::npos);
+}
+
+TEST(BundleFrame, TruncatedPayloadNamesByteCounts) {
+  const std::string bytes = framed("meta", "0123456789");
+  // Cut mid-payload: keep the header + metadata + 4 payload bytes.
+  const std::size_t payload_at = bytes.find("meta\n") + 5;
+  const std::string err = load_error(bytes.substr(0, payload_at + 4));
+  EXPECT_NE(err.find("truncated"), std::string::npos);
+  EXPECT_NE(err.find("promises 10"), std::string::npos);
+  EXPECT_NE(err.find("ended after 4"), std::string::npos);
+}
+
+TEST(BundleFrame, MissingOrMalformedTrailer) {
+  const std::string bytes = framed("meta", "0123456789");
+  const std::size_t trailer_at = bytes.rfind("crc32");
+  // Payload intact but no trailer at all.
+  EXPECT_NE(load_error(bytes.substr(0, trailer_at))
+                .find("missing crc32 trailer"),
+            std::string::npos);
+  // Trailer present but not 8 hex digits.
+  EXPECT_NE(load_error(bytes.substr(0, trailer_at) + "crc32 zz\n")
+                .find("missing crc32 trailer"),
+            std::string::npos);
+  // Right width, wrong alphabet.
+  EXPECT_NE(load_error(bytes.substr(0, trailer_at) + "crc32 zzzzzzzz\n")
+                .find("malformed crc32"),
+            std::string::npos);
+}
+
+TEST(BundleFrame, CrcMismatchOnAnyFlippedByte) {
+  std::string bytes = framed("meta", "0123456789");
+  const std::size_t payload_at = bytes.find("meta\n") + 5;
+  bytes[payload_at + 3] ^= 0x01;  // corrupt one payload byte
+  const std::string err = load_error(bytes);
+  EXPECT_NE(err.find("CRC mismatch"), std::string::npos);
+  EXPECT_NE(err.find("refusing to load"), std::string::npos);
+
+  // Metadata tampering is also sealed by the CRC.
+  std::string meta_tampered = framed("meta", "0123456789");
+  const std::size_t meta_at = meta_tampered.find("meta\n");
+  meta_tampered.replace(meta_at, 4, "mEta");
+  EXPECT_NE(load_error(meta_tampered).find("CRC mismatch"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -97,6 +97,11 @@ class LayeringPass(FixtureCase):
         self.assertIn("cycle_a.h", proc.stdout)
         # config_stub.h itself is legal; only the upward edge is flagged.
         self.assertNotIn("src/core/config_stub.h:", proc.stdout)
+        # The control plane tops the stack: runtime -> ctrl is an upward
+        # edge, while ctrl's own runtime/core includes are matrix-legal.
+        self.assertIn("src/runtime/uses_ctrl.h", proc.stdout)
+        self.assertIn("'runtime' may not depend on 'ctrl'", proc.stdout)
+        self.assertNotIn("src/ctrl/admin_stub.h:", proc.stdout)
 
 
 class LocksPass(FixtureCase):

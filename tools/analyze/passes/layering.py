@@ -38,6 +38,10 @@ ALLOWED_DEPS: dict[str, set[str]] = {
     # The serving runtime orchestrates engines; it must not reach below
     # core's abstractions for anything but transport (net) and util.
     "runtime": {"util", "net", "core"},
+    # The control plane sits on top of everything it administers: the
+    # runtime (metrics, lifecycle), core (model registry/bundles), and
+    # ml (bundle framing).  Nothing may depend back on ctrl.
+    "ctrl": {"util", "runtime", "core", "ml"},
 }
 
 

@@ -129,6 +129,88 @@ mkdir -p "$rt_dir"
   "$rt_dir/trace.pcap" --shards 2 --backpressure drop --json \
   > "$rt_dir/replay_drop.json"
 
+stage "ctrl-smoke"
+# End-to-end control plane: serve a paced replay from the default-preset
+# binary, probe the admin endpoints, hot-swap a retrained bundle
+# mid-replay, reject a corrupt one, and drain out via /quitquitquit.
+# The paced source (20 kpps against a 20k-packet trace) keeps the replay
+# alive for ~1s so the swap provably lands while shards are processing.
+ctrl_dir="$PWD/build/ctrl-smoke"
+rm -rf "$ctrl_dir"
+mkdir -p "$ctrl_dir"
+./build/tools/iustitia gen-corpus "$ctrl_dir/corpus" --files 8 --seed 7
+./build/tools/iustitia train "$ctrl_dir/corpus" "$ctrl_dir/model.bundle" \
+  --meta "v1 ci-smoke"
+./build/tools/iustitia train "$ctrl_dir/corpus" "$ctrl_dir/model2.bundle" \
+  --meta "v2 ci-smoke-retrained" --buffer 48
+./build/tools/iustitia gen-trace "$ctrl_dir/trace.pcap" \
+  --packets 20000 --seed 11
+./build/tools/iustitia serve "$ctrl_dir/model.bundle" "$ctrl_dir/trace.pcap" \
+  --shards 2 --burst 16 --backpressure block --pps 20000 \
+  --port-file "$ctrl_dir/port" --json > "$ctrl_dir/serve.json" &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$ctrl_dir/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$ctrl_dir/port" ]] || {
+  echo "ci.sh: serve never wrote its port file" >&2
+  kill -9 "$serve_pid" 2>/dev/null || true
+  exit 1
+}
+admin="http://127.0.0.1:$(cat "$ctrl_dir/port")"
+curl -fsS "$admin/healthz" > /dev/null
+curl -fsS "$admin/metrics" | grep -F 'iustitia_model_info{version="v1"} 1'
+# Mid-replay hot swap; then a corrupt upload, which must change nothing.
+curl -fsS -X POST --data-binary @"$ctrl_dir/model2.bundle" "$admin/model" \
+  | grep -F '"version": "v2"'
+head -c 200 "$ctrl_dir/model2.bundle" > "$ctrl_dir/corrupt.bundle"
+if curl -fsS -X POST --data-binary @"$ctrl_dir/corrupt.bundle" \
+    "$admin/model" 2>/dev/null; then
+  echo "ci.sh: corrupt bundle was accepted" >&2
+  exit 1
+fi
+curl -fsS "$admin/stats.json" > "$ctrl_dir/stats.json"
+python3 - "$ctrl_dir/stats.json" <<'PYEOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["model_swaps"] == 1, snap["model_swaps"]
+assert snap["model_version"] == "v2", snap["model_version"]
+PYEOF
+# Let the paced replay drain fully (serving mode lingers after the trace
+# ends), so the final report covers every packet.
+for _ in $(seq 1 300); do
+  packets="$(curl -fsS "$admin/stats.json" \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["packets_in"])')"
+  [[ "$packets" == 20000 ]] && break
+  sleep 0.1
+done
+[[ "$packets" == 20000 ]] || {
+  echo "ci.sh: replay never drained (packets_in=$packets)" >&2
+  kill -9 "$serve_pid"
+  exit 1
+}
+curl -fsS -X POST "$admin/quitquitquit" | grep -F draining > /dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+  echo "ci.sh: serve did not exit after /quitquitquit" >&2
+  kill -9 "$serve_pid"
+  exit 1
+fi
+wait "$serve_pid"
+# The blocking-backpressure replay must have swapped without loss.
+python3 - "$ctrl_dir/serve.json" <<'PYEOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+assert snap["model_swaps"] == 1, snap["model_swaps"]
+assert snap["model_version"] == "v2", snap["model_version"]
+assert snap["dropped"] == 0, snap["dropped"]
+assert snap["packets_in"] == 20000, snap["packets_in"]
+PYEOF
+
 stage "perf-smoke"
 # Reduced-size run of the entropy-kernel microbench, gated on >30%
 # regression against the checked-in baseline (speedup is the gated,

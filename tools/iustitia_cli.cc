@@ -17,19 +17,33 @@
 //          [--backpressure block|drop] [--ring N] [--buffer B] [--json]
 //       Serve a pcap through the online runtime (dispatcher + pinned shard
 //       workers + per-nature output queues) and print live-metrics report.
+//   serve <model-file> <trace.pcap> [replay flags] [--port P]
+//         [--bind ADDR] [--port-file PATH] [--once 1]
+//       replay plus the control plane: an admin HTTP server (/healthz,
+//       /metrics, /stats.json, POST /model hot-swap, POST /quitquitquit)
+//       over a live runtime.  Lingers after the trace ends until quit or
+//       SIGINT/SIGTERM so probes and swaps never race replay end.
 #include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "appproto/trace_headers.h"
 #include "core/engine.h"
+#include "core/model_bundle.h"
+#include "core/model_registry.h"
 #include "core/trainer.h"
+#include "ctrl/admin.h"
+#include "ctrl/signal.h"
 #include "datagen/corpus_io.h"
 #include "net/pcap.h"
 #include "net/trace_gen.h"
@@ -80,13 +94,16 @@ int usage() {
       "[--max-size B]\n"
       "  train <corpus-dir> <model-file> [--backend cart|svm] [--buffer B]\n"
       "        [--method hf|hb|hbp] [--threshold T] [--gamma G] [--c C]\n"
+      "        [--meta 'VERSION free-form provenance'] [--format bundle|raw]\n"
       "  classify <model-file> <file>...\n"
       "  gen-trace <out.pcap> [--packets N] [--seed S] [--duration SEC]\n"
       "  analyze <model-file> <trace.pcap> [--buffer B]\n"
       "  replay <model-file> <trace.pcap> [--shards N] [--burst N] "
       "[--pps R]\n"
       "         [--backpressure block|drop] [--ring N] [--buffer B] "
-      "[--json]\n";
+      "[--json]\n"
+      "  serve <model-file> <trace.pcap> [replay flags] [--port P]\n"
+      "        [--bind ADDR] [--port-file PATH] [--once 1]\n";
   return 2;
 }
 
@@ -129,27 +146,43 @@ int cmd_train(const Args& args) {
   options.svm.c = args.flag_double("c", 1000.0);
 
   const core::FlowNatureModel model = core::train_model(corpus, options);
-  std::ofstream out(args.positional[1]);
+  std::ofstream out(args.positional[1], std::ios::binary);
   if (!out) {
     std::cerr << "cannot write " << args.positional[1] << '\n';
     return 1;
   }
-  model.save(out);
+  const std::string format = args.flag("format", "bundle");
+  if (format == "raw") {
+    // Pre-bundle artifact format; every loader still auto-detects it.
+    model.save(out);
+  } else if (format == "bundle") {
+    // Default metadata: "v1 <backend> b=<buffer>" — first token is the
+    // operator-facing version reported by /metrics after a hot-swap.
+    const std::string meta = args.flag(
+        "meta", std::string("v1 ") + core::backend_name(model.backend()) +
+                    " b=" + std::to_string(options.buffer_size));
+    core::save_model_bundle(model, meta, out);
+  } else {
+    std::cerr << "unknown --format '" << format
+              << "' (expected bundle or raw)\n";
+    return 2;
+  }
   std::cout << "trained " << core::backend_name(model.backend())
             << " (method " << core::training_method_name(options.method)
             << ", b=" << options.buffer_size << ") -> " << args.positional[1]
-            << " (" << model.model_space_bytes() << " model bytes)\n";
+            << " (" << model.model_space_bytes() << " model bytes, "
+            << format << " format)\n";
   return 0;
 }
 
 int cmd_classify(const Args& args) {
   if (args.positional.size() < 2) return usage();
-  std::ifstream in(args.positional[0]);
+  std::ifstream in(args.positional[0], std::ios::binary);
   if (!in) {
     std::cerr << "cannot read model " << args.positional[0] << '\n';
     return 1;
   }
-  core::FlowNatureModel model = core::FlowNatureModel::load(in);
+  core::FlowNatureModel model = core::load_model_any(in);
 
   util::Table table({"file", "size", "nature", "h-vector"});
   for (std::size_t i = 1; i < args.positional.size(); ++i) {
@@ -199,12 +232,12 @@ int cmd_gen_trace(const Args& args) {
 
 int cmd_analyze(const Args& args) {
   if (args.positional.size() < 2) return usage();
-  std::ifstream model_in(args.positional[0]);
+  std::ifstream model_in(args.positional[0], std::ios::binary);
   if (!model_in) {
     std::cerr << "cannot read model " << args.positional[0] << '\n';
     return 1;
   }
-  core::FlowNatureModel model = core::FlowNatureModel::load(model_in);
+  core::FlowNatureModel model = core::load_model_any(model_in);
 
   std::ifstream pcap_in(args.positional[1], std::ios::binary);
   if (!pcap_in) {
@@ -235,22 +268,10 @@ int cmd_analyze(const Args& args) {
   return 0;
 }
 
-int cmd_replay(const Args& args) {
-  if (args.positional.size() < 2) return usage();
-  std::ifstream model_in(args.positional[0]);
-  if (!model_in) {
-    std::cerr << "cannot read model " << args.positional[0] << '\n';
-    return 1;
-  }
-  const core::FlowNatureModel model = core::FlowNatureModel::load(model_in);
-
-  std::ifstream pcap_in(args.positional[1], std::ios::binary);
-  if (!pcap_in) {
-    std::cerr << "cannot read pcap " << args.positional[1] << '\n';
-    return 1;
-  }
-
-  runtime::RuntimeOptions options;
+// Flags shared by replay and serve.  Returns 0 on success, a usage exit
+// code otherwise.
+int parse_runtime_flags(const Args& args, runtime::RuntimeOptions& options,
+                        std::string& policy) {
   options.shards = static_cast<std::size_t>(args.flag_int("shards", 1));
   options.ring_capacity = static_cast<std::size_t>(args.flag_int("ring", 2048));
   options.burst = static_cast<std::size_t>(args.flag_int("burst", 1));
@@ -258,7 +279,7 @@ int cmd_replay(const Args& args) {
     std::cerr << "--burst must be at least 1\n";
     return 2;
   }
-  const std::string policy = args.flag("backpressure", "block");
+  policy = args.flag("backpressure", "block");
   if (policy != "block" && policy != "drop") {
     std::cerr << "unknown --backpressure '" << policy
               << "' (expected block or drop)\n";
@@ -270,9 +291,61 @@ int cmd_replay(const Args& args) {
   options.pin_workers = args.flag_int("pin", 0) != 0;
   options.engine.buffer_size =
       static_cast<std::size_t>(args.flag_int("buffer", 32));
+  return 0;
+}
+
+// Accept both `--json 1` (flag parser eats a value) and bare trailing
+// `--json` (lands in positional).
+bool json_requested(const Args& args) {
+  return (args.flags.count("json") != 0 && args.flag("json", "1") != "0") ||
+         std::count(args.positional.begin(), args.positional.end(),
+                    "--json") > 0;
+}
+
+void print_run_report(const runtime::MetricsSnapshot& snap, double seconds,
+                      const runtime::RuntimeOptions& options,
+                      const std::string& policy, bool json) {
+  if (json) {
+    std::cout << snap.json();
+    return;
+  }
+  std::cout << snap.text_report();
+  const double pps =
+      seconds > 0.0 ? static_cast<double>(snap.packets_in) / seconds : 0.0;
+  std::cout << "  replayed " << snap.packets_in << " packets in "
+            << util::fmt(seconds, 3) << "s (" << util::fmt(pps / 1e3, 1)
+            << " kpps, " << options.shards << " shard"
+            << (options.shards == 1 ? "" : "s") << ", burst "
+            << options.burst << ", " << policy << " backpressure)\n";
+}
+
+int cmd_replay(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream model_in(args.positional[0], std::ios::binary);
+  if (!model_in) {
+    std::cerr << "cannot read model " << args.positional[0] << '\n';
+    return 1;
+  }
+  const core::FlowNatureModel model = core::load_model_any(model_in);
+
+  std::ifstream pcap_in(args.positional[1], std::ios::binary);
+  if (!pcap_in) {
+    std::cerr << "cannot read pcap " << args.positional[1] << '\n';
+    return 1;
+  }
+
+  runtime::RuntimeOptions options;
+  std::string policy;
+  if (const int rc = parse_runtime_flags(args, options, policy); rc != 0) {
+    return rc;
+  }
 
   runtime::Runtime rt([&model] { return model; }, options);
   runtime::PcapReplaySource source(pcap_in, args.flag_double("pps", 0.0));
+
+  // Ctrl-C / SIGTERM: stop reading the source, drain what is enqueued,
+  // and still print the final metrics report below.
+  ctrl::SignalDrain drain([&rt] { rt.stop(); });
 
   const util::Stopwatch watch;
   rt.start(source);
@@ -280,29 +353,88 @@ int cmd_replay(const Args& args) {
   const double seconds = watch.elapsed_seconds();
 
   const runtime::MetricsSnapshot snap = rt.snapshot();
-  // Accept both `--json 1` (flag parser eats a value) and bare trailing
-  // `--json` (lands in positional).
-  const bool json = (args.flags.count("json") != 0 &&
-                     args.flag("json", "1") != "0") ||
-                    std::count(args.positional.begin(), args.positional.end(),
-                               "--json") > 0;
-  if (json) {
-    std::cout << snap.json();
-  } else {
-    std::cout << snap.text_report();
-    const double pps =
-        seconds > 0.0 ? static_cast<double>(snap.packets_in) / seconds : 0.0;
-    std::cout << "  replayed " << snap.packets_in << " packets in "
-              << util::fmt(seconds, 3) << "s (" << util::fmt(pps / 1e3, 1)
-              << " kpps, " << options.shards << " shard"
-              << (options.shards == 1 ? "" : "s") << ", burst "
-              << options.burst << ", " << policy << " backpressure)\n";
+  print_run_report(snap, seconds, options, policy, json_requested(args));
+  if (drain.triggered()) {
+    std::cerr << "note: interrupted; metrics cover the drained prefix\n";
   }
   if (source.truncated()) {
     std::cerr << "note: capture ended on a truncated record; replayed the "
                  "complete prefix\n";
   }
   rt.output_queues().drain_all();
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  std::ifstream model_in(args.positional[0], std::ios::binary);
+  if (!model_in) {
+    std::cerr << "cannot read model " << args.positional[0] << '\n';
+    return 1;
+  }
+  std::string metadata;
+  core::FlowNatureModel model = core::load_model_any(model_in, &metadata);
+
+  std::ifstream pcap_in(args.positional[1], std::ios::binary);
+  if (!pcap_in) {
+    std::cerr << "cannot read pcap " << args.positional[1] << '\n';
+    return 1;
+  }
+
+  runtime::RuntimeOptions options;
+  std::string policy;
+  if (const int rc = parse_runtime_flags(args, options, policy); rc != 0) {
+    return rc;
+  }
+
+  const auto registry = std::make_shared<core::ModelRegistry>(
+      options.shards,
+      std::make_shared<const core::FlowNatureModel>(std::move(model)),
+      core::model_version_of(metadata));
+  runtime::Runtime rt(registry, options);
+  runtime::PcapReplaySource source(pcap_in, args.flag_double("pps", 0.0));
+
+  ctrl::HttpServer::Options http;
+  http.bind_address = args.flag("bind", "127.0.0.1");
+  http.port = static_cast<std::uint16_t>(args.flag_int("port", 0));
+  ctrl::AdminServer admin(&rt, registry, http);
+  admin.start();
+  std::cerr << "admin: http://" << http.bind_address << ":" << admin.port()
+            << " (/healthz /metrics /stats.json /model /quitquitquit)\n";
+  const std::string port_file = args.flag("port-file", "");
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << admin.port() << '\n';
+  }
+
+  // A signal and POST /quitquitquit land on the same latch; either way
+  // the drain below runs exactly once on this thread.
+  ctrl::SignalDrain drain([&admin] { admin.notify_quit(); });
+
+  const util::Stopwatch watch;
+  rt.start(source);
+  if (args.flag_int("once", 0) != 0) {
+    // CI/one-shot mode: exit as soon as the trace has drained (a signal
+    // or /quitquitquit still cuts the replay short via the latch...).
+    std::thread waiter([&rt, &admin] {
+      rt.wait();
+      admin.notify_quit();
+    });
+    admin.wait_for_quit();
+    rt.stop();
+    waiter.join();
+  } else {
+    // Serving mode: the runtime may finish the trace long before the
+    // operator is done probing /metrics; linger until told to quit.
+    admin.wait_for_quit();
+    rt.stop();
+  }
+  const double seconds = watch.elapsed_seconds();
+
+  const runtime::MetricsSnapshot snap = rt.snapshot();
+  print_run_report(snap, seconds, options, policy, json_requested(args));
+  rt.output_queues().drain_all();
+  admin.stop();
   return 0;
 }
 
@@ -319,6 +451,7 @@ int main(int argc, char** argv) {
     if (command == "gen-trace") return cmd_gen_trace(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "replay") return cmd_replay(args);
+    if (command == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
