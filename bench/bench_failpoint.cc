@@ -1,0 +1,100 @@
+// Microbenchmark: cost of a FAILPOINT() evaluation on the hot path.
+//
+// The robustness design (DESIGN.md §12) claims a *disarmed* failpoint
+// costs one relaxed atomic load — cheap enough to compile fault
+// injection into the production binary.  This bench measures that claim
+// directly: ns per evaluation for a disarmed point against an empty
+// baseline loop, plus the armed non-triggering case (error(0.0): full
+// PRNG sample, no action) as the upper bound an armed-but-quiet point
+// pays.  Results land in JSON (argv[1], default BENCH_failpoint.json)
+// for the bench trajectory; there is no perf_check gate — the numbers
+// are documentation, the hot-path guarantee itself is enforced by the
+// analyzer's hotpath pass and the rt-debug runtime guards.
+//
+// Knobs: IUSTITIA_FAILPOINT_ITERS  evaluations per timing loop
+//                                  (default 50'000'000).
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "util/failpoint.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace iustitia::bench {
+namespace {
+
+// Measures `fn` over `iters` iterations and returns ns per iteration.
+// `sink` defeats dead-code elimination.
+template <typename Fn>
+double measure_ns(std::size_t iters, Fn&& fn, std::uint64_t& sink) {
+  fn(sink);  // warm-up: interns the point, faults the pages
+  const util::Stopwatch timer;
+  for (std::size_t i = 0; i < iters; ++i) fn(sink);
+  return timer.elapsed_millis() * 1e6 / static_cast<double>(iters);
+}
+
+}  // namespace
+}  // namespace iustitia::bench
+
+int main(int argc, char** argv) {
+  using namespace iustitia;
+  using bench::env_size;
+
+  const std::size_t iters = env_size("IUSTITIA_FAILPOINT_ITERS", 50'000'000);
+  util::failpoints_disarm_all();
+  util::failpoints_set_seed(0x1057F417ULL);
+
+  std::uint64_t sink = 0;
+  const double empty_ns = bench::measure_ns(
+      iters, [](std::uint64_t& s) { s += 1; }, sink);
+  const double disarmed_ns = bench::measure_ns(
+      iters,
+      [](std::uint64_t& s) {
+        s += FAILPOINT("test.probe") == util::FailpointAction::kNone ? 0 : 1;
+      },
+      sink);
+  // error(0.0): the point is armed so every evaluation samples the
+  // per-point PRNG, but probability zero means no action ever fires.
+  const std::string error = util::failpoints_configure("test.probe=error(0.0)");
+  if (!error.empty()) {
+    std::cerr << "failpoints_configure: " << error << '\n';
+    return 1;
+  }
+  const double armed_quiet_ns = bench::measure_ns(
+      iters,
+      [](std::uint64_t& s) {
+        s += FAILPOINT("test.probe") == util::FailpointAction::kNone ? 0 : 1;
+      },
+      sink);
+  util::failpoints_disarm_all();
+
+  util::Table table({"case", "ns/eval", "delta vs empty"});
+  table.add_row({"empty loop", util::fmt(empty_ns, 3), "-"});
+  table.add_row({"disarmed FAILPOINT", util::fmt(disarmed_ns, 3),
+                 util::fmt(disarmed_ns - empty_ns, 3)});
+  table.add_row({"armed error(0.0)", util::fmt(armed_quiet_ns, 3),
+                 util::fmt(armed_quiet_ns - empty_ns, 3)});
+  std::cout << "FAILPOINT evaluation cost (" << iters << " iters/case)\n";
+  table.render(std::cout);
+  std::cout << "(sink " << sink << ")\n";
+
+  const char* out = argc > 1 ? argv[1] : "BENCH_failpoint.json";
+  std::ofstream json(out);
+  json << std::setprecision(6) << "{\n"
+       << "  \"bench\": \"failpoint\",\n"
+       << "  \"iters\": " << iters << ",\n"
+       << "  \"rows\": [\n"
+       << "    {\"case\": \"empty\", \"ns_per_eval\": " << empty_ns << "},\n"
+       << "    {\"case\": \"disarmed\", \"ns_per_eval\": " << disarmed_ns
+       << "},\n"
+       << "    {\"case\": \"armed_error_p0\", \"ns_per_eval\": "
+       << armed_quiet_ns << "}\n"
+       << "  ]\n}\n";
+  std::cout << "wrote " << out << '\n';
+  return 0;
+}

@@ -1,6 +1,9 @@
 #include "core/cdb.h"
 
+#include <iterator>
+
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/rt_guard.h"
 
 namespace iustitia::core {
@@ -29,6 +32,8 @@ std::optional<datagen::FileClass> ClassificationDatabase::lookup(
   record.lambda = now - record.last_arrival;
   record.has_lambda = true;
   record.last_arrival = now;
+  // Refresh recency: splice relinks the node in place, no allocation.
+  order_.splice(order_.end(), order_, record.order_it);
   return record.label;
 }
 
@@ -40,18 +45,56 @@ std::optional<datagen::FileClass> ClassificationDatabase::peek(
   return it->second.label;
 }
 
-void ClassificationDatabase::insert(const net::FlowId& id,
+bool ClassificationDatabase::insert(const net::FlowId& id,
                                     datagen::FileClass label, double now) {
+  // Fault injection: an armed cdb.insert point (error/alloc-fail)
+  // simulates the record allocation failing — the flow is just not
+  // cached, which is the designed degradation.  Evaluated before the
+  // lock so the injected path never holds mu_.
+  const util::FailpointAction injected = FAILPOINT("cdb.insert");
+  util::MutexLock lock(mu_);
+  if (injected == util::FailpointAction::kError ||
+      injected == util::FailpointAction::kAllocFail) {
+    ++stats_.insert_failures;
+    return false;
+  }
+  ++stats_.inserts;
+  ++inserts_since_purge_;
+  const auto it = records_.find(id);
+  if (it != records_.end()) {
+    // Overwrite: refresh the payload and recency, keep the node.
+    Record& record = it->second;
+    record.label = label;
+    record.last_arrival = now;
+    record.created_at = now;
+    record.lambda = options_.default_lambda;
+    record.has_lambda = false;
+    order_.splice(order_.end(), order_, record.order_it);
+    return true;
+  }
+  while (options_.max_records > 0 &&
+         records_.size() >= options_.max_records) {
+    evict_oldest_locked();
+  }
+  order_.push_back(id);
   Record record;
   record.label = label;
   record.last_arrival = now;
   record.created_at = now;
   record.lambda = options_.default_lambda;
   record.has_lambda = false;
-  util::MutexLock lock(mu_);
-  records_[id] = record;
-  ++stats_.inserts;
-  ++inserts_since_purge_;
+  record.order_it = std::prev(order_.end());
+  records_.emplace(id, record);
+  return true;
+}
+
+void ClassificationDatabase::evict_oldest_locked() {
+  DCHECK(!order_.empty());
+  const auto it = records_.find(order_.front());
+  DCHECK(it != records_.end()) << "order_ out of sync with records_";
+  order_.pop_front();
+  records_.erase(it);
+  ++stats_.forced_evictions;
 }
 
 void ClassificationDatabase::remove_on_close(const net::FlowId& id) {
@@ -60,7 +103,11 @@ void ClassificationDatabase::remove_on_close(const net::FlowId& id) {
   // as lookup(), plus the freed hash node on erase.
   util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, unresolved-call)
   util::MutexLock lock(mu_);
-  if (records_.erase(id) > 0) ++stats_.fin_rst_removals;
+  const auto it = records_.find(id);
+  if (it == records_.end()) return;
+  order_.erase(it->second.order_it);
+  records_.erase(it);
+  ++stats_.fin_rst_removals;
 }
 
 void ClassificationDatabase::maybe_purge(double now) {
@@ -88,11 +135,13 @@ std::size_t ClassificationDatabase::purge_locked(double now) {
         record.has_lambda ? record.lambda : options_.default_lambda;
     if (now - record.last_arrival >
         options_.inactivity_coefficient * lambda) {
+      order_.erase(record.order_it);
       it = records_.erase(it);
       ++inactive;
     } else if (options_.reclassify_after_seconds > 0.0 &&
                now - record.created_at > options_.reclassify_after_seconds) {
       // Section 4.6: force periodic reclassification of long-lived flows.
+      order_.erase(record.order_it);
       it = records_.erase(it);
       ++stale;
     } else {
@@ -103,6 +152,8 @@ std::size_t ClassificationDatabase::purge_locked(double now) {
   stats_.reclassification_removals += stale;
   DCHECK_EQ(size_before, records_.size() + inactive + stale)
       << "purge must account for every removed record";
+  DCHECK_EQ(order_.size(), records_.size())
+      << "recency list out of sync with the record table";
   return inactive + stale;
 }
 

@@ -6,7 +6,11 @@
 // SHA-1 + 32-bit lambda' + 2-bit label).  Records leave the table three
 // ways: explicit FIN/RST removal, the inactivity rule
 // t_now - t_last > n * lambda', and never (when purging is disabled, the
-// Fig. 8 baseline).
+// Fig. 8 baseline).  On top of the heuristics, CdbOptions::max_records
+// is a hard ceiling: an insert that would exceed it force-evicts the
+// least-recently-active record first (accounted separately as
+// forced_evictions), so resident memory is bounded even when the purge
+// heuristics lose (DESIGN.md §12).
 //
 // Thread safety: fully synchronized behind one annotated mutex, so a CDB
 // may be shared across shards or polled (size/stats) while an owner thread
@@ -15,6 +19,7 @@
 #define IUSTITIA_CORE_CDB_H_
 
 #include <cstdint>
+#include <list>
 #include <optional>
 #include <unordered_map>
 
@@ -34,6 +39,12 @@ struct CdbStats {
   std::uint64_t inactivity_removals = 0;
   std::uint64_t reclassification_removals = 0;
   std::uint64_t purge_runs = 0;
+  // Hard-ceiling evictions (max_records), separate from the heuristic
+  // removal counters above so operators can see when the heuristics are
+  // losing to the ceiling.
+  std::uint64_t forced_evictions = 0;
+  // Inserts refused by fault injection (FAILPOINT("cdb.insert")).
+  std::uint64_t insert_failures = 0;
 };
 
 class ClassificationDatabase {
@@ -48,8 +59,12 @@ class ClassificationDatabase {
   // Read-only lookup that does not touch timing state (for inspection).
   std::optional<datagen::FileClass> peek(const net::FlowId& id) const;
 
-  // Inserts (or overwrites) a freshly classified flow.
-  void insert(const net::FlowId& id, datagen::FileClass label, double now);
+  // Inserts (or overwrites) a freshly classified flow, force-evicting
+  // the least-recently-active record first when the max_records ceiling
+  // is reached.  Returns false when the insert was refused (injected
+  // allocation failure) — the flow is simply not cached and will be
+  // reclassified on its next packets.
+  bool insert(const net::FlowId& id, datagen::FileClass label, double now);
 
   // FIN/RST handler: removes the flow if present (no-op when disabled).
   void remove_on_close(const net::FlowId& id);
@@ -77,13 +92,23 @@ class ClassificationDatabase {
     double created_at = 0.0;  // classification time (reclassification rule)
     double lambda = 0.0;      // inter-arrival of the last two packets
     bool has_lambda = false;
+    // Position in order_ (recency list); maintained by every mutation.
+    std::list<net::FlowId>::iterator order_it;
   };
 
   std::size_t purge_locked(double now) IUSTITIA_REQUIRES(mu_);
+  // Removes the least-recently-active record (front of order_),
+  // counting it as a forced eviction.
+  void evict_oldest_locked() IUSTITIA_REQUIRES(mu_);
 
   const CdbOptions options_;  // immutable after construction
   mutable util::Mutex mu_{"ClassificationDatabase::mu_"};
   std::unordered_map<net::FlowId, Record> records_ IUSTITIA_GUARDED_BY(mu_);
+  // Recency order, least-recently-active first: lookup hits splice
+  // their node to the back (pointer swaps, no allocation — hot-path
+  // legal), inserts append, removals erase.  Invariant:
+  // order_.size() == records_.size().
+  std::list<net::FlowId> order_ IUSTITIA_GUARDED_BY(mu_);
   std::size_t inserts_since_purge_ IUSTITIA_GUARDED_BY(mu_) = 0;
   CdbStats stats_ IUSTITIA_GUARDED_BY(mu_);
 };

@@ -25,6 +25,11 @@ struct CdbOptions {
   // has been classified for this long, forcing reclassification on fresh
   // mid-flow content (counters padding-prefix evasion).  0 disables.
   double reclassify_after_seconds = 0.0;
+  // Hard record ceiling: an insert at the ceiling force-evicts the
+  // least-recently-active record first (CdbStats::forced_evictions), so
+  // resident memory stays bounded even when the purge heuristics lose.
+  // 0 leaves the table unbounded (the paper's configuration).
+  std::size_t max_records = 0;
 };
 
 // Online engine knobs.

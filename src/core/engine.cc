@@ -77,7 +77,7 @@ bool Iustitia::resolve_skip(PendingFlow& flow) {
 
 bool Iustitia::buffer_full(const PendingFlow& flow) const noexcept {
   return flow.skip_resolved &&
-         flow.raw.size() >= flow.skip + options_.buffer_size;
+         flow.raw.size() >= flow.skip + effective_buffer_size();
 }
 
 PacketAction Iustitia::on_packet(const net::Packet& packet) {
@@ -114,6 +114,20 @@ PacketAction Iustitia::on_packet(const net::Packet& packet,
   // engine's documented cold branch; it covers the rest of the function.
   util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
 
+  // Overload stage 2 (sample-admission): a brand-new flow is admitted
+  // with probability admission_permille/1000, decided by a stable hash
+  // of its id so the same flow is consistently admitted or shed.  Flows
+  // that already have a pending buffer keep classifying.
+  if (admission_permille_ < 1000 &&
+      pending_.find(packet.key) == pending_.end()) {
+    const std::uint32_t bucket =
+        static_cast<std::uint32_t>(id.prefix64() % 1000);
+    if (bucket >= admission_permille_) {
+      ++stats_.packets_shed;
+      return PacketAction::kShed;
+    }
+  }
+
   // tau_hash / tau_CDBsearch (Fig. 1, Table 3): measured here on the
   // miss path — the only consumer — by re-running the two stages under a
   // split stopwatch.  flow_id is pure and peek() is the read-only twin
@@ -146,7 +160,7 @@ PacketAction Iustitia::on_packet(const net::Packet& packet,
     if (flow.data_packets == 0) flow.first_data_at = now;
     ++flow.data_packets;
     const std::size_t want = options_.header_threshold + flow.random_skip +
-                             options_.buffer_size + kMaxHeaderWait;
+                             effective_buffer_size() + kMaxHeaderWait;
     const std::size_t room =
         flow.raw.size() < want ? want - flow.raw.size() : 0;
     const std::size_t take = std::min(room, packet.payload.size());
@@ -184,7 +198,7 @@ datagen::FileClass Iustitia::classify_flow(const net::FlowKey& key,
                                            bool timed_out) {
   const std::size_t available =
       flow.raw.size() > flow.skip ? flow.raw.size() - flow.skip : 0;
-  const std::size_t take = std::min(available, options_.buffer_size);
+  const std::size_t take = std::min(available, effective_buffer_size());
   DCHECK_LE(flow.skip + take, flow.raw.size())
       << "classification window must stay inside the buffered bytes";
   const std::span<const std::uint8_t> window(flow.raw.data() + flow.skip,

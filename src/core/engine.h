@@ -11,6 +11,7 @@
 #ifndef IUSTITIA_CORE_ENGINE_H_
 #define IUSTITIA_CORE_ENGINE_H_
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -32,6 +33,8 @@ enum class PacketAction {
   kBuffered,         // flow pending; payload added to its buffer
   kClassifiedNow,    // this packet completed the buffer; flow classified
   kIgnored,          // no payload and flow unknown (e.g. bare SYN/ACK)
+  kShed,             // unknown flow refused by admission sampling
+                     // (overload stage 2; see runtime/overload.h)
 };
 
 // Per-classified-flow delay record (Fig. 10).
@@ -53,6 +56,7 @@ struct EngineStats {
   std::uint64_t data_packets = 0;
   std::uint64_t flows_classified = 0;
   std::uint64_t flows_timed_out = 0;   // classified on partial buffer
+  std::uint64_t packets_shed = 0;      // refused by admission sampling
   std::array<std::uint64_t, 3> queue_packets{};  // per-class forwarded
 };
 
@@ -110,6 +114,28 @@ class Iustitia {
   // per-new-flow space cost discussed with Table 3).
   std::size_t pending_buffer_bytes() const noexcept;
 
+  // Degraded-mode controls, driven by the runtime's overload ladder
+  // (runtime/overload.h).  Owner-thread only, like on_packet: per-shard
+  // engines are single-owner, so plain stores suffice.
+  //
+  // Caps the per-flow byte budget below the configured buffer_size
+  // (0 restores the configured budget).  Flows classified while capped
+  // use at most this many bytes — the paper's Fig. 4 cost curve keeps
+  // accuracy serviceable down to b=32.
+  void set_buffer_cap(std::size_t bytes) noexcept { buffer_cap_ = bytes; }
+  std::size_t buffer_cap() const noexcept { return buffer_cap_; }
+
+  // New-flow admission probability in permille (1000 = admit all).
+  // Existing pending/classified flows are unaffected; refused packets
+  // return PacketAction::kShed.  Deterministic per flow id, so one flow
+  // is either fully admitted or fully shed while the setting holds.
+  void set_admission_permille(std::uint32_t permille) noexcept {
+    admission_permille_ = permille > 1000 ? 1000 : permille;
+  }
+  std::uint32_t admission_permille() const noexcept {
+    return admission_permille_;
+  }
+
  private:
   struct PendingFlow {
     std::vector<std::uint8_t> raw;   // bytes as received (pre-skip)
@@ -127,8 +153,15 @@ class Iustitia {
   // Tries to resolve the header-skip offset; returns true when resolved.
   bool resolve_skip(PendingFlow& flow);
 
-  // Buffer target met? (raw bytes beyond the skip >= buffer_size)
+  // Buffer target met? (raw bytes beyond the skip >= the effective
+  // byte budget)
   bool buffer_full(const PendingFlow& flow) const noexcept;
+
+  // Configured buffer_size, clamped by the degraded-mode cap.
+  std::size_t effective_buffer_size() const noexcept {
+    return buffer_cap_ == 0 ? options_.buffer_size
+                            : std::min(buffer_cap_, options_.buffer_size);
+  }
 
   datagen::FileClass classify_flow(const net::FlowKey& key, PendingFlow& flow,
                                    double now, bool timed_out);
@@ -142,6 +175,9 @@ class Iustitia {
   EngineStats stats_;
   std::uint64_t packets_since_flush_ = 0;
   util::Rng rng_;  // per-flow random skip (Section 4.6 defense)
+  // Degraded-mode state (owner-thread writes via the setters above).
+  std::size_t buffer_cap_ = 0;              // 0 = configured budget
+  std::uint32_t admission_permille_ = 1000;  // 1000 = admit every flow
 };
 
 }  // namespace iustitia::core

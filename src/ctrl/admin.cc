@@ -3,14 +3,35 @@
 #include <exception>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "core/model_bundle.h"
 #include "ctrl/prometheus.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace iustitia::ctrl {
+
+namespace {
+
+// Minimal JSON string escaping for operator-supplied failpoint specs.
+std::string json_escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += "?";  // control bytes have no business in a spec
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 AdminServer::AdminServer(runtime::Runtime* runtime,
                          std::shared_ptr<core::ModelRegistry> registry,
@@ -52,9 +73,21 @@ void AdminServer::notify_quit() {
 }
 
 HttpResponse AdminServer::handle(const HttpRequest& request) {
+  // Fault injection: an armed error on ctrl.request fails the request
+  // up front — exercises operator tooling against a flaky admin plane.
+  if (FAILPOINT("ctrl.request") == util::FailpointAction::kError) {
+    return text_response(500, "injected ctrl.request failure\n");
+  }
   if (request.target == "/healthz") {
     if (request.method != "GET") return text_response(405, "GET only\n");
     return text_response(200, "ok\n");
+  }
+  if (request.target == "/readyz") {
+    if (request.method != "GET") return text_response(405, "GET only\n");
+    return handle_readyz();
+  }
+  if (request.target == "/failpoints") {
+    return handle_failpoints(request);
   }
   if (request.target == "/metrics") {
     if (request.method != "GET") return text_response(405, "GET only\n");
@@ -78,8 +111,51 @@ HttpResponse AdminServer::handle(const HttpRequest& request) {
     return text_response(200, "draining\n");
   }
   return text_response(404,
-                       "unknown endpoint; have /healthz /metrics "
-                       "/stats.json /model /quitquitquit\n");
+                       "unknown endpoint; have /healthz /readyz /metrics "
+                       "/stats.json /failpoints /model /quitquitquit\n");
+}
+
+HttpResponse AdminServer::handle_readyz() const {
+  // Liveness vs readiness: /healthz says "the process is up", this says
+  // "send me traffic".  Draining and watchdog-stalled both answer 503 so
+  // a load balancer steers away; the shed ladder answers 200 with the
+  // stage in the body — degraded service is still service.
+  if (quit_requested()) return text_response(503, "draining\n");
+  const runtime::RuntimeHealth health = runtime_->health();
+  const int status =
+      health.state == runtime::HealthState::kUnhealthy ? 503 : 200;
+  return text_response(status, runtime_->health_string() + "\n");
+}
+
+HttpResponse AdminServer::handle_failpoints(const HttpRequest& request) {
+  if (request.method == "GET") {
+    std::ostringstream body;
+    body << "{\"failpoints\": [";
+    bool first = true;
+    for (const util::FailpointInfo& info : util::failpoints_snapshot()) {
+      if (!first) body << ", ";
+      first = false;
+      body << "{\"name\": \"" << json_escape(info.name) << "\", \"spec\": \""
+           << json_escape(info.spec) << "\", \"armed\": "
+           << (info.armed ? "true" : "false")
+           << ", \"evaluations\": " << info.evaluations
+           << ", \"triggers\": " << info.triggers << "}";
+    }
+    body << "]}\n";
+    return json_response(200, body.str());
+  }
+  if (request.method == "POST") {
+    // Body is one spec string (see util/failpoint.h).  A rejected spec
+    // changes nothing: configure() validates every entry before arming.
+    const std::string error = util::failpoints_configure(request.body);
+    if (!error.empty()) {
+      return text_response(400, "failpoint spec rejected: " + error + "\n");
+    }
+    IUSTITIA_LOG_INFO << "ctrl: failpoints configured: '" << request.body
+                      << "'";
+    return json_response(200, "{\"status\": \"ok\"}\n");
+  }
+  return text_response(405, "GET or POST only\n");
 }
 
 HttpResponse AdminServer::handle_model_post(const HttpRequest& request) {

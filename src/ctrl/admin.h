@@ -1,9 +1,16 @@
 // Admin surface of the control plane (DESIGN.md §11): the endpoints an
 // operator (or the ctrl-smoke CI stage) drives a live runtime with.
 //
-//   GET  /healthz        liveness probe: 200 "ok"
+//   GET  /healthz        liveness probe: 200 "ok" while the process runs
+//   GET  /readyz         readiness probe: 200 "ok", 200 "degraded(<shed
+//                        stage>)" while the overload ladder is engaged,
+//                        503 "unhealthy(watchdog)" while a runtime
+//                        thread is stalled, 503 "draining" after quit
 //   GET  /metrics        Prometheus text exposition of the snapshot
 //   GET  /stats.json     the runtime's JSON metrics document
+//   GET  /failpoints     registered failpoints + specs/counters (JSON)
+//   POST /failpoints     arm/disarm failpoints from a spec string (see
+//                        util/failpoint.h grammar; "off" disarms all)
 //   POST /model          versioned model bundle upload -> RCU hot-swap
 //   POST /quitquitquit   request graceful drain (wait_for_quit returns)
 //
@@ -59,6 +66,8 @@ class AdminServer {
  private:
   HttpResponse handle(const HttpRequest& request);
   HttpResponse handle_model_post(const HttpRequest& request);
+  HttpResponse handle_readyz() const;
+  HttpResponse handle_failpoints(const HttpRequest& request);
 
   runtime::Runtime* const runtime_;
   const std::shared_ptr<core::ModelRegistry> registry_;

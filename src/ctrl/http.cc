@@ -89,6 +89,7 @@ const char* status_reason(int status) noexcept {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
     case 413: return "Payload Too Large";
     case 500: return "Internal Server Error";
     case 503: return "Service Unavailable";
@@ -285,8 +286,14 @@ void HttpServer::handler_loop() {
 
 void HttpServer::serve_connection(int fd) {
   // Bounded read with a poll-based deadline: a client that stalls
-  // mid-request gets cut off, never a pool thread.
-  const auto deadline = std::chrono::steady_clock::now() + kConnectionDeadline;
+  // mid-request gets cut off, never a pool thread.  Two clocks run: a
+  // total connection deadline (bounds even a byte-at-a-time trickler)
+  // and a shorter idle timeout that cuts a silent client off with a 408
+  // (the slowloris guard).
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + kConnectionDeadline;
+  const std::chrono::milliseconds idle_timeout(options_.idle_timeout_millis);
+  auto last_progress = start;
   std::string data;
   std::size_t head_end = std::string::npos;
   HttpRequest request;
@@ -298,10 +305,14 @@ void HttpServer::serve_connection(int fd) {
   char chunk[4096];
 
   while (!respond_now) {
-    if (stop_.load(std::memory_order_relaxed) ||
-        std::chrono::steady_clock::now() >= deadline) {
+    const auto now = std::chrono::steady_clock::now();
+    if (stop_.load(std::memory_order_relaxed) || now >= deadline) {
       ::close(fd);
       return;  // shutting down / timed out: drop without a response
+    }
+    if (idle_timeout.count() > 0 && now - last_progress >= idle_timeout) {
+      response = text_response(408, "request timeout: no bytes received\n");
+      break;
     }
     pollfd pfd{};
     pfd.fd = fd;
@@ -312,6 +323,7 @@ void HttpServer::serve_connection(int fd) {
       ::close(fd);
       return;  // peer went away mid-request
     }
+    last_progress = std::chrono::steady_clock::now();
     data.append(chunk, static_cast<std::size_t>(n));
     if (data.size() > options_.max_request_bytes) {
       response = text_response(413, "request too large\n");

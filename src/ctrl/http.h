@@ -86,6 +86,12 @@ class HttpServer {
     // Hard cap on one request (head + body).  Model bundles are a few
     // hundred KB; 64 MiB leaves room without letting a client balloon us.
     std::size_t max_request_bytes = 64u << 20;
+    // Slowloris guard: a connection that delivers NO bytes for this long
+    // is answered 408 and closed, well before the total connection
+    // deadline.  A trickling client is bounded by the total deadline
+    // instead; a stalled one cannot pin a handler-pool thread for more
+    // than this.  0 disables the idle check (total deadline only).
+    std::size_t idle_timeout_millis = 2000;
   };
 
   HttpServer(Options options, Handler handler);

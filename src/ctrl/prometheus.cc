@@ -100,6 +100,62 @@ std::string render_prometheus(const runtime::MetricsSnapshot& snap) {
   out << "iustitia_engine_latency_p99_upper_microseconds "
       << snap.engine_latency.quantile_upper_micros(0.99) << '\n';
 
+  header(out, "iustitia_health_info",
+         "Constant 1; the state label is ok/degraded(...)/unhealthy(...).",
+         "gauge");
+  out << "iustitia_health_info{state=\""
+      << prometheus_label_escape(snap.health) << "\"} 1\n";
+
+  header(out, "iustitia_overload_stage",
+         "Current shed-ladder stage (0 normal .. 3 drop).", "gauge");
+  out << "iustitia_overload_stage " << snap.overload_stage << '\n';
+
+  header(out, "iustitia_overload_stage_entries_total",
+         "Times each shed stage was entered.", "counter");
+  for (std::size_t s = 0; s < snap.stage_entries.size(); ++s) {
+    out << "iustitia_overload_stage_entries_total{stage=\"" << s << "\"} "
+        << snap.stage_entries[s] << '\n';
+  }
+  header(out, "iustitia_overload_stage_exits_total",
+         "Times each shed stage was exited.", "counter");
+  for (std::size_t s = 0; s < snap.stage_exits.size(); ++s) {
+    out << "iustitia_overload_stage_exits_total{stage=\"" << s << "\"} "
+        << snap.stage_exits[s] << '\n';
+  }
+
+  header(out, "iustitia_packets_shed_total",
+         "Packets refused by admission sampling under overload.", "counter");
+  out << "iustitia_packets_shed_total " << snap.packets_shed << '\n';
+
+  header(out, "iustitia_source_transient_errors_total",
+         "Transient packet-source failures retried with backoff.",
+         "counter");
+  out << "iustitia_source_transient_errors_total "
+      << snap.source_transient_errors << '\n';
+  header(out, "iustitia_source_retries_exhausted_total",
+         "Source retry ladders that ran out of attempts.", "counter");
+  out << "iustitia_source_retries_exhausted_total "
+      << snap.source_retries_exhausted << '\n';
+
+  header(out, "iustitia_watchdog_stalls_total",
+         "Stalls detected by the progress watchdog.", "counter");
+  out << "iustitia_watchdog_stalls_total " << snap.watchdog_stalls << '\n';
+
+  header(out, "iustitia_cdb_records",
+         "Classification-database records currently held.", "gauge");
+  out << "iustitia_cdb_records " << snap.cdb_records << '\n';
+  header(out, "iustitia_cdb_record_ceiling",
+         "Configured hard record ceiling (0 = unbounded).", "gauge");
+  out << "iustitia_cdb_record_ceiling " << snap.cdb_ceiling << '\n';
+  header(out, "iustitia_cdb_forced_evictions_total",
+         "Oldest-first evictions forced by the record ceiling.", "counter");
+  out << "iustitia_cdb_forced_evictions_total " << snap.cdb_forced_evictions
+      << '\n';
+  header(out, "iustitia_cdb_insert_failures_total",
+         "CDB inserts refused (injected allocation failures).", "counter");
+  out << "iustitia_cdb_insert_failures_total " << snap.cdb_insert_failures
+      << '\n';
+
   if (snap.has_queue_stats) {
     header(out, "iustitia_output_enqueued_total",
            "Packets forwarded to each per-nature output queue.", "counter");

@@ -293,7 +293,13 @@ PcapReader::PcapReader(std::istream& is) : is_(is) {
   read_le32(is_, word);  // versions
   read_le32(is_, word);  // thiszone
   read_le32(is_, word);  // sigfigs
-  read_le32(is_, word);  // snaplen
+  std::uint32_t snaplen = 0;
+  read_le32(is_, snaplen);
+  // The snaplen bounds every record below; a zero or absurd value (a
+  // garbage or hostile header) falls back to the hard clamp rather than
+  // being trusted as an allocation size.
+  snaplen_ = (snaplen == 0 || snaplen > kMaxRecordBytes) ? kMaxRecordBytes
+                                                         : snaplen;
   std::uint32_t link_type = 0;
   if (!read_le32(is_, link_type) || link_type != kLinkTypeEthernet) {
     throw std::runtime_error("pcap: unsupported link type");
@@ -312,6 +318,13 @@ std::optional<Packet> PcapReader::next() {
       // caller decide what a truncated capture means.
       truncated_ = true;
       return std::nullopt;
+    }
+    if (incl > snaplen_) {
+      // No valid writer produces a record larger than its own snaplen:
+      // this is a corrupt or hostile capture.  Reject the record (the
+      // length-based framing cannot be trusted past this point) instead
+      // of allocating an attacker-controlled buffer.
+      throw std::runtime_error("pcap: record length exceeds snaplen");
     }
     std::vector<std::uint8_t> frame(incl);
     if (!is_.read(reinterpret_cast<char*>(frame.data()),

@@ -52,15 +52,23 @@ class PcapWriter {
 // Streaming pcap reader.
 class PcapReader {
  public:
+  // Hard upper bound on one record's captured length, whatever the
+  // file's snaplen field claims.  A hostile capture can put any 32-bit
+  // value in a record header; without this clamp `incl_len` is an
+  // attacker-controlled allocation of up to 4 GiB per record.
+  static constexpr std::uint32_t kMaxRecordBytes = 1u << 20;  // 1 MiB
+
   // Reads and validates the global header.  Throws std::runtime_error on a
-  // bad magic or unsupported link type.
+  // bad magic or unsupported link type.  The header's snaplen (clamped
+  // to kMaxRecordBytes, defaulted when absurd) bounds every record.
   explicit PcapReader(std::istream& is);
 
   // Next decodable packet, skipping frames decode_frame rejects; or
   // std::nullopt at end of file.  A capture cut off mid-record (the
   // normal fate of a live capture that was interrupted) ends the stream
   // cleanly at the last complete record and sets truncated() instead of
-  // throwing — only structurally corrupt *complete* frames still throw.
+  // throwing — only structurally corrupt *complete* frames and records
+  // whose claimed length exceeds the snaplen bound still throw.
   std::optional<Packet> next();
 
   std::size_t packets_read() const noexcept { return packets_read_; }
@@ -72,6 +80,7 @@ class PcapReader {
   std::istream& is_;
   std::size_t packets_read_ = 0;
   bool truncated_ = false;
+  std::uint32_t snaplen_ = kMaxRecordBytes;  // per-record length bound
 };
 
 }  // namespace iustitia::net

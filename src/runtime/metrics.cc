@@ -194,6 +194,36 @@ void MetricsRegistry::record_engine_latency(double micros) noexcept {
   engine_latency_.record(micros);
 }
 
+// analyze: hotpath
+void MetricsRegistry::on_packets_shed(std::uint64_t n) noexcept {
+  packets_shed_.fetch_add(n, std::memory_order_relaxed);
+}
+
+// The resilience counters run off the packet path (stage transitions,
+// retry outcomes, watchdog detections) but keep the same relaxed-add
+// contract so they are safe from any thread.
+void MetricsRegistry::on_stage_entered(std::size_t stage) noexcept {
+  DCHECK_LT(stage, kShedStageCount);
+  stage_entries_[stage].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_stage_exited(std::size_t stage) noexcept {
+  DCHECK_LT(stage, kShedStageCount);
+  stage_exits_[stage].fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_source_transient_error() noexcept {
+  source_transient_errors_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_source_retries_exhausted() noexcept {
+  source_retries_exhausted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::on_watchdog_stall() noexcept {
+  watchdog_stalls_.fetch_add(1, std::memory_order_relaxed);
+}
+
 MetricsSnapshot MetricsRegistry::snapshot(
     const core::OutputQueues* queues) const {
   MetricsSnapshot snap;
@@ -221,6 +251,16 @@ MetricsSnapshot MetricsRegistry::snapshot(
         flows_by_nature_[c].load(std::memory_order_relaxed);
   }
   snap.engine_latency = engine_latency_.snapshot();
+  for (std::size_t i = 0; i < kShedStageCount; ++i) {
+    snap.stage_entries[i] = stage_entries_[i].load(std::memory_order_relaxed);
+    snap.stage_exits[i] = stage_exits_[i].load(std::memory_order_relaxed);
+  }
+  snap.packets_shed = packets_shed_.load(std::memory_order_relaxed);
+  snap.source_transient_errors =
+      source_transient_errors_.load(std::memory_order_relaxed);
+  snap.source_retries_exhausted =
+      source_retries_exhausted_.load(std::memory_order_relaxed);
+  snap.watchdog_stalls = watchdog_stalls_.load(std::memory_order_relaxed);
   if (queues != nullptr) {
     snap.has_queue_stats = true;
     snap.queue_stats = queues->stats();
@@ -295,6 +335,15 @@ std::string MetricsSnapshot::text_report() const {
   }
   natures.render(out);
 
+  out << "  health: " << health << "  shed stage: " << overload_stage
+      << "  shed: " << packets_shed
+      << "  source errors: " << source_transient_errors
+      << "  watchdog stalls: " << watchdog_stalls << "\n";
+  if (cdb_ceiling > 0 || cdb_forced_evictions > 0) {
+    out << "  cdb: records=" << cdb_records << " ceiling=" << cdb_ceiling
+        << " forced evictions=" << cdb_forced_evictions
+        << " insert failures=" << cdb_insert_failures << "\n";
+  }
   out << "  engine latency: n=" << engine_latency.total
       << " mean=" << fmt_micros(engine_latency.mean_micros())
       << " p50<=" << fmt_micros(engine_latency.quantile_upper_micros(0.50))
@@ -335,7 +384,25 @@ std::string MetricsSnapshot::json() const {
     out << (c == 0 ? "" : ", ") << "\"" << kNatureNames[c]
         << "\": " << flows_by_nature[c];
   }
-  out << "},\n  \"engine_latency\": {\"count\": " << engine_latency.total
+  out << "},\n  \"health\": \"" << json_escape(health) << "\""
+      << ",\n  \"overload_stage\": " << overload_stage
+      << ",\n  \"stage_entries\": [";
+  for (std::size_t i = 0; i < stage_entries.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << stage_entries[i];
+  }
+  out << "],\n  \"stage_exits\": [";
+  for (std::size_t i = 0; i < stage_exits.size(); ++i) {
+    out << (i == 0 ? "" : ", ") << stage_exits[i];
+  }
+  out << "],\n  \"packets_shed\": " << packets_shed
+      << ",\n  \"source_transient_errors\": " << source_transient_errors
+      << ",\n  \"source_retries_exhausted\": " << source_retries_exhausted
+      << ",\n  \"watchdog_stalls\": " << watchdog_stalls
+      << ",\n  \"cdb\": {\"records\": " << cdb_records
+      << ", \"ceiling\": " << cdb_ceiling
+      << ", \"forced_evictions\": " << cdb_forced_evictions
+      << ", \"insert_failures\": " << cdb_insert_failures << "}"
+      << ",\n  \"engine_latency\": {\"count\": " << engine_latency.total
       << ", \"mean_micros\": " << engine_latency.mean_micros()
       << ", \"p50_upper_micros\": "
       << engine_latency.quantile_upper_micros(0.50)

@@ -69,6 +69,12 @@ class LatencyHistogram {
 // every burst a 4096-slot staging buffer can produce.
 inline constexpr std::size_t kBurstBucketCount = 13;
 
+// Shed-stage count for the overload ladder (runtime/overload.h):
+// normal, cap-buffer, sample-admission, drop.  Lives here so the
+// counter arrays and the policy agree without metrics depending on the
+// policy header.
+inline constexpr std::size_t kShedStageCount = 4;
+
 // Plain-value copy of every runtime counter, safe to pass around after
 // the registry (or the whole runtime) is gone.
 struct MetricsSnapshot {
@@ -101,6 +107,23 @@ struct MetricsSnapshot {
   LatencyHistogram::Snapshot engine_latency;
   bool has_queue_stats = false;
   core::OutputQueueStats queue_stats;
+
+  // Overload/resilience inventory (DESIGN.md §12).  Stage counters come
+  // from the registry; overload_stage, health, and the cdb_* occupancy
+  // figures are folded in by Runtime::snapshot() (defaults stand for a
+  // bare registry, e.g. in unit tests).
+  int overload_stage = 0;  // 0=normal .. 3=drop, current shed stage
+  std::string health = "ok";  // "ok" | "degraded(<stage>)" | "unhealthy(watchdog)"
+  std::array<std::uint64_t, kShedStageCount> stage_entries{};
+  std::array<std::uint64_t, kShedStageCount> stage_exits{};
+  std::uint64_t packets_shed = 0;             // admission-sampled away
+  std::uint64_t source_transient_errors = 0;  // retried source failures
+  std::uint64_t source_retries_exhausted = 0;
+  std::uint64_t watchdog_stalls = 0;  // stall detections (not currently-stalled)
+  std::uint64_t cdb_records = 0;      // resident records across shards
+  std::uint64_t cdb_ceiling = 0;      // per-shard hard ceiling (0 = unbounded)
+  std::uint64_t cdb_forced_evictions = 0;
+  std::uint64_t cdb_insert_failures = 0;
 
   std::uint64_t total_pushed() const noexcept;
   std::uint64_t total_popped() const noexcept;
@@ -140,6 +163,17 @@ class MetricsRegistry {
   void on_pop_burst(std::size_t shard, std::size_t n) noexcept;
   void on_classified(datagen::FileClass nature) noexcept;
   void record_engine_latency(double micros) noexcept;
+  void on_packets_shed(std::uint64_t n) noexcept;
+
+  // Overload/resilience side: the dispatcher-owned OverloadPolicy
+  // reports stage transitions, the dispatcher reports source retry
+  // outcomes, and the watchdog reports stall detections.  All relaxed
+  // adds, same contract as the packet counters.
+  void on_stage_entered(std::size_t stage) noexcept;
+  void on_stage_exited(std::size_t stage) noexcept;
+  void on_source_transient_error() noexcept;
+  void on_source_retries_exhausted() noexcept;
+  void on_watchdog_stall() noexcept;
 
   // Any thread.  Pass the runtime's OutputQueues to fold its per-nature
   // counters into the snapshot.
@@ -165,6 +199,12 @@ class MetricsRegistry {
   std::atomic<std::uint64_t> packets_in_{0};  // analyze: atomic(relaxed-counter)
   std::array<std::atomic<std::uint64_t>, 3> flows_by_nature_{};  // analyze: atomic(relaxed-counter)
   LatencyHistogram engine_latency_;
+  std::array<std::atomic<std::uint64_t>, kShedStageCount> stage_entries_{};  // analyze: atomic(relaxed-counter)
+  std::array<std::atomic<std::uint64_t>, kShedStageCount> stage_exits_{};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> packets_shed_{0};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> source_transient_errors_{0};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> source_retries_exhausted_{0};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> watchdog_stalls_{0};  // analyze: atomic(relaxed-counter)
 };
 
 }  // namespace iustitia::runtime

@@ -1,0 +1,101 @@
+#include "runtime/overload.h"
+
+#include "util/check.h"
+
+namespace iustitia::runtime {
+
+// The metrics stage_entries/stage_exits arrays are indexed by ShedStage.
+static_assert(static_cast<std::size_t>(ShedStage::kDrop) + 1 ==
+                  kShedStageCount,
+              "ShedStage stages and kShedStageCount must stay in sync");
+
+const char* shed_stage_name(ShedStage stage) noexcept {
+  switch (stage) {
+    case ShedStage::kNormal:
+      return "normal";
+    case ShedStage::kCapBuffer:
+      return "cap-buffer";
+    case ShedStage::kSampleAdmission:
+      return "sample-admission";
+    case ShedStage::kDrop:
+      return "drop";
+  }
+  return "unknown";
+}
+
+OverloadPolicy::OverloadPolicy(const OverloadOptions& options,
+                               MetricsRegistry* metrics)
+    : options_(options), metrics_(metrics) {
+  CHECK_LE(options.cap_buffer_enter, options.sample_admission_enter)
+      << "shed thresholds must be non-decreasing along the ladder";
+  CHECK_LE(options.sample_admission_enter, options.drop_enter)
+      << "shed thresholds must be non-decreasing along the ladder";
+  CHECK_GT(options.ewma_alpha, 0.0);
+  CHECK_LE(options.ewma_alpha, 1.0);
+  CHECK_LE(options.admission_permille, 1000u);
+}
+
+double OverloadPolicy::enter_threshold(int stage) const noexcept {
+  switch (static_cast<ShedStage>(stage)) {
+    case ShedStage::kCapBuffer:
+      return options_.cap_buffer_enter;
+    case ShedStage::kSampleAdmission:
+      return options_.sample_admission_enter;
+    case ShedStage::kDrop:
+      return options_.drop_enter;
+    case ShedStage::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+// Stage bookkeeping off the per-packet path: runs only on an actual
+// transition, at most once per dispatcher flush.
+void OverloadPolicy::transition_to(int target) noexcept {
+  int current = stage_.load(std::memory_order_relaxed);
+  while (current < target) {
+    ++current;
+    if (metrics_ != nullptr) {
+      metrics_->on_stage_entered(static_cast<std::size_t>(current));
+    }
+  }
+  while (current > target) {
+    if (metrics_ != nullptr) {
+      metrics_->on_stage_exited(static_cast<std::size_t>(current));
+    }
+    --current;
+  }
+  stage_.store(target, std::memory_order_relaxed);
+}
+
+// analyze: hotpath
+void OverloadPolicy::observe_occupancy(std::size_t depth,
+                                       std::size_t capacity) noexcept {
+  if (!options_.enabled || capacity == 0) return;
+  const double occupancy =
+      static_cast<double>(depth) / static_cast<double>(capacity);
+  const double ewma = options_.ewma_alpha * occupancy +
+                      (1.0 - options_.ewma_alpha) *
+                          ewma_.load(std::memory_order_relaxed);
+  ewma_.store(ewma, std::memory_order_relaxed);
+
+  int target = stage_.load(std::memory_order_relaxed);
+  while (target < static_cast<int>(ShedStage::kDrop) &&
+         ewma >= enter_threshold(target + 1)) {
+    ++target;
+  }
+  while (target > 0 &&
+         ewma < enter_threshold(target) - options_.hysteresis) {
+    --target;
+  }
+  if (target != stage_.load(std::memory_order_relaxed)) {
+    transition_to(target);
+  }
+}
+
+void OverloadPolicy::reset() noexcept {
+  transition_to(0);
+  ewma_.store(0.0, std::memory_order_relaxed);
+}
+
+}  // namespace iustitia::runtime

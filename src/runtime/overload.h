@@ -1,0 +1,108 @@
+// Overload shedding ladder for the serving runtime (DESIGN.md §12).
+//
+// The dispatcher feeds per-flush ring occupancy into an EWMA; the
+// policy maps the smoothed occupancy onto an ordered ladder of shed
+// stages, each strictly cheaper per packet than the one before:
+//
+//   0 normal            full configured feature budget
+//   1 cap-buffer        per-flow buffered bytes capped at
+//                       degraded_buffer_bytes (the paper's Fig. 4 cost
+//                       curve is near-flat down to b=32 at c≈1, so
+//                       degraded mode still classifies)
+//   2 sample-admission  new flows admitted with probability
+//                       admission_permille/1000 (existing flows keep
+//                       classifying; sampled-out packets count as shed)
+//   3 drop              dispatcher stops blocking on full rings and
+//                       drops, regardless of the backpressure mode
+//
+// Entry thresholds are per stage; exit requires the EWMA to fall
+// `hysteresis` below the stage's entry threshold so the ladder does not
+// flap at a boundary.  Every entry/exit is counted in MetricsRegistry
+// and exported via Prometheus.  The dispatcher is the only writer;
+// workers and the health endpoint read the stage through one relaxed
+// atomic.
+#ifndef IUSTITIA_RUNTIME_OVERLOAD_H_
+#define IUSTITIA_RUNTIME_OVERLOAD_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "runtime/metrics.h"
+
+namespace iustitia::runtime {
+
+enum class ShedStage : int {
+  kNormal = 0,
+  kCapBuffer = 1,
+  kSampleAdmission = 2,
+  kDrop = 3,
+};
+
+// Stable lowercase name for logs, /readyz, and Prometheus labels.
+const char* shed_stage_name(ShedStage stage) noexcept;
+
+struct OverloadOptions {
+  // Off by default: under blocking backpressure a full ring is the
+  // normal flow-control state for a faster-than-real-time file replay,
+  // and stalling the source is exactly what the operator asked for.
+  // Enable the ladder (--overload) when the source is live/paced and
+  // cannot be stalled, so sustained pressure should degrade service
+  // instead of losing the race silently.
+  bool enabled = false;
+  // EWMA smoothing factor applied per dispatcher flush.
+  double ewma_alpha = 0.2;
+  // Occupancy fraction (mean ring depth / capacity) at which each stage
+  // engages; must be non-decreasing along the ladder.
+  double cap_buffer_enter = 0.50;
+  double sample_admission_enter = 0.75;
+  double drop_enter = 0.90;
+  // A stage disengages when the EWMA falls this far below its entry
+  // threshold.
+  double hysteresis = 0.10;
+  // Stage 1: per-flow byte budget while degraded (paper's b=32 point).
+  std::size_t degraded_buffer_bytes = 32;
+  // Stage 2: new-flow admission probability, in permille.
+  std::uint32_t admission_permille = 250;
+};
+
+class OverloadPolicy {
+ public:
+  // `metrics` may be null (unit tests); transitions are then unreported.
+  OverloadPolicy(const OverloadOptions& options, MetricsRegistry* metrics);
+
+  // Dispatcher side, once per flush: fold the observed occupancy of one
+  // ring into the EWMA and re-evaluate the stage.  Single writer.
+  // analyze: hotpath
+  void observe_occupancy(std::size_t depth, std::size_t capacity) noexcept;
+
+  // Drops the ladder back to normal (counting exits) — called when the
+  // dispatcher retires, since ring pressure is definitionally gone.
+  void reset() noexcept;
+
+  // Any thread: one relaxed load.
+  ShedStage stage() const noexcept {
+    return static_cast<ShedStage>(stage_.load(std::memory_order_relaxed));
+  }
+
+  double ewma() const noexcept {
+    return ewma_.load(std::memory_order_relaxed);
+  }
+
+  const OverloadOptions& options() const noexcept { return options_; }
+
+ private:
+  double enter_threshold(int stage) const noexcept;
+  void transition_to(int target) noexcept;
+
+  const OverloadOptions options_;
+  MetricsRegistry* const metrics_;
+  // Both written only by the dispatcher; atomics because snapshot and
+  // workers read them live.
+  std::atomic<double> ewma_{0.0};  // analyze: atomic(relaxed-counter)
+  std::atomic<int> stage_{0};      // analyze: atomic(relaxed-flag)
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_OVERLOAD_H_

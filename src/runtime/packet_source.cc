@@ -2,10 +2,23 @@
 
 #include <algorithm>
 #include <istream>
+#include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "util/failpoint.h"
+
 namespace iustitia::runtime {
+
+namespace {
+
+// Evaluates the shared source.next failpoint: an armed error action
+// simulates one transient read failure for this call.
+bool injected_transient_error() noexcept {
+  return FAILPOINT("source.next") == util::FailpointAction::kError;
+}
+
+}  // namespace
 
 void Pacer::tick() {
   if (target_ <= 0.0) return;
@@ -25,8 +38,24 @@ void Pacer::tick() {
 PcapReplaySource::PcapReplaySource(std::istream& is, double target_pps)
     : reader_(is), pacer_(target_pps) {}
 
+std::optional<net::Packet> PcapReplaySource::read_one() {
+  // Hostile-input armor: PcapReader rejects corrupt records by
+  // throwing.  The record framing is length-based, so the stream stays
+  // positioned on the next record; skip, count, and keep replaying
+  // instead of letting the exception terminate the dispatcher thread.
+  for (;;) {
+    try {
+      return reader_.next();
+    } catch (const std::runtime_error&) {
+      ++decode_errors_;
+    }
+  }
+}
+
 std::optional<net::Packet> PcapReplaySource::next() {
-  std::optional<net::Packet> packet = reader_.next();
+  transient_ = injected_transient_error();
+  if (transient_) return std::nullopt;
+  std::optional<net::Packet> packet = read_one();
   if (!packet.has_value()) return std::nullopt;
   pacer_.tick();
   ++delivered_;
@@ -34,9 +63,11 @@ std::optional<net::Packet> PcapReplaySource::next() {
 }
 
 std::size_t PcapReplaySource::next_burst(std::span<net::Packet> out) {
+  transient_ = injected_transient_error();
+  if (transient_) return 0;
   std::size_t n = 0;
   for (net::Packet& slot : out) {
-    std::optional<net::Packet> packet = reader_.next();
+    std::optional<net::Packet> packet = read_one();
     if (!packet.has_value()) break;
     pacer_.tick();
     slot = *std::move(packet);
@@ -53,12 +84,16 @@ TraceSource::TraceSource(const net::TraceOptions& options, double target_pps)
     : TraceSource(net::generate_trace(options), target_pps) {}
 
 std::optional<net::Packet> TraceSource::next() {
+  transient_ = injected_transient_error();
+  if (transient_) return std::nullopt;
   if (next_index_ >= trace_.packets.size()) return std::nullopt;
   pacer_.tick();
   return std::move(trace_.packets[next_index_++]);
 }
 
 std::size_t TraceSource::next_burst(std::span<net::Packet> out) {
+  transient_ = injected_transient_error();
+  if (transient_) return 0;
   // Bulk move straight out of the owned trace: no per-packet optional,
   // one bounds computation for the whole burst.
   const std::size_t n =

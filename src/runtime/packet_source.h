@@ -29,6 +29,13 @@ class PacketSource {
   virtual ~PacketSource() = default;
   virtual std::optional<net::Packet> next() = 0;
 
+  // True when the last empty next()/next_burst() return was a transient
+  // failure (injected or real I/O hiccup) rather than end-of-stream.
+  // The dispatcher responds by retrying with backoff up to its
+  // configured limit instead of treating the stream as drained.  The
+  // flag describes only the most recent call.
+  virtual bool transient_error() const noexcept { return false; }
+
   // Batched pull: fills the front of `out` and returns how many packets
   // were delivered; 0 means exhausted (and forever after, like next()).
   // One virtual call per burst instead of per packet — the producer half
@@ -73,16 +80,25 @@ class PcapReplaySource final : public PacketSource {
 
   std::optional<net::Packet> next() override;
   std::size_t next_burst(std::span<net::Packet> out) override;
+  bool transient_error() const noexcept override { return transient_; }
 
   // True once the capture ended on a cut-off record: the replay served
   // everything up to the last complete record (see net/pcap.h).
   bool truncated() const noexcept { return reader_.truncated(); }
   std::size_t packets_delivered() const noexcept { return delivered_; }
+  // Hostile/corrupt records the reader rejected and the replay skipped.
+  std::size_t decode_errors() const noexcept { return decode_errors_; }
 
  private:
+  // reader_.next() with hostile-input armor: a record the decoder
+  // rejects is skipped (counted), never propagated into the dispatcher.
+  std::optional<net::Packet> read_one();
+
   net::PcapReader reader_;
   Pacer pacer_;
   std::size_t delivered_ = 0;
+  std::size_t decode_errors_ = 0;
+  bool transient_ = false;  // set by the source.next failpoint
 };
 
 // Serves a synthetic gateway trace (net::generate_trace).  Owns the
@@ -98,6 +114,7 @@ class TraceSource final : public PacketSource {
 
   std::optional<net::Packet> next() override;
   std::size_t next_burst(std::span<net::Packet> out) override;
+  bool transient_error() const noexcept override { return transient_; }
 
   // The owned trace.  truth and duration stay intact; packets already
   // delivered are moved-from.
@@ -108,6 +125,7 @@ class TraceSource final : public PacketSource {
   net::Trace trace_;
   Pacer pacer_;
   std::size_t next_index_ = 0;
+  bool transient_ = false;  // set by the source.next failpoint
 };
 
 }  // namespace iustitia::runtime

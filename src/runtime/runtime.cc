@@ -4,6 +4,7 @@
 #include <chrono>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #endif
 
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/rt_guard.h"
 #include "util/timer.h"
 
@@ -88,6 +90,7 @@ Runtime::Runtime(const std::function<core::FlowNatureModel()>& model_factory,
       engine_(model_factory, options.engine, options.shards),
       queues_(options.output_queue_capacity),
       metrics_(options.shards),
+      overload_(options_.overload, &metrics_),
       folded_delays_(options.shards, 0) {
   build_rings();
 }
@@ -106,6 +109,7 @@ Runtime::Runtime(std::shared_ptr<core::ModelRegistry> registry,
       engine_(std::move(published.model), options.engine, options.shards),
       queues_(options.output_queue_capacity),
       metrics_(options.shards),
+      overload_(options_.overload, &metrics_),
       folded_delays_(options.shards, 0) {
   build_rings();
 }
@@ -116,6 +120,14 @@ void Runtime::build_rings() {
     rings_.push_back(
         std::make_unique<SpscRing<net::Packet>>(options_.ring_capacity));
   }
+  // One heartbeat slot per worker plus one for the dispatcher (index
+  // `shards`).  Constructed here — with the runtime, not in start() — so
+  // health() may consult it from any thread at any time; the watcher
+  // thread itself only runs between start() and wait().
+  WatchdogOptions wd;
+  wd.deadline_ms = options_.watchdog_deadline_ms;
+  wd.fatal = options_.watchdog_fatal;
+  watchdog_ = std::make_unique<Watchdog>(options_.shards + 1, wd, &metrics_);
 }
 
 Runtime::~Runtime() { stop(); }
@@ -130,12 +142,14 @@ void Runtime::start(PacketSource& source) {
   }
   PacketSource* source_ptr = &source;
   dispatcher_ = std::thread([this, source_ptr] { dispatch_loop(source_ptr); });
+  watchdog_->start_watching();
 }
 
 void Runtime::wait() {
   util::MutexLock lock(lifecycle_mu_);
   if (!started_ || joined_) return;
   join_threads_locked();
+  watchdog_->stop_watching();
   joined_ = true;
   finish_flush();
 }
@@ -154,7 +168,44 @@ MetricsSnapshot Runtime::snapshot() const {
     snap.model_version = registry_->current_version();
     snap.model_swaps = registry_->swap_count();
   }
+  snap.overload_stage = static_cast<int>(overload_.stage());
+  snap.health = health_string();
+  snap.cdb_ceiling = options_.engine.cdb.max_records;
+  for (std::size_t s = 0; s < engine_.shard_count(); ++s) {
+    // The CDB is internally locked, so reading it while workers run is
+    // safe (each read is one short critical section on that shard).
+    const core::ClassificationDatabase& cdb = engine_.shard(s).cdb();
+    const core::CdbStats stats = cdb.stats();
+    snap.cdb_records += cdb.size();
+    snap.cdb_forced_evictions += stats.forced_evictions;
+    snap.cdb_insert_failures += stats.insert_failures;
+  }
   return snap;
+}
+
+RuntimeHealth Runtime::health() const {
+  RuntimeHealth h;
+  h.stage = overload_.stage();
+  if (watchdog_ != nullptr) h.stalled_threads = watchdog_->stalled_count();
+  if (h.stalled_threads > 0) {
+    h.state = HealthState::kUnhealthy;
+  } else if (h.stage != ShedStage::kNormal) {
+    h.state = HealthState::kDegraded;
+  }
+  return h;
+}
+
+std::string Runtime::health_string() const {
+  const RuntimeHealth h = health();
+  switch (h.state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return std::string("degraded(") + shed_stage_name(h.stage) + ")";
+    case HealthState::kUnhealthy:
+      return "unhealthy(watchdog)";
+  }
+  return "ok";  // unreachable; placates -Wreturn-type
 }
 
 bool Runtime::running() const {
@@ -182,6 +233,11 @@ void Runtime::dispatch_loop(PacketSource* source) {
   // Poison pill: every worker terminates once its ring is closed *and*
   // drained, whether we got here by source exhaustion or by stop().
   for (auto& ring : rings_) ring->close();
+  // No more enqueues: the shed ladder steps back to normal (counting the
+  // stage exits) and the dispatcher's heartbeat slot retires so the
+  // watchdog stops expecting progress from it.
+  overload_.reset();
+  watchdog_->retire(options_.shards);
 }
 
 // The unbatched flavor: one try_push round-trip per packet, kept as the
@@ -189,10 +245,14 @@ void Runtime::dispatch_loop(PacketSource* source) {
 // paced source never parks a packet).
 // analyze: hotpath
 void Runtime::dispatch_single(PacketSource* source) {
+  const std::size_t dispatcher_beat = options_.shards;
   Backoff backoff;
+  Backoff source_backoff;
+  std::size_t transient_failures = 0;
   {
     util::rt::GuardRegion guard;
     while (!stop_requested_.load(std::memory_order_relaxed)) {
+      watchdog_->heartbeat(dispatcher_beat);
       std::optional<net::Packet> packet;
       {
         // Source refill sits upstream of the hot handoff: replay files
@@ -200,16 +260,41 @@ void Runtime::dispatch_single(PacketSource* source) {
         util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
         packet = source->next();
       }
-      if (!packet.has_value()) break;
+      if (!packet.has_value()) {
+        // A transient failure (injected or a real I/O hiccup) is retried
+        // with the stall backoff ladder up to the configured limit of
+        // *consecutive* failures; end-of-stream breaks out.
+        if (source->transient_error()) {  // analyze: hotpath-allow(unresolved-call)
+          metrics_.on_source_transient_error();
+          if (transient_failures < options_.source_retry_limit) {
+            ++transient_failures;
+            source_backoff.pause();
+            continue;
+          }
+          metrics_.on_source_retries_exhausted();
+        }
+        break;
+      }
+      transient_failures = 0;
+      source_backoff.reset();
       metrics_.on_source_packet();
+      // Fault injection: an armed delay/stall on ring.push perturbs the
+      // handoff timing (the sleep happens inside the armed slow path).
+      (void)FAILPOINT("ring.push");
       const std::size_t shard = engine_.shard_of(packet->key);
       SpscRing<net::Packet>& ring = *rings_[shard];
       if (ring.try_push(std::move(*packet))) {
         metrics_.on_push(shard, ring.size_approx());
+        overload_.observe_occupancy(ring.size_approx(), ring.capacity());
         continue;
       }
-      if (options_.backpressure == BackpressurePolicy::kDrop) {
+      // Shed stage 3 turns lossless backpressure into drops: keeping up
+      // with the source beats completeness once the EWMA says the
+      // workers cannot drain what we enqueue.
+      if (options_.backpressure == BackpressurePolicy::kDrop ||
+          overload_.stage() == ShedStage::kDrop) {
         metrics_.on_drop(shard);
+        overload_.observe_occupancy(ring.size_approx(), ring.capacity());
         {
           // Retire the refused payload here, not at the iteration
           // boundary where the optional's destructor would free it
@@ -225,6 +310,8 @@ void Runtime::dispatch_single(PacketSource* source) {
       backoff.reset();
       bool pushed = false;
       while (!stop_requested_.load(std::memory_order_relaxed)) {
+        // Intentionally waiting, not stalled: keep the watchdog fed.
+        watchdog_->heartbeat(dispatcher_beat);
         if (ring.try_push(std::move(*packet))) {
           pushed = true;
           break;
@@ -242,6 +329,7 @@ void Runtime::dispatch_single(PacketSource* source) {
         break;
       }
       metrics_.on_push(shard, ring.size_approx());
+      overload_.observe_occupancy(ring.size_approx(), ring.capacity());
     }
   }
 }
@@ -275,6 +363,9 @@ void Runtime::dispatch_burst(PacketSource* source) {
     SpscRing<net::Packet>& ring = *rings_[s];
     net::Packet* packets = staging[s].data();
     metrics_.on_dispatch_flush(s);
+    // Fault injection: an armed delay/stall on ring.push perturbs the
+    // handoff timing (the sleep happens inside the armed slow path).
+    (void)FAILPOINT("ring.push");
     std::size_t at = 0;
     backoff.reset();
     for (;;) {
@@ -282,13 +373,19 @@ void Runtime::dispatch_burst(PacketSource* source) {
           std::span<net::Packet>(packets + at, count - at));
       if (pushed != 0) {
         metrics_.on_push_burst(s, pushed, ring.size_approx());
+        overload_.observe_occupancy(ring.size_approx(), ring.capacity());
         at += pushed;
         if (at == count) return;
         backoff.reset();
       }
+      // Shed stage 3 turns lossless backpressure into drops: keeping up
+      // with the source beats completeness once the EWMA says the
+      // workers cannot drain what we enqueue.
       if (options_.backpressure == BackpressurePolicy::kDrop ||
+          overload_.stage() == ShedStage::kDrop ||
           stop_requested_.load(std::memory_order_relaxed)) {
         metrics_.on_drop_burst(s, count - at);
+        overload_.observe_occupancy(ring.size_approx(), ring.capacity());
         {
           // Retire the refused payloads here, not at the next staging
           // reuse where the move-assign would free them mid-guard.
@@ -299,6 +396,8 @@ void Runtime::dispatch_burst(PacketSource* source) {
         }
         return;
       }
+      // Intentionally waiting on the worker, not stalled.
+      watchdog_->heartbeat(options_.shards);
       backoff.pause();
     }
   };
@@ -308,9 +407,13 @@ void Runtime::dispatch_burst(PacketSource* source) {
   std::vector<net::Packet> arrivals(burst);
   const std::span<net::Packet> arrival_window(arrivals.data(), burst);
 
+  const std::size_t dispatcher_beat = options_.shards;
+  Backoff source_backoff;
+  std::size_t transient_failures = 0;
   {
     util::rt::GuardRegion guard;
     while (!stop_requested_.load(std::memory_order_relaxed)) {
+      watchdog_->heartbeat(dispatcher_beat);
       std::size_t read = 0;
       {
         // Source refill sits upstream of the hot handoff: replay files
@@ -320,7 +423,23 @@ void Runtime::dispatch_burst(PacketSource* source) {
         util::rt::AllowScope allow(util::rt::kAlloc | util::rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block, may-throw, unresolved-call)
         read = source->next_burst(arrival_window);
       }
-      if (read == 0) break;
+      if (read == 0) {
+        // A transient failure (injected or a real I/O hiccup) is retried
+        // with the stall backoff ladder up to the configured limit of
+        // *consecutive* failures; end-of-stream breaks out.
+        if (source->transient_error()) {  // analyze: hotpath-allow(unresolved-call)
+          metrics_.on_source_transient_error();
+          if (transient_failures < options_.source_retry_limit) {
+            ++transient_failures;
+            source_backoff.pause();
+            continue;
+          }
+          metrics_.on_source_retries_exhausted();
+        }
+        break;
+      }
+      transient_failures = 0;
+      source_backoff.reset();
       metrics_.on_source_packets(read);
       // Steer each arrival to its shard's staging buffer; a buffer
       // reaching `burst` flushes immediately as one ring burst.
@@ -384,6 +503,27 @@ void Runtime::worker_loop(std::size_t shard) {
     registry->report_crossed(shard, model_epoch);
   };
 
+  // Applies the dispatcher-published shed stage to this shard's engine.
+  // Stage 1 caps the per-flow classification buffer (the paper's c≈1 at
+  // b=32 configuration: cheaper, slightly less certain); stage 2
+  // additionally admits only a sampled fraction of brand-new flows.
+  // Plain stores are fine: this thread owns the engine.
+  ShedStage applied_stage = ShedStage::kNormal;
+  const auto apply_stage = [&] {
+    const ShedStage stage = overload_.stage();
+    if (stage == applied_stage) return;
+    applied_stage = stage;
+    eng.set_buffer_cap(static_cast<int>(stage) >=
+                               static_cast<int>(ShedStage::kCapBuffer)
+                           ? options_.overload.degraded_buffer_bytes
+                           : 0);
+    eng.set_admission_permille(static_cast<int>(stage) >=
+                                       static_cast<int>(
+                                           ShedStage::kSampleAdmission)
+                                   ? options_.overload.admission_permille
+                                   : 1000);
+  };
+
   const auto process = [&](net::Packet& packet) {
     ++processed;
     datagen::FileClass label = datagen::FileClass::kText;
@@ -401,6 +541,7 @@ void Runtime::worker_loop(std::size_t shard) {
     for (; folded < delays.size(); ++folded) {
       metrics_.on_classified(delays[folded].label);
     }
+    if (action == core::PacketAction::kShed) metrics_.on_packets_shed(1);
     if (action == core::PacketAction::kForwarded ||
         action == core::PacketAction::kClassifiedNow) {
       // The handoff may touch the heap (lock + deque node, see
@@ -449,6 +590,7 @@ void Runtime::worker_loop(std::size_t shard) {
       for (; folded < delays.size(); ++folded) {
         metrics_.on_classified(delays[folded].label);
       }
+      if (action == core::PacketAction::kShed) metrics_.on_packets_shed(1);
       if (action == core::PacketAction::kForwarded ||
           action == core::PacketAction::kClassifiedNow) {
         outbox[out_n].label = label;
@@ -477,7 +619,13 @@ void Runtime::worker_loop(std::size_t shard) {
       // Unbatched flavor: one try_pop round-trip per packet.
       net::Packet packet;
       for (;;) {
+        watchdog_->heartbeat(shard);
         maybe_swap();
+        apply_stage();
+        // Fault injection: an armed stall here freezes this worker long
+        // enough for the watchdog to notice (the sleep happens inside
+        // the armed slow path).
+        (void)FAILPOINT("worker.stall");
         if (ring.try_pop(packet)) {
           backoff.reset();
           metrics_.on_pop(shard);
@@ -497,7 +645,13 @@ void Runtime::worker_loop(std::size_t shard) {
       }
     } else {
       for (;;) {
+        watchdog_->heartbeat(shard);
         maybe_swap();
+        apply_stage();
+        // Fault injection: an armed stall here freezes this worker long
+        // enough for the watchdog to notice (the sleep happens inside
+        // the armed slow path).
+        (void)FAILPOINT("worker.stall");
         std::size_t n = ring.try_pop_burst(window);
         if (n != 0) {
           backoff.reset();
@@ -520,6 +674,9 @@ void Runtime::worker_loop(std::size_t shard) {
       }
     }
   }
+  // Done draining: this heartbeat slot retires so the watchdog stops
+  // expecting progress from a worker that has legitimately finished.
+  watchdog_->retire(shard);
   folded_delays_[shard] = folded;
 }
 

@@ -37,14 +37,17 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/model_registry.h"
 #include "core/sharded_engine.h"
 #include "runtime/metrics.h"
+#include "runtime/overload.h"
 #include "runtime/packet_source.h"
 #include "runtime/spsc_ring.h"
+#include "runtime/watchdog.h"
 #include "util/thread_annotations.h"
 
 namespace iustitia::runtime {
@@ -77,7 +80,40 @@ struct RuntimeOptions {
   // no-op elsewhere.  Off by default: pinning helps steady-state serving
   // but hurts on shared/oversubscribed hosts.
   bool pin_workers = false;
+  // Overload shed ladder driven by ring-occupancy EWMA (see overload.h).
+  OverloadOptions overload;
+  // How many *consecutive* transient source failures (see
+  // PacketSource::transient_error) the dispatcher retries — with the
+  // ring-stall backoff ladder between attempts — before giving up and
+  // treating the stream as drained.  Any successful read resets the run.
+  std::size_t source_retry_limit = 64;
+  // A worker (or the dispatcher) that makes no observable progress for
+  // this long while work may still arrive is declared stalled: the
+  // health check degrades to unhealthy(watchdog) until it moves again.
+  // 0 disables the watchdog thread entirely.
+  std::uint64_t watchdog_deadline_ms = 1000;
+  // Debug escalation: CHECK-fail (abort) on the first detected stall
+  // instead of just failing the health check.
+  bool watchdog_fatal = false;
   core::EngineOptions engine;
+};
+
+// Liveness vs readiness: a running process is always *live*; it is
+// *ready* only when it is keeping up.  kDegraded means the shed ladder
+// is active (stage in RuntimeHealth::stage); kUnhealthy means the
+// watchdog currently sees at least one stalled thread.
+enum class HealthState {
+  kOk,
+  kDegraded,
+  kUnhealthy,
+};
+
+struct RuntimeHealth {
+  HealthState state = HealthState::kOk;
+  ShedStage stage = ShedStage::kNormal;
+  // Threads the watchdog considers stalled right now (0 when healthy or
+  // when the watchdog is disabled).
+  std::size_t stalled_threads = 0;
 };
 
 class Runtime {
@@ -132,10 +168,21 @@ class Runtime {
   core::OutputQueues& output_queues() noexcept { return queues_; }
   const MetricsRegistry& metrics() const noexcept { return metrics_; }
 
-  // Convenience: metrics snapshot with the output-queue counters and the
-  // registry's model identity (version + swap count) folded in.  Safe
-  // from any thread at any time.
+  // Convenience: metrics snapshot with the output-queue counters, the
+  // registry's model identity (version + swap count), the overload /
+  // health state, and the CDB occupancy totals folded in.  Safe from any
+  // thread at any time.
   MetricsSnapshot snapshot() const;
+
+  // Current readiness of the runtime: ok, degraded(<shed stage>), or
+  // unhealthy(watchdog).  Safe from any thread at any time; after the
+  // run ends (threads joined) it reports ok.
+  RuntimeHealth health() const;
+  // The /readyz wire format: "ok", "degraded(cap-buffer)",
+  // "unhealthy(watchdog)", ...
+  std::string health_string() const;
+
+  const OverloadPolicy& overload() const noexcept { return overload_; }
 
   const RuntimeOptions& options() const noexcept { return options_; }
 
@@ -174,6 +221,14 @@ class Runtime {
   core::ShardedIustitia engine_;
   core::OutputQueues queues_;
   MetricsRegistry metrics_;
+  // Shed ladder, fed by the dispatcher (single writer) with per-flush
+  // ring occupancy; workers and the control plane read the stage.
+  OverloadPolicy overload_;
+  // Stall detector over shards + dispatcher (heartbeat index `shards` is
+  // the dispatcher).  Constructed with the runtime so health() can read
+  // it from any thread; its watcher thread runs only between start() and
+  // the joins in wait().
+  std::unique_ptr<Watchdog> watchdog_;
   std::vector<std::unique_ptr<SpscRing<net::Packet>>> rings_;
 
   // Per-shard count of delay records already folded into

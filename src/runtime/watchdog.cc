@@ -1,0 +1,90 @@
+#include "runtime/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace iustitia::runtime {
+
+Watchdog::Watchdog(std::size_t threads, const WatchdogOptions& options,
+                   MetricsRegistry* metrics)
+    : threads_(threads),
+      options_(options),
+      metrics_(metrics),
+      beats_(std::make_unique<Beat[]>(threads)),
+      last_seen_(threads, 0),
+      idle_millis_(threads, 0),
+      stalled_(threads, false) {
+  CHECK_GT(threads, std::size_t{0}) << "watchdog needs at least one thread";
+}
+
+Watchdog::~Watchdog() { stop_watching(); }
+
+void Watchdog::start_watching() {
+  if (options_.deadline_ms == 0 || thread_.joinable()) return;
+  {
+    util::MutexLock lock(mu_);
+    stop_requested_ = false;
+  }
+  thread_ = std::thread([this] { watch_loop(); });
+}
+
+void Watchdog::stop_watching() {
+  if (!thread_.joinable()) return;
+  {
+    util::MutexLock lock(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void Watchdog::watch_loop() {
+  // Sample at a quarter of the deadline so a stall is detected within
+  // deadline..deadline*1.25 of the last heartbeat.
+  const std::uint64_t period_ms = std::max<std::uint64_t>(
+      1, options_.deadline_ms / 4);
+  for (;;) {
+    {
+      // condition_variable_any waits on util::Mutex directly, so the
+      // deadlock-debug hooks see this wait like any other acquire.
+      util::MutexLock lock(mu_);
+      if (stop_requested_) return;
+      cv_.wait_for(mu_, std::chrono::milliseconds(period_ms));
+      if (stop_requested_) return;
+    }
+    for (std::size_t i = 0; i < threads_; ++i) {
+      const std::uint64_t seen =
+          beats_[i].count.load(std::memory_order_relaxed);
+      const bool retired = beats_[i].retired.load(std::memory_order_relaxed);
+      if (retired || seen != last_seen_[i]) {
+        last_seen_[i] = seen;
+        idle_millis_[i] = 0;
+        if (stalled_[i]) {
+          stalled_[i] = false;
+          stalled_now_.fetch_sub(1, std::memory_order_relaxed);
+          IUSTITIA_LOG_INFO << "watchdog: thread " << i  // analyze: hotpath-allow(may-block, may-allocate)
+                            << (retired ? " retired" : " recovered");
+        }
+        continue;
+      }
+      idle_millis_[i] += period_ms;
+      if (!stalled_[i] && idle_millis_[i] >= options_.deadline_ms) {
+        stalled_[i] = true;
+        stalled_now_.fetch_add(1, std::memory_order_relaxed);
+        stall_events_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_ != nullptr) metrics_->on_watchdog_stall();
+        IUSTITIA_LOG_WARN << "watchdog: thread " << i << " made no progress "  // analyze: hotpath-allow(may-block, may-allocate)
+                          << "for " << idle_millis_[i] << "ms (deadline "
+                          << options_.deadline_ms << "ms)";
+        CHECK(!options_.fatal)
+            << "watchdog: thread " << i << " stalled past "
+            << options_.deadline_ms << "ms and watchdog_fatal is set";
+      }
+    }
+  }
+}
+
+}  // namespace iustitia::runtime

@@ -1,0 +1,114 @@
+// Liveness watchdog for the runtime's service threads (DESIGN.md §12).
+//
+// Every supervised thread bumps a dedicated heartbeat counter once per
+// loop iteration — including idle iterations, so a worker parked on an
+// empty ring is "alive", while one wedged inside packet processing (or
+// a stalled failpoint) is not.  A sampling thread checks each
+// heartbeat every deadline/4: a counter that has not moved for a full
+// deadline marks its thread stalled, counts a stall detection in
+// MetricsRegistry, fails readiness (Runtime::health reports
+// unhealthy), and — under the watchdog_fatal debug option — FATALs
+// with the stuck thread's index so the stack is in the core dump.  A
+// heartbeat that moves again clears the stall: detection is a latch on
+// the health signal, not a crash loop.
+//
+// heartbeat() is one relaxed add on a cache-line-private counter, legal
+// inside GuardRegions and analyzer-audited hot loops.
+//
+// The lifecycle methods carry watchdog-specific names (start_watching /
+// stop_watching) so the static lock-order pass never conflates them
+// with the start/stop of the servers that call them.
+#ifndef IUSTITIA_RUNTIME_WATCHDOG_H_
+#define IUSTITIA_RUNTIME_WATCHDOG_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+#include "runtime/spsc_ring.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::runtime {
+
+struct WatchdogOptions {
+  // No-progress deadline per supervised thread; 0 disables the watchdog
+  // entirely (start_watching() becomes a no-op).
+  std::uint64_t deadline_ms = 1000;
+  // Debug option: FATAL on the first stall detection instead of just
+  // failing the health check.
+  bool fatal = false;
+};
+
+class Watchdog {
+ public:
+  // `metrics` may be null; detections are then unreported.
+  Watchdog(std::size_t threads, const WatchdogOptions& options,
+           MetricsRegistry* metrics);
+  ~Watchdog();
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  void start_watching();
+  void stop_watching();
+
+  // Supervised-thread side: one relaxed add per loop iteration.
+  // analyze: hotpath
+  void heartbeat(std::size_t index) noexcept {
+    beats_[index].count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Supervised thread is exiting cleanly; the watcher stops expecting
+  // its heartbeats (and clears any stall latched against it).
+  void retire(std::size_t index) noexcept {
+    beats_[index].retired.store(true, std::memory_order_relaxed);
+  }
+
+  // Any thread: number of threads currently considered stalled.
+  std::size_t stalled_count() const noexcept {
+    return stalled_now_.load(std::memory_order_relaxed);
+  }
+
+  bool any_stalled() const noexcept { return stalled_count() > 0; }
+
+  // Total stall detections since start (matches the metrics counter).
+  std::uint64_t stall_events() const noexcept {
+    return stall_events_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t thread_count() const noexcept { return threads_; }
+
+ private:
+  void watch_loop();
+
+  struct alignas(kCacheLineBytes) Beat {
+    std::atomic<std::uint64_t> count{0};  // analyze: atomic(relaxed-counter)
+    std::atomic<bool> retired{false};     // analyze: atomic(relaxed-flag)
+  };
+
+  const std::size_t threads_;
+  const WatchdogOptions options_;
+  MetricsRegistry* const metrics_;
+  std::unique_ptr<Beat[]> beats_;
+  // Watcher-thread bookkeeping: last observed count and accumulated
+  // no-progress time per thread.
+  std::vector<std::uint64_t> last_seen_;     // analyze: escape(watcher thread only)
+  std::vector<std::uint64_t> idle_millis_;   // analyze: escape(watcher thread only)
+  std::vector<bool> stalled_;                // analyze: escape(watcher thread only)
+  std::atomic<std::size_t> stalled_now_{0};     // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> stall_events_{0};  // analyze: atomic(relaxed-counter)
+
+  util::Mutex mu_{"Watchdog::mu_"};
+  std::condition_variable_any cv_;
+  bool stop_requested_ IUSTITIA_GUARDED_BY(mu_) = false;
+  std::thread thread_;  // analyze: escape(started before, joined after, watch_loop)
+};
+
+}  // namespace iustitia::runtime
+
+#endif  // IUSTITIA_RUNTIME_WATCHDOG_H_

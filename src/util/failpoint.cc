@@ -1,0 +1,377 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/failpoint_inventory.h"
+#include "util/hash.h"
+#include "util/rt_guard.h"
+#include "util/thread_annotations.h"
+
+namespace iustitia::util {
+namespace failpoint_detail {
+namespace {
+
+// Fixed default so TSan/ASan chaos runs reproduce without any env setup.
+constexpr std::uint64_t kDefaultSeed = 0x1057F417ULL;
+
+constexpr std::uint64_t kSplitMix64Gamma = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+// Counter-mode PRNG step (SplitMix64): the stream depends only on the
+// seed and the number of prior evaluations, never on wall clock.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += kSplitMix64Gamma;
+  return mix64(state);
+}
+
+double to_unit(std::uint64_t bits) noexcept {
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+struct PointState {
+  explicit PointState(std::string name_in) : name(std::move(name_in)) {}
+
+  const std::string name;
+  std::atomic<bool> armed{false};  // analyze: atomic(relaxed-flag)
+  // Counters are read by snapshot while fire_armed writes them.
+  std::atomic<std::uint64_t> evaluations{0};  // analyze: atomic(relaxed-counter)
+  std::atomic<std::uint64_t> triggers{0};     // analyze: atomic(relaxed-counter)
+
+  Mutex mu{"PointState::mu"};
+  FailpointAction action IUSTITIA_GUARDED_BY(mu) = FailpointAction::kNone;
+  double probability IUSTITIA_GUARDED_BY(mu) = 1.0;
+  std::uint64_t delay_micros IUSTITIA_GUARDED_BY(mu) = 0;
+  std::uint64_t rng IUSTITIA_GUARDED_BY(mu) = 0;
+  std::string spec IUSTITIA_GUARDED_BY(mu);
+};
+
+namespace {
+
+struct FailpointRegistry {
+  // Structurally frozen once global_registry() returns: every inventory
+  // name is interned during the thread-safe magic-static construction
+  // and configure() rejects names outside the inventory, so the map is
+  // never rehashed afterwards.  That makes lookups lock-free — vital
+  // because a FAILPOINT site's one-time registration can run under
+  // arbitrary caller locks (e.g. the engine shard mutex around
+  // cdb.insert), and a registry mutex here would thread those locks
+  // into one global order.  Point *contents* are guarded by each
+  // point's own mu and the armed atomic.
+  std::unordered_map<std::string, std::unique_ptr<PointState>> points;
+  std::atomic<std::uint64_t> seed{kDefaultSeed};  // analyze: atomic(relaxed-counter)
+};
+
+void reseed_point_locked(PointState& point, std::uint64_t seed)
+    IUSTITIA_REQUIRES(point.mu) {
+  point.rng = mix64(seed ^ fnv1a(point.name));
+}
+
+// Parsed form of one `name=action(...)` entry, applied only after the
+// whole spec validates.
+struct ParsedEntry {
+  PointState* point = nullptr;
+  FailpointAction action = FailpointAction::kNone;
+  double probability = 1.0;
+  std::uint64_t delay_micros = 0;
+  std::string spec;
+};
+
+std::string_view trim(std::string_view s) noexcept {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+bool parse_double(std::string_view s, double* out) {
+  const std::string buf(s);
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) return false;
+  *out = value;
+  return true;
+}
+
+// "50us" | "10ms" | "2s" -> microseconds.
+bool parse_duration(std::string_view s, std::uint64_t* out) {
+  std::size_t i = 0;
+  std::uint64_t value = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    value = value * 10 + static_cast<std::uint64_t>(s[i] - '0');
+    ++i;
+  }
+  if (i == 0) return false;
+  const std::string_view unit = s.substr(i);
+  if (unit == "us") {
+    *out = value;
+  } else if (unit == "ms") {
+    *out = value * 1000;
+  } else if (unit == "s") {
+    *out = value * 1'000'000;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+// Splits "action(arg1[,arg2])" and fills the entry; returns an error
+// string or "".
+std::string parse_action(std::string_view text, ParsedEntry* entry) {
+  std::string_view head = text;
+  std::string_view args;
+  const std::size_t open = text.find('(');
+  if (open != std::string_view::npos) {
+    if (text.back() != ')') {
+      return "missing ')' in '" + std::string(text) + "'";
+    }
+    head = trim(text.substr(0, open));
+    args = trim(text.substr(open + 1, text.size() - open - 2));
+  }
+  const auto split_args = [&args](std::string_view* a, std::string_view* b) {
+    const std::size_t comma = args.find(',');
+    if (comma == std::string_view::npos) {
+      *a = trim(args);
+      *b = {};
+      return;
+    }
+    *a = trim(args.substr(0, comma));
+    *b = trim(args.substr(comma + 1));
+  };
+  std::string_view first;
+  std::string_view second;
+  split_args(&first, &second);
+
+  if (head == "error" || head == "alloc-fail") {
+    entry->action =
+        head == "error" ? FailpointAction::kError : FailpointAction::kAllocFail;
+    if (!second.empty()) {
+      return "too many arguments in '" + std::string(text) + "'";
+    }
+    if (!first.empty() && !parse_double(first, &entry->probability)) {
+      return "bad probability '" + std::string(first) + "'";
+    }
+  } else if (head == "delay" || head == "stall") {
+    entry->action =
+        head == "delay" ? FailpointAction::kDelay : FailpointAction::kStall;
+    if (first.empty() || !parse_duration(first, &entry->delay_micros)) {
+      return "bad duration in '" + std::string(text) +
+             "' (want e.g. delay(50us))";
+    }
+    if (!second.empty() && !parse_double(second, &entry->probability)) {
+      return "bad probability '" + std::string(second) + "'";
+    }
+  } else if (head == "off") {
+    entry->action = FailpointAction::kNone;
+  } else {
+    return "unknown action '" + std::string(head) + "'";
+  }
+  if (entry->probability < 0.0 || entry->probability > 1.0) {
+    return "probability out of [0,1] in '" + std::string(text) + "'";
+  }
+  entry->spec = entry->action == FailpointAction::kNone ? "" : std::string(text);
+  return "";
+}
+
+PointState* find_point(const FailpointRegistry& registry,
+                       std::string_view name) {
+  // Lock-free: the map is frozen after construction (see the struct
+  // comment), so concurrent lookups never race a mutation.
+  const auto it = registry.points.find(std::string(name));
+  return it == registry.points.end() ? nullptr : it->second.get();
+}
+
+// Validates the whole spec first, then applies entry by entry, taking
+// only the per-point mutexes.
+std::string configure(FailpointRegistry& registry, std::string_view spec) {
+  std::vector<ParsedEntry> entries;
+  bool disarm_all = false;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view item = trim(rest.substr(0, semi));
+    rest = semi == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(semi + 1);
+    if (item.empty()) continue;
+    if (item == "off") {
+      disarm_all = true;
+      continue;
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      return "failpoints: missing '=' in '" + std::string(item) + "'";
+    }
+    const std::string_view name = trim(item.substr(0, eq));
+    const std::string_view action = trim(item.substr(eq + 1));
+    ParsedEntry entry;
+    entry.point = find_point(registry, name);
+    if (entry.point == nullptr) {
+      return "failpoints: unknown point '" + std::string(name) +
+             "' (not in kFailpointInventory)";
+    }
+    std::string error = parse_action(action, &entry);
+    if (!error.empty()) return "failpoints: " + error;
+    entries.push_back(std::move(entry));
+  }
+  const std::uint64_t seed = registry.seed.load(std::memory_order_relaxed);
+  if (disarm_all) {
+    for (const auto& [_, owned] : registry.points) {
+      PointState* point = owned.get();
+      MutexLock lock(point->mu);
+      point->action = FailpointAction::kNone;
+      point->spec.clear();
+      point->armed.store(false, std::memory_order_relaxed);
+    }
+  }
+  for (ParsedEntry& entry : entries) {
+    MutexLock lock(entry.point->mu);
+    entry.point->action = entry.action;
+    entry.point->probability = entry.probability;
+    entry.point->delay_micros = entry.delay_micros;
+    entry.point->spec = std::move(entry.spec);
+    reseed_point_locked(*entry.point, seed);
+    entry.point->armed.store(entry.action != FailpointAction::kNone,
+                             std::memory_order_relaxed);
+  }
+  return "";
+}
+
+FailpointRegistry& global_registry() {
+  // Interns the whole inventory up front so configure() can arm points
+  // whose code path has not run yet, then applies the env spec once.
+  // Leaked by design: failpoint handles are function-local statics in
+  // arbitrary TUs, so a destructing registry could be torn down before
+  // the last fire() on an exit path.
+  static FailpointRegistry* const registry = [] {
+    auto* r = new FailpointRegistry;  // NOLINT(no-owning-new): intentionally immortal
+    if (const char* seed_env = std::getenv("IUSTITIA_FAILPOINT_SEED")) {
+      char* end = nullptr;
+      const unsigned long long parsed = std::strtoull(seed_env, &end, 0);
+      if (end != seed_env && *end == '\0') {
+        r->seed.store(parsed, std::memory_order_relaxed);
+      }
+    }
+    // Single-threaded by the magic-static guarantee; the map never
+    // changes again after this loop.
+    for (const char* name : kFailpointInventory) {
+      r->points.emplace(name, std::make_unique<PointState>(name));
+    }
+    if (const char* spec = std::getenv("IUSTITIA_FAILPOINTS")) {
+      const std::string error = configure(*r, spec);
+      CHECK(error.empty()) << "IUSTITIA_FAILPOINTS: " << error;
+    }
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+PointState* register_point(std::string_view name) {
+  // One-time per call site (function-local static in FAILPOINT); the
+  // registry lookup allocates a lookup key and takes the registry
+  // mutex, which is why first evaluation inside a guard region needs
+  // the allowance below.
+  rt::AllowScope allow(rt::kAlloc | rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
+  PointState* point = find_point(global_registry(), name);
+  // NOLINTNEXTLINE(failpoint-inventory): diagnostic text, not a call site.
+  CHECK(point != nullptr) << "FAILPOINT(\"" << std::string(name)
+                          << "\") is not in kFailpointInventory "
+                             "(src/util/failpoint_inventory.h)";
+  return point;
+}
+
+std::atomic<bool>& armed_flag(PointState* state) noexcept {
+  return state->armed;
+}
+
+FailpointAction fire_armed(PointState* state) noexcept {
+  // Armed failpoints lock and (for delay/stall) sleep — that is their
+  // purpose.  Only runs that explicitly arm a point pay this cost; the
+  // disarmed fast path in Failpoint::fire stays effect-free.
+  rt::AllowScope allow(rt::kAlloc | rt::kBlock);  // analyze: hotpath-allow(may-allocate, may-block)
+  state->evaluations.fetch_add(1, std::memory_order_relaxed);
+  FailpointAction action = FailpointAction::kNone;
+  std::uint64_t delay_micros = 0;
+  {
+    MutexLock lock(state->mu);
+    if (state->action == FailpointAction::kNone) return FailpointAction::kNone;
+    if (to_unit(splitmix64(state->rng)) >= state->probability) {
+      return FailpointAction::kNone;
+    }
+    action = state->action;
+    delay_micros = state->delay_micros;
+  }
+  state->triggers.fetch_add(1, std::memory_order_relaxed);
+  if ((action == FailpointAction::kDelay ||
+       action == FailpointAction::kStall) &&
+      delay_micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_micros));  // analyze: hotpath-allow(may-block)
+  }
+  return action;
+}
+
+}  // namespace failpoint_detail
+
+std::string failpoints_configure(std::string_view spec) {
+  return failpoint_detail::configure(failpoint_detail::global_registry(), spec);
+}
+
+void failpoints_disarm_all() {
+  const std::string error = failpoints_configure("off");
+  DCHECK(error.empty()) << error;
+}
+
+std::vector<FailpointInfo> failpoints_snapshot() {
+  auto& registry = failpoint_detail::global_registry();
+  std::vector<FailpointInfo> infos;
+  infos.reserve(registry.points.size());
+  for (const auto& [_, owned] : registry.points) {
+    failpoint_detail::PointState* point = owned.get();
+    FailpointInfo info;
+    info.name = point->name;
+    info.armed = point->armed.load(std::memory_order_relaxed);
+    info.evaluations = point->evaluations.load(std::memory_order_relaxed);
+    info.triggers = point->triggers.load(std::memory_order_relaxed);
+    {
+      MutexLock lock(point->mu);
+      info.spec = point->spec;
+    }
+    infos.push_back(std::move(info));
+  }
+  std::sort(infos.begin(), infos.end(),
+            [](const FailpointInfo& a, const FailpointInfo& b) {
+              return a.name < b.name;
+            });
+  return infos;
+}
+
+void failpoints_set_seed(std::uint64_t seed) {
+  failpoint_detail::global_registry().seed.store(seed,
+                                                 std::memory_order_relaxed);
+}
+
+}  // namespace iustitia::util

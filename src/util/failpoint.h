@@ -1,0 +1,149 @@
+// Deterministic fault-injection points (DESIGN.md §12).
+//
+// A failpoint is a named site in production code where a fault can be
+// injected on demand:
+//
+//   if (FAILPOINT("cdb.insert") == util::FailpointAction::kAllocFail) {
+//     ... behave as if the allocation failed ...
+//   }
+//
+// Disarmed (the default, and the only state production traffic ever
+// sees) a failpoint costs one relaxed atomic load — no lock, no heap,
+// no branch history beyond a never-taken jump — so the macro is legal
+// inside analyzer-audited hot loops and under util::rt::GuardRegion.
+// Arming happens out of band: the IUSTITIA_FAILPOINTS environment
+// variable at process start, failpoints_configure() from tests, or the
+// admin server's POST /failpoints at runtime.  Spec grammar:
+//
+//   IUSTITIA_FAILPOINTS='cdb.insert=error(0.01);ring.push=delay(50us)'
+//
+//   spec    := entry (';' entry)*
+//   entry   := name '=' action | name '=' 'off' | 'off'
+//   action  := 'error' [ '(' prob ')' ]
+//            | 'alloc-fail' [ '(' prob ')' ]
+//            | 'delay' '(' duration [ ',' prob ] ')'
+//            | 'stall' '(' duration [ ',' prob ] ')'
+//   duration:= integer ('us' | 'ms' | 's')
+//
+// Triggering is deterministic: each point owns a counter-mode PRNG
+// seeded from mix64(global seed ^ hash(name)), so a given seed and
+// evaluation sequence reproduces the same trigger pattern across runs
+// (including under TSan/ASan).  The global seed defaults to a fixed
+// constant and can be overridden with IUSTITIA_FAILPOINT_SEED.
+//
+// Every name must appear in kFailpointInventory
+// (src/util/failpoint_inventory.h); tools/lint.py rule
+// `failpoint-inventory` fails the build on a FAILPOINT("...") literal
+// missing from the inventory, and register_point() CHECKs the same at
+// first evaluation.
+#ifndef IUSTITIA_UTIL_FAILPOINT_H_
+#define IUSTITIA_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace iustitia::util {
+
+enum class FailpointAction {
+  kNone = 0,   // disarmed, or armed but this evaluation did not trigger
+  kError,      // site should behave as if the operation failed
+  kAllocFail,  // site should behave as if an allocation failed
+  kDelay,      // fire_armed already slept for the configured duration
+  kStall,      // as kDelay but long: meant to trip the watchdog
+};
+
+namespace failpoint_detail {
+
+// NOLINTNEXTLINE(dead-symbol): named only inside the FAILPOINT macro expansion.
+struct PointState;
+
+// Interns `name` in the process-wide registry (creating the state on
+// first use) and returns its state.  Allocates and locks — called once
+// per FAILPOINT site from the function-local static constructor, which
+// wraps it in a util::rt::AllowScope so first evaluation inside a
+// guard region is legal.  CHECK-fails on a name missing from
+// kFailpointInventory.
+// NOLINTNEXTLINE(dead-symbol): referenced via the FAILPOINT macro expansion.
+PointState* register_point(std::string_view name);
+
+// Armed slow path: samples the point's deterministic PRNG against the
+// configured probability, performs delay/stall sleeps itself, and
+// returns the action the site should simulate.  Locks and may sleep —
+// by design; only armed runs pay for it.
+// NOLINTNEXTLINE(dead-symbol): referenced via the FAILPOINT macro expansion.
+FailpointAction fire_armed(PointState* state) noexcept;
+
+// The one field hot code reads; defined here so fire() can inline to a
+// single relaxed load without pulling the full registry types into
+// every includer.
+// NOLINTNEXTLINE(dead-symbol): referenced via the FAILPOINT macro expansion.
+std::atomic<bool>& armed_flag(PointState* state) noexcept;
+
+}  // namespace failpoint_detail
+
+// Handle to one named failpoint.  Construct once (function-local
+// static via the FAILPOINT macro) and call fire() per evaluation.
+class Failpoint {
+ public:
+  explicit Failpoint(std::string_view name)
+      : state_(failpoint_detail::register_point(name)),
+        armed_(failpoint_detail::armed_flag(state_)) {}
+  Failpoint(const Failpoint&) = delete;
+  Failpoint& operator=(const Failpoint&) = delete;
+
+  // Disarmed: one relaxed load.  Armed: deterministic trigger sampling
+  // (and the sleep for delay/stall actions) in fire_armed.
+  FailpointAction fire() noexcept {
+    if (!armed_.load(std::memory_order_relaxed)) {
+      return FailpointAction::kNone;
+    }
+    return failpoint_detail::fire_armed(state_);
+  }
+
+ private:
+  failpoint_detail::PointState* const state_;
+  std::atomic<bool>& armed_;  // analyze: atomic(relaxed-flag)
+};
+
+// Evaluates the named failpoint.  The function-local static makes the
+// registry lookup a one-time cost per site; its constructor runs under
+// an AllowScope so first-fire inside a GuardRegion stays clean.
+#define FAILPOINT(point_name)                                    \
+  ([]() noexcept -> ::iustitia::util::FailpointAction {          \
+    static ::iustitia::util::Failpoint iustitia_fp((point_name)); \
+    return iustitia_fp.fire();                                   \
+  }())
+
+// Introspection row for one registered point (GET /failpoints).
+struct FailpointInfo {
+  std::string name;
+  std::string spec;  // configured action, "" when disarmed
+  bool armed = false;
+  std::uint64_t evaluations = 0;  // fire() calls while armed
+  std::uint64_t triggers = 0;     // evaluations that returned != kNone
+};
+
+// Applies a spec string (grammar above) on top of the current
+// configuration.  Returns "" on success or a one-line error
+// description (unknown name, bad action, bad duration); on error no
+// point is modified.  Thread-safe; callable while traffic is live.
+std::string failpoints_configure(std::string_view spec);
+
+// Disarms every registered point (equivalent to spec "off").
+// NOLINTNEXTLINE(dead-symbol): test teardown API (tests/test_failpoint.cc).
+void failpoints_disarm_all();
+
+// Snapshot of every point that has been registered or configured.
+std::vector<FailpointInfo> failpoints_snapshot();
+
+// Overrides the deterministic global seed (also: IUSTITIA_FAILPOINT_SEED).
+// Existing points re-derive their stream on their next configure.
+// NOLINTNEXTLINE(dead-symbol): determinism knob for tests (tests/test_failpoint.cc).
+void failpoints_set_seed(std::uint64_t seed);
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_FAILPOINT_H_

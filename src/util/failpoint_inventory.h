@@ -1,0 +1,28 @@
+// Central inventory of failpoint names (DESIGN.md §12).
+//
+// Every FAILPOINT("...") literal in the tree must appear here:
+// tools/lint.py rule `failpoint-inventory` cross-checks call sites
+// against this list so a typo'd name fails the build instead of
+// silently never arming, and failpoints_configure() rejects specs that
+// name points outside the inventory.  Keep entries sorted and comment
+// where each point lives and what its armed action simulates.
+#ifndef IUSTITIA_UTIL_FAILPOINT_INVENTORY_H_
+#define IUSTITIA_UTIL_FAILPOINT_INVENTORY_H_
+
+namespace iustitia::util {
+
+inline constexpr const char* kFailpointInventory[] = {
+    "cdb.insert",    // core/cdb.cc: alloc-fail skips caching the record
+    "ctrl.request",  // ctrl/admin.cc: error turns any request into a 500
+    "ring.push",     // runtime/runtime.cc dispatcher: delay emulates a
+                     // slow ring consumer at the push site
+    "source.next",   // runtime/packet_source.cc: error surfaces a
+                     // transient read failure (retried by the dispatcher)
+    "test.probe",    // unit tests only (tests/test_failpoint.cc)
+    "worker.stall",  // runtime/runtime.cc worker loop: stall pins a
+                     // shard long enough to trip the watchdog
+};
+
+}  // namespace iustitia::util
+
+#endif  // IUSTITIA_UTIL_FAILPOINT_INVENTORY_H_

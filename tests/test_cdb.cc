@@ -2,7 +2,9 @@
 // removal, and the n*lambda inactivity purge of Section 4.5.
 #include "core/cdb.h"
 
+#include <cstdint>
 #include <optional>
+#include <random>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -159,6 +161,76 @@ TEST(Cdb, PurgeCountsInStats) {
   EXPECT_EQ(cdb.purge(1.0), 5u);
   EXPECT_EQ(cdb.stats().inactivity_removals, 5u);
   EXPECT_EQ(cdb.size(), 0u);
+}
+
+TEST(Cdb, HardCeilingForcesOldestFirstEviction) {
+  CdbOptions options;
+  options.max_records = 4;
+  ClassificationDatabase cdb(options);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(cdb.insert(id_of(i), FileClass::kBinary, 0.1 * i));
+    EXPECT_LE(cdb.size(), 4u);
+  }
+  // The two least-recently-active records (0, 1) were force-evicted.
+  EXPECT_EQ(cdb.size(), 4u);
+  EXPECT_EQ(cdb.stats().forced_evictions, 2u);
+  EXPECT_EQ(cdb.peek(id_of(0)), std::nullopt);
+  EXPECT_EQ(cdb.peek(id_of(1)), std::nullopt);
+  for (int i = 2; i < 6; ++i) {
+    EXPECT_EQ(cdb.peek(id_of(i)), FileClass::kBinary) << i;
+  }
+}
+
+TEST(Cdb, CeilingEvictionHonorsRecencyRefreshes) {
+  CdbOptions options;
+  options.max_records = 2;
+  ClassificationDatabase cdb(options);
+  cdb.insert(id_of(1), FileClass::kText, 0.0);
+  cdb.insert(id_of(2), FileClass::kText, 1.0);
+  // A lookup refreshes record 1's recency, so 2 is now the oldest.
+  EXPECT_EQ(cdb.lookup(id_of(1), 2.0), FileClass::kText);
+  cdb.insert(id_of(3), FileClass::kText, 3.0);
+  EXPECT_EQ(cdb.peek(id_of(1)), FileClass::kText);
+  EXPECT_EQ(cdb.peek(id_of(2)), std::nullopt);
+  EXPECT_EQ(cdb.peek(id_of(3)), FileClass::kText);
+  EXPECT_EQ(cdb.stats().forced_evictions, 1u);
+}
+
+// Property soak: under a random mix of inserts, overwrites, FIN/RST
+// removals, and inactivity purges the resident size never exceeds the
+// ceiling, and at the end every departure is accounted for exactly:
+//   new records = resident + fin/rst + inactivity + forced evictions.
+TEST(Cdb, CeilingPropertyHoldsUnderRandomizedChurn) {
+  CdbOptions options;
+  options.max_records = 16;
+  options.inactivity_coefficient = 3.0;
+  options.default_lambda = 0.5;
+  ClassificationDatabase cdb(options);
+
+  std::mt19937 rng(20260809);
+  std::uniform_int_distribution<int> flow_pick(0, 63);
+  std::uniform_int_distribution<int> op_pick(0, 9);
+  std::uint64_t new_records = 0;
+  double now = 0.0;
+  for (int step = 0; step < 2000; ++step) {
+    now += 0.05;
+    const net::FlowId id = id_of(flow_pick(rng));
+    const int op = op_pick(rng);
+    if (op < 7) {
+      if (!cdb.peek(id).has_value()) ++new_records;
+      EXPECT_TRUE(cdb.insert(id, FileClass::kBinary, now));
+    } else if (op < 9) {
+      cdb.remove_on_close(id);
+    } else {
+      cdb.purge(now);
+    }
+    ASSERT_LE(cdb.size(), 16u) << "step " << step;
+  }
+  const CdbStats stats = cdb.stats();
+  EXPECT_GT(stats.forced_evictions, 0u);
+  EXPECT_EQ(new_records,
+            cdb.size() + stats.fin_rst_removals +
+                stats.inactivity_removals + stats.forced_evictions);
 }
 
 }  // namespace

@@ -1,0 +1,174 @@
+// Fault-injection soak tests (DESIGN.md §12): a live replay with armed
+// failpoints — transient source errors, ring-push delays, CDB insert
+// alloc failures — plus a mid-replay model hot-swap, asserting packet
+// conservation, the CDB record ceiling, and recovery of the health
+// signal.  A second soak pins workers with worker.stall until the
+// watchdog fails readiness, then disarms and requires full recovery.
+// tools/ci.sh runs this binary under ASan/UBSan and TSan as well.
+#include "runtime/runtime.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "appproto/trace_headers.h"
+#include "core/model_registry.h"
+#include "core/trainer.h"
+#include "net/trace_gen.h"
+#include "runtime/metrics.h"
+#include "util/failpoint.h"
+
+namespace iustitia::runtime {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr std::size_t kSoakPackets = 10'000;
+#else
+constexpr std::size_t kSoakPackets = 40'000;
+#endif
+
+core::FlowNatureModel small_model() {
+  datagen::CorpusOptions corpus_options;
+  corpus_options.files_per_class = 8;
+  corpus_options.min_size = 1024;
+  corpus_options.max_size = 2048;
+  corpus_options.seed = 412;
+  const auto corpus = datagen::build_corpus(corpus_options);
+  core::TrainerOptions options;
+  options.backend = core::Backend::kCart;
+  options.widths = entropy::cart_preferred_widths();
+  options.method = core::TrainingMethod::kFirstBytes;
+  options.buffer_size = 32;
+  return core::train_model(corpus, options);
+}
+
+net::TraceOptions trace_options(std::size_t packets, std::uint64_t seed) {
+  net::TraceOptions options;
+  options.header_source = appproto::standard_header_source();
+  options.target_packets = packets;
+  options.seed = seed;
+  return options;
+}
+
+bool poll_until(const std::function<bool()>& done,
+                std::chrono::milliseconds budget =
+                    std::chrono::seconds(60)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+class ChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    util::failpoints_disarm_all();
+    util::failpoints_set_seed(7);
+  }
+  void TearDown() override { util::failpoints_disarm_all(); }
+};
+
+// The headline soak: sustained injected faults on every layer of the
+// ingest path must not lose a packet (blocking backpressure), must not
+// grow the CDB past its ceiling, and must leave the runtime healthy.
+TEST_F(ChaosTest, SoakConservesPacketsAndBoundsCdbUnderInjectedFaults) {
+  ASSERT_EQ(util::failpoints_configure(
+                "source.next=error(0.02);"
+                "ring.push=delay(20us,0.01);"
+                "cdb.insert=alloc-fail(0.2)"),
+            "");
+
+  RuntimeOptions options;
+  options.shards = 4;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.engine.buffer_size = 32;
+  options.engine.cdb.max_records = 64;  // per-shard hard ceiling
+  options.watchdog_deadline_ms = 5000;  // present but not provoked here
+  auto registry = std::make_shared<core::ModelRegistry>(
+      options.shards,
+      std::make_shared<const core::FlowNatureModel>(small_model()), "v1");
+  Runtime rt(registry, options);
+
+  TraceSource source(trace_options(kSoakPackets, 901));
+  rt.start(source);
+  // Mid-replay model hot-swap while the faults are live.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  registry->publish(
+      std::make_shared<const core::FlowNatureModel>(small_model()), "v2");
+  rt.wait();
+
+  const MetricsSnapshot snap = rt.snapshot();
+  // Conservation: every generated packet was eventually read (transient
+  // errors were retried, not treated as end-of-stream), pushed, and
+  // popped; blocking mode loses nothing.
+  EXPECT_EQ(snap.packets_in, kSoakPackets);
+  EXPECT_EQ(snap.total_pushed(), kSoakPackets);
+  EXPECT_EQ(snap.total_popped(), kSoakPackets);
+  EXPECT_EQ(snap.total_dropped(), 0u);
+  // The injected source errors actually happened and were absorbed.
+  EXPECT_GT(snap.source_transient_errors, 0u);
+  EXPECT_EQ(snap.source_retries_exhausted, 0u);
+  // Bounded memory: no shard's CDB may exceed the ceiling, and refused
+  // inserts were accounted, not silently dropped.
+  EXPECT_EQ(snap.cdb_ceiling, 64u);
+  EXPECT_LE(snap.cdb_records, options.shards * 64u);
+  EXPECT_GT(snap.cdb_insert_failures, 0u);
+  // The swap landed while packets flowed.
+  EXPECT_EQ(snap.model_version, "v2");
+  EXPECT_EQ(snap.model_swaps, 1u);
+  // Quiescent and fault-free again: health is back to ok.
+  EXPECT_EQ(rt.health().state, HealthState::kOk);
+  EXPECT_EQ(snap.health, "ok");
+  EXPECT_EQ(snap.watchdog_stalls, 0u);
+}
+
+// Readiness round-trip under a wedged worker: worker.stall pins every
+// shard past the watchdog deadline (unhealthy), disarming lets the
+// beats resume (ok), and the drained run still conserves every packet.
+TEST_F(ChaosTest, WorkerStallTripsWatchdogThenRecoversAfterDisarm) {
+  RuntimeOptions options;
+  options.shards = 2;
+  options.backpressure = BackpressurePolicy::kBlock;
+  options.engine.buffer_size = 32;
+  options.watchdog_deadline_ms = 100;
+  auto registry = std::make_shared<core::ModelRegistry>(
+      options.shards,
+      std::make_shared<const core::FlowNatureModel>(small_model()), "v1");
+  Runtime rt(registry, options);
+
+  ASSERT_EQ(util::failpoints_configure("worker.stall=stall(400ms)"), "");
+  TraceSource source(trace_options(kSoakPackets, 902));
+  rt.start(source);
+
+  // Workers beat once per 400ms stall against a 100ms deadline: the
+  // watchdog must observe a stall and fail readiness.
+  EXPECT_TRUE(poll_until([&] {
+    return rt.health().state == HealthState::kUnhealthy;
+  }));
+  EXPECT_EQ(rt.health_string(), "unhealthy(watchdog)");
+
+  // Disarm -> the beats resume -> readiness recovers while running.
+  ASSERT_EQ(util::failpoints_configure("worker.stall=off"), "");
+  EXPECT_TRUE(poll_until([&] {
+    return rt.health().state == HealthState::kOk;
+  }));
+
+  rt.wait();
+  const MetricsSnapshot snap = rt.snapshot();
+  EXPECT_EQ(snap.packets_in, kSoakPackets);
+  EXPECT_EQ(snap.total_popped(), kSoakPackets);
+  EXPECT_EQ(snap.total_dropped(), 0u);
+  EXPECT_GE(snap.watchdog_stalls, 1u);
+  EXPECT_EQ(rt.health().state, HealthState::kOk);
+}
+
+}  // namespace
+}  // namespace iustitia::runtime

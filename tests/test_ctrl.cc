@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstddef>
 #include <cstring>
 #include <functional>
@@ -24,6 +25,7 @@
 #include "ctrl/prometheus.h"
 #include "runtime/metrics.h"
 #include "runtime/runtime.h"
+#include "util/failpoint.h"
 
 namespace iustitia::ctrl {
 namespace {
@@ -277,6 +279,104 @@ TEST(AdminServerTest, ModelUploadSwapsAndRejectsCorrupt) {
   const std::string stats = get(h.admin->port(), "/stats.json");
   EXPECT_NE(stats.find("\"model_version\": \"v2\""), std::string::npos);
   EXPECT_NE(stats.find("\"model_swaps\": 1"), std::string::npos);
+}
+
+TEST(AdminServerTest, ReadyzReportsHealthAndDraining) {
+  AdminHarness h;
+  // Idle runtime: ready, body carries the health string.
+  const std::string ready = get(h.admin->port(), "/readyz");
+  EXPECT_NE(ready.find("200 OK"), std::string::npos);
+  EXPECT_NE(ready.find("ok"), std::string::npos);
+  EXPECT_NE(post(h.admin->port(), "/readyz", "").find("405"),
+            std::string::npos);
+  // After /quitquitquit the process is still *live* but not *ready*.
+  post(h.admin->port(), "/quitquitquit", "");
+  EXPECT_NE(get(h.admin->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+  const std::string draining = get(h.admin->port(), "/readyz");
+  EXPECT_NE(draining.find("503"), std::string::npos);
+  EXPECT_NE(draining.find("draining"), std::string::npos);
+}
+
+TEST(AdminServerTest, FailpointsEndpointListsArmsAndRejects) {
+  util::failpoints_disarm_all();
+  AdminHarness h;
+  // GET: every inventory point is listed, disarmed.
+  const std::string listing = get(h.admin->port(), "/failpoints");
+  EXPECT_NE(listing.find("200 OK"), std::string::npos);
+  EXPECT_NE(listing.find("\"test.probe\""), std::string::npos);
+  EXPECT_NE(listing.find("\"armed\": false"), std::string::npos);
+
+  // POST arms at runtime; the armed spec shows up in the next GET.
+  const std::string armed =
+      post(h.admin->port(), "/failpoints", "test.probe=error(0.5)");
+  EXPECT_NE(armed.find("200 OK"), std::string::npos);
+  const std::string after = get(h.admin->port(), "/failpoints");
+  EXPECT_NE(after.find("\"spec\": \"error(0.5)\""), std::string::npos);
+  EXPECT_NE(after.find("\"armed\": true"), std::string::npos);
+
+  // A bad spec is rejected atomically with a 400 and the parser's error.
+  const std::string rejected =
+      post(h.admin->port(), "/failpoints", "test.probe=explode");
+  EXPECT_NE(rejected.find("400"), std::string::npos);
+  EXPECT_NE(rejected.find("rejected"), std::string::npos);
+
+  // POST "off" disarms everything.
+  EXPECT_NE(post(h.admin->port(), "/failpoints", "off").find("200 OK"),
+            std::string::npos);
+  EXPECT_EQ(get(h.admin->port(), "/failpoints").find("\"armed\": true"),
+            std::string::npos);
+  util::failpoints_disarm_all();
+}
+
+TEST(AdminServerTest, CtrlRequestFailpointInjectsServerErrors) {
+  util::failpoints_disarm_all();
+  AdminHarness h;
+  ASSERT_EQ(util::failpoints_configure("ctrl.request=error"), "");
+  // Every admin request now fails up front — including /failpoints
+  // itself, which is why recovery below goes through the in-process API.
+  EXPECT_NE(get(h.admin->port(), "/healthz").find("500"),
+            std::string::npos);
+  util::failpoints_disarm_all();
+  EXPECT_NE(get(h.admin->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
+// Slowloris guard: a client that connects and then trickles (or stops
+// sending entirely) must get a 408 and its handler thread back — it
+// cannot pin the server for longer than the idle timeout.
+TEST(HttpServerTest, IdleClientGets408AndDoesNotPinTheServer) {
+  HttpServer::Options options;
+  options.idle_timeout_millis = 100;
+  HttpServer server(options, [](const HttpRequest&) {
+    return text_response(200, "served\n");
+  });
+  server.start();
+  ASSERT_GT(server.port(), 0);
+
+  const auto start = std::chrono::steady_clock::now();
+  // Send half a request line and then go silent.
+  const std::string reply = http_exchange(server.port(), "GET /stuck HT");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_NE(reply.find("408"), std::string::npos) << reply;
+  EXPECT_NE(reply.find("Request Timeout"), std::string::npos) << reply;
+  // The connection was cut by the timeout, not by the 5s total deadline.
+  EXPECT_LT(elapsed, std::chrono::seconds(4));
+  // And the server still answers a well-formed request afterwards.
+  EXPECT_NE(get(server.port(), "/ok").find("served"), std::string::npos);
+  server.stop();
+}
+
+TEST(HttpServerTest, ZeroIdleTimeoutDisablesTheGuard) {
+  HttpServer::Options options;
+  options.idle_timeout_millis = 0;
+  HttpServer server(options, [](const HttpRequest&) {
+    return text_response(200, "served\n");
+  });
+  server.start();
+  // A normal request still round-trips with the guard off.
+  EXPECT_NE(get(server.port(), "/ok").find("served"), std::string::npos);
+  server.stop();
 }
 
 TEST(AdminServerTest, QuitLatch) {

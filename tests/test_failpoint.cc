@@ -1,0 +1,155 @@
+// Tests for the deterministic fault-injection failpoints (util/failpoint.h):
+// spec grammar validation, arm/disarm lifecycle, seeded deterministic
+// triggering, the delay action's sleep, and snapshot introspection.
+// Every test drives the reserved inventory point "test.probe".
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace iustitia::util {
+namespace {
+
+// The registry is process-global: each test starts and ends disarmed
+// with the default seed so ordering cannot leak state between tests.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoints_disarm_all();
+    failpoints_set_seed(0x1057F417ULL);
+  }
+  void TearDown() override { failpoints_disarm_all(); }
+
+  static std::optional<FailpointInfo> info_of(const std::string& name) {
+    for (FailpointInfo& info : failpoints_snapshot()) {
+      if (info.name == name) return std::move(info);
+    }
+    return std::nullopt;
+  }
+};
+
+TEST_F(FailpointTest, DisarmedReturnsNoneAndStaysUnarmed) {
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kNone);
+  }
+  const auto info = info_of("test.probe");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->armed);
+  EXPECT_EQ(info->spec, "");
+}
+
+TEST_F(FailpointTest, ConfigureRejectsBadSpecsWithoutArmingAnything) {
+  const char* bad[] = {
+      "no.such.point=error",        // not in the inventory
+      "test.probe",                 // missing '='
+      "test.probe=explode",         // unknown action
+      "test.probe=delay",           // delay needs a duration
+      "test.probe=delay(50)",       // duration needs a unit
+      "test.probe=delay(50us,2.0)", // probability out of [0,1]
+      "test.probe=error(-0.5)",     // probability out of [0,1]
+      "test.probe=error(half)",     // non-numeric probability
+      "test.probe=stall(10ms",      // missing ')'
+      "test.probe=error(0.5,x)",    // error takes one argument
+  };
+  for (const char* spec : bad) {
+    EXPECT_NE(failpoints_configure(spec), "") << spec;
+    const auto info = info_of("test.probe");
+    ASSERT_TRUE(info.has_value()) << spec;
+    EXPECT_FALSE(info->armed) << "spec '" << spec << "' armed the point";
+  }
+  EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kNone);
+}
+
+TEST_F(FailpointTest, ErrorAtProbabilityOneFiresEveryEvaluation) {
+  ASSERT_EQ(failpoints_configure("test.probe=error"), "");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kError);
+  }
+}
+
+TEST_F(FailpointTest, AllocFailAction) {
+  ASSERT_EQ(failpoints_configure("test.probe=alloc-fail(1.0)"), "");
+  EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kAllocFail);
+}
+
+TEST_F(FailpointTest, OffDisarmsOnePointAndBareOffDisarmsAll) {
+  ASSERT_EQ(failpoints_configure("test.probe=error;cdb.insert=error"), "");
+  ASSERT_EQ(failpoints_configure("test.probe=off"), "");
+  EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kNone);
+  auto info = info_of("cdb.insert");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_TRUE(info->armed);  // the other point is untouched
+  ASSERT_EQ(failpoints_configure("off"), "");
+  info = info_of("cdb.insert");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->armed);
+}
+
+TEST_F(FailpointTest, ProbabilisticTriggeringIsSeedDeterministic) {
+  const auto sample = [] {
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) {
+      fired.push_back(FAILPOINT("test.probe") == FailpointAction::kError);
+    }
+    return fired;
+  };
+  failpoints_set_seed(42);
+  ASSERT_EQ(failpoints_configure("test.probe=error(0.5)"), "");
+  const std::vector<bool> first = sample();
+  // Re-arming with the same seed replays the identical trigger pattern.
+  failpoints_set_seed(42);
+  ASSERT_EQ(failpoints_configure("test.probe=error(0.5)"), "");
+  EXPECT_EQ(sample(), first);
+  // A different seed gives a different (still ~50%) pattern.
+  failpoints_set_seed(43);
+  ASSERT_EQ(failpoints_configure("test.probe=error(0.5)"), "");
+  EXPECT_NE(sample(), first);
+  const int hits = static_cast<int>(std::count(first.begin(), first.end(),
+                                               true));
+  EXPECT_GT(hits, 50);
+  EXPECT_LT(hits, 150);
+}
+
+TEST_F(FailpointTest, DelayActionSleepsForTheConfiguredDuration) {
+  ASSERT_EQ(failpoints_configure("test.probe=delay(20ms)"), "");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(FAILPOINT("test.probe"), FailpointAction::kDelay);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(elapsed, std::chrono::milliseconds(15));
+}
+
+TEST_F(FailpointTest, SnapshotTracksSpecEvaluationsAndTriggers) {
+  const auto before = info_of("test.probe");
+  ASSERT_TRUE(before.has_value());
+  ASSERT_EQ(failpoints_configure("test.probe=error(1.0)"), "");
+  for (int i = 0; i < 5; ++i) (void)FAILPOINT("test.probe");
+  const auto after = info_of("test.probe");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->armed);
+  EXPECT_EQ(after->spec, "error(1.0)");
+  EXPECT_EQ(after->evaluations, before->evaluations + 5);
+  EXPECT_EQ(after->triggers, before->triggers + 5);
+}
+
+TEST_F(FailpointTest, SnapshotListsTheWholeInventorySorted) {
+  const std::vector<FailpointInfo> infos = failpoints_snapshot();
+  ASSERT_GE(infos.size(), 6u);
+  for (std::size_t i = 1; i < infos.size(); ++i) {
+    EXPECT_LT(infos[i - 1].name, infos[i].name);
+  }
+  EXPECT_TRUE(info_of("cdb.insert").has_value());
+  EXPECT_TRUE(info_of("ring.push").has_value());
+  EXPECT_TRUE(info_of("source.next").has_value());
+  EXPECT_TRUE(info_of("worker.stall").has_value());
+  EXPECT_TRUE(info_of("ctrl.request").has_value());
+}
+
+}  // namespace
+}  // namespace iustitia::util

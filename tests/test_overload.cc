@@ -1,0 +1,179 @@
+// Tests for the overload shed ladder (runtime/overload.h) and the
+// liveness watchdog (runtime/watchdog.h): EWMA stage transitions with
+// hysteresis, metrics accounting of entries/exits, stall detection,
+// recovery, and retirement.
+#include "runtime/overload.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "runtime/metrics.h"
+#include "runtime/watchdog.h"
+
+namespace iustitia::runtime {
+namespace {
+
+OverloadOptions instant_options() {
+  OverloadOptions options;
+  options.enabled = true;
+  options.ewma_alpha = 1.0;  // EWMA == instantaneous occupancy
+  return options;
+}
+
+TEST(OverloadPolicy, DisabledPolicyNeverLeavesNormal) {
+  OverloadOptions options;  // enabled = false by default
+  OverloadPolicy policy(options, nullptr);
+  for (int i = 0; i < 100; ++i) policy.observe_occupancy(100, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kNormal);
+  EXPECT_EQ(policy.ewma(), 0.0);
+}
+
+TEST(OverloadPolicy, LadderWalksUpThroughEveryStage) {
+  OverloadPolicy policy(instant_options(), nullptr);
+  policy.observe_occupancy(40, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kNormal);
+  policy.observe_occupancy(60, 100);  // >= 0.50
+  EXPECT_EQ(policy.stage(), ShedStage::kCapBuffer);
+  policy.observe_occupancy(80, 100);  // >= 0.75
+  EXPECT_EQ(policy.stage(), ShedStage::kSampleAdmission);
+  policy.observe_occupancy(95, 100);  // >= 0.90
+  EXPECT_EQ(policy.stage(), ShedStage::kDrop);
+}
+
+TEST(OverloadPolicy, ASingleSpikeCanSkipStages) {
+  OverloadPolicy policy(instant_options(), nullptr);
+  policy.observe_occupancy(100, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kDrop);
+}
+
+TEST(OverloadPolicy, ExitRequiresHysteresisBelowTheEntryThreshold) {
+  OverloadPolicy policy(instant_options(), nullptr);
+  policy.observe_occupancy(95, 100);
+  ASSERT_EQ(policy.stage(), ShedStage::kDrop);
+  // Just below drop_enter (0.90) but above 0.90 - hysteresis: no exit.
+  policy.observe_occupancy(85, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kDrop);
+  // Below 0.80 -> leaves drop; still above sample-admission's exit.
+  policy.observe_occupancy(79, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kSampleAdmission);
+  // Collapse of pressure walks all the way back down.
+  policy.observe_occupancy(10, 100);
+  EXPECT_EQ(policy.stage(), ShedStage::kNormal);
+}
+
+TEST(OverloadPolicy, TransitionsAreCountedPerStage) {
+  MetricsRegistry metrics(1);
+  OverloadPolicy policy(instant_options(), &metrics);
+  policy.observe_occupancy(100, 100);  // 0 -> 3: enters 1, 2, 3
+  policy.observe_occupancy(0, 100);    // 3 -> 0: exits 3, 2, 1
+  const MetricsSnapshot snap = metrics.snapshot();
+  for (std::size_t stage = 1; stage < kShedStageCount; ++stage) {
+    EXPECT_EQ(snap.stage_entries[stage], 1u) << "stage " << stage;
+    EXPECT_EQ(snap.stage_exits[stage], 1u) << "stage " << stage;
+  }
+}
+
+TEST(OverloadPolicy, ResetDropsToNormalAndClearsTheEwma) {
+  MetricsRegistry metrics(1);
+  OverloadPolicy policy(instant_options(), &metrics);
+  policy.observe_occupancy(100, 100);
+  ASSERT_EQ(policy.stage(), ShedStage::kDrop);
+  policy.reset();
+  EXPECT_EQ(policy.stage(), ShedStage::kNormal);
+  EXPECT_EQ(policy.ewma(), 0.0);
+  EXPECT_EQ(metrics.snapshot().stage_exits[3], 1u);
+}
+
+TEST(OverloadPolicy, StageNamesAreStable) {
+  EXPECT_STREQ(shed_stage_name(ShedStage::kNormal), "normal");
+  EXPECT_STREQ(shed_stage_name(ShedStage::kCapBuffer), "cap-buffer");
+  EXPECT_STREQ(shed_stage_name(ShedStage::kSampleAdmission),
+               "sample-admission");
+  EXPECT_STREQ(shed_stage_name(ShedStage::kDrop), "drop");
+}
+
+// ---------------------------------------------------------------- watchdog
+
+// Polls until `done` holds or the deadline passes; sanitized builds run
+// slowly, so the budget is generous — tests assert the outcome, not the
+// latency.
+bool poll_until(const std::function<bool()>& done,
+                std::chrono::milliseconds budget =
+                    std::chrono::seconds(20)) {
+  const auto deadline = std::chrono::steady_clock::now() + budget;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return done();
+}
+
+TEST(WatchdogTest, DisabledDeadlineNeverStartsTheWatcher) {
+  WatchdogOptions options;
+  options.deadline_ms = 0;
+  Watchdog wd(2, options, nullptr);
+  wd.start_watching();  // no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(wd.stalled_count(), 0u);
+  EXPECT_FALSE(wd.any_stalled());
+  wd.stop_watching();
+}
+
+TEST(WatchdogTest, DetectsAStallThenRecoversWhenTheBeatResumes) {
+  WatchdogOptions options;
+  options.deadline_ms = 50;
+  MetricsRegistry metrics(2);
+  Watchdog wd(2, options, &metrics);
+  ASSERT_EQ(wd.thread_count(), 2u);
+  wd.start_watching();
+  // Thread 0 beats; thread 1 never does -> exactly one stall.
+  EXPECT_TRUE(poll_until([&] {
+    wd.heartbeat(0);
+    return wd.stalled_count() == 1;
+  }));
+  EXPECT_TRUE(wd.any_stalled());
+  EXPECT_GE(wd.stall_events(), 1u);
+  EXPECT_GE(metrics.snapshot().watchdog_stalls, 1u);
+  // Thread 1 resumes -> the stall clears (a latch, not a crash loop).
+  EXPECT_TRUE(poll_until([&] {
+    wd.heartbeat(0);
+    wd.heartbeat(1);
+    return wd.stalled_count() == 0;
+  }));
+  wd.retire(0);
+  wd.retire(1);
+  wd.stop_watching();
+}
+
+TEST(WatchdogTest, RetiredThreadsAreNotExpectedToBeat) {
+  WatchdogOptions options;
+  options.deadline_ms = 40;
+  Watchdog wd(2, options, nullptr);
+  wd.start_watching();
+  wd.retire(0);
+  wd.retire(1);
+  // Neither thread ever beats, but both retired cleanly: no stall even
+  // well past the deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  EXPECT_EQ(wd.stalled_count(), 0u);
+  EXPECT_EQ(wd.stall_events(), 0u);
+  wd.stop_watching();
+}
+
+TEST(WatchdogTest, StopIsIdempotentAndDestructorStops) {
+  WatchdogOptions options;
+  options.deadline_ms = 20;
+  Watchdog wd(1, options, nullptr);
+  wd.start_watching();
+  wd.stop_watching();
+  wd.stop_watching();
+  // Destructor runs stop_watching() again on scope exit.
+}
+
+}  // namespace
+}  // namespace iustitia::runtime

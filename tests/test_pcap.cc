@@ -3,11 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "runtime/packet_source.h"
 
 
 namespace iustitia::net {
@@ -238,6 +242,101 @@ TEST(PcapFile, TimestampMicrosecondPrecision) {
   const auto got = reader.next();
   ASSERT_TRUE(got.has_value());
   EXPECT_NEAR(got->timestamp, 1234.567890, 1e-6);
+}
+
+// ------------------------------------------------- hostile-input hardening
+
+void append_u32_le(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+// Appends a record header claiming `incl_len` bytes plus `body` bytes of
+// actual frame data.
+void append_record(std::string& out, std::uint32_t incl_len,
+                   std::size_t body) {
+  append_u32_le(out, 1);  // ts_sec
+  append_u32_le(out, 0);  // ts_usec
+  append_u32_le(out, incl_len);
+  append_u32_le(out, incl_len);  // orig_len
+  out.append(body, '\x41');
+}
+
+// A record header claiming a near-4GiB frame must be rejected up front —
+// never trusted as an allocation size.
+TEST(PcapFile, AbsurdRecordLengthThrowsInsteadOfAllocating) {
+  std::stringstream ss;
+  PcapWriter writer(ss);  // valid global header, snaplen 65535
+  std::string data = ss.str();
+  append_record(data, 0xFFFFFFF0u, 64);
+  std::stringstream hostile(data);
+  PcapReader reader(hostile);
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+// Claimed lengths above the file's own snaplen are hostile even when
+// they are small in absolute terms.
+TEST(PcapFile, RecordOverSnaplenThrows) {
+  std::stringstream ss;
+  PcapWriter writer(ss, 64);
+  writer.write(make_packet(Protocol::kTcp, 0, 0.1));  // 54-byte frame
+  std::string data = ss.str();
+  append_record(data, 200, 200);
+  std::stringstream hostile(data);
+  PcapReader reader(hostile);
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+// An absurd snaplen in the global header is clamped, not believed: the
+// reader still serves well-formed records afterwards.
+TEST(PcapFile, AbsurdSnaplenHeaderIsClampedNotFatal) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  writer.write(make_packet(Protocol::kTcp, 32, 0.1));
+  std::string data = ss.str();
+  // Overwrite the snaplen field (offset 16) with 0xFFFFFFFF.
+  data[16] = data[17] = data[18] = data[19] = static_cast<char>(0xFF);
+  std::stringstream patched(data);
+  PcapReader reader(patched);
+  const auto got = reader.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload.size(), 32u);
+  EXPECT_EQ(reader.next(), std::nullopt);
+}
+
+// The replay source's armor: a corrupt record inside an otherwise good
+// capture is skipped and counted, and the replay keeps going — the
+// dispatcher never sees the poison.
+TEST(PcapReplay, CorruptRecordIsSkippedAndCounted) {
+  std::stringstream ss;
+  PcapWriter writer(ss);
+  const Packet p1 = make_packet(Protocol::kTcp, 40, 0.1);
+  const Packet p2 = make_packet(Protocol::kTcp, 40, 0.2);
+  const Packet p3 = make_packet(Protocol::kUdp, 24, 0.3);
+  writer.write(p1);
+  writer.write(p2);
+  writer.write(p3);
+  std::string data = ss.str();
+  const std::size_t frame1 = encode_frame(p1).size();
+  // Flip a source-IP byte inside record 2's IPv4 header: the stale
+  // checksum makes decode_frame reject that record.
+  const std::size_t record2_frame = 24 + (16 + frame1) + 16;
+  data[record2_frame + 14 + 12] ^= static_cast<char>(0xFF);
+
+  std::stringstream patched(data);
+  runtime::PcapReplaySource source(patched);
+  auto got = source.next();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, p1.payload);
+  got = source.next();  // record 2 skipped, record 3 served
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->payload, p3.payload);
+  EXPECT_EQ(source.next(), std::nullopt);
+  EXPECT_EQ(source.packets_delivered(), 2u);
+  EXPECT_EQ(source.decode_errors(), 1u);
 }
 
 }  // namespace

@@ -12,6 +12,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -405,6 +407,46 @@ TEST(Runtime, HighWaterMarksAreWithinRingCapacity) {
 // cross to the new epoch (workers re-read at burst boundaries), the
 // retired model must be reclaimed exactly once the grace period closes,
 // and the swap must surface through the runtime snapshot.
+// Delegates to a TraceSource but stops delivering after `gate_after`
+// packets until `gate` opens (blocking inside next(), like pacing does).
+// This pins "the publish lands mid-replay" as a structural fact instead
+// of a pacing-derived probability: whatever the scheduler does, the
+// packets after the gate are only delivered once the swap has been
+// published, so every shard still has work left on the new epoch.
+class GatedTraceSource final : public PacketSource {
+ public:
+  GatedTraceSource(const net::TraceOptions& options, std::size_t gate_after,
+                   const std::atomic<bool>* gate)
+      : inner_(options), gate_after_(gate_after), gate_(gate) {}
+
+  std::optional<net::Packet> next() override {
+    wait_at_gate();
+    std::optional<net::Packet> packet = inner_.next();
+    if (packet.has_value()) ++delivered_;
+    return packet;
+  }
+
+  std::size_t next_burst(std::span<net::Packet> out) override {
+    wait_at_gate();
+    const std::size_t n = inner_.next_burst(out);
+    delivered_ += n;
+    return n;
+  }
+
+ private:
+  void wait_at_gate() {
+    while (delivered_ >= gate_after_ &&
+           !gate_->load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+
+  TraceSource inner_;
+  const std::size_t gate_after_;
+  const std::atomic<bool>* gate_;
+  std::size_t delivered_ = 0;
+};
+
 TEST(Runtime, ModelHotSwapUnderLiveReplayLosesNothing) {
   const auto factory = model_factory();
   RuntimeOptions options;
@@ -419,20 +461,24 @@ TEST(Runtime, ModelHotSwapUnderLiveReplayLosesNothing) {
   Runtime rt(registry, options);
   ASSERT_EQ(rt.model_registry(), registry.get());
 
-  // Pace the source so the publish provably lands mid-replay.
+  // Gate the source after 10% so the publish provably lands mid-replay.
   constexpr std::size_t kPackets = 20'000;
-  TraceSource source(trace_options(kPackets, 908), /*target_pps=*/40'000.0);
+  std::atomic<bool> gate{false};
+  GatedTraceSource source(trace_options(kPackets, 908), kPackets / 10,
+                          &gate);
   rt.start(source);
 
-  // Wait until the replay is demonstrably in flight, then swap.
-  for (int spin = 0; rt.snapshot().packets_in < kPackets / 10; ++spin) {
-    ASSERT_LT(spin, 2000) << "replay never got off the ground";
+  // Wait until the replay is demonstrably in flight, then swap; only
+  // after the publish returns may the remaining 90% flow.
+  for (int spin = 0; rt.snapshot().packets_in < kPackets / 20; ++spin) {
+    ASSERT_LT(spin, 20000) << "replay never got off the ground";
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   std::weak_ptr<const core::FlowNatureModel> old_model =
       registry->current().model;
   registry->publish(
       std::make_shared<const core::FlowNatureModel>(factory()), "v2");
+  gate.store(true, std::memory_order_release);
   rt.wait();
 
   const MetricsSnapshot snap = rt.snapshot();

@@ -431,6 +431,33 @@ class LintHotModules(FixtureCase):
         self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
 
 
+class LintFailpoints(FixtureCase):
+    def test_cross_checks_call_sites_against_inventory(self):
+        root = self.materialize("lint_failpoints")
+        proc = self.run_lint(root)
+        self.assertEqual(proc.returncode, 1, proc.stdout + proc.stderr)
+        lines = [ln for ln in proc.stdout.splitlines()
+                 if "[failpoint-inventory]" in ln]
+        # The typo and the non-literal name — not the registered call,
+        # the NOLINT'd call, or the comment/inventory mentions.
+        self.assertEqual(len(lines), 2, proc.stdout)
+        self.assertTrue(any('FAILPOINT("cdb.isnert") is not in '
+                            "kFailpointInventory" in ln for ln in lines),
+                        proc.stdout)
+        self.assertTrue(any("must be a string literal" in ln
+                            for ln in lines), proc.stdout)
+        self.assertTrue(all("src/core/user.cc" in ln for ln in lines),
+                        proc.stdout)
+        self.assertNotIn("ghost", proc.stdout)
+        self.assertNotIn("not.registered", proc.stdout)
+
+    def test_without_inventory_file_rule_is_silent(self):
+        root = self.materialize("lint_failpoints")
+        proc = self.run_lint(root / "src" / "core" / "user.cc")
+        self.assertEqual(proc.returncode, 0, proc.stdout + proc.stderr)
+        self.assertNotIn("[failpoint-inventory]", proc.stdout)
+
+
 class TokenizerLexing(unittest.TestCase):
     """Direct unit tests for tools/analyze/tokenizer.py edge cases."""
 

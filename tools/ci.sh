@@ -211,6 +211,109 @@ assert snap["dropped"] == 0, snap["dropped"]
 assert snap["packets_in"] == 20000, snap["packets_in"]
 PYEOF
 
+stage "chaos"
+# Fault-injection soak against the real binaries (DESIGN.md §12): replay
+# with armed failpoints on the source, ring, and CDB layers under both
+# backpressure modes, then a serve-mode watchdog round-trip driven
+# through POST /failpoints and observed via /readyz.
+chaos_dir="$PWD/build/chaos"
+rm -rf "$chaos_dir"
+mkdir -p "$chaos_dir"
+./build/tools/iustitia gen-corpus "$chaos_dir/corpus" --files 8 --seed 7
+./build/tools/iustitia train "$chaos_dir/corpus" "$chaos_dir/model.bundle"
+./build/tools/iustitia gen-trace "$chaos_dir/trace.pcap" \
+  --packets 20000 --seed 13
+chaos_spec='source.next=error(0.02);ring.push=delay(20us,0.01)'
+chaos_spec+=';cdb.insert=alloc-fail(0.05)'
+for mode in block drop; do
+  IUSTITIA_FAILPOINTS="$chaos_spec" ./build/tools/iustitia replay \
+    "$chaos_dir/model.bundle" "$chaos_dir/trace.pcap" \
+    --shards 2 --burst 16 --backpressure "$mode" --cdb-max 64 --json \
+    > "$chaos_dir/replay_$mode.json"
+done
+python3 - "$chaos_dir/replay_block.json" "$chaos_dir/replay_drop.json" \
+    <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    snap = json.load(open(path))
+    # Conservation: transient source errors are retried, never EOF; every
+    # packet read is pushed or counted as dropped, and everything pushed
+    # is popped.
+    assert snap["packets_in"] == 20000, (path, snap["packets_in"])
+    assert snap["pushed"] + snap["dropped"] == snap["packets_in"], path
+    assert snap["popped"] == snap["pushed"], path
+    assert snap["source_transient_errors"] > 0, path
+    # Bounded memory: the per-shard ceiling held and refusals were
+    # accounted.
+    assert snap["cdb"]["ceiling"] == 64, path
+    assert snap["cdb"]["records"] <= 2 * 64, path
+    assert snap["cdb"]["insert_failures"] > 0, path
+    assert snap["health"] == "ok", (path, snap["health"])
+block = json.load(open(sys.argv[1]))
+assert block["dropped"] == 0, block["dropped"]
+PYEOF
+# Watchdog readiness round-trip: pin the workers with worker.stall until
+# /readyz reports 503 unhealthy(watchdog), disarm, and require recovery
+# to 200 ok while the paced replay is still live.
+./build/tools/iustitia serve "$chaos_dir/model.bundle" \
+  "$chaos_dir/trace.pcap" --shards 2 --backpressure block --pps 500 \
+  --watchdog-ms 500 --port-file "$chaos_dir/port" --json \
+  > "$chaos_dir/serve.json" &
+chaos_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "$chaos_dir/port" ]] && break
+  sleep 0.1
+done
+[[ -s "$chaos_dir/port" ]] || {
+  echo "ci.sh: chaos serve never wrote its port file" >&2
+  kill -9 "$chaos_pid" 2>/dev/null || true
+  exit 1
+}
+chaos_admin="http://127.0.0.1:$(cat "$chaos_dir/port")"
+curl -fsS "$chaos_admin/readyz" | grep -Fx ok
+curl -fsS -X POST --data 'worker.stall=stall(2s)' \
+  "$chaos_admin/failpoints" > /dev/null
+# The stall latch flaps as each 2s sleep ends, so poll until one 503 is
+# observed rather than demanding a steady state.
+ready_code=0
+for _ in $(seq 1 100); do
+  ready_code="$(curl -s -o "$chaos_dir/readyz.txt" -w '%{http_code}' \
+    "$chaos_admin/readyz")"
+  [[ "$ready_code" == 503 ]] && break
+  sleep 0.1
+done
+[[ "$ready_code" == 503 ]] || {
+  echo "ci.sh: /readyz never reported the stalled worker" >&2
+  kill -9 "$chaos_pid"
+  exit 1
+}
+grep -F 'unhealthy(watchdog)' "$chaos_dir/readyz.txt"
+curl -fsS -X POST --data 'off' "$chaos_admin/failpoints" > /dev/null
+recovered=""
+for _ in $(seq 1 100); do
+  if curl -fsS "$chaos_admin/readyz" 2>/dev/null | grep -qFx ok; then
+    recovered=yes
+    break
+  fi
+  sleep 0.1
+done
+[[ -n "$recovered" ]] || {
+  echo "ci.sh: /readyz never recovered after disarming the stall" >&2
+  kill -9 "$chaos_pid"
+  exit 1
+}
+curl -fsS -X POST "$chaos_admin/quitquitquit" > /dev/null
+for _ in $(seq 1 100); do
+  kill -0 "$chaos_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$chaos_pid" 2>/dev/null; then
+  echo "ci.sh: chaos serve did not exit after /quitquitquit" >&2
+  kill -9 "$chaos_pid"
+  exit 1
+fi
+wait "$chaos_pid"
+
 stage "perf-smoke"
 # Reduced-size run of the entropy-kernel microbench, gated on >30%
 # regression against the checked-in baseline (speedup is the gated,

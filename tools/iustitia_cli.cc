@@ -20,9 +20,10 @@
 //   serve <model-file> <trace.pcap> [replay flags] [--port P]
 //         [--bind ADDR] [--port-file PATH] [--once 1]
 //       replay plus the control plane: an admin HTTP server (/healthz,
-//       /metrics, /stats.json, POST /model hot-swap, POST /quitquitquit)
-//       over a live runtime.  Lingers after the trace ends until quit or
-//       SIGINT/SIGTERM so probes and swaps never race replay end.
+//       /readyz, /metrics, /stats.json, GET+POST /failpoints, POST /model
+//       hot-swap, POST /quitquitquit) over a live runtime.  Lingers after
+//       the trace ends until quit or SIGINT/SIGTERM so probes and swaps
+//       never race replay end.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -48,6 +49,7 @@
 #include "net/pcap.h"
 #include "net/trace_gen.h"
 #include "runtime/runtime.h"
+#include "util/failpoint.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -102,6 +104,8 @@ int usage() {
       "[--pps R]\n"
       "         [--backpressure block|drop] [--ring N] [--buffer B] "
       "[--json]\n"
+      "         [--cdb-max N] [--overload 0|1] [--watchdog-ms MS]\n"
+      "         [--watchdog-fatal 0|1] [--failpoints SPEC]\n"
       "  serve <model-file> <trace.pcap> [replay flags] [--port P]\n"
       "        [--bind ADDR] [--port-file PATH] [--once 1]\n";
   return 2;
@@ -291,6 +295,23 @@ int parse_runtime_flags(const Args& args, runtime::RuntimeOptions& options,
   options.pin_workers = args.flag_int("pin", 0) != 0;
   options.engine.buffer_size =
       static_cast<std::size_t>(args.flag_int("buffer", 32));
+  // Robustness knobs (DESIGN.md §12).
+  options.engine.cdb.max_records =
+      static_cast<std::size_t>(args.flag_int("cdb-max", 0));
+  options.overload.enabled = args.flag_int("overload", 0) != 0;
+  options.watchdog_deadline_ms =
+      static_cast<std::uint64_t>(args.flag_int("watchdog-ms", 1000));
+  options.watchdog_fatal = args.flag_int("watchdog-fatal", 0) != 0;
+  // --failpoints arms the same registry the IUSTITIA_FAILPOINTS env var
+  // and POST /failpoints feed; a bad spec is a usage error.
+  const std::string failpoints = args.flag("failpoints", "");
+  if (!failpoints.empty()) {
+    const std::string error = util::failpoints_configure(failpoints);
+    if (!error.empty()) {
+      std::cerr << "bad --failpoints spec: " << error << '\n';
+      return 2;
+    }
+  }
   return 0;
 }
 
@@ -400,7 +421,8 @@ int cmd_serve(const Args& args) {
   ctrl::AdminServer admin(&rt, registry, http);
   admin.start();
   std::cerr << "admin: http://" << http.bind_address << ":" << admin.port()
-            << " (/healthz /metrics /stats.json /model /quitquitquit)\n";
+            << " (/healthz /readyz /metrics /stats.json /failpoints /model "
+               "/quitquitquit)\n";
   const std::string port_file = args.flag("port-file", "");
   if (!port_file.empty()) {
     std::ofstream pf(port_file);

@@ -32,6 +32,12 @@ Rules
                      and is invisible to the deadlock detector's graph
                      writer.  Keep the handle and join it (see
                      runtime/runtime.cc for the owning pattern).
+  failpoint-inventory every FAILPOINT("...") call site must name an entry
+                     of kFailpointInventory (src/util/failpoint_inventory.h)
+                     so a typo'd point fails the build instead of silently
+                     never arming, and the name must be a string literal so
+                     this cross-check can see it.  Skipped when the linted
+                     set contains no inventory file.
   hot-module-io      stream I/O and logging are banned in the hot modules
                      (src/runtime, src/entropy): <iostream>, std::cout /
                      cerr / clog, std::endl, and IUSTITIA_LOG_* stall the
@@ -118,8 +124,9 @@ LINE_COMMENT_RE = re.compile(r"//.*$")
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*[<"]([^">]+)[">]')
 
 
-def strip_code(text: str) -> str:
-    """Removes comments and string/char literals, preserving line structure."""
+def strip_code(text: str, keep_strings: bool = False) -> str:
+    """Removes comments and (unless keep_strings) string/char literals,
+    preserving line structure."""
     out: list[str] = []
     i, n = 0, len(text)
     while i < n:
@@ -136,14 +143,18 @@ def strip_code(text: str) -> str:
             i += 2
         elif c in "\"'":
             quote = c
+            start = i
             i += 1
             while i < n and text[i] != quote:
                 if text[i] == "\\":
                     i += 1
                 elif text[i] == "\n":
-                    out.append("\n")
+                    if not keep_strings:
+                        out.append("\n")
                 i += 1
             i += 1
+            if keep_strings:
+                out.append(text[start:i])
         else:
             out.append(c)
             i += 1
@@ -393,6 +404,47 @@ def check_using_namespace(path: Path, stripped: str,
                 "using namespace in a header leaks into every includer"))
 
 
+# ---- failpoint-inventory: FAILPOINT("...") call sites vs the inventory ----
+
+FAILPOINT_INVENTORY_NAME = "failpoint_inventory.h"
+FAILPOINT_LITERAL_RE = re.compile(r'(?<![\w_])FAILPOINT\s*\(\s*"([^"]*)"')
+FAILPOINT_CALL_RE = re.compile(r'(?<![\w_])FAILPOINT\s*\(')
+
+
+def failpoint_inventory_names(path: Path) -> set[str]:
+    """Every string literal in the inventory header is a registered name."""
+    stripped = strip_code(path.read_text(), keep_strings=True)
+    return set(re.findall(r'"([^"]*)"', stripped))
+
+
+def check_failpoint_inventory(path: Path, names: set[str],
+                              findings: list[Finding]) -> None:
+    if path.name == FAILPOINT_INVENTORY_NAME:
+        return
+    raw = path.read_text()
+    nolint = raw_lines_with_nolint(raw, "failpoint-inventory")
+    stripped = strip_code(raw, keep_strings=True)
+    for lineno, line in enumerate(stripped.splitlines(), start=1):
+        if lineno in nolint:
+            continue
+        # The macro's own #define is not a call site.
+        if line.lstrip().startswith("#"):
+            continue
+        literals = FAILPOINT_LITERAL_RE.findall(line)
+        for name in literals:
+            if name not in names:
+                findings.append(Finding(
+                    path, lineno, "failpoint-inventory",
+                    f'FAILPOINT("{name}") is not in kFailpointInventory '
+                    f"(src/util/{FAILPOINT_INVENTORY_NAME}); add it there "
+                    "or fix the typo"))
+        if len(FAILPOINT_CALL_RE.findall(line)) > len(literals):
+            findings.append(Finding(
+                path, lineno, "failpoint-inventory",
+                "FAILPOINT name must be a string literal so the "
+                "inventory cross-check can see it"))
+
+
 def lint_file(path: Path) -> list[Finding]:
     raw = path.read_text()
     stripped = strip_code(raw)
@@ -422,6 +474,14 @@ def main(argv: list[str]) -> int:
     findings: list[Finding] = []
     for path in files:
         findings.extend(lint_file(path))
+    # Cross-file rule: FAILPOINT call sites against the central inventory.
+    # Skipped when the linted set has no inventory (partial-tree runs).
+    inventory = next(
+        (p for p in files if p.name == FAILPOINT_INVENTORY_NAME), None)
+    if inventory is not None:
+        names = failpoint_inventory_names(inventory)
+        for path in files:
+            check_failpoint_inventory(path, names, findings)
     for finding in findings:
         print(finding)
     if findings:
